@@ -1,0 +1,144 @@
+//! Criterion microbenchmarks for the hot components of the pipeline:
+//! feature extraction, unrolling, both schedulers, classifier queries and
+//! training. These are the operations a compiler would pay at build time
+//! (the paper: an NN lookup over 2,500 examples takes < 5 ms and "is far
+//! outweighed by compiler fixed-point dataflow analyses").
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use loopml::{extract, to_dataset, LabelConfig};
+use loopml_corpus::{synthesize, SuiteConfig, ROSTER};
+use loopml_ir::{ArrayId, DepGraph, Inst, Loop, LoopBuilder, MemRef, Opcode, TripCount};
+use loopml_machine::{
+    list_schedule, loop_cost, modulo_schedule, MachineConfig, NoiseModel, SwpMode,
+};
+use loopml_ml::{MulticlassSvm, NearNeighbors, SvmParams, DEFAULT_RADIUS};
+use loopml_opt::{unroll_and_optimize, OptConfig};
+
+fn daxpy() -> Loop {
+    let mut b = LoopBuilder::new("daxpy", TripCount::Known(65536));
+    let x = b.fp_reg();
+    let y = b.fp_reg();
+    let r = b.fp_reg();
+    b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+    b.load(y, MemRef::affine(ArrayId(1), 8, 0, 8));
+    b.inst(Inst::new(Opcode::Fma, vec![r], vec![x, y]));
+    b.store(r, MemRef::affine(ArrayId(1), 8, 0, 8));
+    b.build()
+}
+
+fn training_dataset() -> loopml_ml::Dataset {
+    let cfg = SuiteConfig {
+        min_loops: 40,
+        max_loops: 40,
+        ..SuiteConfig::default()
+    };
+    let label_cfg = LabelConfig {
+        noise: NoiseModel::exact(),
+        ..LabelConfig::paper(SwpMode::Disabled)
+    };
+    let labeled: Vec<_> = ROSTER
+        .iter()
+        .take(12)
+        .enumerate()
+        .flat_map(|(i, e)| loopml::label_benchmark(&synthesize(e, &cfg), i, &label_cfg))
+        .collect();
+    to_dataset(&labeled)
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let l = daxpy();
+    c.bench_function("extract_38_features", |b| {
+        b.iter(|| black_box(extract(black_box(&l))))
+    });
+}
+
+fn bench_unroll(c: &mut Criterion) {
+    let l = daxpy();
+    let cfg = OptConfig::default();
+    for factor in [2u32, 8] {
+        c.bench_function(&format!("unroll_and_optimize_x{factor}"), |b| {
+            b.iter(|| black_box(unroll_and_optimize(black_box(&l), factor, &cfg)))
+        });
+    }
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mcfg = MachineConfig::itanium2();
+    let u = unroll_and_optimize(&daxpy(), 8, &OptConfig::default());
+    let g = DepGraph::analyze(&u.body);
+    c.bench_function("list_schedule_x8_body", |b| {
+        b.iter(|| black_box(list_schedule(black_box(&u.body), &g, &mcfg)))
+    });
+    c.bench_function("modulo_schedule_x8_body", |b| {
+        b.iter(|| black_box(modulo_schedule(black_box(&u.body), &g, &mcfg)))
+    });
+    c.bench_function("loop_cost_swp_off", |b| {
+        b.iter(|| black_box(loop_cost(black_box(&u), 10.0, &mcfg, SwpMode::Disabled)))
+    });
+}
+
+fn bench_labeling(c: &mut Criterion) {
+    let bench = synthesize(
+        &ROSTER[2],
+        &SuiteConfig {
+            min_loops: 10,
+            max_loops: 10,
+            ..SuiteConfig::default()
+        },
+    );
+    let cfg = LabelConfig::paper(SwpMode::Disabled);
+    c.bench_function("label_benchmark_10_loops", |b| {
+        b.iter(|| black_box(loopml::label_benchmark(black_box(&bench), 0, &cfg)))
+    });
+}
+
+fn bench_classifiers(c: &mut Criterion) {
+    let data = training_dataset();
+    let nn = NearNeighbors::fit(&data, DEFAULT_RADIUS);
+    let query = data.x[0].clone();
+    // The paper's latency claim: an NN query over the database is fast
+    // enough for compile time.
+    c.bench_function(&format!("nn_query_{}_examples", data.len()), |b| {
+        b.iter(|| black_box(nn.predict(black_box(&query))))
+    });
+    c.bench_function("nn_fit", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |d| black_box(NearNeighbors::fit(&d, DEFAULT_RADIUS)),
+            BatchSize::SmallInput,
+        )
+    });
+    let svm = MulticlassSvm::fit(&data, SvmParams::default());
+    c.bench_function("svm_query", |b| {
+        b.iter(|| black_box(svm.predict(black_box(&query))))
+    });
+    c.bench_function(&format!("svm_fit_{}_examples", data.len()), |b| {
+        b.iter_batched(
+            || data.clone(),
+            |d| black_box(MulticlassSvm::fit(&d, SvmParams::default())),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let cfg = SuiteConfig::default();
+    c.bench_function("synthesize_benchmark", |b| {
+        b.iter(|| black_box(synthesize(black_box(&ROSTER[0]), &cfg)))
+    });
+}
+
+criterion_group!(
+    name = components;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_feature_extraction,
+        bench_unroll,
+        bench_schedulers,
+        bench_labeling,
+        bench_classifiers,
+        bench_corpus
+);
+criterion_main!(components);

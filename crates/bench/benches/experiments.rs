@@ -1,0 +1,47 @@
+//! Criterion benchmarks of the experiment harnesses themselves — one per
+//! table/figure — on a reduced corpus. These measure how long it takes to
+//! *regenerate* each artifact (the `repro` binary runs the full-scale
+//! versions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use loopml_bench::{experiments, Context, Scale};
+use loopml_machine::SwpMode;
+
+fn bench_experiments(c: &mut Criterion) {
+    let ctx_off = Context::build(Scale::Quick, SwpMode::Disabled);
+
+    c.bench_function("bench_table2", |b| {
+        b.iter(|| black_box(experiments::table2(&ctx_off)))
+    });
+    c.bench_function("bench_table3", |b| {
+        b.iter(|| black_box(experiments::table3(&ctx_off)))
+    });
+    c.bench_function("bench_table4", |b| {
+        b.iter(|| black_box(experiments::table4(&ctx_off, 3)))
+    });
+    c.bench_function("bench_fig1", |b| {
+        b.iter(|| black_box(experiments::fig1(&ctx_off)))
+    });
+    c.bench_function("bench_fig2", |b| {
+        b.iter(|| black_box(experiments::fig2(&ctx_off, 12)))
+    });
+    c.bench_function("bench_fig3", |b| {
+        b.iter(|| black_box(experiments::fig3(&ctx_off)))
+    });
+    // Figures 4 and 5 train 24 leave-one-benchmark-out classifier pairs
+    // per iteration — the heaviest harness. Quick scale keeps each pass
+    // to a few seconds; the full-scale versions live in the `repro`
+    // binary.
+    c.bench_function("bench_fig4", |b| {
+        b.iter(|| black_box(experiments::speedup_figure(&ctx_off)))
+    });
+}
+
+criterion_group!(
+    name = experiments_group;
+    config = Criterion::default().sample_size(10);
+    targets = bench_experiments
+);
+criterion_main!(experiments_group);

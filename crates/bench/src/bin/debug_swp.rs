@@ -1,0 +1,61 @@
+//! Debug tool: per-loop comparison of the ORC-SWP heuristic against the
+//! oracle on one benchmark, showing where the projections diverge from
+//! the simulated costs.
+
+use loopml::{hot_footprint, oracle_choices, EvalConfig, OrcSwpHeuristic, UnrollHeuristic};
+use loopml_corpus::{synthesize, SuiteConfig, ROSTER};
+use loopml_machine::{icache_entry_cost, loop_cost, SwpMode};
+use loopml_opt::{unroll_and_optimize, OptConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "301.apsi".into());
+    let entry = ROSTER.iter().find(|e| e.name == name).expect("known benchmark");
+    let b = synthesize(entry, &SuiteConfig::default());
+    let ec = EvalConfig::exact(SwpMode::Enabled);
+    let h = OrcSwpHeuristic::default();
+    let oracle = oracle_choices(&b, &ec);
+    let footprint = hot_footprint(&b);
+
+    let mut total_h = 0.0;
+    let mut total_o = 0.0;
+    println!(
+        "{:<44} {:>3} {:>3} {:>12} {:>12} {:>8}",
+        "loop", "h", "o", "cost(h)", "cost(o)", "ratio"
+    );
+    let mut rows = Vec::new();
+    for (i, w) in b.loops.iter().enumerate() {
+        let hc = h.choose(&w.body);
+        let oc = oracle[i];
+        let cost = |f: u32| {
+            let rolled = unroll_and_optimize(&w.body, 1, &OptConfig::default());
+            let rc = loop_cost(&rolled, 0.0, &ec.machine, ec.swp);
+            let u = unroll_and_optimize(&w.body, f, &OptConfig::default());
+            let c = loop_cost(&u, rc.per_iter, &ec.machine, ec.swp);
+            c.total(u.body.trip_count.dynamic(), w.entries)
+                + icache_entry_cost(c.code_bytes, footprint, &ec.machine) * w.entries as f64
+        };
+        let ch = cost(hc);
+        let co = cost(oc);
+        // weight-scaled contribution
+        let rolled_cost = cost(1).max(1.0);
+        let scale = w.weight / rolled_cost;
+        total_h += scale * ch;
+        total_o += scale * co;
+        rows.push((scale * (ch - co), w.body.name.clone(), hc, oc, ch, co));
+    }
+    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    for (loss, name, hc, oc, ch, co) in rows.iter().take(15) {
+        println!(
+            "{:<44} {:>3} {:>3} {:>12.0} {:>12.0} {:>8.2} (weighted loss {:.4})",
+            name,
+            hc,
+            oc,
+            ch,
+            co,
+            ch / co,
+            loss
+        );
+    }
+    println!("\nweighted totals: heuristic {total_h:.4}, oracle {total_o:.4}, gap {:.1}%",
+        (total_h / total_o - 1.0) * 100.0);
+}

@@ -1,0 +1,181 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [all | table1 | table2 | table3 | table4 |
+//!        fig1 | fig2 | fig3 | fig4 | fig5 |
+//!        ablate-norm | ablate-radius | ablate-features | ablate-filter]
+//! ```
+
+use std::time::Instant;
+
+use loopml::FEATURE_NAMES;
+use loopml_bench::{experiments, report, Context, Scale};
+use loopml_machine::SwpMode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let targets: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
+        vec![
+            "table1", "fig3", "table2", "table3", "table4", "fig1", "fig2", "fig4", "fig5",
+            "ablate-norm", "ablate-radius", "ablate-features", "ablate-filter",
+        ]
+    } else {
+        targets
+    };
+
+    let needs_swp_off = targets.iter().any(|t| *t != "fig5");
+    let needs_swp_on = targets.contains(&"fig5");
+
+    let t0 = Instant::now();
+    let ctx_off = needs_swp_off.then(|| {
+        eprintln!("[repro] building SWP-off context ({scale:?})...");
+        Context::build(scale, SwpMode::Disabled)
+    });
+    let ctx_on = needs_swp_on.then(|| {
+        eprintln!("[repro] building SWP-on context ({scale:?})...");
+        Context::build(scale, SwpMode::Enabled)
+    });
+    if let Some(c) = &ctx_off {
+        eprintln!(
+            "[repro] corpus: {} benchmarks, {} labeled loops, {} informative features ({:.1?})",
+            c.suite.len(),
+            c.len(),
+            c.dataset.dims(),
+            t0.elapsed()
+        );
+    }
+
+    for target in targets {
+        let t = Instant::now();
+        match target {
+            "table1" => {
+                println!("Table 1. Features used for loop classification ({} total)", FEATURE_NAMES.len());
+                for (i, name) in FEATURE_NAMES.iter().enumerate() {
+                    println!("  {:>2}. {}", i + 1, name);
+                }
+            }
+            "table2" => {
+                let ctx = ctx_off.as_ref().expect("ctx");
+                println!("{}", report::render_table2(&experiments::table2(ctx)));
+            }
+            "table3" => {
+                let ctx = ctx_off.as_ref().expect("ctx");
+                println!("{}", report::render_table3(&experiments::table3(ctx), 5));
+            }
+            "table4" => {
+                let ctx = ctx_off.as_ref().expect("ctx");
+                let (nn, svm) = experiments::table4(ctx, 5);
+                println!("{}", report::render_table4(&nn, &svm));
+            }
+            "fig1" => {
+                let ctx = ctx_off.as_ref().expect("ctx");
+                let pts = experiments::fig1(ctx);
+                println!(
+                    "{}",
+                    report::render_scatter(
+                        "Figure 1. Near neighbor data on the LDA plane",
+                        &pts,
+                        100,
+                        30
+                    )
+                );
+            }
+            "fig2" => {
+                let ctx = ctx_off.as_ref().expect("ctx");
+                let (pts, grid) = experiments::fig2(ctx, 40);
+                println!(
+                    "{}",
+                    report::render_scatter(
+                        "Figure 2. SVM binary classification on the LDA plane",
+                        &pts,
+                        100,
+                        30
+                    )
+                );
+                if !grid.is_empty() {
+                    println!("decision regions (U = unroll, . = keep rolled):");
+                    for row in grid.iter().rev() {
+                        let line: String =
+                            row.iter().map(|&b| if b { 'U' } else { '.' }).collect();
+                        println!("  {line}");
+                    }
+                }
+            }
+            "fig3" => {
+                let ctx = ctx_off.as_ref().expect("ctx");
+                println!("{}", report::render_fig3(&experiments::fig3(ctx)));
+            }
+            "fig4" => {
+                let ctx = ctx_off.as_ref().expect("ctx");
+                let f = experiments::speedup_figure(ctx);
+                println!(
+                    "{}",
+                    report::render_speedups(
+                        "Figure 4. SPEC 2000 improvement over ORC, SWP disabled",
+                        &f
+                    )
+                );
+            }
+            "fig5" => {
+                let ctx = ctx_on.as_ref().expect("ctx");
+                let f = experiments::speedup_figure(ctx);
+                println!(
+                    "{}",
+                    report::render_speedups(
+                        "Figure 5. SPEC 2000 improvement over ORC, SWP enabled",
+                        &f
+                    )
+                );
+            }
+            "ablate-norm" => {
+                let ctx = ctx_off.as_ref().expect("ctx");
+                println!(
+                    "{}",
+                    report::render_ablation(
+                        "Ablation: feature normalization",
+                        &experiments::ablate_normalization(ctx)
+                    )
+                );
+            }
+            "ablate-radius" => {
+                let ctx = ctx_off.as_ref().expect("ctx");
+                println!(
+                    "{}",
+                    report::render_ablation(
+                        "Ablation: radius vote vs 1-NN",
+                        &experiments::ablate_radius(ctx)
+                    )
+                );
+            }
+            "ablate-features" => {
+                let ctx = ctx_off.as_ref().expect("ctx");
+                println!(
+                    "{}",
+                    report::render_ablation(
+                        "Ablation: informative subset vs all 38 features",
+                        &experiments::ablate_features(ctx)
+                    )
+                );
+            }
+            "ablate-filter" => {
+                let ctx = ctx_off.as_ref().expect("ctx");
+                println!(
+                    "{}",
+                    report::render_ablation(
+                        "Ablation: label filtering",
+                        &experiments::ablate_filter(ctx)
+                    )
+                );
+            }
+            other => eprintln!("[repro] unknown target: {other}"),
+        }
+        eprintln!("[repro] {target} done in {:.1?}", t.elapsed());
+    }
+}

@@ -1,0 +1,91 @@
+//! Shared experiment context: corpus synthesis, labeling, dataset
+//! construction and feature selection, computed once and reused by every
+//! table/figure harness.
+
+use loopml::{
+    benchmark_groups, informative_features, to_dataset, LabelConfig, LabeledLoop,
+};
+use loopml_corpus::{full_suite, SuiteConfig};
+use loopml_ir::Benchmark;
+use loopml_machine::SwpMode;
+use loopml_ml::Dataset;
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Full corpus (72 benchmarks, paper scale). Minutes.
+    Full,
+    /// Reduced corpus for smoke runs and CI. Seconds.
+    Quick,
+}
+
+impl Scale {
+    fn suite_config(self) -> SuiteConfig {
+        match self {
+            Scale::Full => SuiteConfig::default(),
+            Scale::Quick => SuiteConfig {
+                min_loops: 8,
+                max_loops: 12,
+                ..SuiteConfig::default()
+            },
+        }
+    }
+}
+
+/// Everything the experiments need, computed once per (scale, swp mode).
+#[derive(Debug)]
+pub struct Context {
+    /// The synthesized suite (72 benchmarks).
+    pub suite: Vec<Benchmark>,
+    /// Labeled loops that survived the paper's filters.
+    pub labeled: Vec<LabeledLoop>,
+    /// Dataset over all 38 features.
+    pub full_dataset: Dataset,
+    /// Dataset restricted to the informative feature subset (§7).
+    pub dataset: Dataset,
+    /// Columns (into the 38) of the informative subset.
+    pub feature_subset: Vec<usize>,
+    /// Benchmark group of each example.
+    pub groups: Vec<usize>,
+    /// The labeling configuration used.
+    pub label_config: LabelConfig,
+    /// The scale this context was built at.
+    pub scale: Scale,
+}
+
+impl Context {
+    /// Builds the context: synthesize, label, featurize, select.
+    pub fn build(scale: Scale, swp: SwpMode) -> Self {
+        let suite = full_suite(&scale.suite_config());
+        let label_config = LabelConfig::paper(swp);
+        let labeled = loopml::label_suite(&suite, &label_config);
+        assert!(
+            !labeled.is_empty(),
+            "labeling produced no training examples"
+        );
+        let full_dataset = to_dataset(&labeled);
+        let feature_subset = informative_features(&full_dataset, 5);
+        let dataset = full_dataset.select_features(&feature_subset);
+        let groups = benchmark_groups(&labeled);
+        Context {
+            suite,
+            labeled,
+            full_dataset,
+            dataset,
+            feature_subset,
+            groups,
+            label_config,
+            scale,
+        }
+    }
+
+    /// Number of labeled examples.
+    pub fn len(&self) -> usize {
+        self.labeled.len()
+    }
+
+    /// `true` if no loops survived labeling (never after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.labeled.is_empty()
+    }
+}

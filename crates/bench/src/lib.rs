@@ -1,0 +1,27 @@
+//! # loopml-bench — experiment harness for the CGO 2005 reproduction
+//!
+//! Regenerates every table and figure of *Stephenson & Amarasinghe,
+//! "Predicting Unroll Factors Using Supervised Classification"*:
+//!
+//! | Artifact | Function | CLI |
+//! |----------|----------|-----|
+//! | Table 2  | [`experiments::table2`] | `repro table2` |
+//! | Table 3  | [`experiments::table3`] | `repro table3` |
+//! | Table 4  | [`experiments::table4`] | `repro table4` |
+//! | Figure 1 | [`experiments::fig1`]   | `repro fig1` |
+//! | Figure 2 | [`experiments::fig2`]   | `repro fig2` |
+//! | Figure 3 | [`experiments::fig3`]   | `repro fig3` |
+//! | Figure 4 | [`experiments::speedup_figure`] (SWP off) | `repro fig4` |
+//! | Figure 5 | [`experiments::speedup_figure`] (SWP on)  | `repro fig5` |
+//!
+//! plus the ablations called out in `DESIGN.md` (`repro ablate-...`).
+//! Run `repro all` for everything, `--quick` for a reduced corpus.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod context;
+pub mod experiments;
+pub mod report;
+
+pub use context::{Context, Scale};

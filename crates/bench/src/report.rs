@@ -1,0 +1,310 @@
+//! Plain-text rendering of experiment results, matching the layout of
+//! the paper's tables and figures.
+
+use crate::experiments::{Ablation, ProjectedPoint, SpeedupFigure, Table2};
+use loopml_ml::{GreedyStep, ScoredFeature};
+
+/// Renders Table 2.
+pub fn render_table2(t: &Table2) -> String {
+    let mut s = String::new();
+    s.push_str("Table 2. Accuracy of predictions (fraction of loops per rank)\n");
+    s.push_str("Prediction Correctness        ");
+    for c in &t.columns {
+        s.push_str(&format!("{:>7}", c.name));
+    }
+    s.push_str("     Cost\n");
+    let rank_names = [
+        "Optimal unroll factor",
+        "Second-best unroll factor",
+        "Third-best unroll factor",
+        "Fourth-best unroll factor",
+        "Fifth-best unroll factor",
+        "Sixth-best unroll factor",
+        "Seventh-best unroll factor",
+        "Worst unroll factor",
+    ];
+    for r in 0..8 {
+        s.push_str(&format!("{:<30}", rank_names[r]));
+        for c in &t.columns {
+            s.push_str(&format!("{:>7.2}", c.dist[r]));
+        }
+        s.push_str(&format!("  {:>6.2}x\n", t.cost[r]));
+    }
+    for c in &t.columns {
+        s.push_str(&format!(
+            "{}: optimal {:.0}%, optimal-or-second {:.0}%\n",
+            c.name,
+            c.optimal() * 100.0,
+            c.near_optimal() * 100.0
+        ));
+    }
+    s
+}
+
+/// Renders the Figure 3 histogram as a text bar chart.
+pub fn render_fig3(hist: &[f64; 8]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 3. Histogram of optimal unroll factors\n");
+    for (k, &f) in hist.iter().enumerate() {
+        let bar = "#".repeat((f * 120.0).round() as usize);
+        s.push_str(&format!("u={} {:>5.1}% |{}\n", k + 1, f * 100.0, bar));
+    }
+    s
+}
+
+/// Renders a Figure 4/5 speedup table.
+pub fn render_speedups(title: &str, f: &SpeedupFigure) -> String {
+    let mut s = String::new();
+    s.push_str(title);
+    s.push('\n');
+    s.push_str(&format!(
+        "{:<16} {:>9} {:>9} {:>10}\n",
+        "benchmark", "NN v ORC", "SVM v ORC", "Oracle"
+    ));
+    for r in &f.rows {
+        s.push_str(&format!(
+            "{:<16} {:>8.1}% {:>8.1}% {:>9.1}%{}\n",
+            r.name,
+            r.nn * 100.0,
+            r.svm * 100.0,
+            r.oracle * 100.0,
+            if r.is_fp { "  (fp)" } else { "" }
+        ));
+    }
+    s.push_str(&format!(
+        "mean            {:>8.1}% {:>8.1}% {:>9.1}%\n",
+        f.mean.0 * 100.0,
+        f.mean.1 * 100.0,
+        f.mean.2 * 100.0
+    ));
+    s.push_str(&format!(
+        "mean (SPECfp)   {:>8.1}% {:>8.1}% {:>9.1}%\n",
+        f.mean_fp.0 * 100.0,
+        f.mean_fp.1 * 100.0,
+        f.mean_fp.2 * 100.0
+    ));
+    s.push_str(&format!(
+        "benchmarks improved: NN {}/{}, SVM {}/{}\n",
+        f.wins.0,
+        f.rows.len(),
+        f.wins.1,
+        f.rows.len()
+    ));
+    s
+}
+
+/// Renders Table 3 (top-k features by mutual information).
+pub fn render_table3(scores: &[ScoredFeature], k: usize) -> String {
+    let mut s = String::new();
+    s.push_str("Table 3. Best features according to MIS\n");
+    s.push_str(&format!("{:<6}{:<34}{:>6}\n", "Rank", "Feature", "MIS"));
+    for (rank, f) in scores.iter().take(k).enumerate() {
+        s.push_str(&format!("{:<6}{:<34}{:>6.3}\n", rank + 1, f.name, f.score));
+    }
+    s
+}
+
+/// Renders Table 4 (greedy selection traces).
+pub fn render_table4(nn: &[GreedyStep], svm: &[GreedyStep]) -> String {
+    let mut s = String::new();
+    s.push_str("Table 4. Greedy feature selection (training error after adding)\n");
+    s.push_str(&format!(
+        "{:<6}{:<34}{:>7}  {:<34}{:>7}\n",
+        "Rank", "NN", "Error", "SVM", "Error"
+    ));
+    let n = nn.len().max(svm.len());
+    for r in 0..n {
+        let (nname, nerr) = nn
+            .get(r)
+            .map(|g| (g.name.as_str(), format!("{:.2}", g.error)))
+            .unwrap_or(("-", "-".into()));
+        let (sname, serr) = svm
+            .get(r)
+            .map(|g| (g.name.as_str(), format!("{:.2}", g.error)))
+            .unwrap_or(("-", "-".into()));
+        s.push_str(&format!(
+            "{:<6}{:<34}{:>7}  {:<34}{:>7}\n",
+            r + 1,
+            nname,
+            nerr,
+            sname,
+            serr
+        ));
+    }
+    s
+}
+
+/// Renders a scatter (Figures 1/2) as a coarse ASCII plot.
+pub fn render_scatter(title: &str, points: &[ProjectedPoint], width: usize, height: usize) -> String {
+    let mut s = String::new();
+    s.push_str(title);
+    s.push('\n');
+    if points.is_empty() {
+        s.push_str("(not enough points after the 30% margin filter)\n");
+        return s;
+    }
+    let (xmin, xmax) = points
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.x), hi.max(p.x))
+        });
+    let (ymin, ymax) = points
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.y), hi.max(p.y))
+        });
+    let mut canvas = vec![vec![' '; width]; height];
+    let glyph = |f: u32| match f {
+        1 => '+',
+        2 => 'o',
+        4 => '*',
+        8 => '.',
+        _ => '?',
+    };
+    for p in points {
+        let gx = (((p.x - xmin) / (xmax - xmin).max(1e-12)) * (width - 1) as f64) as usize;
+        let gy = (((p.y - ymin) / (ymax - ymin).max(1e-12)) * (height - 1) as f64) as usize;
+        canvas[height - 1 - gy][gx] = glyph(p.factor);
+    }
+    for row in canvas {
+        let line: String = row.into_iter().collect();
+        s.push_str(&line);
+        s.push('\n');
+    }
+    s.push_str("legend: + u=1   o u=2   * u=4   . u=8\n");
+    s.push_str(&format!("({} points)\n", points.len()));
+    s
+}
+
+/// Renders an ablation comparison.
+pub fn render_ablation(title: &str, rows: &[Ablation]) -> String {
+    let mut s = String::new();
+    s.push_str(title);
+    s.push('\n');
+    for r in rows {
+        s.push_str(&format!("  {:<44} {:>6.1}%\n", r.variant, r.accuracy * 100.0));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{RankColumn, SpeedupRow};
+
+    fn table2_fixture() -> Table2 {
+        Table2 {
+            columns: vec![
+                RankColumn {
+                    name: "NN".into(),
+                    dist: [0.62, 0.13, 0.09, 0.06, 0.03, 0.03, 0.02, 0.02],
+                },
+                RankColumn {
+                    name: "ORC".into(),
+                    dist: [0.16, 0.21, 0.21, 0.13, 0.16, 0.04, 0.05, 0.04],
+                },
+            ],
+            cost: [1.0, 1.07, 1.15, 1.20, 1.31, 1.34, 1.65, 1.77],
+        }
+    }
+
+    #[test]
+    fn table2_rendering_contains_all_ranks_and_columns() {
+        let s = render_table2(&table2_fixture());
+        assert!(s.contains("Optimal unroll factor"));
+        assert!(s.contains("Worst unroll factor"));
+        assert!(s.contains("NN"));
+        assert!(s.contains("ORC"));
+        assert!(s.contains("1.77x"));
+        assert!(s.contains("optimal 62%"));
+    }
+
+    #[test]
+    fn fig3_bars_scale_with_mass() {
+        let hist = [0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let s = render_fig3(&hist);
+        assert_eq!(s.lines().count(), 9);
+        let bar_len = |line: &str| line.chars().filter(|&c| c == '#').count();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(bar_len(lines[1]), bar_len(lines[2]));
+        assert_eq!(bar_len(lines[3]), 0);
+    }
+
+    #[test]
+    fn speedup_rendering_reports_means_and_wins() {
+        let f = SpeedupFigure {
+            rows: vec![
+                SpeedupRow {
+                    name: "164.gzip".into(),
+                    is_fp: false,
+                    nn: 0.05,
+                    svm: 0.06,
+                    oracle: 0.10,
+                },
+                SpeedupRow {
+                    name: "171.swim".into(),
+                    is_fp: true,
+                    nn: -0.01,
+                    svm: 0.02,
+                    oracle: 0.03,
+                },
+            ],
+            mean: (0.02, 0.04, 0.065),
+            mean_fp: (-0.01, 0.02, 0.03),
+            wins: (1, 2),
+        };
+        let s = render_speedups("Figure X", &f);
+        assert!(s.contains("164.gzip"));
+        assert!(s.contains("(fp)"));
+        assert!(s.contains("NN 1/2, SVM 2/2"));
+        assert!(s.contains("mean"));
+    }
+
+    #[test]
+    fn scatter_rendering_handles_empty_and_nonempty() {
+        let empty = render_scatter("T", &[], 20, 5);
+        assert!(empty.contains("not enough points"));
+        let pts = vec![
+            ProjectedPoint { x: 0.0, y: 0.0, factor: 1 },
+            ProjectedPoint { x: 1.0, y: 1.0, factor: 8 },
+        ];
+        let s = render_scatter("T", &pts, 20, 5);
+        assert!(s.contains('+'));
+        assert!(s.contains('.'));
+        assert!(s.contains("2 points"));
+    }
+
+    #[test]
+    fn ablation_rendering_lists_variants() {
+        let rows = vec![
+            Ablation {
+                variant: "with".into(),
+                accuracy: 0.7,
+            },
+            Ablation {
+                variant: "without".into(),
+                accuracy: 0.3,
+            },
+        ];
+        let s = render_ablation("T", &rows);
+        assert!(s.contains("70.0%"));
+        assert!(s.contains("without"));
+    }
+
+    #[test]
+    fn table3_and_4_render_ranked_rows() {
+        use loopml_ml::{GreedyStep, ScoredFeature};
+        let scored = vec![
+            ScoredFeature { index: 2, name: "# floating point operations".into(), score: 0.19 },
+            ScoredFeature { index: 5, name: "# operands".into(), score: 0.186 },
+        ];
+        let s = render_table3(&scored, 2);
+        assert!(s.contains("# floating point operations"));
+        assert!(s.contains("0.190"));
+        let nn = vec![GreedyStep { index: 5, name: "# operands".into(), error: 0.48 }];
+        let svm = vec![GreedyStep { index: 2, name: "# fp ops".into(), error: 0.59 }];
+        let t4 = render_table4(&nn, &svm);
+        assert!(t4.contains("# operands"));
+        assert!(t4.contains("0.59"));
+    }
+}

@@ -1,0 +1,281 @@
+//! The labeling pipeline: measuring every unroll factor for every loop
+//! and deriving the training label (paper §4.4–§4.6).
+//!
+//! For each unrollable loop, the eight variants (factors 1..=8) are
+//! compiled (unroll + scalar replacement + coalescing), costed on the
+//! machine model, observed through the measurement-noise model (median of
+//! N runs, as the paper's instrumentation does), and the fastest factor
+//! becomes the label. Loops are filtered like the paper's: they must run
+//! at least 50,000 cycles, and the best factor must beat the mean of all
+//! factors by at least 1.05x.
+
+use loopml_ir::{Benchmark, WeightedLoop};
+use loopml_machine::{icache_entry_cost, loop_cost, MachineConfig, NoiseModel, SwpMode};
+use loopml_opt::{unroll_and_optimize, OptConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::features::extract;
+
+/// Largest unroll factor measured (factors beyond eight did not compile
+/// in the paper's infrastructure, and the classifier inherits the limit).
+pub const MAX_UNROLL: u32 = 8;
+
+/// Hot instruction footprint of a benchmark at its rolled configuration:
+/// the loops themselves plus the surrounding non-loop code, estimated
+/// from the benchmark's non-loop time share (branchy integer codes have
+/// large instruction working sets; tight FP kernels small ones).
+pub fn hot_footprint(b: &Benchmark) -> u64 {
+    let loops: u64 = b.iter().map(|w| w.body.code_bytes()).sum();
+    let base = 4096 + (b.non_loop_fraction * 48_000.0) as u64;
+    loops + base
+}
+
+/// Configuration of the labeling run.
+#[derive(Debug, Clone)]
+pub struct LabelConfig {
+    /// Machine model.
+    pub machine: MachineConfig,
+    /// Post-unroll optimizations.
+    pub opt: OptConfig,
+    /// Software pipelining regime.
+    pub swp: SwpMode,
+    /// Measurement noise applied to each observation.
+    pub noise: NoiseModel,
+    /// Minimum observed cycles for a loop to be used (paper: 50,000).
+    pub min_cycles: f64,
+    /// Required best-vs-mean advantage (paper: 1.05).
+    pub min_benefit: f64,
+    /// Seed for the measurement-noise stream.
+    pub seed: u64,
+}
+
+impl LabelConfig {
+    /// The paper's configuration for a given pipelining regime.
+    pub fn paper(swp: SwpMode) -> Self {
+        LabelConfig {
+            machine: MachineConfig::itanium2(),
+            opt: OptConfig::default(),
+            swp,
+            noise: NoiseModel::paper(),
+            min_cycles: 50_000.0,
+            min_benefit: 1.05,
+            seed: 0x51EED,
+        }
+    }
+}
+
+/// One labeled training example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledLoop {
+    /// Loop name (`benchmark/loopNNN_family`).
+    pub name: String,
+    /// Index of the source benchmark within the labeled suite.
+    pub benchmark: usize,
+    /// The 38 static features.
+    pub features: Vec<f64>,
+    /// Best factor minus one (class in `0..8`).
+    pub label: usize,
+    /// Measured cycles at factors 1..=8.
+    pub runtimes: [f64; MAX_UNROLL as usize],
+}
+
+impl LabeledLoop {
+    /// The best unroll factor (1..=8).
+    pub fn best_factor(&self) -> u32 {
+        self.label as u32 + 1
+    }
+
+    /// Runtimes sorted ascending, with their factors.
+    pub fn ranked_factors(&self) -> Vec<(u32, f64)> {
+        let mut v: Vec<(u32, f64)> = (0..MAX_UNROLL)
+            .map(|k| (k + 1, self.runtimes[k as usize]))
+            .collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite runtimes"));
+        v
+    }
+
+    /// Rank (0 = optimal) of the given factor among the measured
+    /// runtimes.
+    pub fn rank_of(&self, factor: u32) -> usize {
+        self.ranked_factors()
+            .iter()
+            .position(|&(f, _)| f == factor)
+            .expect("factor in 1..=8")
+    }
+}
+
+/// Measures the *true* (noise-free) total cycles of one weighted loop at
+/// one unroll factor, including instruction-cache entry effects under the
+/// given hot-code footprint.
+pub fn true_cycles(
+    w: &WeightedLoop,
+    factor: u32,
+    footprint: u64,
+    cfg: &LabelConfig,
+) -> f64 {
+    let rolled = unroll_and_optimize(&w.body, 1, &cfg.opt);
+    let rolled_cost = loop_cost(&rolled, 0.0, &cfg.machine, cfg.swp);
+    let (cost, trips) = if factor == 1 {
+        (rolled_cost, rolled.body.trip_count.dynamic())
+    } else {
+        let u = unroll_and_optimize(&w.body, factor, &cfg.opt);
+        let c = loop_cost(&u, rolled_cost.per_iter, &cfg.machine, cfg.swp);
+        (c, u.body.trip_count.dynamic())
+    };
+    let icache = icache_entry_cost(cost.code_bytes, footprint, &cfg.machine);
+    cost.total(trips, w.entries) + icache * w.entries as f64
+}
+
+/// Labels every unrollable loop of a benchmark, applying the paper's
+/// filters. `benchmark_index` is recorded in each example for the
+/// leave-one-benchmark-out protocol.
+pub fn label_benchmark(
+    b: &Benchmark,
+    benchmark_index: usize,
+    cfg: &LabelConfig,
+) -> Vec<LabeledLoop> {
+    // Hot-code footprint context: loops at rolled size + non-loop code.
+    let footprint: u64 = hot_footprint(b);
+
+    let mut out = Vec::new();
+    for (li, w) in b.unrollable() {
+        let mut rng =
+            StdRng::seed_from_u64(cfg.seed ^ (benchmark_index as u64) << 32 ^ li as u64);
+        let mut runtimes = [0.0f64; MAX_UNROLL as usize];
+        for f in 1..=MAX_UNROLL {
+            let truth = true_cycles(w, f, footprint, cfg);
+            runtimes[(f - 1) as usize] = cfg.noise.measure(truth, &mut rng);
+        }
+        let (best_idx, &best) = runtimes
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("eight runtimes");
+
+        // Paper filters: enough cycles to measure, and a meaningful win.
+        if best < cfg.min_cycles {
+            continue;
+        }
+        let mean: f64 = runtimes.iter().sum::<f64>() / runtimes.len() as f64;
+        if mean / best < cfg.min_benefit {
+            continue;
+        }
+
+        out.push(LabeledLoop {
+            name: w.body.name.clone(),
+            benchmark: benchmark_index,
+            features: extract(&w.body),
+            label: best_idx,
+            runtimes,
+        });
+    }
+    out
+}
+
+/// Labels a whole suite.
+pub fn label_suite(suite: &[Benchmark], cfg: &LabelConfig) -> Vec<LabeledLoop> {
+    suite
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, b)| label_benchmark(b, bi, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopml_corpus::{synthesize, SuiteConfig, ROSTER};
+
+    fn quick_cfg() -> LabelConfig {
+        LabelConfig {
+            noise: NoiseModel::exact(),
+            ..LabelConfig::paper(SwpMode::Disabled)
+        }
+    }
+
+    fn small_benchmark() -> Benchmark {
+        synthesize(
+            &ROSTER[2], // 171.swim
+            &SuiteConfig {
+                min_loops: 10,
+                max_loops: 12,
+                ..SuiteConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn labels_are_valid_classes() {
+        let b = small_benchmark();
+        let labeled = label_benchmark(&b, 0, &quick_cfg());
+        assert!(!labeled.is_empty(), "some loops must survive the filters");
+        for l in &labeled {
+            assert!(l.label < 8);
+            assert_eq!(l.features.len(), crate::features::NUM_FEATURES);
+            assert!(l.runtimes.iter().all(|r| *r > 0.0));
+        }
+    }
+
+    #[test]
+    fn label_is_argmin_of_runtimes() {
+        let b = small_benchmark();
+        for l in label_benchmark(&b, 0, &quick_cfg()) {
+            let min = l
+                .runtimes
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(l.runtimes[l.label], min);
+            assert_eq!(l.rank_of(l.best_factor()), 0);
+        }
+    }
+
+    #[test]
+    fn filters_drop_indifferent_loops() {
+        let b = small_benchmark();
+        let strict = LabelConfig {
+            min_benefit: 1.5,
+            ..quick_cfg()
+        };
+        let lax = LabelConfig {
+            min_benefit: 1.0,
+            min_cycles: 0.0,
+            ..quick_cfg()
+        };
+        let ns = label_benchmark(&b, 0, &strict).len();
+        let nl = label_benchmark(&b, 0, &lax).len();
+        assert!(ns <= nl, "stricter filter keeps fewer loops: {ns} vs {nl}");
+    }
+
+    #[test]
+    fn labeling_is_deterministic() {
+        let b = small_benchmark();
+        let a = label_benchmark(&b, 0, &quick_cfg());
+        let c = label_benchmark(&b, 0, &quick_cfg());
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn ranked_factors_are_sorted() {
+        let b = small_benchmark();
+        for l in label_benchmark(&b, 0, &quick_cfg()) {
+            let ranked = l.ranked_factors();
+            for w in ranked.windows(2) {
+                assert!(w[0].1 <= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn noise_changes_measurements_not_structure() {
+        let b = small_benchmark();
+        let noisy = LabelConfig {
+            noise: NoiseModel::paper(),
+            ..quick_cfg()
+        };
+        let l1 = label_benchmark(&b, 0, &noisy);
+        let l2 = label_benchmark(&b, 0, &noisy);
+        assert_eq!(l1, l2, "same seed, same labels");
+    }
+}

@@ -1,0 +1,59 @@
+//! # loopml — predicting unroll factors using supervised classification
+//!
+//! A production-quality Rust reproduction of *Stephenson & Amarasinghe,
+//! "Predicting Unroll Factors Using Supervised Classification", CGO
+//! 2005*. This crate is the top of the stack: it combines the compiler
+//! substrate ([`loopml_ir`], [`loopml_opt`]), the Itanium-2-flavoured
+//! machine model ([`loopml_machine`]), the synthetic training corpus
+//! ([`loopml_corpus`]) and the learning algorithms ([`loopml_ml`]) into
+//! the paper's methodology:
+//!
+//! 1. [`features::extract`] — 38 static loop features (Table 1);
+//! 2. [`label::label_suite`] — measure every loop at unroll factors
+//!    1..=8 through the noisy-measurement model, filter, and label;
+//! 3. [`pipeline::to_dataset`] + [`loopml_ml`] — train NN / SVM
+//!    classifiers and evaluate with leave-one-out cross validation;
+//! 4. [`heuristics`] — deploy classifiers as compile-time heuristics
+//!    next to the hand-written ORC-style baselines;
+//! 5. [`evaluate`] — realize whole-benchmark speedups (Figures 4/5).
+//!
+//! # Examples
+//!
+//! Train on one benchmark and predict a factor for a novel loop:
+//!
+//! ```
+//! use loopml::heuristics::{LearnedHeuristic, UnrollHeuristic};
+//! use loopml::label::{label_benchmark, LabelConfig};
+//! use loopml::pipeline::{to_dataset, train_nn};
+//! use loopml_corpus::{synthesize, SuiteConfig, ROSTER};
+//! use loopml_machine::{NoiseModel, SwpMode};
+//!
+//! let bench = synthesize(&ROSTER[2], &SuiteConfig {
+//!     min_loops: 12, max_loops: 14, ..SuiteConfig::default()
+//! });
+//! let cfg = LabelConfig { noise: NoiseModel::exact(), ..LabelConfig::paper(SwpMode::Disabled) };
+//! let labeled = label_benchmark(&bench, 0, &cfg);
+//! let data = to_dataset(&labeled);
+//! let nn = LearnedHeuristic::new("nn", None, train_nn(&data, loopml_ml::DEFAULT_RADIUS));
+//! let factor = nn.choose(&bench.loops[0].body);
+//! assert!((1..=8).contains(&factor));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod evaluate;
+pub mod features;
+pub mod heuristics;
+pub mod label;
+pub mod pipeline;
+
+pub use evaluate::{
+    improvement, measure_benchmark, measure_oracle, oracle_choices, run_benchmark, EvalConfig,
+};
+pub use features::{extract, FEATURE_NAMES, NUM_FEATURES};
+pub use heuristics::{LearnedHeuristic, OrcHeuristic, OrcSwpHeuristic, UnrollHeuristic};
+pub use label::{hot_footprint, label_benchmark, label_suite, LabelConfig, LabeledLoop, MAX_UNROLL};
+pub use pipeline::{
+    benchmark_groups, informative_features, svm_training_error, to_dataset, train_nn, train_svm,
+};

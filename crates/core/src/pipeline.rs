@@ -1,0 +1,149 @@
+//! End-to-end pipeline glue: labeled loops → ML datasets → trained
+//! classifiers → compile-time heuristics.
+
+use loopml_ml::{
+    greedy_forward, loocv_generic, mutual_information, nn1_training_error, Dataset,
+    MulticlassSvm, NearNeighbors, SvmParams,
+};
+
+use crate::features::FEATURE_NAMES;
+use crate::label::LabeledLoop;
+
+/// Converts labeled loops into an ML dataset over all 38 features.
+///
+/// # Panics
+///
+/// Panics if `labeled` is empty.
+pub fn to_dataset(labeled: &[LabeledLoop]) -> Dataset {
+    assert!(!labeled.is_empty(), "no labeled loops");
+    Dataset::new(
+        labeled.iter().map(|l| l.features.clone()).collect(),
+        labeled.iter().map(|l| l.label).collect(),
+        8,
+        FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        labeled.iter().map(|l| l.name.clone()).collect(),
+    )
+}
+
+/// The benchmark index of each example (for leave-one-benchmark-out).
+pub fn benchmark_groups(labeled: &[LabeledLoop]) -> Vec<usize> {
+    labeled.iter().map(|l| l.benchmark).collect()
+}
+
+/// Selects the informative feature subset the paper uses for its
+/// classification experiments (§6–§7): the union of the top `k` features
+/// by mutual information and the top `k` chosen by greedy forward
+/// selection with a leave-self-out 1-NN criterion.
+pub fn informative_features(data: &Dataset, k: usize) -> Vec<usize> {
+    let mis = mutual_information(data);
+    let mut cols: Vec<usize> = mis.iter().take(k).map(|s| s.index).collect();
+    for step in greedy_forward(data, k, nn1_training_error) {
+        if !cols.contains(&step.index) {
+            cols.push(step.index);
+        }
+    }
+    cols.sort_unstable();
+    cols
+}
+
+/// Trains a radius-NN classifier and returns a prediction closure
+/// suitable for [`crate::heuristics::LearnedHeuristic`].
+pub fn train_nn(data: &Dataset, radius: f64) -> impl Fn(&[f64]) -> usize {
+    let nn = NearNeighbors::fit(data, radius);
+    move |x: &[f64]| nn.predict(x)
+}
+
+/// Trains the multi-class SVM and returns a prediction closure.
+pub fn train_svm(data: &Dataset, params: SvmParams) -> impl Fn(&[f64]) -> usize {
+    let svm = MulticlassSvm::fit(data, params);
+    move |x: &[f64]| svm.predict(x)
+}
+
+/// Training error of an SVM on `data` (used by greedy feature selection
+/// for the SVM column of Table 4).
+pub fn svm_training_error(data: &Dataset, params: SvmParams) -> f64 {
+    let svm = MulticlassSvm::fit(data, params);
+    let errors = data
+        .x
+        .iter()
+        .zip(&data.y)
+        .filter(|(x, &y)| svm.predict(x) != y)
+        .count();
+    errors as f64 / data.len() as f64
+}
+
+/// Convenience: LOOCV accuracy of an arbitrary classifier factory (used
+/// for ablations on small datasets).
+pub fn loocv_accuracy<F, P>(data: &Dataset, fit: F) -> f64
+where
+    F: FnMut(&Dataset) -> P,
+    P: Fn(&[f64]) -> usize,
+{
+    loocv_generic(data, fit).accuracy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::{label_benchmark, LabelConfig};
+    use loopml_corpus::{synthesize, SuiteConfig, ROSTER};
+    use loopml_machine::{NoiseModel, SwpMode};
+
+    fn labeled() -> Vec<LabeledLoop> {
+        let b = synthesize(
+            &ROSTER[2],
+            &SuiteConfig {
+                min_loops: 14,
+                max_loops: 16,
+                ..SuiteConfig::default()
+            },
+        );
+        let cfg = LabelConfig {
+            noise: NoiseModel::exact(),
+            ..LabelConfig::paper(SwpMode::Disabled)
+        };
+        label_benchmark(&b, 3, &cfg)
+    }
+
+    #[test]
+    fn dataset_round_trip() {
+        let l = labeled();
+        let d = to_dataset(&l);
+        assert_eq!(d.len(), l.len());
+        assert_eq!(d.dims(), crate::features::NUM_FEATURES);
+        assert_eq!(d.classes, 8);
+        assert!(benchmark_groups(&l).iter().all(|&g| g == 3));
+    }
+
+    #[test]
+    fn informative_features_are_a_reasonable_subset() {
+        let d = to_dataset(&labeled());
+        let cols = informative_features(&d, 5);
+        assert!(!cols.is_empty());
+        assert!(cols.len() <= 10);
+        assert!(cols.iter().all(|&c| c < d.dims()));
+        // Sorted and unique.
+        let mut sorted = cols.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, cols);
+    }
+
+    #[test]
+    fn trained_closures_predict_valid_classes() {
+        let d = to_dataset(&labeled());
+        let nn = train_nn(&d, loopml_ml::DEFAULT_RADIUS);
+        let svm = train_svm(&d, SvmParams::default());
+        for x in &d.x {
+            assert!(nn(x) < 8);
+            assert!(svm(x) < 8);
+        }
+    }
+
+    #[test]
+    fn svm_training_error_is_fraction() {
+        let d = to_dataset(&labeled());
+        let e = svm_training_error(&d, SvmParams::default());
+        assert!((0.0..=1.0).contains(&e));
+    }
+}

@@ -1,0 +1,567 @@
+//! Parameterized loop-kernel families.
+//!
+//! Each family captures one archetype of innermost loop found in the
+//! paper's training suites (SPEC CPU, Mediabench, Perfect, kernels), and
+//! each archetype stresses a different mechanism of the unrolling
+//! trade-off: streaming bandwidth, recurrences, register pressure,
+//! control flow, divides, indirect accesses, tiny trip counts, …
+//!
+//! Builders draw their shape parameters (trip counts, strides, widths)
+//! from a caller-supplied RNG, so a corpus built from a seed is exactly
+//! reproducible.
+
+use loopml_ir::{ArrayId, Inst, Loop, LoopBuilder, MemRef, Opcode, Reg, TripCount};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The kernel archetypes the corpus draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelFamily {
+    /// `y[i] += a * x[i]` — the classic FP streaming kernel.
+    Daxpy,
+    /// `acc += x[i] * y[i]` — serial FP reduction.
+    DotProduct,
+    /// `z[i] = x[i] op y[i]` — element-wise FP arithmetic.
+    VectorOp,
+    /// `y[i] = Σ c_k * x[i+k]` — stencil with cross-iteration reuse.
+    Stencil,
+    /// `acc += x[i]` with several partial accumulators.
+    MultiAccReduce,
+    /// `y[i] = x[i] / z[i]` (or with sqrt) — long-latency FP.
+    DivideKernel,
+    /// `x = f(x)` Horner-style serial polynomial recurrence.
+    Recurrence,
+    /// Integer memcpy/memset-style data movement.
+    IntCopy,
+    /// Strided FP access (column walks, interleaved data).
+    Strided,
+    /// `y[i] = x[idx[i]]` — indirect gather.
+    Gather,
+    /// `y[idx[i]] = x[i]` — indirect scatter.
+    Scatter,
+    /// Search-style loop with a data-dependent early exit.
+    SearchLoop,
+    /// Integer ALU chains (hash/CRC/crypto-like).
+    IntAlu,
+    /// Integer multiply-heavy kernel.
+    IntMul,
+    /// Wide independent FP computations (register pressure).
+    WideParallel,
+    /// Compare + select (predicated min/max/clip) kernels.
+    SelectKernel,
+    /// Very short known trip count loops (boundary/edge handling).
+    ShortTrip,
+    /// Loop containing a call (not unrollable; corpus realism).
+    CallLoop,
+    /// In-place update with loop-carried memory dependence.
+    MemRecurrence,
+    /// Mixed int/FP address-computation-heavy loop.
+    AddressHeavy,
+}
+
+impl KernelFamily {
+    /// Every family, in a stable order.
+    pub const ALL: [KernelFamily; 20] = [
+        KernelFamily::Daxpy,
+        KernelFamily::DotProduct,
+        KernelFamily::VectorOp,
+        KernelFamily::Stencil,
+        KernelFamily::MultiAccReduce,
+        KernelFamily::DivideKernel,
+        KernelFamily::Recurrence,
+        KernelFamily::IntCopy,
+        KernelFamily::Strided,
+        KernelFamily::Gather,
+        KernelFamily::Scatter,
+        KernelFamily::SearchLoop,
+        KernelFamily::IntAlu,
+        KernelFamily::IntMul,
+        KernelFamily::WideParallel,
+        KernelFamily::SelectKernel,
+        KernelFamily::ShortTrip,
+        KernelFamily::CallLoop,
+        KernelFamily::MemRecurrence,
+        KernelFamily::AddressHeavy,
+    ];
+
+    /// `true` for families whose work is predominantly floating point.
+    pub fn is_fp(self) -> bool {
+        matches!(
+            self,
+            KernelFamily::Daxpy
+                | KernelFamily::DotProduct
+                | KernelFamily::VectorOp
+                | KernelFamily::Stencil
+                | KernelFamily::MultiAccReduce
+                | KernelFamily::DivideKernel
+                | KernelFamily::Recurrence
+                | KernelFamily::Strided
+                | KernelFamily::WideParallel
+                | KernelFamily::SelectKernel
+                | KernelFamily::MemRecurrence
+        )
+    }
+
+    /// Builds a randomized instance of this family.
+    pub fn build(self, name: &str, rng: &mut StdRng) -> Loop {
+        match self {
+            KernelFamily::Daxpy => daxpy(name, rng),
+            KernelFamily::DotProduct => dot(name, rng),
+            KernelFamily::VectorOp => vector_op(name, rng),
+            KernelFamily::Stencil => stencil(name, rng),
+            KernelFamily::MultiAccReduce => multi_acc(name, rng),
+            KernelFamily::DivideKernel => divide(name, rng),
+            KernelFamily::Recurrence => recurrence(name, rng),
+            KernelFamily::IntCopy => int_copy(name, rng),
+            KernelFamily::Strided => strided(name, rng),
+            KernelFamily::Gather => gather(name, rng),
+            KernelFamily::Scatter => scatter(name, rng),
+            KernelFamily::SearchLoop => search(name, rng),
+            KernelFamily::IntAlu => int_alu(name, rng),
+            KernelFamily::IntMul => int_mul(name, rng),
+            KernelFamily::WideParallel => wide_parallel(name, rng),
+            KernelFamily::SelectKernel => select_kernel(name, rng),
+            KernelFamily::ShortTrip => short_trip(name, rng),
+            KernelFamily::CallLoop => call_loop(name, rng),
+            KernelFamily::MemRecurrence => mem_recurrence(name, rng),
+            KernelFamily::AddressHeavy => address_heavy(name, rng),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// shared helpers
+// ---------------------------------------------------------------------
+
+/// Log-uniform trip count in [lo, hi], known with probability `p_known`.
+fn trip(rng: &mut StdRng, p_known: f64, lo: u64, hi: u64) -> TripCount {
+    let ln = (lo as f64).ln();
+    let hn = (hi as f64).ln();
+    let t = (rng.gen_range(ln..hn)).exp() as u64;
+    let t = t.clamp(lo, hi);
+    if rng.gen_bool(p_known) {
+        // Known trip counts are frequently "nice" (array dims): round to a
+        // multiple of 4 half the time.
+        if rng.gen_bool(0.5) {
+            TripCount::Known((t / 4).max(1) * 4)
+        } else {
+            TripCount::Known(t)
+        }
+    } else {
+        TripCount::Unknown { estimate: t }
+    }
+}
+
+fn nest(rng: &mut StdRng) -> u32 {
+    *[1u32, 1, 2, 2, 2, 3, 3, 4]
+        .get(rng.gen_range(0..8))
+        .expect("index in range")
+}
+
+// ---------------------------------------------------------------------
+// family builders
+// ---------------------------------------------------------------------
+
+fn daxpy(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(name, trip(rng, 0.7, 256, 1 << 20));
+    b.nest_level(nest(rng));
+    let a = b.fp_reg(); // live-in scalar
+    let x = b.fp_reg();
+    let y = b.fp_reg();
+    let r = b.fp_reg();
+    b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+    b.load(y, MemRef::affine(ArrayId(1), 8, 0, 8));
+    b.inst(Inst::new(Opcode::FMul, vec![r], vec![a, x]));
+    let s = b.fp_reg();
+    b.inst(Inst::new(Opcode::FAdd, vec![s], vec![r, y]));
+    b.store(s, MemRef::affine(ArrayId(1), 8, 0, 8));
+    b.build()
+}
+
+fn dot(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(name, trip(rng, 0.7, 128, 1 << 18));
+    b.nest_level(nest(rng));
+    let x = b.fp_reg();
+    let y = b.fp_reg();
+    let p = b.fp_reg();
+    let acc = b.fp_reg();
+    b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+    b.load(y, MemRef::affine(ArrayId(1), 8, 0, 8));
+    b.inst(Inst::new(Opcode::FMul, vec![p], vec![x, y]));
+    b.inst(Inst::new(Opcode::FAdd, vec![acc], vec![acc, p]));
+    b.build()
+}
+
+fn vector_op(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(name, trip(rng, 0.6, 256, 1 << 19));
+    b.nest_level(nest(rng));
+    let n_in = rng.gen_range(2..4u32);
+    let mut vals = Vec::new();
+    for k in 0..n_in {
+        let r = b.fp_reg();
+        b.load(r, MemRef::affine(ArrayId(k), 8, 0, 8));
+        vals.push(r);
+    }
+    let depth = rng.gen_range(1..4usize);
+    let mut cur = vals[0];
+    for d in 0..depth {
+        let r = b.fp_reg();
+        let op = [Opcode::FAdd, Opcode::FMul, Opcode::FSub][rng.gen_range(0..3)];
+        b.inst(Inst::new(op, vec![r], vec![cur, vals[(d + 1) % vals.len()]]));
+        cur = r;
+    }
+    b.store(cur, MemRef::affine(ArrayId(n_in), 8, 0, 8));
+    b.build()
+}
+
+fn stencil(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(name, trip(rng, 0.8, 128, 1 << 16));
+    b.nest_level(nest(rng).max(2));
+    let taps = rng.gen_range(2..=5i64);
+    let mut vals = Vec::new();
+    for t in 0..taps {
+        let r = b.fp_reg();
+        b.load(r, MemRef::affine(ArrayId(0), 8, (t - taps / 2) * 8, 8));
+        vals.push(r);
+    }
+    let mut acc = vals[0];
+    for &v in &vals[1..] {
+        let r = b.fp_reg();
+        b.inst(Inst::new(Opcode::FAdd, vec![r], vec![acc, v]));
+        acc = r;
+    }
+    b.store(acc, MemRef::affine(ArrayId(1), 8, 0, 8));
+    b.build()
+}
+
+fn multi_acc(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(name, trip(rng, 0.6, 512, 1 << 19));
+    b.nest_level(nest(rng));
+    let accs = rng.gen_range(2..=4usize);
+    for k in 0..accs {
+        let x = b.fp_reg();
+        let acc = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(k as u32), 8, 0, 8));
+        b.inst(Inst::new(Opcode::FAdd, vec![acc], vec![acc, x]));
+    }
+    b.build()
+}
+
+fn divide(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(name, trip(rng, 0.6, 128, 1 << 16));
+    b.nest_level(nest(rng));
+    let x = b.fp_reg();
+    let y = b.fp_reg();
+    let r = b.fp_reg();
+    b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+    b.load(y, MemRef::affine(ArrayId(1), 8, 0, 8));
+    if rng.gen_bool(0.3) {
+        let t = b.fp_reg();
+        b.inst(Inst::new(Opcode::FMul, vec![t], vec![x, x]));
+        b.inst(Inst::new(Opcode::FSqrt, vec![r], vec![t]));
+    } else {
+        b.inst(Inst::new(Opcode::FDiv, vec![r], vec![x, y]));
+    }
+    b.store(r, MemRef::affine(ArrayId(2), 8, 0, 8));
+    b.build()
+}
+
+fn recurrence(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(name, trip(rng, 0.5, 128, 1 << 15));
+    b.nest_level(nest(rng));
+    let c = b.fp_reg(); // live-in coefficient
+    let x = b.fp_reg();
+    let state = b.fp_reg();
+    b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+    // state = state * c + x : a serial FMA chain (IIR filter / Horner).
+    b.inst(Inst::new(Opcode::FMul, vec![state], vec![state, c]));
+    let t = b.fp_reg();
+    b.inst(Inst::new(Opcode::FAdd, vec![t], vec![state, x]));
+    b.inst(Inst::new(Opcode::Mov, vec![state], vec![t]));
+    if rng.gen_bool(0.5) {
+        b.store(t, MemRef::affine(ArrayId(1), 8, 0, 8));
+    }
+    b.build()
+}
+
+fn int_copy(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(name, trip(rng, 0.4, 64, 1 << 18));
+    b.nest_level(nest(rng));
+    let w = *[4u8, 8].get(rng.gen_range(0..2)).expect("width");
+    let x = b.int_reg();
+    b.load(x, MemRef::affine(ArrayId(0), i64::from(w), 0, w));
+    if rng.gen_bool(0.4) {
+        let y = b.int_reg();
+        b.binop(Opcode::Add, y, x, x);
+        b.store(y, MemRef::affine(ArrayId(1), i64::from(w), 0, w));
+    } else {
+        b.store(x, MemRef::affine(ArrayId(1), i64::from(w), 0, w));
+    }
+    b.build()
+}
+
+fn strided(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(name, trip(rng, 0.7, 128, 1 << 15));
+    b.nest_level(nest(rng).max(2));
+    let stride = 8 * rng.gen_range(2..32i64);
+    let x = b.fp_reg();
+    let r = b.fp_reg();
+    b.load(x, MemRef::affine(ArrayId(0), stride, 0, 8));
+    b.binop(Opcode::FMul, r, x, x);
+    b.store(r, MemRef::affine(ArrayId(1), 8, 0, 8));
+    b.build()
+}
+
+fn gather(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(name, trip(rng, 0.4, 128, 1 << 17));
+    b.nest_level(nest(rng));
+    let idx = b.int_reg();
+    let x = b.fp_reg();
+    b.load(idx, MemRef::affine(ArrayId(0), 4, 0, 4));
+    b.load(x, MemRef::indirect(ArrayId(1), 8 * rng.gen_range(1..64), 8));
+    if rng.gen_bool(0.6) {
+        let acc = b.fp_reg();
+        b.inst(Inst::new(Opcode::FAdd, vec![acc], vec![acc, x]));
+    } else {
+        b.store(x, MemRef::affine(ArrayId(2), 8, 0, 8));
+    }
+    b.build()
+}
+
+fn scatter(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(name, trip(rng, 0.4, 128, 1 << 16));
+    b.nest_level(nest(rng));
+    let idx = b.int_reg();
+    let x = b.fp_reg();
+    b.load(idx, MemRef::affine(ArrayId(0), 4, 0, 4));
+    b.load(x, MemRef::affine(ArrayId(1), 8, 0, 8));
+    b.inst(Inst::mem(
+        Opcode::Store,
+        vec![],
+        vec![x],
+        MemRef::indirect(ArrayId(2), 8 * rng.gen_range(1..32), 8),
+    ));
+    b.build()
+}
+
+fn search(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(
+        name,
+        TripCount::Unknown {
+            estimate: rng.gen_range(64..1 << 14),
+        },
+    );
+    b.nest_level(nest(rng));
+    let key = b.int_reg(); // live-in search key
+    let x = b.int_reg();
+    b.load(x, MemRef::affine(ArrayId(0), 4, 0, 4));
+    b.early_exit(x, key);
+    if rng.gen_bool(0.5) {
+        let c = b.int_reg();
+        b.binop(Opcode::Add, c, c, x);
+    }
+    b.build()
+}
+
+fn int_alu(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(name, trip(rng, 0.5, 256, 1 << 18));
+    b.nest_level(nest(rng));
+    let x = b.int_reg();
+    b.load(x, MemRef::affine(ArrayId(0), 4, 0, 4));
+    let depth = rng.gen_range(3..9usize);
+    let mut cur = x;
+    for _ in 0..depth {
+        let r = b.int_reg();
+        let op = [Opcode::Xor, Opcode::Shl, Opcode::Add, Opcode::And, Opcode::Or]
+            [rng.gen_range(0..5)];
+        b.inst(Inst::new(op, vec![r], vec![cur, x]));
+        cur = r;
+    }
+    b.store(cur, MemRef::affine(ArrayId(1), 4, 0, 4));
+    b.build()
+}
+
+fn int_mul(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(name, trip(rng, 0.5, 256, 1 << 17));
+    b.nest_level(nest(rng));
+    let x = b.int_reg();
+    let y = b.int_reg();
+    let r = b.int_reg();
+    let s = b.int_reg();
+    b.load(x, MemRef::affine(ArrayId(0), 4, 0, 4));
+    b.load(y, MemRef::affine(ArrayId(1), 4, 0, 4));
+    b.binop(Opcode::Mul, r, x, y);
+    b.binop(Opcode::Add, s, r, x);
+    b.store(s, MemRef::affine(ArrayId(2), 4, 0, 4));
+    b.build()
+}
+
+fn wide_parallel(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(name, trip(rng, 0.7, 256, 1 << 16));
+    b.nest_level(nest(rng));
+    let lanes = rng.gen_range(4..10u32);
+    for k in 0..lanes {
+        let x = b.fp_reg();
+        let t = b.fp_reg();
+        let r = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(k), 8, 0, 8));
+        b.inst(Inst::new(Opcode::FMul, vec![t], vec![x, x]));
+        b.inst(Inst::new(Opcode::FAdd, vec![r], vec![t, x]));
+        b.store(r, MemRef::affine(ArrayId(100 + k), 8, 0, 8));
+    }
+    b.build()
+}
+
+fn select_kernel(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(name, trip(rng, 0.6, 256, 1 << 17));
+    b.nest_level(nest(rng));
+    let x = b.fp_reg();
+    let lim = b.fp_reg(); // live-in clip bound
+    b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+    let p = b.pred_reg();
+    b.inst(Inst::new(Opcode::FCmp, vec![p], vec![x, lim]));
+    let r = b.fp_reg();
+    b.inst(Inst::new(Opcode::Select, vec![r], vec![p, x, lim]));
+    b.store(r, MemRef::affine(ArrayId(1), 8, 0, 8));
+    b.build()
+}
+
+fn short_trip(name: &str, rng: &mut StdRng) -> Loop {
+    let t = *[3u64, 4, 5, 6, 7, 8, 12, 16]
+        .get(rng.gen_range(0..8))
+        .expect("trip");
+    let mut b = LoopBuilder::new(name, TripCount::Known(t));
+    b.nest_level(rng.gen_range(2..=4));
+    let x = b.fp_reg();
+    let acc = b.fp_reg();
+    b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+    b.inst(Inst::new(Opcode::FMul, vec![acc], vec![acc, x]));
+    b.build()
+}
+
+fn call_loop(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(name, trip(rng, 0.3, 64, 1 << 14));
+    b.nest_level(nest(rng));
+    let x = b.fp_reg();
+    b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+    b.call();
+    b.store(x, MemRef::affine(ArrayId(1), 8, 0, 8));
+    b.build()
+}
+
+fn mem_recurrence(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(name, trip(rng, 0.6, 128, 1 << 15));
+    b.nest_level(nest(rng));
+    let dist = rng.gen_range(1..=4i64);
+    let x = b.fp_reg();
+    let y = b.fp_reg();
+    let r = b.fp_reg();
+    b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+    b.load(y, MemRef::affine(ArrayId(0), 8, -8 * dist, 8));
+    b.inst(Inst::new(Opcode::FAdd, vec![r], vec![x, y]));
+    b.store(r, MemRef::affine(ArrayId(0), 8, 0, 8));
+    b.build()
+}
+
+fn address_heavy(name: &str, rng: &mut StdRng) -> Loop {
+    let mut b = LoopBuilder::new(name, trip(rng, 0.5, 128, 1 << 16));
+    b.nest_level(nest(rng));
+    // Row-pointer + offset arithmetic before the access.
+    let base = b.int_reg();
+    let off = b.int_reg();
+    let addr = b.int_reg();
+    b.load(off, MemRef::affine(ArrayId(0), 4, 0, 4));
+    b.binop(Opcode::Shl, addr, off, off);
+    b.binop(Opcode::Add, addr, addr, base);
+    let x = b.fp_reg();
+    b.load(x, MemRef::indirect(ArrayId(1), 8 * rng.gen_range(1..16), 8));
+    let r = b.fp_reg();
+    b.binop(Opcode::FAdd, r, x, x);
+    b.store(r, MemRef::affine(ArrayId(2), 8, 0, 8));
+    b.build()
+}
+
+/// Convenience: a register pair `(Reg, Reg)` is not needed publicly; the
+/// families above cover the corpus. Exposed for tests.
+pub(crate) fn _unused(_r: Reg) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn all_families_build_wellformed_loops() {
+        for (k, fam) in KernelFamily::ALL.iter().enumerate() {
+            let l = fam.build("k", &mut rng(k as u64));
+            assert!(!l.is_empty(), "{fam:?} produced an empty loop");
+            assert!(
+                l.body.iter().any(|i| i.opcode == Opcode::Br),
+                "{fam:?} lacks a backward branch"
+            );
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic_under_seed() {
+        for fam in KernelFamily::ALL {
+            let a = fam.build("k", &mut rng(99));
+            let b = fam.build("k", &mut rng(99));
+            assert_eq!(a, b, "{fam:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn call_loop_is_not_unrollable_others_are() {
+        for fam in KernelFamily::ALL {
+            let l = fam.build("k", &mut rng(5));
+            if fam == KernelFamily::CallLoop {
+                assert!(!l.is_unrollable());
+            } else {
+                assert!(l.is_unrollable(), "{fam:?} should be unrollable");
+            }
+        }
+    }
+
+    #[test]
+    fn fp_flag_matches_content() {
+        for fam in KernelFamily::ALL {
+            let l = fam.build("k", &mut rng(17));
+            let fp_ops = l.count_ops(|i| i.opcode.is_fp());
+            if fam.is_fp() {
+                assert!(fp_ops > 0, "{fam:?} marked fp but has no fp ops");
+            }
+        }
+    }
+
+    #[test]
+    fn search_has_early_exit_and_unknown_trip() {
+        let l = KernelFamily::SearchLoop.build("s", &mut rng(3));
+        assert!(l.early_exits() >= 1);
+        assert!(!l.trip_count.is_known());
+    }
+
+    #[test]
+    fn short_trip_counts_are_short() {
+        for s in 0..20 {
+            let l = KernelFamily::ShortTrip.build("st", &mut rng(s));
+            match l.trip_count {
+                TripCount::Known(n) => assert!(n <= 16),
+                _ => panic!("short trips are known"),
+            }
+        }
+    }
+
+    #[test]
+    fn trip_helper_respects_bounds() {
+        let mut r = rng(8);
+        for _ in 0..200 {
+            let t = trip(&mut r, 0.5, 100, 1000);
+            assert!((100..=1000).contains(&t.dynamic()), "{t:?}");
+        }
+    }
+}

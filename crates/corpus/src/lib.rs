@@ -1,0 +1,39 @@
+//! # loopml-corpus — a synthetic SPEC-shaped training corpus
+//!
+//! The paper extracts 2,500+ innermost loops from 72 benchmarks (SPEC
+//! 2000/95/92, Mediabench, Perfect, kernels) across C, Fortran and
+//! Fortran 90. Those sources are not redistributable, so this crate
+//! synthesizes a corpus with the same *shape*: 72 named benchmarks — the
+//! 24 SPEC CPU2000 programs of Figures 4/5 under their real names — each a
+//! weighted mix of kernel archetypes chosen so every mechanism of the
+//! unrolling trade-off (§3 of the paper) is represented:
+//!
+//! * streaming FP loops that want memory-level parallelism,
+//! * reductions and recurrences that resist it,
+//! * stencils that reward cross-copy scalar replacement,
+//! * short known trip counts where remainder handling dominates,
+//! * unknown trip counts where boundary exits tax unrolling,
+//! * gathers/scatters, branchy searches, divide chains, register-hungry
+//!   wide bodies, and loops with calls (which cannot be unrolled at all).
+//!
+//! Everything is deterministic given [`SuiteConfig::seed`].
+//!
+//! # Examples
+//!
+//! ```
+//! use loopml_corpus::{full_suite, SuiteConfig};
+//!
+//! let suite = full_suite(&SuiteConfig::default());
+//! assert_eq!(suite.len(), 72);
+//! let loops: usize = suite.iter().map(|b| b.len()).sum();
+//! assert!(loops > 2000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod kernels;
+pub mod suite;
+
+pub use kernels::KernelFamily;
+pub use suite::{full_suite, spec2000, synthesize, Archetype, RosterEntry, SuiteConfig, ROSTER};

@@ -1,0 +1,428 @@
+//! Benchmark synthesis and the 72-benchmark suite roster.
+//!
+//! The paper trains on 72 benchmarks drawn from SPEC 2000/95/92,
+//! Mediabench, the Perfect suite and a handful of kernels, spanning C,
+//! Fortran and Fortran 90. This module reproduces that corpus *shape*: 72
+//! named benchmarks with per-benchmark kernel mixes, languages, loop
+//! counts and weights, all generated deterministically from a seed. The
+//! 24 SPEC CPU2000 benchmarks of Figures 4 and 5 carry their real names.
+
+use loopml_ir::{Benchmark, SourceLang, WeightedLoop};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kernels::KernelFamily;
+
+/// The workload archetype of a benchmark, which determines its kernel mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Archetype {
+    /// Dense FP array code (swim, mgrid, tomcatv …).
+    FpStreaming,
+    /// FP with recurrences/divides (applu, sixtrack …).
+    FpRecurrence,
+    /// Sparse / irregular FP (art, equake, ammp …).
+    FpSparse,
+    /// Pointer/branch-heavy integer code (gcc, perlbmk, vortex …).
+    IntBranchy,
+    /// Regular integer compression/crypto kernels (gzip, bzip2 …).
+    IntStreaming,
+    /// Media/DSP kernels (Mediabench).
+    Media,
+}
+
+impl Archetype {
+    /// Kernel families this archetype draws from, with relative weights.
+    fn mix(self) -> &'static [(KernelFamily, u32)] {
+        use KernelFamily::*;
+        match self {
+            Archetype::FpStreaming => &[
+                (Daxpy, 5),
+                (VectorOp, 5),
+                (Stencil, 4),
+                (DotProduct, 3),
+                (MultiAccReduce, 2),
+                (Strided, 2),
+                (WideParallel, 2),
+                (ShortTrip, 1),
+                (CallLoop, 1),
+            ],
+            Archetype::FpRecurrence => &[
+                (Recurrence, 4),
+                (DivideKernel, 4),
+                (MemRecurrence, 3),
+                (Daxpy, 2),
+                (DotProduct, 2),
+                (Stencil, 2),
+                (WideParallel, 1),
+                (ShortTrip, 1),
+                (CallLoop, 1),
+            ],
+            Archetype::FpSparse => &[
+                (Gather, 4),
+                (Scatter, 3),
+                (AddressHeavy, 3),
+                (VectorOp, 2),
+                (SelectKernel, 2),
+                (DotProduct, 1),
+                (SearchLoop, 1),
+                (CallLoop, 1),
+            ],
+            Archetype::IntBranchy => &[
+                (SearchLoop, 4),
+                (IntAlu, 3),
+                (AddressHeavy, 3),
+                (IntCopy, 2),
+                (Gather, 2),
+                (ShortTrip, 1),
+                (CallLoop, 2),
+            ],
+            Archetype::IntStreaming => &[
+                (IntCopy, 4),
+                (IntAlu, 4),
+                (IntMul, 3),
+                (SearchLoop, 2),
+                (Gather, 1),
+                (ShortTrip, 1),
+                (CallLoop, 1),
+            ],
+            Archetype::Media => &[
+                (IntMul, 4),
+                (IntAlu, 3),
+                (Stencil, 3),
+                (VectorOp, 2),
+                (IntCopy, 2),
+                (SelectKernel, 2),
+                (ShortTrip, 1),
+            ],
+        }
+    }
+
+    /// `true` if benchmarks of this archetype count as SPECfp-side.
+    pub fn is_fp(self) -> bool {
+        matches!(
+            self,
+            Archetype::FpStreaming | Archetype::FpRecurrence | Archetype::FpSparse
+        )
+    }
+}
+
+/// A roster entry describing one benchmark to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RosterEntry {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Source language.
+    pub lang: SourceLang,
+    /// Workload archetype.
+    pub archetype: Archetype,
+    /// `true` if the benchmark belongs to the SPEC 2000 set of Figures 4/5.
+    pub spec2000: bool,
+}
+
+const fn e(
+    name: &'static str,
+    lang: SourceLang,
+    archetype: Archetype,
+    spec2000: bool,
+) -> RosterEntry {
+    RosterEntry {
+        name,
+        lang,
+        archetype,
+        spec2000,
+    }
+}
+
+/// The 72-benchmark roster. The first 24 are the SPEC CPU2000 benchmarks
+/// in the exact order of the paper's Figures 4 and 5.
+pub const ROSTER: [RosterEntry; 72] = [
+    // --- SPEC CPU2000 (figure order) ---
+    e("164.gzip", SourceLang::C, Archetype::IntStreaming, true),
+    e("168.wupwise", SourceLang::Fortran, Archetype::FpStreaming, true),
+    e("171.swim", SourceLang::Fortran, Archetype::FpStreaming, true),
+    e("172.mgrid", SourceLang::Fortran, Archetype::FpStreaming, true),
+    e("173.applu", SourceLang::Fortran, Archetype::FpRecurrence, true),
+    e("175.vpr", SourceLang::C, Archetype::IntBranchy, true),
+    e("176.gcc", SourceLang::C, Archetype::IntBranchy, true),
+    e("177.mesa", SourceLang::C, Archetype::FpSparse, true),
+    e("178.galgel", SourceLang::Fortran90, Archetype::FpStreaming, true),
+    e("179.art", SourceLang::C, Archetype::FpSparse, true),
+    e("181.mcf", SourceLang::C, Archetype::IntBranchy, true),
+    e("183.equake", SourceLang::C, Archetype::FpSparse, true),
+    e("186.crafty", SourceLang::C, Archetype::IntBranchy, true),
+    e("187.facerec", SourceLang::Fortran90, Archetype::FpStreaming, true),
+    e("188.ammp", SourceLang::C, Archetype::FpSparse, true),
+    e("189.lucas", SourceLang::Fortran90, Archetype::FpRecurrence, true),
+    e("197.parser", SourceLang::C, Archetype::IntBranchy, true),
+    e("200.sixtrack", SourceLang::Fortran, Archetype::FpRecurrence, true),
+    e("253.perlbmk", SourceLang::C, Archetype::IntBranchy, true),
+    e("254.gap", SourceLang::C, Archetype::IntBranchy, true),
+    e("255.vortex", SourceLang::C, Archetype::IntBranchy, true),
+    e("256.bzip2", SourceLang::C, Archetype::IntStreaming, true),
+    e("300.twolf", SourceLang::C, Archetype::IntBranchy, true),
+    e("301.apsi", SourceLang::Fortran, Archetype::FpStreaming, true),
+    // --- SPEC 95 (entries whose programs are not superseded above) ---
+    e("101.tomcatv", SourceLang::Fortran, Archetype::FpStreaming, false),
+    e("103.su2cor", SourceLang::Fortran, Archetype::FpRecurrence, false),
+    e("104.hydro2d", SourceLang::Fortran, Archetype::FpStreaming, false),
+    e("107.mgrid95", SourceLang::Fortran, Archetype::FpStreaming, false),
+    e("110.applu95", SourceLang::Fortran, Archetype::FpRecurrence, false),
+    e("125.turb3d", SourceLang::Fortran, Archetype::FpStreaming, false),
+    e("141.apsi95", SourceLang::Fortran, Archetype::FpStreaming, false),
+    e("145.fpppp", SourceLang::Fortran, Archetype::FpRecurrence, false),
+    e("146.wave5", SourceLang::Fortran, Archetype::FpStreaming, false),
+    e("124.m88ksim", SourceLang::C, Archetype::IntBranchy, false),
+    e("129.compress", SourceLang::C, Archetype::IntStreaming, false),
+    e("130.li", SourceLang::C, Archetype::IntBranchy, false),
+    e("132.ijpeg", SourceLang::C, Archetype::Media, false),
+    e("134.perl", SourceLang::C, Archetype::IntBranchy, false),
+    e("147.vortex95", SourceLang::C, Archetype::IntBranchy, false),
+    // --- SPEC 92 ---
+    e("013.spice2g6", SourceLang::Fortran, Archetype::FpSparse, false),
+    e("015.doduc", SourceLang::Fortran, Archetype::FpRecurrence, false),
+    e("034.mdljdp2", SourceLang::Fortran, Archetype::FpRecurrence, false),
+    e("039.wave5_92", SourceLang::Fortran, Archetype::FpStreaming, false),
+    e("047.tomcatv92", SourceLang::Fortran, Archetype::FpStreaming, false),
+    e("048.ora", SourceLang::Fortran, Archetype::FpRecurrence, false),
+    e("052.alvinn", SourceLang::C, Archetype::FpStreaming, false),
+    e("056.ear", SourceLang::C, Archetype::FpStreaming, false),
+    e("023.eqntott", SourceLang::C, Archetype::IntBranchy, false),
+    e("072.sc", SourceLang::C, Archetype::IntBranchy, false),
+    e("085.gcc92", SourceLang::C, Archetype::IntBranchy, false),
+    // --- Mediabench ---
+    e("adpcm", SourceLang::C, Archetype::Media, false),
+    e("epic", SourceLang::C, Archetype::Media, false),
+    e("g721", SourceLang::C, Archetype::Media, false),
+    e("gsm", SourceLang::C, Archetype::Media, false),
+    e("jpeg", SourceLang::C, Archetype::Media, false),
+    e("mpeg2", SourceLang::C, Archetype::Media, false),
+    e("pegwit", SourceLang::C, Archetype::IntStreaming, false),
+    e("rasta", SourceLang::C, Archetype::FpStreaming, false),
+    e("ghostscript", SourceLang::C, Archetype::IntBranchy, false),
+    // --- Perfect suite ---
+    e("ADM", SourceLang::Fortran, Archetype::FpStreaming, false),
+    e("ARC2D", SourceLang::Fortran, Archetype::FpStreaming, false),
+    e("BDNA", SourceLang::Fortran, Archetype::FpRecurrence, false),
+    e("DYFESM", SourceLang::Fortran, Archetype::FpSparse, false),
+    e("FLO52", SourceLang::Fortran, Archetype::FpStreaming, false),
+    e("MDG", SourceLang::Fortran, Archetype::FpRecurrence, false),
+    e("OCEAN", SourceLang::Fortran, Archetype::FpStreaming, false),
+    e("QCD", SourceLang::Fortran, Archetype::FpRecurrence, false),
+    e("TRACK", SourceLang::Fortran, Archetype::FpSparse, false),
+    e("TRFD", SourceLang::Fortran, Archetype::FpStreaming, false),
+    // --- kernels ---
+    e("livermore", SourceLang::Fortran, Archetype::FpRecurrence, false),
+    e("linpackd", SourceLang::Fortran, Archetype::FpStreaming, false),
+    e("fft_kernel", SourceLang::C, Archetype::FpStreaming, false),
+];
+
+/// Options controlling corpus synthesis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteConfig {
+    /// Global seed; every benchmark derives its own stream from this.
+    pub seed: u64,
+    /// Minimum loops per benchmark.
+    pub min_loops: usize,
+    /// Maximum loops per benchmark.
+    pub max_loops: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            seed: 0xC602005, // "CGO 2005"
+            min_loops: 65,
+            max_loops: 85,
+        }
+    }
+}
+
+/// Synthesizes one benchmark from a roster entry.
+pub fn synthesize(entry: &RosterEntry, cfg: &SuiteConfig) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ hash_name(entry.name));
+    let mix = entry.archetype.mix();
+    let mix_total: u32 = mix.iter().map(|&(_, w)| w).sum();
+    let n_loops = rng.gen_range(cfg.min_loops..=cfg.max_loops);
+
+    let mut loops = Vec::with_capacity(n_loops);
+    for k in 0..n_loops {
+        // Pick a family by weight.
+        let mut pick = rng.gen_range(0..mix_total);
+        let fam = mix
+            .iter()
+            .find(|&&(_, w)| {
+                if pick < w {
+                    true
+                } else {
+                    pick -= w;
+                    false
+                }
+            })
+            .map(|&(f, _)| f)
+            .expect("mix weights cover range");
+        let name = format!("{}/loop{:03}_{:?}", entry.name, k, fam);
+        let mut body = fam.build(&name, &mut rng);
+        body.lang = entry.lang;
+        // Alias ambiguity: C pointer code rarely carries the no-alias
+        // guarantees Fortran arrays give the compiler. An ambiguous loop
+        // cannot have its unrolled copies reordered around stores, which
+        // is one of the big real-world reasons unrolling fails to pay off
+        // on integer codes.
+        let p_ambiguous = match entry.lang {
+            SourceLang::C => 0.40,
+            SourceLang::Fortran | SourceLang::Fortran90 => 0.05,
+        };
+        if rng.gen_bool(p_ambiguous) {
+            for inst in &mut body.body {
+                if let Some(m) = &mut inst.mem {
+                    *m = m.as_ambiguous();
+                }
+            }
+        }
+        // Heavier-tailed weights: a few loops dominate, like real profiles.
+        let weight = rng.gen_range(0.05f64..1.0).powi(3);
+        // Couple trip counts to nesting the way real programs do: inner
+        // loops of nests run few iterations but are entered over and over
+        // (so per-entry costs — remainder loops, i-cache refill, pipeline
+        // fill/drain — genuinely matter), while flat loops run long.
+        let entries = if body.nest_level > 1 {
+            use loopml_ir::TripCount;
+            let t = (rng.gen_range((16.0f64).ln()..(1024.0f64).ln())).exp() as u64;
+            let t = if rng.gen_bool(0.5) { (t / 4).max(1) * 4 } else { t };
+            body.trip_count = match body.trip_count {
+                TripCount::Known(old) if old <= 16 => TripCount::Known(old),
+                TripCount::Known(_) => TripCount::Known(t.max(4)),
+                TripCount::Unknown { .. } => TripCount::Unknown { estimate: t.max(4) },
+            };
+            1u64 << rng.gen_range(6..14)
+        } else {
+            1u64 << rng.gen_range(0..3)
+        };
+        loops.push(WeightedLoop {
+            body,
+            weight,
+            entries,
+        });
+    }
+
+    let non_loop = match entry.archetype {
+        Archetype::FpStreaming => rng.gen_range(0.05..0.25),
+        Archetype::FpRecurrence | Archetype::FpSparse => rng.gen_range(0.1..0.35),
+        Archetype::Media => rng.gen_range(0.2..0.5),
+        Archetype::IntStreaming => rng.gen_range(0.25..0.55),
+        Archetype::IntBranchy => rng.gen_range(0.45..0.75),
+    };
+
+    Benchmark::new(
+        entry.name,
+        entry.lang,
+        loops,
+        non_loop,
+        entry.archetype.is_fp(),
+    )
+}
+
+/// Synthesizes the full 72-benchmark suite.
+pub fn full_suite(cfg: &SuiteConfig) -> Vec<Benchmark> {
+    ROSTER.iter().map(|e| synthesize(e, cfg)).collect()
+}
+
+/// Synthesizes only the 24 SPEC CPU2000 benchmarks (figure order).
+pub fn spec2000(cfg: &SuiteConfig) -> Vec<Benchmark> {
+    ROSTER
+        .iter()
+        .filter(|e| e.spec2000)
+        .map(|e| synthesize(e, cfg))
+        .collect()
+}
+
+/// FNV-1a, for deriving stable per-benchmark seeds from names.
+fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_has_72_entries_24_spec() {
+        assert_eq!(ROSTER.len(), 72);
+        assert_eq!(ROSTER.iter().filter(|e| e.spec2000).count(), 24);
+    }
+
+    #[test]
+    fn roster_names_unique() {
+        let mut names: Vec<&str> = ROSTER.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 72);
+    }
+
+    #[test]
+    fn spec_order_matches_figures() {
+        let spec = spec2000(&SuiteConfig::default());
+        assert_eq!(spec[0].name, "164.gzip");
+        assert_eq!(spec[1].name, "168.wupwise");
+        assert_eq!(spec[23].name, "301.apsi");
+        assert_eq!(spec.iter().filter(|b| b.is_fp).count(), 13);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let cfg = SuiteConfig::default();
+        let a = synthesize(&ROSTER[2], &cfg);
+        let b = synthesize(&ROSTER[2], &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = synthesize(&ROSTER[2], &SuiteConfig::default());
+        let b = synthesize(
+            &ROSTER[2],
+            &SuiteConfig {
+                seed: 12345,
+                ..SuiteConfig::default()
+            },
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn suite_yields_thousands_of_loops() {
+        let suite = full_suite(&SuiteConfig::default());
+        let total: usize = suite.iter().map(|b| b.len()).sum();
+        assert!(total >= 2000, "got {total} loops");
+        let unrollable: usize = suite.iter().map(|b| b.unrollable().count()).sum();
+        assert!(unrollable >= 1800, "got {unrollable} unrollable loops");
+    }
+
+    #[test]
+    fn languages_span_three() {
+        let suite = full_suite(&SuiteConfig::default());
+        let mut langs: Vec<_> = suite.iter().map(|b| b.lang).collect();
+        langs.sort_unstable();
+        langs.dedup();
+        assert_eq!(langs.len(), 3);
+    }
+
+    #[test]
+    fn weights_normalized_per_benchmark() {
+        for b in full_suite(&SuiteConfig::default()).iter().take(5) {
+            let sum: f64 = b.iter().map(|w| w.weight).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", b.name);
+        }
+    }
+
+    #[test]
+    fn loops_carry_benchmark_language() {
+        let b = synthesize(&ROSTER[2], &SuiteConfig::default()); // 171.swim, Fortran
+        assert!(b.iter().all(|w| w.body.lang == SourceLang::Fortran));
+    }
+}

@@ -1,0 +1,254 @@
+//! A small DSL for constructing well-formed loops.
+//!
+//! [`LoopBuilder`] hands out fresh virtual registers, accumulates body
+//! instructions, and on [`LoopBuilder::build`] appends the canonical loop
+//! control sequence: the induction-variable update, the loop-closing
+//! compare, and the backward branch.
+
+use crate::inst::Inst;
+use crate::loops::{Loop, SourceLang, TripCount};
+use crate::mem::MemRef;
+use crate::opcode::Opcode;
+use crate::reg::Reg;
+
+/// Builder for [`Loop`] values.
+///
+/// # Examples
+///
+/// ```
+/// use loopml_ir::{ArrayId, Inst, LoopBuilder, MemRef, Opcode, TripCount};
+///
+/// let mut b = LoopBuilder::new("daxpy", TripCount::Known(1000));
+/// let x = b.fp_reg();
+/// let y = b.fp_reg();
+/// let r = b.fp_reg();
+/// b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+/// b.load(y, MemRef::affine(ArrayId(1), 8, 0, 8));
+/// b.inst(Inst::new(Opcode::Fma, vec![r], vec![x, y]));
+/// b.store(r, MemRef::affine(ArrayId(1), 8, 0, 8));
+/// let l = b.build();
+/// assert!(l.is_unrollable());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopBuilder {
+    name: String,
+    trip_count: TripCount,
+    nest_level: u32,
+    lang: SourceLang,
+    body: Vec<Inst>,
+    next_int: u32,
+    next_fp: u32,
+    next_pred: u32,
+    iv: Reg,
+    limit: Reg,
+}
+
+impl LoopBuilder {
+    /// Starts a new loop named `name` with the given trip count.
+    ///
+    /// Register `r0` is reserved for the canonical induction variable and
+    /// `r1` for the loop bound; fresh registers start at `r2`/`f0`/`p0`.
+    pub fn new(name: impl Into<String>, trip_count: TripCount) -> Self {
+        LoopBuilder {
+            name: name.into(),
+            trip_count,
+            nest_level: 1,
+            lang: SourceLang::C,
+            body: Vec::new(),
+            next_int: 2,
+            next_fp: 0,
+            next_pred: 0,
+            iv: Reg::int(0),
+            limit: Reg::int(1),
+        }
+    }
+
+    /// Sets the nesting depth (1 = outermost).
+    pub fn nest_level(&mut self, level: u32) -> &mut Self {
+        self.nest_level = level;
+        self
+    }
+
+    /// Sets the source language.
+    pub fn lang(&mut self, lang: SourceLang) -> &mut Self {
+        self.lang = lang;
+        self
+    }
+
+    /// The canonical induction-variable register.
+    pub fn iv(&self) -> Reg {
+        self.iv
+    }
+
+    /// Allocates a fresh integer register.
+    pub fn int_reg(&mut self) -> Reg {
+        let r = Reg::int(self.next_int);
+        self.next_int += 1;
+        r
+    }
+
+    /// Allocates a fresh floating-point register.
+    pub fn fp_reg(&mut self) -> Reg {
+        let r = Reg::fp(self.next_fp);
+        self.next_fp += 1;
+        r
+    }
+
+    /// Allocates a fresh predicate register.
+    pub fn pred_reg(&mut self) -> Reg {
+        let r = Reg::pred(self.next_pred);
+        self.next_pred += 1;
+        r
+    }
+
+    /// Appends an arbitrary instruction.
+    pub fn inst(&mut self, inst: Inst) -> &mut Self {
+        self.body.push(inst);
+        self
+    }
+
+    /// Appends `dst = load mem`.
+    pub fn load(&mut self, dst: Reg, mem: MemRef) -> &mut Self {
+        self.inst(Inst::mem(Opcode::Load, vec![dst], vec![], mem))
+    }
+
+    /// Appends `store src -> mem`.
+    pub fn store(&mut self, src: Reg, mem: MemRef) -> &mut Self {
+        self.inst(Inst::mem(Opcode::Store, vec![], vec![src], mem))
+    }
+
+    /// Appends a binary arithmetic instruction `dst = op a, b`.
+    pub fn binop(&mut self, op: Opcode, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.inst(Inst::new(op, vec![dst], vec![a, b]))
+    }
+
+    /// Appends a unary instruction `dst = op a`.
+    pub fn unop(&mut self, op: Opcode, dst: Reg, a: Reg) -> &mut Self {
+        self.inst(Inst::new(op, vec![dst], vec![a]))
+    }
+
+    /// Appends a compare defining predicate `p` from `a` and `b`, then a
+    /// conditional early exit guarded by `p`.
+    pub fn early_exit(&mut self, a: Reg, b: Reg) -> &mut Self {
+        let p = self.pred_reg();
+        let cmp = if a.class() == crate::reg::RegClass::Fp {
+            Opcode::FCmp
+        } else {
+            Opcode::Cmp
+        };
+        self.inst(Inst::new(cmp, vec![p], vec![a, b]));
+        self.inst(Inst {
+            opcode: Opcode::BrExit,
+            defs: vec![],
+            uses: vec![],
+            mem: None,
+            predicate: Some(p),
+            induction: false,
+        })
+    }
+
+    /// Appends a call instruction (which makes the loop non-unrollable).
+    pub fn call(&mut self) -> &mut Self {
+        self.inst(Inst::new(Opcode::Call, vec![], vec![]))
+    }
+
+    /// Number of instructions appended so far (loop control not included).
+    pub fn body_len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Finishes the loop: appends the induction update, the loop-closing
+    /// compare and backward branch, and returns the completed [`Loop`].
+    pub fn build(mut self) -> Loop {
+        let iv = self.iv;
+        let limit = self.limit;
+        self.body
+            .push(Inst::new(Opcode::Add, vec![iv], vec![iv]).as_induction());
+        let p = Reg::pred(self.next_pred);
+        self.body.push(Inst::new(Opcode::Cmp, vec![p], vec![iv, limit]));
+        self.body.push(Inst {
+            opcode: Opcode::Br,
+            defs: vec![],
+            uses: vec![],
+            mem: None,
+            predicate: Some(p),
+            induction: false,
+        });
+        Loop {
+            name: self.name,
+            body: self.body,
+            trip_count: self.trip_count,
+            nest_level: self.nest_level,
+            lang: self.lang,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::ArrayId;
+
+    #[test]
+    fn fresh_registers_are_distinct() {
+        let mut b = LoopBuilder::new("t", TripCount::Known(1));
+        let r1 = b.int_reg();
+        let r2 = b.int_reg();
+        let f1 = b.fp_reg();
+        assert_ne!(r1, r2);
+        assert_ne!(r1, f1);
+        assert_ne!(r1, b.iv());
+    }
+
+    #[test]
+    fn build_appends_control_triplet() {
+        let b = LoopBuilder::new("t", TripCount::Known(1));
+        let l = b.build();
+        assert_eq!(l.len(), 3);
+        assert!(l.body[0].induction);
+        assert_eq!(l.body[1].opcode, Opcode::Cmp);
+        assert_eq!(l.body[2].opcode, Opcode::Br);
+        assert_eq!(l.body[2].predicate, Some(l.body[1].defs[0]));
+    }
+
+    #[test]
+    fn early_exit_emits_guarded_branch() {
+        let mut b = LoopBuilder::new("t", TripCount::Unknown { estimate: 64 });
+        let x = b.int_reg();
+        let y = b.int_reg();
+        b.early_exit(x, y);
+        let l = b.build();
+        assert_eq!(l.early_exits(), 1);
+        let exit = l
+            .body
+            .iter()
+            .find(|i| i.opcode == Opcode::BrExit)
+            .expect("exit branch");
+        assert!(exit.predicate.is_some());
+    }
+
+    #[test]
+    fn fp_early_exit_uses_fcmp() {
+        let mut b = LoopBuilder::new("t", TripCount::Known(8));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        b.early_exit(x, y);
+        let l = b.build();
+        assert!(l.body.iter().any(|i| i.opcode == Opcode::FCmp));
+    }
+
+    #[test]
+    fn helpers_emit_expected_opcodes() {
+        let mut b = LoopBuilder::new("t", TripCount::Known(8));
+        let f = b.fp_reg();
+        let g = b.fp_reg();
+        let m = MemRef::affine(ArrayId(0), 8, 0, 8);
+        b.load(f, m);
+        b.binop(Opcode::FMul, g, f, f);
+        b.unop(Opcode::FSqrt, g, g);
+        b.store(g, m);
+        let l = b.build();
+        let ops: Vec<Opcode> = l.body.iter().map(|i| i.opcode).collect();
+        assert!(ops.starts_with(&[Opcode::Load, Opcode::FMul, Opcode::FSqrt, Opcode::Store]));
+    }
+}

@@ -1,0 +1,304 @@
+//! The intra-iteration dependence DAG and derived structural properties.
+//!
+//! The features the paper extracts (critical path, "parallel
+//! computations", dependence heights, fan-in) are all properties of the
+//! distance-0 subgraph of the dependence graph, which — because every
+//! intra-iteration edge points forward in program order — is a DAG.
+
+use crate::deps::{Dep, DepGraph, DepKind};
+use crate::loops::Loop;
+use crate::opcode::OpClass;
+
+/// Structural summary of a loop body's intra-iteration dependence DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagSummary {
+    /// Latency-weighted critical path through one iteration, in cycles.
+    pub critical_path: u32,
+    /// Resource-bound static estimate of the body's cycle length on a
+    /// generic 6-issue EPIC machine.
+    pub resource_cycles: u32,
+    /// Number of parallel "computations": weakly connected components of
+    /// the DAG containing at least one real (non-control, non-implicit)
+    /// instruction.
+    pub computations: usize,
+    /// Maximum latency-weighted dependence height over computations.
+    pub max_dependence_height: u32,
+    /// Maximum chain of memory dependences (latency-weighted).
+    pub max_memory_height: u32,
+    /// Maximum chain of control dependences (edge count).
+    pub max_control_height: u32,
+    /// Mean dependence height over computations.
+    pub avg_dependence_height: f64,
+    /// Maximum in-degree over DAG nodes ("instruction fan-in").
+    pub max_fan_in: usize,
+    /// Mean in-degree over DAG nodes.
+    pub avg_fan_in: f64,
+}
+
+/// Computes the DAG summary of `l` given its dependence graph `g`.
+///
+/// `g` must have been produced by [`DepGraph::analyze`] on the same loop.
+pub fn summarize(l: &Loop, g: &DepGraph) -> DagSummary {
+    let n = l.body.len();
+    // Intra edges always point forward in program order; sorting by source
+    // index lets a single pass relax longest paths (all edges into a node
+    // are processed before any edge out of it).
+    let mut intra: Vec<&Dep> = g.intra().collect();
+    intra.sort_by_key(|d| d.src);
+
+    // Earliest start times by longest path over intra-iteration edges.
+    let mut start = vec![0u32; n];
+    for d in &intra {
+        debug_assert!(d.src < d.dst, "intra edges point forward");
+        start[d.dst] = start[d.dst].max(start[d.src] + d.latency);
+    }
+    let critical_path = l
+        .body
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| start[i] + inst.opcode.static_latency())
+        .max()
+        .unwrap_or(0);
+
+    // Static resource estimate on a generic EPIC machine: 6-wide issue,
+    // 4 memory ports, 2 FP units, 3 branch slots.
+    let count = |f: &dyn Fn(OpClass) -> bool| {
+        l.body.iter().filter(|i| f(i.opcode.class())).count() as u32
+    };
+    let mem = count(&|c| matches!(c, OpClass::Load | OpClass::Store));
+    let fp = count(&|c| matches!(c, OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv));
+    let br = count(&|c| matches!(c, OpClass::Branch));
+    let total = n as u32;
+    let resource_cycles = [
+        total.div_ceil(6),
+        mem.div_ceil(4),
+        fp.div_ceil(2),
+        br.div_ceil(3),
+    ]
+    .into_iter()
+    .max()
+    .unwrap_or(0)
+    .max(1);
+
+    // Weakly connected components via union-find over intra edges.
+    let mut uf = UnionFind::new(n);
+    for d in &intra {
+        uf.union(d.src, d.dst);
+    }
+    // A computation is a component with at least one real operation.
+    let mut has_real = vec![false; n];
+    for (i, inst) in l.body.iter().enumerate() {
+        let real = !inst.opcode.is_implicit()
+            && !inst.opcode.is_branch()
+            && !inst.induction
+            && !inst.opcode.defines_predicate();
+        if real {
+            has_real[uf.find(i)] = true;
+        }
+    }
+    let mut roots: Vec<usize> = (0..n).map(|i| uf.find(i)).collect();
+    roots.sort_unstable();
+    roots.dedup();
+    let comp_roots: Vec<usize> = roots.into_iter().filter(|&r| has_real[r]).collect();
+    let computations = comp_roots.len();
+
+    // Heights per computation: the max finish time restricted to nodes of
+    // that component.
+    let mut heights: Vec<u32> = Vec::with_capacity(computations);
+    for &r in &comp_roots {
+        let h = l
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| uf.find(*i) == r)
+            .map(|(i, inst)| start[i] + inst.opcode.static_latency())
+            .max()
+            .unwrap_or(0);
+        heights.push(h);
+    }
+    let max_dependence_height = heights.iter().copied().max().unwrap_or(0);
+    let avg_dependence_height = if heights.is_empty() {
+        0.0
+    } else {
+        heights.iter().map(|&h| f64::from(h)).sum::<f64>() / heights.len() as f64
+    };
+
+    // Memory height: longest latency-weighted chain over Mem edges only.
+    let mut mstart = vec![0u32; n];
+    let mut max_memory_height = 0;
+    for d in &intra {
+        if d.kind == DepKind::Mem {
+            mstart[d.dst] = mstart[d.dst].max(mstart[d.src] + d.latency.max(1));
+            max_memory_height = max_memory_height.max(mstart[d.dst]);
+        }
+    }
+
+    // Control height: longest chain of Ctrl edges (edge count).
+    let mut cstart = vec![0u32; n];
+    let mut max_control_height = 0;
+    for d in &intra {
+        if d.kind == DepKind::Ctrl {
+            cstart[d.dst] = cstart[d.dst].max(cstart[d.src] + 1);
+            max_control_height = max_control_height.max(cstart[d.dst]);
+        }
+    }
+
+    // Fan-in over true dependence edges.
+    let mut indeg = vec![0usize; n];
+    for d in &intra {
+        if matches!(d.kind, DepKind::Reg | DepKind::Mem) {
+            indeg[d.dst] += 1;
+        }
+    }
+    let max_fan_in = indeg.iter().copied().max().unwrap_or(0);
+    let avg_fan_in = if n == 0 {
+        0.0
+    } else {
+        indeg.iter().sum::<usize>() as f64 / n as f64
+    };
+
+    DagSummary {
+        critical_path,
+        resource_cycles,
+        computations,
+        max_dependence_height,
+        max_memory_height,
+        max_control_height,
+        avg_dependence_height,
+        max_fan_in,
+        avg_fan_in,
+    }
+}
+
+/// Minimal union-find for component analysis.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::inst::Inst;
+    use crate::loops::TripCount;
+    use crate::mem::{ArrayId, MemRef};
+    use crate::opcode::Opcode;
+
+    fn two_streams() -> Loop {
+        // Two independent computations: x[i] = a[i]+a[i]; y[i] = b[i]*b[i].
+        let mut b = LoopBuilder::new("two", TripCount::Known(100));
+        let a = b.fp_reg();
+        let x = b.fp_reg();
+        b.load(a, MemRef::affine(ArrayId(0), 8, 0, 8));
+        b.binop(Opcode::FAdd, x, a, a);
+        b.store(x, MemRef::affine(ArrayId(1), 8, 0, 8));
+        let c = b.fp_reg();
+        let y = b.fp_reg();
+        b.load(c, MemRef::affine(ArrayId(2), 8, 0, 8));
+        b.binop(Opcode::FMul, y, c, c);
+        b.store(y, MemRef::affine(ArrayId(3), 8, 0, 8));
+        b.build()
+    }
+
+    #[test]
+    fn counts_parallel_computations() {
+        let l = two_streams();
+        let g = DepGraph::analyze(&l);
+        let s = summarize(&l, &g);
+        assert_eq!(s.computations, 2, "{s:?}");
+    }
+
+    #[test]
+    fn critical_path_covers_load_use_chain() {
+        let l = two_streams();
+        let g = DepGraph::analyze(&l);
+        let s = summarize(&l, &g);
+        // load(3) + fmul(4) + store(1) = 8 at least.
+        assert!(s.critical_path >= 8, "{s:?}");
+    }
+
+    #[test]
+    fn resource_estimate_at_least_one() {
+        let l = LoopBuilder::new("empty-ish", TripCount::Known(1)).build();
+        let g = DepGraph::analyze(&l);
+        let s = summarize(&l, &g);
+        assert!(s.resource_cycles >= 1);
+    }
+
+    #[test]
+    fn fan_in_detects_joins() {
+        // r = a + b requires two loads feeding one add: fan-in 2.
+        let mut b = LoopBuilder::new("join", TripCount::Known(10));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        let r = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        b.load(y, MemRef::affine(ArrayId(1), 8, 0, 8));
+        b.inst(Inst::new(Opcode::FAdd, vec![r], vec![x, y]));
+        let l = b.build();
+        let g = DepGraph::analyze(&l);
+        let s = summarize(&l, &g);
+        assert!(s.max_fan_in >= 2, "{s:?}");
+    }
+
+    #[test]
+    fn memory_height_follows_store_load_chain() {
+        let mut b = LoopBuilder::new("chain", TripCount::Known(10));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        let m = MemRef::affine(ArrayId(0), 8, 0, 8);
+        b.store(x, m);
+        b.load(y, m);
+        let l = b.build();
+        let g = DepGraph::analyze(&l);
+        let s = summarize(&l, &g);
+        assert!(s.max_memory_height >= 1, "{s:?}");
+    }
+
+    #[test]
+    fn control_height_counts_exit_chains() {
+        let mut b = LoopBuilder::new("exits", TripCount::Unknown { estimate: 16 });
+        let x = b.int_reg();
+        let y = b.int_reg();
+        b.early_exit(x, y);
+        let f = b.fp_reg();
+        b.store(f, MemRef::affine(ArrayId(0), 8, 0, 8));
+        let l = b.build();
+        let g = DepGraph::analyze(&l);
+        let s = summarize(&l, &g);
+        assert!(s.max_control_height >= 1, "{s:?}");
+    }
+
+    #[test]
+    fn avg_height_at_most_max() {
+        let l = two_streams();
+        let g = DepGraph::analyze(&l);
+        let s = summarize(&l, &g);
+        assert!(s.avg_dependence_height <= f64::from(s.max_dependence_height) + 1e-9);
+    }
+}

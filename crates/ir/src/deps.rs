@@ -1,0 +1,480 @@
+//! Dependence analysis over loop bodies.
+//!
+//! [`DepGraph::analyze`] computes, for a single iteration of a loop:
+//!
+//! * **register dependences** — true (def→use), anti (use→def) and output
+//!   (def→def) edges, including *loop-carried* true dependences where a use
+//!   reads the value produced by the previous iteration (reduction chains);
+//! * **memory dependences** — intra-iteration and loop-carried
+//!   memory-to-memory dependences derived from the affine access
+//!   descriptors (see [`MemRef::dependence_distance`]);
+//! * **control dependences** — early exits order side-effecting
+//!   instructions; guarded instructions depend on their predicate via the
+//!   ordinary register edges.
+//!
+//! The resulting graph drives feature extraction (dependence heights,
+//! memory dependence counts), the machine model's schedulers, and the
+//! recurrence-constrained initiation-interval bound for software
+//! pipelining.
+
+use std::fmt;
+
+use crate::loops::Loop;
+use crate::mem::MemRef;
+use crate::opcode::Opcode;
+
+/// Maximum loop-carried distance tracked; dependences farther apart than
+/// the largest unroll factor cannot constrain any decision made here.
+pub const MAX_CARRIED_DISTANCE: i64 = 8;
+
+/// Kind of dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Register true dependence (def → use).
+    Reg,
+    /// Register anti dependence (use → later def).
+    RegAnti,
+    /// Register output dependence (def → later def).
+    RegOut,
+    /// Memory dependence (at least one side is a store).
+    Mem,
+    /// Control dependence (early exit ordering).
+    Ctrl,
+}
+
+/// A dependence edge between two body instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dep {
+    /// Source instruction index (the earlier instruction of the pair in
+    /// iteration space: for carried edges the source executes `distance`
+    /// iterations before the destination).
+    pub src: usize,
+    /// Destination instruction index.
+    pub dst: usize,
+    /// Minimum issue-to-issue latency in cycles (static estimate).
+    pub latency: u32,
+    /// Iteration distance: 0 for intra-iteration edges.
+    pub distance: u32,
+    /// Edge kind.
+    pub kind: DepKind,
+}
+
+/// The dependence graph of one loop iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepGraph {
+    n: usize,
+    deps: Vec<Dep>,
+}
+
+impl DepGraph {
+    /// Analyzes `l` and builds its dependence graph.
+    pub fn analyze(l: &Loop) -> Self {
+        let body = &l.body;
+        let n = body.len();
+        let mut deps = Vec::new();
+
+        // --- register dependences ---
+        // For each use, find the nearest preceding def (true dep) or, if
+        // none precedes it, the nearest following def (loop-carried true
+        // dep with distance 1).
+        for (j, inst) in body.iter().enumerate() {
+            for r in inst.reads() {
+                let prev_def = body[..j]
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .find(|(_, p)| p.defs.contains(&r));
+                if let Some((i, p)) = prev_def {
+                    deps.push(Dep {
+                        src: i,
+                        dst: j,
+                        latency: p.opcode.static_latency(),
+                        distance: 0,
+                        kind: DepKind::Reg,
+                    });
+                } else if let Some((i, p)) = body
+                    .iter()
+                    .enumerate()
+                    .skip(j)
+                    .find(|(_, p)| p.defs.contains(&r))
+                {
+                    deps.push(Dep {
+                        src: i,
+                        dst: j,
+                        latency: p.opcode.static_latency(),
+                        distance: 1,
+                        kind: DepKind::Reg,
+                    });
+                }
+                // Anti dependence: this use must issue no later than the
+                // next redefinition.
+                if let Some(i) = body
+                    .iter()
+                    .enumerate()
+                    .skip(j + 1)
+                    .find(|(_, p)| p.defs.contains(&r))
+                    .map(|(i, _)| i)
+                {
+                    deps.push(Dep {
+                        src: j,
+                        dst: i,
+                        latency: 0,
+                        distance: 0,
+                        kind: DepKind::RegAnti,
+                    });
+                }
+            }
+            // Output dependence to the next def of the same register.
+            for d in &inst.defs {
+                if let Some(i) = body
+                    .iter()
+                    .enumerate()
+                    .skip(j + 1)
+                    .find(|(_, p)| p.defs.contains(d))
+                    .map(|(i, _)| i)
+                {
+                    deps.push(Dep {
+                        src: j,
+                        dst: i,
+                        latency: 1,
+                        distance: 0,
+                        kind: DepKind::RegOut,
+                    });
+                }
+            }
+        }
+
+        // --- memory dependences ---
+        let mem_insts: Vec<(usize, MemRef, bool, bool)> = body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, inst)| {
+                let m = inst.mem?;
+                if inst.is_load() || inst.is_store() {
+                    Some((i, m, inst.is_load(), inst.is_store()))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (ai, &(i, mi, _, si)) in mem_insts.iter().enumerate() {
+            for &(j, mj, _, sj) in &mem_insts[ai + 1..] {
+                if !si && !sj {
+                    continue; // load-load pairs carry no dependence
+                }
+                if mi.ambiguous || mj.ambiguous {
+                    // Unanalyzable pointers: ordered within the iteration
+                    // *and* across iterations (the wrapped direction).
+                    deps.push(Dep {
+                        src: i,
+                        dst: j,
+                        latency: mem_dep_latency(body[i].opcode, si, sj),
+                        distance: 0,
+                        kind: DepKind::Mem,
+                    });
+                    deps.push(Dep {
+                        src: j,
+                        dst: i,
+                        latency: mem_dep_latency(body[j].opcode, sj, si),
+                        distance: 1,
+                        kind: DepKind::Mem,
+                    });
+                    continue;
+                }
+                // Same-iteration and forward-carried: j at iteration k+d
+                // touches what i touched at iteration k.
+                if let Some(d) = mi.dependence_distance(mj, MAX_CARRIED_DISTANCE) {
+                    deps.push(Dep {
+                        src: i,
+                        dst: j,
+                        latency: mem_dep_latency(body[i].opcode, si, sj),
+                        distance: d as u32,
+                        kind: DepKind::Mem,
+                    });
+                }
+                // Reverse-carried: i at iteration k+d touches what j
+                // touched at iteration k.
+                if let Some(d) = mj.dependence_distance(mi, MAX_CARRIED_DISTANCE) {
+                    if d > 0 {
+                        deps.push(Dep {
+                            src: j,
+                            dst: i,
+                            latency: mem_dep_latency(body[j].opcode, sj, si),
+                            distance: d as u32,
+                            kind: DepKind::Mem,
+                        });
+                    }
+                }
+            }
+        }
+
+        // --- control dependences ---
+        // Side-effecting instructions cannot move above an earlier early
+        // exit (loads and arithmetic may be control-speculated, as the
+        // Itanium architecture permits).
+        for (e, inst) in body.iter().enumerate() {
+            if inst.opcode != Opcode::BrExit {
+                continue;
+            }
+            for (j, later) in body.iter().enumerate().skip(e + 1) {
+                let side_effecting = later.is_store()
+                    || later.opcode.is_branch()
+                    || later.opcode == Opcode::Call;
+                if side_effecting {
+                    deps.push(Dep {
+                        src: e,
+                        dst: j,
+                        latency: 0,
+                        distance: 0,
+                        kind: DepKind::Ctrl,
+                    });
+                }
+            }
+        }
+
+        DepGraph { n, deps }
+    }
+
+    /// Number of instructions in the analyzed body.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the body had no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// All dependence edges.
+    pub fn deps(&self) -> &[Dep] {
+        &self.deps
+    }
+
+    /// Intra-iteration edges (distance 0).
+    pub fn intra(&self) -> impl Iterator<Item = &Dep> {
+        self.deps.iter().filter(|d| d.distance == 0)
+    }
+
+    /// Loop-carried edges (distance ≥ 1).
+    pub fn carried(&self) -> impl Iterator<Item = &Dep> {
+        self.deps.iter().filter(|d| d.distance > 0)
+    }
+
+    /// Memory-to-memory dependences (any distance).
+    pub fn mem_deps(&self) -> impl Iterator<Item = &Dep> {
+        self.deps.iter().filter(|d| d.kind == DepKind::Mem)
+    }
+
+    /// Minimum distance over loop-carried memory dependences, if any.
+    pub fn min_carried_mem_distance(&self) -> Option<u32> {
+        self.mem_deps()
+            .filter(|d| d.distance > 0)
+            .map(|d| d.distance)
+            .min()
+    }
+
+    /// Number of loop-carried *register* true dependences (reduction
+    /// chains and similar recurrences).
+    pub fn carried_reg_deps(&self) -> usize {
+        self.deps
+            .iter()
+            .filter(|d| d.kind == DepKind::Reg && d.distance > 0)
+            .count()
+    }
+
+    /// The recurrence-constrained minimum initiation interval using a
+    /// caller-supplied per-edge latency (so machine models can substitute
+    /// their own latencies). This is the smallest integer `ii ≥ 1` such
+    /// that the graph with edge weights `latency − ii·distance` has no
+    /// positive-weight cycle.
+    pub fn rec_mii<F: Fn(&Dep) -> u32>(&self, latency_of: F) -> u32 {
+        if self.n == 0 {
+            return 1;
+        }
+        let max_lat: i64 = self
+            .deps
+            .iter()
+            .map(|d| i64::from(latency_of(d)))
+            .max()
+            .unwrap_or(1);
+        let mut lo = 1i64;
+        let mut hi = (max_lat * self.n as i64).max(1);
+        // Invariant: hi is always feasible (weights all ≤ 0 on cycles).
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.has_positive_cycle(mid, &latency_of) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo as u32
+    }
+
+    /// Bellman-Ford positive-cycle detection with weights
+    /// `latency − ii·distance`.
+    fn has_positive_cycle<F: Fn(&Dep) -> u32>(&self, ii: i64, latency_of: &F) -> bool {
+        // Longest-path relaxation: a positive cycle exists iff relaxation
+        // still succeeds after n rounds.
+        let mut dist = vec![0i64; self.n];
+        for round in 0..=self.n {
+            let mut changed = false;
+            for d in &self.deps {
+                let w = i64::from(latency_of(d)) - ii * i64::from(d.distance);
+                if dist[d.src] + w > dist[d.dst] {
+                    dist[d.dst] = dist[d.src] + w;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return false;
+            }
+            if round == self.n {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn mem_dep_latency(src_op: Opcode, src_is_store: bool, dst_is_store: bool) -> u32 {
+    match (src_is_store, dst_is_store) {
+        // Store → load: forwarding through memory.
+        (true, false) => src_op.static_latency().max(1),
+        // Load → store (anti): same-cycle issue is fine in-order.
+        (false, true) => 0,
+        // Store → store: ordering only.
+        (true, true) => 1,
+        (false, false) => unreachable!("load-load pairs are filtered out"),
+    }
+}
+
+impl fmt::Display for DepGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "depgraph({} insts, {} edges)", self.n, self.deps.len())?;
+        for d in &self.deps {
+            writeln!(
+                f,
+                "  {} -> {} lat={} dist={} {:?}",
+                d.src, d.dst, d.latency, d.distance, d.kind
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::inst::Inst;
+    use crate::loops::TripCount;
+    use crate::mem::{ArrayId, MemRef};
+
+    /// acc = acc + x[i]  (a serial reduction)
+    fn reduction() -> Loop {
+        let mut b = LoopBuilder::new("red", TripCount::Known(100));
+        let x = b.fp_reg();
+        let acc = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        b.inst(Inst::new(Opcode::FAdd, vec![acc], vec![acc, x]));
+        b.build()
+    }
+
+    #[test]
+    fn reduction_has_carried_reg_dep() {
+        let g = DepGraph::analyze(&reduction());
+        assert!(g.carried_reg_deps() >= 1, "{g}");
+    }
+
+    #[test]
+    fn true_dep_load_to_add() {
+        let l = reduction();
+        let g = DepGraph::analyze(&l);
+        // load (0) -> fadd (1) true dep, distance 0.
+        assert!(g
+            .intra()
+            .any(|d| d.src == 0 && d.dst == 1 && d.kind == DepKind::Reg));
+    }
+
+    #[test]
+    fn rec_mii_of_reduction_is_fadd_latency() {
+        let l = reduction();
+        let g = DepGraph::analyze(&l);
+        // The recurrence acc -> acc has one FAdd (latency 4) per iteration.
+        let mii = g.rec_mii(|d| d.latency);
+        assert_eq!(mii, Opcode::FAdd.static_latency());
+    }
+
+    #[test]
+    fn rec_mii_of_independent_loop_is_one_or_iv_bound() {
+        // x[i] = y[i] * 2 has no recurrence except the iv update (lat 1).
+        let mut b = LoopBuilder::new("par", TripCount::Known(100));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        b.binop(Opcode::FMul, y, x, x);
+        b.store(y, MemRef::affine(ArrayId(1), 8, 0, 8));
+        let g = DepGraph::analyze(&b.build());
+        assert_eq!(g.rec_mii(|d| d.latency), 1);
+    }
+
+    #[test]
+    fn carried_mem_dep_distance() {
+        // a[i+2] = a[i] + 1.0 : write at i lands on the read of i+2.
+        let mut b = LoopBuilder::new("carry", TripCount::Known(100));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        b.binop(Opcode::FAdd, y, x, x);
+        b.store(y, MemRef::affine(ArrayId(0), 8, 16, 8));
+        let g = DepGraph::analyze(&b.build());
+        assert_eq!(g.min_carried_mem_distance(), Some(2));
+    }
+
+    #[test]
+    fn same_iteration_store_load_conflict() {
+        let mut b = LoopBuilder::new("fwd", TripCount::Known(100));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        let m = MemRef::affine(ArrayId(0), 8, 0, 8);
+        b.store(x, m);
+        b.load(y, m);
+        let g = DepGraph::analyze(&b.build());
+        assert!(g
+            .mem_deps()
+            .any(|d| d.distance == 0 && d.src < d.dst));
+    }
+
+    #[test]
+    fn exits_order_stores() {
+        let mut b = LoopBuilder::new("exit", TripCount::Unknown { estimate: 50 });
+        let x = b.int_reg();
+        let y = b.int_reg();
+        b.early_exit(x, y);
+        let f = b.fp_reg();
+        b.store(f, MemRef::affine(ArrayId(0), 8, 0, 8));
+        let g = DepGraph::analyze(&b.build());
+        assert!(g.deps().iter().any(|d| d.kind == DepKind::Ctrl));
+    }
+
+    #[test]
+    fn load_load_is_independent() {
+        let mut b = LoopBuilder::new("ll", TripCount::Known(10));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        let m = MemRef::affine(ArrayId(0), 8, 0, 8);
+        b.load(x, m);
+        b.load(y, m);
+        let g = DepGraph::analyze(&b.build());
+        assert_eq!(g.mem_deps().count(), 0);
+    }
+
+    #[test]
+    fn rec_mii_monotone_in_latency() {
+        let g = DepGraph::analyze(&reduction());
+        let a = g.rec_mii(|d| d.latency);
+        let b = g.rec_mii(|d| d.latency * 2);
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,170 @@
+//! IR instructions.
+
+use std::fmt;
+
+use crate::mem::MemRef;
+use crate::opcode::Opcode;
+use crate::reg::Reg;
+
+/// A single IR instruction.
+///
+/// Instructions are a flat three-address form: an opcode, defined
+/// registers, used registers, an optional memory descriptor (required for
+/// memory opcodes), an optional guarding predicate, and a flag marking the
+/// canonical induction-variable update.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// Operation performed.
+    pub opcode: Opcode,
+    /// Registers defined (written).
+    pub defs: Vec<Reg>,
+    /// Registers used (read). Does not include the guard predicate.
+    pub uses: Vec<Reg>,
+    /// Memory access descriptor; `Some` iff the opcode accesses memory.
+    pub mem: Option<MemRef>,
+    /// Guarding predicate register, if the instruction is predicated.
+    pub predicate: Option<Reg>,
+    /// `true` if this is the canonical induction-variable update
+    /// (`i = i + step`); the unroller folds these across copies.
+    pub induction: bool,
+}
+
+impl Inst {
+    /// Creates a plain (non-memory, unpredicated) instruction.
+    pub fn new(opcode: Opcode, defs: Vec<Reg>, uses: Vec<Reg>) -> Self {
+        debug_assert!(
+            !opcode.is_mem(),
+            "memory opcode {opcode} requires Inst::mem"
+        );
+        Inst {
+            opcode,
+            defs,
+            uses,
+            mem: None,
+            predicate: None,
+            induction: false,
+        }
+    }
+
+    /// Creates a memory instruction with its access descriptor.
+    pub fn mem(opcode: Opcode, defs: Vec<Reg>, uses: Vec<Reg>, mem: MemRef) -> Self {
+        debug_assert!(opcode.is_mem(), "{opcode} is not a memory opcode");
+        Inst {
+            opcode,
+            defs,
+            uses,
+            mem: Some(mem),
+            predicate: None,
+            induction: false,
+        }
+    }
+
+    /// Returns `self` guarded by predicate register `p`.
+    pub fn predicated(mut self, p: Reg) -> Self {
+        self.predicate = Some(p);
+        self
+    }
+
+    /// Marks `self` as the canonical induction-variable update.
+    pub fn as_induction(mut self) -> Self {
+        self.induction = true;
+        self
+    }
+
+    /// Total operand count (defs + uses + predicate), one of the paper's
+    /// loop features.
+    pub fn operand_count(&self) -> usize {
+        self.defs.len() + self.uses.len() + usize::from(self.predicate.is_some())
+    }
+
+    /// All registers read by this instruction, including the guard.
+    pub fn reads(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.uses.iter().copied().chain(self.predicate)
+    }
+
+    /// `true` if the instruction writes memory.
+    pub fn is_store(&self) -> bool {
+        matches!(self.opcode, Opcode::Store | Opcode::StorePair)
+    }
+
+    /// `true` if the instruction reads memory (prefetches excluded: they
+    /// do not create true dependences).
+    pub fn is_load(&self) -> bool {
+        matches!(self.opcode, Opcode::Load | Opcode::LoadPair)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = self.predicate {
+            write!(f, "({p}) ")?;
+        }
+        write!(f, "{}", self.opcode)?;
+        for (i, d) in self.defs.iter().enumerate() {
+            write!(f, "{}{d}", if i == 0 { " " } else { "," })?;
+        }
+        if !self.defs.is_empty() && (!self.uses.is_empty() || self.mem.is_some()) {
+            write!(f, " =")?;
+        }
+        for u in &self.uses {
+            write!(f, " {u}")?;
+        }
+        if let Some(m) = self.mem {
+            write!(f, " {m}")?;
+        }
+        if self.induction {
+            write!(f, " ;iv")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::ArrayId;
+
+    #[test]
+    fn operand_count_includes_predicate() {
+        let i = Inst::new(Opcode::Add, vec![Reg::int(1)], vec![Reg::int(2), Reg::int(3)]);
+        assert_eq!(i.operand_count(), 3);
+        let p = i.predicated(Reg::pred(0));
+        assert_eq!(p.operand_count(), 4);
+    }
+
+    #[test]
+    fn reads_include_guard() {
+        let i = Inst::new(Opcode::Add, vec![Reg::int(1)], vec![Reg::int(2)])
+            .predicated(Reg::pred(3));
+        let reads: Vec<Reg> = i.reads().collect();
+        assert_eq!(reads, vec![Reg::int(2), Reg::pred(3)]);
+    }
+
+    #[test]
+    fn load_store_classification() {
+        let m = MemRef::affine(ArrayId(0), 8, 0, 8);
+        let ld = Inst::mem(Opcode::Load, vec![Reg::fp(0)], vec![], m);
+        let st = Inst::mem(Opcode::Store, vec![], vec![Reg::fp(0)], m);
+        let pf = Inst::mem(Opcode::Prefetch, vec![], vec![], m);
+        assert!(ld.is_load() && !ld.is_store());
+        assert!(st.is_store() && !st.is_load());
+        assert!(!pf.is_load() && !pf.is_store());
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let m = MemRef::affine(ArrayId(2), 8, 16, 8);
+        let ld = Inst::mem(Opcode::Load, vec![Reg::fp(4)], vec![], m);
+        let s = ld.to_string();
+        assert!(s.contains("load"), "{s}");
+        assert!(s.contains("f4"), "{s}");
+        assert!(s.contains("A2"), "{s}");
+    }
+
+    #[test]
+    fn induction_marker() {
+        let iv = Inst::new(Opcode::Add, vec![Reg::int(0)], vec![Reg::int(0)]).as_induction();
+        assert!(iv.induction);
+        assert!(iv.to_string().ends_with(";iv"));
+    }
+}

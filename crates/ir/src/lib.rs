@@ -1,0 +1,64 @@
+//! # loopml-ir — a mid-level loop IR for unroll-factor prediction
+//!
+//! This crate is the compiler substrate of the `loopml` reproduction of
+//! *Stephenson & Amarasinghe, "Predicting Unroll Factors Using Supervised
+//! Classification" (CGO 2005)*. It provides the representation the paper's
+//! methodology needs from ORC:
+//!
+//! * a typed, three-address instruction set with Itanium-flavoured
+//!   predicates and wide memory operations ([`Opcode`], [`Inst`]);
+//! * affine symbolic memory descriptors supporting exact loop-carried
+//!   dependence distances ([`MemRef`]);
+//! * innermost [`Loop`]s with trip-count knowledge and source metadata,
+//!   grouped into weighted [`Benchmark`]s;
+//! * dependence analysis ([`DepGraph`]), DAG structure ([`DagSummary`]) and
+//!   liveness ([`LivenessSummary`]) — the raw material for the paper's 38
+//!   loop features and for the machine model's schedulers.
+//!
+//! # Examples
+//!
+//! ```
+//! use loopml_ir::{ArrayId, DepGraph, Inst, LoopBuilder, MemRef, Opcode, TripCount};
+//!
+//! // for (i = 0; i < 1000; i++) y[i] += a * x[i];
+//! let mut b = LoopBuilder::new("daxpy", TripCount::Known(1000));
+//! let x = b.fp_reg();
+//! let y = b.fp_reg();
+//! let r = b.fp_reg();
+//! b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+//! b.load(y, MemRef::affine(ArrayId(1), 8, 0, 8));
+//! b.inst(Inst::new(Opcode::Fma, vec![r], vec![x, y]));
+//! b.store(r, MemRef::affine(ArrayId(1), 8, 0, 8));
+//! let daxpy = b.build();
+//!
+//! let deps = DepGraph::analyze(&daxpy);
+//! assert!(daxpy.is_unrollable());
+//! assert_eq!(deps.rec_mii(|d| d.latency), 1); // no recurrence: pipelines freely
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod builder;
+pub mod dag;
+pub mod deps;
+pub mod inst;
+pub mod liveness;
+pub mod loops;
+pub mod mem;
+pub mod opcode;
+pub mod pretty;
+pub mod program;
+pub mod reg;
+
+pub use builder::LoopBuilder;
+pub use dag::{summarize, DagSummary};
+pub use deps::{Dep, DepGraph, DepKind, MAX_CARRIED_DISTANCE};
+pub use inst::Inst;
+pub use liveness::{analyze as analyze_liveness, LivenessSummary};
+pub use loops::{Loop, SourceLang, TripCount};
+pub use mem::{ArrayId, MemRef};
+pub use opcode::{OpClass, Opcode};
+pub use pretty::{annotate_dependences, render_schedule};
+pub use program::{Benchmark, WeightedLoop};
+pub use reg::{Reg, RegClass};

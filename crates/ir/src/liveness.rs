@@ -1,0 +1,179 @@
+//! Straight-line liveness estimation for loop bodies.
+//!
+//! Register pressure is one of the key mechanisms by which unrolling hurts
+//! (§3 of the paper). This module computes a static live-range summary of a
+//! loop body used both as a feature ("live range size") and by machine
+//! models to estimate spill behaviour before scheduling.
+
+use std::collections::HashMap;
+
+use crate::loops::Loop;
+use crate::reg::{Reg, RegClass};
+
+/// Live-range summary of a loop body.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LivenessSummary {
+    /// Maximum number of simultaneously live integer registers.
+    pub max_live_int: usize,
+    /// Maximum number of simultaneously live floating-point registers.
+    pub max_live_fp: usize,
+    /// Mean number of live registers (all classes) per body position —
+    /// the paper's "live range size" feature.
+    pub avg_live: f64,
+    /// Total number of distinct virtual registers referenced.
+    pub vregs: usize,
+}
+
+/// Computes the live-range summary of `l`.
+///
+/// Registers whose first use precedes their (only) definition are
+/// loop-carried and treated as live across the entire body. Live-in-only
+/// registers (never defined in the loop) are loop-invariant and counted as
+/// live everywhere.
+pub fn analyze(l: &Loop) -> LivenessSummary {
+    let n = l.body.len();
+    if n == 0 {
+        return LivenessSummary {
+            max_live_int: 0,
+            max_live_fp: 0,
+            avg_live: 0.0,
+            vregs: 0,
+        };
+    }
+
+    #[derive(Default, Clone, Copy)]
+    struct Range {
+        first_def: Option<usize>,
+        first_use: Option<usize>,
+        last_use: Option<usize>,
+    }
+
+    let mut ranges: HashMap<Reg, Range> = HashMap::new();
+    for (i, inst) in l.body.iter().enumerate() {
+        for r in inst.reads() {
+            let e = ranges.entry(r).or_default();
+            if e.first_use.is_none() {
+                e.first_use = Some(i);
+            }
+            e.last_use = Some(i);
+        }
+        for &d in &inst.defs {
+            let e = ranges.entry(d).or_default();
+            if e.first_def.is_none() {
+                e.first_def = Some(i);
+            }
+        }
+    }
+
+    // Live interval per register in [0, n] positions; carried and
+    // invariant registers span the whole body.
+    let mut live_at = vec![(0usize, 0usize); 0];
+    let mut intervals: Vec<(Reg, usize, usize)> = Vec::with_capacity(ranges.len());
+    for (&r, rg) in &ranges {
+        let (start, end) = match (rg.first_def, rg.first_use, rg.last_use) {
+            // Defined, then used strictly after: plain interval.
+            (Some(d), Some(u), Some(lu)) if u > d => (d, lu),
+            // Used at-or-before its definition: loop-carried, spans body.
+            (Some(_), Some(_), Some(_)) => (0, n - 1),
+            // Defined but never used (e.g. a store-fed value consumed by
+            // memory): live for one position.
+            (Some(d), None, None) => (d, d),
+            // Used but never defined: loop-invariant input.
+            (None, _, Some(_)) => (0, n - 1),
+            _ => (0, 0),
+        };
+        intervals.push((r, start, end));
+    }
+    live_at.clear();
+
+    let mut live_counts_int = vec![0usize; n];
+    let mut live_counts_fp = vec![0usize; n];
+    let mut live_counts_all = vec![0usize; n];
+    for &(r, s, e) in &intervals {
+        for pos in s..=e.min(n - 1) {
+            live_counts_all[pos] += 1;
+            match r.class() {
+                RegClass::Int => live_counts_int[pos] += 1,
+                RegClass::Fp => live_counts_fp[pos] += 1,
+                RegClass::Pred => {}
+            }
+        }
+    }
+
+    LivenessSummary {
+        max_live_int: live_counts_int.iter().copied().max().unwrap_or(0),
+        max_live_fp: live_counts_fp.iter().copied().max().unwrap_or(0),
+        avg_live: live_counts_all.iter().sum::<usize>() as f64 / n as f64,
+        vregs: ranges.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::inst::Inst;
+    use crate::loops::TripCount;
+    use crate::mem::{ArrayId, MemRef};
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn empty_loop_body() {
+        let l = Loop {
+            name: "empty".into(),
+            body: vec![],
+            trip_count: TripCount::Known(1),
+            nest_level: 1,
+            lang: crate::loops::SourceLang::C,
+        };
+        let s = analyze(&l);
+        assert_eq!(s.vregs, 0);
+        assert_eq!(s.avg_live, 0.0);
+    }
+
+    #[test]
+    fn reduction_accumulator_is_live_everywhere() {
+        let mut b = LoopBuilder::new("red", TripCount::Known(100));
+        let x = b.fp_reg();
+        let acc = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        b.inst(Inst::new(Opcode::FAdd, vec![acc], vec![acc, x]));
+        let l = b.build();
+        let s = analyze(&l);
+        assert!(s.max_live_fp >= 1, "{s:?}");
+        assert!(s.avg_live > 0.0);
+    }
+
+    #[test]
+    fn more_temporaries_more_pressure() {
+        let mk = |temps: usize| {
+            let mut b = LoopBuilder::new("t", TripCount::Known(10));
+            let mut regs = Vec::new();
+            for k in 0..temps {
+                let r = b.fp_reg();
+                b.load(r, MemRef::affine(ArrayId(k as u32), 8, 0, 8));
+                regs.push(r);
+            }
+            // One consumer keeps them all live until the end.
+            let out = b.fp_reg();
+            let mut acc = regs[0];
+            for &r in &regs[1..] {
+                let t = b.fp_reg();
+                b.binop(Opcode::FAdd, t, acc, r);
+                acc = t;
+            }
+            b.store(acc, MemRef::affine(ArrayId(99), 8, 0, 8));
+            let _ = out;
+            analyze(&b.build())
+        };
+        assert!(mk(8).max_live_fp > mk(2).max_live_fp);
+    }
+
+    #[test]
+    fn vreg_count_includes_control_regs() {
+        let l = LoopBuilder::new("ctl", TripCount::Known(4)).build();
+        let s = analyze(&l);
+        // iv, limit, and branch predicate.
+        assert!(s.vregs >= 3, "{s:?}");
+    }
+}

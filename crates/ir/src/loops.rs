@@ -1,0 +1,262 @@
+//! Loops, trip counts and source metadata.
+
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::opcode::Opcode;
+use crate::reg::Reg;
+
+/// Trip count of a loop, as known to the compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TripCount {
+    /// The compiler proved the loop runs exactly this many iterations.
+    Known(u64),
+    /// The trip count is unknown at compile time; `estimate` is the
+    /// dynamic average (used by machine models to simulate execution, but
+    /// invisible to heuristics and feature extraction, which see `-1`).
+    Unknown {
+        /// Average dynamic trip count used when simulating the loop.
+        estimate: u64,
+    },
+}
+
+impl TripCount {
+    /// The value feature extraction reports: the trip count if known,
+    /// `-1.0` otherwise (exactly the encoding in the paper's Table 1).
+    pub fn feature_value(self) -> f64 {
+        match self {
+            TripCount::Known(n) => n as f64,
+            TripCount::Unknown { .. } => -1.0,
+        }
+    }
+
+    /// Dynamic iteration count a simulator should execute.
+    pub fn dynamic(self) -> u64 {
+        match self {
+            TripCount::Known(n) => n,
+            TripCount::Unknown { estimate } => estimate,
+        }
+    }
+
+    /// `true` if the compiler knows the count.
+    pub fn is_known(self) -> bool {
+        matches!(self, TripCount::Known(_))
+    }
+}
+
+impl fmt::Display for TripCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TripCount::Known(n) => write!(f, "{n}"),
+            TripCount::Unknown { estimate } => write!(f, "?~{estimate}"),
+        }
+    }
+}
+
+/// Source language of the benchmark a loop came from. The paper treats the
+/// language as a loop feature (C vs Fortran loops have systematically
+/// different shapes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SourceLang {
+    /// C.
+    C,
+    /// FORTRAN 77.
+    Fortran,
+    /// Fortran 90.
+    Fortran90,
+}
+
+impl SourceLang {
+    /// Numeric encoding used in feature vectors.
+    pub fn feature_value(self) -> f64 {
+        match self {
+            SourceLang::C => 0.0,
+            SourceLang::Fortran => 1.0,
+            SourceLang::Fortran90 => 2.0,
+        }
+    }
+}
+
+impl fmt::Display for SourceLang {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceLang::C => f.write_str("C"),
+            SourceLang::Fortran => f.write_str("Fortran"),
+            SourceLang::Fortran90 => f.write_str("Fortran90"),
+        }
+    }
+}
+
+/// An innermost loop: the unit the paper classifies.
+///
+/// The body is a straight-line sequence of instructions ending in the
+/// backward branch; early exits appear as [`Opcode::BrExit`] instructions
+/// inside the body. Memory addresses are affine in the canonical induction
+/// variable (see [`crate::MemRef`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loop {
+    /// Human-readable name, e.g. `"172.mgrid/resid_l3"`.
+    pub name: String,
+    /// Instruction sequence for one iteration, including induction update,
+    /// loop-closing compare and backward branch.
+    pub body: Vec<Inst>,
+    /// Trip count knowledge.
+    pub trip_count: TripCount,
+    /// Nesting depth (1 = not nested inside another loop).
+    pub nest_level: u32,
+    /// Source language of the enclosing benchmark.
+    pub lang: SourceLang,
+}
+
+impl Loop {
+    /// Number of instructions in the body.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// `true` if the body is empty (never true for well-formed loops).
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Count of instructions satisfying `pred`.
+    pub fn count_ops<F: Fn(&Inst) -> bool>(&self, pred: F) -> usize {
+        self.body.iter().filter(|i| pred(i)).count()
+    }
+
+    /// Number of early-exit branches in the body.
+    pub fn early_exits(&self) -> usize {
+        self.count_ops(|i| i.opcode == Opcode::BrExit)
+    }
+
+    /// `true` if the body contains a call.
+    pub fn has_call(&self) -> bool {
+        self.body.iter().any(|i| i.opcode == Opcode::Call)
+    }
+
+    /// `true` if the loop can be unrolled by the compiler: it must contain
+    /// no calls (calls defeat ORC-style unrolling) and have a recognizable
+    /// loop-closing structure.
+    pub fn is_unrollable(&self) -> bool {
+        !self.has_call() && self.body.iter().any(|i| i.opcode == Opcode::Br)
+    }
+
+    /// All registers defined anywhere in the body.
+    pub fn defined_regs(&self) -> Vec<Reg> {
+        let mut v: Vec<Reg> = self.body.iter().flat_map(|i| i.defs.iter().copied()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Registers that are live into the loop: used (at any position) before
+    /// any definition in straight-line body order, plus registers used but
+    /// never defined.
+    pub fn live_in_regs(&self) -> Vec<Reg> {
+        let mut defined = std::collections::HashSet::new();
+        let mut live_in = Vec::new();
+        for inst in &self.body {
+            for r in inst.reads() {
+                if !defined.contains(&r) && !live_in.contains(&r) {
+                    live_in.push(r);
+                }
+            }
+            for d in &inst.defs {
+                defined.insert(*d);
+            }
+        }
+        live_in.sort_unstable();
+        live_in
+    }
+
+    /// Static code size estimate in bytes. Itanium packs three 41-bit
+    /// instructions plus a template into a 128-byte-per-8-bundle stream;
+    /// we charge 16 bytes per bundle of 3 instructions.
+    pub fn code_bytes(&self) -> u64 {
+        let bundles = (self.body.len() as u64).div_ceil(3);
+        bundles * 16
+    }
+}
+
+impl fmt::Display for Loop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "loop {} (trips={}, nest={}, lang={}):",
+            self.name, self.trip_count, self.nest_level, self.lang
+        )?;
+        for inst in &self.body {
+            writeln!(f, "  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::mem::{ArrayId, MemRef};
+
+    fn sample() -> Loop {
+        let mut b = LoopBuilder::new("t", TripCount::Known(100));
+        let x = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        let y = b.fp_reg();
+        b.inst(Inst::new(Opcode::FAdd, vec![y], vec![x, x]));
+        b.store(y, MemRef::affine(ArrayId(1), 8, 0, 8));
+        b.build()
+    }
+
+    #[test]
+    fn builder_closes_loop() {
+        let l = sample();
+        assert!(l.is_unrollable());
+        assert!(l.body.iter().any(|i| i.induction));
+        assert_eq!(l.body.last().unwrap().opcode, Opcode::Br);
+    }
+
+    #[test]
+    fn trip_count_features() {
+        assert_eq!(TripCount::Known(10).feature_value(), 10.0);
+        assert_eq!(TripCount::Unknown { estimate: 5 }.feature_value(), -1.0);
+        assert_eq!(TripCount::Unknown { estimate: 5 }.dynamic(), 5);
+    }
+
+    #[test]
+    fn live_in_detects_upward_exposed() {
+        let l = sample();
+        let live_in = l.live_in_regs();
+        // The induction variable is read by the address computation only
+        // implicitly (via MemRef), but the iv update reads the iv itself.
+        assert!(!live_in.is_empty());
+    }
+
+    #[test]
+    fn call_blocks_unrolling() {
+        let mut b = LoopBuilder::new("c", TripCount::Known(10));
+        b.inst(Inst::new(Opcode::Call, vec![], vec![]));
+        let l = b.build();
+        assert!(l.has_call());
+        assert!(!l.is_unrollable());
+    }
+
+    #[test]
+    fn code_bytes_rounds_to_bundles() {
+        let l = sample();
+        // 3 body insts + iv + cmp + br = 6 insts = 2 bundles = 32 bytes.
+        assert_eq!(l.len(), 6);
+        assert_eq!(l.code_bytes(), 32);
+    }
+
+    #[test]
+    fn lang_feature_values_are_distinct() {
+        let vals = [
+            SourceLang::C.feature_value(),
+            SourceLang::Fortran.feature_value(),
+            SourceLang::Fortran90.feature_value(),
+        ];
+        assert_eq!(vals.len(), 3);
+        assert!(vals[0] < vals[1] && vals[1] < vals[2]);
+    }
+}

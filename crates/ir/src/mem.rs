@@ -1,0 +1,282 @@
+//! Symbolic memory access descriptors.
+//!
+//! Every memory instruction carries a [`MemRef`] describing its address as
+//! an affine function of the canonical induction variable:
+//!
+//! ```text
+//! address(i) = base + stride * i + offset
+//! ```
+//!
+//! where `i` is the iteration number of the loop the instruction lives in.
+//! This is the form a compiler's dependence analysis works with, and it is
+//! sufficient to derive loop-carried memory-to-memory dependence distances,
+//! to recognize adjacent accesses for coalescing, and to model cache-line
+//! behaviour.
+
+use std::fmt;
+
+/// Identity of a symbolic base array / pointer.
+///
+/// Two accesses can only alias if they share a base. (The corpus generator
+/// never creates distinct bases that alias, mirroring the restrict/Fortran
+/// semantics ORC relies on for its unrolled-loop optimizations.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// An affine (or opaque) memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Symbolic base array.
+    pub base: ArrayId,
+    /// Bytes the address advances per loop iteration. Zero means the
+    /// address is loop-invariant.
+    pub stride: i64,
+    /// Constant byte offset relative to the base within an iteration.
+    pub offset: i64,
+    /// Access width in bytes (4 or 8 for scalar, 16 for paired accesses).
+    pub width: u8,
+    /// `true` if the subscript is data-dependent (e.g. `a[idx[i]]`): the
+    /// access defeats affine dependence analysis and must be treated
+    /// conservatively.
+    pub indirect: bool,
+    /// `true` if the *base* is an unanalyzable pointer (C code without
+    /// `restrict`): the address pattern is still affine — caches see the
+    /// real stride — but dependence analysis must assume it may alias any
+    /// other ambiguous access, so unrolled copies cannot be reordered
+    /// around stores.
+    pub ambiguous: bool,
+}
+
+impl MemRef {
+    /// Creates an affine reference.
+    pub fn affine(base: ArrayId, stride: i64, offset: i64, width: u8) -> Self {
+        MemRef {
+            base,
+            stride,
+            offset,
+            width,
+            indirect: false,
+            ambiguous: false,
+        }
+    }
+
+    /// Creates an indirect (data-dependent) reference; `stride` is the
+    /// statistically expected address advance (used only by cache models).
+    pub fn indirect(base: ArrayId, expected_stride: i64, width: u8) -> Self {
+        MemRef {
+            base,
+            stride: expected_stride,
+            offset: 0,
+            width,
+            indirect: true,
+            ambiguous: false,
+        }
+    }
+
+    /// Returns this reference with the ambiguous-pointer flag set (see
+    /// [`MemRef::ambiguous`]).
+    pub fn as_ambiguous(self) -> Self {
+        MemRef {
+            ambiguous: true,
+            ..self
+        }
+    }
+
+    /// Returns this reference advanced by `iters` whole iterations, as the
+    /// unroller does when materializing copy `iters` of the loop body.
+    pub fn advanced(self, iters: i64) -> Self {
+        if self.indirect {
+            // An indirect access has no meaningful constant offset.
+            return self;
+        }
+        MemRef {
+            offset: self.offset + self.stride * iters,
+            ..self
+        }
+    }
+
+    /// `true` if `self` and `other` are provably adjacent accesses of the
+    /// same width that a wide memory operation could merge: same base, same
+    /// stride, offsets exactly `width` apart, and neither indirect.
+    pub fn adjacent_to(self, other: MemRef) -> bool {
+        !self.indirect
+            && !other.indirect
+            && !self.ambiguous
+            && !other.ambiguous
+            && self.base == other.base
+            && self.stride == other.stride
+            && self.width == other.width
+            && (other.offset - self.offset == i64::from(self.width))
+    }
+
+    /// Loop-carried dependence distance from `self` to `other`, if the two
+    /// references can touch the same address.
+    ///
+    /// Returns:
+    /// * `Some(0)` — they conflict within the same iteration;
+    /// * `Some(d)` with `d > 0` — `other` at iteration `i + d` touches the
+    ///   address `self` touches at iteration `i`;
+    /// * `None` — provably independent (within the `max_distance` horizon).
+    ///
+    /// Indirect references and stride mismatches are handled conservatively
+    /// by returning `Some(1)`.
+    pub fn dependence_distance(self, other: MemRef, max_distance: i64) -> Option<i64> {
+        if self.ambiguous || other.ambiguous {
+            // Unanalyzable pointers may alias anything, including accesses
+            // to other bases — conservatively, in the very same iteration.
+            // (Dependence analysis additionally materializes the wrapped
+            // distance-1 edge; see loopml-ir's deps module.)
+            return Some(0);
+        }
+        if self.base != other.base {
+            return None;
+        }
+        if self.indirect || other.indirect {
+            return Some(1);
+        }
+        if self.stride != other.stride {
+            // Differing strides on the same base: conflicts occur at
+            // irregular intervals; be conservative.
+            return Some(1);
+        }
+        let delta = self.offset - other.offset;
+        if self.stride == 0 {
+            // Loop-invariant address: conflict iff identical ranges overlap.
+            return if overlaps(self.offset, self.width, other.offset, other.width) {
+                Some(1)
+            } else {
+                None
+            };
+        }
+        // Same stride s: other at iteration i+d hits self's iteration-i
+        // address when s*d = offset(self) - offset(other).
+        if delta == 0 {
+            return Some(0);
+        }
+        if delta % self.stride != 0 {
+            // Check partial overlap of access ranges at distance floor.
+            if overlaps(self.offset % self.stride, self.width, other.offset % self.stride, other.width)
+            {
+                return Some(1);
+            }
+            return None;
+        }
+        let d = delta / self.stride;
+        if d > 0 && d <= max_distance {
+            Some(d)
+        } else if d < 0 && -d <= max_distance {
+            // The conflict runs the other direction; callers query both
+            // orders, so report independence in this direction.
+            None
+        } else {
+            None
+        }
+    }
+}
+
+fn overlaps(off_a: i64, width_a: u8, off_b: i64, width_b: u8) -> bool {
+    let (a0, a1) = (off_a, off_a + i64::from(width_a));
+    let (b0, b1) = (off_b, off_b + i64::from(width_b));
+    a0 < b1 && b0 < a1
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.indirect {
+            write!(f, "{}[*i]/{}", self.base, self.width)
+        } else {
+            write!(
+                f,
+                "{}[{}i{}{}]/{}",
+                self.base,
+                self.stride,
+                if self.offset >= 0 { "+" } else { "" },
+                self.offset,
+                self.width
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(stride: i64, offset: i64) -> MemRef {
+        MemRef::affine(ArrayId(0), stride, offset, 8)
+    }
+
+    #[test]
+    fn advancing_moves_offset() {
+        let m = a(8, 0).advanced(3);
+        assert_eq!(m.offset, 24);
+        assert_eq!(m.stride, 8);
+    }
+
+    #[test]
+    fn advancing_indirect_is_identity() {
+        let m = MemRef::indirect(ArrayId(1), 8, 8);
+        assert_eq!(m.advanced(5), m);
+    }
+
+    #[test]
+    fn adjacency() {
+        assert!(a(8, 0).adjacent_to(a(8, 8)));
+        assert!(!a(8, 0).adjacent_to(a(8, 16)));
+        assert!(!a(8, 0).adjacent_to(a(16, 8)));
+        let other_base = MemRef::affine(ArrayId(1), 8, 8, 8);
+        assert!(!a(8, 0).adjacent_to(other_base));
+    }
+
+    #[test]
+    fn same_iteration_conflict() {
+        assert_eq!(a(8, 0).dependence_distance(a(8, 0), 8), Some(0));
+    }
+
+    #[test]
+    fn carried_distance() {
+        // self reads a[i+2] (offset 16), other writes a[i] (offset 0):
+        // other at iteration i+2 writes what self read at iteration i.
+        assert_eq!(a(8, 16).dependence_distance(a(8, 0), 8), Some(2));
+        // Opposite direction reports independence in this direction.
+        assert_eq!(a(8, 0).dependence_distance(a(8, 16), 8), None);
+    }
+
+    #[test]
+    fn different_bases_never_conflict() {
+        let b = MemRef::affine(ArrayId(1), 8, 0, 8);
+        assert_eq!(a(8, 0).dependence_distance(b, 8), None);
+    }
+
+    #[test]
+    fn indirect_is_conservative() {
+        let ind = MemRef::indirect(ArrayId(0), 8, 8);
+        assert_eq!(a(8, 0).dependence_distance(ind, 8), Some(1));
+    }
+
+    #[test]
+    fn invariant_address_conflicts_when_overlapping() {
+        assert_eq!(a(0, 0).dependence_distance(a(0, 0), 8), Some(1));
+        assert_eq!(a(0, 0).dependence_distance(a(0, 32), 8), None);
+    }
+
+    #[test]
+    fn distance_beyond_horizon_is_independent() {
+        assert_eq!(a(8, 800).dependence_distance(a(8, 0), 8), None);
+    }
+
+    #[test]
+    fn non_divisible_delta_without_overlap() {
+        // stride 16, offsets 0 and 4, widths 4: ranges [0,4) and [4,8) per
+        // stride period never overlap.
+        let x = MemRef::affine(ArrayId(0), 16, 0, 4);
+        let y = MemRef::affine(ArrayId(0), 16, 4, 4);
+        assert_eq!(x.dependence_distance(y, 8), None);
+    }
+}

@@ -1,0 +1,98 @@
+//! Pretty-printing helpers for loops and schedules: compact textual
+//! dumps used by examples, debugging tools and test failure messages.
+
+use std::fmt::Write as _;
+
+use crate::deps::DepGraph;
+use crate::loops::Loop;
+
+/// Renders a loop side by side with its dependence counts: one line per
+/// instruction with in/out degree annotations.
+pub fn annotate_dependences(l: &Loop, g: &DepGraph) -> String {
+    let n = l.body.len();
+    let mut indeg = vec![0usize; n];
+    let mut outdeg = vec![0usize; n];
+    let mut carried_in = vec![0usize; n];
+    for d in g.deps() {
+        if d.distance == 0 {
+            outdeg[d.src] += 1;
+            indeg[d.dst] += 1;
+        } else {
+            carried_in[d.dst] += 1;
+        }
+    }
+    let mut s = String::new();
+    let _ = writeln!(s, "loop {} ({} instructions)", l.name, n);
+    for (i, inst) in l.body.iter().enumerate() {
+        let carried = if carried_in[i] > 0 {
+            format!(" carried:{}", carried_in[i])
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            s,
+            "  [{i:>3}] in:{:<2} out:{:<2}{carried:<10} {inst}",
+            indeg[i], outdeg[i]
+        );
+    }
+    s
+}
+
+/// Renders a cycle-by-cycle view of a schedule: which instructions issue
+/// at each cycle (given their start times).
+pub fn render_schedule(l: &Loop, starts: &[u32]) -> String {
+    assert_eq!(starts.len(), l.body.len(), "one start per instruction");
+    let length = starts.iter().copied().max().map_or(0, |m| m + 1);
+    let mut s = String::new();
+    for cycle in 0..length {
+        let _ = write!(s, "cycle {cycle:>3}:");
+        for (i, inst) in l.body.iter().enumerate() {
+            if starts[i] == cycle {
+                let _ = write!(s, "  {}", inst.opcode);
+            }
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::loops::TripCount;
+    use crate::mem::{ArrayId, MemRef};
+
+    fn sample() -> Loop {
+        let mut b = LoopBuilder::new("t", TripCount::Known(8));
+        let x = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        b.store(x, MemRef::affine(ArrayId(1), 8, 0, 8));
+        b.build()
+    }
+
+    #[test]
+    fn annotation_lists_every_instruction() {
+        let l = sample();
+        let g = DepGraph::analyze(&l);
+        let s = annotate_dependences(&l, &g);
+        assert_eq!(s.lines().count(), l.len() + 1);
+        assert!(s.contains("load"));
+    }
+
+    #[test]
+    fn schedule_rendering_covers_all_cycles() {
+        let l = sample();
+        let starts: Vec<u32> = (0..l.len() as u32).collect();
+        let s = render_schedule(&l, &starts);
+        assert_eq!(s.lines().count(), l.len());
+        assert!(s.starts_with("cycle   0:"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one start per instruction")]
+    fn schedule_rendering_validates_lengths() {
+        let l = sample();
+        let _ = render_schedule(&l, &[0, 1]);
+    }
+}

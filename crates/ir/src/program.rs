@@ -1,0 +1,159 @@
+//! Whole-benchmark containers.
+//!
+//! A [`Benchmark`] is a named collection of weighted innermost loops plus
+//! the fraction of runtime spent outside loops — the granularity at which
+//! Figures 4 and 5 of the paper report speedups.
+
+use std::fmt;
+
+use crate::loops::{Loop, SourceLang};
+
+/// A loop together with its share of the benchmark's loop runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedLoop {
+    /// The loop itself.
+    pub body: Loop,
+    /// Relative weight of this loop within the benchmark's loop time
+    /// (weights across a benchmark sum to 1.0).
+    pub weight: f64,
+    /// Number of times the loop is entered per program run (amortizes
+    /// prologue/epilogue and cold-instruction-cache costs).
+    pub entries: u64,
+}
+
+/// A benchmark: a named program composed of loops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Benchmark {
+    /// Benchmark name, e.g. `"171.swim"`.
+    pub name: String,
+    /// Source language.
+    pub lang: SourceLang,
+    /// Weighted innermost loops.
+    pub loops: Vec<WeightedLoop>,
+    /// Fraction of total program runtime not spent in the measured loops
+    /// (unaffected by unrolling decisions).
+    pub non_loop_fraction: f64,
+    /// `true` if the benchmark is floating-point dominated (the SPECfp
+    /// side of the suite); used when aggregating Figure 4/5 means.
+    pub is_fp: bool,
+}
+
+impl Benchmark {
+    /// Creates a benchmark, normalizing loop weights to sum to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loops` is empty or all weights are zero.
+    pub fn new(
+        name: impl Into<String>,
+        lang: SourceLang,
+        mut loops: Vec<WeightedLoop>,
+        non_loop_fraction: f64,
+        is_fp: bool,
+    ) -> Self {
+        assert!(!loops.is_empty(), "benchmark must contain loops");
+        let total: f64 = loops.iter().map(|w| w.weight).sum();
+        assert!(total > 0.0, "loop weights must not all be zero");
+        for w in &mut loops {
+            w.weight /= total;
+        }
+        Benchmark {
+            name: name.into(),
+            lang,
+            loops,
+            non_loop_fraction: non_loop_fraction.clamp(0.0, 0.95),
+            is_fp,
+        }
+    }
+
+    /// Number of loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// `true` if the benchmark has no loops (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Iterator over the loops.
+    pub fn iter(&self) -> impl Iterator<Item = &WeightedLoop> {
+        self.loops.iter()
+    }
+
+    /// The unrollable loops with their indices.
+    pub fn unrollable(&self) -> impl Iterator<Item = (usize, &WeightedLoop)> {
+        self.loops
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.body.is_unrollable())
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} loops, non-loop {:.0}%",
+            self.name,
+            self.lang,
+            self.loops.len(),
+            self.non_loop_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::loops::TripCount;
+
+    fn wl(weight: f64) -> WeightedLoop {
+        WeightedLoop {
+            body: LoopBuilder::new("l", TripCount::Known(10)).build(),
+            weight,
+            entries: 1,
+        }
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let b = Benchmark::new("b", SourceLang::C, vec![wl(2.0), wl(6.0)], 0.3, false);
+        assert!((b.loops[0].weight - 0.25).abs() < 1e-12);
+        assert!((b.loops[1].weight - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain loops")]
+    fn empty_is_rejected() {
+        let _ = Benchmark::new("b", SourceLang::C, vec![], 0.3, false);
+    }
+
+    #[test]
+    fn non_loop_fraction_is_clamped() {
+        let b = Benchmark::new("b", SourceLang::C, vec![wl(1.0)], 2.0, false);
+        assert!(b.non_loop_fraction <= 0.95);
+    }
+
+    #[test]
+    fn unrollable_filters_calls() {
+        let mut call_loop = LoopBuilder::new("c", TripCount::Known(5));
+        call_loop.call();
+        let b = Benchmark::new(
+            "b",
+            SourceLang::C,
+            vec![
+                wl(1.0),
+                WeightedLoop {
+                    body: call_loop.build(),
+                    weight: 1.0,
+                    entries: 1,
+                },
+            ],
+            0.2,
+            false,
+        );
+        assert_eq!(b.unrollable().count(), 1);
+    }
+}

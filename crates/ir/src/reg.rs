@@ -1,0 +1,114 @@
+//! Virtual registers.
+
+use std::fmt;
+
+/// Register class: the Itanium-style split between integer, floating-point
+/// and predicate register files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// General-purpose integer register.
+    Int,
+    /// Floating-point register.
+    Fp,
+    /// One-bit predicate register.
+    Pred,
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => f.write_str("r"),
+            RegClass::Fp => f.write_str("f"),
+            RegClass::Pred => f.write_str("p"),
+        }
+    }
+}
+
+/// A virtual register: a class plus an index.
+///
+/// The IR is in a pre-register-allocation form, so indices are unbounded;
+/// machine models estimate pressure against physical file sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg {
+    class: RegClass,
+    index: u32,
+}
+
+impl Reg {
+    /// Creates a register of the given class.
+    pub fn new(class: RegClass, index: u32) -> Self {
+        Reg { class, index }
+    }
+
+    /// Integer register `r<index>`.
+    pub fn int(index: u32) -> Self {
+        Reg::new(RegClass::Int, index)
+    }
+
+    /// Floating-point register `f<index>`.
+    pub fn fp(index: u32) -> Self {
+        Reg::new(RegClass::Fp, index)
+    }
+
+    /// Predicate register `p<index>`.
+    pub fn pred(index: u32) -> Self {
+        Reg::new(RegClass::Pred, index)
+    }
+
+    /// The register class.
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// The index within the class.
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// Returns a copy of this register with the index shifted by `offset`.
+    /// Used by the unroller when renaming per-copy definitions.
+    pub fn offset_index(self, offset: u32) -> Self {
+        Reg {
+            class: self.class,
+            index: self.index + offset,
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.class, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let r = Reg::int(4);
+        assert_eq!(r.class(), RegClass::Int);
+        assert_eq!(r.index(), 4);
+        assert_eq!(Reg::fp(2).class(), RegClass::Fp);
+        assert_eq!(Reg::pred(0).class(), RegClass::Pred);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::int(3).to_string(), "r3");
+        assert_eq!(Reg::fp(7).to_string(), "f7");
+        assert_eq!(Reg::pred(1).to_string(), "p1");
+    }
+
+    #[test]
+    fn offsetting_preserves_class() {
+        let r = Reg::fp(10).offset_index(100);
+        assert_eq!(r, Reg::fp(110));
+    }
+
+    #[test]
+    fn ordering_groups_by_class() {
+        assert!(Reg::int(5) < Reg::fp(0));
+    }
+}

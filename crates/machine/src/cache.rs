@@ -1,0 +1,183 @@
+//! First-order instruction- and data-cache models.
+//!
+//! These capture the two cache-mediated effects unrolling has (paper §3):
+//! code expansion degrades the instruction cache, while the extra
+//! independent memory operations exposed by unrolling increase memory-level
+//! parallelism and hide data-miss latency.
+
+use loopml_ir::{Loop, MemRef};
+
+use crate::config::MachineConfig;
+
+/// Steady-state data-cache stall cycles per loop iteration.
+///
+/// Affine access streams are grouped by base array; each stream touches
+/// `|stride| / line` new lines per iteration (at most one per access).
+/// Indirect accesses miss at [`MachineConfig::indirect_miss_rate`]. Miss
+/// cycles are divided by the memory-level parallelism the body exposes —
+/// the number of load instructions, capped by the machine's outstanding
+/// miss limit — which is how deeper unrolling hides memory latency.
+pub fn dcache_stall_per_iter(l: &Loop, cfg: &MachineConfig) -> f64 {
+    use std::collections::HashMap;
+    let line = cfg.dcache_line as f64;
+
+    // (base) -> (stride, access count)
+    let mut streams: HashMap<u32, (f64, u32)> = HashMap::new();
+    let mut indirect_accesses = 0u32;
+    let mut load_insts = 0u32;
+    for inst in &l.body {
+        let Some(m) = inst.mem else { continue };
+        if !(inst.is_load() || inst.is_store()) {
+            continue;
+        }
+        if inst.is_load() {
+            // A paired load keeps two original accesses in flight.
+            load_insts += if inst.opcode == loopml_ir::Opcode::LoadPair {
+                2
+            } else {
+                1
+            };
+        }
+        if m.indirect {
+            indirect_accesses += 1;
+            continue;
+        }
+        let e = streams.entry(m.base.0).or_insert((m.stride.unsigned_abs() as f64, 0));
+        e.1 += 1;
+    }
+
+    let mut misses = 0.0;
+    for (stride, count) in streams.values() {
+        let lines_per_iter = (stride / line).min(f64::from(*count));
+        misses += lines_per_iter;
+    }
+    misses += f64::from(indirect_accesses) * cfg.indirect_miss_rate;
+
+    if misses == 0.0 {
+        return 0.0;
+    }
+    // Memory-level parallelism grows with the independent loads the body
+    // exposes, but with diminishing returns: an in-order machine can only
+    // hoist so many loads ahead of their first use.
+    let mlp = (1.0 + f64::from(load_insts).ln_1p())
+        .min(cfg.max_outstanding_misses)
+        .max(1.0);
+    misses * cfg.dmiss_penalty / mlp
+}
+
+/// Instruction-fetch cycles charged once per loop entry.
+///
+/// On entry the loop's lines must be fetched if they were evicted since
+/// the previous entry; the eviction probability grows with the
+/// benchmark's hot-code footprint relative to the cache capacity.
+pub fn icache_entry_cost(code_bytes: u64, hot_footprint: u64, cfg: &MachineConfig) -> f64 {
+    let lines = code_bytes.div_ceil(cfg.icache_line) as f64;
+    let p_evict = (hot_footprint as f64 / cfg.icache_bytes as f64).min(1.0);
+    lines * cfg.ifetch_penalty * p_evict
+}
+
+/// Instruction-fetch cycles per iteration for bodies that exceed the
+/// instruction cache outright (they stream on every pass).
+pub fn icache_stream_per_iter(code_bytes: u64, cfg: &MachineConfig) -> f64 {
+    if code_bytes <= cfg.icache_bytes {
+        return 0.0;
+    }
+    let excess_lines = (code_bytes - cfg.icache_bytes).div_ceil(cfg.icache_line) as f64;
+    excess_lines * cfg.ifetch_penalty
+}
+
+/// Sum of distinct affine stream strides — a proxy for the loop's data
+/// footprint per iteration, exposed for feature extraction.
+pub fn bytes_touched_per_iter(l: &Loop) -> f64 {
+    use std::collections::HashMap;
+    let mut streams: HashMap<u32, f64> = HashMap::new();
+    for inst in &l.body {
+        if let Some(MemRef {
+            base,
+            stride,
+            indirect: false,
+            ..
+        }) = inst.mem
+        {
+            streams.insert(base.0, stride.unsigned_abs() as f64);
+        }
+    }
+    streams.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopml_ir::{ArrayId, LoopBuilder, MemRef, TripCount};
+    use loopml_opt::{unroll_and_optimize, OptConfig};
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::itanium2()
+    }
+
+    fn stream_loop() -> loopml_ir::Loop {
+        let mut b = LoopBuilder::new("stream", TripCount::Known(100_000));
+        let x = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        b.store(x, MemRef::affine(ArrayId(1), 8, 0, 8));
+        b.build()
+    }
+
+    #[test]
+    fn no_memory_no_stall() {
+        let mut b = LoopBuilder::new("alu", TripCount::Known(10));
+        let x = b.int_reg();
+        let y = b.int_reg();
+        b.binop(loopml_ir::Opcode::Add, y, x, x);
+        assert_eq!(dcache_stall_per_iter(&b.build(), &cfg()), 0.0);
+    }
+
+    #[test]
+    fn unrolling_reduces_per_original_iteration_stall() {
+        let l = stream_loop();
+        let rolled = dcache_stall_per_iter(&l, &cfg());
+        let u = unroll_and_optimize(&l, 8, &OptConfig::default());
+        let unrolled = dcache_stall_per_iter(&u.body, &cfg()) / 8.0;
+        assert!(
+            unrolled < rolled,
+            "MLP should hide misses: {unrolled} vs {rolled}"
+        );
+    }
+
+    #[test]
+    fn indirect_accesses_cost_misses() {
+        let mut b = LoopBuilder::new("gather", TripCount::Known(100));
+        let i = b.int_reg();
+        let x = b.fp_reg();
+        b.load(i, MemRef::affine(ArrayId(0), 4, 0, 4));
+        b.load(x, MemRef::indirect(ArrayId(1), 64, 8));
+        b.store(x, MemRef::affine(ArrayId(2), 8, 0, 8));
+        let gather = dcache_stall_per_iter(&b.build(), &cfg());
+        let plain = dcache_stall_per_iter(&stream_loop(), &cfg());
+        assert!(gather > plain, "{gather} vs {plain}");
+    }
+
+    #[test]
+    fn entry_cost_scales_with_footprint_pressure() {
+        let c = cfg();
+        let small = icache_entry_cost(512, 1024, &c);
+        let large = icache_entry_cost(512, 64 * 1024, &c);
+        assert!(large > small);
+        // Saturates at certain eviction.
+        let sat = icache_entry_cost(512, 10 * 1024 * 1024, &c);
+        assert!((sat - icache_entry_cost(512, 20 * 1024 * 1024, &c)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_only_beyond_capacity() {
+        let c = cfg();
+        assert_eq!(icache_stream_per_iter(c.icache_bytes, &c), 0.0);
+        assert!(icache_stream_per_iter(c.icache_bytes * 2, &c) > 0.0);
+    }
+
+    #[test]
+    fn bytes_touched_counts_streams_once() {
+        let l = stream_loop();
+        assert_eq!(bytes_touched_per_iter(&l), 16.0); // two 8-byte streams
+    }
+}

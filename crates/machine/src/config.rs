@@ -1,0 +1,252 @@
+//! Machine description.
+//!
+//! [`MachineConfig::itanium2`] describes a 1.3 GHz Itanium 2-like in-order
+//! EPIC machine at the fidelity the unroll-factor decision needs: issue
+//! width, functional-unit counts, operation latencies, register-file
+//! capacities, and first-order instruction/data cache parameters.
+//! Everything is a plain field so experiments can perturb the machine and
+//! re-learn heuristics (the paper's motivating use case).
+
+use loopml_ir::{Inst, OpClass, Opcode, RegClass};
+
+/// Functional-unit kind a scheduled operation occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuKind {
+    /// Integer ALU (also executes moves and compares).
+    Int,
+    /// Integer multiply unit.
+    IntMul,
+    /// Floating-point unit (FP ALU/MUL/FMA; divides occupy it longer).
+    Fp,
+    /// Load port.
+    Load,
+    /// Store port.
+    Store,
+    /// Branch slot.
+    Branch,
+    /// No unit (nops only consume issue width).
+    None,
+}
+
+impl FuKind {
+    /// Stable index for reservation-table arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FuKind::Int => 0,
+            FuKind::IntMul => 1,
+            FuKind::Fp => 2,
+            FuKind::Load => 3,
+            FuKind::Store => 4,
+            FuKind::Branch => 5,
+            FuKind::None => 6,
+        }
+    }
+
+    /// Number of distinct unit kinds (including `None`).
+    pub const COUNT: usize = 7;
+}
+
+/// Machine description used by the schedulers and cost models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Instructions issued per cycle.
+    pub issue_width: u32,
+    /// Units per [`FuKind`], indexed by [`FuKind::index`].
+    pub units: [u32; FuKind::COUNT],
+    /// Cycles an FP divide/sqrt occupies its unit (partially pipelined).
+    pub fpdiv_occupancy: u32,
+    /// Usable integer registers (after ABI/compiler reservations).
+    pub int_regs: u32,
+    /// Usable floating-point registers.
+    pub fp_regs: u32,
+    /// Extra cycles per iteration charged per spilled value.
+    pub spill_cycles: f64,
+    /// Instruction-cache capacity in bytes.
+    pub icache_bytes: u64,
+    /// Instruction-cache line size in bytes.
+    pub icache_line: u64,
+    /// Cycles to fetch one instruction line on a miss.
+    pub ifetch_penalty: f64,
+    /// Data-cache line size in bytes.
+    pub dcache_line: u64,
+    /// Cycles to service a data miss from memory.
+    pub dmiss_penalty: f64,
+    /// Maximum overlapping outstanding data misses.
+    pub max_outstanding_misses: f64,
+    /// Expected miss rate of an indirect (gather) access.
+    pub indirect_miss_rate: f64,
+    /// Cycles lost to the mispredicted exit branch, once per loop entry.
+    pub exit_mispredict: f64,
+    /// Largest body (in instructions) the software pipeliner attempts.
+    pub swp_body_limit: usize,
+    /// Slack above the minimum II the pipeliner searches before giving up.
+    pub swp_ii_slack: u32,
+}
+
+impl MachineConfig {
+    /// An Itanium 2 ("McKinley") flavoured configuration: 6-issue, 2+2
+    /// memory ports, 2 FP units, 3 branch slots. The 128-entry register
+    /// files shrink to ~48 usable registers per class: without the
+    /// pipeliner's rotating allocation, the compiler works from the
+    /// static subset minus ABI and addressing reservations.
+    pub fn itanium2() -> Self {
+        let mut units = [0u32; FuKind::COUNT];
+        units[FuKind::Int.index()] = 6;
+        units[FuKind::IntMul.index()] = 2;
+        units[FuKind::Fp.index()] = 2;
+        units[FuKind::Load.index()] = 2;
+        units[FuKind::Store.index()] = 2;
+        units[FuKind::Branch.index()] = 3;
+        units[FuKind::None.index()] = 6;
+        MachineConfig {
+            issue_width: 6,
+            units,
+            fpdiv_occupancy: 8,
+            int_regs: 48,
+            fp_regs: 48,
+            spill_cycles: 1.5,
+            icache_bytes: 16 * 1024,
+            icache_line: 64,
+            ifetch_penalty: 20.0,
+            dcache_line: 128,
+            dmiss_penalty: 36.0,
+            max_outstanding_misses: 4.0,
+            indirect_miss_rate: 0.25,
+            exit_mispredict: 6.0,
+            swp_body_limit: 160,
+            swp_ii_slack: 16,
+        }
+    }
+
+    /// Functional unit an instruction occupies.
+    pub fn fu_kind(&self, op: Opcode) -> FuKind {
+        match op.class() {
+            OpClass::IntAlu | OpClass::Move => FuKind::Int,
+            OpClass::IntMul => FuKind::IntMul,
+            OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => FuKind::Fp,
+            OpClass::Load => FuKind::Load,
+            OpClass::Store => FuKind::Store,
+            OpClass::Branch | OpClass::Call => FuKind::Branch,
+            OpClass::Nop => FuKind::None,
+        }
+    }
+
+    /// Cycles the instruction occupies its unit (1 except FP divides).
+    pub fn occupancy(&self, op: Opcode) -> u32 {
+        if op.class() == OpClass::FpDiv {
+            self.fpdiv_occupancy
+        } else {
+            1
+        }
+    }
+
+    /// Machine latency of an instruction. Loads of floating-point data
+    /// bypass the (integer-only) L1D on Itanium 2 and see L2 latency.
+    pub fn latency(&self, inst: &Inst) -> u32 {
+        match inst.opcode {
+            Opcode::Load | Opcode::LoadPair => {
+                let fp_dest = inst
+                    .defs
+                    .first()
+                    .is_some_and(|d| d.class() == RegClass::Fp);
+                if fp_dest {
+                    6
+                } else {
+                    2
+                }
+            }
+            Opcode::Store | Opcode::StorePair | Opcode::Prefetch => 1,
+            Opcode::Add
+            | Opcode::Sub
+            | Opcode::Shl
+            | Opcode::Shr
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Ext
+            | Opcode::Cmp => 1,
+            Opcode::Mul => 3,
+            Opcode::FAdd | Opcode::FSub | Opcode::FCmp | Opcode::CvtIf | Opcode::CvtFi => 4,
+            Opcode::FMul | Opcode::Fma => 4,
+            Opcode::FDiv => 24,
+            Opcode::FSqrt => 28,
+            Opcode::Br | Opcode::BrExit => 1,
+            Opcode::Call => 8,
+            Opcode::Mov | Opcode::MovI | Opcode::Select => 1,
+            Opcode::Nop => 1,
+        }
+    }
+
+    /// Available registers in a class (predicates are not a constraint we
+    /// model).
+    pub fn regs(&self, class: RegClass) -> u32 {
+        match class {
+            RegClass::Int => self.int_regs,
+            RegClass::Fp => self.fp_regs,
+            RegClass::Pred => u32::MAX,
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::itanium2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopml_ir::{ArrayId, MemRef, Reg};
+
+    #[test]
+    fn itanium2_shape() {
+        let c = MachineConfig::itanium2();
+        assert_eq!(c.issue_width, 6);
+        assert_eq!(c.units[FuKind::Fp.index()], 2);
+        assert_eq!(c.units[FuKind::Load.index()], 2);
+    }
+
+    #[test]
+    fn fp_loads_slower_than_int_loads() {
+        let c = MachineConfig::itanium2();
+        let m = MemRef::affine(ArrayId(0), 8, 0, 8);
+        let fp_ld = Inst::mem(Opcode::Load, vec![Reg::fp(0)], vec![], m);
+        let int_ld = Inst::mem(Opcode::Load, vec![Reg::int(5)], vec![], m);
+        assert!(c.latency(&fp_ld) > c.latency(&int_ld));
+    }
+
+    #[test]
+    fn divide_occupies_longer() {
+        let c = MachineConfig::itanium2();
+        assert!(c.occupancy(Opcode::FDiv) > 1);
+        assert_eq!(c.occupancy(Opcode::FAdd), 1);
+    }
+
+    #[test]
+    fn fu_mapping_covers_all_opcodes() {
+        let c = MachineConfig::itanium2();
+        for op in [
+            Opcode::Add,
+            Opcode::Mul,
+            Opcode::FAdd,
+            Opcode::FDiv,
+            Opcode::Load,
+            Opcode::Store,
+            Opcode::Br,
+            Opcode::Call,
+            Opcode::Mov,
+            Opcode::Nop,
+        ] {
+            let k = c.fu_kind(op);
+            assert!(c.units[k.index()] > 0, "{op} maps to empty unit pool");
+        }
+    }
+
+    #[test]
+    fn predicate_regs_unbounded() {
+        let c = MachineConfig::itanium2();
+        assert_eq!(c.regs(RegClass::Pred), u32::MAX);
+        assert!(c.regs(RegClass::Int) < 128);
+    }
+}

@@ -1,0 +1,232 @@
+//! End-to-end loop cost estimation: the machine model's answer to "how
+//! many cycles does this (possibly unrolled) loop take?".
+
+use loopml_ir::DepGraph;
+use loopml_opt::Unrolled;
+
+use crate::cache::{dcache_stall_per_iter, icache_stream_per_iter};
+use crate::config::MachineConfig;
+use crate::list_sched::list_schedule;
+use crate::modulo::modulo_schedule;
+use crate::pressure::max_live;
+
+/// Whether software pipelining is enabled (the paper's two experiment
+/// regimes: Figure 4 has it disabled, Figure 5 enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwpMode {
+    /// Modulo scheduling off: plain list scheduling.
+    Disabled,
+    /// Modulo scheduling on where the loop is eligible.
+    Enabled,
+}
+
+/// Cost breakdown for one loop variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopCost {
+    /// Steady-state cycles per (unrolled) iteration, including spill and
+    /// data-cache stalls.
+    pub per_iter: f64,
+    /// Cycles per loop entry: pipeline fill/drain, remainder-loop work,
+    /// and the final mispredicted exit.
+    pub per_entry: f64,
+    /// Static code size of the loop body in bytes.
+    pub code_bytes: u64,
+    /// Values spilled (excess over the register files).
+    pub spilled: u32,
+    /// `true` if the loop was software-pipelined.
+    pub pipelined: bool,
+    /// Achieved kernel initiation interval (cycles between iteration
+    /// starts in steady state).
+    pub kernel_cycles: u32,
+}
+
+impl LoopCost {
+    /// Total cycles to execute the loop: `trips_per_entry` unrolled
+    /// iterations plus the per-entry overhead, times `entries` loop
+    /// entries (instruction-cache entry costs are accounted separately at
+    /// the benchmark level).
+    pub fn total(&self, trips_per_entry: u64, entries: u64) -> f64 {
+        (self.per_iter * trips_per_entry as f64 + self.per_entry) * entries as f64
+    }
+}
+
+/// Estimates the cost of the unrolled loop `u` on `cfg`.
+///
+/// `rolled_per_iter` is the per-iteration cost of the *rolled* (factor 1)
+/// variant, used to price the remainder loop of known-but-non-divisible
+/// trip counts; pass 0.0 when the factor is 1.
+pub fn loop_cost(u: &Unrolled, rolled_per_iter: f64, cfg: &MachineConfig, swp: SwpMode) -> LoopCost {
+    let l = &u.body;
+    let g = DepGraph::analyze(l);
+
+    let (kernel, starts, pipelined, stages) = match swp {
+        SwpMode::Enabled => match modulo_schedule(l, &g, cfg) {
+            Ok(m) => {
+                let stages = m.stages;
+                (m.ii, m.starts, true, stages)
+            }
+            Err(_) => {
+                let s = list_schedule(l, &g, cfg);
+                (s.iter_interval, s.starts, false, 1)
+            }
+        },
+        SwpMode::Disabled => {
+            let s = list_schedule(l, &g, cfg);
+            (s.iter_interval, s.starts, false, 1)
+        }
+    };
+
+    let pressure = max_live(l, &g, &starts, kernel);
+    let spilled = pressure.spilled(cfg);
+    let code_bytes = l.code_bytes();
+
+    let per_iter = f64::from(kernel)
+        + f64::from(spilled) * cfg.spill_cycles
+        + dcache_stall_per_iter(l, cfg)
+        + icache_stream_per_iter(code_bytes, cfg);
+
+    // Entry cost: pipeline fill + drain for SWP; the remainder loop for
+    // non-divisible known trip counts; one mispredicted exit either way.
+    let fill_drain = if pipelined {
+        2.0 * f64::from(stages.saturating_sub(1)) * f64::from(kernel)
+    } else {
+        0.0
+    };
+    let remainder = u.remainder_iters as f64 * rolled_per_iter;
+    // A loop that leaves through a boundary exit abandons, on average,
+    // half of the unrolled body's work on its final pass.
+    let exit_waste = if u.inserted_exits > 0 { per_iter * 0.5 } else { 0.0 };
+    let per_entry = fill_drain + remainder + exit_waste + cfg.exit_mispredict;
+
+    LoopCost {
+        per_iter,
+        per_entry,
+        code_bytes,
+        spilled,
+        pipelined,
+        kernel_cycles: kernel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopml_ir::{ArrayId, Inst, Loop, LoopBuilder, MemRef, Opcode, TripCount};
+    use loopml_opt::{unroll_and_optimize, OptConfig};
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::itanium2()
+    }
+
+    fn daxpy(trip: TripCount) -> Loop {
+        let mut b = LoopBuilder::new("daxpy", trip);
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        let r = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        b.load(y, MemRef::affine(ArrayId(1), 8, 0, 8));
+        b.inst(Inst::new(Opcode::Fma, vec![r], vec![x, y]));
+        b.store(r, MemRef::affine(ArrayId(1), 8, 0, 8));
+        b.build()
+    }
+
+    fn cost_at(l: &Loop, factor: u32, swp: SwpMode) -> (LoopCost, f64) {
+        let rolled = unroll_and_optimize(l, 1, &OptConfig::default());
+        let rc = loop_cost(&rolled, 0.0, &cfg(), swp);
+        let u = unroll_and_optimize(l, factor, &OptConfig::default());
+        let c = loop_cost(&u, rc.per_iter, &cfg(), swp);
+        let trips = u.body.trip_count.dynamic();
+        (c, c.total(trips, 1))
+    }
+
+    #[test]
+    fn unrolling_helps_daxpy_without_swp() {
+        let l = daxpy(TripCount::Known(4096));
+        let (_, t1) = cost_at(&l, 1, SwpMode::Disabled);
+        let (_, t4) = cost_at(&l, 4, SwpMode::Disabled);
+        assert!(
+            t4 < t1 * 0.8,
+            "unroll 4 should clearly beat rolled: {t4} vs {t1}"
+        );
+    }
+
+    #[test]
+    fn swp_shrinks_the_gap() {
+        let l = daxpy(TripCount::Known(4096));
+        let (_, off1) = cost_at(&l, 1, SwpMode::Disabled);
+        let (_, on1) = cost_at(&l, 1, SwpMode::Enabled);
+        assert!(on1 < off1, "pipelining helps the rolled loop");
+        let (_, on4) = cost_at(&l, 4, SwpMode::Enabled);
+        let gain_on = on1 / on4;
+        let (_, off4) = cost_at(&l, 4, SwpMode::Disabled);
+        let gain_off = off1 / off4;
+        assert!(
+            gain_off > gain_on,
+            "unrolling matters less with SWP: off {gain_off:.2} vs on {gain_on:.2}"
+        );
+    }
+
+    #[test]
+    fn boundary_exits_disable_swp_after_unrolling() {
+        let l = daxpy(TripCount::Unknown { estimate: 4096 });
+        let rolled = unroll_and_optimize(&l, 1, &OptConfig::default());
+        let rc = loop_cost(&rolled, 0.0, &cfg(), SwpMode::Enabled);
+        assert!(rc.pipelined, "rolled unknown-trip loop still pipelines");
+        let u = unroll_and_optimize(&l, 4, &OptConfig::default());
+        let uc = loop_cost(&u, rc.per_iter, &cfg(), SwpMode::Enabled);
+        assert!(!uc.pipelined, "boundary exits must reject SWP");
+    }
+
+    #[test]
+    fn remainder_costs_show_up_per_entry() {
+        let l = daxpy(TripCount::Known(1001));
+        let rolled = unroll_and_optimize(&l, 1, &OptConfig::default());
+        let rc = loop_cost(&rolled, 0.0, &cfg(), SwpMode::Disabled);
+        let u = unroll_and_optimize(&l, 8, &OptConfig::default());
+        let c = loop_cost(&u, rc.per_iter, &cfg(), SwpMode::Disabled);
+        assert!(c.per_entry > rc.per_entry, "1001 % 8 = 1 remainder iteration");
+    }
+
+    #[test]
+    fn recurrence_gains_less_than_parallel_twin() {
+        // x = x / a[i] (serial recurrence) vs y[i] = k / a[i] (parallel):
+        // unrolling amortizes schedule overhead for both, but the serial
+        // chain caps the recurrence loop's gain.
+        let mk = |serial: bool| {
+            let mut b = LoopBuilder::new("div", TripCount::Known(4096));
+            let a = b.fp_reg();
+            let x = b.fp_reg();
+            b.load(a, MemRef::affine(ArrayId(0), 8, 0, 8));
+            if serial {
+                b.inst(Inst::new(Opcode::FDiv, vec![x], vec![x, a]));
+            } else {
+                let k = b.fp_reg(); // live-in constant numerator
+                b.inst(Inst::new(Opcode::FDiv, vec![x], vec![k, a]));
+            }
+            b.store(x, MemRef::affine(ArrayId(1), 8, 0, 8));
+            b.build()
+        };
+        let serial = mk(true);
+        let parallel = mk(false);
+        let (_, s1) = cost_at(&serial, 1, SwpMode::Disabled);
+        let (_, s8) = cost_at(&serial, 8, SwpMode::Disabled);
+        let (_, p1) = cost_at(&parallel, 1, SwpMode::Disabled);
+        let (_, p8) = cost_at(&parallel, 8, SwpMode::Disabled);
+        let serial_gain = s1 / s8;
+        let parallel_gain = p1 / p8;
+        assert!(
+            parallel_gain > serial_gain,
+            "parallel divides should gain more: {parallel_gain:.2} vs {serial_gain:.2}"
+        );
+    }
+
+    #[test]
+    fn total_accounts_entries() {
+        let l = daxpy(TripCount::Known(16));
+        let u = unroll_and_optimize(&l, 2, &OptConfig::default());
+        let c = loop_cost(&u, 10.0, &cfg(), SwpMode::Disabled);
+        let once = c.total(8, 1);
+        let many = c.total(8, 100);
+        assert!(many > once);
+    }
+}

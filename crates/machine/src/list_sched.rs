@@ -1,0 +1,333 @@
+//! Cycle-driven list scheduling for acyclic loop bodies.
+//!
+//! This models the schedule ORC emits when software pipelining is off: one
+//! iteration's instructions are packed into bundles subject to dependences
+//! and functional-unit limits, and the loop executes the resulting
+//! schedule every iteration. Loop-carried dependences then determine how
+//! much of the next iteration can overlap — the effective
+//! cycles-per-iteration reported in [`Schedule::iter_interval`].
+
+use loopml_ir::{Dep, DepGraph, DepKind, Loop, Opcode};
+
+use crate::config::{FuKind, MachineConfig};
+
+/// A scheduled loop body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Issue cycle of each body instruction.
+    pub starts: Vec<u32>,
+    /// Schedule length in cycles (last issue cycle + 1).
+    pub length: u32,
+    /// Effective steady-state cycles per iteration: the schedule length,
+    /// extended if a loop-carried dependence forces a stall between
+    /// consecutive iterations.
+    pub iter_interval: u32,
+}
+
+/// Machine-latency of a dependence edge.
+pub(crate) fn edge_latency(d: &Dep, l: &Loop, cfg: &MachineConfig) -> u32 {
+    match d.kind {
+        DepKind::Reg => cfg.latency(&l.body[d.src]),
+        DepKind::RegAnti => 0,
+        DepKind::RegOut => 1,
+        DepKind::Ctrl => 0,
+        DepKind::Mem => {
+            let src_store = l.body[d.src].is_store();
+            let dst_store = l.body[d.dst].is_store();
+            match (src_store, dst_store) {
+                (true, false) => 2, // store-to-load forwarding
+                (false, true) => 0, // anti
+                _ => 1,             // output ordering
+            }
+        }
+    }
+}
+
+/// Latency-weighted height of each node: the longest path from the node
+/// to any sink over intra-iteration edges.
+pub(crate) fn heights(l: &Loop, g: &DepGraph, cfg: &MachineConfig) -> Vec<u32> {
+    let n = l.body.len();
+    let mut h: Vec<u32> = l.body.iter().map(|i| cfg.latency(i)).collect();
+    // Intra edges always point forward in index order, so relaxing edges
+    // in decreasing source order settles longest paths in one pass: by the
+    // time an edge out of `src` is relaxed, every edge out of a larger
+    // index (hence every successor of `dst`) is final.
+    let mut intra: Vec<&Dep> = g.intra().collect();
+    intra.sort_by(|x, y| y.src.cmp(&x.src));
+    for d in intra.iter() {
+        let via = edge_latency(d, l, cfg) + h[d.dst];
+        if via > h[d.src] {
+            h[d.src] = via;
+        }
+    }
+    debug_assert_eq!(h.len(), n);
+    h
+}
+
+/// List-schedules `l` on `cfg`.
+///
+/// The backward branch is pinned to the end of the schedule (it closes
+/// the iteration). Resource constraints: total issue width per cycle, and
+/// per-[`FuKind`] unit counts with multi-cycle occupancy for FP divides.
+pub fn list_schedule(l: &Loop, g: &DepGraph, cfg: &MachineConfig) -> Schedule {
+    let n = l.body.len();
+    if n == 0 {
+        return Schedule {
+            starts: vec![],
+            length: 0,
+            iter_interval: 1,
+        };
+    }
+    let h = heights(l, g, cfg);
+    let intra: Vec<&Dep> = g.intra().collect();
+
+    let mut pred_edges: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+    for d in &intra {
+        pred_edges[d.dst].push((d.src, edge_latency(d, l, cfg)));
+    }
+
+    let mut starts: Vec<Option<u32>> = vec![None; n];
+    let mut scheduled = 0usize;
+    let mut rt = ReservationTable::new(cfg.clone());
+    let mut cycle: u32 = 0;
+
+    // The backward branch is deferred until everything else is placed.
+    let br_idx = l.body.iter().position(|i| i.opcode == Opcode::Br);
+
+    while scheduled < n {
+        // Candidates ready at `cycle`.
+        let mut ready: Vec<usize> = (0..n)
+            .filter(|&j| starts[j].is_none())
+            .filter(|&j| Some(j) != br_idx || scheduled == n - 1)
+            .filter(|&j| {
+                pred_edges[j].iter().all(|&(p, lat)| {
+                    starts[p].is_some_and(|s| s + lat <= cycle)
+                })
+            })
+            .collect();
+        ready.sort_by(|&a, &b| h[b].cmp(&h[a]).then(a.cmp(&b)));
+
+        for j in ready {
+            let op = l.body[j].opcode;
+            if rt.try_issue(cycle, op) {
+                starts[j] = Some(cycle);
+                scheduled += 1;
+            }
+        }
+        cycle += 1;
+        debug_assert!(
+            cycle < 64 * n as u32 + 64,
+            "list scheduler failed to converge on {}",
+            l.name
+        );
+    }
+
+    let starts: Vec<u32> = starts.into_iter().map(|s| s.expect("all scheduled")).collect();
+    let length = starts.iter().copied().max().unwrap_or(0) + 1;
+
+    // Steady-state iteration interval: carried edges may force the next
+    // iteration to start late.
+    let mut ii = length;
+    for d in g.carried() {
+        let lat = edge_latency(d, l, cfg);
+        let need = i64::from(starts[d.src]) + i64::from(lat) - i64::from(starts[d.dst]);
+        if need > 0 {
+            let t = (need as u64).div_ceil(u64::from(d.distance)) as u32;
+            ii = ii.max(t);
+        }
+    }
+
+    Schedule {
+        starts,
+        length,
+        iter_interval: ii,
+    }
+}
+
+/// Per-cycle resource accounting with multi-cycle occupancy.
+#[derive(Debug)]
+struct ReservationTable {
+    cfg: MachineConfig,
+    issue: Vec<u32>,
+    units: Vec<[u32; FuKind::COUNT]>,
+}
+
+impl ReservationTable {
+    fn new(cfg: MachineConfig) -> Self {
+        ReservationTable {
+            cfg,
+            issue: Vec::new(),
+            units: Vec::new(),
+        }
+    }
+
+    fn grow(&mut self, cycle: usize) {
+        while self.units.len() <= cycle {
+            self.units.push([0; FuKind::COUNT]);
+            self.issue.push(0);
+        }
+    }
+
+    /// Attempts to issue `op` at `cycle`; reserves resources on success.
+    fn try_issue(&mut self, cycle: u32, op: Opcode) -> bool {
+        let kind = self.cfg.fu_kind(op);
+        let occ = self.cfg.occupancy(op);
+        let c = cycle as usize;
+        self.grow(c + occ as usize);
+        if self.issue[c] >= self.cfg.issue_width {
+            return false;
+        }
+        let limit = self.cfg.units[kind.index()];
+        for k in 0..occ as usize {
+            if self.units[c + k][kind.index()] >= limit {
+                return false;
+            }
+        }
+        self.issue[c] += 1;
+        for k in 0..occ as usize {
+            self.units[c + k][kind.index()] += 1;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopml_ir::{ArrayId, Inst, LoopBuilder, MemRef, TripCount};
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::itanium2()
+    }
+
+    fn schedule_of(l: &Loop) -> Schedule {
+        let g = DepGraph::analyze(l);
+        list_schedule(l, &g, &cfg())
+    }
+
+    fn daxpy() -> Loop {
+        let mut b = LoopBuilder::new("daxpy", TripCount::Known(1000));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        let r = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        b.load(y, MemRef::affine(ArrayId(1), 8, 0, 8));
+        b.inst(Inst::new(Opcode::Fma, vec![r], vec![x, y]));
+        b.store(r, MemRef::affine(ArrayId(1), 8, 0, 8));
+        b.build()
+    }
+
+    #[test]
+    fn respects_dependences() {
+        let l = daxpy();
+        let g = DepGraph::analyze(&l);
+        let s = list_schedule(&l, &g, &cfg());
+        for d in g.intra() {
+            let lat = edge_latency(d, &l, &cfg());
+            assert!(
+                s.starts[d.src] + lat <= s.starts[d.dst],
+                "edge {}→{} violated: {} + {} > {}",
+                d.src,
+                d.dst,
+                s.starts[d.src],
+                lat,
+                s.starts[d.dst]
+            );
+        }
+    }
+
+    #[test]
+    fn branch_is_last() {
+        let l = daxpy();
+        let s = schedule_of(&l);
+        let br = l.body.iter().position(|i| i.opcode == Opcode::Br).unwrap();
+        let max = s.starts.iter().copied().max().unwrap();
+        assert_eq!(s.starts[br], max);
+    }
+
+    #[test]
+    fn length_covers_critical_path() {
+        let l = daxpy();
+        let s = schedule_of(&l);
+        // fp load (6) -> fma (4) -> store: at least 10 cycles of latency
+        // before the store issues.
+        assert!(s.length >= 11, "length {}", s.length);
+    }
+
+    #[test]
+    fn load_ports_limit_throughput() {
+        // 8 independent fp loads: 2 load ports => at least 4 cycles.
+        let mut b = LoopBuilder::new("loads", TripCount::Known(100));
+        for k in 0..8u32 {
+            let r = b.fp_reg();
+            b.load(r, MemRef::affine(ArrayId(k), 8, 0, 8));
+        }
+        let s = schedule_of(&b.build());
+        let mut per_cycle = std::collections::HashMap::new();
+        for (j, &st) in s.starts.iter().enumerate().take(8) {
+            let _ = j;
+            *per_cycle.entry(st).or_insert(0u32) += 1;
+        }
+        assert!(per_cycle.values().all(|&c| c <= 2), "{per_cycle:?}");
+        assert!(s.length >= 4);
+    }
+
+    #[test]
+    fn reduction_carried_dep_throttles_iteration() {
+        // acc = acc + x[i]: iterations are 4 cycles apart minimum even if
+        // the schedule itself is short.
+        let mut b = LoopBuilder::new("red", TripCount::Known(100));
+        let x = b.fp_reg();
+        let acc = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        b.inst(Inst::new(Opcode::FAdd, vec![acc], vec![acc, x]));
+        let s = schedule_of(&b.build());
+        assert!(s.iter_interval >= 4, "{}", s.iter_interval);
+    }
+
+    #[test]
+    fn divide_occupancy_serializes() {
+        // 4 independent fp divides on 2 FP units with occupancy 8:
+        // the last divide cannot start before cycle 8.
+        let mut b = LoopBuilder::new("div", TripCount::Known(10));
+        for k in 0..4u32 {
+            let x = b.fp_reg();
+            let y = b.fp_reg();
+            b.load(x, MemRef::affine(ArrayId(k), 8, 0, 8));
+            b.binop(Opcode::FDiv, y, x, x);
+        }
+        let s = schedule_of(&b.build());
+        assert!(s.length > 8, "divides must serialize: length {}", s.length);
+    }
+
+    #[test]
+    fn issue_width_is_respected() {
+        let mut b = LoopBuilder::new("wide", TripCount::Known(10));
+        for _ in 0..24 {
+            let r = b.int_reg();
+            let a = b.int_reg();
+            b.binop(Opcode::Add, r, a, a);
+        }
+        let l = b.build();
+        let s = schedule_of(&l);
+        let mut per_cycle = std::collections::HashMap::new();
+        for &st in &s.starts {
+            *per_cycle.entry(st).or_insert(0u32) += 1;
+        }
+        assert!(per_cycle.values().all(|&c| c <= 6), "{per_cycle:?}");
+    }
+
+    #[test]
+    fn empty_loop_is_fine() {
+        let l = Loop {
+            name: "e".into(),
+            body: vec![],
+            trip_count: TripCount::Known(1),
+            nest_level: 1,
+            lang: loopml_ir::SourceLang::C,
+        };
+        let g = DepGraph::analyze(&l);
+        let s = list_schedule(&l, &g, &cfg());
+        assert_eq!(s.length, 0);
+    }
+}

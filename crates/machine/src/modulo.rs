@@ -1,0 +1,429 @@
+//! Iterative modulo scheduling (software pipelining).
+//!
+//! Implements a Rau-style iterative modulo scheduler: compute the minimum
+//! initiation interval (the larger of the resource bound and the
+//! recurrence bound), then try to place operations into a modulo
+//! reservation table at that II, evicting conflicting placements under a
+//! budget, and increase the II on failure.
+//!
+//! The pipeliner refuses loops it cannot handle — bodies with early exits
+//! or calls, or bodies beyond a size limit — exactly the situations in
+//! which ORC falls back to plain unrolling + list scheduling. Unrolling an
+//! unknown-trip-count loop inserts early exits and therefore *disables*
+//! pipelining, one of the interactions that makes the SWP-enabled
+//! unrolling decision (Figure 5) subtle.
+
+use loopml_ir::{DepGraph, Loop, Opcode};
+
+use crate::config::{FuKind, MachineConfig};
+use crate::list_sched::{edge_latency, heights};
+
+/// A modulo schedule: a kernel of `ii` cycles executing `stages`
+/// overlapped iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuloSchedule {
+    /// Achieved initiation interval in cycles.
+    pub ii: u32,
+    /// Flat start cycle of each instruction (within its own iteration).
+    pub starts: Vec<u32>,
+    /// Number of pipeline stages (`ceil(makespan / ii)`).
+    pub stages: u32,
+}
+
+/// Why the software pipeliner declined a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwpReject {
+    /// The body contains an early exit (multiple-exit loops are not
+    /// pipelined).
+    HasEarlyExit,
+    /// The body contains a call.
+    HasCall,
+    /// The body exceeds the pipeliner's size limit.
+    TooLarge,
+    /// No schedule was found within the II search window.
+    NoSchedule,
+}
+
+/// Resource-constrained minimum II.
+pub fn res_mii(l: &Loop, cfg: &MachineConfig) -> u32 {
+    let mut demand = [0u32; FuKind::COUNT];
+    let mut total = 0u32;
+    for inst in &l.body {
+        let k = cfg.fu_kind(inst.opcode);
+        demand[k.index()] += cfg.occupancy(inst.opcode);
+        total += 1;
+    }
+    let mut mii = total.div_ceil(cfg.issue_width);
+    for k in 0..FuKind::COUNT {
+        if k == FuKind::None.index() {
+            continue;
+        }
+        if cfg.units[k] > 0 && demand[k] > 0 {
+            mii = mii.max(demand[k].div_ceil(cfg.units[k]));
+        }
+    }
+    mii.max(1)
+}
+
+/// Recurrence-constrained minimum II under machine latencies.
+pub fn rec_mii(l: &Loop, g: &DepGraph, cfg: &MachineConfig) -> u32 {
+    g.rec_mii(|d| edge_latency(d, l, cfg))
+}
+
+/// Attempts to software-pipeline `l`.
+///
+/// # Errors
+///
+/// Returns a [`SwpReject`] describing why the loop was not pipelined.
+pub fn modulo_schedule(
+    l: &Loop,
+    g: &DepGraph,
+    cfg: &MachineConfig,
+) -> Result<ModuloSchedule, SwpReject> {
+    if l.body.iter().any(|i| i.opcode == Opcode::BrExit) {
+        return Err(SwpReject::HasEarlyExit);
+    }
+    if l.has_call() {
+        return Err(SwpReject::HasCall);
+    }
+    if l.body.len() > cfg.swp_body_limit {
+        return Err(SwpReject::TooLarge);
+    }
+
+    let mii = res_mii(l, cfg).max(rec_mii(l, g, cfg));
+    for ii in mii..=mii + cfg.swp_ii_slack {
+        if let Some(s) = try_ii(l, g, cfg, ii) {
+            return Ok(s);
+        }
+    }
+    Err(SwpReject::NoSchedule)
+}
+
+/// One iterative-modulo-scheduling attempt at a fixed II.
+fn try_ii(l: &Loop, g: &DepGraph, cfg: &MachineConfig, ii: u32) -> Option<ModuloSchedule> {
+    let n = l.body.len();
+    if n == 0 {
+        return Some(ModuloSchedule {
+            ii,
+            starts: vec![],
+            stages: 1,
+        });
+    }
+    let prio = heights(l, g, cfg);
+    // Edges with (src, dst, lat, dist), including carried ones.
+    let edges: Vec<(usize, usize, i64, i64)> = g
+        .deps()
+        .iter()
+        .map(|d| {
+            (
+                d.src,
+                d.dst,
+                i64::from(edge_latency(d, l, cfg)),
+                i64::from(d.distance),
+            )
+        })
+        .collect();
+    let mut preds: Vec<Vec<(usize, i64, i64)>> = vec![Vec::new(); n];
+    let mut succs: Vec<Vec<(usize, i64, i64)>> = vec![Vec::new(); n];
+    for &(s, d, lat, dist) in &edges {
+        preds[d].push((s, lat, dist));
+        succs[s].push((d, lat, dist));
+    }
+
+    let mut starts: Vec<Option<i64>> = vec![None; n];
+    let mut mrt = ModuloTable::new(cfg, ii);
+    let mut budget = (n as i64) * 8;
+
+    // Worklist: highest priority first among unscheduled.
+    loop {
+        let Some(op) = (0..n)
+            .filter(|&j| starts[j].is_none())
+            .max_by(|&a, &b| prio[a].cmp(&prio[b]).then(b.cmp(&a)))
+        else {
+            break;
+        };
+        budget -= 1;
+        if budget < 0 {
+            return None;
+        }
+        // Earliest start from scheduled predecessors.
+        let estart = preds[op]
+            .iter()
+            .filter_map(|&(p, lat, dist)| starts[p].map(|sp| sp + lat - i64::from(ii) * dist))
+            .max()
+            .unwrap_or(0)
+            .max(0);
+        // Find a resource-feasible slot within one II of estart.
+        let opcode = l.body[op].opcode;
+        let slot = (estart..estart + i64::from(ii))
+            .find(|&c| mrt.fits(c, opcode))
+            .unwrap_or(estart);
+        // Evict resource conflictors at the chosen slot if forced.
+        if !mrt.fits(slot, opcode) {
+            for j in 0..n {
+                if j != op
+                    && starts[j].is_some_and(|sj| {
+                        conflicts(&mrt.cfg, ii, sj, l.body[j].opcode, slot, opcode)
+                    })
+                {
+                    mrt.remove(starts[j].unwrap(), l.body[j].opcode);
+                    starts[j] = None;
+                }
+            }
+        }
+        if !mrt.fits(slot, opcode) {
+            // Still blocked (unit pool saturated by this op alone).
+            return None;
+        }
+        mrt.place(slot, opcode);
+        starts[op] = Some(slot);
+        // Evict scheduled successors whose constraint broke.
+        for &(s, lat, dist) in &succs[op] {
+            if s == op {
+                continue;
+            }
+            if let Some(ss) = starts[s] {
+                if slot + lat - i64::from(ii) * dist > ss {
+                    mrt.remove(ss, l.body[s].opcode);
+                    starts[s] = None;
+                }
+            }
+        }
+    }
+
+    let starts: Vec<i64> = starts.into_iter().map(|s| s.expect("scheduled")).collect();
+    // Validate every dependence (cheap insurance against scheduler bugs).
+    for &(s, d, lat, dist) in &edges {
+        if starts[s] + lat - i64::from(ii) * dist > starts[d] {
+            return None;
+        }
+    }
+    let makespan = starts.iter().copied().max().unwrap_or(0) + 1;
+    let stages = (makespan as u64).div_ceil(u64::from(ii)).max(1) as u32;
+    Some(ModuloSchedule {
+        ii,
+        starts: starts.iter().map(|&s| s as u32).collect(),
+        stages,
+    })
+}
+
+/// `true` if scheduling `b_op` at `b_slot` would need a unit `a_op` at
+/// `a_slot` holds in the modulo table.
+fn conflicts(
+    cfg: &MachineConfig,
+    ii: u32,
+    a_slot: i64,
+    a_op: Opcode,
+    b_slot: i64,
+    b_op: Opcode,
+) -> bool {
+    if cfg.fu_kind(a_op) != cfg.fu_kind(b_op) {
+        return false;
+    }
+    let ii = i64::from(ii);
+    let a_occ = i64::from(cfg.occupancy(a_op));
+    let b_occ = i64::from(cfg.occupancy(b_op));
+    for ka in 0..a_occ {
+        for kb in 0..b_occ {
+            if (a_slot + ka).rem_euclid(ii) == (b_slot + kb).rem_euclid(ii) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Modulo reservation table: `ii` rows of unit counters.
+#[derive(Debug)]
+struct ModuloTable<'a> {
+    cfg: &'a MachineConfig,
+    ii: i64,
+    issue: Vec<u32>,
+    units: Vec<[u32; FuKind::COUNT]>,
+}
+
+impl<'a> ModuloTable<'a> {
+    fn new(cfg: &'a MachineConfig, ii: u32) -> Self {
+        ModuloTable {
+            cfg,
+            ii: i64::from(ii),
+            issue: vec![0; ii as usize],
+            units: vec![[0; FuKind::COUNT]; ii as usize],
+        }
+    }
+
+    fn row(&self, cycle: i64) -> usize {
+        cycle.rem_euclid(self.ii) as usize
+    }
+
+    fn fits(&self, cycle: i64, op: Opcode) -> bool {
+        let kind = self.cfg.fu_kind(op);
+        let r0 = self.row(cycle);
+        if self.issue[r0] >= self.cfg.issue_width {
+            return false;
+        }
+        let limit = self.cfg.units[kind.index()];
+        for k in 0..i64::from(self.cfg.occupancy(op)) {
+            if self.units[self.row(cycle + k)][kind.index()] >= limit {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn place(&mut self, cycle: i64, op: Opcode) {
+        let kind = self.cfg.fu_kind(op);
+        let r0 = self.row(cycle);
+        self.issue[r0] += 1;
+        for k in 0..i64::from(self.cfg.occupancy(op)) {
+            let r = self.row(cycle + k);
+            self.units[r][kind.index()] += 1;
+        }
+    }
+
+    fn remove(&mut self, cycle: i64, op: Opcode) {
+        let kind = self.cfg.fu_kind(op);
+        let r0 = self.row(cycle);
+        self.issue[r0] -= 1;
+        for k in 0..i64::from(self.cfg.occupancy(op)) {
+            let r = self.row(cycle + k);
+            self.units[r][kind.index()] -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopml_ir::{ArrayId, Inst, LoopBuilder, MemRef, TripCount};
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::itanium2()
+    }
+
+    fn daxpy() -> Loop {
+        let mut b = LoopBuilder::new("daxpy", TripCount::Known(1000));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        let r = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        b.load(y, MemRef::affine(ArrayId(1), 8, 0, 8));
+        b.inst(Inst::new(Opcode::Fma, vec![r], vec![x, y]));
+        b.store(r, MemRef::affine(ArrayId(1), 8, 0, 8));
+        b.build()
+    }
+
+    #[test]
+    fn pipelines_daxpy_tightly() {
+        let l = daxpy();
+        let g = DepGraph::analyze(&l);
+        let s = modulo_schedule(&l, &g, &cfg()).expect("pipelines");
+        // 7 instructions / 6-issue and 2 loads+1 store / ports => II 2.
+        assert!(s.ii <= 3, "ii = {}", s.ii);
+        assert!(s.stages >= 2, "pipelining overlaps iterations");
+    }
+
+    #[test]
+    fn ii_beats_list_schedule_iteration_time() {
+        let l = daxpy();
+        let g = DepGraph::analyze(&l);
+        let swp = modulo_schedule(&l, &g, &cfg()).unwrap();
+        let ls = crate::list_sched::list_schedule(&l, &g, &cfg());
+        assert!(
+            swp.ii < ls.iter_interval,
+            "swp {} vs list {}",
+            swp.ii,
+            ls.iter_interval
+        );
+    }
+
+    #[test]
+    fn recurrence_bounds_ii() {
+        let mut b = LoopBuilder::new("red", TripCount::Known(100));
+        let x = b.fp_reg();
+        let acc = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        b.inst(Inst::new(Opcode::FAdd, vec![acc], vec![acc, x]));
+        let l = b.build();
+        let g = DepGraph::analyze(&l);
+        let s = modulo_schedule(&l, &g, &cfg()).unwrap();
+        assert!(s.ii >= 4, "FAdd recurrence bounds II, got {}", s.ii);
+    }
+
+    #[test]
+    fn rejects_early_exits() {
+        let mut b = LoopBuilder::new("exit", TripCount::Unknown { estimate: 100 });
+        let x = b.int_reg();
+        let y = b.int_reg();
+        b.early_exit(x, y);
+        let l = b.build();
+        let g = DepGraph::analyze(&l);
+        assert_eq!(modulo_schedule(&l, &g, &cfg()), Err(SwpReject::HasEarlyExit));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let mut b = LoopBuilder::new("big", TripCount::Known(100));
+        for k in 0..200u32 {
+            let r = b.fp_reg();
+            b.load(r, MemRef::affine(ArrayId(k % 4), 8, i64::from(k) * 8, 8));
+        }
+        let l = b.build();
+        let g = DepGraph::analyze(&l);
+        assert_eq!(modulo_schedule(&l, &g, &cfg()), Err(SwpReject::TooLarge));
+    }
+
+    #[test]
+    fn schedule_respects_all_dependences() {
+        let l = daxpy();
+        let g = DepGraph::analyze(&l);
+        let s = modulo_schedule(&l, &g, &cfg()).unwrap();
+        for d in g.deps() {
+            let lat = i64::from(edge_latency(d, &l, &cfg()));
+            let lhs = i64::from(s.starts[d.src]) + lat - i64::from(s.ii) * i64::from(d.distance);
+            assert!(
+                lhs <= i64::from(s.starts[d.dst]),
+                "edge {}→{} violated at ii {}",
+                d.src,
+                d.dst,
+                s.ii
+            );
+        }
+    }
+
+    #[test]
+    fn res_mii_counts_ports() {
+        // 5 stores / 2 store ports => resource MII at least 3.
+        let mut b = LoopBuilder::new("st", TripCount::Known(10));
+        for k in 0..5u32 {
+            let r = b.fp_reg();
+            b.store(r, MemRef::affine(ArrayId(k), 8, 0, 8));
+        }
+        let l = b.build();
+        assert!(res_mii(&l, &cfg()) >= 3);
+    }
+
+    #[test]
+    fn fractional_ii_motivation() {
+        // A body whose resource demand is 2.5 cycles: 5 loads / 2 ports.
+        // Rolled II = 3; unrolled by 2, the 10 loads need II 5 over two
+        // iterations = 2.5 per original iteration.
+        let mut b = LoopBuilder::new("frac", TripCount::Known(1000));
+        for k in 0..5u32 {
+            let r = b.fp_reg();
+            b.load(r, MemRef::affine(ArrayId(k), 8, 0, 8));
+        }
+        let l = b.build();
+        let g = DepGraph::analyze(&l);
+        let rolled = modulo_schedule(&l, &g, &cfg()).unwrap();
+        let u = loopml_opt::unroll(&l, 2);
+        let g2 = DepGraph::analyze(&u.body);
+        let unrolled = modulo_schedule(&u.body, &g2, &cfg()).unwrap();
+        let per_orig_rolled = f64::from(rolled.ii);
+        let per_orig_unrolled = f64::from(unrolled.ii) / 2.0;
+        assert!(
+            per_orig_unrolled < per_orig_rolled,
+            "unrolling should capture fractional II: {per_orig_unrolled} vs {per_orig_rolled}"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Measurement-noise modelling.
+//!
+//! The paper's labels come from hardware cycle counters in a multi-tasking
+//! environment: noisy. It mitigates noise by taking the median of 30 runs
+//! and dropping loops that run under 50,000 cycles. This module models a
+//! multiplicative Gaussian measurement error so the labeling pipeline (and
+//! the oracle-beaten-by-ORC artifacts in Figures 4/5) can be reproduced.
+
+use rand::Rng;
+
+/// A multiplicative Gaussian noise source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Relative standard deviation of one measurement (e.g. 0.02 = 2%).
+    pub sigma: f64,
+    /// Measurements taken per data point; the median is reported.
+    pub runs: usize,
+}
+
+impl NoiseModel {
+    /// A noiseless model (measurements are exact).
+    pub fn exact() -> Self {
+        NoiseModel { sigma: 0.0, runs: 1 }
+    }
+
+    /// The paper's regime: 30 runs, a few percent of jitter.
+    pub fn paper() -> Self {
+        NoiseModel {
+            sigma: 0.03,
+            runs: 30,
+        }
+    }
+
+    /// Observes `true_cycles` through the noise model: the median of
+    /// `runs` noisy samples.
+    pub fn measure<R: Rng + ?Sized>(&self, true_cycles: f64, rng: &mut R) -> f64 {
+        if self.sigma == 0.0 || self.runs == 0 {
+            return true_cycles;
+        }
+        let mut samples: Vec<f64> = (0..self.runs)
+            .map(|_| {
+                let z = standard_normal(rng);
+                // Timer noise can only make things look slower or jitter
+                // slightly; clamp at -3 sigma to keep samples positive.
+                true_cycles * (1.0 + self.sigma * z.max(-3.0))
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        median_of_sorted(&samples)
+    }
+}
+
+/// Standard normal deviate via Box-Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_model_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(NoiseModel::exact().measure(12345.0, &mut rng), 12345.0);
+    }
+
+    #[test]
+    fn median_tames_noise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let one_run = NoiseModel { sigma: 0.05, runs: 1 };
+        let thirty = NoiseModel { sigma: 0.05, runs: 30 };
+        let n = 400;
+        let err = |m: NoiseModel, rng: &mut StdRng| -> f64 {
+            (0..n)
+                .map(|_| (m.measure(1000.0, rng) - 1000.0).abs())
+                .sum::<f64>()
+                / n as f64
+        };
+        let e1 = err(one_run, &mut rng);
+        let e30 = err(thirty, &mut rng);
+        assert!(e30 < e1, "median of 30 should be tighter: {e30} vs {e1}");
+    }
+
+    #[test]
+    fn measurements_stay_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = NoiseModel { sigma: 0.2, runs: 5 };
+        for _ in 0..200 {
+            assert!(m.measure(100.0, &mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m = NoiseModel::paper();
+        let a = m.measure(5000.0, &mut StdRng::seed_from_u64(42));
+        let b = m.measure(5000.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn median_of_even_sorted() {
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Register-pressure estimation over schedules.
+//!
+//! Given a schedule (list or modulo) this module computes the maximum
+//! number of simultaneously live values per register class in the
+//! steady-state kernel, counting the overlapping lifetimes of values from
+//! multiple in-flight iterations (the software-pipelining pressure effect
+//! that makes over-unrolling dangerous).
+
+use std::collections::HashMap;
+
+use loopml_ir::{DepGraph, DepKind, Loop, Reg, RegClass};
+
+use crate::config::MachineConfig;
+
+/// Maximum simultaneous live values per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pressure {
+    /// Integer registers.
+    pub int: u32,
+    /// Floating-point registers.
+    pub fp: u32,
+}
+
+impl Pressure {
+    /// Registers spilled under `cfg`: the excess over each file size.
+    pub fn spilled(&self, cfg: &MachineConfig) -> u32 {
+        self.int.saturating_sub(cfg.int_regs) + self.fp.saturating_sub(cfg.fp_regs)
+    }
+}
+
+/// Computes steady-state register pressure.
+///
+/// `starts` gives each instruction's issue cycle; `period` is the
+/// initiation interval between consecutive iterations (the kernel length
+/// for list schedules, the II for modulo schedules). A value defined at
+/// `d` and last used at `u` (plus `period` for loop-carried consumers) is
+/// live for `u - d` cycles; at any kernel cycle the number of live copies
+/// of a value is its lifetime divided by the period, rounded by phase.
+/// Loop-invariant live-in registers occupy a register throughout.
+pub fn max_live(l: &Loop, g: &DepGraph, starts: &[u32], period: u32) -> Pressure {
+    let n = l.body.len();
+    assert_eq!(starts.len(), n, "starts must cover the body");
+    let period = i64::from(period.max(1));
+
+    // Lifetime [def_start, last_use_start] per defined value.
+    let mut lifetime: HashMap<(usize, Reg), (i64, i64)> = HashMap::new();
+    for (i, inst) in l.body.iter().enumerate() {
+        for &d in &inst.defs {
+            let s = i64::from(starts[i]);
+            lifetime.insert((i, d), (s, s + 1));
+        }
+    }
+    for dep in g.deps() {
+        if dep.kind != DepKind::Reg {
+            continue;
+        }
+        // The value produced by dep.src is consumed by dep.dst, `distance`
+        // iterations later.
+        let use_cycle = i64::from(starts[dep.dst]) + period * i64::from(dep.distance);
+        for &d in &l.body[dep.src].defs {
+            if l.body[dep.dst].reads().any(|r| r == d) {
+                let e = lifetime
+                    .entry((dep.src, d))
+                    .or_insert((i64::from(starts[dep.src]), i64::from(starts[dep.src]) + 1));
+                e.1 = e.1.max(use_cycle);
+            }
+        }
+    }
+
+    // Steady-state occupancy: at kernel cycle c, value copies live =
+    // #{k : s <= c + k*period < e}.
+    let mut max_int = 0i64;
+    let mut max_fp = 0i64;
+    for c in 0..period {
+        let mut int_live = 0i64;
+        let mut fp_live = 0i64;
+        for (&(_, r), &(s, e)) in &lifetime {
+            let span = e - s;
+            if span <= 0 {
+                continue;
+            }
+            // Number of k with s <= c + k*period < e.
+            let lo = div_ceil_i64(s - c, period);
+            let hi = div_floor_i64(e - 1 - c, period);
+            let copies = (hi - lo + 1).max(0);
+            match r.class() {
+                RegClass::Int => int_live += copies,
+                RegClass::Fp => fp_live += copies,
+                RegClass::Pred => {}
+            }
+        }
+        max_int = max_int.max(int_live);
+        max_fp = max_fp.max(fp_live);
+    }
+
+    // Loop-invariant inputs hold a register for the whole loop.
+    let mut invariant_int = 0u32;
+    let mut invariant_fp = 0u32;
+    for r in l.live_in_regs() {
+        let defined_in_loop = l.body.iter().any(|i| i.defs.contains(&r));
+        if defined_in_loop {
+            continue; // loop-carried, already counted via lifetimes
+        }
+        match r.class() {
+            RegClass::Int => invariant_int += 1,
+            RegClass::Fp => invariant_fp += 1,
+            RegClass::Pred => {}
+        }
+    }
+
+    Pressure {
+        int: max_int as u32 + invariant_int,
+        fp: max_fp as u32 + invariant_fp,
+    }
+}
+
+fn div_floor_i64(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if a % b != 0 && (a < 0) != (b < 0) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn div_ceil_i64(a: i64, b: i64) -> i64 {
+    -div_floor_i64(-a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list_sched::list_schedule;
+    use crate::modulo::modulo_schedule;
+    use loopml_ir::{ArrayId, Inst, LoopBuilder, MemRef, Opcode, TripCount};
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::itanium2()
+    }
+
+    fn wide_body(temps: u32) -> Loop {
+        let mut b = LoopBuilder::new("wide", TripCount::Known(1000));
+        let mut regs = Vec::new();
+        for k in 0..temps {
+            let r = b.fp_reg();
+            b.load(r, MemRef::affine(ArrayId(k), 8, 0, 8));
+            regs.push(r);
+        }
+        let mut acc = regs[0];
+        for &r in &regs[1..] {
+            let t = b.fp_reg();
+            b.inst(Inst::new(Opcode::FAdd, vec![t], vec![acc, r]));
+            acc = t;
+        }
+        b.store(acc, MemRef::affine(ArrayId(100), 8, 0, 8));
+        b.build()
+    }
+
+    #[test]
+    fn pressure_grows_with_temporaries() {
+        let small = wide_body(3);
+        let big = wide_body(12);
+        let gs = DepGraph::analyze(&small);
+        let gb = DepGraph::analyze(&big);
+        let ss = list_schedule(&small, &gs, &cfg());
+        let sb = list_schedule(&big, &gb, &cfg());
+        let ps = max_live(&small, &gs, &ss.starts, ss.iter_interval);
+        let pb = max_live(&big, &gb, &sb.starts, sb.iter_interval);
+        assert!(pb.fp > ps.fp, "{pb:?} vs {ps:?}");
+    }
+
+    #[test]
+    fn pipelining_increases_pressure() {
+        let l = wide_body(6);
+        let g = DepGraph::analyze(&l);
+        let ls = list_schedule(&l, &g, &cfg());
+        let p_list = max_live(&l, &g, &ls.starts, ls.iter_interval);
+        let swp = modulo_schedule(&l, &g, &cfg()).unwrap();
+        let p_swp = max_live(&l, &g, &swp.starts, swp.ii);
+        assert!(
+            p_swp.fp >= p_list.fp,
+            "overlapped iterations hold more values: {p_swp:?} vs {p_list:?}"
+        );
+    }
+
+    #[test]
+    fn no_spills_on_small_bodies() {
+        let l = wide_body(4);
+        let g = DepGraph::analyze(&l);
+        let s = list_schedule(&l, &g, &cfg());
+        let p = max_live(&l, &g, &s.starts, s.iter_interval);
+        assert_eq!(p.spilled(&cfg()), 0);
+    }
+
+    #[test]
+    fn spills_reported_beyond_file_size() {
+        let mut tight = cfg();
+        tight.fp_regs = 4;
+        let l = wide_body(10);
+        let g = DepGraph::analyze(&l);
+        let s = list_schedule(&l, &g, &tight);
+        let p = max_live(&l, &g, &s.starts, s.iter_interval);
+        assert!(p.spilled(&tight) > 0);
+    }
+
+    #[test]
+    fn invariants_count_once() {
+        // Loop reading a live-in fp register every iteration.
+        let mut b = LoopBuilder::new("inv", TripCount::Known(10));
+        let k = b.fp_reg(); // never defined: live-in
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        b.inst(Inst::new(Opcode::FMul, vec![y], vec![x, k]));
+        b.store(y, MemRef::affine(ArrayId(1), 8, 0, 8));
+        let l = b.build();
+        let g = DepGraph::analyze(&l);
+        let s = list_schedule(&l, &g, &cfg());
+        let p = max_live(&l, &g, &s.starts, s.iter_interval);
+        assert!(p.fp >= 2, "{p:?}"); // k plus at least one in-flight value
+    }
+}

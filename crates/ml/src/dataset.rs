@@ -1,0 +1,256 @@
+//! Labeled datasets and feature normalization.
+
+use std::fmt;
+
+/// A labeled training set: one feature vector and one class label per
+/// example, plus feature names for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Feature vectors (row per example).
+    pub x: Vec<Vec<f64>>,
+    /// Class labels in `0..classes`.
+    pub y: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+    /// Feature names, `feature_names.len() == x[i].len()`.
+    pub feature_names: Vec<String>,
+    /// Example names (for reporting / grouping by benchmark).
+    pub example_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are ragged, labels exceed `classes`, or lengths
+    /// disagree.
+    pub fn new(
+        x: Vec<Vec<f64>>,
+        y: Vec<usize>,
+        classes: usize,
+        feature_names: Vec<String>,
+        example_names: Vec<String>,
+    ) -> Self {
+        assert_eq!(x.len(), y.len(), "one label per example");
+        assert_eq!(x.len(), example_names.len(), "one name per example");
+        let d = feature_names.len();
+        assert!(x.iter().all(|r| r.len() == d), "ragged feature rows");
+        assert!(y.iter().all(|&l| l < classes), "label out of range");
+        Dataset {
+            x,
+            y,
+            classes,
+            feature_names,
+            example_names,
+        }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` if there are no examples.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Number of features.
+    pub fn dims(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// A new dataset keeping only the feature columns in `keep` (indices
+    /// into the current feature set, order preserved).
+    pub fn select_features(&self, keep: &[usize]) -> Dataset {
+        let x = self
+            .x
+            .iter()
+            .map(|row| keep.iter().map(|&k| row[k]).collect())
+            .collect();
+        Dataset {
+            x,
+            y: self.y.clone(),
+            classes: self.classes,
+            feature_names: keep
+                .iter()
+                .map(|&k| self.feature_names[k].clone())
+                .collect(),
+            example_names: self.example_names.clone(),
+        }
+    }
+
+    /// A new dataset excluding the examples whose indices are in `drop`
+    /// (used for leave-one-benchmark-out training).
+    pub fn without_examples(&self, drop: &[bool]) -> Dataset {
+        assert_eq!(drop.len(), self.len());
+        let keep: Vec<usize> = (0..self.len()).filter(|&i| !drop[i]).collect();
+        Dataset {
+            x: keep.iter().map(|&i| self.x[i].clone()).collect(),
+            y: keep.iter().map(|&i| self.y[i]).collect(),
+            classes: self.classes,
+            feature_names: self.feature_names.clone(),
+            example_names: keep
+                .iter()
+                .map(|&i| self.example_names[i].clone())
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dataset: {} examples x {} features, {} classes",
+            self.len(),
+            self.dims(),
+            self.classes
+        )
+    }
+}
+
+/// Min-max feature normalization to `[0, 1]`, the scheme the paper uses so
+/// that large-valued features (like trip counts) do not dominate the
+/// Euclidean distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxNormalizer {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl MinMaxNormalizer {
+    /// Fits the normalizer to a dataset's feature ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit(x: &[Vec<f64>]) -> Self {
+        assert!(!x.is_empty(), "cannot fit a normalizer to no data");
+        let d = x[0].len();
+        let mut lo = vec![f64::INFINITY; d];
+        let mut hi = vec![f64::NEG_INFINITY; d];
+        for row in x {
+            for (j, &v) in row.iter().enumerate() {
+                lo[j] = lo[j].min(v);
+                hi[j] = hi[j].max(v);
+            }
+        }
+        MinMaxNormalizer { lo, hi }
+    }
+
+    /// Normalizes one vector in place. Constant features map to 0.
+    pub fn apply(&self, row: &mut [f64]) {
+        for (j, v) in row.iter_mut().enumerate() {
+            let span = self.hi[j] - self.lo[j];
+            *v = if span > 0.0 { (*v - self.lo[j]) / span } else { 0.0 };
+            // Clamp novel examples outside the training range.
+            *v = v.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Returns a normalized copy of the whole design matrix.
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter()
+            .map(|r| {
+                let mut r = r.clone();
+                self.apply(&mut r);
+                r
+            })
+            .collect()
+    }
+}
+
+/// Squared Euclidean distance.
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![vec![0.0, 10.0], vec![1.0, 20.0], vec![2.0, 40.0]],
+            vec![0, 1, 1],
+            2,
+            vec!["a".into(), "b".into()],
+            vec!["e0".into(), "e1".into(), "e2".into()],
+        )
+    }
+
+    #[test]
+    fn shapes_validated() {
+        let d = toy();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dims(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_labels_rejected() {
+        let _ = Dataset::new(
+            vec![vec![0.0]],
+            vec![5],
+            2,
+            vec!["a".into()],
+            vec!["e".into()],
+        );
+    }
+
+    #[test]
+    fn feature_selection_keeps_order() {
+        let d = toy().select_features(&[1]);
+        assert_eq!(d.dims(), 1);
+        assert_eq!(d.feature_names, vec!["b".to_string()]);
+        assert_eq!(d.x[2], vec![40.0]);
+    }
+
+    #[test]
+    fn example_exclusion() {
+        let d = toy().without_examples(&[false, true, false]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.example_names, vec!["e0".to_string(), "e2".to_string()]);
+    }
+
+    #[test]
+    fn normalization_hits_unit_interval() {
+        let d = toy();
+        let n = MinMaxNormalizer::fit(&d.x);
+        let t = n.transform(&d.x);
+        assert_eq!(t[0], vec![0.0, 0.0]);
+        assert_eq!(t[2], vec![1.0, 1.0]);
+        assert!((t[1][1] - (20.0 - 10.0) / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_features_map_to_zero() {
+        let x = vec![vec![5.0], vec![5.0]];
+        let n = MinMaxNormalizer::fit(&x);
+        let t = n.transform(&x);
+        assert_eq!(t, vec![vec![0.0], vec![0.0]]);
+    }
+
+    #[test]
+    fn novel_values_clamped() {
+        let d = toy();
+        let n = MinMaxNormalizer::fit(&d.x);
+        let mut row = vec![-10.0, 1000.0];
+        n.apply(&mut row);
+        assert_eq!(row, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn dist2_basics() {
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist2(&[1.0], &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Feature selection (paper §7): mutual information scoring and greedy
+//! forward selection.
+
+use crate::dataset::{Dataset, MinMaxNormalizer};
+
+/// Number of equal-width bins used to discretize continuous features
+/// before estimating probability mass functions.
+pub const MIS_BINS: usize = 10;
+
+/// A feature with its mutual information score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredFeature {
+    /// Column index into the dataset.
+    pub index: usize,
+    /// Feature name.
+    pub name: String,
+    /// Mutual information score in bits.
+    pub score: f64,
+}
+
+/// Computes the mutual information `I(f; u)` between each feature and the
+/// label, returning features sorted by descending score (Table 3).
+///
+/// Continuous features are min-max normalized and binned into
+/// [`MIS_BINS`] equal-width bins.
+pub fn mutual_information(data: &Dataset) -> Vec<ScoredFeature> {
+    let n = data.len();
+    assert!(n > 0, "empty dataset");
+    let norm = MinMaxNormalizer::fit(&data.x);
+    let xs = norm.transform(&data.x);
+    let d = data.dims();
+    let classes = data.classes;
+
+    let mut out = Vec::with_capacity(d);
+    for j in 0..d {
+        // Joint histogram over (bin, label).
+        let mut joint = vec![vec![0.0f64; classes]; MIS_BINS];
+        for (row, &y) in xs.iter().zip(&data.y) {
+            let b = ((row[j] * MIS_BINS as f64) as usize).min(MIS_BINS - 1);
+            joint[b][y] += 1.0;
+        }
+        let total = n as f64;
+        let p_bin: Vec<f64> = joint.iter().map(|r| r.iter().sum::<f64>() / total).collect();
+        let mut p_lab = vec![0.0f64; classes];
+        for r in &joint {
+            for (c, v) in r.iter().enumerate() {
+                p_lab[c] += v / total;
+            }
+        }
+        let mut mi = 0.0;
+        for (b, r) in joint.iter().enumerate() {
+            for (c, v) in r.iter().enumerate() {
+                let p = v / total;
+                if p > 0.0 {
+                    mi += p * (p / (p_bin[b] * p_lab[c])).log2();
+                }
+            }
+        }
+        out.push(ScoredFeature {
+            index: j,
+            name: data.feature_names[j].clone(),
+            score: mi,
+        });
+    }
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    out
+}
+
+/// One step of the greedy trace: the feature chosen and the training
+/// error after adding it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreedyStep {
+    /// Column index of the chosen feature.
+    pub index: usize,
+    /// Feature name.
+    pub name: String,
+    /// Training error with the selected set so far.
+    pub error: f64,
+}
+
+/// Greedy forward feature selection (Table 4).
+///
+/// Starting from the empty set, repeatedly adds the feature that
+/// minimizes the training error of the classifier built by `train_error`:
+/// a callback receiving a candidate dataset (the selected features plus
+/// one candidate) and returning the training error in `[0, 1]`. Runs for
+/// `steps` rounds.
+pub fn greedy_forward<F>(data: &Dataset, steps: usize, mut train_error: F) -> Vec<GreedyStep>
+where
+    F: FnMut(&Dataset) -> f64,
+{
+    let d = data.dims();
+    let mut selected: Vec<usize> = Vec::new();
+    let mut trace = Vec::new();
+    for _ in 0..steps.min(d) {
+        let mut best: Option<(usize, f64)> = None;
+        for cand in 0..d {
+            if selected.contains(&cand) {
+                continue;
+            }
+            let mut cols = selected.clone();
+            cols.push(cand);
+            let sub = data.select_features(&cols);
+            let err = train_error(&sub);
+            if best.map_or(true, |(_, e)| err < e) {
+                best = Some((cand, err));
+            }
+        }
+        let Some((idx, err)) = best else { break };
+        selected.push(idx);
+        trace.push(GreedyStep {
+            index: idx,
+            name: data.feature_names[idx].clone(),
+            error: err,
+        });
+    }
+    trace
+}
+
+/// Training error of a 1-nearest-neighbor classifier evaluated
+/// leave-self-out (the "single closest point" variant the paper uses for
+/// greedy selection with NN).
+pub fn nn1_training_error(data: &Dataset) -> f64 {
+    use crate::dataset::dist2;
+    let norm = MinMaxNormalizer::fit(&data.x);
+    let xs = norm.transform(&data.x);
+    let n = xs.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut errors = 0usize;
+    for i in 0..n {
+        let mut best = (f64::INFINITY, 0usize);
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let d2 = dist2(&xs[i], &xs[j]);
+            if d2 < best.0 {
+                best = (d2, j);
+            }
+        }
+        if data.y[best.1] != data.y[i] {
+            errors += 1;
+        }
+    }
+    errors as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Label is a function of feature 0; feature 1 is noise; feature 2 is
+    /// constant.
+    fn toy() -> Dataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for k in 0..40 {
+            let informative = (k % 4) as f64;
+            let noise = ((k * 7919) % 13) as f64;
+            x.push(vec![informative, noise, 3.0]);
+            y.push(k % 4);
+        }
+        let n = x.len();
+        Dataset::new(
+            x,
+            y,
+            4,
+            vec!["informative".into(), "noise".into(), "const".into()],
+            (0..n).map(|i| format!("e{i}")).collect(),
+        )
+    }
+
+    #[test]
+    fn mis_ranks_informative_first() {
+        let scores = mutual_information(&toy());
+        assert_eq!(scores[0].name, "informative");
+        assert!(scores[0].score > scores[1].score);
+    }
+
+    #[test]
+    fn constant_feature_scores_zero() {
+        let scores = mutual_information(&toy());
+        let c = scores.iter().find(|s| s.name == "const").unwrap();
+        assert!(c.score.abs() < 1e-9);
+    }
+
+    #[test]
+    fn mis_scores_nonnegative() {
+        for s in mutual_information(&toy()) {
+            assert!(s.score >= -1e-12, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn greedy_picks_informative_then_stalls() {
+        let d = toy();
+        let trace = greedy_forward(&d, 3, nn1_training_error);
+        assert_eq!(trace[0].name, "informative");
+        assert!(trace[0].error < 0.05, "{trace:?}");
+        // Error never increases along the greedy trace by construction of
+        // the search (it can plateau).
+        for w in trace.windows(2) {
+            assert!(w[1].error <= w[0].error + 0.25, "{trace:?}");
+        }
+    }
+
+    #[test]
+    fn nn1_error_perfect_on_clean_clusters() {
+        let d = toy().select_features(&[0]);
+        assert!(nn1_training_error(&d) < 0.05);
+    }
+
+    #[test]
+    fn greedy_respects_step_budget() {
+        let d = toy();
+        assert_eq!(greedy_forward(&d, 2, nn1_training_error).len(), 2);
+        assert!(greedy_forward(&d, 99, nn1_training_error).len() <= 3);
+    }
+}

@@ -1,0 +1,209 @@
+//! Multi-class linear discriminant analysis, used to project the
+//! high-dimensional feature space onto the 2-D planes of the paper's
+//! Figures 1 and 2.
+//!
+//! The projection maximizes between-class scatter relative to
+//! within-class scatter: the top generalized eigenvectors of
+//! `Sw^{-1} Sb`, computed via the symmetric whitening trick
+//! `Sw^{-1/2} Sb Sw^{-1/2}`.
+
+use crate::dataset::Dataset;
+use crate::linalg::Matrix;
+
+/// A fitted 2-D LDA projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lda2d {
+    /// Projection directions (2 rows × d columns).
+    pub directions: [Vec<f64>; 2],
+    /// Feature means subtracted before projecting.
+    pub mean: Vec<f64>,
+}
+
+impl Lda2d {
+    /// Fits the projection to a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or has fewer than 2 features.
+    pub fn fit(data: &Dataset) -> Self {
+        let n = data.len();
+        let d = data.dims();
+        assert!(n > 0, "empty dataset");
+        assert!(d >= 2, "need at least two features");
+
+        // Global and per-class means.
+        let mut mean = vec![0.0; d];
+        for row in &data.x {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut class_sum = vec![vec![0.0; d]; data.classes];
+        let mut class_n = vec![0usize; data.classes];
+        for (row, &y) in data.x.iter().zip(&data.y) {
+            class_n[y] += 1;
+            for (s, v) in class_sum[y].iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+
+        // Scatter matrices.
+        let mut sw = Matrix::zeros(d, d);
+        let mut sb = Matrix::zeros(d, d);
+        for (row, &y) in data.x.iter().zip(&data.y) {
+            let mu: Vec<f64> = class_sum[y]
+                .iter()
+                .map(|s| s / class_n[y] as f64)
+                .collect();
+            for i in 0..d {
+                for j in 0..d {
+                    sw[(i, j)] += (row[i] - mu[i]) * (row[j] - mu[j]);
+                }
+            }
+        }
+        for (c, &nc) in class_n.iter().enumerate() {
+            if nc == 0 {
+                continue;
+            }
+            let mu: Vec<f64> = class_sum[c].iter().map(|s| s / nc as f64).collect();
+            for i in 0..d {
+                for j in 0..d {
+                    sb[(i, j)] += nc as f64 * (mu[i] - mean[i]) * (mu[j] - mean[j]);
+                }
+            }
+        }
+        // Ridge for numerical stability (constant features etc.).
+        for i in 0..d {
+            sw[(i, i)] += 1e-6;
+        }
+
+        // Whitening: Sw^{-1/2} via eigendecomposition of Sw.
+        let (wvals, wvecs) = sw.sym_eigen();
+        let mut w_inv_sqrt = Matrix::zeros(d, d);
+        for k in 0..d {
+            let lam = wvals[k].max(1e-12);
+            let s = 1.0 / lam.sqrt();
+            for i in 0..d {
+                for j in 0..d {
+                    w_inv_sqrt[(i, j)] += wvecs[(i, k)] * s * wvecs[(j, k)];
+                }
+            }
+        }
+        let b = w_inv_sqrt.matmul(&sb).matmul(&w_inv_sqrt);
+        let (_bvals, bvecs) = b.sym_eigen();
+
+        // Top-2 directions mapped back through the whitening transform.
+        let mut directions = [vec![0.0; d], vec![0.0; d]];
+        for (slot, dir) in directions.iter_mut().enumerate() {
+            for i in 0..d {
+                let mut v = 0.0;
+                for j in 0..d {
+                    v += w_inv_sqrt[(i, j)] * bvecs[(j, slot)];
+                }
+                dir[i] = v;
+            }
+            // Normalize for stable plotting scales.
+            let norm: f64 = dir.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for v in dir.iter_mut() {
+                    *v /= norm;
+                }
+            }
+        }
+
+        Lda2d { directions, mean }
+    }
+
+    /// Projects one feature vector to the plane.
+    pub fn project(&self, x: &[f64]) -> (f64, f64) {
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
+        let dot = |dir: &[f64]| dir.iter().zip(&centered).map(|(a, b)| a * b).sum();
+        (dot(&self.directions[0]), dot(&self.directions[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two classes separated along a diagonal in 3-D, with one noise
+    /// dimension.
+    fn toy() -> Dataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for k in 0..10 {
+            let t = k as f64 * 0.1;
+            x.push(vec![t, t, (k % 3) as f64]);
+            y.push(0);
+            x.push(vec![t + 3.0, t + 3.0, (k % 3) as f64]);
+            y.push(1);
+        }
+        let n = x.len();
+        Dataset::new(
+            x,
+            y,
+            2,
+            vec!["a".into(), "b".into(), "noise".into()],
+            (0..n).map(|i| format!("e{i}")).collect(),
+        )
+    }
+
+    #[test]
+    fn projection_separates_classes() {
+        let d = toy();
+        let lda = Lda2d::fit(&d);
+        let p0: Vec<f64> = d
+            .x
+            .iter()
+            .zip(&d.y)
+            .filter(|(_, &y)| y == 0)
+            .map(|(x, _)| lda.project(x).0)
+            .collect();
+        let p1: Vec<f64> = d
+            .x
+            .iter()
+            .zip(&d.y)
+            .filter(|(_, &y)| y == 1)
+            .map(|(x, _)| lda.project(x).0)
+            .collect();
+        let m0 = p0.iter().sum::<f64>() / p0.len() as f64;
+        let m1 = p1.iter().sum::<f64>() / p1.len() as f64;
+        let spread0 = p0.iter().map(|v| (v - m0).abs()).fold(0.0, f64::max);
+        assert!(
+            (m0 - m1).abs() > 2.0 * spread0,
+            "classes should separate: means {m0} vs {m1}, spread {spread0}"
+        );
+    }
+
+    #[test]
+    fn directions_are_unit_norm() {
+        let lda = Lda2d::fit(&toy());
+        for dir in &lda.directions {
+            let norm: f64 = dir.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn projection_is_deterministic() {
+        let d = toy();
+        let a = Lda2d::fit(&d);
+        let b = Lda2d::fit(&d);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn handles_constant_features() {
+        let mut d = toy();
+        for row in &mut d.x {
+            row.push(42.0); // constant column
+        }
+        d.feature_names.push("const".into());
+        let lda = Lda2d::fit(&d);
+        let (px, py) = lda.project(&d.x[0]);
+        assert!(px.is_finite() && py.is_finite());
+    }
+}

@@ -1,0 +1,129 @@
+//! # loopml-ml — the supervised-learning stack
+//!
+//! From-scratch implementations of every learning component the paper
+//! uses (*Stephenson & Amarasinghe, CGO 2005*):
+//!
+//! * [`Dataset`] / [`MinMaxNormalizer`] — labeled loop examples with the
+//!   paper's equal-weight feature normalization;
+//! * [`NearNeighbors`] — radius-0.3 near-neighbor classification with
+//!   majority vote, 1-NN fallback, and vote confidence (§5.1);
+//! * [`MulticlassSvm`] — RBF-kernel soft-margin SVMs combined through
+//!   one-vs-rest output codes with Hamming decoding (§5.2);
+//! * [`loocv_nn`] / [`loocv_svm`] / [`loocv_generic`] — leave-one-out
+//!   cross validation (§4.2), plus [`logo_predictions`] for the
+//!   leave-one-benchmark-out protocol of Figures 4/5;
+//! * [`Lda2d`] — the 2-D linear-discriminant projection behind Figures
+//!   1 and 2;
+//! * [`mutual_information`] / [`greedy_forward`] — the feature-selection
+//!   methods of Tables 3 and 4;
+//! * [`linalg`] — the small dense linear-algebra kernel underneath LDA.
+//!
+//! # Examples
+//!
+//! ```
+//! use loopml_ml::{loocv_nn, Dataset, DEFAULT_RADIUS};
+//!
+//! // Two separable classes.
+//! let x = vec![vec![0.0], vec![0.1], vec![5.0], vec![5.1]];
+//! let y = vec![0, 0, 1, 1];
+//! let data = Dataset::new(
+//!     x, y, 2,
+//!     vec!["f".into()],
+//!     (0..4).map(|i| format!("e{i}")).collect(),
+//! );
+//! let cv = loocv_nn(&data, DEFAULT_RADIUS);
+//! assert_eq!(cv.accuracy, 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dataset;
+pub mod feature_select;
+pub mod lda;
+pub mod linalg;
+pub mod loocv;
+pub mod nn;
+pub mod svm;
+
+pub use dataset::{dist2, Dataset, MinMaxNormalizer};
+pub use feature_select::{
+    greedy_forward, mutual_information, nn1_training_error, GreedyStep, ScoredFeature, MIS_BINS,
+};
+pub use lda::Lda2d;
+pub use linalg::Matrix;
+pub use loocv::{logo_predictions, loocv_generic, loocv_nn, loocv_svm, CvResult};
+pub use nn::{NearNeighbors, NnPrediction, DEFAULT_RADIUS};
+pub use svm::{decode, KernelCache, MulticlassSvm, SvmParams};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_dataset() -> impl Strategy<Value = Dataset> {
+        (2usize..5, 8usize..30, 1usize..4).prop_flat_map(|(classes, n, d)| {
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(-100.0f64..100.0, d),
+                    0usize..classes,
+                ),
+                n,
+            )
+            .prop_map(move |rows| {
+                let x: Vec<Vec<f64>> = rows.iter().map(|(r, _)| r.clone()).collect();
+                let y: Vec<usize> = rows.iter().map(|(_, l)| *l).collect();
+                Dataset::new(
+                    x,
+                    y,
+                    classes,
+                    (0..d).map(|j| format!("f{j}")).collect(),
+                    (0..n).map(|i| format!("e{i}")).collect(),
+                )
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn normalization_bounds(data in arb_dataset()) {
+            let n = MinMaxNormalizer::fit(&data.x);
+            for row in n.transform(&data.x) {
+                for v in row {
+                    prop_assert!((0.0..=1.0).contains(&v));
+                }
+            }
+        }
+
+        #[test]
+        fn nn_loocv_accuracy_is_fraction(data in arb_dataset()) {
+            let r = loocv_nn(&data, DEFAULT_RADIUS);
+            prop_assert!((0.0..=1.0).contains(&r.accuracy));
+            prop_assert_eq!(r.predictions.len(), data.len());
+            for p in r.predictions {
+                prop_assert!(p < data.classes);
+            }
+        }
+
+        #[test]
+        fn svm_predictions_in_range(data in arb_dataset()) {
+            let svm = MulticlassSvm::fit(&data, SvmParams {
+                max_sweeps: 15, ..SvmParams::default()
+            });
+            for x in &data.x {
+                prop_assert!(svm.predict(x) < data.classes);
+            }
+        }
+
+        #[test]
+        fn mis_is_nonnegative_and_complete(data in arb_dataset()) {
+            let scores = mutual_information(&data);
+            prop_assert_eq!(scores.len(), data.dims());
+            for s in scores {
+                prop_assert!(s.score >= -1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Leave-one-out cross validation (paper §4.2).
+//!
+//! LOOCV is the accuracy methodology of the paper: train on N−1 examples,
+//! classify the held-out one, repeat N times. For the two classifiers we
+//! care about there are fast exact(-leaning) paths — NN supports
+//! exclusion at query time, and the SVM only changes when a support
+//! vector is removed — plus a fully generic path for arbitrary
+//! classifiers.
+
+use crate::dataset::Dataset;
+use crate::nn::NearNeighbors;
+use crate::svm::{MulticlassSvm, SvmParams};
+
+/// Result of a cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvResult {
+    /// Predicted label for each example when it was held out.
+    pub predictions: Vec<usize>,
+    /// Fraction of held-out examples classified correctly.
+    pub accuracy: f64,
+}
+
+fn result_from(predictions: Vec<usize>, truth: &[usize]) -> CvResult {
+    let correct = predictions.iter().zip(truth).filter(|(p, y)| p == y).count();
+    let accuracy = if truth.is_empty() {
+        0.0
+    } else {
+        correct as f64 / truth.len() as f64
+    };
+    CvResult {
+        predictions,
+        accuracy,
+    }
+}
+
+/// LOOCV for radius near neighbors: exact, via query-time exclusion.
+pub fn loocv_nn(data: &Dataset, radius: f64) -> CvResult {
+    let nn = NearNeighbors::fit(data, radius);
+    let predictions = (0..data.len())
+        .map(|i| nn.predict_excluding(&data.x[i], i).label)
+        .collect();
+    result_from(predictions, &data.y)
+}
+
+/// LOOCV for the multi-class SVM: exact for examples that are not support
+/// vectors, warm-start re-converged otherwise.
+pub fn loocv_svm(data: &Dataset, params: SvmParams) -> CvResult {
+    let svm = MulticlassSvm::fit(data, params);
+    result_from(svm.loo_predictions(), &data.y)
+}
+
+/// Generic LOOCV: retrains via `fit` for every fold. `fit` receives the
+/// training set and returns a predictor. Use only for small datasets or
+/// cheap classifiers.
+pub fn loocv_generic<F, P>(data: &Dataset, mut fit: F) -> CvResult
+where
+    F: FnMut(&Dataset) -> P,
+    P: Fn(&[f64]) -> usize,
+{
+    let n = data.len();
+    let mut predictions = Vec::with_capacity(n);
+    let mut drop = vec![false; n];
+    for i in 0..n {
+        drop[i] = true;
+        let train = data.without_examples(&drop);
+        drop[i] = false;
+        let predict = fit(&train);
+        predictions.push(predict(&data.x[i]));
+    }
+    result_from(predictions, &data.y)
+}
+
+/// Leave-one-*group*-out predictions (the Figure 4/5 protocol: when
+/// compiling a benchmark, all of its loops are excluded from training).
+/// `group` assigns each example to a group; returns held-out predictions
+/// using `fit` per group.
+pub fn logo_predictions<F, P>(data: &Dataset, group: &[usize], mut fit: F) -> Vec<usize>
+where
+    F: FnMut(&Dataset) -> P,
+    P: Fn(&[f64]) -> usize,
+{
+    assert_eq!(group.len(), data.len());
+    let mut predictions = vec![0usize; data.len()];
+    let mut groups: Vec<usize> = group.to_vec();
+    groups.sort_unstable();
+    groups.dedup();
+    for g in groups {
+        let drop: Vec<bool> = group.iter().map(|&gi| gi == g).collect();
+        let train = data.without_examples(&drop);
+        if train.is_empty() {
+            continue;
+        }
+        let predict = fit(&train);
+        for i in 0..data.len() {
+            if group[i] == g {
+                predictions[i] = predict(&data.x[i]);
+            }
+        }
+    }
+    predictions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::DEFAULT_RADIUS;
+
+    fn clusters() -> Dataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for (c, &(cx, cy)) in [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)].iter().enumerate() {
+            for k in 0..6 {
+                x.push(vec![cx + 0.2 * (k % 3) as f64, cy + 0.2 * (k / 3) as f64]);
+                y.push(c);
+            }
+        }
+        let n = x.len();
+        Dataset::new(
+            x,
+            y,
+            3,
+            vec!["a".into(), "b".into()],
+            (0..n).map(|i| format!("e{i}")).collect(),
+        )
+    }
+
+    #[test]
+    fn nn_loocv_high_on_separable() {
+        let r = loocv_nn(&clusters(), DEFAULT_RADIUS);
+        assert!(r.accuracy >= 0.9, "{}", r.accuracy);
+        assert_eq!(r.predictions.len(), 18);
+    }
+
+    #[test]
+    fn svm_loocv_high_on_separable() {
+        let r = loocv_svm(&clusters(), SvmParams::default());
+        assert!(r.accuracy >= 0.9, "{}", r.accuracy);
+    }
+
+    #[test]
+    fn generic_matches_nn_fast_path() {
+        let d = clusters();
+        let fast = loocv_nn(&d, DEFAULT_RADIUS);
+        let slow = loocv_generic(&d, |train| {
+            let nn = NearNeighbors::fit(train, DEFAULT_RADIUS);
+            move |x: &[f64]| nn.predict(x)
+        });
+        assert_eq!(fast.predictions, slow.predictions);
+    }
+
+    #[test]
+    fn logo_excludes_whole_groups() {
+        let d = clusters();
+        // Each cluster its own group: training never sees the cluster, so
+        // accuracy collapses — proving the group really was excluded.
+        let group: Vec<usize> = d.y.clone();
+        let preds = logo_predictions(&d, &group, |train| {
+            let nn = NearNeighbors::fit(train, DEFAULT_RADIUS);
+            move |x: &[f64]| nn.predict(x)
+        });
+        let correct = preds.iter().zip(&d.y).filter(|(p, y)| p == y).count();
+        assert_eq!(correct, 0, "held-out clusters must be unpredictable");
+    }
+
+    #[test]
+    fn accuracy_is_a_fraction() {
+        let r = loocv_nn(&clusters(), DEFAULT_RADIUS);
+        assert!((0.0..=1.0).contains(&r.accuracy));
+    }
+}

@@ -1,0 +1,197 @@
+//! A reference interpreter for loop bodies.
+//!
+//! The interpreter gives the IR concrete (if arbitrary) arithmetic
+//! semantics so that transformation correctness can be *executed*: a loop
+//! and its unrolled-and-optimized form must leave identical memory states
+//! after covering the same iteration span. Branch opcodes are treated as
+//! no-ops — the interpreter drives the iteration count externally — so
+//! equivalence checking applies to loops without data-dependent early
+//! exits and with divisible trip spans.
+
+use std::collections::HashMap;
+
+use loopml_ir::{Loop, Opcode, Reg};
+
+/// Memory state: values keyed by (base array, byte address).
+pub type Memory = HashMap<(u32, i64), f64>;
+
+/// Default contents of a never-written cell: a deterministic non-trivial
+/// function of the address, so reordered reads are distinguishable.
+fn initial_value(base: u32, addr: i64) -> f64 {
+    let h = (i64::from(base) * 1_000_003 + addr).wrapping_mul(2654435761);
+    ((h.rem_euclid(1000)) as f64) / 7.0 + 1.0
+}
+
+/// Executes `l` for `iters` iterations starting from `memory`, returning
+/// the final memory state. Register state starts at zero and branch
+/// semantics are ignored (see module docs).
+pub fn execute(l: &Loop, iters: u64, mut memory: Memory) -> Memory {
+    let mut regs: HashMap<Reg, f64> = HashMap::new();
+    let rd = |regs: &HashMap<Reg, f64>, r: Reg| regs.get(&r).copied().unwrap_or(0.0);
+
+    for iter in 0..iters as i64 {
+        for inst in &l.body {
+            // Predicated execution: skip when the guard is false. Guards
+            // default to true when never written (loop-control predicates).
+            if let Some(p) = inst.predicate {
+                if inst.opcode != Opcode::Br && inst.opcode != Opcode::BrExit {
+                    let v = regs.get(&p).copied().unwrap_or(1.0);
+                    if v == 0.0 {
+                        continue;
+                    }
+                }
+            }
+            let a = inst.uses.first().map(|&r| rd(&regs, r)).unwrap_or(0.0);
+            let b = inst.uses.get(1).map(|&r| rd(&regs, r)).unwrap_or(0.0);
+            let c = inst.uses.get(2).map(|&r| rd(&regs, r)).unwrap_or(0.0);
+            match inst.opcode {
+                Opcode::Load | Opcode::LoadPair => {
+                    let m = inst.mem.expect("load has memref");
+                    let addr = m.stride * iter + m.offset;
+                    let w = i64::from(m.width) / i64::from(inst.defs.len().max(1) as i32);
+                    for (k, &d) in inst.defs.iter().enumerate() {
+                        let a_k = addr + w * k as i64;
+                        // Reads of never-written cells see a deterministic
+                        // address-derived pattern without mutating the map,
+                        // so memory states stay comparable across variants
+                        // that elide dead loads.
+                        let v = memory
+                            .get(&(m.base.0, a_k))
+                            .copied()
+                            .unwrap_or_else(|| initial_value(m.base.0, a_k));
+                        regs.insert(d, v);
+                    }
+                }
+                Opcode::Store | Opcode::StorePair => {
+                    let m = inst.mem.expect("store has memref");
+                    let addr = m.stride * iter + m.offset;
+                    let w = i64::from(m.width) / i64::from(inst.uses.len().max(1) as i32);
+                    for (k, &s) in inst.uses.iter().enumerate() {
+                        memory.insert((m.base.0, addr + w * k as i64), rd(&regs, s));
+                    }
+                }
+                Opcode::Prefetch | Opcode::Br | Opcode::BrExit | Opcode::Call | Opcode::Nop => {}
+                _ => {
+                    let v = scalar_semantics(inst.opcode, a, b, c);
+                    for &d in &inst.defs {
+                        regs.insert(d, v);
+                    }
+                }
+            }
+        }
+    }
+    memory
+}
+
+/// Concrete arithmetic semantics for non-memory opcodes.
+fn scalar_semantics(op: Opcode, a: f64, b: f64, c: f64) -> f64 {
+    match op {
+        Opcode::Add => a + b + 1.0, // +1 keeps single-operand iv updates moving
+        Opcode::Sub => a - b,
+        Opcode::Mul => a * b + 0.5,
+        Opcode::Shl => a * 2.0,
+        Opcode::Shr => a / 2.0,
+        Opcode::And => a.min(b),
+        Opcode::Or => a.max(b),
+        Opcode::Xor => (a - b).abs(),
+        Opcode::Cmp | Opcode::FCmp => f64::from(a < b),
+        Opcode::Ext => a,
+        Opcode::FAdd => a + b,
+        Opcode::FSub => a - b,
+        Opcode::FMul => a * b,
+        Opcode::Fma => a * b + c,
+        Opcode::FDiv => {
+            if b == 0.0 {
+                a
+            } else {
+                a / b
+            }
+        }
+        Opcode::FSqrt => a.abs().sqrt(),
+        Opcode::CvtIf | Opcode::CvtFi => a,
+        Opcode::Mov => a,
+        Opcode::MovI => 3.25,
+        Opcode::Select => {
+            if a != 0.0 {
+                b
+            } else {
+                c
+            }
+        }
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopml_ir::{ArrayId, Inst, LoopBuilder, MemRef, TripCount};
+
+    #[test]
+    fn store_writes_memory() {
+        let mut b = LoopBuilder::new("t", TripCount::Known(4));
+        let x = b.fp_reg();
+        b.inst(Inst::new(Opcode::MovI, vec![x], vec![]));
+        b.store(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        let l = b.build();
+        let mem = execute(&l, 4, Memory::new());
+        for i in 0..4 {
+            assert_eq!(mem.get(&(0, 8 * i)).copied(), Some(3.25));
+        }
+    }
+
+    #[test]
+    fn load_reads_default_pattern_deterministically() {
+        let mut b = LoopBuilder::new("t", TripCount::Known(2));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(1), 8, 0, 8));
+        b.binop(Opcode::FMul, y, x, x);
+        b.store(y, MemRef::affine(ArrayId(2), 8, 0, 8));
+        let l = b.build();
+        let m1 = execute(&l, 2, Memory::new());
+        let m2 = execute(&l, 2, Memory::new());
+        assert_eq!(m1, m2);
+        assert!(m1.get(&(2, 0)).copied().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn predicated_inst_skipped_when_false() {
+        let mut b = LoopBuilder::new("t", TripCount::Known(1));
+        let x = b.fp_reg();
+        let p = b.pred_reg();
+        let one = b.fp_reg();
+        let two = b.fp_reg();
+        b.inst(Inst::new(Opcode::MovI, vec![one], vec![]));
+        b.inst(Inst::new(Opcode::MovI, vec![two], vec![]));
+        // p = (one < one) == false
+        b.inst(Inst::new(Opcode::FCmp, vec![p], vec![one, one]));
+        b.inst(Inst::new(Opcode::Mov, vec![x], vec![two]).predicated(p));
+        b.store(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        let l = b.build();
+        let mem = execute(&l, 1, Memory::new());
+        // x never written: stores 0.0 (initial register value)
+        assert_eq!(mem.get(&(0, 0)).copied(), Some(0.0));
+    }
+
+    #[test]
+    fn pair_ops_touch_both_cells() {
+        let mut b = LoopBuilder::new("t", TripCount::Known(1));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        b.inst(Inst::new(Opcode::MovI, vec![x], vec![]));
+        b.inst(Inst::new(Opcode::MovI, vec![y], vec![]));
+        b.inst(Inst {
+            opcode: Opcode::StorePair,
+            defs: vec![],
+            uses: vec![x, y],
+            mem: Some(MemRef::affine(ArrayId(0), 16, 0, 16)),
+            predicate: None,
+            induction: false,
+        });
+        let l = b.build();
+        let mem = execute(&l, 1, Memory::new());
+        assert_eq!(mem.get(&(0, 0)).copied(), Some(3.25));
+        assert_eq!(mem.get(&(0, 8)).copied(), Some(3.25));
+    }
+}

@@ -1,0 +1,299 @@
+//! Post-unroll scalar cleanups: scalar replacement of redundant memory
+//! accesses, copy propagation, and dead-code elimination.
+//!
+//! Unrolling exposes loads that re-read an address another copy already
+//! loaded or stored (e.g. the overlapping reads of a stencil). Scalar
+//! replacement rewrites those loads into register moves; copy propagation
+//! and DCE then erase the moves. These are the "enabled optimizations" the
+//! paper identifies as the main source of unrolling benefit on the memory
+//! side.
+
+use std::collections::{HashMap, HashSet};
+
+use loopml_ir::{ArrayId, Inst, Loop, MemRef, Opcode, Reg};
+
+/// Rewrites loads whose address was already loaded or stored earlier in
+/// the body into `Mov`s from the register holding the value.
+///
+/// Returns the number of loads replaced.
+///
+/// Predicated memory operations are left untouched (their execution is
+/// conditional), and any store that may alias an address invalidates the
+/// remembered value.
+pub fn scalar_replace(l: &mut Loop) -> usize {
+    // Address key: (base, stride, offset, width). Only exact matches are
+    // reused; stride is included because the unroller already folded the
+    // iteration space.
+    type Key = (ArrayId, i64, i64, u8);
+    let key = |m: &MemRef| -> Option<Key> {
+        if m.indirect || m.ambiguous {
+            None
+        } else {
+            Some((m.base, m.stride, m.offset, m.width))
+        }
+    };
+
+    let mut avail: HashMap<Key, Reg> = HashMap::new();
+    let mut replaced = 0;
+    for inst in &mut l.body {
+        let Some(m) = inst.mem else { continue };
+        if inst.predicate.is_some() {
+            // Conditional accesses neither provide nor consume values, and
+            // conditional stores kill everything on their base.
+            if inst.is_store() {
+                avail.retain(|k, _| k.0 != m.base);
+            }
+            continue;
+        }
+        match inst.opcode {
+            Opcode::Load => {
+                if let Some(k) = key(&m) {
+                    if let Some(&src) = avail.get(&k) {
+                        let dst = inst.defs[0];
+                        *inst = Inst::new(Opcode::Mov, vec![dst], vec![src]);
+                        replaced += 1;
+                        // The moved-to register now also holds the value,
+                        // but the map tracks one register per address and
+                        // `src` remains valid.
+                        continue;
+                    }
+                    avail.insert(k, inst.defs[0]);
+                }
+            }
+            Opcode::Store => {
+                if m.ambiguous {
+                    // A store through an unanalyzable pointer may hit any
+                    // remembered address.
+                    avail.clear();
+                    continue;
+                }
+                // Kill anything this store may overwrite, then remember
+                // the stored value for forwarding.
+                avail.retain(|k, _| {
+                    k.0 != m.base || (key(&m) == Some(*k)) // exact match replaced below
+                });
+                if let Some(k) = key(&m) {
+                    avail.insert(k, inst.uses[0]);
+                } else {
+                    avail.retain(|k, _| k.0 != m.base);
+                }
+            }
+            Opcode::LoadPair | Opcode::StorePair => {
+                // Wide ops appear only after coalescing, which runs later;
+                // treat conservatively if encountered.
+                avail.retain(|k, _| k.0 != m.base);
+            }
+            _ => {}
+        }
+    }
+    replaced
+}
+
+/// Forward-propagates `Mov dst = src`: subsequent uses of `dst` become
+/// `src` until either register is redefined. Returns the number of operand
+/// rewrites performed.
+pub fn copy_propagate(l: &mut Loop) -> usize {
+    let mut map: HashMap<Reg, Reg> = HashMap::new();
+    let mut rewrites = 0;
+    let n = l.body.len();
+    for idx in 0..n {
+        // Rewrite uses first.
+        let inst = &mut l.body[idx];
+        for u in &mut inst.uses {
+            if let Some(&s) = map.get(u) {
+                *u = s;
+                rewrites += 1;
+            }
+        }
+        if let Some(p) = &mut inst.predicate {
+            if let Some(&s) = map.get(p) {
+                *p = s;
+                rewrites += 1;
+            }
+        }
+        // Kill mappings clobbered by this instruction's defs.
+        let defs = inst.defs.clone();
+        map.retain(|d, s| !defs.contains(d) && !defs.contains(s));
+        // Record new copies.
+        if inst.opcode == Opcode::Mov && inst.defs.len() == 1 && inst.uses.len() == 1 {
+            map.insert(inst.defs[0], inst.uses[0]);
+        }
+    }
+    rewrites
+}
+
+/// Removes instructions with no side effects whose defined registers are
+/// never read later in the body, are not loop-carried (read earlier), and
+/// are not in `live_out`. Returns the number of instructions removed.
+pub fn dead_code_eliminate(l: &mut Loop, live_out: &HashSet<Reg>) -> usize {
+    let mut removed = 0;
+    loop {
+        let mut read_anywhere: HashSet<Reg> = HashSet::new();
+        for inst in &l.body {
+            for r in inst.reads() {
+                read_anywhere.insert(r);
+            }
+        }
+        let before = l.body.len();
+        l.body.retain(|inst| {
+            let side_effecting = inst.is_store()
+                || inst.opcode.is_branch()
+                || inst.opcode == Opcode::Call
+                || inst.opcode == Opcode::Prefetch
+                || inst.induction;
+            if side_effecting || inst.defs.is_empty() {
+                return true;
+            }
+            let dead = inst
+                .defs
+                .iter()
+                .all(|d| !read_anywhere.contains(d) && !live_out.contains(d));
+            !dead
+        });
+        let r = before - l.body.len();
+        removed += r;
+        if r == 0 {
+            return removed;
+        }
+    }
+}
+
+/// The registers of the original (pre-unroll) loop, which must be treated
+/// as live-out by cleanup passes: the loop's consumers read them.
+pub fn original_regs(l: &Loop) -> HashSet<Reg> {
+    l.body
+        .iter()
+        .flat_map(|i| i.defs.iter().copied().chain(i.reads()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopml_ir::{ArrayId, LoopBuilder, TripCount};
+
+    fn m(base: u32, stride: i64, offset: i64) -> MemRef {
+        MemRef::affine(ArrayId(base), stride, offset, 8)
+    }
+
+    #[test]
+    fn redundant_load_becomes_mov() {
+        let mut b = LoopBuilder::new("t", TripCount::Known(10));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        b.load(x, m(0, 8, 0));
+        b.load(y, m(0, 8, 0));
+        let mut l = b.build();
+        assert_eq!(scalar_replace(&mut l), 1);
+        assert_eq!(l.count_ops(|i| i.is_load()), 1);
+        assert_eq!(l.count_ops(|i| i.opcode == Opcode::Mov), 1);
+    }
+
+    #[test]
+    fn store_forwards_to_load() {
+        let mut b = LoopBuilder::new("t", TripCount::Known(10));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        b.store(x, m(0, 8, 0));
+        b.load(y, m(0, 8, 0));
+        let mut l = b.build();
+        assert_eq!(scalar_replace(&mut l), 1);
+        let mov = l
+            .body
+            .iter()
+            .find(|i| i.opcode == Opcode::Mov)
+            .expect("forwarded");
+        assert_eq!(mov.uses, vec![x]);
+    }
+
+    #[test]
+    fn aliasing_store_kills_availability() {
+        let mut b = LoopBuilder::new("t", TripCount::Known(10));
+        let x = b.fp_reg();
+        let s = b.fp_reg();
+        let y = b.fp_reg();
+        b.load(x, m(0, 8, 0));
+        // Store to the same base at a different (maybe-overlapping under
+        // unknown bounds) offset kills the remembered load.
+        b.store(s, m(0, 8, 8));
+        b.load(y, m(0, 8, 0));
+        let mut l = b.build();
+        assert_eq!(scalar_replace(&mut l), 0);
+        assert_eq!(l.count_ops(|i| i.is_load()), 2);
+    }
+
+    #[test]
+    fn indirect_loads_are_not_replaced() {
+        let mut b = LoopBuilder::new("t", TripCount::Known(10));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        let ind = MemRef::indirect(ArrayId(0), 8, 8);
+        b.load(x, ind);
+        b.load(y, ind);
+        let mut l = b.build();
+        assert_eq!(scalar_replace(&mut l), 0);
+    }
+
+    #[test]
+    fn copy_prop_rewrites_uses() {
+        let mut b = LoopBuilder::new("t", TripCount::Known(10));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        let z = b.fp_reg();
+        b.load(x, m(0, 8, 0));
+        b.inst(Inst::new(Opcode::Mov, vec![y], vec![x]));
+        b.binop(Opcode::FAdd, z, y, y);
+        let mut l = b.build();
+        let rw = copy_propagate(&mut l);
+        assert!(rw >= 2, "both uses of y rewritten, got {rw}");
+        let add = l.body.iter().find(|i| i.opcode == Opcode::FAdd).unwrap();
+        assert_eq!(add.uses, vec![x, x]);
+    }
+
+    #[test]
+    fn copy_prop_stops_at_redefinition() {
+        let mut b = LoopBuilder::new("t", TripCount::Known(10));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        let z = b.fp_reg();
+        b.load(x, m(0, 8, 0));
+        b.inst(Inst::new(Opcode::Mov, vec![y], vec![x]));
+        b.load(x, m(0, 8, 8)); // x redefined: the copy is stale
+        b.binop(Opcode::FAdd, z, y, y);
+        let mut l = b.build();
+        copy_propagate(&mut l);
+        let add = l.body.iter().find(|i| i.opcode == Opcode::FAdd).unwrap();
+        assert_eq!(add.uses, vec![y, y], "must not propagate past the kill");
+    }
+
+    #[test]
+    fn dce_removes_dead_movs_but_keeps_live_outs() {
+        let mut b = LoopBuilder::new("t", TripCount::Known(10));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        b.load(x, m(0, 8, 0));
+        b.inst(Inst::new(Opcode::Mov, vec![y], vec![x]));
+        let mut l = b.build();
+        copy_propagate(&mut l);
+        // With y live-out the mov stays; without, it goes.
+        let mut keep: HashSet<Reg> = HashSet::new();
+        keep.insert(y);
+        let mut l2 = l.clone();
+        assert_eq!(dead_code_eliminate(&mut l, &keep), 0, "mov feeds live-out y, load feeds mov");
+        assert!(l.body.iter().any(|i| i.opcode == Opcode::Mov));
+        assert_eq!(dead_code_eliminate(&mut l2, &HashSet::new()), 2);
+        assert!(!l2.body.iter().any(|i| i.opcode == Opcode::Mov));
+    }
+
+    #[test]
+    fn dce_keeps_stores_and_control() {
+        let mut b = LoopBuilder::new("t", TripCount::Known(10));
+        let x = b.fp_reg();
+        b.store(x, m(0, 8, 0));
+        let mut l = b.build();
+        let n = l.len();
+        // The loop-closing cmp's predicate feeds the branch; nothing to remove.
+        assert_eq!(dead_code_eliminate(&mut l, &HashSet::new()), 0);
+        assert_eq!(l.len(), n);
+    }
+}

@@ -1,0 +1,327 @@
+//! The loop unroller.
+//!
+//! [`unroll`] replicates a loop body `factor` times with full register
+//! renaming, folds the induction-variable update and loop-closing branch,
+//! advances every affine memory reference, and — when the trip count is
+//! unknown — inserts the intermediate early-exit checks that make the
+//! transformation safe (the control-flow cost the paper's §3 warns about).
+
+use std::collections::HashMap;
+
+use loopml_ir::{Inst, Loop, Opcode, Reg, TripCount};
+
+/// Result of unrolling: the transformed loop plus cost-relevant metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Unrolled {
+    /// The unrolled loop. Its trip count is the original's divided by the
+    /// factor; its memory strides are scaled by the factor.
+    pub body: Loop,
+    /// The unroll factor applied.
+    pub factor: u32,
+    /// Residual original iterations executed in a remainder loop per loop
+    /// entry (non-zero only for known, non-divisible trip counts).
+    pub remainder_iters: u64,
+    /// Number of boundary early-exit branches inserted (non-zero only for
+    /// unknown trip counts and factor > 1).
+    pub inserted_exits: u32,
+}
+
+/// Unrolls `l` by `factor`.
+///
+/// A factor of 1 returns the loop unchanged (modulo a clone). Factors of 0
+/// are rejected.
+///
+/// # Panics
+///
+/// Panics if `factor == 0` or if `l` is not unrollable (contains a call or
+/// lacks a loop-closing branch).
+pub fn unroll(l: &Loop, factor: u32) -> Unrolled {
+    assert!(factor >= 1, "unroll factor must be at least 1");
+    if factor == 1 {
+        // Factor 1 is the identity and is accepted for any loop, so cost
+        // models can treat "leave it rolled" uniformly.
+        return Unrolled {
+            body: l.clone(),
+            factor: 1,
+            remainder_iters: 0,
+            inserted_exits: 0,
+        };
+    }
+    assert!(l.is_unrollable(), "loop {} is not unrollable", l.name);
+
+    let f = u64::from(factor);
+    let (new_trip, remainder_iters, need_boundary_exits) = match l.trip_count {
+        TripCount::Known(n) => (TripCount::Known(n / f), n % f, false),
+        TripCount::Unknown { estimate } => (
+            TripCount::Unknown {
+                estimate: (estimate / f).max(1),
+            },
+            0,
+            true,
+        ),
+    };
+
+    // Fresh register names start past every index used in the body.
+    let mut next_index: HashMap<loopml_ir::RegClass, u32> = HashMap::new();
+    for inst in &l.body {
+        for r in inst.defs.iter().copied().chain(inst.reads()) {
+            let e = next_index.entry(r.class()).or_insert(0);
+            *e = (*e).max(r.index() + 1);
+        }
+    }
+    let mut fresh = move |class: loopml_ir::RegClass| -> Reg {
+        let e = next_index.entry(class).or_insert(0);
+        let r = Reg::new(class, *e);
+        *e += 1;
+        r
+    };
+
+    // `cur` maps an original register name to the register currently
+    // holding its value for the copy being emitted.
+    let mut cur: HashMap<Reg, Reg> = HashMap::new();
+    let mut out: Vec<Inst> = Vec::with_capacity(l.body.len() * factor as usize);
+    let mut inserted_exits = 0u32;
+
+    for copy in 0..factor {
+        let last_copy = copy + 1 == factor;
+        for inst in &l.body {
+            match inst.opcode {
+                // The induction update and loop-closing compare/branch are
+                // folded: only the last copy keeps them. At intermediate
+                // boundaries of unknown-trip loops, the compare survives
+                // and feeds an early exit instead of the back branch.
+                Opcode::Br => {
+                    if last_copy {
+                        out.push(rename(inst, &mut cur, &mut fresh, true));
+                    } else if need_boundary_exits {
+                        let mut exit = rename(inst, &mut cur, &mut fresh, false);
+                        exit.opcode = Opcode::BrExit;
+                        out.push(exit);
+                        inserted_exits += 1;
+                    }
+                }
+                _ if inst.induction => {
+                    if last_copy {
+                        out.push(rename(inst, &mut cur, &mut fresh, true));
+                    }
+                }
+                Opcode::Cmp if is_loop_close_cmp(l, inst) => {
+                    if last_copy || need_boundary_exits {
+                        out.push(rename(inst, &mut cur, &mut fresh, last_copy));
+                    }
+                }
+                _ => {
+                    let mut ni = rename(inst, &mut cur, &mut fresh, last_copy);
+                    if let Some(m) = ni.mem {
+                        ni.mem = Some(m.advanced(i64::from(copy)));
+                    }
+                    out.push(ni);
+                }
+            }
+        }
+    }
+
+    // Scale strides: the unrolled loop advances `factor` original
+    // iterations per trip.
+    for inst in &mut out {
+        if let Some(m) = &mut inst.mem {
+            m.stride *= i64::from(factor);
+        }
+    }
+
+    Unrolled {
+        body: Loop {
+            name: format!("{}#u{}", l.name, factor),
+            body: out,
+            trip_count: new_trip,
+            nest_level: l.nest_level,
+            lang: l.lang,
+        },
+        factor,
+        remainder_iters,
+        inserted_exits,
+    }
+}
+
+/// `true` if `inst` is the loop-closing compare: the Cmp whose predicate
+/// feeds the backward branch.
+fn is_loop_close_cmp(l: &Loop, inst: &Inst) -> bool {
+    if inst.opcode != Opcode::Cmp {
+        return false;
+    }
+    let Some(br) = l.body.iter().find(|i| i.opcode == Opcode::Br) else {
+        return false;
+    };
+    match (br.predicate, inst.defs.first()) {
+        (Some(p), Some(&d)) => p == d,
+        _ => false,
+    }
+}
+
+/// Renames one instruction for the current copy. Uses go through the
+/// current-value map; defs get fresh names except on the last copy, where
+/// the original names are restored so the next unrolled iteration (and the
+/// code after the loop) read the registers they expect.
+fn rename(
+    inst: &Inst,
+    cur: &mut HashMap<Reg, Reg>,
+    fresh: &mut impl FnMut(loopml_ir::RegClass) -> Reg,
+    last_copy: bool,
+) -> Inst {
+    let map = |cur: &HashMap<Reg, Reg>, r: Reg| cur.get(&r).copied().unwrap_or(r);
+    let uses = inst.uses.iter().map(|&u| map(cur, u)).collect();
+    let predicate = inst.predicate.map(|p| map(cur, p));
+    let defs = inst
+        .defs
+        .iter()
+        .map(|&d| {
+            if last_copy {
+                cur.remove(&d);
+                d
+            } else {
+                let nd = fresh(d.class());
+                cur.insert(d, nd);
+                nd
+            }
+        })
+        .collect();
+    Inst {
+        opcode: inst.opcode,
+        defs,
+        uses,
+        mem: inst.mem,
+        predicate,
+        induction: inst.induction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopml_ir::{ArrayId, LoopBuilder, MemRef};
+
+    fn daxpy(trip: TripCount) -> Loop {
+        let mut b = LoopBuilder::new("daxpy", trip);
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        let r = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        b.load(y, MemRef::affine(ArrayId(1), 8, 0, 8));
+        b.inst(Inst::new(Opcode::Fma, vec![r], vec![x, y]));
+        b.store(r, MemRef::affine(ArrayId(1), 8, 0, 8));
+        b.build()
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let l = daxpy(TripCount::Known(100));
+        let u = unroll(&l, 1);
+        assert_eq!(u.body, l);
+        assert_eq!(u.remainder_iters, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn factor_zero_rejected() {
+        let _ = unroll(&daxpy(TripCount::Known(8)), 0);
+    }
+
+    #[test]
+    fn replicates_real_work() {
+        let l = daxpy(TripCount::Known(100));
+        let u = unroll(&l, 4);
+        let loads = u.body.count_ops(|i| i.is_load());
+        let stores = u.body.count_ops(|i| i.is_store());
+        let fmas = u.body.count_ops(|i| i.opcode == Opcode::Fma);
+        assert_eq!((loads, stores, fmas), (8, 4, 4));
+    }
+
+    #[test]
+    fn folds_loop_control_for_known_trips() {
+        let l = daxpy(TripCount::Known(100));
+        let u = unroll(&l, 4);
+        assert_eq!(u.body.count_ops(|i| i.opcode == Opcode::Br), 1);
+        assert_eq!(u.body.count_ops(|i| i.induction), 1);
+        assert_eq!(u.body.count_ops(|i| i.opcode == Opcode::Cmp), 1);
+        assert_eq!(u.inserted_exits, 0);
+        assert_eq!(u.remainder_iters, 0);
+        assert_eq!(u.body.trip_count, TripCount::Known(25));
+    }
+
+    #[test]
+    fn remainder_for_non_divisible_trips() {
+        let l = daxpy(TripCount::Known(103));
+        let u = unroll(&l, 4);
+        assert_eq!(u.remainder_iters, 3);
+        assert_eq!(u.body.trip_count, TripCount::Known(25));
+    }
+
+    #[test]
+    fn unknown_trips_get_boundary_exits() {
+        let l = daxpy(TripCount::Unknown { estimate: 100 });
+        let u = unroll(&l, 4);
+        assert_eq!(u.inserted_exits, 3);
+        assert_eq!(u.body.count_ops(|i| i.opcode == Opcode::BrExit), 3);
+        // Each boundary keeps its compare.
+        assert_eq!(u.body.count_ops(|i| i.opcode == Opcode::Cmp), 4);
+    }
+
+    #[test]
+    fn memory_offsets_advance_and_strides_scale() {
+        let l = daxpy(TripCount::Known(100));
+        let u = unroll(&l, 2);
+        let loads: Vec<MemRef> = u
+            .body
+            .body
+            .iter()
+            .filter(|i| i.is_load() && i.mem.unwrap().base == ArrayId(0))
+            .map(|i| i.mem.unwrap())
+            .collect();
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads[0].stride, 16);
+        assert_eq!(loads[0].offset, 0);
+        assert_eq!(loads[1].stride, 16);
+        assert_eq!(loads[1].offset, 8);
+    }
+
+    #[test]
+    fn accumulator_chain_threads_through_copies() {
+        // acc = acc + x[i]: copy k must read copy k-1's def.
+        let mut b = LoopBuilder::new("red", TripCount::Known(64));
+        let x = b.fp_reg();
+        let acc = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        b.inst(Inst::new(Opcode::FAdd, vec![acc], vec![acc, x]));
+        let l = b.build();
+        let u = unroll(&l, 3);
+        let adds: Vec<&Inst> = u
+            .body
+            .body
+            .iter()
+            .filter(|i| i.opcode == Opcode::FAdd)
+            .collect();
+        assert_eq!(adds.len(), 3);
+        // First copy reads the original acc; the last defines it again.
+        assert!(adds[0].uses.contains(&acc));
+        assert_eq!(adds[1].uses[0], adds[0].defs[0]);
+        assert_eq!(adds[2].uses[0], adds[1].defs[0]);
+        assert_eq!(adds[2].defs[0], acc);
+    }
+
+    #[test]
+    fn defs_are_unique_across_copies_except_live_outs() {
+        let l = daxpy(TripCount::Known(100));
+        let u = unroll(&l, 8);
+        let mut defs: Vec<Reg> = u.body.body.iter().flat_map(|i| i.defs.clone()).collect();
+        let before = defs.len();
+        defs.sort_unstable();
+        defs.dedup();
+        assert_eq!(defs.len(), before, "every def must be distinct");
+    }
+
+    #[test]
+    fn unrolled_name_mentions_factor() {
+        let u = unroll(&daxpy(TripCount::Known(100)), 4);
+        assert!(u.body.name.ends_with("#u4"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Quickstart: build a loop, unroll it at every factor, simulate it on
+//! the Itanium-2-like machine model, and let a classifier trained on a
+//! small corpus predict the best factor.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use loopml::{
+    label_benchmark, to_dataset, train_nn, LabelConfig, LearnedHeuristic, UnrollHeuristic,
+};
+use loopml_corpus::{synthesize, SuiteConfig, ROSTER};
+use loopml_ir::{ArrayId, Inst, LoopBuilder, MemRef, Opcode, TripCount};
+use loopml_machine::{loop_cost, MachineConfig, NoiseModel, SwpMode};
+use loopml_ml::DEFAULT_RADIUS;
+use loopml_opt::{unroll_and_optimize, OptConfig};
+
+fn main() {
+    // --- 1. Build a loop: for (i=0; i<65536; i++) y[i] = a*x[i] + y[i]
+    let mut b = LoopBuilder::new("quickstart/daxpy", TripCount::Known(65536));
+    let a = b.fp_reg(); // live-in scalar
+    let x = b.fp_reg();
+    let y = b.fp_reg();
+    let t = b.fp_reg();
+    let r = b.fp_reg();
+    b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+    b.load(y, MemRef::affine(ArrayId(1), 8, 0, 8));
+    b.inst(Inst::new(Opcode::FMul, vec![t], vec![a, x]));
+    b.inst(Inst::new(Opcode::FAdd, vec![r], vec![t, y]));
+    b.store(r, MemRef::affine(ArrayId(1), 8, 0, 8));
+    let daxpy = b.build();
+    println!("{daxpy}");
+
+    // --- 2. Sweep unroll factors through the machine model.
+    let machine = MachineConfig::itanium2();
+    let opt = OptConfig::default();
+    let rolled = unroll_and_optimize(&daxpy, 1, &opt);
+    let rolled_cost = loop_cost(&rolled, 0.0, &machine, SwpMode::Disabled);
+    println!("factor  insts  cycles/iter  cycles/orig-iter");
+    let mut best = (1u32, f64::INFINITY);
+    for f in 1..=8u32 {
+        let u = unroll_and_optimize(&daxpy, f, &opt);
+        let c = loop_cost(&u, rolled_cost.per_iter, &machine, SwpMode::Disabled);
+        let per_orig = c.per_iter / f64::from(f);
+        println!(
+            "{:>6}  {:>5}  {:>11.2}  {:>16.3}",
+            f,
+            u.body.len(),
+            c.per_iter,
+            per_orig
+        );
+        if per_orig < best.1 {
+            best = (f, per_orig);
+        }
+    }
+    println!("empirically best factor: {}\n", best.0);
+
+    // --- 3. Train an NN classifier on a small labeled corpus.
+    let cfg = LabelConfig {
+        noise: NoiseModel::exact(),
+        ..LabelConfig::paper(SwpMode::Disabled)
+    };
+    let suite_cfg = SuiteConfig {
+        min_loops: 25,
+        max_loops: 30,
+        ..SuiteConfig::default()
+    };
+    let labeled: Vec<_> = ROSTER
+        .iter()
+        .take(8)
+        .enumerate()
+        .flat_map(|(i, e)| label_benchmark(&synthesize(e, &suite_cfg), i, &cfg))
+        .collect();
+    println!("trained on {} labeled loops from 8 benchmarks", labeled.len());
+    let data = to_dataset(&labeled);
+    let nn = LearnedHeuristic::new("NN", None, train_nn(&data, DEFAULT_RADIUS));
+
+    // --- 4. Ask the classifier about the novel loop.
+    let predicted = nn.choose(&daxpy);
+    println!("NN-predicted unroll factor: {predicted}");
+    println!(
+        "prediction is {}",
+        if predicted == best.0 {
+            "optimal"
+        } else {
+            "non-optimal (distance-based fallback on a novel loop)"
+        }
+    );
+}

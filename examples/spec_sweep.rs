@@ -1,0 +1,63 @@
+//! SPEC sweep: compile every SPEC 2000 benchmark of the corpus under
+//! four policies — rolled, ORC's heuristic, always-unroll-by-8 and the
+//! oracle — and report whole-program cycles. A compact version of the
+//! Figure 4 pipeline without the learning step.
+//!
+//! ```text
+//! cargo run --release --example spec_sweep
+//! ```
+
+use loopml::{improvement, oracle_choices, run_benchmark, EvalConfig, OrcHeuristic, UnrollHeuristic};
+use loopml_corpus::{spec2000, SuiteConfig};
+use loopml_machine::SwpMode;
+
+fn main() {
+    let suite_cfg = SuiteConfig {
+        min_loops: 30,
+        max_loops: 40,
+        ..SuiteConfig::default()
+    };
+    let ec = EvalConfig::exact(SwpMode::Disabled);
+    let orc = OrcHeuristic;
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>10}   (improvement over rolled code)",
+        "benchmark", "ORC", "all-8", "oracle"
+    );
+    let mut sums = [0.0f64; 4];
+    let benches = spec2000(&suite_cfg);
+    for b in &benches {
+        let rolled = run_benchmark(b, &vec![1; b.len()], &ec);
+        let orc_choices: Vec<u32> = b.loops.iter().map(|w| orc.choose(&w.body)).collect();
+        let orc_t = run_benchmark(b, &orc_choices, &ec);
+        let eights: Vec<u32> = b
+            .loops
+            .iter()
+            .map(|w| if w.body.is_unrollable() { 8 } else { 1 })
+            .collect();
+        let all8 = run_benchmark(b, &eights, &ec);
+        let oracle = run_benchmark(b, &oracle_choices(b, &ec), &ec);
+
+        println!(
+            "{:<16} {:>9.1}% {:>9.1}% {:>9.1}%",
+            b.name,
+            improvement(rolled, orc_t) * 100.0,
+            improvement(rolled, all8) * 100.0,
+            improvement(rolled, oracle) * 100.0,
+        );
+        sums[0] += rolled;
+        sums[1] += improvement(rolled, orc_t);
+        sums[2] += improvement(rolled, all8);
+        sums[3] += improvement(rolled, oracle);
+    }
+    let n = benches.len() as f64;
+    println!(
+        "{:<16} {:>9.1}% {:>9.1}% {:>9.1}%",
+        "mean",
+        sums[1] / n * 100.0,
+        sums[2] / n * 100.0,
+        sums[3] / n * 100.0,
+    );
+    println!("\nNote how always-unrolling-by-8 trails the oracle: factor choice matters");
+    println!("(the paper's argument against binary unroll/don't-unroll classifiers).");
+}

@@ -1,0 +1,26 @@
+//! # loopml-repro — workspace-level examples and integration tests
+//!
+//! This crate hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`) of the `loopml` reproduction
+//! of *Stephenson & Amarasinghe, "Predicting Unroll Factors Using
+//! Supervised Classification" (CGO 2005)*.
+//!
+//! The library itself lives in the workspace crates:
+//!
+//! * [`loopml_ir`] — loop IR and dependence analysis;
+//! * [`loopml_opt`] — unrolling and the optimizations it enables;
+//! * [`loopml_machine`] — the Itanium 2-flavoured machine model;
+//! * [`loopml_corpus`] — the synthetic 72-benchmark training corpus;
+//! * [`loopml_ml`] — near neighbors, SVMs, LOOCV, LDA, feature selection;
+//! * [`loopml`] — features, labeling, heuristics, evaluation.
+//!
+//! Run `cargo run --example quickstart` to see the end-to-end flow, and
+//! `cargo run --release -p loopml-bench --bin repro -- all` to regenerate
+//! every table and figure of the paper.
+
+pub use loopml;
+pub use loopml_corpus;
+pub use loopml_ir;
+pub use loopml_machine;
+pub use loopml_ml;
+pub use loopml_opt;

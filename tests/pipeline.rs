@@ -1,0 +1,159 @@
+//! End-to-end integration tests: corpus → labels → classifiers →
+//! heuristics → whole-benchmark evaluation, crossing every crate.
+
+use loopml::{
+    improvement, label_benchmark, label_suite, oracle_choices, run_benchmark, to_dataset,
+    train_nn, EvalConfig, LabelConfig, LearnedHeuristic, OrcHeuristic, UnrollHeuristic,
+};
+use loopml_corpus::{full_suite, synthesize, SuiteConfig, ROSTER};
+use loopml_machine::{NoiseModel, SwpMode};
+use loopml_ml::{loocv_nn, DEFAULT_RADIUS};
+
+fn small_suite_cfg() -> SuiteConfig {
+    SuiteConfig {
+        min_loops: 10,
+        max_loops: 14,
+        ..SuiteConfig::default()
+    }
+}
+
+fn exact_labels() -> LabelConfig {
+    LabelConfig {
+        noise: NoiseModel::exact(),
+        ..LabelConfig::paper(SwpMode::Disabled)
+    }
+}
+
+#[test]
+fn full_pipeline_smoke() {
+    // Label a slice of the corpus.
+    let suite: Vec<_> = ROSTER
+        .iter()
+        .take(10)
+        .map(|e| synthesize(e, &small_suite_cfg()))
+        .collect();
+    let labeled = label_suite(&suite, &exact_labels());
+    assert!(labeled.len() >= 20, "got {} labeled loops", labeled.len());
+
+    // Train and deploy a classifier.
+    let data = to_dataset(&labeled);
+    let nn = LearnedHeuristic::new("NN", None, train_nn(&data, DEFAULT_RADIUS));
+
+    // Compile a benchmark with it and compare against rolled code.
+    let ec = EvalConfig::exact(SwpMode::Disabled);
+    let b = &suite[0];
+    let choices: Vec<u32> = b.loops.iter().map(|w| nn.choose(&w.body)).collect();
+    let t_nn = run_benchmark(b, &choices, &ec);
+    let t_rolled = run_benchmark(b, &vec![1; b.len()], &ec);
+    assert!(
+        t_nn < t_rolled,
+        "learned compilation should beat rolled: {t_nn} vs {t_rolled}"
+    );
+}
+
+#[test]
+fn learned_beats_baseline_in_loocv_accuracy() {
+    let suite: Vec<_> = ROSTER
+        .iter()
+        .take(12)
+        .map(|e| synthesize(e, &small_suite_cfg()))
+        .collect();
+    let labeled = label_suite(&suite, &exact_labels());
+    let data = to_dataset(&labeled);
+    let nn_acc = loocv_nn(&data, DEFAULT_RADIUS).accuracy;
+
+    // ORC heuristic accuracy on the same loops.
+    let by_name: std::collections::HashMap<&str, &loopml_ir::Loop> = suite
+        .iter()
+        .flat_map(|b| b.loops.iter().map(|w| (w.body.name.as_str(), &w.body)))
+        .collect();
+    let orc_correct = labeled
+        .iter()
+        .filter(|l| OrcHeuristic.choose(by_name[l.name.as_str()]) == l.best_factor())
+        .count();
+    let orc_acc = orc_correct as f64 / labeled.len() as f64;
+    assert!(
+        nn_acc > orc_acc,
+        "learned {nn_acc:.2} must beat hand heuristic {orc_acc:.2}"
+    );
+}
+
+#[test]
+fn oracle_dominates_heuristics_without_noise() {
+    let b = synthesize(&ROSTER[3], &small_suite_cfg());
+    let ec = EvalConfig::exact(SwpMode::Disabled);
+    let oracle = run_benchmark(&b, &oracle_choices(&b, &ec), &ec);
+    for choices in [
+        vec![1u32; b.len()],
+        b.loops
+            .iter()
+            .map(|w| OrcHeuristic.choose(&w.body))
+            .collect(),
+        b.loops
+            .iter()
+            .map(|w| if w.body.is_unrollable() { 8 } else { 1 })
+            .collect(),
+    ] {
+        let t = run_benchmark(&b, &choices, &ec);
+        assert!(
+            improvement(t, oracle) >= -1e-9,
+            "oracle {oracle} beaten by {t}"
+        );
+    }
+}
+
+#[test]
+fn labeling_and_evaluation_are_reproducible() {
+    let b = synthesize(&ROSTER[5], &small_suite_cfg());
+    let cfg = LabelConfig::paper(SwpMode::Disabled);
+    assert_eq!(label_benchmark(&b, 0, &cfg), label_benchmark(&b, 0, &cfg));
+    let ec = EvalConfig::paper(SwpMode::Disabled);
+    let h = OrcHeuristic;
+    assert_eq!(
+        loopml::measure_benchmark(&b, &h, &ec),
+        loopml::measure_benchmark(&b, &h, &ec)
+    );
+}
+
+#[test]
+fn corpus_scale_is_paper_scale() {
+    // The default configuration labels >2,500 loops like the paper; the
+    // check here uses the raw suite to stay fast.
+    let suite = full_suite(&SuiteConfig::default());
+    assert_eq!(suite.len(), 72);
+    let loops: usize = suite.iter().map(|b| b.len()).sum();
+    assert!(loops >= 4000, "default suite has {loops} raw loops");
+    let spec = loopml_corpus::spec2000(&SuiteConfig::default());
+    assert_eq!(spec.len(), 24);
+}
+
+#[test]
+fn swp_labels_differ_from_non_swp_labels() {
+    // The paper trains separate heuristics per regime because the best
+    // factor changes when the pipeliner is on.
+    let b = synthesize(&ROSTER[2], &small_suite_cfg());
+    let off = label_benchmark(&b, 0, &exact_labels());
+    let on_cfg = LabelConfig {
+        noise: NoiseModel::exact(),
+        ..LabelConfig::paper(SwpMode::Enabled)
+    };
+    let on = label_benchmark(&b, 0, &on_cfg);
+    // Same loops may survive differently; compare the overlap.
+    let off_map: std::collections::HashMap<&str, usize> =
+        off.iter().map(|l| (l.name.as_str(), l.label)).collect();
+    let mut differing = 0;
+    let mut common = 0;
+    for l in &on {
+        if let Some(&lab) = off_map.get(l.name.as_str()) {
+            common += 1;
+            if lab != l.label {
+                differing += 1;
+            }
+        }
+    }
+    assert!(common > 0, "regimes should share some surviving loops");
+    assert!(
+        differing > 0,
+        "pipelining should change at least one optimal factor ({common} shared)"
+    );
+}

@@ -1,0 +1,139 @@
+//! Cross-crate transformation/machine invariants: properties that span
+//! the corpus generator, the unroller and the machine model.
+
+use loopml_corpus::{KernelFamily, synthesize, SuiteConfig, ROSTER};
+use loopml_ir::{DepGraph, Opcode};
+use loopml_machine::{
+    list_schedule, loop_cost, modulo_schedule, rec_mii, MachineConfig, SwpMode,
+};
+use loopml_opt::{interp, unroll_and_optimize, OptConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn every_kernel_family_schedules_at_every_factor() {
+    let cfg = MachineConfig::itanium2();
+    for (k, fam) in KernelFamily::ALL.iter().enumerate() {
+        let l = fam.build("t", &mut StdRng::seed_from_u64(k as u64 + 1));
+        if !l.is_unrollable() {
+            continue;
+        }
+        for f in [1u32, 3, 8] {
+            let u = unroll_and_optimize(&l, f, &OptConfig::default());
+            let g = DepGraph::analyze(&u.body);
+            let s = list_schedule(&u.body, &g, &cfg);
+            assert!(s.length > 0, "{fam:?} x{f} produced an empty schedule");
+            assert!(s.iter_interval >= s.length.min(s.iter_interval));
+        }
+    }
+}
+
+#[test]
+fn pipelined_ii_never_worse_than_lockstep() {
+    let cfg = MachineConfig::itanium2();
+    for (k, fam) in KernelFamily::ALL.iter().enumerate() {
+        let l = fam.build("t", &mut StdRng::seed_from_u64(100 + k as u64));
+        if !l.is_unrollable() {
+            continue;
+        }
+        let g = DepGraph::analyze(&l);
+        if let Ok(m) = modulo_schedule(&l, &g, &cfg) {
+            let s = list_schedule(&l, &g, &cfg);
+            assert!(
+                m.ii <= s.iter_interval,
+                "{fam:?}: SWP II {} worse than lockstep {}",
+                m.ii,
+                s.iter_interval
+            );
+            assert!(m.ii >= rec_mii(&l, &g, &cfg));
+        }
+    }
+}
+
+#[test]
+fn corpus_loops_execute_equivalently_after_unrolling() {
+    // Semantic check on real corpus loops (not just synthetic proptest
+    // loops): interpret original vs unrolled-and-optimized bodies.
+    let b = synthesize(
+        &ROSTER[2],
+        &SuiteConfig {
+            min_loops: 20,
+            max_loops: 20,
+            ..SuiteConfig::default()
+        },
+    );
+    let mut checked = 0;
+    for (_, w) in b.unrollable() {
+        let l = &w.body;
+        // Only loops without early exits have branch-free semantics the
+        // interpreter can replay (see loopml_opt::interp docs).
+        if l.early_exits() > 0 {
+            continue;
+        }
+        let span = 24u64; // divisible by 1,2,3,4,6,8
+        let reference = interp::execute(l, span, interp::Memory::new());
+        for f in [2u32, 4] {
+            let u = unroll_and_optimize(l, f, &OptConfig::default());
+            let got = interp::execute(&u.body, span / u64::from(f), interp::Memory::new());
+            for (k, v) in &reference {
+                assert_eq!(
+                    got.get(k),
+                    Some(v),
+                    "{} diverges at factor {f} on cell {k:?}",
+                    l.name
+                );
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "only {checked} loops checked");
+}
+
+#[test]
+fn cost_model_is_finite_on_whole_corpus_sample() {
+    let cfg = MachineConfig::itanium2();
+    let b = synthesize(
+        &ROSTER[7],
+        &SuiteConfig {
+            min_loops: 25,
+            max_loops: 25,
+            ..SuiteConfig::default()
+        },
+    );
+    for w in &b.loops {
+        for swp in [SwpMode::Disabled, SwpMode::Enabled] {
+            let factors: Vec<u32> = if w.body.is_unrollable() {
+                (1..=8).collect()
+            } else {
+                vec![1]
+            };
+            for f in factors {
+                let u = unroll_and_optimize(&w.body, f, &OptConfig::default());
+                let c = loop_cost(&u, 8.0, &cfg, swp);
+                assert!(c.per_iter.is_finite() && c.per_iter >= 1.0, "{}", w.body.name);
+                assert!(c.per_entry.is_finite() && c.per_entry >= 0.0);
+                assert!(c.total(100, 4).is_finite());
+            }
+        }
+    }
+}
+
+#[test]
+fn boundary_exits_only_for_unknown_trips() {
+    for (k, fam) in KernelFamily::ALL.iter().enumerate() {
+        let l = fam.build("t", &mut StdRng::seed_from_u64(7 * k as u64 + 3));
+        if !l.is_unrollable() {
+            continue;
+        }
+        let u = unroll_and_optimize(&l, 4, &OptConfig::default());
+        if l.trip_count.is_known() {
+            assert_eq!(u.inserted_exits, 0, "{fam:?}");
+        } else {
+            assert_eq!(u.inserted_exits, 3, "{fam:?}");
+        }
+        // Original early exits replicate with the copies either way.
+        let orig_exits = l.early_exits();
+        let got = u.body.count_ops(|i| i.opcode == Opcode::BrExit);
+        assert_eq!(got, orig_exits * 4 + u.inserted_exits as usize, "{fam:?}");
+    }
+}
