@@ -1,10 +1,13 @@
-//! Criterion microbenchmarks for the hot components of the pipeline:
+//! Wall-clock microbenchmarks for the hot components of the pipeline:
 //! feature extraction, unrolling, both schedulers, classifier queries and
 //! training. These are the operations a compiler would pay at build time
 //! (the paper: an NN lookup over 2,500 examples takes < 5 ms and "is far
 //! outweighed by compiler fixed-point dataflow analyses").
+//!
+//! Runs on the dependency-free `loopml_rt::bench` harness:
+//! `cargo bench -p loopml-bench --bench components`. Set
+//! `LOOPML_BENCH_MS` to change the per-benchmark time budget.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use loopml::{extract, to_dataset, LabelConfig};
@@ -15,6 +18,7 @@ use loopml_machine::{
 };
 use loopml_ml::{MulticlassSvm, NearNeighbors, SvmParams, DEFAULT_RADIUS};
 use loopml_opt::{unroll_and_optimize, OptConfig};
+use loopml_rt::bench::{bench, bench_batched};
 
 fn daxpy() -> Loop {
     let mut b = LoopBuilder::new("daxpy", TripCount::Known(65536));
@@ -47,40 +51,42 @@ fn training_dataset() -> loopml_ml::Dataset {
     to_dataset(&labeled)
 }
 
-fn bench_feature_extraction(c: &mut Criterion) {
+fn bench_feature_extraction() {
     let l = daxpy();
-    c.bench_function("extract_38_features", |b| {
-        b.iter(|| black_box(extract(black_box(&l))))
-    });
+    bench("extract_38_features", || black_box(extract(black_box(&l)))).print();
 }
 
-fn bench_unroll(c: &mut Criterion) {
+fn bench_unroll() {
     let l = daxpy();
     let cfg = OptConfig::default();
     for factor in [2u32, 8] {
-        c.bench_function(&format!("unroll_and_optimize_x{factor}"), |b| {
-            b.iter(|| black_box(unroll_and_optimize(black_box(&l), factor, &cfg)))
-        });
+        bench(&format!("unroll_and_optimize_x{factor}"), || {
+            black_box(unroll_and_optimize(black_box(&l), factor, &cfg))
+        })
+        .print();
     }
 }
 
-fn bench_schedulers(c: &mut Criterion) {
+fn bench_schedulers() {
     let mcfg = MachineConfig::itanium2();
     let u = unroll_and_optimize(&daxpy(), 8, &OptConfig::default());
     let g = DepGraph::analyze(&u.body);
-    c.bench_function("list_schedule_x8_body", |b| {
-        b.iter(|| black_box(list_schedule(black_box(&u.body), &g, &mcfg)))
-    });
-    c.bench_function("modulo_schedule_x8_body", |b| {
-        b.iter(|| black_box(modulo_schedule(black_box(&u.body), &g, &mcfg)))
-    });
-    c.bench_function("loop_cost_swp_off", |b| {
-        b.iter(|| black_box(loop_cost(black_box(&u), 10.0, &mcfg, SwpMode::Disabled)))
-    });
+    bench("list_schedule_x8_body", || {
+        black_box(list_schedule(black_box(&u.body), &g, &mcfg))
+    })
+    .print();
+    bench("modulo_schedule_x8_body", || {
+        black_box(modulo_schedule(black_box(&u.body), &g, &mcfg))
+    })
+    .print();
+    bench("loop_cost_swp_off", || {
+        black_box(loop_cost(black_box(&u), 10.0, &mcfg, SwpMode::Disabled))
+    })
+    .print();
 }
 
-fn bench_labeling(c: &mut Criterion) {
-    let bench = synthesize(
+fn bench_labeling() {
+    let b = synthesize(
         &ROSTER[2],
         &SuiteConfig {
             min_loops: 10,
@@ -89,56 +95,55 @@ fn bench_labeling(c: &mut Criterion) {
         },
     );
     let cfg = LabelConfig::paper(SwpMode::Disabled);
-    c.bench_function("label_benchmark_10_loops", |b| {
-        b.iter(|| black_box(loopml::label_benchmark(black_box(&bench), 0, &cfg)))
-    });
+    bench("label_benchmark_10_loops", || {
+        black_box(loopml::label_benchmark(black_box(&b), 0, &cfg))
+    })
+    .print();
+    bench("label_benchmark_10_loops_serial", || {
+        black_box(loopml::label_benchmark_threads(black_box(&b), 0, &cfg, 1))
+    })
+    .print();
 }
 
-fn bench_classifiers(c: &mut Criterion) {
+fn bench_classifiers() {
     let data = training_dataset();
     let nn = NearNeighbors::fit(&data, DEFAULT_RADIUS);
     let query = data.x[0].clone();
     // The paper's latency claim: an NN query over the database is fast
     // enough for compile time.
-    c.bench_function(&format!("nn_query_{}_examples", data.len()), |b| {
-        b.iter(|| black_box(nn.predict(black_box(&query))))
-    });
-    c.bench_function("nn_fit", |b| {
-        b.iter_batched(
-            || data.clone(),
-            |d| black_box(NearNeighbors::fit(&d, DEFAULT_RADIUS)),
-            BatchSize::SmallInput,
-        )
-    });
+    bench(&format!("nn_query_{}_examples", data.len()), || {
+        black_box(nn.predict(black_box(&query)))
+    })
+    .print();
+    bench_batched(
+        "nn_fit",
+        || data.clone(),
+        |d| black_box(NearNeighbors::fit(&d, DEFAULT_RADIUS)),
+    )
+    .print();
     let svm = MulticlassSvm::fit(&data, SvmParams::default());
-    c.bench_function("svm_query", |b| {
-        b.iter(|| black_box(svm.predict(black_box(&query))))
-    });
-    c.bench_function(&format!("svm_fit_{}_examples", data.len()), |b| {
-        b.iter_batched(
-            || data.clone(),
-            |d| black_box(MulticlassSvm::fit(&d, SvmParams::default())),
-            BatchSize::SmallInput,
-        )
-    });
+    bench("svm_query", || black_box(svm.predict(black_box(&query)))).print();
+    bench_batched(
+        &format!("svm_fit_{}_examples", data.len()),
+        || data.clone(),
+        |d| black_box(MulticlassSvm::fit(&d, SvmParams::default())),
+    )
+    .print();
 }
 
-fn bench_corpus(c: &mut Criterion) {
+fn bench_corpus() {
     let cfg = SuiteConfig::default();
-    c.bench_function("synthesize_benchmark", |b| {
-        b.iter(|| black_box(synthesize(black_box(&ROSTER[0]), &cfg)))
-    });
+    bench("synthesize_benchmark", || {
+        black_box(synthesize(black_box(&ROSTER[0]), &cfg))
+    })
+    .print();
 }
 
-criterion_group!(
-    name = components;
-    config = Criterion::default().sample_size(20);
-    targets =
-        bench_feature_extraction,
-        bench_unroll,
-        bench_schedulers,
-        bench_labeling,
-        bench_classifiers,
-        bench_corpus
-);
-criterion_main!(components);
+fn main() {
+    bench_feature_extraction();
+    bench_unroll();
+    bench_schedulers();
+    bench_labeling();
+    bench_classifiers();
+    bench_corpus();
+}

@@ -1,47 +1,36 @@
-//! Criterion benchmarks of the experiment harnesses themselves — one per
+//! Wall-clock benchmarks of the experiment harnesses themselves — one per
 //! table/figure — on a reduced corpus. These measure how long it takes to
 //! *regenerate* each artifact (the `repro` binary runs the full-scale
 //! versions).
+//!
+//! Runs on the dependency-free `loopml_rt::bench` harness:
+//! `cargo bench -p loopml-bench --bench experiments`. Set
+//! `LOOPML_BENCH_MS` to change the per-benchmark time budget.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use loopml_bench::{experiments, Context, Scale};
 use loopml_machine::SwpMode;
+use loopml_rt::bench::bench;
 
-fn bench_experiments(c: &mut Criterion) {
+fn main() {
     let ctx_off = Context::build(Scale::Quick, SwpMode::Disabled);
 
-    c.bench_function("bench_table2", |b| {
-        b.iter(|| black_box(experiments::table2(&ctx_off)))
-    });
-    c.bench_function("bench_table3", |b| {
-        b.iter(|| black_box(experiments::table3(&ctx_off)))
-    });
-    c.bench_function("bench_table4", |b| {
-        b.iter(|| black_box(experiments::table4(&ctx_off, 3)))
-    });
-    c.bench_function("bench_fig1", |b| {
-        b.iter(|| black_box(experiments::fig1(&ctx_off)))
-    });
-    c.bench_function("bench_fig2", |b| {
-        b.iter(|| black_box(experiments::fig2(&ctx_off, 12)))
-    });
-    c.bench_function("bench_fig3", |b| {
-        b.iter(|| black_box(experiments::fig3(&ctx_off)))
-    });
+    bench("bench_table2", || black_box(experiments::table2(&ctx_off))).print();
+    bench("bench_table3", || black_box(experiments::table3(&ctx_off))).print();
+    bench("bench_table4", || {
+        black_box(experiments::table4(&ctx_off, 3))
+    })
+    .print();
+    bench("bench_fig1", || black_box(experiments::fig1(&ctx_off))).print();
+    bench("bench_fig2", || black_box(experiments::fig2(&ctx_off, 12))).print();
+    bench("bench_fig3", || black_box(experiments::fig3(&ctx_off))).print();
     // Figures 4 and 5 train 24 leave-one-benchmark-out classifier pairs
-    // per iteration — the heaviest harness. Quick scale keeps each pass
-    // to a few seconds; the full-scale versions live in the `repro`
-    // binary.
-    c.bench_function("bench_fig4", |b| {
-        b.iter(|| black_box(experiments::speedup_figure(&ctx_off)))
-    });
+    // per pass — the heaviest harness (and the one the parallel labeling
+    // and evaluation engine accelerates). Quick scale keeps each pass to
+    // a few seconds; the full-scale versions live in the `repro` binary.
+    bench("bench_fig4", || {
+        black_box(experiments::speedup_figure(&ctx_off))
+    })
+    .print();
 }
-
-criterion_group!(
-    name = experiments_group;
-    config = Criterion::default().sample_size(10);
-    targets = bench_experiments
-);
-criterion_main!(experiments_group);

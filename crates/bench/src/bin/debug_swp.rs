@@ -9,7 +9,10 @@ use loopml_opt::{unroll_and_optimize, OptConfig};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "301.apsi".into());
-    let entry = ROSTER.iter().find(|e| e.name == name).expect("known benchmark");
+    let entry = ROSTER
+        .iter()
+        .find(|e| e.name == name)
+        .expect("known benchmark");
     let b = synthesize(entry, &SuiteConfig::default());
     let ec = EvalConfig::exact(SwpMode::Enabled);
     let h = OrcSwpHeuristic::default();
@@ -56,6 +59,8 @@ fn main() {
             loss
         );
     }
-    println!("\nweighted totals: heuristic {total_h:.4}, oracle {total_o:.4}, gap {:.1}%",
-        (total_h / total_o - 1.0) * 100.0);
+    println!(
+        "\nweighted totals: heuristic {total_h:.4}, oracle {total_o:.4}, gap {:.1}%",
+        (total_h / total_o - 1.0) * 100.0
+    );
 }

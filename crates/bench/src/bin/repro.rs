@@ -23,8 +23,19 @@ fn main() {
         .collect();
     let targets: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
         vec![
-            "table1", "fig3", "table2", "table3", "table4", "fig1", "fig2", "fig4", "fig5",
-            "ablate-norm", "ablate-radius", "ablate-features", "ablate-filter",
+            "table1",
+            "fig3",
+            "table2",
+            "table3",
+            "table4",
+            "fig1",
+            "fig2",
+            "fig4",
+            "fig5",
+            "ablate-norm",
+            "ablate-radius",
+            "ablate-features",
+            "ablate-filter",
         ]
     } else {
         targets
@@ -56,7 +67,10 @@ fn main() {
         let t = Instant::now();
         match target {
             "table1" => {
-                println!("Table 1. Features used for loop classification ({} total)", FEATURE_NAMES.len());
+                println!(
+                    "Table 1. Features used for loop classification ({} total)",
+                    FEATURE_NAMES.len()
+                );
                 for (i, name) in FEATURE_NAMES.iter().enumerate() {
                     println!("  {:>2}. {}", i + 1, name);
                 }
@@ -102,8 +116,7 @@ fn main() {
                 if !grid.is_empty() {
                     println!("decision regions (U = unroll, . = keep rolled):");
                     for row in grid.iter().rev() {
-                        let line: String =
-                            row.iter().map(|&b| if b { 'U' } else { '.' }).collect();
+                        let line: String = row.iter().map(|&b| if b { 'U' } else { '.' }).collect();
                         println!("  {line}");
                     }
                 }

@@ -2,10 +2,8 @@
 //! construction and feature selection, computed once and reused by every
 //! table/figure harness.
 
-use loopml::{
-    benchmark_groups, informative_features, to_dataset, LabelConfig, LabeledLoop,
-};
-use loopml_corpus::{full_suite, SuiteConfig};
+use loopml::{LabelConfig, LabeledLoop, PipelineBuilder};
+use loopml_corpus::SuiteConfig;
 use loopml_ir::Benchmark;
 use loopml_machine::SwpMode;
 use loopml_ml::Dataset;
@@ -54,27 +52,21 @@ pub struct Context {
 }
 
 impl Context {
-    /// Builds the context: synthesize, label, featurize, select.
+    /// Builds the context: synthesize, label, featurize, select — all
+    /// delegated to [`PipelineBuilder`] with the paper's defaults.
     pub fn build(scale: Scale, swp: SwpMode) -> Self {
-        let suite = full_suite(&scale.suite_config());
-        let label_config = LabelConfig::paper(swp);
-        let labeled = loopml::label_suite(&suite, &label_config);
-        assert!(
-            !labeled.is_empty(),
-            "labeling produced no training examples"
-        );
-        let full_dataset = to_dataset(&labeled);
-        let feature_subset = informative_features(&full_dataset, 5);
-        let dataset = full_dataset.select_features(&feature_subset);
-        let groups = benchmark_groups(&labeled);
+        let p = PipelineBuilder::paper()
+            .suite_config(scale.suite_config())
+            .swp(swp)
+            .build();
         Context {
-            suite,
-            labeled,
-            full_dataset,
-            dataset,
-            feature_subset,
-            groups,
-            label_config,
+            suite: p.suite,
+            labeled: p.labeled,
+            full_dataset: p.full_dataset,
+            dataset: p.dataset,
+            feature_subset: p.feature_subset.expect("paper defaults select features"),
+            groups: p.groups,
+            label_config: p.label_config,
             scale,
         }
     }

@@ -7,8 +7,9 @@ use loopml::{
 use loopml_machine::SwpMode;
 use loopml_ml::{
     greedy_forward, loocv_nn, loocv_svm, mutual_information, nn1_training_error, Dataset,
-    GreedyStep, Lda2d, MulticlassSvm, ScoredFeature, SvmParams, DEFAULT_RADIUS,
+    GreedyStep, Lda2d, MulticlassSvm, NearNeighbors, ScoredFeature, SvmParams, DEFAULT_RADIUS,
 };
+use loopml_rt::par_map;
 
 use crate::context::Context;
 
@@ -76,21 +77,31 @@ pub fn table2(ctx: &Context) -> Table2 {
     let nn_pred: Vec<u32> = nn_cv.predictions.iter().map(|&c| c as u32 + 1).collect();
     let svm_pred: Vec<u32> = svm_cv.predictions.iter().map(|&c| c as u32 + 1).collect();
 
-    // ORC heuristic: no training involved.
-    let orc: Box<dyn UnrollHeuristic> = match ctx.label_config.swp {
-        SwpMode::Disabled => Box::new(OrcHeuristic),
-        SwpMode::Enabled => Box::new(OrcSwpHeuristic::default()),
+    // ORC baseline: no training involved. In the non-SWP regime the
+    // decision is a pure function of the stored features, so the
+    // [`loopml::OrcClassifier`] adapter answers directly; the SWP-era
+    // heuristic consults the scheduler and needs the loop itself.
+    let orc_pred: Vec<u32> = match ctx.label_config.swp {
+        SwpMode::Disabled => {
+            use loopml_ml::Classifier;
+            ctx.labeled
+                .iter()
+                .map(|l| loopml::OrcClassifier.predict(&l.features) as u32 + 1)
+                .collect()
+        }
+        SwpMode::Enabled => {
+            let orc = OrcSwpHeuristic::default();
+            let by_name: std::collections::HashMap<&str, &loopml_ir::Loop> = ctx
+                .suite
+                .iter()
+                .flat_map(|b| b.loops.iter().map(|w| (w.body.name.as_str(), &w.body)))
+                .collect();
+            ctx.labeled
+                .iter()
+                .map(|l| orc.choose(by_name[l.name.as_str()]))
+                .collect()
+        }
     };
-    let by_name: std::collections::HashMap<&str, &loopml_ir::Loop> = ctx
-        .suite
-        .iter()
-        .flat_map(|b| b.loops.iter().map(|w| (w.body.name.as_str(), &w.body)))
-        .collect();
-    let orc_pred: Vec<u32> = ctx
-        .labeled
-        .iter()
-        .map(|l| orc.choose(by_name[l.name.as_str()]))
-        .collect();
 
     // Cost column: average penalty of landing at each rank.
     let mut cost = [0.0f64; 8];
@@ -186,7 +197,11 @@ pub fn fig1(ctx: &Context) -> Vec<ProjectedPoint> {
         .zip(&factors)
         .map(|(x, &factor)| {
             let (px, py) = lda.project(x);
-            ProjectedPoint { x: px, y: py, factor }
+            ProjectedPoint {
+                x: px,
+                y: py,
+                factor,
+            }
         })
         .collect()
 }
@@ -201,7 +216,10 @@ pub fn fig2(ctx: &Context, grid: usize) -> (Vec<ProjectedPoint>, Vec<Vec<bool>>)
     for l in &ctx.labeled {
         let own = l.runtimes[l.label];
         let other_best = if l.label == 0 {
-            l.runtimes[1..].iter().cloned().fold(f64::INFINITY, f64::min)
+            l.runtimes[1..]
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min)
         } else {
             l.runtimes[0]
         };
@@ -222,19 +240,18 @@ pub fn fig2(ctx: &Context, grid: usize) -> (Vec<ProjectedPoint>, Vec<Vec<bool>>)
         (0..rows.len()).map(|i| format!("p{i}")).collect(),
     );
     let lda = Lda2d::fit(&d);
-    let points: Vec<ProjectedPoint> = d
-        .x
-        .iter()
-        .zip(&labels)
-        .map(|(x, &l)| {
-            let (px, py) = lda.project(x);
-            ProjectedPoint {
-                x: px,
-                y: py,
-                factor: if l == 1 { 2 } else { 1 },
-            }
-        })
-        .collect();
+    let points: Vec<ProjectedPoint> =
+        d.x.iter()
+            .zip(&labels)
+            .map(|(x, &l)| {
+                let (px, py) = lda.project(x);
+                ProjectedPoint {
+                    x: px,
+                    y: py,
+                    factor: if l == 1 { 2 } else { 1 },
+                }
+            })
+            .collect();
 
     // Train an SVM on the 2-D projected data and sample its decisions.
     let projected: Vec<Vec<f64>> = points.iter().map(|p| vec![p.x, p.y]).collect();
@@ -245,7 +262,13 @@ pub fn fig2(ctx: &Context, grid: usize) -> (Vec<ProjectedPoint>, Vec<Vec<bool>>)
         vec!["lda-1".into(), "lda-2".into()],
         (0..points.len()).map(|i| format!("p{i}")).collect(),
     );
-    let svm = MulticlassSvm::fit(&d2, SvmParams { gamma: 4.0, ..svm_params() });
+    let svm = MulticlassSvm::fit(
+        &d2,
+        SvmParams {
+            gamma: 4.0,
+            ..svm_params()
+        },
+    );
     let (xmin, xmax) = min_max(points.iter().map(|p| p.x));
     let (ymin, ymax) = min_max(points.iter().map(|p| p.y));
     let mut grid_out = Vec::with_capacity(grid);
@@ -303,50 +326,60 @@ pub struct SpeedupFigure {
 /// experiment: for each SPEC 2000 benchmark, train on every *other*
 /// benchmark's loops, compile, and compare against the ORC baseline and
 /// the oracle.
+///
+/// The 24 leave-one-benchmark-out rows are independent — each trains its
+/// own classifier pair and measures through a per-benchmark-seeded noise
+/// stream — so they are evaluated in parallel across cores with results
+/// identical to a serial run.
 pub fn speedup_figure(ctx: &Context) -> SpeedupFigure {
     let swp = ctx.label_config.swp;
     let ec = EvalConfig::paper(swp);
-    let orc: Box<dyn UnrollHeuristic> = match swp {
-        SwpMode::Disabled => Box::new(OrcHeuristic),
-        SwpMode::Enabled => Box::new(OrcSwpHeuristic::default()),
-    };
 
     let spec: Vec<(usize, &loopml_ir::Benchmark)> = ctx
         .suite
         .iter()
         .enumerate()
-        .filter(|(_, b)| loopml_corpus::ROSTER.iter().any(|e| e.spec2000 && e.name == b.name))
+        .filter(|(_, b)| {
+            loopml_corpus::ROSTER
+                .iter()
+                .any(|e| e.spec2000 && e.name == b.name)
+        })
         .collect();
 
-    let mut rows = Vec::with_capacity(spec.len());
-    for &(bi, b) in &spec {
+    let rows: Vec<SpeedupRow> = par_map(&spec, |&(bi, b)| {
         // Exclude this benchmark's loops from training (paper protocol).
         let drop: Vec<bool> = ctx.groups.iter().map(|&g| g == bi).collect();
         let train = ctx.dataset.without_examples(&drop);
-        let nn_h = LearnedHeuristic::new(
+        let nn_h = LearnedHeuristic::fit(
             "NN",
             Some(ctx.feature_subset.clone()),
-            loopml::train_nn(&train, DEFAULT_RADIUS),
+            Box::new(NearNeighbors::new(DEFAULT_RADIUS)),
+            &train,
         );
-        let svm_h = LearnedHeuristic::new(
+        let svm_h = LearnedHeuristic::fit(
             "SVM",
             Some(ctx.feature_subset.clone()),
-            loopml::train_svm(&train, svm_params()),
+            Box::new(MulticlassSvm::new(svm_params())),
+            &train,
         );
+        let orc: Box<dyn UnrollHeuristic> = match swp {
+            SwpMode::Disabled => Box::new(OrcHeuristic),
+            SwpMode::Enabled => Box::new(OrcSwpHeuristic::default()),
+        };
 
         let t_orc = measure_benchmark(b, orc.as_ref(), &ec);
         let t_nn = measure_benchmark(b, &nn_h, &ec);
         let t_svm = measure_benchmark(b, &svm_h, &ec);
         let t_oracle = measure_oracle(b, &ec);
 
-        rows.push(SpeedupRow {
+        SpeedupRow {
             name: b.name.clone(),
             is_fp: b.is_fp,
             nn: improvement(t_orc, t_nn),
             svm: improvement(t_orc, t_svm),
             oracle: improvement(t_orc, t_oracle),
-        });
-    }
+        }
+    });
 
     let mean3 = |f: &dyn Fn(&SpeedupRow) -> f64, rows: &[&SpeedupRow]| {
         rows.iter().map(|r| f(r)).sum::<f64>() / rows.len().max(1) as f64
@@ -388,7 +421,13 @@ pub fn table4(ctx: &Context, steps: usize) -> (Vec<GreedyStep>, Vec<GreedyStep>)
     // The SVM criterion is expensive; subsample large datasets.
     let svm_data = subsample(&ctx.full_dataset, 400);
     let svm_trace = greedy_forward(&svm_data, steps, |d| {
-        loopml::svm_training_error(d, SvmParams { max_sweeps: 20, ..svm_params() })
+        loopml::svm_training_error(
+            d,
+            SvmParams {
+                max_sweeps: 20,
+                ..svm_params()
+            },
+        )
     });
     (nn_trace, svm_trace)
 }
@@ -491,7 +530,11 @@ pub fn ablate_filter(ctx: &Context) -> Vec<Ablation> {
     };
     let lax_labeled = loopml::label_suite(&ctx.suite, &lax_cfg);
     let lax_full = loopml::to_dataset(&lax_labeled);
-    let lax = loocv_nn(&lax_full.select_features(&ctx.feature_subset), DEFAULT_RADIUS).accuracy;
+    let lax = loocv_nn(
+        &lax_full.select_features(&ctx.feature_subset),
+        DEFAULT_RADIUS,
+    )
+    .accuracy;
     vec![
         Ablation {
             variant: "NN, filtered labels (paper)".into(),

@@ -135,7 +135,12 @@ pub fn render_table4(nn: &[GreedyStep], svm: &[GreedyStep]) -> String {
 }
 
 /// Renders a scatter (Figures 1/2) as a coarse ASCII plot.
-pub fn render_scatter(title: &str, points: &[ProjectedPoint], width: usize, height: usize) -> String {
+pub fn render_scatter(
+    title: &str,
+    points: &[ProjectedPoint],
+    width: usize,
+    height: usize,
+) -> String {
     let mut s = String::new();
     s.push_str(title);
     s.push('\n');
@@ -182,7 +187,11 @@ pub fn render_ablation(title: &str, rows: &[Ablation]) -> String {
     s.push_str(title);
     s.push('\n');
     for r in rows {
-        s.push_str(&format!("  {:<44} {:>6.1}%\n", r.variant, r.accuracy * 100.0));
+        s.push_str(&format!(
+            "  {:<44} {:>6.1}%\n",
+            r.variant,
+            r.accuracy * 100.0
+        ));
     }
     s
 }
@@ -265,8 +274,16 @@ mod tests {
         let empty = render_scatter("T", &[], 20, 5);
         assert!(empty.contains("not enough points"));
         let pts = vec![
-            ProjectedPoint { x: 0.0, y: 0.0, factor: 1 },
-            ProjectedPoint { x: 1.0, y: 1.0, factor: 8 },
+            ProjectedPoint {
+                x: 0.0,
+                y: 0.0,
+                factor: 1,
+            },
+            ProjectedPoint {
+                x: 1.0,
+                y: 1.0,
+                factor: 8,
+            },
         ];
         let s = render_scatter("T", &pts, 20, 5);
         assert!(s.contains('+'));
@@ -295,14 +312,30 @@ mod tests {
     fn table3_and_4_render_ranked_rows() {
         use loopml_ml::{GreedyStep, ScoredFeature};
         let scored = vec![
-            ScoredFeature { index: 2, name: "# floating point operations".into(), score: 0.19 },
-            ScoredFeature { index: 5, name: "# operands".into(), score: 0.186 },
+            ScoredFeature {
+                index: 2,
+                name: "# floating point operations".into(),
+                score: 0.19,
+            },
+            ScoredFeature {
+                index: 5,
+                name: "# operands".into(),
+                score: 0.186,
+            },
         ];
         let s = render_table3(&scored, 2);
         assert!(s.contains("# floating point operations"));
         assert!(s.contains("0.190"));
-        let nn = vec![GreedyStep { index: 5, name: "# operands".into(), error: 0.48 }];
-        let svm = vec![GreedyStep { index: 2, name: "# fp ops".into(), error: 0.59 }];
+        let nn = vec![GreedyStep {
+            index: 5,
+            name: "# operands".into(),
+            error: 0.48,
+        }];
+        let svm = vec![GreedyStep {
+            index: 2,
+            name: "# fp ops".into(),
+            error: 0.59,
+        }];
         let t4 = render_table4(&nn, &svm);
         assert!(t4.contains("# operands"));
         assert!(t4.contains("0.59"));

@@ -1,0 +1,48 @@
+//! End-to-end smoke test: the `repro` binary must regenerate Table 2 on
+//! the reduced corpus — corpus synthesis, parallel labeling, feature
+//! selection, LOOCV for both classifiers and the ORC adapter, and the
+//! report renderer, all in one offline run.
+
+use std::process::Command;
+
+#[test]
+fn repro_quick_table2_runs_end_to_end() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--quick", "table2"])
+        .output()
+        .expect("repro binary launches");
+    assert!(
+        out.status.success(),
+        "repro failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("Table 2. Accuracy of predictions"),
+        "missing table header in:\n{stdout}"
+    );
+    for column in ["NN", "SVM", "ORC"] {
+        assert!(
+            stdout.contains(column),
+            "missing {column} column:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn repro_quick_table2_is_deterministic_across_runs() {
+    // The seed-determinism contract holds through the binary boundary:
+    // two separate processes produce byte-identical reports, regardless
+    // of how many worker threads each labeling run used.
+    let run = |threads: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["--quick", "table2"])
+            .env("LOOPML_THREADS", threads)
+            .output()
+            .expect("repro binary launches");
+        assert!(out.status.success());
+        out.stdout
+    };
+    let serial = run("1");
+    assert_eq!(serial, run("4"), "thread count changed the result");
+}

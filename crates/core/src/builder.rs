@@ -1,0 +1,314 @@
+//! One-call pipeline assembly: corpus → label → feature-select → train
+//! → evaluate, with the paper's defaults baked in.
+//!
+//! [`PipelineBuilder`] replaces the hand-wired sequence of
+//! `full_suite` / `label_suite` / `to_dataset` / `informative_features`
+//! / classifier training that every example and experiment used to
+//! repeat. The finished [`Pipeline`] owns the suite, the labeled loops
+//! and both datasets, and turns any [`Classifier`] into a deployable
+//! [`LearnedHeuristic`] with one call.
+//!
+//! ```
+//! use loopml::PipelineBuilder;
+//! use loopml_corpus::SuiteConfig;
+//! use loopml_ml::{NearNeighbors, DEFAULT_RADIUS};
+//!
+//! let pipeline = PipelineBuilder::paper()
+//!     .suite_config(SuiteConfig { min_loops: 8, max_loops: 10, ..SuiteConfig::default() })
+//!     .take_benchmarks(6)
+//!     .build();
+//! let nn = pipeline.heuristic("NN", Box::new(NearNeighbors::new(DEFAULT_RADIUS)));
+//! assert_eq!(loopml::UnrollHeuristic::name(&nn), "NN");
+//! ```
+
+use loopml_corpus::{full_suite, SuiteConfig};
+use loopml_ir::Benchmark;
+use loopml_machine::SwpMode;
+use loopml_ml::{Classifier, CvResult, Dataset};
+
+use crate::evaluate::EvalConfig;
+use crate::heuristics::LearnedHeuristic;
+use crate::label::{label_suite, LabelConfig, LabeledLoop};
+use crate::pipeline::{benchmark_groups, informative_features, to_dataset};
+
+/// Builds a [`Pipeline`] from the paper's defaults, with every stage
+/// overridable.
+#[derive(Debug, Clone)]
+pub struct PipelineBuilder {
+    suite_config: SuiteConfig,
+    swp: SwpMode,
+    label_config: Option<LabelConfig>,
+    eval_config: Option<EvalConfig>,
+    feature_count: Option<usize>,
+    suite: Option<Vec<Benchmark>>,
+    take: Option<usize>,
+}
+
+impl Default for PipelineBuilder {
+    fn default() -> Self {
+        PipelineBuilder::paper()
+    }
+}
+
+impl PipelineBuilder {
+    /// The paper's configuration: the full 72-benchmark corpus, labeling
+    /// with measurement noise, software pipelining disabled (Figure 4's
+    /// regime), and the §7 informative feature subset (top 5 by mutual
+    /// information ∪ top 5 by greedy selection).
+    pub fn paper() -> Self {
+        PipelineBuilder {
+            suite_config: SuiteConfig::default(),
+            swp: SwpMode::Disabled,
+            label_config: None,
+            eval_config: None,
+            feature_count: Some(5),
+            suite: None,
+            take: None,
+        }
+    }
+
+    /// Sets the software pipelining regime (Figure 4: disabled; Figure
+    /// 5: enabled). Applies to the default label and eval configs; an
+    /// explicit [`label_config`](Self::label_config) wins.
+    pub fn swp(mut self, swp: SwpMode) -> Self {
+        self.swp = swp;
+        self
+    }
+
+    /// Overrides the corpus synthesis configuration.
+    pub fn suite_config(mut self, cfg: SuiteConfig) -> Self {
+        self.suite_config = cfg;
+        self
+    }
+
+    /// Uses a pre-built suite instead of synthesizing one.
+    pub fn suite(mut self, suite: Vec<Benchmark>) -> Self {
+        self.suite = Some(suite);
+        self
+    }
+
+    /// Keeps only the first `n` benchmarks of the suite (small smoke
+    /// runs).
+    pub fn take_benchmarks(mut self, n: usize) -> Self {
+        self.take = Some(n);
+        self
+    }
+
+    /// Overrides the labeling configuration entirely.
+    pub fn label_config(mut self, cfg: LabelConfig) -> Self {
+        self.label_config = Some(cfg);
+        self
+    }
+
+    /// Overrides the evaluation configuration entirely.
+    pub fn eval_config(mut self, cfg: EvalConfig) -> Self {
+        self.eval_config = Some(cfg);
+        self
+    }
+
+    /// Disables measurement noise in labeling and evaluation
+    /// (deterministic-by-construction runs and tests).
+    pub fn exact(mut self) -> Self {
+        let mut lc = self
+            .label_config
+            .unwrap_or_else(|| LabelConfig::paper(self.swp));
+        lc.noise = loopml_machine::NoiseModel::exact();
+        self.label_config = Some(lc);
+        self.eval_config = Some(EvalConfig::exact(self.swp));
+        self
+    }
+
+    /// Selects the union of the top `k` features by mutual information
+    /// and greedy forward selection (the default, with `k = 5`).
+    pub fn informative_features(mut self, k: usize) -> Self {
+        self.feature_count = Some(k);
+        self
+    }
+
+    /// Trains on all 38 features, skipping feature selection.
+    pub fn all_features(mut self) -> Self {
+        self.feature_count = None;
+        self
+    }
+
+    /// Synthesizes, labels, featurizes and selects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if labeling produces no training examples (a corpus or
+    /// filter misconfiguration).
+    pub fn build(self) -> Pipeline {
+        let mut suite = self.suite.unwrap_or_else(|| full_suite(&self.suite_config));
+        if let Some(n) = self.take {
+            suite.truncate(n);
+        }
+        let label_config = self
+            .label_config
+            .unwrap_or_else(|| LabelConfig::paper(self.swp));
+        let eval_config = self
+            .eval_config
+            .unwrap_or_else(|| EvalConfig::paper(self.swp));
+        let labeled = label_suite(&suite, &label_config);
+        assert!(
+            !labeled.is_empty(),
+            "labeling produced no training examples"
+        );
+        let full_dataset = to_dataset(&labeled);
+        let feature_subset = self
+            .feature_count
+            .map(|k| informative_features(&full_dataset, k));
+        let dataset = match &feature_subset {
+            Some(cols) => full_dataset.select_features(cols),
+            None => full_dataset.clone(),
+        };
+        let groups = benchmark_groups(&labeled);
+        Pipeline {
+            suite,
+            labeled,
+            full_dataset,
+            dataset,
+            feature_subset,
+            groups,
+            label_config,
+            eval_config,
+        }
+    }
+}
+
+/// The assembled pipeline: everything downstream experiments need,
+/// computed once.
+#[derive(Debug)]
+pub struct Pipeline {
+    /// The synthesized (or supplied) benchmark suite.
+    pub suite: Vec<Benchmark>,
+    /// Labeled loops that survived the paper's filters.
+    pub labeled: Vec<LabeledLoop>,
+    /// Dataset over all 38 features.
+    pub full_dataset: Dataset,
+    /// Training dataset (projected onto the informative subset, or the
+    /// full 38 features).
+    pub dataset: Dataset,
+    /// Columns of the informative subset, `None` when training on all
+    /// features.
+    pub feature_subset: Option<Vec<usize>>,
+    /// Benchmark index of each example (leave-one-benchmark-out groups).
+    pub groups: Vec<usize>,
+    /// The labeling configuration used.
+    pub label_config: LabelConfig,
+    /// The evaluation configuration for whole-benchmark measurements.
+    pub eval_config: EvalConfig,
+}
+
+impl Pipeline {
+    /// Number of labeled examples.
+    pub fn len(&self) -> usize {
+        self.labeled.len()
+    }
+
+    /// `true` if no loops survived labeling (never after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.labeled.is_empty()
+    }
+
+    /// Fits `classifier` on the training dataset and deploys it as a
+    /// compile-time heuristic over the matching feature projection.
+    pub fn heuristic(
+        &self,
+        name: impl Into<String>,
+        classifier: Box<dyn Classifier>,
+    ) -> LearnedHeuristic {
+        LearnedHeuristic::fit(name, self.feature_subset.clone(), classifier, &self.dataset)
+    }
+
+    /// Like [`heuristic`](Self::heuristic), but excludes benchmark
+    /// `held_out` from training — the Figure 4/5 protocol: when
+    /// compiling a benchmark, none of its loops may appear in the
+    /// training set.
+    pub fn heuristic_excluding(
+        &self,
+        name: impl Into<String>,
+        classifier: Box<dyn Classifier>,
+        held_out: usize,
+    ) -> LearnedHeuristic {
+        let drop: Vec<bool> = self.groups.iter().map(|&g| g == held_out).collect();
+        let train = self.dataset.without_examples(&drop);
+        LearnedHeuristic::fit(name, self.feature_subset.clone(), classifier, &train)
+    }
+
+    /// Leave-one-out cross validation of `classifier` on the training
+    /// dataset.
+    pub fn loocv(&self, classifier: &mut dyn Classifier) -> CvResult {
+        loopml_ml::loocv(&self.dataset, classifier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::UnrollHeuristic;
+    use loopml_ml::{Constant, NearNeighbors, DEFAULT_RADIUS};
+
+    fn quick() -> PipelineBuilder {
+        PipelineBuilder::paper()
+            .suite_config(SuiteConfig {
+                min_loops: 8,
+                max_loops: 10,
+                ..SuiteConfig::default()
+            })
+            .take_benchmarks(4)
+    }
+
+    #[test]
+    fn paper_defaults_build_a_training_set() {
+        let p = quick().build();
+        assert_eq!(p.suite.len(), 4);
+        assert!(!p.is_empty());
+        assert_eq!(p.full_dataset.dims(), crate::features::NUM_FEATURES);
+        assert!(p.dataset.dims() <= p.full_dataset.dims());
+        assert_eq!(p.groups.len(), p.len());
+        let subset = p.feature_subset.as_ref().expect("default selects features");
+        assert_eq!(p.dataset.dims(), subset.len());
+    }
+
+    #[test]
+    fn all_features_skips_selection() {
+        let p = quick().all_features().build();
+        assert!(p.feature_subset.is_none());
+        assert_eq!(p.dataset.dims(), crate::features::NUM_FEATURES);
+    }
+
+    #[test]
+    fn heuristic_trains_and_chooses() {
+        let p = quick().exact().build();
+        let nn = p.heuristic("NN", Box::new(NearNeighbors::new(DEFAULT_RADIUS)));
+        for w in &p.suite[0].loops {
+            assert!((1..=8).contains(&nn.choose(&w.body)));
+        }
+    }
+
+    #[test]
+    fn heuristic_excluding_never_sees_the_held_out_benchmark() {
+        let p = quick().exact().build();
+        // Training on everything-but-0 must use exactly the non-0 rows.
+        let n_excluded = p.groups.iter().filter(|&&g| g == 0).count();
+        assert!(n_excluded > 0, "benchmark 0 contributed no examples");
+        let h = p.heuristic_excluding("NN", Box::new(NearNeighbors::new(DEFAULT_RADIUS)), 0);
+        assert_eq!(UnrollHeuristic::name(&h), "NN");
+    }
+
+    #[test]
+    fn loocv_runs_any_classifier() {
+        let p = quick().exact().build();
+        let cv = p.loocv(&mut Constant::new(0));
+        assert_eq!(cv.predictions.len(), p.len());
+        assert!((0.0..=1.0).contains(&cv.accuracy));
+    }
+
+    #[test]
+    fn exact_builds_are_reproducible() {
+        let a = quick().exact().build();
+        let b = quick().exact().build();
+        assert_eq!(a.labeled, b.labeled);
+        assert_eq!(a.feature_subset, b.feature_subset);
+    }
+}

@@ -11,8 +11,7 @@
 use loopml_ir::Benchmark;
 use loopml_machine::{icache_entry_cost, loop_cost, MachineConfig, NoiseModel, SwpMode};
 use loopml_opt::{unroll_and_optimize, OptConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use loopml_rt::Rng;
 
 use crate::heuristics::UnrollHeuristic;
 use crate::label::MAX_UNROLL;
@@ -86,7 +85,10 @@ pub fn run_benchmark(b: &Benchmark, choices: &[u32], ec: &EvalConfig) -> f64 {
         } else {
             let u = unroll_and_optimize(&w.body, factor, &ec.opt);
             let c = loop_cost(&u, rc.per_iter, &ec.machine, ec.swp);
-            (c.total(u.body.trip_count.dynamic(), w.entries), c.code_bytes)
+            (
+                c.total(u.body.trip_count.dynamic(), w.entries),
+                c.code_bytes,
+            )
         };
         rolled_cycles.push(r_total);
         chosen_cycles.push(c_total);
@@ -117,7 +119,7 @@ pub fn run_benchmark(b: &Benchmark, choices: &[u32], ec: &EvalConfig) -> f64 {
 pub fn measure_benchmark(b: &Benchmark, h: &dyn UnrollHeuristic, ec: &EvalConfig) -> f64 {
     let choices: Vec<u32> = b.loops.iter().map(|w| h.choose(&w.body)).collect();
     let truth = run_benchmark(b, &choices, ec);
-    let mut rng = StdRng::seed_from_u64(ec.seed ^ fnv(&b.name) ^ fnv(h.name()));
+    let mut rng = Rng::seed_from_u64(ec.seed ^ fnv(&b.name) ^ fnv(h.name()));
     ec.noise.measure(truth, &mut rng)
 }
 
@@ -158,7 +160,7 @@ pub fn oracle_choices(b: &Benchmark, ec: &EvalConfig) -> Vec<u32> {
 pub fn measure_oracle(b: &Benchmark, ec: &EvalConfig) -> f64 {
     let choices = oracle_choices(b, ec);
     let truth = run_benchmark(b, &choices, ec);
-    let mut rng = StdRng::seed_from_u64(ec.seed ^ fnv(&b.name) ^ fnv("oracle"));
+    let mut rng = Rng::seed_from_u64(ec.seed ^ fnv(&b.name) ^ fnv("oracle"));
     ec.noise.measure(truth, &mut rng)
 }
 
@@ -199,11 +201,18 @@ mod tests {
         let b = bench();
         let ec = EvalConfig::exact(SwpMode::Disabled);
         let oracle = run_benchmark(&b, &oracle_choices(&b, &ec), &ec);
-        let orc: Vec<u32> = b.loops.iter().map(|w| OrcHeuristic.choose(&w.body)).collect();
+        let orc: Vec<u32> = b
+            .loops
+            .iter()
+            .map(|w| OrcHeuristic.choose(&w.body))
+            .collect();
         let orc_t = run_benchmark(&b, &orc, &ec);
         let rolled = run_benchmark(&b, &vec![1; b.len()], &ec);
         assert!(oracle <= orc_t * 1.0001, "oracle {oracle} vs orc {orc_t}");
-        assert!(oracle <= rolled * 1.0001, "oracle {oracle} vs rolled {rolled}");
+        assert!(
+            oracle <= rolled * 1.0001,
+            "oracle {oracle} vs rolled {rolled}"
+        );
     }
 
     #[test]
@@ -235,14 +244,17 @@ mod tests {
         let b = bench();
         let ec = EvalConfig::paper(SwpMode::Disabled);
         let h = OrcHeuristic;
-        assert_eq!(measure_benchmark(&b, &h, &ec), measure_benchmark(&b, &h, &ec));
+        assert_eq!(
+            measure_benchmark(&b, &h, &ec),
+            measure_benchmark(&b, &h, &ec)
+        );
     }
 
     #[test]
     fn learned_constant_one_matches_rolled() {
         let b = bench();
         let ec = EvalConfig::exact(SwpMode::Disabled);
-        let h = LearnedHeuristic::new("rolled", None, |_: &[f64]| 0usize);
+        let h = LearnedHeuristic::new("rolled", None, Box::new(loopml_ml::Constant::new(0)));
         let choices: Vec<u32> = b.loops.iter().map(|w| h.choose(&w.body)).collect();
         let t = run_benchmark(&b, &choices, &ec);
         let rolled = run_benchmark(&b, &vec![1; b.len()], &ec);

@@ -5,9 +5,7 @@
 //! of a single loop via dependence analysis, DAG summarization and
 //! liveness — exactly the quantities ORC had "readily available" (§8).
 
-use loopml_ir::{
-    analyze_liveness, summarize, DepGraph, Loop, MemRef, OpClass, Opcode, Reg,
-};
+use loopml_ir::{analyze_liveness, summarize, DepGraph, Loop, MemRef, OpClass, Opcode, Reg};
 
 /// Number of features extracted per loop.
 pub const NUM_FEATURES: usize = 38;
@@ -74,9 +72,7 @@ pub fn extract(l: &Loop) -> Vec<f64> {
     let n_mem = count(&|i| i.opcode.is_mem()) as f64;
     let n_loads = count(&|i| i.is_load()) as f64;
     let n_stores = count(&|i| i.is_store()) as f64;
-    let n_int = count(&|i| {
-        matches!(i.opcode.class(), OpClass::IntAlu | OpClass::IntMul)
-    }) as f64;
+    let n_int = count(&|i| matches!(i.opcode.class(), OpClass::IntAlu | OpClass::IntMul)) as f64;
     let n_div = count(&|i| i.opcode.class() == OpClass::FpDiv) as f64;
     let n_mul = count(&|i| i.opcode == Opcode::Mul) as f64;
     let n_implicit = count(&|i| i.opcode.is_implicit()) as f64;

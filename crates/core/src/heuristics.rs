@@ -4,6 +4,7 @@
 
 use loopml_ir::{Loop, TripCount};
 use loopml_machine::MachineConfig;
+use loopml_ml::{Classifier, Dataset};
 
 use crate::features::extract;
 use crate::label::MAX_UNROLL;
@@ -119,8 +120,8 @@ impl UnrollHeuristic for OrcSwpHeuristic {
                 break;
             }
             let g = DepGraph::analyze(&un.body);
-            let eligible = !un.body.has_call()
-                && !un.body.body.iter().any(|i| i.opcode == Opcode::BrExit);
+            let eligible =
+                !un.body.has_call() && !un.body.body.iter().any(|i| i.opcode == Opcode::BrExit);
             let s = list_schedule(&un.body, &g, &self.machine);
             let kernel = if eligible {
                 // Projected pipelined kernel: the MII bounds (the real
@@ -178,33 +179,106 @@ impl UnrollHeuristic for OrcSwpHeuristic {
     }
 }
 
-/// A learned heuristic: a trained classifier behind the compile-time
+/// The ORC-style baseline behind the [`Classifier`] interface: a
+/// stateless adapter recomputing [`OrcHeuristic`]'s decision from the
+/// 38-feature vector alone (`# ops in loop body`, the tripcount pair).
+/// `fit` is a no-op — there is nothing to train — which makes the
+/// baseline interchangeable with NN and SVM anywhere a
+/// `&mut dyn Classifier` is expected (LOOCV tables, rank distributions).
+#[derive(Debug, Clone, Default)]
+pub struct OrcClassifier;
+
+/// Column of `# ops in loop body` in the full feature vector.
+const F_OPS: usize = 1;
+/// Column of `tripcount (-1 unknown)`.
+const F_TRIP: usize = 19;
+/// Column of the `known tripcount` indicator.
+const F_KNOWN: usize = 25;
+
+impl Classifier for OrcClassifier {
+    fn fit(&mut self, _data: &Dataset) {}
+
+    fn predict(&self, x: &[f64]) -> usize {
+        let n = x[F_OPS] as u32;
+        let mut u: u64 = match n {
+            0..=11 => 8,
+            12..=23 => 4,
+            24..=47 => 2,
+            _ => 1,
+        };
+        if x[F_KNOWN] >= 0.5 {
+            let t = x[F_TRIP].max(0.0) as u64;
+            // Tiny known trips: unroll completely.
+            if t <= u64::from(MAX_UNROLL) {
+                return (t.max(1) - 1) as usize;
+            }
+            // Avoid remainder iterations: shrink to a divisor.
+            while u > 1 && t % u != 0 {
+                u /= 2;
+            }
+        } else {
+            // Boundary exits are expensive; stay modest.
+            u = u.min(4);
+        }
+        (u.max(1) - 1) as usize
+    }
+
+    fn name(&self) -> &str {
+        "ORC"
+    }
+}
+
+/// A learned heuristic: a trained [`Classifier`] behind the compile-time
 /// interface. The classifier receives the loop's 38 raw features (or the
 /// subset it was trained on, selected by `feature_subset`).
-pub struct LearnedHeuristic<F> {
-    classifier: F,
+pub struct LearnedHeuristic {
+    classifier: Box<dyn Classifier>,
     feature_subset: Option<Vec<usize>>,
     name: String,
 }
 
-impl<F> std::fmt::Debug for LearnedHeuristic<F> {
+impl std::fmt::Debug for LearnedHeuristic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "LearnedHeuristic({})", self.name)
     }
 }
 
-impl<F: Fn(&[f64]) -> usize> LearnedHeuristic<F> {
-    /// Wraps a classifier returning classes `0..8` (factor − 1).
-    pub fn new(name: impl Into<String>, feature_subset: Option<Vec<usize>>, classifier: F) -> Self {
+impl LearnedHeuristic {
+    /// Wraps an already-fitted classifier predicting classes `0..8`
+    /// (factor − 1). If `feature_subset` is given, the classifier sees
+    /// only those columns of the 38-feature vector, in order — it must
+    /// have been trained on the matching projection.
+    pub fn new(
+        name: impl Into<String>,
+        feature_subset: Option<Vec<usize>>,
+        classifier: Box<dyn Classifier>,
+    ) -> Self {
         LearnedHeuristic {
             classifier,
             feature_subset,
             name: name.into(),
         }
     }
+
+    /// Fits `classifier` on `data` (already restricted to
+    /// `feature_subset`, if any) and wraps it.
+    pub fn fit(
+        name: impl Into<String>,
+        feature_subset: Option<Vec<usize>>,
+        mut classifier: Box<dyn Classifier>,
+        data: &Dataset,
+    ) -> Self {
+        classifier.fit(data);
+        LearnedHeuristic::new(name, feature_subset, classifier)
+    }
+
+    /// The wrapped classifier.
+    pub fn classifier(&self) -> &dyn Classifier {
+        self.classifier.as_ref()
+    }
 }
 
-impl<F: Fn(&[f64]) -> usize> UnrollHeuristic for LearnedHeuristic<F> {
+impl UnrollHeuristic for LearnedHeuristic {
     fn choose(&self, l: &Loop) -> u32 {
         if !l.is_unrollable() {
             return 1;
@@ -214,7 +288,7 @@ impl<F: Fn(&[f64]) -> usize> UnrollHeuristic for LearnedHeuristic<F> {
             Some(cols) => cols.iter().map(|&c| full[c]).collect(),
             None => full,
         };
-        ((self.classifier)(&x) as u32 + 1).min(MAX_UNROLL)
+        (self.classifier.predict(&x) as u32 + 1).min(MAX_UNROLL)
     }
 
     fn name(&self) -> &str {
@@ -298,7 +372,7 @@ mod tests {
 
     #[test]
     fn learned_heuristic_maps_class_to_factor() {
-        let h = LearnedHeuristic::new("const-3", None, |_x: &[f64]| 3usize);
+        let h = LearnedHeuristic::new("const-3", None, Box::new(loopml_ml::Constant::new(3)));
         let l = loop_of_size(2, TripCount::Known(100));
         assert_eq!(h.choose(&l), 4);
         assert_eq!(h.name(), "const-3");
@@ -306,14 +380,78 @@ mod tests {
 
     #[test]
     fn learned_heuristic_selects_features() {
-        let h = LearnedHeuristic::new(
-            "first-feature",
-            Some(vec![0]),
-            |x: &[f64]| x.len(), // 1 feature -> class 1 -> factor 2
-        );
+        /// Predicts the dimensionality it was queried with — a probe for
+        /// the feature projection.
+        #[derive(Debug)]
+        struct DimProbe;
+        impl Classifier for DimProbe {
+            fn fit(&mut self, _data: &Dataset) {}
+            fn predict(&self, x: &[f64]) -> usize {
+                x.len() // 1 feature -> class 1 -> factor 2
+            }
+            fn name(&self) -> &str {
+                "probe"
+            }
+        }
+        let h = LearnedHeuristic::new("first-feature", Some(vec![0]), Box::new(DimProbe));
         let mut b = LoopBuilder::new("l", TripCount::Known(10));
         let r = b.fp_reg();
         b.inst(Inst::new(Opcode::FAdd, vec![r], vec![r, r]));
         assert_eq!(h.choose(&b.build()), 2);
+    }
+
+    #[test]
+    fn orc_classifier_matches_orc_heuristic() {
+        // The feature-space adapter must agree with the loop-space
+        // heuristic on every unrollable corpus loop.
+        use loopml_corpus::{synthesize, SuiteConfig, ROSTER};
+        let adapted = LearnedHeuristic::new("ORC", None, Box::new(OrcClassifier));
+        let mut checked = 0;
+        for entry in ROSTER.iter().take(6) {
+            let b = synthesize(
+                entry,
+                &SuiteConfig {
+                    min_loops: 12,
+                    max_loops: 14,
+                    ..SuiteConfig::default()
+                },
+            );
+            for (_, w) in b.unrollable() {
+                assert_eq!(
+                    adapted.choose(&w.body),
+                    OrcHeuristic.choose(&w.body),
+                    "diverged on {}",
+                    w.body.name
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked >= 20, "only {checked} loops compared");
+    }
+
+    #[test]
+    fn orc_classifier_needs_no_fit() {
+        let mut c = OrcClassifier;
+        // Tiny body, known trip 1024 (divisible by 8): factor 8, class 7.
+        let mut x = vec![0.0; crate::features::NUM_FEATURES];
+        x[1] = 4.0;
+        x[19] = 1024.0;
+        x[25] = 1.0;
+        assert_eq!(c.predict(&x), 7);
+        // Unknown trip count caps at factor 4.
+        x[19] = -1.0;
+        x[25] = 0.0;
+        assert_eq!(c.predict(&x), 3);
+        // fit is a no-op and must not disturb predictions.
+        let d = Dataset::new(
+            vec![x.clone()],
+            vec![0],
+            8,
+            (0..x.len()).map(|j| format!("f{j}")).collect(),
+            vec!["e".into()],
+        );
+        c.fit(&d);
+        assert_eq!(c.predict(&x), 3);
+        assert_eq!(Classifier::name(&c), "ORC");
     }
 }

@@ -12,8 +12,7 @@
 use loopml_ir::{Benchmark, WeightedLoop};
 use loopml_machine::{icache_entry_cost, loop_cost, MachineConfig, NoiseModel, SwpMode};
 use loopml_opt::{unroll_and_optimize, OptConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use loopml_rt::{num_threads, par_map_threads, Rng};
 
 use crate::features::extract;
 
@@ -108,12 +107,7 @@ impl LabeledLoop {
 /// Measures the *true* (noise-free) total cycles of one weighted loop at
 /// one unroll factor, including instruction-cache entry effects under the
 /// given hot-code footprint.
-pub fn true_cycles(
-    w: &WeightedLoop,
-    factor: u32,
-    footprint: u64,
-    cfg: &LabelConfig,
-) -> f64 {
+pub fn true_cycles(w: &WeightedLoop, factor: u32, footprint: u64, cfg: &LabelConfig) -> f64 {
     let rolled = unroll_and_optimize(&w.body, 1, &cfg.opt);
     let rolled_cost = loop_cost(&rolled, 0.0, &cfg.machine, cfg.swp);
     let (cost, trips) = if factor == 1 {
@@ -127,58 +121,105 @@ pub fn true_cycles(
     cost.total(trips, w.entries) + icache * w.entries as f64
 }
 
+/// Labels one loop: measures all eight factors through the noise model
+/// and applies the paper's filters. Returns `None` when the loop is
+/// dropped.
+///
+/// The noise stream is seeded from `(cfg.seed, benchmark_index,
+/// loop_index)` alone, so every loop's measurements are independent of
+/// which other loops are labeled — and of the order or thread they are
+/// labeled on. That per-loop independence is what makes the parallel
+/// labeling engine bit-identical to a serial pass.
+pub fn label_loop(
+    w: &WeightedLoop,
+    loop_index: usize,
+    benchmark_index: usize,
+    footprint: u64,
+    cfg: &LabelConfig,
+) -> Option<LabeledLoop> {
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ (benchmark_index as u64) << 32 ^ loop_index as u64);
+    let mut runtimes = [0.0f64; MAX_UNROLL as usize];
+    for f in 1..=MAX_UNROLL {
+        let truth = true_cycles(w, f, footprint, cfg);
+        runtimes[(f - 1) as usize] = cfg.noise.measure(truth, &mut rng);
+    }
+    let (best_idx, &best) = runtimes
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("eight runtimes");
+
+    // Paper filters: enough cycles to measure, and a meaningful win.
+    if best < cfg.min_cycles {
+        return None;
+    }
+    let mean: f64 = runtimes.iter().sum::<f64>() / runtimes.len() as f64;
+    if mean / best < cfg.min_benefit {
+        return None;
+    }
+
+    Some(LabeledLoop {
+        name: w.body.name.clone(),
+        benchmark: benchmark_index,
+        features: extract(&w.body),
+        label: best_idx,
+        runtimes,
+    })
+}
+
 /// Labels every unrollable loop of a benchmark, applying the paper's
 /// filters. `benchmark_index` is recorded in each example for the
 /// leave-one-benchmark-out protocol.
+///
+/// Loops are measured in parallel across the machine's cores (see
+/// [`loopml_rt::par_map`]; `LOOPML_THREADS` overrides the count). The
+/// result is bit-identical to a serial pass at any thread count because
+/// each loop's noise stream is seeded independently — see [`label_loop`].
 pub fn label_benchmark(
     b: &Benchmark,
     benchmark_index: usize,
     cfg: &LabelConfig,
 ) -> Vec<LabeledLoop> {
-    // Hot-code footprint context: loops at rolled size + non-loop code.
-    let footprint: u64 = hot_footprint(b);
-
-    let mut out = Vec::new();
-    for (li, w) in b.unrollable() {
-        let mut rng =
-            StdRng::seed_from_u64(cfg.seed ^ (benchmark_index as u64) << 32 ^ li as u64);
-        let mut runtimes = [0.0f64; MAX_UNROLL as usize];
-        for f in 1..=MAX_UNROLL {
-            let truth = true_cycles(w, f, footprint, cfg);
-            runtimes[(f - 1) as usize] = cfg.noise.measure(truth, &mut rng);
-        }
-        let (best_idx, &best) = runtimes
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-            .expect("eight runtimes");
-
-        // Paper filters: enough cycles to measure, and a meaningful win.
-        if best < cfg.min_cycles {
-            continue;
-        }
-        let mean: f64 = runtimes.iter().sum::<f64>() / runtimes.len() as f64;
-        if mean / best < cfg.min_benefit {
-            continue;
-        }
-
-        out.push(LabeledLoop {
-            name: w.body.name.clone(),
-            benchmark: benchmark_index,
-            features: extract(&w.body),
-            label: best_idx,
-            runtimes,
-        });
-    }
-    out
+    label_benchmark_threads(b, benchmark_index, cfg, num_threads())
 }
 
-/// Labels a whole suite.
+/// [`label_benchmark`] with an explicit worker count. `threads <= 1` is
+/// the serial reference implementation the equivalence tests compare
+/// against.
+pub fn label_benchmark_threads(
+    b: &Benchmark,
+    benchmark_index: usize,
+    cfg: &LabelConfig,
+    threads: usize,
+) -> Vec<LabeledLoop> {
+    // Hot-code footprint context: loops at rolled size + non-loop code.
+    let footprint: u64 = hot_footprint(b);
+    let pairs: Vec<(usize, &WeightedLoop)> = b.unrollable().collect();
+    par_map_threads(threads, &pairs, |&(li, w)| {
+        label_loop(w, li, benchmark_index, footprint, cfg)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Labels a whole suite, parallelizing across benchmarks (the
+/// coarsest-grained work the labeling pipeline has). Nested inside each
+/// worker, the per-benchmark loop labeling runs serially.
 pub fn label_suite(suite: &[Benchmark], cfg: &LabelConfig) -> Vec<LabeledLoop> {
-    suite
-        .iter()
-        .enumerate()
-        .flat_map(|(bi, b)| label_benchmark(b, bi, cfg))
+    label_suite_threads(suite, cfg, num_threads())
+}
+
+/// [`label_suite`] with an explicit worker count.
+pub fn label_suite_threads(
+    suite: &[Benchmark],
+    cfg: &LabelConfig,
+    threads: usize,
+) -> Vec<LabeledLoop> {
+    let indexed: Vec<(usize, &Benchmark)> = suite.iter().enumerate().collect();
+    par_map_threads(threads, &indexed, |&(bi, b)| label_benchmark(b, bi, cfg))
+        .into_iter()
+        .flatten()
         .collect()
 }
 
@@ -221,11 +262,7 @@ mod tests {
     fn label_is_argmin_of_runtimes() {
         let b = small_benchmark();
         for l in label_benchmark(&b, 0, &quick_cfg()) {
-            let min = l
-                .runtimes
-                .iter()
-                .cloned()
-                .fold(f64::INFINITY, f64::min);
+            let min = l.runtimes.iter().cloned().fold(f64::INFINITY, f64::min);
             assert_eq!(l.runtimes[l.label], min);
             assert_eq!(l.rank_of(l.best_factor()), 0);
         }
@@ -277,5 +314,33 @@ mod tests {
         let l1 = label_benchmark(&b, 0, &noisy);
         let l2 = label_benchmark(&b, 0, &noisy);
         assert_eq!(l1, l2, "same seed, same labels");
+    }
+
+    #[test]
+    fn parallel_labeling_is_bit_identical_to_serial() {
+        // The determinism contract: under measurement noise, the parallel
+        // engine must reproduce the serial reference exactly — labels,
+        // names, order, and every runtime down to the last bit.
+        let b = small_benchmark();
+        let cfg = LabelConfig::paper(SwpMode::Disabled);
+        let serial = label_benchmark_threads(&b, 0, &cfg, 1);
+        assert!(!serial.is_empty());
+        for threads in [2, 3, 4, 8] {
+            let parallel = label_benchmark_threads(&b, 0, &cfg, threads);
+            assert_eq!(serial, parallel, "diverged at {threads} threads");
+        }
+        // And through the default (env/core-count) entry point.
+        assert_eq!(serial, label_benchmark(&b, 0, &cfg));
+    }
+
+    #[test]
+    fn suite_labeling_is_identical_across_thread_counts() {
+        let suite: Vec<Benchmark> = (0..3).map(|_| small_benchmark()).collect();
+        let cfg = LabelConfig::paper(SwpMode::Disabled);
+        let serial = label_suite_threads(&suite, &cfg, 1);
+        for threads in [2, 5] {
+            assert_eq!(serial, label_suite_threads(&suite, &cfg, threads));
+        }
+        assert_eq!(serial, label_suite(&suite, &cfg));
     }
 }

@@ -17,43 +17,55 @@
 //!    next to the hand-written ORC-style baselines;
 //! 5. [`evaluate`] — realize whole-benchmark speedups (Figures 4/5).
 //!
+//! Labeling and evaluation are deterministic *and* parallel: every
+//! measurement-noise stream is seeded per loop, so
+//! [`label::label_suite`] produces bit-identical results at any worker
+//! count (see `crates/rt`). Any model implementing the object-safe
+//! [`loopml_ml::Classifier`] trait plugs into the pipeline unchanged.
+//!
 //! # Examples
 //!
-//! Train on one benchmark and predict a factor for a novel loop:
+//! Assemble the pipeline with [`PipelineBuilder`] and deploy a trained
+//! classifier as a compile-time heuristic:
 //!
 //! ```
-//! use loopml::heuristics::{LearnedHeuristic, UnrollHeuristic};
-//! use loopml::label::{label_benchmark, LabelConfig};
-//! use loopml::pipeline::{to_dataset, train_nn};
-//! use loopml_corpus::{synthesize, SuiteConfig, ROSTER};
-//! use loopml_machine::{NoiseModel, SwpMode};
+//! use loopml::{PipelineBuilder, UnrollHeuristic};
+//! use loopml_corpus::SuiteConfig;
+//! use loopml_ml::{NearNeighbors, DEFAULT_RADIUS};
 //!
-//! let bench = synthesize(&ROSTER[2], &SuiteConfig {
-//!     min_loops: 12, max_loops: 14, ..SuiteConfig::default()
-//! });
-//! let cfg = LabelConfig { noise: NoiseModel::exact(), ..LabelConfig::paper(SwpMode::Disabled) };
-//! let labeled = label_benchmark(&bench, 0, &cfg);
-//! let data = to_dataset(&labeled);
-//! let nn = LearnedHeuristic::new("nn", None, train_nn(&data, loopml_ml::DEFAULT_RADIUS));
-//! let factor = nn.choose(&bench.loops[0].body);
+//! let pipeline = PipelineBuilder::paper()
+//!     .suite_config(SuiteConfig { min_loops: 12, max_loops: 14, ..SuiteConfig::default() })
+//!     .take_benchmarks(4)
+//!     .exact()
+//!     .all_features()
+//!     .build();
+//! let nn = pipeline.heuristic("nn", Box::new(NearNeighbors::new(DEFAULT_RADIUS)));
+//! let factor = nn.choose(&pipeline.suite[0].loops[0].body);
 //! assert!((1..=8).contains(&factor));
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod builder;
 pub mod evaluate;
 pub mod features;
 pub mod heuristics;
 pub mod label;
 pub mod pipeline;
 
+pub use builder::{Pipeline, PipelineBuilder};
 pub use evaluate::{
     improvement, measure_benchmark, measure_oracle, oracle_choices, run_benchmark, EvalConfig,
 };
 pub use features::{extract, FEATURE_NAMES, NUM_FEATURES};
-pub use heuristics::{LearnedHeuristic, OrcHeuristic, OrcSwpHeuristic, UnrollHeuristic};
-pub use label::{hot_footprint, label_benchmark, label_suite, LabelConfig, LabeledLoop, MAX_UNROLL};
+pub use heuristics::{
+    LearnedHeuristic, OrcClassifier, OrcHeuristic, OrcSwpHeuristic, UnrollHeuristic,
+};
+pub use label::{
+    hot_footprint, label_benchmark, label_benchmark_threads, label_loop, label_suite,
+    label_suite_threads, LabelConfig, LabeledLoop, MAX_UNROLL,
+};
 pub use pipeline::{
-    benchmark_groups, informative_features, svm_training_error, to_dataset, train_nn, train_svm,
+    benchmark_groups, informative_features, loocv_accuracy, svm_training_error, to_dataset,
 };

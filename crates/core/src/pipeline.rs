@@ -2,8 +2,8 @@
 //! classifiers → compile-time heuristics.
 
 use loopml_ml::{
-    greedy_forward, loocv_generic, mutual_information, nn1_training_error, Dataset,
-    MulticlassSvm, NearNeighbors, SvmParams,
+    greedy_forward, mutual_information, nn1_training_error, Classifier, Dataset, MulticlassSvm,
+    SvmParams,
 };
 
 use crate::features::FEATURE_NAMES;
@@ -46,19 +46,6 @@ pub fn informative_features(data: &Dataset, k: usize) -> Vec<usize> {
     cols
 }
 
-/// Trains a radius-NN classifier and returns a prediction closure
-/// suitable for [`crate::heuristics::LearnedHeuristic`].
-pub fn train_nn(data: &Dataset, radius: f64) -> impl Fn(&[f64]) -> usize {
-    let nn = NearNeighbors::fit(data, radius);
-    move |x: &[f64]| nn.predict(x)
-}
-
-/// Trains the multi-class SVM and returns a prediction closure.
-pub fn train_svm(data: &Dataset, params: SvmParams) -> impl Fn(&[f64]) -> usize {
-    let svm = MulticlassSvm::fit(data, params);
-    move |x: &[f64]| svm.predict(x)
-}
-
 /// Training error of an SVM on `data` (used by greedy feature selection
 /// for the SVM column of Table 4).
 pub fn svm_training_error(data: &Dataset, params: SvmParams) -> f64 {
@@ -72,14 +59,11 @@ pub fn svm_training_error(data: &Dataset, params: SvmParams) -> f64 {
     errors as f64 / data.len() as f64
 }
 
-/// Convenience: LOOCV accuracy of an arbitrary classifier factory (used
-/// for ablations on small datasets).
-pub fn loocv_accuracy<F, P>(data: &Dataset, fit: F) -> f64
-where
-    F: FnMut(&Dataset) -> P,
-    P: Fn(&[f64]) -> usize,
-{
-    loocv_generic(data, fit).accuracy
+/// Convenience: LOOCV accuracy of an arbitrary [`Classifier`] (used for
+/// ablations on small datasets). The classifier is refitted per fold and
+/// left fitted to the last one.
+pub fn loocv_accuracy(data: &Dataset, clf: &mut dyn Classifier) -> f64 {
+    loopml_ml::loocv(data, clf).accuracy
 }
 
 #[cfg(test)]
@@ -130,14 +114,27 @@ mod tests {
     }
 
     #[test]
-    fn trained_closures_predict_valid_classes() {
+    fn trained_classifiers_predict_valid_classes() {
         let d = to_dataset(&labeled());
-        let nn = train_nn(&d, loopml_ml::DEFAULT_RADIUS);
-        let svm = train_svm(&d, SvmParams::default());
-        for x in &d.x {
-            assert!(nn(x) < 8);
-            assert!(svm(x) < 8);
+        let mut models: Vec<Box<dyn Classifier>> = vec![
+            Box::new(loopml_ml::NearNeighbors::new(loopml_ml::DEFAULT_RADIUS)),
+            Box::new(loopml_ml::MulticlassSvm::new(SvmParams::default())),
+        ];
+        for m in &mut models {
+            m.fit(&d);
+            for x in &d.x {
+                assert!(m.predict(x) < 8, "{} out of range", m.name());
+            }
         }
+    }
+
+    #[test]
+    fn loocv_accuracy_works_on_any_classifier() {
+        let d = to_dataset(&labeled());
+        let acc = loocv_accuracy(&d, &mut loopml_ml::Constant::new(0));
+        assert!((0.0..=1.0).contains(&acc));
+        let nn_acc = loocv_accuracy(&d, &mut loopml_ml::NearNeighbors::new(0.3));
+        assert!((0.0..=1.0).contains(&nn_acc));
     }
 
     #[test]

@@ -11,8 +11,7 @@
 //! reproducible.
 
 use loopml_ir::{ArrayId, Inst, Loop, LoopBuilder, MemRef, Opcode, Reg, TripCount};
-use rand::rngs::StdRng;
-use rand::Rng;
+use loopml_rt::Rng;
 
 /// The kernel archetypes the corpus draws from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -103,7 +102,7 @@ impl KernelFamily {
     }
 
     /// Builds a randomized instance of this family.
-    pub fn build(self, name: &str, rng: &mut StdRng) -> Loop {
+    pub fn build(self, name: &str, rng: &mut Rng) -> Loop {
         match self {
             KernelFamily::Daxpy => daxpy(name, rng),
             KernelFamily::DotProduct => dot(name, rng),
@@ -134,7 +133,7 @@ impl KernelFamily {
 // ---------------------------------------------------------------------
 
 /// Log-uniform trip count in [lo, hi], known with probability `p_known`.
-fn trip(rng: &mut StdRng, p_known: f64, lo: u64, hi: u64) -> TripCount {
+fn trip(rng: &mut Rng, p_known: f64, lo: u64, hi: u64) -> TripCount {
     let ln = (lo as f64).ln();
     let hn = (hi as f64).ln();
     let t = (rng.gen_range(ln..hn)).exp() as u64;
@@ -152,9 +151,9 @@ fn trip(rng: &mut StdRng, p_known: f64, lo: u64, hi: u64) -> TripCount {
     }
 }
 
-fn nest(rng: &mut StdRng) -> u32 {
+fn nest(rng: &mut Rng) -> u32 {
     *[1u32, 1, 2, 2, 2, 3, 3, 4]
-        .get(rng.gen_range(0..8))
+        .get(rng.gen_range(0..8usize))
         .expect("index in range")
 }
 
@@ -162,7 +161,7 @@ fn nest(rng: &mut StdRng) -> u32 {
 // family builders
 // ---------------------------------------------------------------------
 
-fn daxpy(name: &str, rng: &mut StdRng) -> Loop {
+fn daxpy(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(name, trip(rng, 0.7, 256, 1 << 20));
     b.nest_level(nest(rng));
     let a = b.fp_reg(); // live-in scalar
@@ -178,7 +177,7 @@ fn daxpy(name: &str, rng: &mut StdRng) -> Loop {
     b.build()
 }
 
-fn dot(name: &str, rng: &mut StdRng) -> Loop {
+fn dot(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(name, trip(rng, 0.7, 128, 1 << 18));
     b.nest_level(nest(rng));
     let x = b.fp_reg();
@@ -192,7 +191,7 @@ fn dot(name: &str, rng: &mut StdRng) -> Loop {
     b.build()
 }
 
-fn vector_op(name: &str, rng: &mut StdRng) -> Loop {
+fn vector_op(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(name, trip(rng, 0.6, 256, 1 << 19));
     b.nest_level(nest(rng));
     let n_in = rng.gen_range(2..4u32);
@@ -206,15 +205,19 @@ fn vector_op(name: &str, rng: &mut StdRng) -> Loop {
     let mut cur = vals[0];
     for d in 0..depth {
         let r = b.fp_reg();
-        let op = [Opcode::FAdd, Opcode::FMul, Opcode::FSub][rng.gen_range(0..3)];
-        b.inst(Inst::new(op, vec![r], vec![cur, vals[(d + 1) % vals.len()]]));
+        let op = [Opcode::FAdd, Opcode::FMul, Opcode::FSub][rng.gen_range(0..3usize)];
+        b.inst(Inst::new(
+            op,
+            vec![r],
+            vec![cur, vals[(d + 1) % vals.len()]],
+        ));
         cur = r;
     }
     b.store(cur, MemRef::affine(ArrayId(n_in), 8, 0, 8));
     b.build()
 }
 
-fn stencil(name: &str, rng: &mut StdRng) -> Loop {
+fn stencil(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(name, trip(rng, 0.8, 128, 1 << 16));
     b.nest_level(nest(rng).max(2));
     let taps = rng.gen_range(2..=5i64);
@@ -234,7 +237,7 @@ fn stencil(name: &str, rng: &mut StdRng) -> Loop {
     b.build()
 }
 
-fn multi_acc(name: &str, rng: &mut StdRng) -> Loop {
+fn multi_acc(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(name, trip(rng, 0.6, 512, 1 << 19));
     b.nest_level(nest(rng));
     let accs = rng.gen_range(2..=4usize);
@@ -247,7 +250,7 @@ fn multi_acc(name: &str, rng: &mut StdRng) -> Loop {
     b.build()
 }
 
-fn divide(name: &str, rng: &mut StdRng) -> Loop {
+fn divide(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(name, trip(rng, 0.6, 128, 1 << 16));
     b.nest_level(nest(rng));
     let x = b.fp_reg();
@@ -266,7 +269,7 @@ fn divide(name: &str, rng: &mut StdRng) -> Loop {
     b.build()
 }
 
-fn recurrence(name: &str, rng: &mut StdRng) -> Loop {
+fn recurrence(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(name, trip(rng, 0.5, 128, 1 << 15));
     b.nest_level(nest(rng));
     let c = b.fp_reg(); // live-in coefficient
@@ -284,10 +287,10 @@ fn recurrence(name: &str, rng: &mut StdRng) -> Loop {
     b.build()
 }
 
-fn int_copy(name: &str, rng: &mut StdRng) -> Loop {
+fn int_copy(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(name, trip(rng, 0.4, 64, 1 << 18));
     b.nest_level(nest(rng));
-    let w = *[4u8, 8].get(rng.gen_range(0..2)).expect("width");
+    let w = *[4u8, 8].get(rng.gen_range(0..2usize)).expect("width");
     let x = b.int_reg();
     b.load(x, MemRef::affine(ArrayId(0), i64::from(w), 0, w));
     if rng.gen_bool(0.4) {
@@ -300,7 +303,7 @@ fn int_copy(name: &str, rng: &mut StdRng) -> Loop {
     b.build()
 }
 
-fn strided(name: &str, rng: &mut StdRng) -> Loop {
+fn strided(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(name, trip(rng, 0.7, 128, 1 << 15));
     b.nest_level(nest(rng).max(2));
     let stride = 8 * rng.gen_range(2..32i64);
@@ -312,13 +315,16 @@ fn strided(name: &str, rng: &mut StdRng) -> Loop {
     b.build()
 }
 
-fn gather(name: &str, rng: &mut StdRng) -> Loop {
+fn gather(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(name, trip(rng, 0.4, 128, 1 << 17));
     b.nest_level(nest(rng));
     let idx = b.int_reg();
     let x = b.fp_reg();
     b.load(idx, MemRef::affine(ArrayId(0), 4, 0, 4));
-    b.load(x, MemRef::indirect(ArrayId(1), 8 * rng.gen_range(1..64), 8));
+    b.load(
+        x,
+        MemRef::indirect(ArrayId(1), 8 * rng.gen_range(1..64i64), 8),
+    );
     if rng.gen_bool(0.6) {
         let acc = b.fp_reg();
         b.inst(Inst::new(Opcode::FAdd, vec![acc], vec![acc, x]));
@@ -328,7 +334,7 @@ fn gather(name: &str, rng: &mut StdRng) -> Loop {
     b.build()
 }
 
-fn scatter(name: &str, rng: &mut StdRng) -> Loop {
+fn scatter(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(name, trip(rng, 0.4, 128, 1 << 16));
     b.nest_level(nest(rng));
     let idx = b.int_reg();
@@ -339,12 +345,12 @@ fn scatter(name: &str, rng: &mut StdRng) -> Loop {
         Opcode::Store,
         vec![],
         vec![x],
-        MemRef::indirect(ArrayId(2), 8 * rng.gen_range(1..32), 8),
+        MemRef::indirect(ArrayId(2), 8 * rng.gen_range(1..32i64), 8),
     ));
     b.build()
 }
 
-fn search(name: &str, rng: &mut StdRng) -> Loop {
+fn search(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(
         name,
         TripCount::Unknown {
@@ -363,7 +369,7 @@ fn search(name: &str, rng: &mut StdRng) -> Loop {
     b.build()
 }
 
-fn int_alu(name: &str, rng: &mut StdRng) -> Loop {
+fn int_alu(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(name, trip(rng, 0.5, 256, 1 << 18));
     b.nest_level(nest(rng));
     let x = b.int_reg();
@@ -372,8 +378,13 @@ fn int_alu(name: &str, rng: &mut StdRng) -> Loop {
     let mut cur = x;
     for _ in 0..depth {
         let r = b.int_reg();
-        let op = [Opcode::Xor, Opcode::Shl, Opcode::Add, Opcode::And, Opcode::Or]
-            [rng.gen_range(0..5)];
+        let op = [
+            Opcode::Xor,
+            Opcode::Shl,
+            Opcode::Add,
+            Opcode::And,
+            Opcode::Or,
+        ][rng.gen_range(0..5usize)];
         b.inst(Inst::new(op, vec![r], vec![cur, x]));
         cur = r;
     }
@@ -381,7 +392,7 @@ fn int_alu(name: &str, rng: &mut StdRng) -> Loop {
     b.build()
 }
 
-fn int_mul(name: &str, rng: &mut StdRng) -> Loop {
+fn int_mul(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(name, trip(rng, 0.5, 256, 1 << 17));
     b.nest_level(nest(rng));
     let x = b.int_reg();
@@ -396,7 +407,7 @@ fn int_mul(name: &str, rng: &mut StdRng) -> Loop {
     b.build()
 }
 
-fn wide_parallel(name: &str, rng: &mut StdRng) -> Loop {
+fn wide_parallel(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(name, trip(rng, 0.7, 256, 1 << 16));
     b.nest_level(nest(rng));
     let lanes = rng.gen_range(4..10u32);
@@ -412,7 +423,7 @@ fn wide_parallel(name: &str, rng: &mut StdRng) -> Loop {
     b.build()
 }
 
-fn select_kernel(name: &str, rng: &mut StdRng) -> Loop {
+fn select_kernel(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(name, trip(rng, 0.6, 256, 1 << 17));
     b.nest_level(nest(rng));
     let x = b.fp_reg();
@@ -426,9 +437,9 @@ fn select_kernel(name: &str, rng: &mut StdRng) -> Loop {
     b.build()
 }
 
-fn short_trip(name: &str, rng: &mut StdRng) -> Loop {
+fn short_trip(name: &str, rng: &mut Rng) -> Loop {
     let t = *[3u64, 4, 5, 6, 7, 8, 12, 16]
-        .get(rng.gen_range(0..8))
+        .get(rng.gen_range(0..8usize))
         .expect("trip");
     let mut b = LoopBuilder::new(name, TripCount::Known(t));
     b.nest_level(rng.gen_range(2..=4));
@@ -439,7 +450,7 @@ fn short_trip(name: &str, rng: &mut StdRng) -> Loop {
     b.build()
 }
 
-fn call_loop(name: &str, rng: &mut StdRng) -> Loop {
+fn call_loop(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(name, trip(rng, 0.3, 64, 1 << 14));
     b.nest_level(nest(rng));
     let x = b.fp_reg();
@@ -449,7 +460,7 @@ fn call_loop(name: &str, rng: &mut StdRng) -> Loop {
     b.build()
 }
 
-fn mem_recurrence(name: &str, rng: &mut StdRng) -> Loop {
+fn mem_recurrence(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(name, trip(rng, 0.6, 128, 1 << 15));
     b.nest_level(nest(rng));
     let dist = rng.gen_range(1..=4i64);
@@ -463,7 +474,7 @@ fn mem_recurrence(name: &str, rng: &mut StdRng) -> Loop {
     b.build()
 }
 
-fn address_heavy(name: &str, rng: &mut StdRng) -> Loop {
+fn address_heavy(name: &str, rng: &mut Rng) -> Loop {
     let mut b = LoopBuilder::new(name, trip(rng, 0.5, 128, 1 << 16));
     b.nest_level(nest(rng));
     // Row-pointer + offset arithmetic before the access.
@@ -474,7 +485,10 @@ fn address_heavy(name: &str, rng: &mut StdRng) -> Loop {
     b.binop(Opcode::Shl, addr, off, off);
     b.binop(Opcode::Add, addr, addr, base);
     let x = b.fp_reg();
-    b.load(x, MemRef::indirect(ArrayId(1), 8 * rng.gen_range(1..16), 8));
+    b.load(
+        x,
+        MemRef::indirect(ArrayId(1), 8 * rng.gen_range(1..16i64), 8),
+    );
     let r = b.fp_reg();
     b.binop(Opcode::FAdd, r, x, x);
     b.store(r, MemRef::affine(ArrayId(2), 8, 0, 8));
@@ -488,10 +502,9 @@ pub(crate) fn _unused(_r: Reg) {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> Rng {
+        Rng::seed_from_u64(seed)
     }
 
     #[test]

@@ -8,8 +8,7 @@
 //! 24 SPEC CPU2000 benchmarks of Figures 4 and 5 carry their real names.
 
 use loopml_ir::{Benchmark, SourceLang, WeightedLoop};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use loopml_rt::Rng;
 
 use crate::kernels::KernelFamily;
 
@@ -138,52 +137,177 @@ const fn e(
 pub const ROSTER: [RosterEntry; 72] = [
     // --- SPEC CPU2000 (figure order) ---
     e("164.gzip", SourceLang::C, Archetype::IntStreaming, true),
-    e("168.wupwise", SourceLang::Fortran, Archetype::FpStreaming, true),
-    e("171.swim", SourceLang::Fortran, Archetype::FpStreaming, true),
-    e("172.mgrid", SourceLang::Fortran, Archetype::FpStreaming, true),
-    e("173.applu", SourceLang::Fortran, Archetype::FpRecurrence, true),
+    e(
+        "168.wupwise",
+        SourceLang::Fortran,
+        Archetype::FpStreaming,
+        true,
+    ),
+    e(
+        "171.swim",
+        SourceLang::Fortran,
+        Archetype::FpStreaming,
+        true,
+    ),
+    e(
+        "172.mgrid",
+        SourceLang::Fortran,
+        Archetype::FpStreaming,
+        true,
+    ),
+    e(
+        "173.applu",
+        SourceLang::Fortran,
+        Archetype::FpRecurrence,
+        true,
+    ),
     e("175.vpr", SourceLang::C, Archetype::IntBranchy, true),
     e("176.gcc", SourceLang::C, Archetype::IntBranchy, true),
     e("177.mesa", SourceLang::C, Archetype::FpSparse, true),
-    e("178.galgel", SourceLang::Fortran90, Archetype::FpStreaming, true),
+    e(
+        "178.galgel",
+        SourceLang::Fortran90,
+        Archetype::FpStreaming,
+        true,
+    ),
     e("179.art", SourceLang::C, Archetype::FpSparse, true),
     e("181.mcf", SourceLang::C, Archetype::IntBranchy, true),
     e("183.equake", SourceLang::C, Archetype::FpSparse, true),
     e("186.crafty", SourceLang::C, Archetype::IntBranchy, true),
-    e("187.facerec", SourceLang::Fortran90, Archetype::FpStreaming, true),
+    e(
+        "187.facerec",
+        SourceLang::Fortran90,
+        Archetype::FpStreaming,
+        true,
+    ),
     e("188.ammp", SourceLang::C, Archetype::FpSparse, true),
-    e("189.lucas", SourceLang::Fortran90, Archetype::FpRecurrence, true),
+    e(
+        "189.lucas",
+        SourceLang::Fortran90,
+        Archetype::FpRecurrence,
+        true,
+    ),
     e("197.parser", SourceLang::C, Archetype::IntBranchy, true),
-    e("200.sixtrack", SourceLang::Fortran, Archetype::FpRecurrence, true),
+    e(
+        "200.sixtrack",
+        SourceLang::Fortran,
+        Archetype::FpRecurrence,
+        true,
+    ),
     e("253.perlbmk", SourceLang::C, Archetype::IntBranchy, true),
     e("254.gap", SourceLang::C, Archetype::IntBranchy, true),
     e("255.vortex", SourceLang::C, Archetype::IntBranchy, true),
     e("256.bzip2", SourceLang::C, Archetype::IntStreaming, true),
     e("300.twolf", SourceLang::C, Archetype::IntBranchy, true),
-    e("301.apsi", SourceLang::Fortran, Archetype::FpStreaming, true),
+    e(
+        "301.apsi",
+        SourceLang::Fortran,
+        Archetype::FpStreaming,
+        true,
+    ),
     // --- SPEC 95 (entries whose programs are not superseded above) ---
-    e("101.tomcatv", SourceLang::Fortran, Archetype::FpStreaming, false),
-    e("103.su2cor", SourceLang::Fortran, Archetype::FpRecurrence, false),
-    e("104.hydro2d", SourceLang::Fortran, Archetype::FpStreaming, false),
-    e("107.mgrid95", SourceLang::Fortran, Archetype::FpStreaming, false),
-    e("110.applu95", SourceLang::Fortran, Archetype::FpRecurrence, false),
-    e("125.turb3d", SourceLang::Fortran, Archetype::FpStreaming, false),
-    e("141.apsi95", SourceLang::Fortran, Archetype::FpStreaming, false),
-    e("145.fpppp", SourceLang::Fortran, Archetype::FpRecurrence, false),
-    e("146.wave5", SourceLang::Fortran, Archetype::FpStreaming, false),
+    e(
+        "101.tomcatv",
+        SourceLang::Fortran,
+        Archetype::FpStreaming,
+        false,
+    ),
+    e(
+        "103.su2cor",
+        SourceLang::Fortran,
+        Archetype::FpRecurrence,
+        false,
+    ),
+    e(
+        "104.hydro2d",
+        SourceLang::Fortran,
+        Archetype::FpStreaming,
+        false,
+    ),
+    e(
+        "107.mgrid95",
+        SourceLang::Fortran,
+        Archetype::FpStreaming,
+        false,
+    ),
+    e(
+        "110.applu95",
+        SourceLang::Fortran,
+        Archetype::FpRecurrence,
+        false,
+    ),
+    e(
+        "125.turb3d",
+        SourceLang::Fortran,
+        Archetype::FpStreaming,
+        false,
+    ),
+    e(
+        "141.apsi95",
+        SourceLang::Fortran,
+        Archetype::FpStreaming,
+        false,
+    ),
+    e(
+        "145.fpppp",
+        SourceLang::Fortran,
+        Archetype::FpRecurrence,
+        false,
+    ),
+    e(
+        "146.wave5",
+        SourceLang::Fortran,
+        Archetype::FpStreaming,
+        false,
+    ),
     e("124.m88ksim", SourceLang::C, Archetype::IntBranchy, false),
-    e("129.compress", SourceLang::C, Archetype::IntStreaming, false),
+    e(
+        "129.compress",
+        SourceLang::C,
+        Archetype::IntStreaming,
+        false,
+    ),
     e("130.li", SourceLang::C, Archetype::IntBranchy, false),
     e("132.ijpeg", SourceLang::C, Archetype::Media, false),
     e("134.perl", SourceLang::C, Archetype::IntBranchy, false),
     e("147.vortex95", SourceLang::C, Archetype::IntBranchy, false),
     // --- SPEC 92 ---
-    e("013.spice2g6", SourceLang::Fortran, Archetype::FpSparse, false),
-    e("015.doduc", SourceLang::Fortran, Archetype::FpRecurrence, false),
-    e("034.mdljdp2", SourceLang::Fortran, Archetype::FpRecurrence, false),
-    e("039.wave5_92", SourceLang::Fortran, Archetype::FpStreaming, false),
-    e("047.tomcatv92", SourceLang::Fortran, Archetype::FpStreaming, false),
-    e("048.ora", SourceLang::Fortran, Archetype::FpRecurrence, false),
+    e(
+        "013.spice2g6",
+        SourceLang::Fortran,
+        Archetype::FpSparse,
+        false,
+    ),
+    e(
+        "015.doduc",
+        SourceLang::Fortran,
+        Archetype::FpRecurrence,
+        false,
+    ),
+    e(
+        "034.mdljdp2",
+        SourceLang::Fortran,
+        Archetype::FpRecurrence,
+        false,
+    ),
+    e(
+        "039.wave5_92",
+        SourceLang::Fortran,
+        Archetype::FpStreaming,
+        false,
+    ),
+    e(
+        "047.tomcatv92",
+        SourceLang::Fortran,
+        Archetype::FpStreaming,
+        false,
+    ),
+    e(
+        "048.ora",
+        SourceLang::Fortran,
+        Archetype::FpRecurrence,
+        false,
+    ),
     e("052.alvinn", SourceLang::C, Archetype::FpStreaming, false),
     e("056.ear", SourceLang::C, Archetype::FpStreaming, false),
     e("023.eqntott", SourceLang::C, Archetype::IntBranchy, false),
@@ -211,8 +335,18 @@ pub const ROSTER: [RosterEntry; 72] = [
     e("TRACK", SourceLang::Fortran, Archetype::FpSparse, false),
     e("TRFD", SourceLang::Fortran, Archetype::FpStreaming, false),
     // --- kernels ---
-    e("livermore", SourceLang::Fortran, Archetype::FpRecurrence, false),
-    e("linpackd", SourceLang::Fortran, Archetype::FpStreaming, false),
+    e(
+        "livermore",
+        SourceLang::Fortran,
+        Archetype::FpRecurrence,
+        false,
+    ),
+    e(
+        "linpackd",
+        SourceLang::Fortran,
+        Archetype::FpStreaming,
+        false,
+    ),
     e("fft_kernel", SourceLang::C, Archetype::FpStreaming, false),
 ];
 
@@ -239,7 +373,7 @@ impl Default for SuiteConfig {
 
 /// Synthesizes one benchmark from a roster entry.
 pub fn synthesize(entry: &RosterEntry, cfg: &SuiteConfig) -> Benchmark {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ hash_name(entry.name));
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ hash_name(entry.name));
     let mix = entry.archetype.mix();
     let mix_total: u32 = mix.iter().map(|&(_, w)| w).sum();
     let n_loops = rng.gen_range(cfg.min_loops..=cfg.max_loops);
@@ -288,7 +422,11 @@ pub fn synthesize(entry: &RosterEntry, cfg: &SuiteConfig) -> Benchmark {
         let entries = if body.nest_level > 1 {
             use loopml_ir::TripCount;
             let t = (rng.gen_range((16.0f64).ln()..(1024.0f64).ln())).exp() as u64;
-            let t = if rng.gen_bool(0.5) { (t / 4).max(1) * 4 } else { t };
+            let t = if rng.gen_bool(0.5) {
+                (t / 4).max(1) * 4
+            } else {
+                t
+            };
             body.trip_count = match body.trip_count {
                 TripCount::Known(old) if old <= 16 => TripCount::Known(old),
                 TripCount::Known(_) => TripCount::Known(t.max(4)),

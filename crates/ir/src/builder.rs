@@ -165,7 +165,8 @@ impl LoopBuilder {
         self.body
             .push(Inst::new(Opcode::Add, vec![iv], vec![iv]).as_induction());
         let p = Reg::pred(self.next_pred);
-        self.body.push(Inst::new(Opcode::Cmp, vec![p], vec![iv, limit]));
+        self.body
+            .push(Inst::new(Opcode::Cmp, vec![p], vec![iv, limit]));
         self.body.push(Inst {
             opcode: Opcode::Br,
             defs: vec![],

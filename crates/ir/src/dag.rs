@@ -62,9 +62,8 @@ pub fn summarize(l: &Loop, g: &DepGraph) -> DagSummary {
 
     // Static resource estimate on a generic EPIC machine: 6-wide issue,
     // 4 memory ports, 2 FP units, 3 branch slots.
-    let count = |f: &dyn Fn(OpClass) -> bool| {
-        l.body.iter().filter(|i| f(i.opcode.class())).count() as u32
-    };
+    let count =
+        |f: &dyn Fn(OpClass) -> bool| l.body.iter().filter(|i| f(i.opcode.class())).count() as u32;
     let mem = count(&|c| matches!(c, OpClass::Load | OpClass::Store));
     let fp = count(&|c| matches!(c, OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv));
     let br = count(&|c| matches!(c, OpClass::Branch));

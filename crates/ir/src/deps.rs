@@ -217,9 +217,8 @@ impl DepGraph {
                 continue;
             }
             for (j, later) in body.iter().enumerate().skip(e + 1) {
-                let side_effecting = later.is_store()
-                    || later.opcode.is_branch()
-                    || later.opcode == Opcode::Call;
+                let side_effecting =
+                    later.is_store() || later.opcode.is_branch() || later.opcode == Opcode::Call;
                 if side_effecting {
                     deps.push(Dep {
                         src: e,
@@ -441,9 +440,7 @@ mod tests {
         b.store(x, m);
         b.load(y, m);
         let g = DepGraph::analyze(&b.build());
-        assert!(g
-            .mem_deps()
-            .any(|d| d.distance == 0 && d.src < d.dst));
+        assert!(g.mem_deps().any(|d| d.distance == 0 && d.src < d.dst));
     }
 
     #[test]

@@ -126,7 +126,11 @@ mod tests {
 
     #[test]
     fn operand_count_includes_predicate() {
-        let i = Inst::new(Opcode::Add, vec![Reg::int(1)], vec![Reg::int(2), Reg::int(3)]);
+        let i = Inst::new(
+            Opcode::Add,
+            vec![Reg::int(1)],
+            vec![Reg::int(2), Reg::int(3)],
+        );
         assert_eq!(i.operand_count(), 3);
         let p = i.predicated(Reg::pred(0));
         assert_eq!(p.operand_count(), 4);
@@ -134,8 +138,8 @@ mod tests {
 
     #[test]
     fn reads_include_guard() {
-        let i = Inst::new(Opcode::Add, vec![Reg::int(1)], vec![Reg::int(2)])
-            .predicated(Reg::pred(3));
+        let i =
+            Inst::new(Opcode::Add, vec![Reg::int(1)], vec![Reg::int(2)]).predicated(Reg::pred(3));
         let reads: Vec<Reg> = i.reads().collect();
         assert_eq!(reads, vec![Reg::int(2), Reg::pred(3)]);
     }

@@ -143,7 +143,11 @@ impl Loop {
 
     /// All registers defined anywhere in the body.
     pub fn defined_regs(&self) -> Vec<Reg> {
-        let mut v: Vec<Reg> = self.body.iter().flat_map(|i| i.defs.iter().copied()).collect();
+        let mut v: Vec<Reg> = self
+            .body
+            .iter()
+            .flat_map(|i| i.defs.iter().copied())
+            .collect();
         v.sort_unstable();
         v.dedup();
         v

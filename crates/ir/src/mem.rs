@@ -161,8 +161,12 @@ impl MemRef {
         }
         if delta % self.stride != 0 {
             // Check partial overlap of access ranges at distance floor.
-            if overlaps(self.offset % self.stride, self.width, other.offset % self.stride, other.width)
-            {
+            if overlaps(
+                self.offset % self.stride,
+                self.width,
+                other.offset % self.stride,
+                other.width,
+            ) {
                 return Some(1);
             }
             return None;

@@ -42,7 +42,9 @@ pub fn dcache_stall_per_iter(l: &Loop, cfg: &MachineConfig) -> f64 {
             indirect_accesses += 1;
             continue;
         }
-        let e = streams.entry(m.base.0).or_insert((m.stride.unsigned_abs() as f64, 0));
+        let e = streams
+            .entry(m.base.0)
+            .or_insert((m.stride.unsigned_abs() as f64, 0));
         e.1 += 1;
     }
 

@@ -145,10 +145,7 @@ impl MachineConfig {
     pub fn latency(&self, inst: &Inst) -> u32 {
         match inst.opcode {
             Opcode::Load | Opcode::LoadPair => {
-                let fp_dest = inst
-                    .defs
-                    .first()
-                    .is_some_and(|d| d.class() == RegClass::Fp);
+                let fp_dest = inst.defs.first().is_some_and(|d| d.class() == RegClass::Fp);
                 if fp_dest {
                     6
                 } else {

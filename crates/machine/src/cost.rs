@@ -55,7 +55,12 @@ impl LoopCost {
 /// `rolled_per_iter` is the per-iteration cost of the *rolled* (factor 1)
 /// variant, used to price the remainder loop of known-but-non-divisible
 /// trip counts; pass 0.0 when the factor is 1.
-pub fn loop_cost(u: &Unrolled, rolled_per_iter: f64, cfg: &MachineConfig, swp: SwpMode) -> LoopCost {
+pub fn loop_cost(
+    u: &Unrolled,
+    rolled_per_iter: f64,
+    cfg: &MachineConfig,
+    swp: SwpMode,
+) -> LoopCost {
     let l = &u.body;
     let g = DepGraph::analyze(l);
 
@@ -95,7 +100,11 @@ pub fn loop_cost(u: &Unrolled, rolled_per_iter: f64, cfg: &MachineConfig, swp: S
     let remainder = u.remainder_iters as f64 * rolled_per_iter;
     // A loop that leaves through a boundary exit abandons, on average,
     // half of the unrolled body's work on its final pass.
-    let exit_waste = if u.inserted_exits > 0 { per_iter * 0.5 } else { 0.0 };
+    let exit_waste = if u.inserted_exits > 0 {
+        per_iter * 0.5
+    } else {
+        0.0
+    };
     let per_entry = fill_drain + remainder + exit_waste + cfg.exit_mispredict;
 
     LoopCost {
@@ -184,7 +193,10 @@ mod tests {
         let rc = loop_cost(&rolled, 0.0, &cfg(), SwpMode::Disabled);
         let u = unroll_and_optimize(&l, 8, &OptConfig::default());
         let c = loop_cost(&u, rc.per_iter, &cfg(), SwpMode::Disabled);
-        assert!(c.per_entry > rc.per_entry, "1001 % 8 = 1 remainder iteration");
+        assert!(
+            c.per_entry > rc.per_entry,
+            "1001 % 8 = 1 remainder iteration"
+        );
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub mod modulo;
 pub mod noise;
 pub mod pressure;
 
-pub use cache::{bytes_touched_per_iter, dcache_stall_per_iter, icache_entry_cost, icache_stream_per_iter};
+pub use cache::{
+    bytes_touched_per_iter, dcache_stall_per_iter, icache_entry_cost, icache_stream_per_iter,
+};
 pub use config::{FuKind, MachineConfig};
 pub use cost::{loop_cost, LoopCost, SwpMode};
 pub use list_sched::{list_schedule, Schedule};
@@ -67,44 +69,47 @@ pub use pressure::{max_live, Pressure};
 mod proptests {
     use super::*;
     use loopml_ir::{ArrayId, DepGraph, Inst, Loop, LoopBuilder, MemRef, Opcode, TripCount};
-    use proptest::prelude::*;
+    use loopml_rt::{check, Rng};
 
-    fn arb_loop() -> impl Strategy<Value = Loop> {
-        (
-            proptest::collection::vec((0u32..4, 0i64..4, prop::bool::ANY), 1..6),
-            proptest::collection::vec(0usize..5, 0..8),
-            1u32..3,
-        )
-            .prop_map(|(loads, ops, stores)| {
-                let mut b = LoopBuilder::new("arb", TripCount::Known(1 << 16));
-                let mut vals = Vec::new();
-                for (arr, off, _wide) in &loads {
-                    let r = b.fp_reg();
-                    b.load(r, MemRef::affine(ArrayId(*arr), 8, off * 8, 8));
-                    vals.push(r);
-                }
-                for (k, sel) in ops.iter().enumerate() {
-                    let a = vals[k % vals.len()];
-                    let c = vals[(k + 1) % vals.len()];
-                    let r = b.fp_reg();
-                    let op = [Opcode::FAdd, Opcode::FMul, Opcode::Fma, Opcode::FDiv, Opcode::FSub]
-                        [*sel];
-                    b.inst(Inst::new(op, vec![r], vec![a, c]));
-                    vals.push(r);
-                }
-                for s in 0..stores {
-                    let v = vals[vals.len() - 1 - (s as usize) % vals.len()];
-                    b.store(v, MemRef::affine(ArrayId(20 + s), 8, 0, 8));
-                }
-                b.build()
-            })
+    /// Random small FP loop: 1..6 loads, 0..8 dependent ops, 1..3 stores.
+    fn arb_loop(rng: &mut Rng) -> Loop {
+        let n_loads = rng.gen_range(1..6usize);
+        let n_ops = rng.gen_range(0..8usize);
+        let n_stores = rng.gen_range(1u32..3);
+        let mut b = LoopBuilder::new("arb", TripCount::Known(1 << 16));
+        let mut vals = Vec::new();
+        for _ in 0..n_loads {
+            let arr: u32 = rng.gen_range(0..4u32);
+            let off: i64 = rng.gen_range(0..4i64);
+            let r = b.fp_reg();
+            b.load(r, MemRef::affine(ArrayId(arr), 8, off * 8, 8));
+            vals.push(r);
+        }
+        for k in 0..n_ops {
+            let a = vals[k % vals.len()];
+            let c = vals[(k + 1) % vals.len()];
+            let r = b.fp_reg();
+            let op = [
+                Opcode::FAdd,
+                Opcode::FMul,
+                Opcode::Fma,
+                Opcode::FDiv,
+                Opcode::FSub,
+            ][rng.gen_range(0..5usize)];
+            b.inst(Inst::new(op, vec![r], vec![a, c]));
+            vals.push(r);
+        }
+        for s in 0..n_stores {
+            let v = vals[vals.len() - 1 - (s as usize) % vals.len()];
+            b.store(v, MemRef::affine(ArrayId(20 + s), 8, 0, 8));
+        }
+        b.build()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(40))]
-
-        #[test]
-        fn list_schedule_respects_dependences(l in arb_loop()) {
+    #[test]
+    fn list_schedule_respects_dependences() {
+        check("list_schedule_respects_dependences", 40, |rng| {
+            let l = arb_loop(rng);
             let cfg = MachineConfig::itanium2();
             let g = DepGraph::analyze(&l);
             let s = list_schedule(&l, &g, &cfg);
@@ -118,34 +123,44 @@ mod proptests {
                         _ => 0,
                     }
                 };
-                prop_assert!(s.starts[d.src] + lat <= s.starts[d.dst] || lat == 0);
+                assert!(s.starts[d.src] + lat <= s.starts[d.dst] || lat == 0);
             }
-            prop_assert!(s.iter_interval >= s.length.min(s.iter_interval));
-        }
+            assert!(s.iter_interval >= s.length.min(s.iter_interval));
+        });
+    }
 
-        #[test]
-        fn modulo_ii_at_least_bounds(l in arb_loop()) {
+    #[test]
+    fn modulo_ii_at_least_bounds() {
+        check("modulo_ii_at_least_bounds", 40, |rng| {
+            let l = arb_loop(rng);
             let cfg = MachineConfig::itanium2();
             let g = DepGraph::analyze(&l);
             if let Ok(m) = modulo_schedule(&l, &g, &cfg) {
-                prop_assert!(m.ii >= res_mii(&l, &cfg).min(m.ii));
-                prop_assert!(m.ii >= rec_mii(&l, &g, &cfg));
+                assert!(m.ii >= res_mii(&l, &cfg).min(m.ii));
+                assert!(m.ii >= rec_mii(&l, &g, &cfg));
                 let ls = list_schedule(&l, &g, &cfg);
-                prop_assert!(m.ii <= ls.iter_interval,
+                assert!(
+                    m.ii <= ls.iter_interval,
                     "pipelining should never be slower than lockstep: {} vs {}",
-                    m.ii, ls.iter_interval);
+                    m.ii,
+                    ls.iter_interval
+                );
             }
-        }
+        });
+    }
 
-        #[test]
-        fn cost_is_finite_and_positive(l in arb_loop(), factor in 1u32..=8) {
+    #[test]
+    fn cost_is_finite_and_positive() {
+        check("cost_is_finite_and_positive", 40, |rng| {
+            let l = arb_loop(rng);
+            let factor: u32 = rng.gen_range(1..=8u32);
             let cfg = MachineConfig::itanium2();
             let u = loopml_opt::unroll_and_optimize(&l, factor, &loopml_opt::OptConfig::default());
             for swp in [SwpMode::Disabled, SwpMode::Enabled] {
                 let c = loop_cost(&u, 10.0, &cfg, swp);
-                prop_assert!(c.per_iter.is_finite() && c.per_iter >= 1.0);
-                prop_assert!(c.per_entry.is_finite() && c.per_entry >= 0.0);
+                assert!(c.per_iter.is_finite() && c.per_iter >= 1.0);
+                assert!(c.per_entry.is_finite() && c.per_entry >= 0.0);
             }
-        }
+        });
     }
 }

@@ -100,9 +100,9 @@ pub fn list_schedule(l: &Loop, g: &DepGraph, cfg: &MachineConfig) -> Schedule {
             .filter(|&j| starts[j].is_none())
             .filter(|&j| Some(j) != br_idx || scheduled == n - 1)
             .filter(|&j| {
-                pred_edges[j].iter().all(|&(p, lat)| {
-                    starts[p].is_some_and(|s| s + lat <= cycle)
-                })
+                pred_edges[j]
+                    .iter()
+                    .all(|&(p, lat)| starts[p].is_some_and(|s| s + lat <= cycle))
             })
             .collect();
         ready.sort_by(|&a, &b| h[b].cmp(&h[a]).then(a.cmp(&b)));
@@ -122,7 +122,10 @@ pub fn list_schedule(l: &Loop, g: &DepGraph, cfg: &MachineConfig) -> Schedule {
         );
     }
 
-    let starts: Vec<u32> = starts.into_iter().map(|s| s.expect("all scheduled")).collect();
+    let starts: Vec<u32> = starts
+        .into_iter()
+        .map(|s| s.expect("all scheduled"))
+        .collect();
     let length = starts.iter().copied().max().unwrap_or(0) + 1;
 
     // Steady-state iteration interval: carried edges may force the next

@@ -358,7 +358,10 @@ mod tests {
         b.early_exit(x, y);
         let l = b.build();
         let g = DepGraph::analyze(&l);
-        assert_eq!(modulo_schedule(&l, &g, &cfg()), Err(SwpReject::HasEarlyExit));
+        assert_eq!(
+            modulo_schedule(&l, &g, &cfg()),
+            Err(SwpReject::HasEarlyExit)
+        );
     }
 
     #[test]

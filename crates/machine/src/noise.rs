@@ -6,7 +6,7 @@
 //! multiplicative Gaussian measurement error so the labeling pipeline (and
 //! the oracle-beaten-by-ORC artifacts in Figures 4/5) can be reproduced.
 
-use rand::Rng;
+use loopml_rt::Rng;
 
 /// A multiplicative Gaussian noise source.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,7 +20,10 @@ pub struct NoiseModel {
 impl NoiseModel {
     /// A noiseless model (measurements are exact).
     pub fn exact() -> Self {
-        NoiseModel { sigma: 0.0, runs: 1 }
+        NoiseModel {
+            sigma: 0.0,
+            runs: 1,
+        }
     }
 
     /// The paper's regime: 30 runs, a few percent of jitter.
@@ -33,7 +36,7 @@ impl NoiseModel {
 
     /// Observes `true_cycles` through the noise model: the median of
     /// `runs` noisy samples.
-    pub fn measure<R: Rng + ?Sized>(&self, true_cycles: f64, rng: &mut R) -> f64 {
+    pub fn measure(&self, true_cycles: f64, rng: &mut Rng) -> f64 {
         if self.sigma == 0.0 || self.runs == 0 {
             return true_cycles;
         }
@@ -51,7 +54,7 @@ impl NoiseModel {
 }
 
 /// Standard normal deviate via Box-Muller.
-fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+fn standard_normal(rng: &mut Rng) -> f64 {
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
@@ -69,22 +72,26 @@ fn median_of_sorted(sorted: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn exact_model_is_identity() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         assert_eq!(NoiseModel::exact().measure(12345.0, &mut rng), 12345.0);
     }
 
     #[test]
     fn median_tames_noise() {
-        let mut rng = StdRng::seed_from_u64(7);
-        let one_run = NoiseModel { sigma: 0.05, runs: 1 };
-        let thirty = NoiseModel { sigma: 0.05, runs: 30 };
+        let mut rng = Rng::seed_from_u64(7);
+        let one_run = NoiseModel {
+            sigma: 0.05,
+            runs: 1,
+        };
+        let thirty = NoiseModel {
+            sigma: 0.05,
+            runs: 30,
+        };
         let n = 400;
-        let err = |m: NoiseModel, rng: &mut StdRng| -> f64 {
+        let err = |m: NoiseModel, rng: &mut Rng| -> f64 {
             (0..n)
                 .map(|_| (m.measure(1000.0, rng) - 1000.0).abs())
                 .sum::<f64>()
@@ -97,8 +104,11 @@ mod tests {
 
     #[test]
     fn measurements_stay_positive() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let m = NoiseModel { sigma: 0.2, runs: 5 };
+        let mut rng = Rng::seed_from_u64(3);
+        let m = NoiseModel {
+            sigma: 0.2,
+            runs: 5,
+        };
         for _ in 0..200 {
             assert!(m.measure(100.0, &mut rng) > 0.0);
         }
@@ -107,8 +117,8 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let m = NoiseModel::paper();
-        let a = m.measure(5000.0, &mut StdRng::seed_from_u64(42));
-        let b = m.measure(5000.0, &mut StdRng::seed_from_u64(42));
+        let a = m.measure(5000.0, &mut Rng::seed_from_u64(42));
+        let b = m.measure(5000.0, &mut Rng::seed_from_u64(42));
         assert_eq!(a, b);
     }
 

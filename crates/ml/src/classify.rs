@@ -1,0 +1,125 @@
+//! The object-safe classifier interface.
+//!
+//! Every model the pipeline can train — near neighbors, the multi-class
+//! SVM, and heuristic baselines adapted from feature vectors — implements
+//! [`Classifier`], so training loops, LOOCV, leave-one-benchmark-out
+//! evaluation, and the learned heuristic all work with `&mut dyn
+//! Classifier` / `Box<dyn Classifier>` instead of closure-returning
+//! `train_*` functions.
+//!
+//! The protocol: construct an *unfitted* classifier carrying its
+//! hyperparameters (e.g. `NearNeighbors::new(radius)`), then call
+//! [`Classifier::fit`] with a training set — possibly many times, as
+//! cross-validation refits the same object per fold. Predictions before
+//! the first `fit` are a defined fallback (class 0), never a panic.
+
+use crate::dataset::Dataset;
+
+/// A trainable multi-class classifier over raw feature vectors.
+pub trait Classifier {
+    /// Fits (or refits) the model to `data`, replacing any previous fit.
+    fn fit(&mut self, data: &Dataset);
+
+    /// Predicts a class label in `0..classes` for a raw feature vector.
+    /// Unfitted classifiers predict 0.
+    fn predict(&self, x: &[f64]) -> usize;
+
+    /// Short human-readable model name for reports ("NN", "SVM", …).
+    fn name(&self) -> &str;
+}
+
+/// A classifier that always predicts the same class — the "never unroll" /
+/// fixed-factor baseline, and a handy stub in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Constant {
+    class: usize,
+}
+
+impl Constant {
+    /// A classifier that always answers `class`.
+    pub fn new(class: usize) -> Self {
+        Constant { class }
+    }
+}
+
+impl Classifier for Constant {
+    fn fit(&mut self, _data: &Dataset) {}
+
+    fn predict(&self, _x: &[f64]) -> usize {
+        self.class
+    }
+
+    fn name(&self) -> &str {
+        "constant"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::{NearNeighbors, DEFAULT_RADIUS};
+    use crate::svm::{MulticlassSvm, SvmParams};
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![vec![0.0], vec![0.2], vec![5.0], vec![5.2]],
+            vec![0, 0, 1, 1],
+            2,
+            vec!["f".into()],
+            (0..4).map(|i| format!("e{i}")).collect(),
+        )
+    }
+
+    #[test]
+    fn constant_always_answers_its_class() {
+        let mut c = Constant::new(3);
+        c.fit(&toy());
+        assert_eq!(c.predict(&[123.0]), 3);
+        assert_eq!(c.name(), "constant");
+    }
+
+    #[test]
+    fn trait_objects_are_interchangeable() {
+        let mut models: Vec<Box<dyn Classifier>> = vec![
+            Box::new(NearNeighbors::new(DEFAULT_RADIUS)),
+            Box::new(MulticlassSvm::new(SvmParams::default())),
+            Box::new(Constant::new(1)),
+        ];
+        let data = toy();
+        for m in &mut models {
+            m.fit(&data);
+            assert!(m.predict(&data.x[0]) < data.classes);
+            assert!(!m.name().is_empty());
+        }
+        // The real models learn the separable toy problem.
+        assert_eq!(models[0].predict(&[0.1]), 0);
+        assert_eq!(models[0].predict(&[5.1]), 1);
+        assert_eq!(models[1].predict(&[0.1]), 0);
+        assert_eq!(models[1].predict(&[5.1]), 1);
+    }
+
+    #[test]
+    fn unfitted_models_predict_zero_not_panic() {
+        let nn = NearNeighbors::new(DEFAULT_RADIUS);
+        let svm = MulticlassSvm::new(SvmParams::default());
+        assert_eq!(Classifier::predict(&nn, &[1.0, 2.0]), 0);
+        assert_eq!(Classifier::predict(&svm, &[1.0, 2.0]), 0);
+    }
+
+    #[test]
+    fn refitting_replaces_previous_fit() {
+        let mut nn = NearNeighbors::new(DEFAULT_RADIUS);
+        nn.fit(&toy());
+        assert_eq!(Classifier::predict(&nn, &[5.1]), 1);
+        // Swap the labels and refit: predictions must flip.
+        let flipped = Dataset::new(
+            vec![vec![0.0], vec![0.2], vec![5.0], vec![5.2]],
+            vec![1, 1, 0, 0],
+            2,
+            vec!["f".into()],
+            (0..4).map(|i| format!("e{i}")).collect(),
+        );
+        nn.fit(&flipped);
+        assert_eq!(Classifier::predict(&nn, &[5.1]), 0);
+    }
+}

@@ -121,6 +121,17 @@ pub struct MinMaxNormalizer {
 }
 
 impl MinMaxNormalizer {
+    /// The identity normalizer over zero features: [`apply`] leaves every
+    /// row unchanged. This is the state of a not-yet-fitted model.
+    ///
+    /// [`apply`]: MinMaxNormalizer::apply
+    pub fn identity() -> Self {
+        MinMaxNormalizer {
+            lo: Vec::new(),
+            hi: Vec::new(),
+        }
+    }
+
     /// Fits the normalizer to a dataset's feature ranges.
     ///
     /// # Panics
@@ -140,11 +151,19 @@ impl MinMaxNormalizer {
         MinMaxNormalizer { lo, hi }
     }
 
-    /// Normalizes one vector in place. Constant features map to 0.
+    /// Normalizes one vector in place. Constant features map to 0. The
+    /// [`identity`](MinMaxNormalizer::identity) normalizer is a no-op.
     pub fn apply(&self, row: &mut [f64]) {
+        if self.lo.is_empty() {
+            return;
+        }
         for (j, v) in row.iter_mut().enumerate() {
             let span = self.hi[j] - self.lo[j];
-            *v = if span > 0.0 { (*v - self.lo[j]) / span } else { 0.0 };
+            *v = if span > 0.0 {
+                (*v - self.lo[j]) / span
+            } else {
+                0.0
+            };
             // Clamp novel examples outside the training range.
             *v = v.clamp(0.0, 1.0);
         }
@@ -246,6 +265,14 @@ mod tests {
         let mut row = vec![-10.0, 1000.0];
         n.apply(&mut row);
         assert_eq!(row, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn identity_normalizer_is_noop() {
+        let n = MinMaxNormalizer::identity();
+        let mut row = vec![-3.0, 0.0, 1e9];
+        n.apply(&mut row);
+        assert_eq!(row, vec![-3.0, 0.0, 1e9]);
     }
 
     #[test]

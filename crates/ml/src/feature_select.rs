@@ -40,7 +40,10 @@ pub fn mutual_information(data: &Dataset) -> Vec<ScoredFeature> {
             joint[b][y] += 1.0;
         }
         let total = n as f64;
-        let p_bin: Vec<f64> = joint.iter().map(|r| r.iter().sum::<f64>() / total).collect();
+        let p_bin: Vec<f64> = joint
+            .iter()
+            .map(|r| r.iter().sum::<f64>() / total)
+            .collect();
         let mut p_lab = vec![0.0f64; classes];
         for r in &joint {
             for (c, v) in r.iter().enumerate() {

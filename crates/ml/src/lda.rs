@@ -54,10 +54,7 @@ impl Lda2d {
         let mut sw = Matrix::zeros(d, d);
         let mut sb = Matrix::zeros(d, d);
         for (row, &y) in data.x.iter().zip(&data.y) {
-            let mu: Vec<f64> = class_sum[y]
-                .iter()
-                .map(|s| s / class_n[y] as f64)
-                .collect();
+            let mu: Vec<f64> = class_sum[y].iter().map(|s| s / class_n[y] as f64).collect();
             for i in 0..d {
                 for j in 0..d {
                     sw[(i, j)] += (row[i] - mu[i]) * (row[j] - mu[j]);
@@ -155,20 +152,18 @@ mod tests {
     fn projection_separates_classes() {
         let d = toy();
         let lda = Lda2d::fit(&d);
-        let p0: Vec<f64> = d
-            .x
-            .iter()
-            .zip(&d.y)
-            .filter(|(_, &y)| y == 0)
-            .map(|(x, _)| lda.project(x).0)
-            .collect();
-        let p1: Vec<f64> = d
-            .x
-            .iter()
-            .zip(&d.y)
-            .filter(|(_, &y)| y == 1)
-            .map(|(x, _)| lda.project(x).0)
-            .collect();
+        let p0: Vec<f64> =
+            d.x.iter()
+                .zip(&d.y)
+                .filter(|(_, &y)| y == 0)
+                .map(|(x, _)| lda.project(x).0)
+                .collect();
+        let p1: Vec<f64> =
+            d.x.iter()
+                .zip(&d.y)
+                .filter(|(_, &y)| y == 1)
+                .map(|(x, _)| lda.project(x).0)
+                .collect();
         let m0 = p0.iter().sum::<f64>() / p0.len() as f64;
         let m1 = p1.iter().sum::<f64>() / p1.len() as f64;
         let spread0 = p0.iter().map(|v| (v - m0).abs()).fold(0.0, f64::max);

@@ -5,11 +5,13 @@
 //!
 //! * [`Dataset`] / [`MinMaxNormalizer`] — labeled loop examples with the
 //!   paper's equal-weight feature normalization;
+//! * [`Classifier`] — the object-safe `fit`/`predict`/`name` interface
+//!   every model implements, so pipelines work with `&mut dyn Classifier`;
 //! * [`NearNeighbors`] — radius-0.3 near-neighbor classification with
 //!   majority vote, 1-NN fallback, and vote confidence (§5.1);
 //! * [`MulticlassSvm`] — RBF-kernel soft-margin SVMs combined through
 //!   one-vs-rest output codes with Hamming decoding (§5.2);
-//! * [`loocv_nn`] / [`loocv_svm`] / [`loocv_generic`] — leave-one-out
+//! * [`loocv_nn`] / [`loocv_svm`] / [`loocv`] — leave-one-out
 //!   cross validation (§4.2), plus [`logo_predictions`] for the
 //!   leave-one-benchmark-out protocol of Figures 4/5;
 //! * [`Lda2d`] — the 2-D linear-discriminant projection behind Figures
@@ -38,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod classify;
 pub mod dataset;
 pub mod feature_select;
 pub mod lda;
@@ -46,84 +49,93 @@ pub mod loocv;
 pub mod nn;
 pub mod svm;
 
+pub use classify::{Classifier, Constant};
 pub use dataset::{dist2, Dataset, MinMaxNormalizer};
 pub use feature_select::{
     greedy_forward, mutual_information, nn1_training_error, GreedyStep, ScoredFeature, MIS_BINS,
 };
 pub use lda::Lda2d;
 pub use linalg::Matrix;
-pub use loocv::{logo_predictions, loocv_generic, loocv_nn, loocv_svm, CvResult};
+pub use loocv::{logo_predictions, loocv, loocv_nn, loocv_svm, CvResult};
 pub use nn::{NearNeighbors, NnPrediction, DEFAULT_RADIUS};
 pub use svm::{decode, KernelCache, MulticlassSvm, SvmParams};
 
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use loopml_rt::{check, Rng};
 
-    fn arb_dataset() -> impl Strategy<Value = Dataset> {
-        (2usize..5, 8usize..30, 1usize..4).prop_flat_map(|(classes, n, d)| {
-            proptest::collection::vec(
-                (
-                    proptest::collection::vec(-100.0f64..100.0, d),
-                    0usize..classes,
-                ),
-                n,
-            )
-            .prop_map(move |rows| {
-                let x: Vec<Vec<f64>> = rows.iter().map(|(r, _)| r.clone()).collect();
-                let y: Vec<usize> = rows.iter().map(|(_, l)| *l).collect();
-                Dataset::new(
-                    x,
-                    y,
-                    classes,
-                    (0..d).map(|j| format!("f{j}")).collect(),
-                    (0..n).map(|i| format!("e{i}")).collect(),
-                )
-            })
-        })
+    /// Random dataset: 2..5 classes, 8..30 examples, 1..4 features with
+    /// values in [-100, 100).
+    fn arb_dataset(rng: &mut Rng) -> Dataset {
+        let classes = rng.gen_range(2..5usize);
+        let n = rng.gen_range(8..30usize);
+        let d = rng.gen_range(1..4usize);
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(-100.0..100.0)).collect())
+            .collect();
+        let y: Vec<usize> = (0..n).map(|_| rng.gen_range(0..classes)).collect();
+        Dataset::new(
+            x,
+            y,
+            classes,
+            (0..d).map(|j| format!("f{j}")).collect(),
+            (0..n).map(|i| format!("e{i}")).collect(),
+        )
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        #[test]
-        fn normalization_bounds(data in arb_dataset()) {
+    #[test]
+    fn normalization_bounds() {
+        check("normalization_bounds", 24, |rng| {
+            let data = arb_dataset(rng);
             let n = MinMaxNormalizer::fit(&data.x);
             for row in n.transform(&data.x) {
                 for v in row {
-                    prop_assert!((0.0..=1.0).contains(&v));
+                    assert!((0.0..=1.0).contains(&v));
                 }
             }
-        }
+        });
+    }
 
-        #[test]
-        fn nn_loocv_accuracy_is_fraction(data in arb_dataset()) {
+    #[test]
+    fn nn_loocv_accuracy_is_fraction() {
+        check("nn_loocv_accuracy_is_fraction", 24, |rng| {
+            let data = arb_dataset(rng);
             let r = loocv_nn(&data, DEFAULT_RADIUS);
-            prop_assert!((0.0..=1.0).contains(&r.accuracy));
-            prop_assert_eq!(r.predictions.len(), data.len());
+            assert!((0.0..=1.0).contains(&r.accuracy));
+            assert_eq!(r.predictions.len(), data.len());
             for p in r.predictions {
-                prop_assert!(p < data.classes);
+                assert!(p < data.classes);
             }
-        }
+        });
+    }
 
-        #[test]
-        fn svm_predictions_in_range(data in arb_dataset()) {
-            let svm = MulticlassSvm::fit(&data, SvmParams {
-                max_sweeps: 15, ..SvmParams::default()
-            });
+    #[test]
+    fn svm_predictions_in_range() {
+        check("svm_predictions_in_range", 24, |rng| {
+            let data = arb_dataset(rng);
+            let svm = MulticlassSvm::fit(
+                &data,
+                SvmParams {
+                    max_sweeps: 15,
+                    ..SvmParams::default()
+                },
+            );
             for x in &data.x {
-                prop_assert!(svm.predict(x) < data.classes);
+                assert!(svm.predict(x) < data.classes);
             }
-        }
+        });
+    }
 
-        #[test]
-        fn mis_is_nonnegative_and_complete(data in arb_dataset()) {
+    #[test]
+    fn mis_is_nonnegative_and_complete() {
+        check("mis_is_nonnegative_and_complete", 24, |rng| {
+            let data = arb_dataset(rng);
             let scores = mutual_information(&data);
-            prop_assert_eq!(scores.len(), data.dims());
+            assert_eq!(scores.len(), data.dims());
             for s in scores {
-                prop_assert!(s.score >= -1e-9);
+                assert!(s.score >= -1e-9);
             }
-        }
+        });
     }
 }

@@ -7,6 +7,7 @@
 //! vector is removed — plus a fully generic path for arbitrary
 //! classifiers.
 
+use crate::classify::Classifier;
 use crate::dataset::Dataset;
 use crate::nn::NearNeighbors;
 use crate::svm::{MulticlassSvm, SvmParams};
@@ -21,7 +22,11 @@ pub struct CvResult {
 }
 
 fn result_from(predictions: Vec<usize>, truth: &[usize]) -> CvResult {
-    let correct = predictions.iter().zip(truth).filter(|(p, y)| p == y).count();
+    let correct = predictions
+        .iter()
+        .zip(truth)
+        .filter(|(p, y)| p == y)
+        .count();
     let accuracy = if truth.is_empty() {
         0.0
     } else {
@@ -49,14 +54,11 @@ pub fn loocv_svm(data: &Dataset, params: SvmParams) -> CvResult {
     result_from(svm.loo_predictions(), &data.y)
 }
 
-/// Generic LOOCV: retrains via `fit` for every fold. `fit` receives the
-/// training set and returns a predictor. Use only for small datasets or
-/// cheap classifiers.
-pub fn loocv_generic<F, P>(data: &Dataset, mut fit: F) -> CvResult
-where
-    F: FnMut(&Dataset) -> P,
-    P: Fn(&[f64]) -> usize,
-{
+/// Generic LOOCV: refits `clf` on the N−1 remaining examples for every
+/// fold. Use only for small datasets or cheap classifiers; the fast paths
+/// above avoid the N retrains. The classifier is left fitted to the last
+/// fold on return.
+pub fn loocv(data: &Dataset, clf: &mut dyn Classifier) -> CvResult {
     let n = data.len();
     let mut predictions = Vec::with_capacity(n);
     let mut drop = vec![false; n];
@@ -64,21 +66,17 @@ where
         drop[i] = true;
         let train = data.without_examples(&drop);
         drop[i] = false;
-        let predict = fit(&train);
-        predictions.push(predict(&data.x[i]));
+        clf.fit(&train);
+        predictions.push(clf.predict(&data.x[i]));
     }
     result_from(predictions, &data.y)
 }
 
 /// Leave-one-*group*-out predictions (the Figure 4/5 protocol: when
 /// compiling a benchmark, all of its loops are excluded from training).
-/// `group` assigns each example to a group; returns held-out predictions
-/// using `fit` per group.
-pub fn logo_predictions<F, P>(data: &Dataset, group: &[usize], mut fit: F) -> Vec<usize>
-where
-    F: FnMut(&Dataset) -> P,
-    P: Fn(&[f64]) -> usize,
-{
+/// `group` assigns each example to a group; `clf` is refitted once per
+/// group with that group held out, and left fitted to the last fold.
+pub fn logo_predictions(data: &Dataset, group: &[usize], clf: &mut dyn Classifier) -> Vec<usize> {
     assert_eq!(group.len(), data.len());
     let mut predictions = vec![0usize; data.len()];
     let mut groups: Vec<usize> = group.to_vec();
@@ -90,10 +88,10 @@ where
         if train.is_empty() {
             continue;
         }
-        let predict = fit(&train);
+        clf.fit(&train);
         for i in 0..data.len() {
             if group[i] == g {
-                predictions[i] = predict(&data.x[i]);
+                predictions[i] = clf.predict(&data.x[i]);
             }
         }
     }
@@ -141,10 +139,7 @@ mod tests {
     fn generic_matches_nn_fast_path() {
         let d = clusters();
         let fast = loocv_nn(&d, DEFAULT_RADIUS);
-        let slow = loocv_generic(&d, |train| {
-            let nn = NearNeighbors::fit(train, DEFAULT_RADIUS);
-            move |x: &[f64]| nn.predict(x)
-        });
+        let slow = loocv(&d, &mut NearNeighbors::new(DEFAULT_RADIUS));
         assert_eq!(fast.predictions, slow.predictions);
     }
 
@@ -154,10 +149,7 @@ mod tests {
         // Each cluster its own group: training never sees the cluster, so
         // accuracy collapses — proving the group really was excluded.
         let group: Vec<usize> = d.y.clone();
-        let preds = logo_predictions(&d, &group, |train| {
-            let nn = NearNeighbors::fit(train, DEFAULT_RADIUS);
-            move |x: &[f64]| nn.predict(x)
-        });
+        let preds = logo_predictions(&d, &group, &mut NearNeighbors::new(DEFAULT_RADIUS));
         let correct = preds.iter().zip(&d.y).filter(|(p, y)| p == y).count();
         assert_eq!(correct, 0, "held-out clusters must be unpredictable");
     }

@@ -7,6 +7,7 @@
 //! example. The vote fraction doubles as a confidence score, which the
 //! paper suggests using for outlier triage.
 
+use crate::classify::Classifier;
 use crate::dataset::{dist2, Dataset, MinMaxNormalizer};
 
 /// Default neighborhood radius (determined experimentally in the paper).
@@ -35,6 +36,23 @@ pub struct NnPrediction {
 }
 
 impl NearNeighbors {
+    /// An *unfitted* classifier carrying only its radius; call
+    /// [`Classifier::fit`] before use. Until then it predicts class 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radius is not positive.
+    pub fn new(radius: f64) -> Self {
+        assert!(radius > 0.0, "radius must be positive");
+        NearNeighbors {
+            radius,
+            normalizer: None,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            classes: 0,
+        }
+    }
+
     /// Trains (memorizes) the normalized dataset.
     ///
     /// # Panics
@@ -144,6 +162,20 @@ impl NearNeighbors {
     /// `true` if the database is empty (never true after `fit`).
     pub fn is_empty(&self) -> bool {
         self.xs.is_empty()
+    }
+}
+
+impl Classifier for NearNeighbors {
+    fn fit(&mut self, data: &Dataset) {
+        *self = NearNeighbors::fit(data, self.radius);
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        self.predict_with_confidence(x).label
+    }
+
+    fn name(&self) -> &str {
+        "NN"
     }
 }
 

@@ -10,6 +10,7 @@
 //! vector provably does not change the solution, and removing a support
 //! vector only requires a short re-converge from the warm start.
 
+use crate::classify::Classifier;
 use crate::dataset::{dist2, Dataset, MinMaxNormalizer};
 
 /// SVM hyperparameters.
@@ -181,6 +182,23 @@ pub struct MulticlassSvm {
 }
 
 impl MulticlassSvm {
+    /// An *unfitted* machine carrying only its hyperparameters; call
+    /// [`Classifier::fit`] before use. Until then it predicts class 0.
+    pub fn new(params: SvmParams) -> Self {
+        MulticlassSvm {
+            params,
+            normalizer: MinMaxNormalizer::identity(),
+            xs: Vec::new(),
+            ys: Vec::new(),
+            classes: 0,
+            alphas: Vec::new(),
+            kernel: KernelCache {
+                n: 0,
+                k: Vec::new(),
+            },
+        }
+    }
+
     /// Trains one binary machine per class (one-vs-rest).
     ///
     /// # Panics
@@ -305,6 +323,20 @@ impl MulticlassSvm {
             .iter()
             .map(|a| a.iter().filter(|&&v| v > 0.0).count())
             .collect()
+    }
+}
+
+impl Classifier for MulticlassSvm {
+    fn fit(&mut self, data: &Dataset) {
+        *self = MulticlassSvm::fit(data, self.params);
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        decode(&self.decision_values(x))
+    }
+
+    fn name(&self) -> &str {
+        "SVM"
     }
 }
 
@@ -434,7 +466,13 @@ mod tests {
             y.push(k % 2);
         }
         let d = dataset(x, y, 2);
-        let svm = MulticlassSvm::fit(&d, SvmParams { c: 1.0, ..SvmParams::default() });
+        let svm = MulticlassSvm::fit(
+            &d,
+            SvmParams {
+                c: 1.0,
+                ..SvmParams::default()
+            },
+        );
         let _ = svm.loo_predictions();
     }
 }

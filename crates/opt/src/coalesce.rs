@@ -149,7 +149,11 @@ mod tests {
         b.load(y, m(0, 16, 8));
         let mut l = b.build();
         assert_eq!(coalesce(&mut l), 1);
-        let wide = l.body.iter().find(|i| i.opcode == Opcode::LoadPair).unwrap();
+        let wide = l
+            .body
+            .iter()
+            .find(|i| i.opcode == Opcode::LoadPair)
+            .unwrap();
         assert_eq!(wide.defs, vec![x, y]);
         assert_eq!(wide.mem.unwrap().width, 16);
         assert_eq!(l.count_ops(|i| i.opcode == Opcode::Load), 0);

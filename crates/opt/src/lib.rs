@@ -75,11 +75,7 @@ impl Default for OptConfig {
 ///
 /// Panics if `factor == 0` or `l` is not unrollable (see
 /// [`loopml_ir::Loop::is_unrollable`]).
-pub fn unroll_and_optimize(
-    l: &loopml_ir::Loop,
-    factor: u32,
-    config: &OptConfig,
-) -> Unrolled {
+pub fn unroll_and_optimize(l: &loopml_ir::Loop, factor: u32, config: &OptConfig) -> Unrolled {
     let live_out = scalar::original_regs(l);
     let mut u = unroll(l, factor);
     if config.scalar_replacement {
@@ -118,9 +114,13 @@ mod tests {
         let u = unroll_and_optimize(&stencil(), 4, &OptConfig::default());
         // Naive unroll: 8 loads. Reuse kills 3 (copies 1..3 reuse the
         // previous copy's a[i+1]); coalescing may pair some of the rest.
-        let loads = u.body.count_ops(|i| i.is_load())
-            + u.body.count_ops(|i| i.opcode == Opcode::LoadPair);
-        assert!(loads <= 5, "expected ≤5 memory reads, got {loads}:\n{}", u.body);
+        let loads =
+            u.body.count_ops(|i| i.is_load()) + u.body.count_ops(|i| i.opcode == Opcode::LoadPair);
+        assert!(
+            loads <= 5,
+            "expected ≤5 memory reads, got {loads}:\n{}",
+            u.body
+        );
     }
 
     #[test]
@@ -213,72 +213,78 @@ mod proptests {
     use super::*;
     use interp::{execute, Memory};
     use loopml_ir::{ArrayId, Inst, Loop, LoopBuilder, MemRef, Opcode, TripCount};
-    use proptest::prelude::*;
+    use loopml_rt::{check, Rng};
 
     /// Generates a random but well-formed arithmetic loop over a couple of
     /// arrays: a few loads, a chain of arithmetic, one or two stores.
-    fn arb_loop() -> impl Strategy<Value = Loop> {
-        (
-            proptest::collection::vec((0u32..3, 0i64..4), 1..5), // loads: (array, elem offset)
-            proptest::collection::vec(0usize..4, 1..6),          // arith ops selector
-            1u32..3,                                             // stores
-        )
-            .prop_map(|(loads, ops, stores)| {
-                let mut b = LoopBuilder::new("arb", TripCount::Known(512));
-                let mut vals = Vec::new();
-                for (arr, off) in &loads {
-                    let r = b.fp_reg();
-                    b.load(r, MemRef::affine(ArrayId(*arr), 8, off * 8, 8));
-                    vals.push(r);
-                }
-                for (k, sel) in ops.iter().enumerate() {
-                    let a = vals[k % vals.len()];
-                    let c = vals[(k + 1) % vals.len()];
-                    let r = b.fp_reg();
-                    let op = [Opcode::FAdd, Opcode::FMul, Opcode::FSub, Opcode::FAdd][*sel];
-                    b.inst(Inst::new(op, vec![r], vec![a, c]));
-                    vals.push(r);
-                }
-                for s in 0..stores {
-                    let v = vals[vals.len() - 1 - s as usize % vals.len()];
-                    // Store to dedicated output arrays (10+) to keep loads
-                    // reusable across copies.
-                    b.store(v, MemRef::affine(ArrayId(10 + s), 8, 0, 8));
-                }
-                b.build()
-            })
+    fn arb_loop(rng: &mut Rng) -> Loop {
+        let n_loads = rng.gen_range(1..5usize);
+        let n_ops = rng.gen_range(1..6usize);
+        let n_stores = rng.gen_range(1u32..3);
+        let mut b = LoopBuilder::new("arb", TripCount::Known(512));
+        let mut vals = Vec::new();
+        for _ in 0..n_loads {
+            let arr: u32 = rng.gen_range(0..3u32);
+            let off: i64 = rng.gen_range(0..4i64);
+            let r = b.fp_reg();
+            b.load(r, MemRef::affine(ArrayId(arr), 8, off * 8, 8));
+            vals.push(r);
+        }
+        for k in 0..n_ops {
+            let a = vals[k % vals.len()];
+            let c = vals[(k + 1) % vals.len()];
+            let r = b.fp_reg();
+            let op =
+                [Opcode::FAdd, Opcode::FMul, Opcode::FSub, Opcode::FAdd][rng.gen_range(0..4usize)];
+            b.inst(Inst::new(op, vec![r], vec![a, c]));
+            vals.push(r);
+        }
+        for s in 0..n_stores {
+            let v = vals[vals.len() - 1 - s as usize % vals.len()];
+            // Store to dedicated output arrays (10+) to keep loads
+            // reusable across copies.
+            b.store(v, MemRef::affine(ArrayId(10 + s), 8, 0, 8));
+        }
+        b.build()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        #[test]
-        fn unroll_preserves_semantics(l in arb_loop(), f in 1u32..=8) {
-            let span = 24u64; // divisible by 1..=8? 24 % 5 != 0 — use lcm
-            let span = span * 35; // 840 = lcm(1..=8)
+    #[test]
+    fn unroll_preserves_semantics() {
+        check("unroll_preserves_semantics", 48, |rng| {
+            let l = arb_loop(rng);
+            let f: u32 = rng.gen_range(1..=8u32);
+            let span = 24u64 * 35; // 840 = lcm(1..=8)
             let reference = execute(&l, span, Memory::new());
             let u = unroll_and_optimize(&l, f, &OptConfig::default());
             let transformed = execute(&u.body, span / u64::from(f), Memory::new());
             for (k, v) in &reference {
-                prop_assert_eq!(transformed.get(k), Some(v));
+                assert_eq!(transformed.get(k), Some(v));
             }
-        }
+        });
+    }
 
-        #[test]
-        fn unroll_scales_real_work(l in arb_loop(), f in 1u32..=8) {
+    #[test]
+    fn unroll_scales_real_work() {
+        check("unroll_scales_real_work", 48, |rng| {
+            let l = arb_loop(rng);
+            let f: u32 = rng.gen_range(1..=8u32);
             let u = unroll(&l, f);
             let orig_stores = l.count_ops(|i| i.is_store());
-            prop_assert_eq!(u.body.count_ops(|i| i.is_store()), orig_stores * f as usize);
-            prop_assert_eq!(u.body.count_ops(|i| i.opcode == Opcode::Br), 1);
-            prop_assert_eq!(u.body.count_ops(|i| i.induction), 1);
-        }
+            assert_eq!(u.body.count_ops(|i| i.is_store()), orig_stores * f as usize);
+            assert_eq!(u.body.count_ops(|i| i.opcode == Opcode::Br), 1);
+            assert_eq!(u.body.count_ops(|i| i.induction), 1);
+        });
+    }
 
-        #[test]
-        fn optimization_never_adds_memory_ops(l in arb_loop(), f in 1u32..=8) {
+    #[test]
+    fn optimization_never_adds_memory_ops() {
+        check("optimization_never_adds_memory_ops", 48, |rng| {
+            let l = arb_loop(rng);
+            let f: u32 = rng.gen_range(1..=8u32);
             let naive = unroll(&l, f);
             let opt = unroll_and_optimize(&l, f, &OptConfig::default());
             let count_mem = |lp: &Loop| lp.count_ops(|i| i.opcode.is_mem());
-            prop_assert!(count_mem(&opt.body) <= count_mem(&naive.body));
-        }
+            assert!(count_mem(&opt.body) <= count_mem(&naive.body));
+        });
     }
 }

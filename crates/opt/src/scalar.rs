@@ -279,7 +279,11 @@ mod tests {
         let mut keep: HashSet<Reg> = HashSet::new();
         keep.insert(y);
         let mut l2 = l.clone();
-        assert_eq!(dead_code_eliminate(&mut l, &keep), 0, "mov feeds live-out y, load feeds mov");
+        assert_eq!(
+            dead_code_eliminate(&mut l, &keep),
+            0,
+            "mov feeds live-out y, load feeds mov"
+        );
         assert!(l.body.iter().any(|i| i.opcode == Opcode::Mov));
         assert_eq!(dead_code_eliminate(&mut l2, &HashSet::new()), 2);
         assert!(!l2.body.iter().any(|i| i.opcode == Opcode::Mov));

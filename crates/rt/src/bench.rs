@@ -1,0 +1,150 @@
+//! Tiny wall-clock benchmark harness for `harness = false` bench targets.
+//!
+//! Each benchmark is a closure timed over repeated calls until a time
+//! budget (default 300 ms, override with `LOOPML_BENCH_MS`) or an
+//! iteration cap is reached; the harness prints min / median / mean. This
+//! intentionally trades criterion's statistics for zero dependencies —
+//! the repro benches compare orders of magnitude, not single percents.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn time_budget() -> Duration {
+    std::env::var("LOOPML_BENCH_MS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(300))
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Measured samples for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Benchmark name as printed.
+    pub name: String,
+    /// One wall-clock duration per timed iteration, in run order.
+    pub samples: Vec<Duration>,
+}
+
+impl Report {
+    /// Minimum sample.
+    pub fn min(&self) -> Duration {
+        self.samples.iter().copied().min().unwrap_or_default()
+    }
+
+    /// Median sample.
+    pub fn median(&self) -> Duration {
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        s.get(s.len() / 2).copied().unwrap_or_default()
+    }
+
+    /// Mean sample.
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::default();
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+
+    /// Prints the one-line `name / iters / min / median / mean` summary.
+    pub fn print(&self) {
+        println!(
+            "{:<44} {:>5} iters   min {:>10}   median {:>10}   mean {:>10}",
+            self.name,
+            self.samples.len(),
+            format_duration(self.min()),
+            format_duration(self.median()),
+            format_duration(self.mean()),
+        );
+    }
+}
+
+/// Times `f` repeatedly (after a short warmup) and returns the samples;
+/// call [`Report::print`] for the one-line summary.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Report {
+    for _ in 0..2 {
+        black_box(f());
+    }
+    let budget = time_budget();
+    let started = Instant::now();
+    let mut samples = Vec::new();
+    while started.elapsed() < budget && samples.len() < 1000 {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed());
+    }
+    Report {
+        name: name.to_string(),
+        samples,
+    }
+}
+
+/// Like [`bench`] but with per-iteration setup excluded from the timing
+/// (the replacement for criterion's `iter_batched`).
+pub fn bench_batched<S, R>(
+    name: &str,
+    mut setup: impl FnMut() -> S,
+    mut f: impl FnMut(S) -> R,
+) -> Report {
+    for _ in 0..2 {
+        let input = setup();
+        black_box(f(input));
+    }
+    let budget = time_budget();
+    let started = Instant::now();
+    let mut samples = Vec::new();
+    while started.elapsed() < budget && samples.len() < 1000 {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(f(input));
+        samples.push(t0.elapsed());
+    }
+    Report {
+        name: name.to_string(),
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_samples() {
+        std::env::set_var("LOOPML_BENCH_MS", "5");
+        let r = bench("noop", || 1 + 1);
+        assert!(!r.samples.is_empty());
+        assert!(r.min() <= r.median());
+        std::env::remove_var("LOOPML_BENCH_MS");
+    }
+
+    #[test]
+    fn batched_setup_not_counted_in_samples() {
+        std::env::set_var("LOOPML_BENCH_MS", "5");
+        let r = bench_batched("batched", || vec![1u8; 16], |v| v.len());
+        assert!(!r.samples.is_empty());
+        std::env::remove_var("LOOPML_BENCH_MS");
+    }
+
+    #[test]
+    fn durations_format_readably() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(7)), "7.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -1,0 +1,137 @@
+//! Minimal property-test harness with seeded case generation.
+//!
+//! A property is a closure over an [`Rng`]; the harness runs it for a
+//! fixed number of cases, each with a seed derived deterministically from
+//! the property name and case index. On failure it reports the seed so
+//! the single offending case can be replayed:
+//!
+//! ```text
+//! LOOPML_CHECK_SEED=0x3f9a... cargo test -p loopml-machine failing_property
+//! ```
+//!
+//! There is no shrinking; generators in this workspace are already
+//! small-biased (loop sizes, trip counts), which keeps counterexamples
+//! readable without it.
+
+use crate::rng::Rng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Environment variable that replays one specific case seed.
+pub const SEED_ENV: &str = "LOOPML_CHECK_SEED";
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn case_seed(name: &str, case: u64) -> u64 {
+    // Mix the per-property base with the case index through SplitMix64's
+    // finalizer so consecutive cases get unrelated seeds.
+    let mut z = fnv1a(name.as_bytes()) ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `prop` for `cases` seeded cases; panics with the failing seed on
+/// the first assertion failure inside `prop`.
+///
+/// If [`SEED_ENV`] is set, runs exactly one case with that seed instead
+/// (for replaying a reported failure).
+pub fn check<F>(name: &str, cases: u64, mut prop: F)
+where
+    F: FnMut(&mut Rng),
+{
+    if let Ok(v) = std::env::var(SEED_ENV) {
+        let seed = parse_seed(&v)
+            .unwrap_or_else(|| panic!("{SEED_ENV}={v:?} is not a decimal or 0x-hex u64"));
+        let mut rng = Rng::seed_from_u64(seed);
+        prop(&mut rng);
+        return;
+    }
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        let mut rng = Rng::seed_from_u64(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| prop(&mut rng))) {
+            let msg = panic_message(payload);
+            panic!(
+                "property '{name}' failed at case {case}/{cases} (seed {seed:#x}): {msg}\n\
+                 replay just this case with {SEED_ENV}={seed:#x}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0u64;
+        check("always_true", 25, |rng| {
+            ran += 1;
+            let v: u32 = rng.gen_range(0..10);
+            assert!(v < 10);
+        });
+        assert_eq!(ran, 25);
+    }
+
+    #[test]
+    fn failing_property_reports_seed() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            check("always_false", 5, |_rng| {
+                panic!("intentional");
+            });
+        }));
+        let msg = panic_message(caught.unwrap_err());
+        assert!(msg.contains("always_false"), "{msg}");
+        assert!(msg.contains("seed 0x"), "{msg}");
+        assert!(msg.contains(SEED_ENV), "{msg}");
+        assert!(msg.contains("intentional"), "{msg}");
+    }
+
+    #[test]
+    fn case_seeds_are_distinct_and_stable() {
+        let a: Vec<u64> = (0..10).map(|c| case_seed("p", c)).collect();
+        let b: Vec<u64> = (0..10).map(|c| case_seed("p", c)).collect();
+        assert_eq!(a, b);
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len());
+        assert_ne!(case_seed("p", 0), case_seed("q", 0));
+    }
+
+    #[test]
+    fn seed_parsing_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("255"), Some(255));
+        assert_eq!(parse_seed("0xff"), Some(255));
+        assert_eq!(parse_seed("0XFF"), Some(255));
+        assert_eq!(parse_seed("  0x10 "), Some(16));
+        assert_eq!(parse_seed("nope"), None);
+    }
+}

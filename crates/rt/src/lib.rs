@@ -1,0 +1,28 @@
+//! # loopml-rt — zero-dependency deterministic runtime
+//!
+//! The rest of the workspace must build offline from a cold cargo cache,
+//! so everything that used to come from `rand`, `proptest`, and
+//! `criterion` lives here instead, implemented on `std` alone:
+//!
+//! * [`Rng`] — a seedable xoshiro256++ PRNG (SplitMix64 seeding) with the
+//!   `gen_range`/`gen_bool` surface the corpus, noise model, and labeler
+//!   draw from. A fixed seed produces the same stream on every platform,
+//!   every run, and every thread count.
+//! * [`par`] — a scoped `std::thread` worker pool. [`par_map`] distributes
+//!   work over an atomic queue and returns results in input order, so any
+//!   pipeline that seeds one RNG per item is bit-identical to its serial
+//!   equivalent.
+//! * [`check`] — a minimal property-test harness with seeded case
+//!   generation and failure-seed reporting (replay a single failing case
+//!   with `LOOPML_CHECK_SEED=<seed>`).
+//! * [`bench`] — a tiny wall-clock benchmark harness for
+//!   `harness = false` bench targets.
+
+pub mod bench;
+pub mod check;
+pub mod par;
+pub mod rng;
+
+pub use check::check;
+pub use par::{num_threads, par_map, par_map_threads};
+pub use rng::{Rng, SampleRange};

@@ -1,0 +1,158 @@
+//! Scoped worker pool: `par_map` over an atomic work queue.
+//!
+//! Results come back in input order, so a pipeline that derives one RNG
+//! seed per item (as the labeler and evaluator do) produces bit-identical
+//! output regardless of thread count — the pool changes *when* each item
+//! runs, never *what* it computes or where the result lands.
+//!
+//! Thread count comes from `std::thread::available_parallelism`, or the
+//! `LOOPML_THREADS` environment variable when set. Nested `par_map` calls
+//! from inside a worker run serially on that worker — one level of
+//! parallelism is enough for labeling (benchmarks × loops) and avoids
+//! quadratic thread explosions.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Worker threads to use: `LOOPML_THREADS` if set to a positive integer,
+/// otherwise the machine's available parallelism (1 if unknown).
+pub fn num_threads() -> usize {
+    if let Ok(s) = std::env::var("LOOPML_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on [`num_threads`] workers, preserving input
+/// order in the result. Equivalent to `items.iter().map(f).collect()` for
+/// any pure `f`; see the module docs for the determinism argument.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_threads(num_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (used by the equivalence
+/// tests to force serial vs. multi-threaded execution).
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` once all workers finish.
+pub fn par_map_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 || items.len() <= 1 || IN_POOL.with(|c| c.get()) {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                IN_POOL.with(|c| c.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    // Compute outside the lock; the lock guards only the
+                    // store into the claimed slot.
+                    let r = f(&items[i]);
+                    slots.lock().expect("no poisoned slots")[i] = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("no poisoned slots")
+        .into_iter()
+        .map(|slot| slot.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let par = par_map_threads(threads, &items, |&x| x * x + 1);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = vec![];
+        assert_eq!(par_map_threads(4, &none, |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map_threads(4, &[9u32], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn nested_calls_run_serially() {
+        let outer: Vec<usize> = (0..4).collect();
+        let result = par_map_threads(2, &outer, |&i| {
+            // A nested call must not deadlock or explode; it degrades to
+            // a serial map inside the worker.
+            let inner: Vec<usize> = (0..8).collect();
+            par_map_threads(4, &inner, |&j| i * 100 + j)
+                .iter()
+                .sum::<usize>()
+        });
+        let expect: Vec<usize> = outer
+            .iter()
+            .map(|&i| (0..8).map(|j| i * 100 + j).sum())
+            .collect();
+        assert_eq!(result, expect);
+    }
+
+    #[test]
+    fn seeded_rng_per_item_is_thread_count_invariant() {
+        // The pattern the labeler relies on: one RNG seeded per item.
+        let items: Vec<u64> = (0..64).collect();
+        let draw = |&i: &u64| {
+            let mut rng = crate::Rng::seed_from_u64(0xABCD ^ i);
+            (0..10).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        let one = par_map_threads(1, &items, draw);
+        let four = par_map_threads(4, &items, draw);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..16).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_map_threads(2, &items, |&x| {
+                if x == 7 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! Deterministic seedable PRNG: xoshiro256++ with SplitMix64 seeding.
+//!
+//! The generator is *not* cryptographic; it exists so that corpus
+//! synthesis, labeling, and noise draws are reproducible from a single
+//! `u64` seed with no external crates. The sampling surface mirrors the
+//! subset of `rand 0.8` the workspace used (`seed_from_u64`, `gen_range`
+//! over half-open and inclusive ranges, `gen_bool`), so call sites read
+//! the same after the migration.
+//!
+//! Determinism contract: for a fixed seed, the stream of values is
+//! identical across runs, platforms, and thread counts. Nothing in this
+//! module consults global state, time, or addresses.
+
+/// xoshiro256++ generator state. Construct with [`Rng::seed_from_u64`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// One step of SplitMix64, used to expand a single `u64` seed into the
+/// 256-bit xoshiro state (the seeding scheme its authors recommend).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator whose state is expanded from `seed` via
+    /// SplitMix64. Equal seeds yield equal streams, always.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ scrambler).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from `range` (half-open `a..b` or inclusive
+    /// `a..=b`), for every primitive integer type and `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of [0,1]: {p}");
+        self.next_f64() < p
+    }
+
+    /// Standard normal draw via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = loop {
+            let v = self.next_f64();
+            if v > 0.0 {
+                break v;
+            }
+        };
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Uniform integer in `[0, n)` by rejection sampling (no modulo bias).
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Largest multiple of n that fits in a u64; values at or above it
+        // are rejected so every residue is equally likely.
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+}
+
+/// Range types [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from `self`.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as $u).wrapping_sub(start as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(
+            self.start < self.end && self.start.is_finite() && self.end.is_finite(),
+            "gen_range: bad f64 range {:?}",
+            self
+        );
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Rounding can land exactly on `end`; keep the interval half-open.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample(self, rng: &mut Rng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(
+            start <= end && start.is_finite() && end.is_finite(),
+            "gen_range: bad f64 range"
+        );
+        (start + rng.next_f64() * (end - start)).clamp(start, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_seed_reproduces_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be unrelated, {same} collisions");
+    }
+
+    #[test]
+    fn known_stream_is_stable() {
+        // Pin the exact output so any accidental algorithm change (which
+        // would silently alter every corpus and label) fails loudly.
+        let mut r = Rng::seed_from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        let mut again = Rng::seed_from_u64(0);
+        let expect: Vec<u64> = (0..4).map(|_| again.next_u64()).collect();
+        assert_eq!(got, expect);
+        // First output for seed 0 under SplitMix64-seeded xoshiro256++.
+        assert_eq!(got[0], 5987356902031041503);
+    }
+
+    #[test]
+    fn int_ranges_in_bounds() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v: i32 = r.gen_range(-5..5);
+            assert!((-5..5).contains(&v));
+            let w: u64 = r.gen_range(10..=12);
+            assert!((10..=12).contains(&w));
+            let x: usize = r.gen_range(0..3);
+            assert!(x < 3);
+            let y: i64 = r.gen_range(-1000..=1000);
+            assert!((-1000..=1000).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_all_values() {
+        let mut r = Rng::seed_from_u64(11);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[r.gen_range(0..3usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn f64_range_half_open() {
+        let mut r = Rng::seed_from_u64(13);
+        for _ in 0..2000 {
+            let v = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = Rng::seed_from_u64(17);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_roughly_calibrated() {
+        let mut r = Rng::seed_from_u64(19);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn normal_has_sane_moments() {
+        let mut r = Rng::seed_from_u64(23);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.standard_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = Rng::seed_from_u64(0);
+        let _: u32 = r.gen_range(5..5);
+    }
+}

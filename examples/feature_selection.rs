@@ -9,9 +9,7 @@
 use loopml::{label_benchmark, to_dataset, LabelConfig};
 use loopml_corpus::{synthesize, SuiteConfig, ROSTER};
 use loopml_machine::{NoiseModel, SwpMode};
-use loopml_ml::{
-    greedy_forward, loocv_nn, mutual_information, nn1_training_error, DEFAULT_RADIUS,
-};
+use loopml_ml::{greedy_forward, loocv_nn, mutual_information, nn1_training_error, DEFAULT_RADIUS};
 
 fn main() {
     // Label a mid-sized corpus.
@@ -44,12 +42,7 @@ fn main() {
     println!("\ngreedy forward selection (1-NN training error):");
     let trace = greedy_forward(&data, 5, nn1_training_error);
     for (rank, step) in trace.iter().enumerate() {
-        println!(
-            "  {}. {:<34} error {:.2}",
-            rank + 1,
-            step.name,
-            step.error
-        );
+        println!("  {}. {:<34} error {:.2}", rank + 1, step.name, step.error);
     }
 
     // Accuracy: reduced set vs all features (the paper's point: a well
@@ -66,7 +59,10 @@ fn main() {
     let reduced = data.select_features(&union);
     let acc_all = loocv_nn(&data, DEFAULT_RADIUS).accuracy;
     let acc_reduced = loocv_nn(&reduced, DEFAULT_RADIUS).accuracy;
-    println!("\nLOOCV accuracy, all 38 features:      {:.1}%", acc_all * 100.0);
+    println!(
+        "\nLOOCV accuracy, all 38 features:      {:.1}%",
+        acc_all * 100.0
+    );
     println!(
         "LOOCV accuracy, {:>2} selected features: {:.1}%",
         union.len(),

@@ -6,13 +6,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use loopml::{
-    label_benchmark, to_dataset, train_nn, LabelConfig, LearnedHeuristic, UnrollHeuristic,
-};
-use loopml_corpus::{synthesize, SuiteConfig, ROSTER};
+use loopml::{PipelineBuilder, UnrollHeuristic};
+use loopml_corpus::SuiteConfig;
 use loopml_ir::{ArrayId, Inst, LoopBuilder, MemRef, Opcode, TripCount};
-use loopml_machine::{loop_cost, MachineConfig, NoiseModel, SwpMode};
-use loopml_ml::DEFAULT_RADIUS;
+use loopml_machine::{loop_cost, MachineConfig, SwpMode};
+use loopml_ml::{NearNeighbors, DEFAULT_RADIUS};
 use loopml_opt::{unroll_and_optimize, OptConfig};
 
 fn main() {
@@ -55,25 +53,24 @@ fn main() {
     }
     println!("empirically best factor: {}\n", best.0);
 
-    // --- 3. Train an NN classifier on a small labeled corpus.
-    let cfg = LabelConfig {
-        noise: NoiseModel::exact(),
-        ..LabelConfig::paper(SwpMode::Disabled)
-    };
-    let suite_cfg = SuiteConfig {
-        min_loops: 25,
-        max_loops: 30,
-        ..SuiteConfig::default()
-    };
-    let labeled: Vec<_> = ROSTER
-        .iter()
-        .take(8)
-        .enumerate()
-        .flat_map(|(i, e)| label_benchmark(&synthesize(e, &suite_cfg), i, &cfg))
-        .collect();
-    println!("trained on {} labeled loops from 8 benchmarks", labeled.len());
-    let data = to_dataset(&labeled);
-    let nn = LearnedHeuristic::new("NN", None, train_nn(&data, DEFAULT_RADIUS));
+    // --- 3. Train an NN classifier on a small labeled corpus. The
+    // builder runs the whole corpus → label → train chain with the
+    // paper's defaults; labeling is parallel and bit-deterministic.
+    let pipeline = PipelineBuilder::paper()
+        .suite_config(SuiteConfig {
+            min_loops: 25,
+            max_loops: 30,
+            ..SuiteConfig::default()
+        })
+        .take_benchmarks(8)
+        .exact()
+        .all_features()
+        .build();
+    println!(
+        "trained on {} labeled loops from 8 benchmarks",
+        pipeline.len()
+    );
+    let nn = pipeline.heuristic("NN", Box::new(NearNeighbors::new(DEFAULT_RADIUS)));
 
     // --- 4. Ask the classifier about the novel loop.
     let predicted = nn.choose(&daxpy);

@@ -7,7 +7,9 @@
 //! cargo run --release --example spec_sweep
 //! ```
 
-use loopml::{improvement, oracle_choices, run_benchmark, EvalConfig, OrcHeuristic, UnrollHeuristic};
+use loopml::{
+    improvement, oracle_choices, run_benchmark, EvalConfig, OrcHeuristic, UnrollHeuristic,
+};
 use loopml_corpus::{spec2000, SuiteConfig};
 use loopml_machine::SwpMode;
 

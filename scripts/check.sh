@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Repository gate: release build, full test suite, formatting.
+#
+# Runs entirely offline — the workspace has no external dependencies
+# (enforced by tests/zero_deps.rs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release
+cargo test --workspace -q
+cargo fmt --check
+echo "check.sh: all gates passed"

@@ -12,6 +12,8 @@
 //! * [`loopml_machine`] — the Itanium 2-flavoured machine model;
 //! * [`loopml_corpus`] — the synthetic 72-benchmark training corpus;
 //! * [`loopml_ml`] — near neighbors, SVMs, LOOCV, LDA, feature selection;
+//! * [`loopml_rt`] — zero-dependency runtime: deterministic PRNG, scoped
+//!   worker pool, property-test and bench harnesses;
 //! * [`loopml`] — features, labeling, heuristics, evaluation.
 //!
 //! Run `cargo run --example quickstart` to see the end-to-end flow, and
@@ -24,3 +26,4 @@ pub use loopml_ir;
 pub use loopml_machine;
 pub use loopml_ml;
 pub use loopml_opt;
+pub use loopml_rt;

@@ -2,12 +2,13 @@
 //! heuristics → whole-benchmark evaluation, crossing every crate.
 
 use loopml::{
-    improvement, label_benchmark, label_suite, oracle_choices, run_benchmark, to_dataset,
-    train_nn, EvalConfig, LabelConfig, LearnedHeuristic, OrcHeuristic, UnrollHeuristic,
+    improvement, label_benchmark, label_suite, label_suite_threads, oracle_choices, run_benchmark,
+    to_dataset, EvalConfig, LabelConfig, LearnedHeuristic, OrcHeuristic, PipelineBuilder,
+    UnrollHeuristic,
 };
 use loopml_corpus::{full_suite, synthesize, SuiteConfig, ROSTER};
 use loopml_machine::{NoiseModel, SwpMode};
-use loopml_ml::{loocv_nn, DEFAULT_RADIUS};
+use loopml_ml::{loocv_nn, NearNeighbors, DEFAULT_RADIUS};
 
 fn small_suite_cfg() -> SuiteConfig {
     SuiteConfig {
@@ -37,7 +38,12 @@ fn full_pipeline_smoke() {
 
     // Train and deploy a classifier.
     let data = to_dataset(&labeled);
-    let nn = LearnedHeuristic::new("NN", None, train_nn(&data, DEFAULT_RADIUS));
+    let nn = LearnedHeuristic::fit(
+        "NN",
+        None,
+        Box::new(NearNeighbors::new(DEFAULT_RADIUS)),
+        &data,
+    );
 
     // Compile a benchmark with it and compare against rolled code.
     let ec = EvalConfig::exact(SwpMode::Disabled);
@@ -125,6 +131,54 @@ fn corpus_scale_is_paper_scale() {
     assert!(loops >= 4000, "default suite has {loops} raw loops");
     let spec = loopml_corpus::spec2000(&SuiteConfig::default());
     assert_eq!(spec.len(), 24);
+}
+
+#[test]
+fn parallel_suite_labeling_matches_serial_end_to_end() {
+    // The determinism contract, exercised across crates: with measurement
+    // noise on, the parallel labeling engine must be bit-identical to the
+    // serial reference at any worker count.
+    let suite: Vec<_> = ROSTER
+        .iter()
+        .take(6)
+        .map(|e| synthesize(e, &small_suite_cfg()))
+        .collect();
+    let cfg = LabelConfig::paper(SwpMode::Disabled);
+    let serial = label_suite_threads(&suite, &cfg, 1);
+    assert!(!serial.is_empty());
+    for threads in [2, 4, 7] {
+        assert_eq!(serial, label_suite_threads(&suite, &cfg, threads));
+    }
+    assert_eq!(serial, label_suite(&suite, &cfg));
+}
+
+#[test]
+fn builder_pipeline_matches_hand_wired_pipeline() {
+    // The one-call builder must produce the same training set as the
+    // spelled-out corpus → label → dataset sequence.
+    let suite: Vec<_> = ROSTER
+        .iter()
+        .take(5)
+        .map(|e| synthesize(e, &small_suite_cfg()))
+        .collect();
+    let labeled = label_suite(&suite, &exact_labels());
+    let by_hand = to_dataset(&labeled);
+
+    let p = PipelineBuilder::paper()
+        .suite(suite)
+        .label_config(exact_labels())
+        .all_features()
+        .build();
+    assert_eq!(p.full_dataset, by_hand);
+    assert_eq!(p.dataset, by_hand);
+
+    // And the deployed heuristic predicts valid factors for every loop.
+    let nn = p.heuristic("NN", Box::new(NearNeighbors::new(DEFAULT_RADIUS)));
+    for b in &p.suite {
+        for w in &b.loops {
+            assert!((1..=8).contains(&nn.choose(&w.body)));
+        }
+    }
 }
 
 #[test]

@@ -1,20 +1,17 @@
 //! Cross-crate transformation/machine invariants: properties that span
 //! the corpus generator, the unroller and the machine model.
 
-use loopml_corpus::{KernelFamily, synthesize, SuiteConfig, ROSTER};
+use loopml_corpus::{synthesize, KernelFamily, SuiteConfig, ROSTER};
 use loopml_ir::{DepGraph, Opcode};
-use loopml_machine::{
-    list_schedule, loop_cost, modulo_schedule, rec_mii, MachineConfig, SwpMode,
-};
+use loopml_machine::{list_schedule, loop_cost, modulo_schedule, rec_mii, MachineConfig, SwpMode};
 use loopml_opt::{interp, unroll_and_optimize, OptConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use loopml_rt::Rng;
 
 #[test]
 fn every_kernel_family_schedules_at_every_factor() {
     let cfg = MachineConfig::itanium2();
     for (k, fam) in KernelFamily::ALL.iter().enumerate() {
-        let l = fam.build("t", &mut StdRng::seed_from_u64(k as u64 + 1));
+        let l = fam.build("t", &mut Rng::seed_from_u64(k as u64 + 1));
         if !l.is_unrollable() {
             continue;
         }
@@ -32,7 +29,7 @@ fn every_kernel_family_schedules_at_every_factor() {
 fn pipelined_ii_never_worse_than_lockstep() {
     let cfg = MachineConfig::itanium2();
     for (k, fam) in KernelFamily::ALL.iter().enumerate() {
-        let l = fam.build("t", &mut StdRng::seed_from_u64(100 + k as u64));
+        let l = fam.build("t", &mut Rng::seed_from_u64(100 + k as u64));
         if !l.is_unrollable() {
             continue;
         }
@@ -110,7 +107,11 @@ fn cost_model_is_finite_on_whole_corpus_sample() {
             for f in factors {
                 let u = unroll_and_optimize(&w.body, f, &OptConfig::default());
                 let c = loop_cost(&u, 8.0, &cfg, swp);
-                assert!(c.per_iter.is_finite() && c.per_iter >= 1.0, "{}", w.body.name);
+                assert!(
+                    c.per_iter.is_finite() && c.per_iter >= 1.0,
+                    "{}",
+                    w.body.name
+                );
                 assert!(c.per_entry.is_finite() && c.per_entry >= 0.0);
                 assert!(c.total(100, 4).is_finite());
             }
@@ -121,7 +122,7 @@ fn cost_model_is_finite_on_whole_corpus_sample() {
 #[test]
 fn boundary_exits_only_for_unknown_trips() {
     for (k, fam) in KernelFamily::ALL.iter().enumerate() {
-        let l = fam.build("t", &mut StdRng::seed_from_u64(7 * k as u64 + 3));
+        let l = fam.build("t", &mut Rng::seed_from_u64(7 * k as u64 + 3));
         if !l.is_unrollable() {
             continue;
         }

@@ -1,0 +1,84 @@
+//! Guard: the workspace builds offline with zero external crates.
+//!
+//! Every dependency in every manifest must be a path/workspace reference
+//! to a sibling crate. This test fails the moment someone reintroduces a
+//! registry dependency (`rand`, `proptest`, `criterion`, ...), keeping
+//! the `cargo build --offline` guarantee honest.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn manifests() -> Vec<PathBuf> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut out = vec![root.join("Cargo.toml")];
+    for entry in fs::read_dir(root.join("crates")).expect("crates/ directory") {
+        let manifest = entry.expect("readable entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    out
+}
+
+/// Collects dependency lines that are neither `path = ...` nor
+/// `workspace = true` references.
+fn external_deps(manifest: &Path) -> Vec<String> {
+    let text = fs::read_to_string(manifest).expect("readable manifest");
+    let mut in_deps = false;
+    let mut bad = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            // [dependencies], [dev-dependencies], [build-dependencies],
+            // [workspace.dependencies], [target.'...'.dependencies]
+            in_deps = line.ends_with("dependencies]");
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !(line.contains("workspace = true") || line.contains("path = \"")) {
+            bad.push(format!("{}:{}: {}", manifest.display(), ln + 1, line));
+        }
+    }
+    bad
+}
+
+#[test]
+fn workspace_has_no_registry_dependencies() {
+    let manifests = manifests();
+    assert!(
+        manifests.len() >= 8,
+        "expected the root + 7 crate manifests, found {}",
+        manifests.len()
+    );
+    let bad: Vec<String> = manifests.iter().flat_map(|m| external_deps(m)).collect();
+    assert!(
+        bad.is_empty(),
+        "non-path dependencies found (the workspace must stay \
+         zero-dependency; use crates/rt instead):\n{}",
+        bad.join("\n")
+    );
+}
+
+#[test]
+fn workspace_members_all_depend_on_paths_only() {
+    // Every loopml-* dependency resolves inside the repository.
+    for manifest in manifests() {
+        let text = fs::read_to_string(&manifest).expect("readable manifest");
+        for line in text.lines().map(str::trim) {
+            if let Some(rest) = line.strip_prefix("loopml") {
+                if rest.contains("= {") && rest.contains("path = \"") {
+                    let path = rest.split("path = \"").nth(1).unwrap();
+                    let path = path.split('"').next().unwrap();
+                    let dir = manifest.parent().unwrap().join(path);
+                    assert!(
+                        dir.join("Cargo.toml").is_file(),
+                        "{}: dangling path dependency {line}",
+                        manifest.display()
+                    );
+                }
+            }
+        }
+    }
+}
