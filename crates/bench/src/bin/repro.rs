@@ -2,9 +2,13 @@
 //!
 //! ```text
 //! repro [--quick] [all | table1 | table2 | table3 | table4 |
-//!        fig1 | fig2 | fig3 | fig4 | fig5 |
+//!        fig1 | fig2 | fig3 | fig4 | fig5 | lint |
 //!        ablate-norm | ablate-radius | ablate-features | ablate-filter]
 //! ```
+//!
+//! The `lint` target (also reachable as `repro --lint`) verifies every
+//! loop of the synthesized suite and lints the labeled training dataset,
+//! printing the machine-readable JSON report from `loopml-lint`.
 
 use std::time::Instant;
 
@@ -16,13 +20,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let targets: Vec<&str> = args
+    let mut targets: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
+    if args.iter().any(|a| a == "--lint") && !targets.contains(&"lint") {
+        targets.push("lint");
+    }
     let targets: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
         vec![
+            "lint",
             "table1",
             "fig3",
             "table2",
@@ -66,6 +74,25 @@ fn main() {
     for target in targets {
         let t = Instant::now();
         match target {
+            "lint" => {
+                let ctx = ctx_off.as_ref().expect("ctx");
+                let mut r = loopml_lint::Report::with_env_suppressions();
+                for b in &ctx.suite {
+                    r.merge(loopml_lint::verify_benchmark(b));
+                }
+                r.merge(loopml_lint::lint_dataset(
+                    &ctx.full_dataset,
+                    Some(&ctx.groups),
+                ));
+                println!("{}", r.to_json());
+                eprintln!(
+                    "[repro] lint: {} deny, {} warning across {} benchmarks and {} examples",
+                    r.deny_count(),
+                    r.warning_count(),
+                    ctx.suite.len(),
+                    ctx.len()
+                );
+            }
             "table1" => {
                 println!(
                     "Table 1. Features used for loop classification ({} total)",

@@ -23,8 +23,8 @@ pub fn render_table2(t: &Table2) -> String {
         "Seventh-best unroll factor",
         "Worst unroll factor",
     ];
-    for r in 0..8 {
-        s.push_str(&format!("{:<30}", rank_names[r]));
+    for (r, name) in rank_names.iter().enumerate() {
+        s.push_str(&format!("{name:<30}"));
         for c in &t.columns {
             s.push_str(&format!("{:>7.2}", c.dist[r]));
         }

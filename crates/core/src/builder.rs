@@ -162,6 +162,11 @@ impl PipelineBuilder {
             None => full_dataset.clone(),
         };
         let groups = benchmark_groups(&labeled);
+        if label_config.lint.is_enabled() {
+            let mut lint = loopml_lint::Report::with_env_suppressions();
+            lint.merge(loopml_lint::lint_dataset(&full_dataset, Some(&groups)));
+            lint.enforce(label_config.lint, "training dataset");
+        }
         Pipeline {
             suite,
             labeled,

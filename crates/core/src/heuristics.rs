@@ -213,7 +213,7 @@ impl Classifier for OrcClassifier {
                 return (t.max(1) - 1) as usize;
             }
             // Avoid remainder iterations: shrink to a divisor.
-            while u > 1 && t % u != 0 {
+            while u > 1 && !t.is_multiple_of(u) {
                 u /= 2;
             }
         } else {

@@ -10,6 +10,7 @@
 //! factors by at least 1.05x.
 
 use loopml_ir::{Benchmark, WeightedLoop};
+use loopml_lint::{validate_pipeline, LintLevel};
 use loopml_machine::{icache_entry_cost, loop_cost, MachineConfig, NoiseModel, SwpMode};
 use loopml_opt::{unroll_and_optimize, OptConfig};
 use loopml_rt::{num_threads, par_map_threads, Rng};
@@ -47,6 +48,12 @@ pub struct LabelConfig {
     pub min_benefit: f64,
     /// Seed for the measurement-noise stream.
     pub seed: u64,
+    /// Transform-validation level: every unrolled variant that
+    /// contributes a runtime is checked against the original loop
+    /// (structural invariants plus the differential-execution oracle)
+    /// before its measurement is trusted. `Off` (the default) skips
+    /// validation entirely; see [`loopml_lint`].
+    pub lint: LintLevel,
 }
 
 impl LabelConfig {
@@ -60,6 +67,7 @@ impl LabelConfig {
             min_cycles: 50_000.0,
             min_benefit: 1.05,
             seed: 0x51EED,
+            lint: LintLevel::from_env(),
         }
     }
 }
@@ -108,6 +116,9 @@ impl LabeledLoop {
 /// one unroll factor, including instruction-cache entry effects under the
 /// given hot-code footprint.
 pub fn true_cycles(w: &WeightedLoop, factor: u32, footprint: u64, cfg: &LabelConfig) -> f64 {
+    if cfg.lint.is_enabled() {
+        validate_pipeline(&w.body, factor, &cfg.opt).enforce(cfg.lint, &w.body.name);
+    }
     let rolled = unroll_and_optimize(&w.body, 1, &cfg.opt);
     let rolled_cost = loop_cost(&rolled, 0.0, &cfg.machine, cfg.swp);
     let (cost, trips) = if factor == 1 {

@@ -67,6 +67,16 @@ pub struct DepGraph {
 }
 
 impl DepGraph {
+    /// Builds a graph directly from its parts, without analysis.
+    ///
+    /// Verification tooling uses this to construct graphs (including
+    /// deliberately malformed ones) and check them against the invariants
+    /// [`DepGraph::analyze`] guarantees. `n` is the body length the edges
+    /// index into; edges are not validated here.
+    pub fn from_parts(n: usize, deps: Vec<Dep>) -> Self {
+        DepGraph { n, deps }
+    }
+
     /// Analyzes `l` and builds its dependence graph.
     pub fn analyze(l: &Loop) -> Self {
         let body = &l.body;

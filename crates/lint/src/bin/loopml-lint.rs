@@ -1,0 +1,89 @@
+//! Lints the built-in synthetic corpus: verifies every loop's IR,
+//! validates the unroll-and-optimize pipeline at every factor 1..=8, and
+//! prints an aggregated diagnostic report.
+//!
+//! Usage: `loopml-lint [--quick] [--json] [--factors N]`
+//!
+//! * `--quick`   lint the first 8 benchmarks only (CI smoke run);
+//! * `--json`    emit the machine-readable report instead of text;
+//! * `--factors N` validate factors `1..=N` (default 8).
+//!
+//! Per-rule suppression comes from `LOOPML_LINT_SUPPRESS` (comma-
+//! separated rule IDs). Exits non-zero iff any deny diagnostic remains.
+
+use std::process::ExitCode;
+
+use loopml_corpus::{full_suite, SuiteConfig};
+use loopml_lint::{validate_pipeline, verify_benchmark, Report};
+use loopml_opt::OptConfig;
+use loopml_rt::par_map;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut json = false;
+    let mut max_factor: u32 = 8;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--factors" => {
+                max_factor = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|f| (1..=8).contains(f))
+                    .unwrap_or_else(|| die("--factors takes a number in 1..=8"));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: loopml-lint [--quick] [--json] [--factors N]");
+                return ExitCode::SUCCESS;
+            }
+            other => die(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let mut suite = full_suite(&SuiteConfig::default());
+    if quick {
+        suite.truncate(8);
+    }
+    let opt = OptConfig::default();
+
+    let reports = par_map(&suite, |b| {
+        let mut r = Report::with_env_suppressions();
+        r.merge(verify_benchmark(b));
+        for (i, w) in b.unrollable() {
+            for f in 1..=max_factor {
+                let mut pr = validate_pipeline(&w.body, f, &opt);
+                pr.relocate(|loc| format!("{}/loop{i}/f{f}/{loc}", b.name));
+                r.merge(pr);
+            }
+        }
+        r
+    });
+    let mut report = Report::with_env_suppressions();
+    for r in reports {
+        report.merge(r);
+    }
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        let loops: usize = suite.iter().map(|b| b.len()).sum();
+        println!(
+            "linted {} benchmark(s), {loops} loop(s), factors 1..={max_factor}",
+            suite.len()
+        );
+        print!("{report}");
+    }
+
+    if report.deny_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("loopml-lint: {msg}");
+    std::process::exit(2);
+}

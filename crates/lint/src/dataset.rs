@@ -1,0 +1,216 @@
+//! Layer 3: dataset lints.
+//!
+//! Quality checks on a labeled training set before it reaches the
+//! classifiers: non-finite feature values and out-of-range labels are
+//! hard errors (deny), while constant feature columns, contradictory
+//! duplicates and degenerate cross-validation folds are warnings — they
+//! are legitimate properties of small corpora but bound the accuracy any
+//! classifier can reach, so they belong in the report.
+
+use std::collections::HashMap;
+
+use loopml_ml::{Dataset, MinMaxNormalizer};
+
+use crate::{rules, Diagnostic, Report};
+
+/// Number of unroll-factor classes the paper's label space has.
+const CLASSES: usize = 8;
+
+/// Lints a labeled dataset. `groups` is the benchmark index of each
+/// example when leave-one-benchmark-out folds should be checked too.
+pub fn lint_dataset(data: &Dataset, groups: Option<&[usize]>) -> Report {
+    let mut out = Report::new();
+    if data.is_empty() {
+        out.push(Diagnostic::deny(
+            rules::DS_FOLDS,
+            "dataset",
+            "dataset has no examples",
+        ));
+        return out;
+    }
+
+    // Non-finite features: one diagnostic per offending example, naming
+    // the first bad column.
+    for (i, row) in data.x.iter().enumerate() {
+        if let Some(j) = row.iter().position(|v| !v.is_finite()) {
+            out.push(Diagnostic::deny(
+                rules::DS_NONFINITE,
+                example(data, i),
+                format!("feature '{}' is {}", feature(data, j), row[j]),
+            ));
+        }
+    }
+
+    // Labels must encode factors 1..=8 (class = factor - 1).
+    if data.classes != CLASSES {
+        out.push(Diagnostic::deny(
+            rules::DS_LABEL_RANGE,
+            "dataset",
+            format!(
+                "{} classes, expected {CLASSES} (factors 1..=8)",
+                data.classes
+            ),
+        ));
+    }
+    for (i, &y) in data.y.iter().enumerate() {
+        if y >= CLASSES {
+            out.push(Diagnostic::deny(
+                rules::DS_LABEL_RANGE,
+                example(data, i),
+                format!("label {y} encodes factor {}, outside 1..=8", y + 1),
+            ));
+        }
+    }
+
+    // Constant columns carry no information for any classifier.
+    for j in 0..data.dims() {
+        let first = data.x[0][j];
+        if data.x.iter().all(|r| r[j] == first) {
+            out.push(Diagnostic::warning(
+                rules::DS_CONSTANT,
+                format!("feature '{}'", feature(data, j)),
+                format!("constant at {first} across all {} examples", data.len()),
+            ));
+        }
+    }
+
+    // Contradictory duplicates: identical normalized feature vectors with
+    // different labels put a hard ceiling on training accuracy.
+    let norm = MinMaxNormalizer::fit(&data.x);
+    let normalized = norm.transform(&data.x);
+    let mut seen: HashMap<Vec<u64>, usize> = HashMap::new();
+    for (i, row) in normalized.iter().enumerate() {
+        let key: Vec<u64> = row.iter().map(|v| v.to_bits()).collect();
+        match seen.get(&key) {
+            Some(&first) if data.y[first] != data.y[i] => {
+                out.push(Diagnostic::warning(
+                    rules::DS_CONTRADICTION,
+                    example(data, i),
+                    format!(
+                        "identical normalized features as {} but label {} vs {}",
+                        data.example_names[first], data.y[i], data.y[first]
+                    ),
+                ));
+            }
+            Some(_) => {}
+            None => {
+                seen.insert(key, i);
+            }
+        }
+    }
+
+    // Leave-one-benchmark-out folds: every fold needs a non-empty
+    // training side, which requires at least two distinct groups.
+    if let Some(groups) = groups {
+        if groups.len() != data.len() {
+            out.push(Diagnostic::deny(
+                rules::DS_FOLDS,
+                "dataset",
+                format!("{} group entries for {} examples", groups.len(), data.len()),
+            ));
+        } else {
+            let mut distinct: Vec<usize> = groups.to_vec();
+            distinct.sort_unstable();
+            distinct.dedup();
+            if distinct.len() < 2 {
+                out.push(Diagnostic::warning(
+                    rules::DS_FOLDS,
+                    "dataset",
+                    format!(
+                        "only {} benchmark group(s): leave-one-out folds have an empty training side",
+                        distinct.len()
+                    ),
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+fn example(data: &Dataset, i: usize) -> String {
+    format!("example {}", data.example_names[i])
+}
+
+fn feature(data: &Dataset, j: usize) -> &str {
+    &data.feature_names[j]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(x: Vec<Vec<f64>>, y: Vec<usize>) -> Dataset {
+        let d = x[0].len();
+        let n = x.len();
+        Dataset::new(
+            x,
+            y,
+            CLASSES,
+            (0..d).map(|j| format!("f{j}")).collect(),
+            (0..n).map(|i| format!("e{i}")).collect(),
+        )
+    }
+
+    #[test]
+    fn clean_dataset_is_clean() {
+        let d = toy(
+            vec![vec![0.0, 1.0], vec![1.0, 3.0], vec![2.0, 2.0]],
+            vec![0, 3, 7],
+        );
+        let r = lint_dataset(&d, Some(&[0, 1, 2]));
+        assert!(r.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn nonfinite_features_denied() {
+        let d = toy(vec![vec![0.0, f64::NAN], vec![1.0, 2.0]], vec![0, 1]);
+        let r = lint_dataset(&d, None);
+        assert!(r.has_rule(rules::DS_NONFINITE));
+        assert!(r.deny_count() > 0);
+    }
+
+    #[test]
+    fn out_of_range_labels_denied() {
+        // Dataset::new validates against `classes`, so widen the class
+        // count to smuggle in a label past factor 8.
+        let mut d = toy(vec![vec![0.0], vec![1.0]], vec![0, 1]);
+        d.classes = 9;
+        d.y[1] = 8;
+        let r = lint_dataset(&d, None);
+        assert!(r.has_rule(rules::DS_LABEL_RANGE));
+    }
+
+    #[test]
+    fn constant_column_warned() {
+        let d = toy(vec![vec![5.0, 1.0], vec![5.0, 2.0]], vec![0, 1]);
+        let r = lint_dataset(&d, None);
+        assert!(r.has_rule(rules::DS_CONSTANT));
+        assert_eq!(r.deny_count(), 0);
+    }
+
+    #[test]
+    fn contradictory_duplicates_warned() {
+        let d = toy(
+            vec![vec![1.0, 2.0], vec![1.0, 2.0], vec![0.0, 0.0]],
+            vec![2, 5, 0],
+        );
+        let r = lint_dataset(&d, None);
+        assert!(r.has_rule(rules::DS_CONTRADICTION));
+        // Agreeing duplicates are fine.
+        let d2 = toy(
+            vec![vec![1.0, 2.0], vec![1.0, 2.0], vec![0.0, 0.0]],
+            vec![2, 2, 0],
+        );
+        assert!(!lint_dataset(&d2, None).has_rule(rules::DS_CONTRADICTION));
+    }
+
+    #[test]
+    fn degenerate_folds_flagged() {
+        let d = toy(vec![vec![0.0], vec![1.0]], vec![0, 1]);
+        let r = lint_dataset(&d, Some(&[4, 4]));
+        assert!(r.has_rule(rules::DS_FOLDS));
+        let bad_len = lint_dataset(&d, Some(&[0]));
+        assert!(bad_len.deny_count() > 0);
+    }
+}

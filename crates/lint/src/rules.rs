@@ -1,0 +1,124 @@
+//! Stable rule identifiers.
+//!
+//! Rule IDs are namespaced by layer — `ir.*` for the structural IR
+//! verifier, `xf.*` for transform validation, `ds.*` for dataset lints —
+//! and are the keys used for per-rule suppression (see
+//! [`crate::Report::suppress`] and the `LOOPML_LINT_SUPPRESS` variable).
+
+// --- IR verifier ---
+
+/// Loop body is empty.
+pub const IR_EMPTY: &str = "ir.empty-body";
+/// Opcode arity violation: wrong def/use counts for the opcode.
+pub const IR_ARITY: &str = "ir.arity";
+/// Memory descriptor presence disagrees with the opcode (a memory opcode
+/// without a `MemRef`, or a non-memory opcode carrying one).
+pub const IR_MEM_OPCODE: &str = "ir.mem-opcode";
+/// Malformed affine memory descriptor (bad width, indirect with offset).
+pub const IR_MEMREF: &str = "ir.memref";
+/// Operand register-class violation: a guard or compare result that is
+/// not a predicate register, or a predicate register used as data.
+pub const IR_PRED_CLASS: &str = "ir.pred-class";
+/// A predicate register is read before its (iteration-local) definition.
+pub const IR_USE_BEFORE_DEF: &str = "ir.use-before-def";
+/// One instruction defines the same register twice.
+pub const IR_DUP_DEF: &str = "ir.dup-def";
+/// Loop CFG invariant violation: multiple backward branches, a backward
+/// branch that is not last or not predicated, or multiple induction
+/// updates.
+pub const IR_CFG: &str = "ir.cfg";
+/// Degenerate trip count (an unknown trip with a zero estimate).
+pub const IR_TRIP: &str = "ir.trip";
+/// Dependence edge indexes outside the body.
+pub const IR_DAG_RANGE: &str = "ir.dag.edge-range";
+/// Intra-iteration dependence edges form a cycle.
+pub const IR_DAG_CYCLE: &str = "ir.dag.cycle";
+/// A dependence edge is not justified by the instructions it connects.
+pub const IR_DAG_UNJUSTIFIED: &str = "ir.dag.unjustified";
+/// Liveness summary disagrees with the body it describes.
+pub const IR_LIVENESS: &str = "ir.liveness";
+
+// --- transform validation ---
+
+/// Unroll metadata disagrees with the requested factor.
+pub const XF_FACTOR: &str = "xf.unroll.factor";
+/// Trip-count/remainder arithmetic of the unrolled loop is wrong.
+pub const XF_TRIP: &str = "xf.unroll.trip";
+/// Boundary early-exit count is wrong for the trip-count knowledge.
+pub const XF_EXITS: &str = "xf.unroll.exits";
+/// Body replication counts are wrong (work not replicated `factor`×, or
+/// loop control not folded to a single copy).
+pub const XF_REPLICATION: &str = "xf.unroll.replication";
+/// Memory references were not advanced/scaled correctly across copies.
+pub const XF_MEMREF: &str = "xf.unroll.memref";
+/// Register renaming across copies is wrong (a fresh register defined
+/// more than once, or an original register's definition count changed).
+pub const XF_REMAP: &str = "xf.unroll.remap";
+/// The differential-execution oracle observed diverging memory states.
+pub const XF_DIFF_EXEC: &str = "xf.diff-exec";
+/// A post-unroll optimization increased the number of memory operations.
+pub const XF_OPT_MEM: &str = "xf.opt.mem-growth";
+/// A post-unroll optimization changed the bytes stored per iteration.
+pub const XF_OPT_STORES: &str = "xf.opt.store-bytes";
+
+// --- dataset lints ---
+
+/// A feature value is NaN or infinite.
+pub const DS_NONFINITE: &str = "ds.nonfinite";
+/// A feature column is constant across the whole dataset.
+pub const DS_CONSTANT: &str = "ds.constant-column";
+/// A label lies outside the valid class range (factors 1..=8).
+pub const DS_LABEL_RANGE: &str = "ds.label-range";
+/// Two examples share identical normalized features but disagree on the
+/// label.
+pub const DS_CONTRADICTION: &str = "ds.contradiction";
+/// A cross-validation fold is degenerate (empty training or test side).
+pub const DS_FOLDS: &str = "ds.degenerate-fold";
+
+/// Every rule ID, for reporting and exhaustiveness checks.
+pub const ALL: &[&str] = &[
+    IR_EMPTY,
+    IR_ARITY,
+    IR_MEM_OPCODE,
+    IR_MEMREF,
+    IR_PRED_CLASS,
+    IR_USE_BEFORE_DEF,
+    IR_DUP_DEF,
+    IR_CFG,
+    IR_TRIP,
+    IR_DAG_RANGE,
+    IR_DAG_CYCLE,
+    IR_DAG_UNJUSTIFIED,
+    IR_LIVENESS,
+    XF_FACTOR,
+    XF_TRIP,
+    XF_EXITS,
+    XF_REPLICATION,
+    XF_MEMREF,
+    XF_REMAP,
+    XF_DIFF_EXEC,
+    XF_OPT_MEM,
+    XF_OPT_STORES,
+    DS_NONFINITE,
+    DS_CONSTANT,
+    DS_LABEL_RANGE,
+    DS_CONTRADICTION,
+    DS_FOLDS,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique_and_namespaced() {
+        let mut seen = std::collections::HashSet::new();
+        for &r in ALL {
+            assert!(seen.insert(r), "duplicate rule id {r}");
+            assert!(
+                r.starts_with("ir.") || r.starts_with("xf.") || r.starts_with("ds."),
+                "rule {r} not namespaced"
+            );
+        }
+    }
+}

@@ -1,0 +1,692 @@
+//! Layer 1: the structural IR verifier.
+//!
+//! [`verify_loop`] checks a [`Loop`] against the invariants the rest of
+//! the stack assumes: opcode arity and operand kinds, memory-descriptor
+//! well-formedness, iteration-local predicate def-before-use, loop CFG
+//! shape (single predicated backward branch in last position, single
+//! induction update), dependence-graph consistency and liveness
+//! agreement. Each violation becomes a [`Diagnostic`] with an `ir.*` rule
+//! ID.
+
+use std::collections::{HashMap, HashSet};
+
+use loopml_ir::{
+    analyze_liveness, Benchmark, Dep, DepGraph, DepKind, Inst, LivenessSummary, Loop, Opcode, Reg,
+    RegClass, TripCount, MAX_CARRIED_DISTANCE,
+};
+
+use crate::{rules, Diagnostic, Report};
+
+/// Expected def/use arity of an opcode: inclusive (min, max) for each.
+/// `None` means the opcode places no constraint (e.g. `Call`).
+fn arity(op: Opcode) -> Option<((usize, usize), (usize, usize))> {
+    use Opcode::*;
+    Some(match op {
+        // Arithmetic: one result, one or two sources (the canonical
+        // induction update `i = i + step` reads a single register).
+        Add | Sub | Mul | Shl | Shr | And | Or | Xor | Ext | FAdd | FSub | FMul | FDiv | FSqrt
+        | CvtIf | CvtFi => ((1, 1), (1, 2)),
+        Fma => ((1, 1), (2, 3)),
+        Cmp | FCmp => ((1, 1), (1, 2)),
+        Load => ((1, 1), (0, 0)),
+        LoadPair => ((2, 2), (0, 0)),
+        Store => ((0, 0), (1, 1)),
+        StorePair => ((0, 0), (2, 2)),
+        Prefetch => ((0, 0), (0, 0)),
+        Br | BrExit => ((0, 0), (0, 0)),
+        Mov => ((1, 1), (1, 1)),
+        MovI => ((1, 1), (0, 0)),
+        Select => ((1, 1), (2, 3)),
+        Nop => ((0, 0), (0, 0)),
+        Call => return None,
+    })
+}
+
+fn at(l: &Loop, i: usize) -> String {
+    format!("{}#{}", l.name, i)
+}
+
+/// Per-instruction structural checks: arity, memory-descriptor presence
+/// and shape, operand register classes, duplicate defs.
+fn check_inst(l: &Loop, i: usize, inst: &Inst, out: &mut Report) {
+    let loc = at(l, i);
+
+    if let Some(((dmin, dmax), (umin, umax))) = arity(inst.opcode) {
+        if inst.defs.len() < dmin || inst.defs.len() > dmax {
+            out.push(Diagnostic::deny(
+                rules::IR_ARITY,
+                loc.clone(),
+                format!(
+                    "{} defines {} register(s), expected {dmin}..={dmax}",
+                    inst.opcode,
+                    inst.defs.len()
+                ),
+            ));
+        }
+        if inst.uses.len() < umin || inst.uses.len() > umax {
+            out.push(Diagnostic::deny(
+                rules::IR_ARITY,
+                loc.clone(),
+                format!(
+                    "{} uses {} register(s), expected {umin}..={umax}",
+                    inst.opcode,
+                    inst.uses.len()
+                ),
+            ));
+        }
+    }
+
+    // Memory descriptor present iff the opcode accesses memory.
+    match (inst.opcode.is_mem(), inst.mem) {
+        (true, None) => out.push(Diagnostic::deny(
+            rules::IR_MEM_OPCODE,
+            loc.clone(),
+            format!("memory opcode {} has no memory descriptor", inst.opcode),
+        )),
+        (false, Some(_)) => out.push(Diagnostic::deny(
+            rules::IR_MEM_OPCODE,
+            loc.clone(),
+            format!(
+                "non-memory opcode {} carries a memory descriptor",
+                inst.opcode
+            ),
+        )),
+        (true, Some(m)) => {
+            let paired = matches!(inst.opcode, Opcode::LoadPair | Opcode::StorePair);
+            let ok_width = if paired {
+                m.width == 8 || m.width == 16
+            } else {
+                m.width == 4 || m.width == 8
+            };
+            if !ok_width {
+                out.push(Diagnostic::deny(
+                    rules::IR_MEMREF,
+                    loc.clone(),
+                    format!("{} has invalid access width {}", inst.opcode, m.width),
+                ));
+            }
+            if m.indirect && m.offset != 0 {
+                out.push(Diagnostic::deny(
+                    rules::IR_MEMREF,
+                    loc.clone(),
+                    format!("indirect reference {m} has non-zero constant offset"),
+                ));
+            }
+        }
+        (false, None) => {}
+    }
+
+    // Operand register classes. The guard must be a predicate register;
+    // compares must define predicate registers; predicates may only be
+    // defined by compares and only consumed as data by `Select`.
+    if let Some(p) = inst.predicate {
+        if p.class() != RegClass::Pred {
+            out.push(Diagnostic::deny(
+                rules::IR_PRED_CLASS,
+                loc.clone(),
+                format!("guard register {p} is not a predicate register"),
+            ));
+        }
+    }
+    for d in &inst.defs {
+        let defines_pred = d.class() == RegClass::Pred;
+        if inst.opcode.defines_predicate() && !defines_pred {
+            out.push(Diagnostic::deny(
+                rules::IR_PRED_CLASS,
+                loc.clone(),
+                format!("{} must define a predicate register, not {d}", inst.opcode),
+            ));
+        }
+        if defines_pred && !inst.opcode.defines_predicate() {
+            out.push(Diagnostic::deny(
+                rules::IR_PRED_CLASS,
+                loc.clone(),
+                format!("{} may not define predicate register {d}", inst.opcode),
+            ));
+        }
+    }
+    if inst.opcode != Opcode::Select {
+        for u in &inst.uses {
+            if u.class() == RegClass::Pred {
+                out.push(Diagnostic::deny(
+                    rules::IR_PRED_CLASS,
+                    loc.clone(),
+                    format!(
+                        "{} reads predicate register {u} as data (only select may)",
+                        inst.opcode
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Duplicate definitions within one instruction.
+    let mut seen: HashSet<Reg> = HashSet::new();
+    for d in &inst.defs {
+        if !seen.insert(*d) {
+            out.push(Diagnostic::deny(
+                rules::IR_DUP_DEF,
+                loc.clone(),
+                format!("register {d} defined twice by one instruction"),
+            ));
+        }
+    }
+}
+
+/// Whole-body checks: predicate def-before-use and CFG invariants.
+fn check_body(l: &Loop, out: &mut Report) {
+    // Predicate registers are iteration-local: every read (as a guard or
+    // as select data) must be preceded by a definition. Int/Fp reads
+    // before a def are legal loop-carried or live-in values.
+    let mut defined: HashSet<Reg> = HashSet::new();
+    for (i, inst) in l.body.iter().enumerate() {
+        for r in inst.reads() {
+            if r.class() == RegClass::Pred && !defined.contains(&r) {
+                out.push(Diagnostic::deny(
+                    rules::IR_USE_BEFORE_DEF,
+                    at(l, i),
+                    format!("predicate register {r} read before any definition"),
+                ));
+            }
+        }
+        defined.extend(inst.defs.iter().copied());
+    }
+
+    // Loop CFG: at most one backward branch; when present it must be the
+    // final instruction and predicated (the single-latch invariant of an
+    // innermost loop body).
+    let brs: Vec<usize> = (0..l.body.len())
+        .filter(|&i| l.body[i].opcode == Opcode::Br)
+        .collect();
+    if brs.len() > 1 {
+        out.push(Diagnostic::deny(
+            rules::IR_CFG,
+            l.name.clone(),
+            format!("{} backward branches (single latch required)", brs.len()),
+        ));
+    }
+    if let Some(&i) = brs.first() {
+        if i + 1 != l.body.len() {
+            out.push(Diagnostic::deny(
+                rules::IR_CFG,
+                at(l, i),
+                "backward branch is not the final instruction",
+            ));
+        }
+        if l.body[i].predicate.is_none() {
+            out.push(Diagnostic::deny(
+                rules::IR_CFG,
+                at(l, i),
+                "backward branch is not predicated",
+            ));
+        }
+    }
+
+    // Induction: at most one canonical update, of the `i = i + step`
+    // shape (defines one register that it also reads).
+    let ivs: Vec<usize> = (0..l.body.len()).filter(|&i| l.body[i].induction).collect();
+    if ivs.len() > 1 {
+        out.push(Diagnostic::deny(
+            rules::IR_CFG,
+            l.name.clone(),
+            format!("{} induction updates (expected at most one)", ivs.len()),
+        ));
+    }
+    for &i in &ivs {
+        let inst = &l.body[i];
+        let self_update = inst.defs.len() == 1 && inst.uses.contains(&inst.defs[0]);
+        if !self_update {
+            out.push(Diagnostic::deny(
+                rules::IR_CFG,
+                at(l, i),
+                "induction update does not read its own definition",
+            ));
+        }
+    }
+
+    if let TripCount::Unknown { estimate: 0 } = l.trip_count {
+        out.push(Diagnostic::deny(
+            rules::IR_TRIP,
+            l.name.clone(),
+            "unknown trip count with a zero dynamic estimate",
+        ));
+    }
+}
+
+/// Checks a dependence graph against the body it claims to describe:
+/// edges in range, distances within the tracked horizon, the intra-
+/// iteration subgraph acyclic, and every edge justified by the
+/// instructions it connects (per [`DepKind`] semantics).
+pub fn verify_dep_graph(l: &Loop, g: &DepGraph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = l.body.len();
+    if g.len() != n {
+        out.push(Diagnostic::deny(
+            rules::IR_DAG_RANGE,
+            l.name.clone(),
+            format!("graph describes {} instructions, body has {n}", g.len()),
+        ));
+        return out;
+    }
+
+    let edge_loc = |d: &Dep| format!("{}#{}->{}", l.name, d.src, d.dst);
+    let mut in_range: Vec<&Dep> = Vec::with_capacity(g.deps().len());
+    for d in g.deps() {
+        if d.src >= n || d.dst >= n {
+            out.push(Diagnostic::deny(
+                rules::IR_DAG_RANGE,
+                edge_loc(d),
+                "edge endpoint outside the body",
+            ));
+            continue;
+        }
+        if i64::from(d.distance) > MAX_CARRIED_DISTANCE {
+            out.push(Diagnostic::deny(
+                rules::IR_DAG_RANGE,
+                edge_loc(d),
+                format!(
+                    "carried distance {} beyond the tracked horizon {MAX_CARRIED_DISTANCE}",
+                    d.distance
+                ),
+            ));
+        }
+        in_range.push(d);
+    }
+
+    // Intra-iteration (distance-0) subgraph must be acyclic: an
+    // instruction cannot depend on something later in the same iteration.
+    let mut indeg = vec![0usize; n];
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for d in &in_range {
+        if d.distance == 0 {
+            succ[d.src].push(d.dst);
+            indeg[d.dst] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut removed = 0;
+    while let Some(i) = queue.pop() {
+        removed += 1;
+        for &j in &succ[i] {
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                queue.push(j);
+            }
+        }
+    }
+    if removed != n {
+        let stuck: Vec<usize> = (0..n).filter(|&i| indeg[i] > 0).collect();
+        out.push(Diagnostic::deny(
+            rules::IR_DAG_CYCLE,
+            l.name.clone(),
+            format!("intra-iteration dependence cycle through instructions {stuck:?}"),
+        ));
+    }
+
+    // Edge justification: the endpoints must exhibit the relationship the
+    // edge kind claims.
+    for d in &in_range {
+        let src = &l.body[d.src];
+        let dst = &l.body[d.dst];
+        let justified = match d.kind {
+            DepKind::Reg => src.defs.iter().any(|r| dst.reads().any(|u| u == *r)),
+            DepKind::RegAnti => src.reads().any(|r| dst.defs.contains(&r)),
+            DepKind::RegOut => src.defs.iter().any(|r| dst.defs.contains(r)),
+            DepKind::Mem => {
+                let both_mem = (src.is_load() || src.is_store())
+                    && (dst.is_load() || dst.is_store())
+                    && src.mem.is_some()
+                    && dst.mem.is_some();
+                both_mem && (src.is_store() || dst.is_store())
+            }
+            DepKind::Ctrl => {
+                src.opcode == Opcode::BrExit
+                    && (dst.is_store() || dst.opcode.is_branch() || dst.opcode == Opcode::Call)
+            }
+        };
+        if !justified {
+            out.push(Diagnostic::deny(
+                rules::IR_DAG_UNJUSTIFIED,
+                edge_loc(d),
+                format!(
+                    "{:?} edge not justified: {} -> {}",
+                    d.kind, src.opcode, dst.opcode
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Checks a liveness summary for agreement with the body it describes:
+/// the register census must match and pressure bounds must be
+/// attainable.
+pub fn verify_liveness(l: &Loop, s: &LivenessSummary) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut by_class: HashMap<RegClass, HashSet<Reg>> = HashMap::new();
+    for inst in &l.body {
+        for r in inst.defs.iter().copied().chain(inst.reads()) {
+            by_class.entry(r.class()).or_default().insert(r);
+        }
+    }
+    let count = |c: RegClass| by_class.get(&c).map_or(0, HashSet::len);
+    let vregs = by_class.values().map(HashSet::len).sum::<usize>();
+
+    if s.vregs != vregs {
+        out.push(Diagnostic::deny(
+            rules::IR_LIVENESS,
+            l.name.clone(),
+            format!(
+                "summary counts {} virtual registers, body references {vregs}",
+                s.vregs
+            ),
+        ));
+    }
+    if s.max_live_int > count(RegClass::Int) {
+        out.push(Diagnostic::deny(
+            rules::IR_LIVENESS,
+            l.name.clone(),
+            format!(
+                "max live int {} exceeds the {} int registers referenced",
+                s.max_live_int,
+                count(RegClass::Int)
+            ),
+        ));
+    }
+    if s.max_live_fp > count(RegClass::Fp) {
+        out.push(Diagnostic::deny(
+            rules::IR_LIVENESS,
+            l.name.clone(),
+            format!(
+                "max live fp {} exceeds the {} fp registers referenced",
+                s.max_live_fp,
+                count(RegClass::Fp)
+            ),
+        ));
+    }
+    if !(s.avg_live >= 0.0 && s.avg_live <= vregs as f64) {
+        out.push(Diagnostic::deny(
+            rules::IR_LIVENESS,
+            l.name.clone(),
+            format!(
+                "average liveness {} outside [0, {vregs}] or non-finite",
+                s.avg_live
+            ),
+        ));
+    }
+    out
+}
+
+/// Verifies one loop against every structural rule. The returned report
+/// is empty exactly when the loop is well-formed.
+pub fn verify_loop(l: &Loop) -> Report {
+    let mut out = Report::new();
+    if l.body.is_empty() {
+        out.push(Diagnostic::deny(
+            rules::IR_EMPTY,
+            l.name.clone(),
+            "loop body is empty",
+        ));
+        return out;
+    }
+    for (i, inst) in l.body.iter().enumerate() {
+        check_inst(l, i, inst, &mut out);
+    }
+    check_body(l, &mut out);
+    out.extend(verify_dep_graph(l, &DepGraph::analyze(l)));
+    out.extend(verify_liveness(l, &analyze_liveness(l)));
+    out
+}
+
+/// Verifies every loop of a benchmark, prefixing locations with the
+/// benchmark name.
+pub fn verify_benchmark(b: &Benchmark) -> Report {
+    let mut out = Report::new();
+    for w in b.iter() {
+        for d in verify_loop(&w.body).diagnostics() {
+            out.push(Diagnostic {
+                rule_id: d.rule_id,
+                severity: d.severity,
+                location: format!("{}/{}", b.name, d.location),
+                message: d.message.clone(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopml_ir::{ArrayId, LoopBuilder, MemRef, SourceLang};
+
+    fn sample() -> Loop {
+        let mut b = LoopBuilder::new("t", TripCount::Known(64));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        b.binop(Opcode::FAdd, y, x, x);
+        b.store(y, MemRef::affine(ArrayId(1), 8, 0, 8));
+        b.build()
+    }
+
+    #[test]
+    fn well_formed_loop_is_clean() {
+        let r = verify_loop(&sample());
+        assert!(r.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn empty_body_is_denied() {
+        let l = Loop {
+            name: "e".into(),
+            body: vec![],
+            trip_count: TripCount::Known(1),
+            nest_level: 1,
+            lang: SourceLang::C,
+        };
+        assert!(verify_loop(&l).has_rule(rules::IR_EMPTY));
+    }
+
+    #[test]
+    fn arity_violation_detected() {
+        let mut l = sample();
+        // A load that defines two registers is malformed.
+        l.body[0].defs.push(Reg::fp(9));
+        assert!(verify_loop(&l).has_rule(rules::IR_ARITY));
+    }
+
+    #[test]
+    fn missing_memref_detected() {
+        let mut l = sample();
+        l.body[0].mem = None;
+        assert!(verify_loop(&l).has_rule(rules::IR_MEM_OPCODE));
+    }
+
+    #[test]
+    fn stray_memref_detected() {
+        let mut l = sample();
+        // The FAdd at index 1 must not carry a descriptor.
+        l.body[1].mem = Some(MemRef::affine(ArrayId(0), 8, 0, 8));
+        assert!(verify_loop(&l).has_rule(rules::IR_MEM_OPCODE));
+    }
+
+    #[test]
+    fn bad_width_detected() {
+        let mut l = sample();
+        l.body[0].mem = Some(MemRef::affine(ArrayId(0), 8, 0, 3));
+        assert!(verify_loop(&l).has_rule(rules::IR_MEMREF));
+    }
+
+    #[test]
+    fn indirect_with_offset_detected() {
+        let mut l = sample();
+        let mut m = MemRef::indirect(ArrayId(0), 8, 8);
+        m.offset = 16;
+        l.body[0].mem = Some(m);
+        assert!(verify_loop(&l).has_rule(rules::IR_MEMREF));
+    }
+
+    #[test]
+    fn non_pred_guard_detected() {
+        let mut l = sample();
+        l.body[1].predicate = Some(Reg::int(7));
+        assert!(verify_loop(&l).has_rule(rules::IR_PRED_CLASS));
+    }
+
+    #[test]
+    fn cmp_defining_non_pred_detected() {
+        let mut b = LoopBuilder::new("t", TripCount::Known(4));
+        let x = b.int_reg();
+        let y = b.int_reg();
+        let bad = b.int_reg();
+        b.binop(Opcode::Cmp, bad, x, y);
+        let l = b.build();
+        assert!(verify_loop(&l).has_rule(rules::IR_PRED_CLASS));
+    }
+
+    #[test]
+    fn pred_use_before_def_detected() {
+        let mut b = LoopBuilder::new("t", TripCount::Known(4));
+        let p = b.pred_reg();
+        let x = b.fp_reg();
+        // Guarded load *before* any compare defines p.
+        b.inst(
+            Inst::mem(
+                Opcode::Load,
+                vec![x],
+                vec![],
+                MemRef::affine(ArrayId(0), 8, 0, 8),
+            )
+            .predicated(p),
+        );
+        let y = b.fp_reg();
+        b.inst(Inst::new(Opcode::FCmp, vec![p], vec![x, y]));
+        let l = b.build();
+        assert!(verify_loop(&l).has_rule(rules::IR_USE_BEFORE_DEF));
+    }
+
+    #[test]
+    fn duplicate_def_detected() {
+        let mut l = sample();
+        let d = l.body[0].defs[0];
+        l.body[0].opcode = Opcode::LoadPair;
+        l.body[0].defs = vec![d, d];
+        l.body[0].mem = Some(MemRef::affine(ArrayId(0), 8, 0, 16));
+        assert!(verify_loop(&l).has_rule(rules::IR_DUP_DEF));
+    }
+
+    #[test]
+    fn double_latch_detected() {
+        let mut l = sample();
+        let br = l.body.last().unwrap().clone();
+        l.body.insert(0, br);
+        let r = verify_loop(&l);
+        assert!(r.has_rule(rules::IR_CFG), "{r}");
+    }
+
+    #[test]
+    fn unpredicated_latch_detected() {
+        let mut l = sample();
+        l.body.last_mut().unwrap().predicate = None;
+        assert!(verify_loop(&l).has_rule(rules::IR_CFG));
+    }
+
+    #[test]
+    fn malformed_induction_detected() {
+        let mut l = sample();
+        let iv_pos = l.body.iter().position(|i| i.induction).unwrap();
+        l.body[iv_pos].uses.clear();
+        let r = verify_loop(&l);
+        assert!(r.has_rule(rules::IR_CFG), "{r}");
+    }
+
+    #[test]
+    fn zero_estimate_trip_detected() {
+        let mut l = sample();
+        l.trip_count = TripCount::Unknown { estimate: 0 };
+        assert!(verify_loop(&l).has_rule(rules::IR_TRIP));
+    }
+
+    #[test]
+    fn cyclic_dag_detected() {
+        let l = sample();
+        let mk = |src, dst| Dep {
+            src,
+            dst,
+            latency: 1,
+            distance: 0,
+            kind: DepKind::RegOut,
+        };
+        // 0 -> 1 -> 0 at distance 0: impossible within one iteration.
+        let g = DepGraph::from_parts(l.len(), vec![mk(0, 1), mk(1, 0)]);
+        let diags = verify_dep_graph(&l, &g);
+        assert!(
+            diags.iter().any(|d| d.rule_id == rules::IR_DAG_CYCLE),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_edge_detected() {
+        let l = sample();
+        let g = DepGraph::from_parts(
+            l.len(),
+            vec![Dep {
+                src: 0,
+                dst: 99,
+                latency: 1,
+                distance: 0,
+                kind: DepKind::Reg,
+            }],
+        );
+        assert!(verify_dep_graph(&l, &g)
+            .iter()
+            .any(|d| d.rule_id == rules::IR_DAG_RANGE));
+    }
+
+    #[test]
+    fn unjustified_edge_detected() {
+        let l = sample();
+        // Claim a register true dependence between the load (0) and the
+        // store (2); the store does not read the load's destination? It
+        // does read y, not x... use a Ctrl edge instead: src is not an
+        // early exit.
+        let g = DepGraph::from_parts(
+            l.len(),
+            vec![Dep {
+                src: 1,
+                dst: 2,
+                latency: 0,
+                distance: 0,
+                kind: DepKind::Ctrl,
+            }],
+        );
+        assert!(verify_dep_graph(&l, &g)
+            .iter()
+            .any(|d| d.rule_id == rules::IR_DAG_UNJUSTIFIED));
+    }
+
+    #[test]
+    fn analyzed_graph_always_verifies() {
+        let l = sample();
+        let g = DepGraph::analyze(&l);
+        assert!(verify_dep_graph(&l, &g).is_empty());
+    }
+
+    #[test]
+    fn corrupt_liveness_summary_detected() {
+        let l = sample();
+        let mut s = analyze_liveness(&l);
+        assert!(verify_liveness(&l, &s).is_empty());
+        s.vregs += 5;
+        assert!(verify_liveness(&l, &s)
+            .iter()
+            .any(|d| d.rule_id == rules::IR_LIVENESS));
+        let mut s2 = analyze_liveness(&l);
+        s2.max_live_fp = 1000;
+        assert!(verify_liveness(&l, &s2)
+            .iter()
+            .any(|d| d.rule_id == rules::IR_LIVENESS));
+    }
+}

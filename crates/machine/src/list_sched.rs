@@ -53,7 +53,7 @@ pub(crate) fn heights(l: &Loop, g: &DepGraph, cfg: &MachineConfig) -> Vec<u32> {
     // time an edge out of `src` is relaxed, every edge out of a larger
     // index (hence every successor of `dst`) is final.
     let mut intra: Vec<&Dep> = g.intra().collect();
-    intra.sort_by(|x, y| y.src.cmp(&x.src));
+    intra.sort_by_key(|d| std::cmp::Reverse(d.src));
     for d in intra.iter() {
         let via = edge_latency(d, l, cfg) + h[d.dst];
         if via > h[d.src] {

@@ -54,12 +54,12 @@ pub fn res_mii(l: &Loop, cfg: &MachineConfig) -> u32 {
         total += 1;
     }
     let mut mii = total.div_ceil(cfg.issue_width);
-    for k in 0..FuKind::COUNT {
+    for (k, &dem) in demand.iter().enumerate() {
         if k == FuKind::None.index() {
             continue;
         }
-        if cfg.units[k] > 0 && demand[k] > 0 {
-            mii = mii.max(demand[k].div_ceil(cfg.units[k]));
+        if cfg.units[k] > 0 && dem > 0 {
+            mii = mii.max(dem.div_ceil(cfg.units[k]));
         }
     }
     mii.max(1)
@@ -135,13 +135,10 @@ fn try_ii(l: &Loop, g: &DepGraph, cfg: &MachineConfig, ii: u32) -> Option<Modulo
     let mut budget = (n as i64) * 8;
 
     // Worklist: highest priority first among unscheduled.
-    loop {
-        let Some(op) = (0..n)
-            .filter(|&j| starts[j].is_none())
-            .max_by(|&a, &b| prio[a].cmp(&prio[b]).then(b.cmp(&a)))
-        else {
-            break;
-        };
+    while let Some(op) = (0..n)
+        .filter(|&j| starts[j].is_none())
+        .max_by(|&a, &b| prio[a].cmp(&prio[b]).then(b.cmp(&a)))
+    {
         budget -= 1;
         if budget < 0 {
             return None;
@@ -160,14 +157,12 @@ fn try_ii(l: &Loop, g: &DepGraph, cfg: &MachineConfig, ii: u32) -> Option<Modulo
             .unwrap_or(estart);
         // Evict resource conflictors at the chosen slot if forced.
         if !mrt.fits(slot, opcode) {
-            for j in 0..n {
+            for (j, sj) in starts.iter_mut().enumerate() {
                 if j != op
-                    && starts[j].is_some_and(|sj| {
-                        conflicts(&mrt.cfg, ii, sj, l.body[j].opcode, slot, opcode)
-                    })
+                    && sj.is_some_and(|s| conflicts(mrt.cfg, ii, s, l.body[j].opcode, slot, opcode))
                 {
-                    mrt.remove(starts[j].unwrap(), l.body[j].opcode);
-                    starts[j] = None;
+                    mrt.remove(sj.unwrap(), l.body[j].opcode);
+                    *sj = None;
                 }
             }
         }

@@ -105,7 +105,7 @@ where
             cols.push(cand);
             let sub = data.select_features(&cols);
             let err = train_error(&sub);
-            if best.map_or(true, |(_, e)| err < e) {
+            if best.is_none_or(|(_, e)| err < e) {
                 best = Some((cand, err));
             }
         }

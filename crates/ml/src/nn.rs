@@ -119,7 +119,7 @@ impl NearNeighbors {
                 votes[self.ys[i]] += 1;
                 in_radius += 1;
             }
-            if nearest.map_or(true, |(best, _)| d2 < best) {
+            if nearest.is_none_or(|(best, _)| d2 < best) {
                 nearest = Some((d2, self.ys[i]));
             }
         }

@@ -348,13 +348,13 @@ pub fn decode(decisions: &[f64]) -> usize {
     let bits: Vec<bool> = decisions.iter().map(|&d| d > 0.0).collect();
     let mut best = 0usize;
     let mut best_key = (usize::MAX, f64::NEG_INFINITY);
-    for c in 0..decisions.len() {
+    for (c, &dec) in decisions.iter().enumerate() {
         let hamming: usize = bits
             .iter()
             .enumerate()
             .map(|(k, &b)| usize::from(b != (k == c)))
             .sum();
-        let key = (hamming, decisions[c]);
+        let key = (hamming, dec);
         if key.0 < best_key.0 || (key.0 == best_key.0 && key.1 > best_key.1) {
             best = c;
             best_key = key;

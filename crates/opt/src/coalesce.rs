@@ -25,10 +25,7 @@ pub fn coalesce(l: &mut Loop) -> usize {
     let mut pairs = 0;
     // Greedy left-to-right pairing, separately for loads and stores.
     for target_load in [true, false] {
-        loop {
-            let Some((i, j)) = find_pair(l, target_load) else {
-                break;
-            };
+        while let Some((i, j)) = find_pair(l, target_load) {
             let lo = l.body[i].clone();
             let hi = l.body[j].clone();
             let m = lo.mem.expect("paired access has a memref");

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Repository gate: release build, full test suite, formatting.
+# Repository gate: release build, full test suite, clippy, formatting,
+# and the corpus lint (loopml-lint must report zero deny diagnostics
+# over the built-in corpus at every unroll factor).
 #
 # Runs entirely offline — the workspace has no external dependencies
 # (enforced by tests/zero_deps.rs).
@@ -8,5 +10,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --workspace --release
 cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+cargo run --release -p loopml-lint
 echo "check.sh: all gates passed"

@@ -1,0 +1,92 @@
+//! Property tests for the lint crate's transform validation, driven by
+//! the `loopml-rt` check harness: random small loops must unroll to a
+//! body whose interpreted memory effects match the original at every
+//! factor 1..=8 and trip count 0..16, and the full validation pipeline
+//! must stay clean on every kernel family.
+//!
+//! Failures print a replay seed; rerun the single case with
+//! `LOOPML_CHECK_SEED=<seed> cargo test lint_properties`.
+
+use loopml_corpus::KernelFamily;
+use loopml_ir::{ArrayId, Loop, LoopBuilder, MemRef, Opcode, TripCount};
+use loopml_lint::{differential_check, validate_pipeline, verify_loop};
+use loopml_opt::{interp, unroll, OptConfig};
+use loopml_rt::{check, Rng};
+
+/// A random small loop with only affine (directly-addressed) memory
+/// references, so the interpreter models it exactly: a few loads, an
+/// arithmetic chain, and one or two stores, under a random trip count.
+fn random_affine_loop(rng: &mut Rng) -> Loop {
+    let trip = if rng.gen_range(0..2u32) == 0 {
+        TripCount::Known(rng.gen_range(16..256u64))
+    } else {
+        TripCount::Unknown {
+            estimate: rng.gen_range(16..256u64),
+        }
+    };
+    let mut b = LoopBuilder::new("prop", trip);
+    let n_loads = rng.gen_range(1..4usize);
+    let mut vals = Vec::new();
+    for k in 0..n_loads {
+        let r = b.fp_reg();
+        let stride = 8 * rng.gen_range(1..3i64);
+        b.load(
+            r,
+            MemRef::affine(ArrayId(k as u32), stride, 8 * rng.gen_range(0..4i64), 8),
+        );
+        vals.push(r);
+    }
+    let n_ops = rng.gen_range(1..5usize);
+    for _ in 0..n_ops {
+        let d = b.fp_reg();
+        let a = vals[rng.gen_range(0..vals.len())];
+        let c = vals[rng.gen_range(0..vals.len())];
+        let op = match rng.gen_range(0..3u32) {
+            0 => Opcode::FAdd,
+            1 => Opcode::FSub,
+            _ => Opcode::FMul,
+        };
+        b.binop(op, d, a, c);
+        vals.push(d);
+    }
+    let out = *vals.last().expect("at least one value");
+    b.store(out, MemRef::affine(ArrayId(7), 8, 0, 8));
+    if rng.gen_range(0..4u32) == 0 {
+        let second = vals[rng.gen_range(0..vals.len())];
+        b.store(second, MemRef::affine(ArrayId(8), 8, 0, 8));
+    }
+    b.build()
+}
+
+#[test]
+fn unrolled_loops_match_the_original_under_interpretation() {
+    check("unroll_differential", 48, |rng| {
+        let l = random_affine_loop(rng);
+        for f in 1..=8u32 {
+            let u = unroll(&l, f);
+            for t in 0..16u64 {
+                let reference = interp::execute(&l, t * u64::from(f), interp::Memory::new());
+                let got = interp::execute(&u.body, t, interp::Memory::new());
+                assert_eq!(reference, got, "diverged: {} factor {f} trip {t}", l.name);
+            }
+            let diags = differential_check(&l, f, &u.body, &[0, 1, 3, 7, 15]);
+            assert!(diags.is_empty(), "oracle disagreed with itself: {diags:?}");
+        }
+    });
+}
+
+#[test]
+fn every_kernel_family_survives_the_full_validation_pipeline() {
+    check("kernel_pipeline_lint", 40, |rng| {
+        let fam = KernelFamily::ALL[rng.gen_range(0..KernelFamily::ALL.len())];
+        let l = fam.build("prop_kernel", rng);
+        let r = verify_loop(&l);
+        assert_eq!(r.deny_count(), 0, "{fam:?}: {r}");
+        if l.is_unrollable() {
+            for f in [2, 5, 8] {
+                let rep = validate_pipeline(&l, f, &OptConfig::default());
+                assert_eq!(rep.deny_count(), 0, "{fam:?} at factor {f}: {rep}");
+            }
+        }
+    });
+}

@@ -1,0 +1,63 @@
+//! Pretty-printer round-trip sanity: rendering every kernel family —
+//! the loop `Display` dump and the dependence-annotated listing — must
+//! never panic, must mention every instruction, and must be byte-stable
+//! across runs (a golden FNV-1a snapshot over all twenty families at
+//! fixed seeds).
+//!
+//! If a deliberate change to `pretty.rs`, the kernel generators or the
+//! dependence analysis alters the rendering, update `GOLDEN_FNV1A` to
+//! the value printed in the failure message.
+
+use loopml_corpus::KernelFamily;
+use loopml_ir::{annotate_dependences, DepGraph};
+use loopml_rt::Rng;
+
+/// FNV-1a over the concatenated renderings of all 20 families × 3 seeds.
+const GOLDEN_FNV1A: u64 = 0x82c2864565082d9a;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn render_all() -> String {
+    let mut out = String::new();
+    for (fi, fam) in KernelFamily::ALL.iter().enumerate() {
+        for seed in 0..3u64 {
+            let mut rng = Rng::seed_from_u64(0xB00F_5EED ^ (fi as u64) << 8 ^ seed);
+            let l = fam.build(&format!("golden_{fam:?}_{seed}"), &mut rng);
+            let plain = l.to_string();
+            let annotated = annotate_dependences(&l, &DepGraph::analyze(&l));
+
+            // Sanity: both renderings carry the loop name and one line
+            // per instruction, and neither panicked to get here.
+            assert!(plain.contains(&l.name), "{fam:?}: name missing\n{plain}");
+            assert!(
+                annotated.lines().count() == l.body.len() + 1,
+                "{fam:?}: expected one annotated line per instruction\n{annotated}"
+            );
+            out.push_str(&plain);
+            out.push('\n');
+            out.push_str(&annotated);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn rendering_is_stable_and_total() {
+    let a = render_all();
+    let b = render_all();
+    assert_eq!(a, b, "rendering must be deterministic within a run");
+    let h = fnv1a(a.as_bytes());
+    assert_eq!(
+        h, GOLDEN_FNV1A,
+        "pretty-printer output changed: update GOLDEN_FNV1A to {h:#x} \
+         if the change is intentional"
+    );
+}
