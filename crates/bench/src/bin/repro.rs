@@ -4,21 +4,61 @@
 //! repro [--quick] [all | table1 | table2 | table3 | table4 |
 //!        fig1 | fig2 | fig3 | fig4 | fig5 | lint |
 //!        ablate-norm | ablate-radius | ablate-features | ablate-filter]
+//! repro perf [--smoke]
+//! repro perf-check <current.json> <baseline.json>
 //! ```
 //!
 //! The `lint` target (also reachable as `repro --lint`) verifies every
 //! loop of the synthesized suite and lints the labeled training dataset,
 //! printing the machine-readable JSON report from `loopml-lint`.
+//!
+//! The `perf` target times each pipeline stage once (labeling, cached
+//! vs direct greedy selection, LOOCV, Figure 4 evaluation) and writes
+//! `BENCH_ml.json`; `--smoke` runs it at the reduced scale for CI.
+//! `perf-check` re-reads a report, validates it, and exits nonzero if
+//! any stage regressed more than 2× against the baseline.
 
 use std::time::Instant;
 
 use loopml::FEATURE_NAMES;
-use loopml_bench::{experiments, report, Context, Scale};
+use loopml_bench::{experiments, perf, report, Context, Scale};
 use loopml_machine::SwpMode;
+use loopml_rt::Json;
+
+/// Max allowed wall-time ratio per stage in `perf-check`.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+fn run_perf(scale: Scale) {
+    let report = perf::run(scale);
+    let json = report.to_json();
+    std::fs::write("BENCH_ml.json", format!("{json}\n")).expect("write BENCH_ml.json");
+    println!("{json}");
+    eprintln!(
+        "[perf] wrote BENCH_ml.json ({} stages, greedy speedup {:.1}x)",
+        report.stages.len(),
+        report.greedy_speedup
+    );
+}
+
+fn run_perf_check(paths: &[&str]) -> Result<(), String> {
+    let [current, baseline] = paths else {
+        return Err("usage: repro perf-check <current.json> <baseline.json>".into());
+    };
+    let read_json = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+    };
+    perf::check_regressions(
+        &read_json(current)?,
+        &read_json(baseline)?,
+        REGRESSION_FACTOR,
+    )
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let scale = if quick { Scale::Quick } else { Scale::Full };
     let mut targets: Vec<&str> = args
         .iter()
@@ -27,6 +67,22 @@ fn main() {
         .collect();
     if args.iter().any(|a| a == "--lint") && !targets.contains(&"lint") {
         targets.push("lint");
+    }
+    if targets.first() == Some(&"perf-check") {
+        if let Err(e) = run_perf_check(&targets[1..]) {
+            eprintln!("[perf-check] FAIL: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[perf-check] ok");
+        return;
+    }
+    if targets.contains(&"perf") {
+        let perf_scale = if quick || smoke { Scale::Quick } else { scale };
+        run_perf(perf_scale);
+        targets.retain(|t| *t != "perf");
+        if targets.is_empty() {
+            return;
+        }
     }
     let targets: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
         vec![

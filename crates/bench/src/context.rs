@@ -18,7 +18,7 @@ pub enum Scale {
 }
 
 impl Scale {
-    fn suite_config(self) -> SuiteConfig {
+    pub(crate) fn suite_config(self) -> SuiteConfig {
         match self {
             Scale::Full => SuiteConfig::default(),
             Scale::Quick => SuiteConfig {

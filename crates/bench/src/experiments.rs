@@ -6,7 +6,7 @@ use loopml::{
 };
 use loopml_machine::SwpMode;
 use loopml_ml::{
-    greedy_forward, loocv_nn, loocv_svm, mutual_information, nn1_training_error, Dataset,
+    greedy_forward, greedy_forward_nn, loocv_nn, loocv_svm, mutual_information, Dataset,
     GreedyStep, Lda2d, MulticlassSvm, NearNeighbors, ScoredFeature, SvmParams, DEFAULT_RADIUS,
 };
 use loopml_rt::par_map;
@@ -417,7 +417,9 @@ pub fn table3(ctx: &Context) -> Vec<ScoredFeature> {
 /// Table 4: greedy forward selection traces for the 1-NN and SVM
 /// criteria.
 pub fn table4(ctx: &Context, steps: usize) -> (Vec<GreedyStep>, Vec<GreedyStep>) {
-    let nn_trace = greedy_forward(&ctx.full_dataset, steps, nn1_training_error);
+    // Incremental distance cache: same trace as the direct
+    // `nn1_training_error` criterion, O(n²) per candidate.
+    let nn_trace = greedy_forward_nn(&ctx.full_dataset, steps);
     // The SVM criterion is expensive; subsample large datasets.
     let svm_data = subsample(&ctx.full_dataset, 400);
     let svm_trace = greedy_forward(&svm_data, steps, |d| {

@@ -14,7 +14,9 @@
 //! | Figure 4 | [`experiments::speedup_figure`] (SWP off) | `repro fig4` |
 //! | Figure 5 | [`experiments::speedup_figure`] (SWP on)  | `repro fig5` |
 //!
-//! plus the ablations called out in `DESIGN.md` (`repro ablate-...`).
+//! plus the ablations called out in `DESIGN.md` (`repro ablate-...`) and
+//! the tracked performance harness (`repro perf`, [`perf`]), which times
+//! each pipeline stage and emits `BENCH_ml.json` for regression checks.
 //! Run `repro all` for everything, `--quick` for a reduced corpus.
 
 #![warn(missing_docs)]
@@ -22,6 +24,7 @@
 
 pub mod context;
 pub mod experiments;
+pub mod perf;
 pub mod report;
 
 pub use context::{Context, Scale};

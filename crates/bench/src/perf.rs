@@ -1,0 +1,396 @@
+//! `repro perf` — the tracked performance harness.
+//!
+//! Times the expensive pipeline stages one by one (labeling, LOOCV for
+//! both classifiers, greedy feature selection with and without the
+//! incremental distance cache, the Figure 4 evaluation) and emits a
+//! machine-readable `BENCH_ml.json`. Each stage runs exactly once via
+//! [`loopml_rt::bench::bench_once`] — these are multi-second pipeline
+//! stages where repeat-until-budget timing would multiply minutes and
+//! run-to-run variance is dwarfed by the order-of-magnitude effects
+//! being tracked.
+//!
+//! `repro perf-check <current> <baseline>` re-reads a report and fails
+//! if it is malformed or if any stage regressed more than 2× against the
+//! checked-in baseline (`scripts/bench_baseline.json`), which is how
+//! `scripts/check.sh` keeps the cache and parallel paths honest.
+
+use loopml::{benchmark_groups, label_suite, to_dataset, LabelConfig};
+use loopml_corpus::full_suite;
+use loopml_machine::SwpMode;
+use loopml_ml::{
+    greedy_forward, greedy_forward_nn, loocv_nn, loocv_svm, mutual_information, nn1_training_error,
+    GreedyStep, DEFAULT_RADIUS,
+};
+use loopml_rt::bench::bench_once;
+use loopml_rt::json::{escape, Json};
+
+use crate::context::{Context, Scale};
+use crate::experiments::{speedup_figure, svm_params};
+
+/// Schema tag stamped into every report.
+pub const SCHEMA: &str = "loopml/bench-ml/v1";
+
+/// Wall-clock time of one pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Stage name (stable across runs; baselines match on it).
+    pub name: String,
+    /// Wall-clock milliseconds for the single timed run.
+    pub wall_ms: f64,
+}
+
+/// The full perf report: stage timings plus derived metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Scale the run was performed at.
+    pub scale: Scale,
+    /// Worker threads the runtime used (`LOOPML_THREADS` honored).
+    pub threads: usize,
+    /// Labeled examples in the dataset.
+    pub n_examples: usize,
+    /// Feature count (38).
+    pub n_features: usize,
+    /// Per-stage wall-clock timings, in run order.
+    pub stages: Vec<Stage>,
+    /// Direct-greedy wall time over cached-greedy wall time (the
+    /// tentpole speedup this PR tracks; ≥5× on the full corpus).
+    pub greedy_speedup: f64,
+    /// Whether the cached and direct greedy traces chose identical
+    /// features with identical errors. `false` is possible on tie-heavy
+    /// corpora: `dist2` sums features 4-lane-chunked while the cache
+    /// accumulates in selection order, and that last-bit reassociation
+    /// can flip exactly-tied nearest neighbors.
+    pub traces_match: bool,
+    /// |cached − direct| final-step error. Both traces end on the full
+    /// feature set, so this gap isolates FP-tie flips from genuine
+    /// divergence; validation rejects reports where it exceeds 5%.
+    pub final_error_gap: f64,
+}
+
+impl PerfReport {
+    /// Serializes to the `BENCH_ml.json` document.
+    pub fn to_json(&self) -> String {
+        let scale = match self.scale {
+            Scale::Full => "full",
+            Scale::Quick => "quick",
+        };
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .map(|s| {
+                format!(
+                    r#"{{"name":{},"wall_ms":{:.3}}}"#,
+                    escape(&s.name),
+                    s.wall_ms
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"schema\":\"{schema}\",\"scale\":\"{scale}\",",
+                "\"threads\":{threads},\"n_examples\":{n},\"n_features\":{d},",
+                "\"stages\":[{stages}],",
+                "\"derived\":{{\"greedy_speedup\":{speedup:.3},\"traces_match\":{traces},",
+                "\"final_error_gap\":{gap:.6}}}}}"
+            ),
+            schema = SCHEMA,
+            scale = scale,
+            threads = self.threads,
+            n = self.n_examples,
+            d = self.n_features,
+            stages = stages.join(","),
+            speedup = self.greedy_speedup,
+            traces = self.traces_match,
+            gap = self.final_error_gap,
+        )
+    }
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn traces_equal(a: &[GreedyStep], b: &[GreedyStep]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.index == y.index && x.error == y.error)
+}
+
+/// Runs the perf suite at `scale` and returns the report. Stage
+/// boundaries mirror the real pipeline: corpus synthesis is untimed
+/// setup, then labeling, greedy selection (cached and direct), LOOCV
+/// for NN and SVM on the informative subset, and the Figure 4
+/// leave-one-benchmark-out evaluation are each timed once.
+pub fn run(scale: Scale) -> PerfReport {
+    let mut stages = Vec::new();
+    let label_config = LabelConfig::paper(SwpMode::Disabled);
+
+    eprintln!("[perf] synthesizing corpus ({scale:?})...");
+    let suite = full_suite(&scale.suite_config());
+
+    eprintln!("[perf] labeling {} benchmarks...", suite.len());
+    let (r, labeled) = bench_once("label", || label_suite(&suite, &label_config));
+    let wall_ms = ms(r.min());
+    stages.push(Stage {
+        name: r.name,
+        wall_ms,
+    });
+
+    let full_dataset = to_dataset(&labeled);
+    let groups = benchmark_groups(&labeled);
+    let (n, d) = (full_dataset.len(), full_dataset.dims());
+    eprintln!("[perf] {n} labeled loops, {d} features");
+
+    // Greedy forward selection over ALL features: the cached incremental
+    // path vs the direct recompute-the-subset path, same steps, so the
+    // wall-time ratio is the tentpole speedup.
+    eprintln!("[perf] greedy selection, incremental distance cache ({d} steps)...");
+    let (r, cached_trace) = bench_once("greedy_nn_cached", || greedy_forward_nn(&full_dataset, d));
+    let cached_ms = ms(r.min());
+    stages.push(Stage {
+        name: r.name,
+        wall_ms: cached_ms,
+    });
+
+    eprintln!("[perf] greedy selection, direct recompute baseline ({d} steps)...");
+    let (r, direct_trace) = bench_once("greedy_nn_direct", || {
+        greedy_forward(&full_dataset, d, nn1_training_error)
+    });
+    let direct_ms = ms(r.min());
+    stages.push(Stage {
+        name: r.name,
+        wall_ms: direct_ms,
+    });
+    let traces_match = traces_equal(&cached_trace, &direct_trace);
+    let final_error_gap = match (cached_trace.last(), direct_trace.last()) {
+        (Some(a), Some(b)) => (a.error - b.error).abs(),
+        _ => 1.0,
+    };
+    let greedy_speedup = direct_ms / cached_ms.max(1e-9);
+    eprintln!(
+        "[perf] greedy: cached {cached_ms:.0} ms, direct {direct_ms:.0} ms \
+         ({greedy_speedup:.1}x, traces {}, final error gap {final_error_gap:.4})",
+        if traces_match {
+            "identical"
+        } else {
+            "differ (FP ties)"
+        }
+    );
+
+    // The informative subset (§7 protocol), assembled from work already
+    // done: top-5 mutual information ∪ first 5 cached greedy picks.
+    let mis = mutual_information(&full_dataset);
+    let mut cols: Vec<usize> = mis.iter().take(5).map(|s| s.index).collect();
+    for step in cached_trace.iter().take(5) {
+        if !cols.contains(&step.index) {
+            cols.push(step.index);
+        }
+    }
+    cols.sort_unstable();
+    let dataset = full_dataset.select_features(&cols);
+
+    eprintln!("[perf] LOOCV, near neighbors...");
+    let (r, _) = bench_once("loocv_nn", || loocv_nn(&dataset, DEFAULT_RADIUS));
+    let wall_ms = ms(r.min());
+    stages.push(Stage {
+        name: r.name,
+        wall_ms,
+    });
+
+    eprintln!("[perf] LOOCV, multiclass SVM...");
+    let (r, _) = bench_once("loocv_svm", || loocv_svm(&dataset, svm_params()));
+    let wall_ms = ms(r.min());
+    stages.push(Stage {
+        name: r.name,
+        wall_ms,
+    });
+
+    eprintln!("[perf] Figure 4 leave-one-benchmark-out evaluation...");
+    let ctx = Context {
+        suite,
+        labeled,
+        full_dataset,
+        dataset,
+        feature_subset: cols,
+        groups,
+        label_config,
+        scale,
+    };
+    let (r, _) = bench_once("fig4_eval", || speedup_figure(&ctx));
+    let wall_ms = ms(r.min());
+    stages.push(Stage {
+        name: r.name,
+        wall_ms,
+    });
+
+    PerfReport {
+        scale,
+        threads: loopml_rt::num_threads(),
+        n_examples: n,
+        n_features: d,
+        stages,
+        greedy_speedup,
+        traces_match,
+        final_error_gap,
+    }
+}
+
+/// Validates a parsed `BENCH_ml.json` document and returns its stage
+/// timings as `(name, wall_ms)` pairs.
+pub fn validate(doc: &Json) -> Result<Vec<(String, f64)>, String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema is not {SCHEMA:?}"));
+    }
+    match doc.get("scale").and_then(Json::as_str) {
+        Some("full") | Some("quick") => {}
+        other => return Err(format!("bad scale {other:?}")),
+    }
+    for key in ["threads", "n_examples", "n_features"] {
+        match doc.get(key).and_then(Json::as_num) {
+            Some(v) if v.is_finite() && v >= 1.0 => {}
+            other => return Err(format!("bad {key}: {other:?}")),
+        }
+    }
+    let derived = doc.get("derived").ok_or("missing derived")?;
+    match derived.get("greedy_speedup").and_then(Json::as_num) {
+        Some(v) if v.is_finite() && v > 0.0 => {}
+        other => return Err(format!("bad derived.greedy_speedup: {other:?}")),
+    }
+    if !matches!(derived.get("traces_match"), Some(Json::Bool(_))) {
+        return Err("derived.traces_match missing".into());
+    }
+    match derived.get("final_error_gap").and_then(Json::as_num) {
+        // FP-tie flips move the final error by at most a handful of
+        // examples; a gap past 5% means the incremental cache is wrong.
+        Some(v) if v.is_finite() && (0.0..=0.05).contains(&v) => {}
+        other => return Err(format!("bad derived.final_error_gap: {other:?}")),
+    }
+    let stages = doc
+        .get("stages")
+        .and_then(Json::as_arr)
+        .ok_or("stages is not an array")?;
+    if stages.is_empty() {
+        return Err("stages is empty".into());
+    }
+    let mut out = Vec::with_capacity(stages.len());
+    for s in stages {
+        let name = s
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("stage missing name")?;
+        let wall = s
+            .get("wall_ms")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("stage {name} missing wall_ms"))?;
+        if !wall.is_finite() || wall <= 0.0 {
+            return Err(format!("stage {name} has non-positive wall_ms {wall}"));
+        }
+        out.push((name.to_string(), wall));
+    }
+    Ok(out)
+}
+
+/// Compares a fresh report against the checked-in baseline: every stage
+/// the baseline knows about must exist and must not have regressed more
+/// than `factor`× (check.sh uses 2.0). Stages new to the current report
+/// are allowed — they just aren't tracked yet.
+pub fn check_regressions(current: &Json, baseline: &Json, factor: f64) -> Result<(), String> {
+    let cur = validate(current).map_err(|e| format!("current report: {e}"))?;
+    let base = validate(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let mut failures = Vec::new();
+    for (name, base_ms) in &base {
+        match cur.iter().find(|(n, _)| n == name) {
+            None => failures.push(format!("stage {name} missing from current report")),
+            Some((_, cur_ms)) if *cur_ms > base_ms * factor => failures.push(format!(
+                "stage {name} regressed: {cur_ms:.1} ms vs baseline {base_ms:.1} ms (>{factor}x)"
+            )),
+            Some((_, cur_ms)) => {
+                eprintln!("[perf-check] {name}: {cur_ms:.1} ms (baseline {base_ms:.1} ms) ok")
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> PerfReport {
+        PerfReport {
+            scale: Scale::Quick,
+            threads: 4,
+            n_examples: 320,
+            n_features: 38,
+            stages: vec![
+                Stage {
+                    name: "label".into(),
+                    wall_ms: 120.5,
+                },
+                Stage {
+                    name: "loocv_nn".into(),
+                    wall_ms: 6.25,
+                },
+            ],
+            greedy_speedup: 8.4,
+            traces_match: true,
+            final_error_gap: 0.0015,
+        }
+    }
+
+    #[test]
+    fn report_serializes_to_valid_json() {
+        let doc = Json::parse(&sample_report().to_json()).expect("parses");
+        let stages = validate(&doc).expect("validates");
+        assert_eq!(stages[0], ("label".to_string(), 120.5));
+        assert_eq!(stages[1], ("loocv_nn".to_string(), 6.25));
+        assert_eq!(
+            doc.get("derived")
+                .and_then(|d| d.get("greedy_speedup"))
+                .and_then(Json::as_num),
+            Some(8.4)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_malformed_reports() {
+        let good = sample_report().to_json();
+        let cases = [
+            good.replace(SCHEMA, "something/else"),
+            good.replace("\"stages\":[", "\"stages\":[],\"x\":["),
+            good.replace("120.5", "-3.0"),
+            good.replace("\"final_error_gap\":0.001500", "\"final_error_gap\":0.5"),
+            good.replace("\"threads\":4", "\"threads\":0"),
+        ];
+        for bad in cases {
+            let doc = Json::parse(&bad).expect("still JSON");
+            assert!(validate(&doc).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn regression_check_flags_slow_stages() {
+        let base = Json::parse(&sample_report().to_json()).unwrap();
+        let mut fast = sample_report();
+        fast.stages[0].wall_ms = 100.0;
+        let fast = Json::parse(&fast.to_json()).unwrap();
+        assert!(check_regressions(&fast, &base, 2.0).is_ok());
+
+        let mut slow = sample_report();
+        slow.stages[1].wall_ms = 6.25 * 2.5;
+        let slow = Json::parse(&slow.to_json()).unwrap();
+        let err = check_regressions(&slow, &base, 2.0).unwrap_err();
+        assert!(err.contains("loocv_nn"), "{err}");
+
+        let mut missing = sample_report();
+        missing.stages.remove(1);
+        let missing = Json::parse(&missing.to_json()).unwrap();
+        let err = check_regressions(&missing, &base, 2.0).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+}

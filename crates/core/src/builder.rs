@@ -240,9 +240,10 @@ impl Pipeline {
         LearnedHeuristic::fit(name, self.feature_subset.clone(), classifier, &train)
     }
 
-    /// Leave-one-out cross validation of `classifier` on the training
-    /// dataset.
-    pub fn loocv(&self, classifier: &mut dyn Classifier) -> CvResult {
+    /// Leave-one-out cross validation of `classifier` (an unfitted
+    /// prototype; each fold trains a fresh copy, in parallel) on the
+    /// training dataset.
+    pub fn loocv(&self, classifier: &dyn Classifier) -> CvResult {
         loopml_ml::loocv(&self.dataset, classifier)
     }
 }
@@ -304,7 +305,7 @@ mod tests {
     #[test]
     fn loocv_runs_any_classifier() {
         let p = quick().exact().build();
-        let cv = p.loocv(&mut Constant::new(0));
+        let cv = p.loocv(&Constant::new(0));
         assert_eq!(cv.predictions.len(), p.len());
         assert!((0.0..=1.0).contains(&cv.accuracy));
     }

@@ -226,6 +226,10 @@ impl Classifier for OrcClassifier {
     fn name(&self) -> &str {
         "ORC"
     }
+
+    fn fresh(&self) -> Box<dyn Classifier> {
+        Box::new(OrcClassifier)
+    }
 }
 
 /// A learned heuristic: a trained [`Classifier`] behind the compile-time
@@ -391,6 +395,9 @@ mod tests {
             }
             fn name(&self) -> &str {
                 "probe"
+            }
+            fn fresh(&self) -> Box<dyn Classifier> {
+                Box::new(DimProbe)
             }
         }
         let h = LearnedHeuristic::new("first-feature", Some(vec![0]), Box::new(DimProbe));

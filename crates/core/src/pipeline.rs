@@ -2,8 +2,7 @@
 //! classifiers → compile-time heuristics.
 
 use loopml_ml::{
-    greedy_forward, mutual_information, nn1_training_error, Classifier, Dataset, MulticlassSvm,
-    SvmParams,
+    greedy_forward_nn, mutual_information, Classifier, Dataset, MulticlassSvm, SvmParams,
 };
 
 use crate::features::FEATURE_NAMES;
@@ -37,7 +36,9 @@ pub fn benchmark_groups(labeled: &[LabeledLoop]) -> Vec<usize> {
 pub fn informative_features(data: &Dataset, k: usize) -> Vec<usize> {
     let mis = mutual_information(data);
     let mut cols: Vec<usize> = mis.iter().take(k).map(|s| s.index).collect();
-    for step in greedy_forward(data, k, nn1_training_error) {
+    // The incremental cached greedy: O(n²) per candidate instead of
+    // rebuilding the subset's pairwise distances from scratch.
+    for step in greedy_forward_nn(data, k) {
         if !cols.contains(&step.index) {
             cols.push(step.index);
         }
@@ -60,9 +61,9 @@ pub fn svm_training_error(data: &Dataset, params: SvmParams) -> f64 {
 }
 
 /// Convenience: LOOCV accuracy of an arbitrary [`Classifier`] (used for
-/// ablations on small datasets). The classifier is refitted per fold and
-/// left fitted to the last one.
-pub fn loocv_accuracy(data: &Dataset, clf: &mut dyn Classifier) -> f64 {
+/// ablations on small datasets). `clf` is the unfitted prototype; each
+/// fold trains a [`Classifier::fresh`] copy, in parallel.
+pub fn loocv_accuracy(data: &Dataset, clf: &dyn Classifier) -> f64 {
     loopml_ml::loocv(data, clf).accuracy
 }
 
@@ -131,9 +132,9 @@ mod tests {
     #[test]
     fn loocv_accuracy_works_on_any_classifier() {
         let d = to_dataset(&labeled());
-        let acc = loocv_accuracy(&d, &mut loopml_ml::Constant::new(0));
+        let acc = loocv_accuracy(&d, &loopml_ml::Constant::new(0));
         assert!((0.0..=1.0).contains(&acc));
-        let nn_acc = loocv_accuracy(&d, &mut loopml_ml::NearNeighbors::new(0.3));
+        let nn_acc = loocv_accuracy(&d, &loopml_ml::NearNeighbors::new(0.3));
         assert!((0.0..=1.0).contains(&nn_acc));
     }
 

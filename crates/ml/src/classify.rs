@@ -12,11 +12,19 @@
 //! [`Classifier::fit`] with a training set — possibly many times, as
 //! cross-validation refits the same object per fold. Predictions before
 //! the first `fit` are a defined fallback (class 0), never a panic.
+//!
+//! Classifiers are `Send + Sync` so cross-validation can hand one
+//! prototype to several worker threads; [`Classifier::fresh`] mints the
+//! per-worker unfitted copies.
 
 use crate::dataset::Dataset;
 
 /// A trainable multi-class classifier over raw feature vectors.
-pub trait Classifier {
+///
+/// The `Send + Sync` supertraits let cross-validation share a prototype
+/// classifier across [`loopml_rt::par_map`] workers; every model in this
+/// workspace is plain data, so the bounds are free.
+pub trait Classifier: Send + Sync {
     /// Fits (or refits) the model to `data`, replacing any previous fit.
     fn fit(&mut self, data: &Dataset);
 
@@ -26,6 +34,12 @@ pub trait Classifier {
 
     /// Short human-readable model name for reports ("NN", "SVM", …).
     fn name(&self) -> &str;
+
+    /// A fresh *unfitted* classifier carrying the same hyperparameters —
+    /// the per-worker constructor behind parallel cross-validation, where
+    /// each fold trains its own copy instead of refitting one shared
+    /// `&mut` object.
+    fn fresh(&self) -> Box<dyn Classifier>;
 }
 
 /// A classifier that always predicts the same class — the "never unroll" /
@@ -52,6 +66,10 @@ impl Classifier for Constant {
     fn name(&self) -> &str {
         "constant"
     }
+
+    fn fresh(&self) -> Box<dyn Classifier> {
+        Box::new(*self)
+    }
 }
 
 #[cfg(test)]
@@ -76,6 +94,19 @@ mod tests {
         c.fit(&toy());
         assert_eq!(c.predict(&[123.0]), 3);
         assert_eq!(c.name(), "constant");
+    }
+
+    #[test]
+    fn fresh_copies_are_unfitted_with_same_hyperparameters() {
+        let mut nn = NearNeighbors::new(0.7);
+        nn.fit(&toy());
+        let copy = Classifier::fresh(&nn);
+        // Unfitted: falls back to class 0 everywhere.
+        assert_eq!(copy.predict(&[5.1]), 0);
+        let mut svm = MulticlassSvm::new(SvmParams::default());
+        svm.fit(&toy());
+        assert_eq!(Classifier::fresh(&svm).predict(&[5.1]), 0);
+        assert_eq!(Classifier::fresh(&Constant::new(2)).predict(&[0.0]), 2);
     }
 
     #[test]

@@ -1,0 +1,467 @@
+//! Incremental pairwise-distance caching — the algebra that makes greedy
+//! feature selection and kernel re-computation cheap.
+//!
+//! Squared Euclidean distance over a feature subset `S` is *additive
+//! across features*:
+//!
+//! ```text
+//! dist2_S(i, j) = Σ_{f ∈ S} (x[i][f] − x[j][f])²
+//! ```
+//!
+//! so the n×n distance matrix of `S ∪ {f}` is the matrix of `S` plus
+//! feature `f`'s own n×n contribution. [`FeatureDistCache`] exploits
+//! this: it normalizes the data once and keeps each feature's normalized
+//! column — an exact rank-1 factoring of that feature's contribution
+//! matrix (`(col[i] − col[j])²`) — so greedy forward selection evaluates
+//! every candidate subset `S ∪ {f}` with an O(n²) accumulate instead of
+//! an O(n²·|S|) recompute.
+//!
+//! The columns are deliberately *not* expanded into dense per-feature
+//! matrices: at full-corpus scale those are `d·n²·8 ≈ 3.6 GB` and every
+//! greedy sweep streams them from DRAM, which measures *slower* than
+//! recomputing `(col[i] − col[j])²` on the fly from the ~1 MB of columns
+//! that stay resident in L2 (one subtract and multiply per pair versus a
+//! DRAM load). See DESIGN.md §8 for the measurements.
+//!
+//! Min-max normalization is per-column, so normalizing the full dataset
+//! once yields bitwise the same columns as normalizing any
+//! `select_features` subset — the cached contributions are exact for
+//! every subset.
+//!
+//! [`DistanceMatrix`] is the companion full-subset cache: compute the
+//! pairwise distances once, then derive an RBF kernel for *any* gamma via
+//! [`crate::KernelCache::from_distances`] without re-touching feature
+//! vectors (the enabler for gamma sweeps).
+
+use crate::dataset::{dist2, Dataset, MinMaxNormalizer};
+use loopml_rt::par_map_threads;
+
+/// Full pairwise squared-distance matrix over a set of rows, stored flat
+/// row-major (`d2[i * n + j]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    d2: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Computes all pairwise squared distances (symmetric; each pair is
+    /// computed once and mirrored).
+    pub fn compute(xs: &[Vec<f64>]) -> Self {
+        let n = xs.len();
+        let mut d2 = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = dist2(&xs[i], &xs[j]);
+                d2[i * n + j] = v;
+                d2[j * n + i] = v;
+            }
+        }
+        DistanceMatrix { n, d2 }
+    }
+
+    /// Number of rows.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Squared distance between rows `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.d2[i * self.n + j]
+    }
+
+    /// Row `i` of the matrix: squared distances from `i` to every row.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.d2[i * self.n..(i + 1) * self.n]
+    }
+}
+
+/// Per-feature pairwise squared-distance contributions over a normalized
+/// dataset, plus the labels — everything the leave-self-out 1-NN greedy
+/// criterion needs.
+///
+/// Each feature's contribution matrix is held in factored form as its
+/// normalized column (`(col[i] − col[j])²` on demand); the full column
+/// set is `d · n · 8` bytes and stays cache-resident even at corpus
+/// scale, so deriving a contribution costs one subtract-multiply per
+/// pair instead of a DRAM load from a dense `d · n²` expansion.
+#[derive(Debug, Clone)]
+pub struct FeatureDistCache {
+    n: usize,
+    d: usize,
+    /// Normalized feature columns, column-major: `cols[f * n + i]`.
+    cols: Vec<f64>,
+    labels: Vec<usize>,
+}
+
+impl FeatureDistCache {
+    /// Normalizes `data` (per-column min-max, exactly as every classifier
+    /// in this crate does) and caches the per-feature columns.
+    pub fn fit(data: &Dataset) -> Self {
+        let n = data.len();
+        let d = data.dims();
+        let mut cols = vec![0.0; d * n];
+        if n > 0 {
+            let norm = MinMaxNormalizer::fit(&data.x);
+            let xs = norm.transform(&data.x);
+            for (i, row) in xs.iter().enumerate() {
+                for (f, &v) in row.iter().enumerate() {
+                    cols[f * n + i] = v;
+                }
+            }
+        }
+        FeatureDistCache {
+            n,
+            d,
+            cols,
+            labels: data.y.clone(),
+        }
+    }
+
+    /// Number of examples.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of features.
+    pub fn dims(&self) -> usize {
+        self.d
+    }
+
+    /// Adds feature `f`'s pairwise contribution into `base` (a flat n×n
+    /// matrix): afterwards `base[i*n+j] += (x[i][f] − x[j][f])²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range or `base` has the wrong length.
+    pub fn accumulate(&self, f: usize, base: &mut [f64]) {
+        assert!(f < self.d, "feature index out of range");
+        assert_eq!(base.len(), self.n * self.n, "base must be n×n");
+        let col = &self.cols[f * self.n..(f + 1) * self.n];
+        for i in 0..self.n {
+            let ci = col[i];
+            let row = &mut base[i * self.n..(i + 1) * self.n];
+            for (b, &cj) in row.iter_mut().zip(col) {
+                let d = ci - cj;
+                *b += d * d;
+            }
+        }
+    }
+
+    /// Leave-self-out 1-NN training error of the subset `S ∪ {f}`, where
+    /// `base` is the accumulated distance matrix of `S` (all zeros for
+    /// the empty set). O(n²), no allocation: the candidate's contribution
+    /// is fused into the nearest-neighbor scan instead of being written
+    /// anywhere. Nearest-neighbor ties break toward the lower index,
+    /// exactly like [`crate::nn1_training_error`]'s scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range or `base` has the wrong length.
+    pub fn nn1_error_with(&self, base: &[f64], f: usize) -> f64 {
+        assert!(f < self.d, "feature index out of range");
+        assert_eq!(base.len(), self.n * self.n, "base must be n×n");
+        let n = self.n;
+        if n < 2 {
+            return 1.0;
+        }
+        let col = &self.cols[f * n..(f + 1) * n];
+        let mut errors = 0usize;
+        for i in 0..n {
+            let brow = &base[i * n..(i + 1) * n];
+            let mut best = (f64::INFINITY, 0usize);
+            let ci = col[i];
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let d = ci - col[j];
+                let d2 = brow[j] + d * d;
+                if d2 < best.0 {
+                    best = (d2, j);
+                }
+            }
+            if self.labels[best.1] != self.labels[i] {
+                errors += 1;
+            }
+        }
+        errors as f64 / n as f64
+    }
+
+    /// Leave-self-out 1-NN training errors of every candidate subset
+    /// `S ∪ {f}`, `f` over `candidates`, in one fused sweep — the hot
+    /// loop of greedy forward selection. Equivalent to calling
+    /// [`nn1_error_with`](Self::nn1_error_with) per candidate but far
+    /// faster: each example's accumulated-distance row is read once and
+    /// scanned for all candidates while it is cache-hot, with a 4-lane
+    /// argmin instead of a branchy per-pair function call. Work is
+    /// parallelized over contiguous example blocks; error counts are
+    /// integers, so any block partition sums to the same result and the
+    /// output is bit-identical for every `threads` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any candidate is out of range or `base` has the wrong
+    /// length.
+    pub fn nn1_errors_batch(&self, base: &[f64], candidates: &[usize], threads: usize) -> Vec<f64> {
+        assert_eq!(base.len(), self.n * self.n, "base must be n×n");
+        for &f in candidates {
+            assert!(f < self.d, "feature index out of range");
+        }
+        let n = self.n;
+        if n < 2 {
+            return vec![1.0; candidates.len()];
+        }
+        let workers = threads.max(1).min(n);
+        let blocks: Vec<(usize, usize)> = (0..workers)
+            .map(|w| {
+                let lo = w * n / workers;
+                let hi = (w + 1) * n / workers;
+                (lo, hi)
+            })
+            .filter(|(lo, hi)| lo < hi)
+            .collect();
+        let counts = par_map_threads(threads, &blocks, |&(lo, hi)| {
+            let mut errs = vec![0u32; candidates.len()];
+            for i in lo..hi {
+                let brow = &base[i * n..(i + 1) * n];
+                for (ci, &f) in candidates.iter().enumerate() {
+                    let col = &self.cols[f * n..(f + 1) * n];
+                    let ci_v = col[i];
+                    let lo = min_col_range(brow, col, ci_v, 0, i);
+                    let hi = min_col_range(brow, col, ci_v, i + 1, n);
+                    // `<=` sends exact cross-range ties to the first
+                    // range: the lowest index wins, just like the serial
+                    // ascending scan.
+                    let nearest = if lo <= hi {
+                        find_col(brow, col, ci_v, 0, i, lo)
+                    } else {
+                        find_col(brow, col, ci_v, i + 1, n, hi)
+                    };
+                    if self.labels[nearest] != self.labels[i] {
+                        errs[ci] += 1;
+                    }
+                }
+            }
+            errs
+        });
+        let mut total = vec![0u64; candidates.len()];
+        for block in counts {
+            for (t, c) in total.iter_mut().zip(block) {
+                *t += u64::from(c);
+            }
+        }
+        total.into_iter().map(|e| e as f64 / n as f64).collect()
+    }
+}
+
+/// Minimum of `brow[j] + (ci − col[j])²` over `j ∈ [lo, hi)` (`+∞` when
+/// empty). Min-only on purpose: without index tracking the loop is a
+/// pure arithmetic-and-min reduction the compiler vectorizes, and the
+/// compare-select keeps the minimum equal to one of the computed values
+/// exactly, so the winning index is recovered afterwards by an equality
+/// scan ([`find_col`]) over the same values.
+///
+/// `inline(never)`: compiled standalone this is a clean packed-min loop;
+/// inlined into the candidate sweep it merges with surrounding control
+/// flow and loses half its throughput (measured ~2.5× slower on the
+/// smoke corpus). The call overhead is amortized over an O(n) scan.
+#[inline(never)]
+fn min_col_range(brow: &[f64], col: &[f64], ci: f64, lo: usize, hi: usize) -> f64 {
+    const LANES: usize = 4;
+    let a = &brow[lo..hi];
+    let c = &col[lo..hi];
+    let chunks = a.len() / LANES * LANES;
+    let mut mv = [f64::INFINITY; LANES];
+    let mut k = 0;
+    while k < chunks {
+        for l in 0..LANES {
+            // Compare-select rather than `f64::min`: identical for the
+            // NaN-free sums here, and it compiles to the packed-min
+            // instruction `f64::min`'s NaN handling blocks.
+            let d = ci - c[k + l];
+            let v = a[k + l] + d * d;
+            mv[l] = if v < mv[l] { v } else { mv[l] };
+        }
+        k += LANES;
+    }
+    let mut m = mv[0].min(mv[1]).min(mv[2].min(mv[3]));
+    for k in chunks..a.len() {
+        let d = ci - c[k];
+        m = m.min(a[k] + d * d);
+    }
+    m
+}
+
+/// First `j ∈ [lo, hi)` with `brow[j] + (ci − col[j])² == target` — the
+/// lowest index attaining the minimum, the same winner a serial
+/// ascending strict-`<` scan picks.
+///
+/// # Panics
+///
+/// Panics if no element equals `target` (impossible when `target` came
+/// from [`min_col_range`] over the same range).
+#[inline]
+fn find_col(brow: &[f64], col: &[f64], ci: f64, lo: usize, hi: usize, target: f64) -> usize {
+    (lo..hi)
+        .find(|&j| {
+            let d = ci - col[j];
+            brow[j] + d * d == target
+        })
+        .expect("minimum came from this range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopml_rt::Rng;
+
+    fn arb_dataset(rng: &mut Rng, n: usize, d: usize) -> Dataset {
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(-100.0..100.0)).collect())
+            .collect();
+        let y: Vec<usize> = (0..n).map(|_| rng.gen_range(0..4usize)).collect();
+        Dataset::new(
+            x,
+            y,
+            4,
+            (0..d).map(|j| format!("f{j}")).collect(),
+            (0..n).map(|i| format!("e{i}")).collect(),
+        )
+    }
+
+    #[test]
+    fn distance_matrix_matches_dist2() {
+        let mut rng = Rng::seed_from_u64(7);
+        let data = arb_dataset(&mut rng, 12, 5);
+        let dm = DistanceMatrix::compute(&data.x);
+        for i in 0..data.len() {
+            for j in 0..data.len() {
+                assert_eq!(
+                    dm.get(i, j).to_bits(),
+                    dist2(&data.x[i], &data.x[j]).to_bits()
+                );
+            }
+            assert_eq!(dm.row(i)[i], 0.0);
+        }
+    }
+
+    /// The incremental accumulate over random subsets must match a direct
+    /// `dist2` over the subset's normalized columns (within FP
+    /// reassociation tolerance — `dist2` sums lanes, the cache sums in
+    /// selection order).
+    #[test]
+    fn accumulated_subsets_match_direct_dist2() {
+        let mut rng = Rng::seed_from_u64(0xCAFE);
+        for _ in 0..10 {
+            let n = rng.gen_range(4..16usize);
+            let d = rng.gen_range(2..9usize);
+            let data = arb_dataset(&mut rng, n, d);
+            let cache = FeatureDistCache::fit(&data);
+            // Random subset, random order.
+            let len = rng.gen_range(1..=d);
+            let mut subset = Vec::new();
+            while subset.len() < len {
+                let f = rng.gen_range(0..d);
+                if !subset.contains(&f) {
+                    subset.push(f);
+                }
+            }
+            let mut base = vec![0.0; n * n];
+            for &f in &subset {
+                cache.accumulate(f, &mut base);
+            }
+            let sub = data.select_features(&subset);
+            let xs = MinMaxNormalizer::fit(&sub.x).transform(&sub.x);
+            for i in 0..n {
+                for j in 0..n {
+                    let direct = dist2(&xs[i], &xs[j]);
+                    let cached = base[i * n + j];
+                    assert!(
+                        (cached - direct).abs() <= 1e-9 * direct.max(1.0),
+                        "subset {subset:?} ({i},{j}): cached {cached} vs direct {direct}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nn1_error_with_matches_reference() {
+        use crate::feature_select::nn1_training_error;
+        let mut rng = Rng::seed_from_u64(0x5EED);
+        for _ in 0..10 {
+            let n = rng.gen_range(4..20usize);
+            let d = rng.gen_range(1..7usize);
+            let data = arb_dataset(&mut rng, n, d);
+            let cache = FeatureDistCache::fit(&data);
+            // Build up a subset feature by feature, comparing the fused
+            // candidate evaluation against the reference at every step.
+            let mut base = vec![0.0; n * n];
+            let mut subset: Vec<usize> = Vec::new();
+            for f in 0..d {
+                let mut cols = subset.clone();
+                cols.push(f);
+                let reference = nn1_training_error(&data.select_features(&cols));
+                let cached = cache.nn1_error_with(&base, f);
+                assert_eq!(cached, reference, "subset {cols:?}");
+                cache.accumulate(f, &mut base);
+                subset.push(f);
+            }
+        }
+    }
+
+    /// The batched sweep must agree exactly with the per-candidate path —
+    /// at every thread count, and on tie-heavy integer data where argmin
+    /// tie-breaking (lowest index wins) actually gets exercised.
+    #[test]
+    fn batch_matches_single_candidate_path() {
+        let mut rng = Rng::seed_from_u64(0x417);
+        for round in 0..12 {
+            let n = rng.gen_range(4..24usize);
+            let d = rng.gen_range(1..8usize);
+            let data = if round % 2 == 0 {
+                arb_dataset(&mut rng, n, d)
+            } else {
+                // Small-integer features: many exactly-tied distances.
+                let x: Vec<Vec<f64>> = (0..n)
+                    .map(|_| (0..d).map(|_| rng.gen_range(0..3) as f64).collect())
+                    .collect();
+                let y: Vec<usize> = (0..n).map(|_| rng.gen_range(0..3usize)).collect();
+                Dataset::new(
+                    x,
+                    y,
+                    3,
+                    (0..d).map(|j| format!("f{j}")).collect(),
+                    (0..n).map(|i| format!("e{i}")).collect(),
+                )
+            };
+            let cache = FeatureDistCache::fit(&data);
+            let mut base = vec![0.0; n * n];
+            if d > 1 {
+                cache.accumulate(d - 1, &mut base);
+            }
+            let candidates: Vec<usize> = (0..d).collect();
+            let single: Vec<f64> = candidates
+                .iter()
+                .map(|&f| cache.nn1_error_with(&base, f))
+                .collect();
+            for threads in [1, 2, 4] {
+                assert_eq!(
+                    cache.nn1_errors_batch(&base, &candidates, threads),
+                    single,
+                    "round {round}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_datasets_report_full_error() {
+        let data = arb_dataset(&mut Rng::seed_from_u64(1), 1, 2);
+        let cache = FeatureDistCache::fit(&data);
+        assert_eq!(cache.nn1_error_with(&[0.0], 0), 1.0);
+    }
+}

@@ -1,7 +1,19 @@
 //! Feature selection (paper §7): mutual information scoring and greedy
 //! forward selection.
+//!
+//! Greedy forward selection re-evaluates a classifier for every candidate
+//! feature at every step — the most expensive search in the paper. Two
+//! accelerations live here: the candidate evaluations of each round fan
+//! out across [`loopml_rt::par_map`] workers (bit-identical to serial —
+//! candidates are scanned in index order and ties keep the lowest index
+//! either way), and for the leave-self-out 1-NN criterion,
+//! [`greedy_forward_nn`] swaps the O(n²·|S|) per-candidate distance
+//! recompute for an O(n²) accumulate over the
+//! [`FeatureDistCache`](crate::FeatureDistCache).
 
 use crate::dataset::{Dataset, MinMaxNormalizer};
+use crate::distcache::FeatureDistCache;
+use loopml_rt::{num_threads, par_map_threads};
 
 /// Number of equal-width bins used to discretize continuous features
 /// before estimating probability mass functions.
@@ -87,29 +99,42 @@ pub struct GreedyStep {
 /// minimizes the training error of the classifier built by `train_error`:
 /// a callback receiving a candidate dataset (the selected features plus
 /// one candidate) and returning the training error in `[0, 1]`. Runs for
-/// `steps` rounds.
-pub fn greedy_forward<F>(data: &Dataset, steps: usize, mut train_error: F) -> Vec<GreedyStep>
+/// `steps` rounds. The candidate evaluations of each round run in
+/// parallel (`train_error` must therefore be a pure function of the
+/// dataset), bit-identical to a serial scan. For the 1-NN criterion,
+/// prefer [`greedy_forward_nn`], which avoids rebuilding distances per
+/// candidate entirely.
+pub fn greedy_forward<F>(data: &Dataset, steps: usize, train_error: F) -> Vec<GreedyStep>
 where
-    F: FnMut(&Dataset) -> f64,
+    F: Fn(&Dataset) -> f64 + Sync,
+{
+    greedy_forward_threads(data, steps, train_error, num_threads())
+}
+
+/// [`greedy_forward`] with an explicit worker count (used by the
+/// equivalence tests to force serial vs. multi-threaded execution).
+pub fn greedy_forward_threads<F>(
+    data: &Dataset,
+    steps: usize,
+    train_error: F,
+    threads: usize,
+) -> Vec<GreedyStep>
+where
+    F: Fn(&Dataset) -> f64 + Sync,
 {
     let d = data.dims();
     let mut selected: Vec<usize> = Vec::new();
     let mut trace = Vec::new();
     for _ in 0..steps.min(d) {
-        let mut best: Option<(usize, f64)> = None;
-        for cand in 0..d {
-            if selected.contains(&cand) {
-                continue;
-            }
+        let candidates: Vec<usize> = (0..d).filter(|c| !selected.contains(c)).collect();
+        let errors = par_map_threads(threads, &candidates, |&cand| {
             let mut cols = selected.clone();
             cols.push(cand);
-            let sub = data.select_features(&cols);
-            let err = train_error(&sub);
-            if best.is_none_or(|(_, e)| err < e) {
-                best = Some((cand, err));
-            }
-        }
-        let Some((idx, err)) = best else { break };
+            train_error(&data.select_features(&cols))
+        });
+        let Some((idx, err)) = argmin(&candidates, &errors) else {
+            break;
+        };
         selected.push(idx);
         trace.push(GreedyStep {
             index: idx,
@@ -118,6 +143,57 @@ where
         });
     }
     trace
+}
+
+/// Greedy forward selection under the leave-self-out 1-NN criterion
+/// (the NN column of Table 4), incremental: distances are additive
+/// across features, so each candidate `S ∪ {f}` is evaluated with an
+/// O(n²) accumulate over the precomputed per-feature cache instead of
+/// the O(n²·|S|) recompute [`greedy_forward`] +
+/// [`nn1_training_error`] performs. Candidates run in parallel;
+/// results match the direct path up to floating-point reassociation in
+/// [`crate::dist2`].
+pub fn greedy_forward_nn(data: &Dataset, steps: usize) -> Vec<GreedyStep> {
+    greedy_forward_nn_threads(data, steps, num_threads())
+}
+
+/// [`greedy_forward_nn`] with an explicit worker count (used by the
+/// equivalence tests to force serial vs. multi-threaded execution).
+pub fn greedy_forward_nn_threads(data: &Dataset, steps: usize, threads: usize) -> Vec<GreedyStep> {
+    let d = data.dims();
+    let n = data.len();
+    let cache = FeatureDistCache::fit(data);
+    // Accumulated distance matrix of the selected subset (empty set: 0).
+    let mut base = vec![0.0; n * n];
+    let mut selected: Vec<usize> = Vec::new();
+    let mut trace = Vec::new();
+    for _ in 0..steps.min(d) {
+        let candidates: Vec<usize> = (0..d).filter(|c| !selected.contains(c)).collect();
+        let errors = cache.nn1_errors_batch(&base, &candidates, threads);
+        let Some((idx, err)) = argmin(&candidates, &errors) else {
+            break;
+        };
+        cache.accumulate(idx, &mut base);
+        selected.push(idx);
+        trace.push(GreedyStep {
+            index: idx,
+            name: data.feature_names[idx].clone(),
+            error: err,
+        });
+    }
+    trace
+}
+
+/// First strict minimum over `(candidates, errors)` — the same candidate
+/// a serial ascending scan with `<` would pick.
+fn argmin(candidates: &[usize], errors: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (&cand, &err) in candidates.iter().zip(errors) {
+        if best.is_none_or(|(_, e)| err < e) {
+            best = Some((cand, err));
+        }
+    }
+    best
 }
 
 /// Training error of a 1-nearest-neighbor classifier evaluated
@@ -220,5 +296,58 @@ mod tests {
         let d = toy();
         assert_eq!(greedy_forward(&d, 2, nn1_training_error).len(), 2);
         assert!(greedy_forward(&d, 99, nn1_training_error).len() <= 3);
+    }
+
+    #[test]
+    fn parallel_greedy_is_bit_identical_to_serial() {
+        let d = toy();
+        let serial = greedy_forward_threads(&d, 3, nn1_training_error, 1);
+        let serial_nn = greedy_forward_nn_threads(&d, 3, 1);
+        for threads in [2, 4] {
+            assert_eq!(
+                serial,
+                greedy_forward_threads(&d, 3, nn1_training_error, threads),
+                "direct greedy diverged at {threads} threads"
+            );
+            assert_eq!(
+                serial_nn,
+                greedy_forward_nn_threads(&d, 3, threads),
+                "cached greedy diverged at {threads} threads"
+            );
+        }
+        // And through the default (env/core-count) entry points.
+        assert_eq!(serial, greedy_forward(&d, 3, nn1_training_error));
+        assert_eq!(serial_nn, greedy_forward_nn(&d, 3));
+    }
+
+    #[test]
+    fn cached_greedy_matches_direct_greedy() {
+        // On the toy data and on random datasets the incremental path
+        // must pick the same features with the same errors as the
+        // recompute-from-scratch path.
+        let d = toy();
+        assert_eq!(
+            greedy_forward(&d, 3, nn1_training_error),
+            greedy_forward_nn(&d, 3)
+        );
+        let mut rng = loopml_rt::Rng::seed_from_u64(0x6EE0);
+        for _ in 0..5 {
+            let n = rng.gen_range(6..20usize);
+            let dims = rng.gen_range(2..7usize);
+            let x: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..dims).map(|_| rng.gen_range(-10.0..10.0)).collect())
+                .collect();
+            let y: Vec<usize> = (0..n).map(|_| rng.gen_range(0..3usize)).collect();
+            let data = Dataset::new(
+                x,
+                y,
+                3,
+                (0..dims).map(|j| format!("f{j}")).collect(),
+                (0..n).map(|i| format!("e{i}")).collect(),
+            );
+            let direct = greedy_forward(&data, dims, nn1_training_error);
+            let cached = greedy_forward_nn(&data, dims);
+            assert_eq!(direct, cached);
+        }
     }
 }

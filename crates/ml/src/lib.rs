@@ -17,8 +17,19 @@
 //! * [`Lda2d`] — the 2-D linear-discriminant projection behind Figures
 //!   1 and 2;
 //! * [`mutual_information`] / [`greedy_forward`] — the feature-selection
-//!   methods of Tables 3 and 4;
+//!   methods of Tables 3 and 4, with [`greedy_forward_nn`] the
+//!   incremental fast path for the 1-NN criterion;
+//! * [`DistanceMatrix`] / [`FeatureDistCache`] — pairwise-distance
+//!   caches: derive an RBF kernel for any gamma without re-touching
+//!   feature vectors, and evaluate greedy candidate subsets with an
+//!   O(n²) accumulate (distances are additive across features);
 //! * [`linalg`] — the small dense linear-algebra kernel underneath LDA.
+//!
+//! Cross-validation folds, greedy candidates, and the one-vs-rest SVM
+//! trainers all fan out across [`loopml_rt::par_map`] workers
+//! (`LOOPML_THREADS` overrides the count), with results bit-identical to
+//! serial runs — each unit of work is a pure function, the pool only
+//! reschedules it.
 //!
 //! # Examples
 //!
@@ -42,6 +53,7 @@
 
 pub mod classify;
 pub mod dataset;
+pub mod distcache;
 pub mod feature_select;
 pub mod lda;
 pub mod linalg;
@@ -51,12 +63,16 @@ pub mod svm;
 
 pub use classify::{Classifier, Constant};
 pub use dataset::{dist2, Dataset, MinMaxNormalizer};
+pub use distcache::{DistanceMatrix, FeatureDistCache};
 pub use feature_select::{
-    greedy_forward, mutual_information, nn1_training_error, GreedyStep, ScoredFeature, MIS_BINS,
+    greedy_forward, greedy_forward_nn, greedy_forward_nn_threads, greedy_forward_threads,
+    mutual_information, nn1_training_error, GreedyStep, ScoredFeature, MIS_BINS,
 };
 pub use lda::Lda2d;
 pub use linalg::Matrix;
-pub use loocv::{logo_predictions, loocv, loocv_nn, loocv_svm, CvResult};
+pub use loocv::{
+    logo_predictions, logo_predictions_threads, loocv, loocv_nn, loocv_svm, loocv_threads, CvResult,
+};
 pub use nn::{NearNeighbors, NnPrediction, DEFAULT_RADIUS};
 pub use svm::{decode, KernelCache, MulticlassSvm, SvmParams};
 

@@ -6,11 +6,22 @@
 //! exclusion at query time, and the SVM only changes when a support
 //! vector is removed — plus a fully generic path for arbitrary
 //! classifiers.
+//!
+//! Every fold is a pure function of the dataset, so all three entry
+//! points fan folds out across [`loopml_rt::par_map`] workers
+//! (`LOOPML_THREADS` overrides the count) with results bit-identical to
+//! a serial run: the pool changes *when* a fold runs, never what it
+//! computes or where its prediction lands. The generic path hands each
+//! worker a [`Classifier::fresh`] copy of the prototype classifier and
+//! one scratch training set reused across that worker's folds
+//! ([`Dataset::copy_excluding_into`]), so the per-fold dataset clone of
+//! the naive implementation disappears.
 
 use crate::classify::Classifier;
 use crate::dataset::Dataset;
 use crate::nn::NearNeighbors;
 use crate::svm::{MulticlassSvm, SvmParams};
+use loopml_rt::{num_threads, par_map_threads};
 
 /// Result of a cross-validation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,62 +49,120 @@ fn result_from(predictions: Vec<usize>, truth: &[usize]) -> CvResult {
     }
 }
 
+/// Splits `0..n` into at most `parts` contiguous, balanced ranges. The
+/// partition only affects which worker computes which folds, never the
+/// folds' results, so any `parts` yields identical predictions.
+fn fold_blocks(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut blocks = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        blocks.push(start..start + len);
+        start += len;
+    }
+    blocks
+}
+
+/// An empty dataset to use as a reusable scratch training set.
+fn scratch_dataset() -> Dataset {
+    Dataset {
+        x: Vec::new(),
+        y: Vec::new(),
+        classes: 0,
+        feature_names: Vec::new(),
+        example_names: Vec::new(),
+    }
+}
+
 /// LOOCV for radius near neighbors: exact, via query-time exclusion.
+/// Queries run in parallel.
 pub fn loocv_nn(data: &Dataset, radius: f64) -> CvResult {
     let nn = NearNeighbors::fit(data, radius);
-    let predictions = (0..data.len())
-        .map(|i| nn.predict_excluding(&data.x[i], i).label)
-        .collect();
+    let indices: Vec<usize> = (0..data.len()).collect();
+    let predictions = par_map_threads(num_threads(), &indices, |&i| {
+        nn.predict_excluding(&data.x[i], i).label
+    });
     result_from(predictions, &data.y)
 }
 
 /// LOOCV for the multi-class SVM: exact for examples that are not support
-/// vectors, warm-start re-converged otherwise.
+/// vectors, warm-start re-converged otherwise. Both the one-vs-rest
+/// training and the per-example folds run in parallel.
 pub fn loocv_svm(data: &Dataset, params: SvmParams) -> CvResult {
     let svm = MulticlassSvm::fit(data, params);
     result_from(svm.loo_predictions(), &data.y)
 }
 
-/// Generic LOOCV: refits `clf` on the N−1 remaining examples for every
-/// fold. Use only for small datasets or cheap classifiers; the fast paths
-/// above avoid the N retrains. The classifier is left fitted to the last
-/// fold on return.
-pub fn loocv(data: &Dataset, clf: &mut dyn Classifier) -> CvResult {
-    let n = data.len();
-    let mut predictions = Vec::with_capacity(n);
-    let mut drop = vec![false; n];
-    for i in 0..n {
-        drop[i] = true;
-        let train = data.without_examples(&drop);
-        drop[i] = false;
-        clf.fit(&train);
-        predictions.push(clf.predict(&data.x[i]));
-    }
-    result_from(predictions, &data.y)
+/// Generic LOOCV: trains a [`Classifier::fresh`] copy of `clf` on the
+/// N−1 remaining examples for every fold. Use only for small datasets or
+/// cheap classifiers; the fast paths above avoid the N retrains. Folds
+/// run in parallel, bit-identical to a serial run; `clf` itself is never
+/// mutated.
+pub fn loocv(data: &Dataset, clf: &dyn Classifier) -> CvResult {
+    loocv_threads(data, clf, num_threads())
+}
+
+/// [`loocv`] with an explicit worker count (used by the equivalence tests
+/// to force serial vs. multi-threaded execution).
+pub fn loocv_threads(data: &Dataset, clf: &dyn Classifier, threads: usize) -> CvResult {
+    let blocks = fold_blocks(data.len(), threads);
+    let per_block: Vec<Vec<usize>> = par_map_threads(threads, &blocks, |block| {
+        let mut model = clf.fresh();
+        let mut train = scratch_dataset();
+        block
+            .clone()
+            .map(|i| {
+                data.copy_excluding_into(i, &mut train);
+                model.fit(&train);
+                model.predict(&data.x[i])
+            })
+            .collect()
+    });
+    result_from(per_block.concat(), &data.y)
 }
 
 /// Leave-one-*group*-out predictions (the Figure 4/5 protocol: when
 /// compiling a benchmark, all of its loops are excluded from training).
-/// `group` assigns each example to a group; `clf` is refitted once per
-/// group with that group held out, and left fitted to the last fold.
-pub fn logo_predictions(data: &Dataset, group: &[usize], clf: &mut dyn Classifier) -> Vec<usize> {
+/// `group` assigns each example to a group; a [`Classifier::fresh`] copy
+/// of `clf` is fitted once per group with that group held out, with the
+/// groups processed in parallel (bit-identical to serial). Groups whose
+/// exclusion would empty the training set predict class 0.
+pub fn logo_predictions(data: &Dataset, group: &[usize], clf: &dyn Classifier) -> Vec<usize> {
+    logo_predictions_threads(data, group, clf, num_threads())
+}
+
+/// [`logo_predictions`] with an explicit worker count (used by the
+/// equivalence tests to force serial vs. multi-threaded execution).
+pub fn logo_predictions_threads(
+    data: &Dataset,
+    group: &[usize],
+    clf: &dyn Classifier,
+    threads: usize,
+) -> Vec<usize> {
     assert_eq!(group.len(), data.len());
-    let mut predictions = vec![0usize; data.len()];
     let mut groups: Vec<usize> = group.to_vec();
     groups.sort_unstable();
     groups.dedup();
-    for g in groups {
+    let per_group: Vec<Vec<(usize, usize)>> = par_map_threads(threads, &groups, |&g| {
+        let members: Vec<usize> = (0..data.len()).filter(|&i| group[i] == g).collect();
         let drop: Vec<bool> = group.iter().map(|&gi| gi == g).collect();
         let train = data.without_examples(&drop);
         if train.is_empty() {
-            continue;
+            return members.into_iter().map(|i| (i, 0)).collect();
         }
-        clf.fit(&train);
-        for i in 0..data.len() {
-            if group[i] == g {
-                predictions[i] = clf.predict(&data.x[i]);
-            }
-        }
+        let mut model = clf.fresh();
+        model.fit(&train);
+        members
+            .into_iter()
+            .map(|i| (i, model.predict(&data.x[i])))
+            .collect()
+    });
+    let mut predictions = vec![0usize; data.len()];
+    for (i, p) in per_group.into_iter().flatten() {
+        predictions[i] = p;
     }
     predictions
 }
@@ -139,7 +208,7 @@ mod tests {
     fn generic_matches_nn_fast_path() {
         let d = clusters();
         let fast = loocv_nn(&d, DEFAULT_RADIUS);
-        let slow = loocv(&d, &mut NearNeighbors::new(DEFAULT_RADIUS));
+        let slow = loocv(&d, &NearNeighbors::new(DEFAULT_RADIUS));
         assert_eq!(fast.predictions, slow.predictions);
     }
 
@@ -149,7 +218,7 @@ mod tests {
         // Each cluster its own group: training never sees the cluster, so
         // accuracy collapses — proving the group really was excluded.
         let group: Vec<usize> = d.y.clone();
-        let preds = logo_predictions(&d, &group, &mut NearNeighbors::new(DEFAULT_RADIUS));
+        let preds = logo_predictions(&d, &group, &NearNeighbors::new(DEFAULT_RADIUS));
         let correct = preds.iter().zip(&d.y).filter(|(p, y)| p == y).count();
         assert_eq!(correct, 0, "held-out clusters must be unpredictable");
     }
@@ -158,5 +227,55 @@ mod tests {
     fn accuracy_is_a_fraction() {
         let r = loocv_nn(&clusters(), DEFAULT_RADIUS);
         assert!((0.0..=1.0).contains(&r.accuracy));
+    }
+
+    #[test]
+    fn fold_blocks_cover_everything_in_order() {
+        for n in [0usize, 1, 5, 18, 100] {
+            for parts in [1usize, 2, 3, 4, 7, 200] {
+                let blocks = fold_blocks(n, parts);
+                let flat: Vec<usize> = blocks.iter().flat_map(|b| b.clone()).collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_loocv_is_bit_identical_to_serial() {
+        // The determinism contract mirrored from parallel labeling: any
+        // thread count must reproduce the serial fold-by-fold reference
+        // exactly — predictions, order, accuracy.
+        let d = clusters();
+        let nn = NearNeighbors::new(DEFAULT_RADIUS);
+        let svm = MulticlassSvm::new(SvmParams::default());
+        for clf in [&nn as &dyn Classifier, &svm as &dyn Classifier] {
+            let serial = loocv_threads(&d, clf, 1);
+            for threads in [2, 4] {
+                assert_eq!(
+                    serial,
+                    loocv_threads(&d, clf, threads),
+                    "{} diverged at {threads} threads",
+                    clf.name()
+                );
+            }
+            // And through the default (env/core-count) entry point.
+            assert_eq!(serial, loocv(&d, clf));
+        }
+    }
+
+    #[test]
+    fn parallel_logo_is_bit_identical_to_serial() {
+        let d = clusters();
+        let group: Vec<usize> = (0..d.len()).map(|i| i % 5).collect();
+        let nn = NearNeighbors::new(DEFAULT_RADIUS);
+        let serial = logo_predictions_threads(&d, &group, &nn, 1);
+        for threads in [2, 4] {
+            assert_eq!(
+                serial,
+                logo_predictions_threads(&d, &group, &nn, threads),
+                "diverged at {threads} threads"
+            );
+        }
+        assert_eq!(serial, logo_predictions(&d, &group, &nn));
     }
 }

@@ -177,6 +177,10 @@ impl Classifier for NearNeighbors {
     fn name(&self) -> &str {
         "NN"
     }
+
+    fn fresh(&self) -> Box<dyn Classifier> {
+        Box::new(NearNeighbors::new(self.radius))
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,8 @@
 
 use crate::classify::Classifier;
 use crate::dataset::{dist2, Dataset, MinMaxNormalizer};
+use crate::distcache::DistanceMatrix;
+use loopml_rt::{num_threads, par_map_threads};
 
 /// SVM hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,15 +50,26 @@ pub struct KernelCache {
 }
 
 impl KernelCache {
-    /// Computes the full kernel matrix over normalized rows.
+    /// Computes the full kernel matrix over normalized rows: the pairwise
+    /// distances once, then the RBF entries via [`from_distances`].
+    ///
+    /// [`from_distances`]: KernelCache::from_distances
     pub fn compute(xs: &[Vec<f64>], gamma: f64) -> Self {
-        let n = xs.len();
+        Self::from_distances(&DistanceMatrix::compute(xs), gamma)
+    }
+
+    /// Derives the RBF kernel matrix (with the +1 bias term folded in)
+    /// from an already-computed pairwise distance matrix, for any gamma,
+    /// without re-touching feature vectors — compute the distances once,
+    /// sweep gamma for free.
+    pub fn from_distances(dm: &DistanceMatrix, gamma: f64) -> Self {
+        let n = dm.n();
         let mut k = vec![0.0; n * n];
         for i in 0..n {
-            for j in i..n {
-                let v = (-gamma * dist2(&xs[i], &xs[j])).exp() + 1.0;
-                k[i * n + j] = v;
-                k[j * n + i] = v;
+            let drow = dm.row(i);
+            let krow = &mut k[i * n..(i + 1) * n];
+            for (kv, &d2) in krow.iter_mut().zip(drow) {
+                *kv = (-gamma * d2).exp() + 1.0;
             }
         }
         KernelCache { n, k }
@@ -199,24 +212,32 @@ impl MulticlassSvm {
         }
     }
 
-    /// Trains one binary machine per class (one-vs-rest).
+    /// Trains one binary machine per class (one-vs-rest). The per-class
+    /// trainers are independent and run in parallel, bit-identical to a
+    /// serial fit.
     ///
     /// # Panics
     ///
     /// Panics if the dataset is empty.
     pub fn fit(data: &Dataset, params: SvmParams) -> Self {
+        Self::fit_threads(data, params, num_threads())
+    }
+
+    /// [`fit`](MulticlassSvm::fit) with an explicit worker count (used by
+    /// the equivalence tests to force serial vs. multi-threaded training).
+    pub fn fit_threads(data: &Dataset, params: SvmParams, threads: usize) -> Self {
         assert!(!data.is_empty(), "cannot fit to an empty dataset");
         let normalizer = MinMaxNormalizer::fit(&data.x);
         let xs = normalizer.transform(&data.x);
         let kernel = KernelCache::compute(&xs, params.gamma);
-        let mut alphas = Vec::with_capacity(data.classes);
-        for class in 0..data.classes {
+        let classes: Vec<usize> = (0..data.classes).collect();
+        let alphas = par_map_threads(threads, &classes, |&class| {
             let labels: Vec<f64> = data
                 .y
                 .iter()
                 .map(|&y| if y == class { 1.0 } else { -1.0 })
                 .collect();
-            alphas.push(train_binary(
+            train_binary(
                 &kernel,
                 &labels,
                 &params,
@@ -224,8 +245,8 @@ impl MulticlassSvm {
                 None,
                 params.max_sweeps,
                 None,
-            ));
-        }
+            )
+        });
         MulticlassSvm {
             params,
             normalizer,
@@ -270,8 +291,17 @@ impl MulticlassSvm {
     /// Exact-leaning leave-one-out predictions for every training
     /// example: machines in which the example is not a support vector are
     /// reused as-is (removal provably does not change them); the rest are
-    /// re-converged from a warm start with the example frozen out.
+    /// re-converged from a warm start with the example frozen out. The
+    /// per-example folds only read the trained machine, so they run in
+    /// parallel, bit-identical to a serial pass.
     pub fn loo_predictions(&self) -> Vec<usize> {
+        self.loo_predictions_threads(num_threads())
+    }
+
+    /// [`loo_predictions`](MulticlassSvm::loo_predictions) with an
+    /// explicit worker count (used by the equivalence tests to force
+    /// serial vs. multi-threaded execution).
+    pub fn loo_predictions_threads(&self, threads: usize) -> Vec<usize> {
         let n = self.xs.len();
         // Per-class machinery computed once: one-vs-rest labels and the
         // support-vector active sets used for warm-start re-convergence.
@@ -289,8 +319,8 @@ impl MulticlassSvm {
             .map(|a| (0..n).filter(|&j| a[j] > 0.0).collect())
             .collect();
 
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n {
+        let indices: Vec<usize> = (0..n).collect();
+        par_map_threads(threads, &indices, |&i| {
             let mut decisions = Vec::with_capacity(self.classes);
             for c in 0..self.classes {
                 let labels = &labels_by_class[c];
@@ -312,9 +342,8 @@ impl MulticlassSvm {
                 };
                 decisions.push(d);
             }
-            out.push(decode(&decisions));
-        }
-        out
+            decode(&decisions)
+        })
     }
 
     /// Number of support vectors per class machine.
@@ -337,6 +366,10 @@ impl Classifier for MulticlassSvm {
 
     fn name(&self) -> &str {
         "SVM"
+    }
+
+    fn fresh(&self) -> Box<dyn Classifier> {
+        Box::new(MulticlassSvm::new(self.params))
     }
 }
 
@@ -433,6 +466,36 @@ mod tests {
         assert_eq!(decode(&[1.0, 3.0, -1.0]), 1);
         // No positive bit: all at distance 1; least-negative wins.
         assert_eq!(decode(&[-5.0, -0.1, -2.0]), 1);
+    }
+
+    #[test]
+    fn kernel_from_distances_matches_compute() {
+        let d = clusters();
+        let xs = MinMaxNormalizer::fit(&d.x).transform(&d.x);
+        let dm = DistanceMatrix::compute(&xs);
+        for gamma in [0.5, 1.0, 4.0] {
+            let direct = KernelCache::compute(&xs, gamma);
+            let derived = KernelCache::from_distances(&dm, gamma);
+            assert_eq!(direct.k, derived.k, "gamma={gamma}");
+        }
+    }
+
+    #[test]
+    fn parallel_training_and_loo_are_bit_identical_to_serial() {
+        let d = clusters();
+        let p = SvmParams::default();
+        let serial = MulticlassSvm::fit_threads(&d, p, 1);
+        let serial_loo = serial.loo_predictions_threads(1);
+        for threads in [2, 4] {
+            let par = MulticlassSvm::fit_threads(&d, p, threads);
+            assert_eq!(serial.alphas, par.alphas, "alphas diverged at {threads}");
+            assert_eq!(
+                serial_loo,
+                par.loo_predictions_threads(threads),
+                "LOO diverged at {threads}"
+            );
+        }
+        assert_eq!(serial_loo, MulticlassSvm::fit(&d, p).loo_predictions());
     }
 
     #[test]

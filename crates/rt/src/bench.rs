@@ -93,6 +93,23 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Report {
     }
 }
 
+/// Times a single call of `f` — no warmup, no repetition. The right tool
+/// for multi-second pipeline stages (labeling a corpus, a full LOOCV)
+/// where [`bench`]'s repeat-until-budget loop would multiply minutes and
+/// where run-to-run variance is dwarfed by the effects being measured.
+pub fn bench_once<R>(name: &str, f: impl FnOnce() -> R) -> (Report, R) {
+    let t0 = Instant::now();
+    let result = black_box(f());
+    let elapsed = t0.elapsed();
+    (
+        Report {
+            name: name.to_string(),
+            samples: vec![elapsed],
+        },
+        result,
+    )
+}
+
 /// Like [`bench`] but with per-iteration setup excluded from the timing
 /// (the replacement for criterion's `iter_batched`).
 pub fn bench_batched<S, R>(
@@ -130,6 +147,18 @@ mod tests {
         assert!(!r.samples.is_empty());
         assert!(r.min() <= r.median());
         std::env::remove_var("LOOPML_BENCH_MS");
+    }
+
+    #[test]
+    fn bench_once_times_exactly_one_call() {
+        let mut calls = 0;
+        let (r, value) = bench_once("single", || {
+            calls += 1;
+            42
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(value, 42);
+        assert_eq!(r.samples.len(), 1);
     }
 
     #[test]

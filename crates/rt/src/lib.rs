@@ -17,12 +17,17 @@
 //!   with `LOOPML_CHECK_SEED=<seed>`).
 //! * [`bench`] — a tiny wall-clock benchmark harness for
 //!   `harness = false` bench targets.
+//! * [`json`] — a minimal JSON value parser/printer so machine-readable
+//!   reports (`BENCH_ml.json`, lint output) can be validated and compared
+//!   without serde.
 
 pub mod bench;
 pub mod check;
+pub mod json;
 pub mod par;
 pub mod rng;
 
 pub use check::check;
+pub use json::Json;
 pub use par::{num_threads, par_map, par_map_threads};
 pub use rng::{Rng, SampleRange};

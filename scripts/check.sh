@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Repository gate: release build, full test suite, clippy, formatting,
-# and the corpus lint (loopml-lint must report zero deny diagnostics
-# over the built-in corpus at every unroll factor).
+# the corpus lint (loopml-lint must report zero deny diagnostics over
+# the built-in corpus at every unroll factor), and the perf gate (the
+# smoke-scale `repro perf` must emit a well-formed BENCH_ml.json with no
+# stage more than 2x slower than scripts/bench_baseline.json).
 #
 # Runs entirely offline — the workspace has no external dependencies
 # (enforced by tests/zero_deps.rs).
@@ -13,4 +15,7 @@ cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 cargo run --release -p loopml-lint
+cargo run --release -p loopml-bench --bin repro -- perf --smoke
+cargo run --release -p loopml-bench --bin repro -- perf-check \
+    BENCH_ml.json scripts/bench_baseline.json
 echo "check.sh: all gates passed"

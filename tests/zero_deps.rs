@@ -61,6 +61,68 @@ fn workspace_has_no_registry_dependencies() {
     );
 }
 
+/// Registry crates that have historically crept into ML/bench codebases.
+/// None may be imported anywhere in the workspace sources — their
+/// replacements live in `crates/rt` (`Rng`, `par_map`, `check`, `bench`,
+/// `json`).
+const FORBIDDEN_CRATES: &[&str] = &[
+    "rand",
+    "proptest",
+    "criterion",
+    "serde",
+    "serde_json",
+    "rayon",
+    "ndarray",
+    "nalgebra",
+    "itertools",
+    "anyhow",
+    "thiserror",
+    "clap",
+];
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("readable directory") {
+        let path = entry.expect("readable entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn sources_do_not_import_registry_crates() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut sources = Vec::new();
+    rust_sources(&root.join("crates"), &mut sources);
+    assert!(
+        sources.len() >= 30,
+        "expected the workspace sources, found {} files",
+        sources.len()
+    );
+    let mut bad = Vec::new();
+    for path in &sources {
+        let text = fs::read_to_string(path).expect("readable source");
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            for krate in FORBIDDEN_CRATES {
+                if line.starts_with(&format!("use {krate}::"))
+                    || line.starts_with(&format!("use {krate};"))
+                    || line.starts_with(&format!("extern crate {krate}"))
+                {
+                    bad.push(format!("{}:{}: {line}", path.display(), ln + 1));
+                }
+            }
+        }
+    }
+    assert!(
+        bad.is_empty(),
+        "registry-crate imports found (use crates/rt instead):\n{}",
+        bad.join("\n")
+    );
+}
+
 #[test]
 fn workspace_members_all_depend_on_paths_only() {
     // Every loopml-* dependency resolves inside the repository.
