@@ -6,6 +6,9 @@
 //!        ablate-norm | ablate-radius | ablate-features | ablate-filter]
 //! repro perf [--smoke]
 //! repro perf-check <current.json> <baseline.json>
+//! repro label [--smoke|--quick] [--resume] [--ckpt-dir DIR]
+//!             [--out FILE] [--degradation FILE] [--retries N]
+//! repro label-diff <clean.json> <chaos.json> [--expect-quarantine]
 //! ```
 //!
 //! The `lint` target (also reachable as `repro --lint`) verifies every
@@ -17,11 +20,17 @@
 //! `BENCH_ml.json`; `--smoke` runs it at the reduced scale for CI.
 //! `perf-check` re-reads a report, validates it, and exits nonzero if
 //! any stage regressed more than 2× against the baseline.
+//!
+//! The `label` target runs the fault-tolerant labeling pipeline (see
+//! `loopml_bench::labelrun`): retries and quarantine under the
+//! `LOOPML_FAULTS` fault plane, per-benchmark checkpoints, `--resume`,
+//! and a machine-readable degradation report. `label-diff` verifies a
+//! chaos run cost coverage, never accuracy.
 
 use std::time::Instant;
 
 use loopml::FEATURE_NAMES;
-use loopml_bench::{experiments, perf, report, Context, Scale};
+use loopml_bench::{experiments, labelrun, perf, report, Context, Scale};
 use loopml_machine::SwpMode;
 use loopml_rt::Json;
 
@@ -55,8 +64,47 @@ fn run_perf_check(paths: &[&str]) -> Result<(), String> {
     )
 }
 
+fn run_label(rest: &[String]) -> ! {
+    let rest: Vec<&str> = rest.iter().map(String::as_str).collect();
+    let code = match labelrun::LabelArgs::parse(&rest).and_then(|a| labelrun::run_label(&a)) {
+        Ok(0) => 0,
+        Ok(denies) => {
+            eprintln!("[label] FAIL: {denies} deny diagnostic(s)");
+            1
+        }
+        Err(e) => {
+            eprintln!("[label] FAIL: {e}");
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run_label_diff(rest: &[String]) -> ! {
+    let expect = rest.iter().any(|a| a == "--expect-quarantine");
+    let paths: Vec<&str> = rest
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let [clean, chaos] = paths[..] else {
+        eprintln!("usage: repro label-diff <clean.json> <chaos.json> [--expect-quarantine]");
+        std::process::exit(2);
+    };
+    if let Err(e) = labelrun::run_label_diff(clean, chaos, expect) {
+        eprintln!("[label-diff] FAIL: {e}");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("label") => run_label(&args[1..]),
+        Some("label-diff") => run_label_diff(&args[1..]),
+        _ => {}
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let smoke = args.iter().any(|a| a == "--smoke");
     let scale = if quick { Scale::Quick } else { Scale::Full };

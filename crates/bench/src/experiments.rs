@@ -9,7 +9,7 @@ use loopml_ml::{
     greedy_forward, greedy_forward_nn, loocv_nn, loocv_svm, mutual_information, Dataset,
     GreedyStep, Lda2d, MulticlassSvm, NearNeighbors, ScoredFeature, SvmParams, DEFAULT_RADIUS,
 };
-use loopml_rt::par_map;
+use loopml_rt::par_map_result;
 
 use crate::context::Context;
 
@@ -330,7 +330,9 @@ pub struct SpeedupFigure {
 /// The 24 leave-one-benchmark-out rows are independent — each trains its
 /// own classifier pair and measures through a per-benchmark-seeded noise
 /// stream — so they are evaluated in parallel across cores with results
-/// identical to a serial run.
+/// identical to a serial run. A row whose measurement crashes (e.g. an
+/// injected `eval.bench` fault under `LOOPML_FAULTS`) is dropped from
+/// the figure with a stderr note instead of taking down the run.
 pub fn speedup_figure(ctx: &Context) -> SpeedupFigure {
     let swp = ctx.label_config.swp;
     let ec = EvalConfig::paper(swp);
@@ -346,7 +348,7 @@ pub fn speedup_figure(ctx: &Context) -> SpeedupFigure {
         })
         .collect();
 
-    let rows: Vec<SpeedupRow> = par_map(&spec, |&(bi, b)| {
+    let results = par_map_result(&spec, |&(bi, b)| {
         // Exclude this benchmark's loops from training (paper protocol).
         let drop: Vec<bool> = ctx.groups.iter().map(|&g| g == bi).collect();
         let train = ctx.dataset.without_examples(&drop);
@@ -380,6 +382,17 @@ pub fn speedup_figure(ctx: &Context) -> SpeedupFigure {
             oracle: improvement(t_orc, t_oracle),
         }
     });
+    let rows: Vec<SpeedupRow> = spec
+        .iter()
+        .zip(results)
+        .filter_map(|(&(_, b), r)| match r {
+            Ok(row) => Some(row),
+            Err(e) => {
+                eprintln!("[speedup] dropping {}: {}", b.name, e.message);
+                None
+            }
+        })
+        .collect();
 
     let mean3 = |f: &dyn Fn(&SpeedupRow) -> f64, rows: &[&SpeedupRow]| {
         rows.iter().map(|r| f(r)).sum::<f64>() / rows.len().max(1) as f64

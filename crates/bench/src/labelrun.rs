@@ -1,0 +1,329 @@
+//! `repro label` / `repro label-diff` — the fault-tolerant labeling CLI.
+//!
+//! `repro label` synthesizes the corpus and labels it through
+//! [`loopml::label_suite_resilient`]: transient faults (injected via
+//! `LOOPML_FAULTS`, or genuine panics) are retried and quarantined
+//! rather than fatal, completed benchmarks are checkpointed for
+//! `--resume`, and the run emits two artifacts:
+//!
+//! * the labels file (`LABEL_ml.json` by default) — schema
+//!   [`LABELS_SCHEMA`], every surviving label with the attempt it
+//!   succeeded on, byte-stable across thread counts and resumes;
+//! * the degradation report (`LABEL_degradation.json`) — schema
+//!   [`loopml::DEGRADATION_SCHEMA`], what was retried, quarantined and
+//!   at which fault sites.
+//!
+//! `repro label-diff` compares a chaos run against a clean run: every
+//! label the chaos run produced *without retries* (`attempts == 0`) must
+//! be bit-identical to the clean run's label for the same loop — the
+//! fault plane may cost coverage, never accuracy. Retried loops were
+//! legitimately re-measured under fresh seeds (see `DESIGN.md` §9) and
+//! are checked for presence, not equality.
+
+use std::path::PathBuf;
+
+use loopml::{labeled_to_json, LabelConfig, LabelRun, ResilienceConfig};
+use loopml_corpus::full_suite;
+use loopml_lint::lint_quarantine;
+use loopml_machine::SwpMode;
+use loopml_rt::Json;
+
+use crate::context::Scale;
+
+/// Schema tag of the `repro label` output file.
+pub const LABELS_SCHEMA: &str = "loopml/labels/v1";
+
+/// Parsed `repro label` options.
+#[derive(Debug, Clone)]
+pub struct LabelArgs {
+    /// Corpus scale.
+    pub scale: Scale,
+    /// Keep only the first `n` benchmarks (smoke runs).
+    pub take: Option<usize>,
+    /// Labels output path.
+    pub out: PathBuf,
+    /// Degradation report output path.
+    pub degradation: PathBuf,
+    /// Checkpoint directory (`None` disables checkpointing).
+    pub ckpt_dir: Option<PathBuf>,
+    /// Reuse valid checkpoints instead of relabeling.
+    pub resume: bool,
+    /// Retry budget override.
+    pub retries: Option<u32>,
+}
+
+impl Default for LabelArgs {
+    fn default() -> Self {
+        LabelArgs {
+            scale: Scale::Full,
+            take: None,
+            out: PathBuf::from("LABEL_ml.json"),
+            degradation: PathBuf::from("LABEL_degradation.json"),
+            ckpt_dir: None,
+            resume: false,
+            retries: None,
+        }
+    }
+}
+
+impl LabelArgs {
+    /// Parses `repro label` CLI arguments (everything after `label`).
+    pub fn parse(args: &[&str]) -> Result<LabelArgs, String> {
+        let mut out = LabelArgs::default();
+        let mut it = args.iter();
+        while let Some(&a) = it.next() {
+            let mut value = |flag: &str| -> Result<String, String> {
+                it.next()
+                    .map(|s| s.to_string())
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match a {
+                "--quick" => out.scale = Scale::Quick,
+                "--smoke" => {
+                    out.scale = Scale::Quick;
+                    out.take = Some(8);
+                }
+                "--resume" => out.resume = true,
+                "--out" => out.out = PathBuf::from(value("--out")?),
+                "--degradation" => out.degradation = PathBuf::from(value("--degradation")?),
+                "--ckpt-dir" => out.ckpt_dir = Some(PathBuf::from(value("--ckpt-dir")?)),
+                "--retries" => {
+                    let v = value("--retries")?;
+                    out.retries = Some(v.parse().map_err(|_| format!("bad --retries {v}"))?);
+                }
+                other => return Err(format!("unknown label option: {other}")),
+            }
+        }
+        if out.resume && out.ckpt_dir.is_none() {
+            return Err("--resume requires --ckpt-dir".into());
+        }
+        Ok(out)
+    }
+}
+
+/// Renders the labels document: schema, pipelining regime, every label
+/// (with attempts) in suite order, and the quarantine/degradation
+/// summary inline so the file is self-describing.
+pub fn labels_to_json(run: &LabelRun, swp: SwpMode) -> Json {
+    let mut m = std::collections::BTreeMap::new();
+    m.insert("schema".into(), Json::Str(LABELS_SCHEMA.into()));
+    m.insert(
+        "swp".into(),
+        Json::Str(
+            match swp {
+                SwpMode::Disabled => "disabled",
+                SwpMode::Enabled => "enabled",
+            }
+            .into(),
+        ),
+    );
+    m.insert(
+        "labels".into(),
+        Json::Arr(
+            run.labeled
+                .iter()
+                .zip(&run.attempts)
+                .map(|(l, &a)| labeled_to_json(l, a))
+                .collect(),
+        ),
+    );
+    m.insert("degradation".into(), run.report.to_json());
+    Json::Obj(m)
+}
+
+/// Runs `repro label`. Returns the degradation-lint report's deny count
+/// (nonzero means the run should exit with failure).
+pub fn run_label(args: &LabelArgs) -> Result<usize, String> {
+    let mut suite = full_suite(&args.scale.suite_config());
+    if let Some(n) = args.take {
+        suite.truncate(n);
+    }
+    let cfg = LabelConfig::paper(SwpMode::Disabled);
+    let mut res = ResilienceConfig {
+        ckpt_dir: args.ckpt_dir.clone(),
+        resume: args.resume,
+        ..ResilienceConfig::default()
+    };
+    if let Some(r) = args.retries {
+        res.retry_budget = r;
+    }
+    if res.faults.is_active() {
+        eprintln!("[label] fault plane active: {:?}", res.faults);
+    }
+    let run = loopml::label_suite_resilient(&suite, &cfg, &res);
+
+    let write = |path: &PathBuf, doc: &Json| -> Result<(), String> {
+        std::fs::write(path, format!("{doc}\n"))
+            .map_err(|e| format!("write {}: {e}", path.display()))
+    };
+    write(&args.out, &labels_to_json(&run, cfg.swp))?;
+    write(&args.degradation, &run.report.to_json())?;
+
+    let r = &run.report;
+    eprintln!(
+        "[label] {}/{} benchmarks completed ({} resumed), {} loops labeled, {} quarantined ({:.1}%)",
+        r.completed,
+        r.benchmarks,
+        r.resumed,
+        r.labeled,
+        r.quarantined.len(),
+        r.quarantine_rate() * 100.0
+    );
+    eprintln!(
+        "[label] wrote {} and {}",
+        args.out.display(),
+        args.degradation.display()
+    );
+    let lint = lint_quarantine(r.labeled, r.quarantined.len());
+    if !lint.is_empty() {
+        eprintln!("[label] {lint}");
+    }
+    Ok(lint.deny_count())
+}
+
+fn bits(v: &Json) -> Option<u64> {
+    v.as_num().map(f64::to_bits)
+}
+
+fn label_map(doc: &Json) -> Result<std::collections::BTreeMap<String, &Json>, String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(LABELS_SCHEMA) {
+        return Err(format!("not a {LABELS_SCHEMA} document"));
+    }
+    let labels = doc
+        .get("labels")
+        .and_then(Json::as_arr)
+        .ok_or("missing labels array")?;
+    let mut out = std::collections::BTreeMap::new();
+    for l in labels {
+        let name = l
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("label without name")?;
+        out.insert(name.to_string(), l);
+    }
+    Ok(out)
+}
+
+/// Compares a chaos labels file against a clean one (`repro label-diff
+/// <clean> <chaos> [--expect-quarantine]`): every chaos label with
+/// `attempts == 0` must be bit-identical (label, features, runtimes) to
+/// the clean label of the same loop. With `--expect-quarantine`, the
+/// chaos run must also have quarantined at least one work item (so a
+/// chaos harness can't silently run fault-free).
+pub fn run_label_diff(
+    clean_path: &str,
+    chaos_path: &str,
+    expect_quarantine: bool,
+) -> Result<(), String> {
+    let read = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+    };
+    let clean = read(clean_path)?;
+    let chaos = read(chaos_path)?;
+    let clean_labels = label_map(&clean).map_err(|e| format!("{clean_path}: {e}"))?;
+    let chaos_labels = label_map(&chaos).map_err(|e| format!("{chaos_path}: {e}"))?;
+
+    let mut untouched = 0usize;
+    let mut retried = 0usize;
+    for (name, l) in &chaos_labels {
+        let attempts = l
+            .get("attempts")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{name}: missing attempts"))? as u32;
+        if attempts > 0 {
+            // Retried loops were re-measured under fresh seeds; they only
+            // need to exist. (DESIGN.md §9.)
+            retried += 1;
+            continue;
+        }
+        let c = clean_labels
+            .get(name)
+            .ok_or_else(|| format!("{name}: labeled in chaos run but not in clean run"))?;
+        if l.get("label").and_then(Json::as_num) != c.get("label").and_then(Json::as_num) {
+            return Err(format!("{name}: label differs from clean run"));
+        }
+        for field in ["features", "runtimes"] {
+            let a = l.get(field).and_then(Json::as_arr).unwrap_or(&[]);
+            let b = c.get(field).and_then(Json::as_arr).unwrap_or(&[]);
+            if a.len() != b.len() || a.iter().zip(b).any(|(x, y)| bits(x) != bits(y)) {
+                return Err(format!("{name}: {field} differ bit-wise from clean run"));
+            }
+        }
+        untouched += 1;
+    }
+
+    let quarantined = chaos
+        .get("degradation")
+        .and_then(|d| d.get("quarantine"))
+        .and_then(Json::as_arr)
+        .map(<[Json]>::len)
+        .unwrap_or(0);
+    if expect_quarantine && quarantined == 0 {
+        return Err("expected quarantined work items, found none".into());
+    }
+    eprintln!(
+        "[label-diff] ok: {untouched} untouched labels bit-identical to clean, \
+         {retried} retried, {quarantined} quarantined"
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_label_args() {
+        let a = LabelArgs::parse(&[
+            "--smoke",
+            "--resume",
+            "--ckpt-dir",
+            "/tmp/ck",
+            "--retries",
+            "5",
+            "--out",
+            "x.json",
+        ])
+        .expect("valid");
+        assert_eq!(a.scale, Scale::Quick);
+        assert_eq!(a.take, Some(8));
+        assert!(a.resume);
+        assert_eq!(a.retries, Some(5));
+        assert_eq!(a.out, PathBuf::from("x.json"));
+        assert_eq!(a.ckpt_dir, Some(PathBuf::from("/tmp/ck")));
+
+        assert!(
+            LabelArgs::parse(&["--resume"]).is_err(),
+            "resume needs ckpt dir"
+        );
+        assert!(LabelArgs::parse(&["--bogus"]).is_err());
+        assert!(LabelArgs::parse(&["--retries", "x"]).is_err());
+    }
+
+    #[test]
+    fn labels_document_shape() {
+        let run = LabelRun {
+            labeled: vec![],
+            attempts: vec![],
+            report: loopml::DegradationReport {
+                benchmarks: 0,
+                completed: 0,
+                labeled: 0,
+                quarantined: vec![],
+                retry_histogram: Default::default(),
+                fault_sites: Default::default(),
+                resumed: 0,
+            },
+        };
+        let doc = labels_to_json(&run, SwpMode::Disabled);
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(LABELS_SCHEMA)
+        );
+        assert_eq!(doc.get("swp").and_then(Json::as_str), Some("disabled"));
+        assert!(doc.get("degradation").is_some());
+        let reparsed = Json::parse(&doc.to_string()).expect("valid");
+        assert_eq!(reparsed.to_string(), doc.to_string());
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod context;
 pub mod experiments;
+pub mod labelrun;
 pub mod perf;
 pub mod report;
 

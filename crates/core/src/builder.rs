@@ -27,8 +27,11 @@ use loopml_machine::SwpMode;
 use loopml_ml::{Classifier, CvResult, Dataset};
 
 use crate::evaluate::EvalConfig;
+use crate::fault::DegradationReport;
 use crate::heuristics::LearnedHeuristic;
-use crate::label::{label_suite, LabelConfig, LabeledLoop};
+use crate::label::{
+    label_suite, label_suite_resilient, LabelConfig, LabeledLoop, ResilienceConfig,
+};
 use crate::pipeline::{benchmark_groups, informative_features, to_dataset};
 
 /// Builds a [`Pipeline`] from the paper's defaults, with every stage
@@ -42,6 +45,7 @@ pub struct PipelineBuilder {
     feature_count: Option<usize>,
     suite: Option<Vec<Benchmark>>,
     take: Option<usize>,
+    resilience: Option<ResilienceConfig>,
 }
 
 impl Default for PipelineBuilder {
@@ -64,6 +68,7 @@ impl PipelineBuilder {
             feature_count: Some(5),
             suite: None,
             take: None,
+            resilience: None,
         }
     }
 
@@ -131,6 +136,17 @@ impl PipelineBuilder {
         self
     }
 
+    /// Labels through the fault-tolerant path
+    /// ([`label_suite_resilient`]): retries, quarantine and (when
+    /// configured) checkpointing, with the degradation accounting kept
+    /// on the pipeline. Without this call, `build` still switches to the
+    /// resilient path automatically when `LOOPML_FAULTS` is active, so
+    /// chaos runs never crash the builder.
+    pub fn resilient(mut self, cfg: ResilienceConfig) -> Self {
+        self.resilience = Some(cfg);
+        self
+    }
+
     /// Synthesizes, labels, featurizes and selects.
     ///
     /// # Panics
@@ -148,7 +164,26 @@ impl PipelineBuilder {
         let eval_config = self
             .eval_config
             .unwrap_or_else(|| EvalConfig::paper(self.swp));
-        let labeled = label_suite(&suite, &label_config);
+        let resilience = self.resilience.or_else(|| {
+            loopml_rt::FaultPlane::env_or_disabled()
+                .is_active()
+                .then(ResilienceConfig::default)
+        });
+        let (labeled, degradation) = match resilience {
+            Some(res) => {
+                let run = label_suite_resilient(&suite, &label_config, &res);
+                if label_config.lint.is_enabled() {
+                    let mut lint = loopml_lint::Report::with_env_suppressions();
+                    lint.merge(loopml_lint::lint_quarantine(
+                        run.report.labeled,
+                        run.report.quarantined.len(),
+                    ));
+                    lint.enforce(label_config.lint, "labeling run");
+                }
+                (run.labeled, Some(run.report))
+            }
+            None => (label_suite(&suite, &label_config), None),
+        };
         assert!(
             !labeled.is_empty(),
             "labeling produced no training examples"
@@ -176,6 +211,7 @@ impl PipelineBuilder {
             groups,
             label_config,
             eval_config,
+            degradation,
         }
     }
 }
@@ -202,6 +238,9 @@ pub struct Pipeline {
     pub label_config: LabelConfig,
     /// The evaluation configuration for whole-benchmark measurements.
     pub eval_config: EvalConfig,
+    /// Degradation accounting when labeling ran through the
+    /// fault-tolerant path (`None` for the plain path).
+    pub degradation: Option<DegradationReport>,
 }
 
 impl Pipeline {
@@ -316,5 +355,16 @@ mod tests {
         let b = quick().exact().build();
         assert_eq!(a.labeled, b.labeled);
         assert_eq!(a.feature_subset, b.feature_subset);
+    }
+
+    #[test]
+    fn resilient_build_matches_plain_build_without_faults() {
+        let plain = quick().build();
+        assert!(plain.degradation.is_none());
+        let resilient = quick().resilient(ResilienceConfig::default()).build();
+        let report = resilient.degradation.as_ref().expect("resilient path");
+        assert_eq!(resilient.labeled, plain.labeled);
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.completed, plain.suite.len());
     }
 }

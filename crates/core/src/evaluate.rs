@@ -11,7 +11,8 @@
 use loopml_ir::Benchmark;
 use loopml_machine::{icache_entry_cost, loop_cost, MachineConfig, NoiseModel, SwpMode};
 use loopml_opt::{unroll_and_optimize, OptConfig};
-use loopml_rt::Rng;
+use loopml_rt::fault::site;
+use loopml_rt::{fault_key_str, FaultPlane, Rng};
 
 use crate::heuristics::UnrollHeuristic;
 use crate::label::MAX_UNROLL;
@@ -30,6 +31,11 @@ pub struct EvalConfig {
     pub noise: NoiseModel,
     /// Seed for the measurement stream.
     pub seed: u64,
+    /// Fault-injection plane; [`measure_benchmark`] trips
+    /// [`site::EVAL_BENCH`] (keyed by benchmark name), modelling a
+    /// benchmark run that crashes under measurement. Callers isolate it
+    /// with [`loopml_rt::par_map_result`].
+    pub faults: FaultPlane,
 }
 
 impl EvalConfig {
@@ -44,6 +50,7 @@ impl EvalConfig {
                 runs: 3,
             },
             seed: 0xE7A1,
+            faults: FaultPlane::env_or_disabled(),
         }
     }
 
@@ -117,6 +124,7 @@ pub fn run_benchmark(b: &Benchmark, choices: &[u32], ec: &EvalConfig) -> f64 {
 /// Measures a benchmark under a heuristic, through the observation-noise
 /// model (median of N runs).
 pub fn measure_benchmark(b: &Benchmark, h: &dyn UnrollHeuristic, ec: &EvalConfig) -> f64 {
+    ec.faults.trip(site::EVAL_BENCH, fault_key_str(&b.name));
     let choices: Vec<u32> = b.loops.iter().map(|w| h.choose(&w.body)).collect();
     let truth = run_benchmark(b, &choices, ec);
     let mut rng = Rng::seed_from_u64(ec.seed ^ fnv(&b.name) ^ fnv(h.name()));

@@ -9,12 +9,20 @@
 //! at least 50,000 cycles, and the best factor must beat the mean of all
 //! factors by at least 1.05x.
 
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
 use loopml_ir::{Benchmark, WeightedLoop};
 use loopml_lint::{validate_pipeline, LintLevel};
 use loopml_machine::{icache_entry_cost, loop_cost, MachineConfig, NoiseModel, SwpMode};
 use loopml_opt::{unroll_and_optimize, OptConfig};
-use loopml_rt::{num_threads, par_map_threads, Rng};
+use loopml_rt::fault::site;
+use loopml_rt::{fault_key, num_threads, par_map_result_threads, par_map_threads, FaultPlane, Rng};
 
+use crate::checkpoint::{config_fingerprint, read_checkpoint, write_checkpoint};
+use crate::fault::{
+    BenchmarkOutcome, DegradationReport, LabelError, QuarantineEntry, QuarantineScope,
+};
 use crate::features::extract;
 
 /// Largest unroll factor measured (factors beyond eight did not compile
@@ -148,11 +156,69 @@ pub fn label_loop(
     footprint: u64,
     cfg: &LabelConfig,
 ) -> Option<LabeledLoop> {
-    let mut rng = Rng::seed_from_u64(cfg.seed ^ (benchmark_index as u64) << 32 ^ loop_index as u64);
+    label_loop_attempt(
+        w,
+        loop_index,
+        benchmark_index,
+        footprint,
+        cfg,
+        &FaultPlane::disabled(),
+        0,
+    )
+    .unwrap_or_else(|e| panic!("labeling {} failed: {e}", w.body.name))
+}
+
+/// The noise-stream seed for one labeling attempt. Attempt 0 uses the
+/// legacy `(seed, benchmark, loop)` formula — a fault-free resilient run
+/// is bit-identical to [`label_loop`] — and each retry derives a fresh,
+/// deterministic seed so a transiently-faulted measurement is genuinely
+/// re-measured, never silently reused.
+pub fn attempt_seed(cfg_seed: u64, benchmark_index: usize, loop_index: usize, attempt: u32) -> u64 {
+    let base = cfg_seed ^ (benchmark_index as u64) << 32 ^ loop_index as u64;
+    if attempt == 0 {
+        base
+    } else {
+        fault_key(&[base, u64::from(attempt)])
+    }
+}
+
+/// One labeling attempt of one loop: [`label_loop`] with a structured
+/// error path instead of hot-path panics. `Ok(None)` means the loop was
+/// dropped by the paper's filters (not a failure); `Err` reports an
+/// injected fault from `faults` (site [`site::LABEL_MEASURE`], keyed by
+/// `(benchmark, loop, factor, attempt)`) or a non-finite measurement.
+pub fn label_loop_attempt(
+    w: &WeightedLoop,
+    loop_index: usize,
+    benchmark_index: usize,
+    footprint: u64,
+    cfg: &LabelConfig,
+    faults: &FaultPlane,
+    attempt: u32,
+) -> Result<Option<LabeledLoop>, LabelError> {
+    let mut rng = Rng::seed_from_u64(attempt_seed(cfg.seed, benchmark_index, loop_index, attempt));
     let mut runtimes = [0.0f64; MAX_UNROLL as usize];
     for f in 1..=MAX_UNROLL {
+        faults
+            .check(
+                site::LABEL_MEASURE,
+                fault_key(&[
+                    benchmark_index as u64,
+                    loop_index as u64,
+                    u64::from(f),
+                    u64::from(attempt),
+                ]),
+            )
+            .map_err(|fault| LabelError::Injected {
+                site: fault.site,
+                attempt,
+            })?;
         let truth = true_cycles(w, f, footprint, cfg);
-        runtimes[(f - 1) as usize] = cfg.noise.measure(truth, &mut rng);
+        let measured = cfg.noise.measure(truth, &mut rng);
+        if !measured.is_finite() {
+            return Err(LabelError::NonFinite { factor: f });
+        }
+        runtimes[(f - 1) as usize] = measured;
     }
     let (best_idx, &best) = runtimes
         .iter()
@@ -162,20 +228,20 @@ pub fn label_loop(
 
     // Paper filters: enough cycles to measure, and a meaningful win.
     if best < cfg.min_cycles {
-        return None;
+        return Ok(None);
     }
     let mean: f64 = runtimes.iter().sum::<f64>() / runtimes.len() as f64;
     if mean / best < cfg.min_benefit {
-        return None;
+        return Ok(None);
     }
 
-    Some(LabeledLoop {
+    Ok(Some(LabeledLoop {
         name: w.body.name.clone(),
         benchmark: benchmark_index,
         features: extract(&w.body),
         label: best_idx,
         runtimes,
-    })
+    }))
 }
 
 /// Labels every unrollable loop of a benchmark, applying the paper's
@@ -232,6 +298,256 @@ pub fn label_suite_threads(
         .into_iter()
         .flatten()
         .collect()
+}
+
+/// Default per-loop retry budget of the resilient labeler: how many
+/// *additional* attempts a transiently-faulted loop gets before it is
+/// quarantined.
+pub const DEFAULT_RETRY_BUDGET: u32 = 3;
+
+/// Knobs of the fault-tolerant labeling path, independent of the
+/// measurement configuration so the same [`LabelConfig`] describes both
+/// a clean and a chaos run.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Fault-injection plane (disabled outside chaos testing).
+    pub faults: FaultPlane,
+    /// Additional attempts per loop before quarantining it.
+    pub retry_budget: u32,
+    /// Directory for per-benchmark checkpoint files; `None` disables
+    /// checkpointing.
+    pub ckpt_dir: Option<PathBuf>,
+    /// Reuse valid checkpoints from `ckpt_dir` instead of relabeling.
+    pub resume: bool,
+    /// Worker threads across benchmarks (0 → [`num_threads`]).
+    pub threads: usize,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            faults: FaultPlane::env_or_disabled(),
+            retry_budget: DEFAULT_RETRY_BUDGET,
+            ckpt_dir: None,
+            resume: false,
+            threads: 0,
+        }
+    }
+}
+
+/// The result of a fault-tolerant labeling run: the surviving corpus
+/// plus the degradation accounting that says what it cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelRun {
+    /// Labeled loops, in suite order (same order as [`label_suite`]).
+    pub labeled: Vec<LabeledLoop>,
+    /// Attempt index each labeled loop succeeded on, aligned with
+    /// `labeled` (0 = clean first try; anything else was re-measured
+    /// under a retry seed and may legitimately differ from a fault-free
+    /// run — see `DESIGN.md` §9).
+    pub attempts: Vec<u32>,
+    /// What was retried, quarantined, and resumed.
+    pub report: DegradationReport,
+}
+
+/// Outcome of labeling one loop under a retry budget: `Ok(Some(..))` is
+/// the labeled loop with the attempt index it succeeded on (0 = clean
+/// first try), `Ok(None)` means the paper's filters rejected the loop,
+/// and `Err` carries the quarantine entry for an exhausted budget.
+pub type LoopOutcome = Result<Option<(LabeledLoop, u32)>, QuarantineEntry>;
+
+/// Labels one loop with retries: transient faults at
+/// [`site::LABEL_MEASURE`] consume the retry budget (each retry
+/// re-measures under a fresh deterministic seed — see [`attempt_seed`]);
+/// exhaustion yields a [`QuarantineEntry`] instead of a panic. Returns
+/// the [`LoopOutcome`] and the per-site count of faults absorbed along
+/// the way.
+pub fn label_loop_resilient(
+    w: &WeightedLoop,
+    loop_index: usize,
+    benchmark_index: usize,
+    footprint: u64,
+    cfg: &LabelConfig,
+    res: &ResilienceConfig,
+) -> (LoopOutcome, BTreeMap<String, usize>) {
+    let mut faults_seen: BTreeMap<String, usize> = BTreeMap::new();
+    let mut last: Option<LabelError> = None;
+    for attempt in 0..=res.retry_budget {
+        match label_loop_attempt(
+            w,
+            loop_index,
+            benchmark_index,
+            footprint,
+            cfg,
+            &res.faults,
+            attempt,
+        ) {
+            Ok(l) => return (Ok(l.map(|l| (l, attempt))), faults_seen),
+            Err(e) => {
+                *faults_seen.entry(e.site_key().to_string()).or_insert(0) += 1;
+                last = Some(e);
+            }
+        }
+    }
+    let last = last.expect("at least one attempt ran");
+    let entry = QuarantineEntry {
+        scope: QuarantineScope::Loop,
+        benchmark: benchmark_index,
+        name: w.body.name.clone(),
+        reason: last.to_string(),
+        site: last.site().map(str::to_string),
+        attempts: res.retry_budget + 1,
+    };
+    (Err(entry), faults_seen)
+}
+
+/// Fault-tolerantly labels one benchmark. Loops that exhaust their retry
+/// budget are quarantined, not fatal. The [`site::LABEL_LOOP`] injection
+/// site (keyed by benchmark index) trips *here*, as a panic, modelling a
+/// benchmark whose labeling process crashes outright — the suite-level
+/// isolation in [`label_suite_resilient`] catches it and quarantines the
+/// whole benchmark.
+pub fn label_benchmark_resilient(
+    b: &Benchmark,
+    benchmark_index: usize,
+    cfg: &LabelConfig,
+    res: &ResilienceConfig,
+) -> BenchmarkOutcome {
+    res.faults.trip(site::LABEL_LOOP, benchmark_index as u64);
+    let footprint = hot_footprint(b);
+    let mut outcome = BenchmarkOutcome {
+        benchmark: benchmark_index,
+        name: b.name.clone(),
+        labeled: Vec::new(),
+        attempts: Vec::new(),
+        quarantined: Vec::new(),
+        fault_sites: BTreeMap::new(),
+    };
+    for (li, w) in b.unrollable() {
+        let (result, seen) = label_loop_resilient(w, li, benchmark_index, footprint, cfg, res);
+        for (k, v) in seen {
+            *outcome.fault_sites.entry(k).or_insert(0) += v;
+        }
+        match result {
+            Ok(Some((l, attempts))) => {
+                outcome.labeled.push(l);
+                outcome.attempts.push(attempts);
+            }
+            Ok(None) => {}
+            Err(entry) => outcome.quarantined.push(entry),
+        }
+    }
+    outcome
+}
+
+/// Fault-tolerantly labels a whole suite: benchmarks run in parallel
+/// under panic isolation ([`loopml_rt::par_map_result`]), completed
+/// benchmarks are checkpointed (when `res.ckpt_dir` is set), and
+/// `res.resume` reuses valid checkpoints instead of relabeling. The
+/// surviving labels come back in suite order, so a fault-free resilient
+/// run is bit-identical to [`label_suite`] at any thread count.
+pub fn label_suite_resilient(
+    suite: &[Benchmark],
+    cfg: &LabelConfig,
+    res: &ResilienceConfig,
+) -> LabelRun {
+    let fingerprint = config_fingerprint(cfg, res.retry_budget);
+    let threads = if res.threads == 0 {
+        num_threads()
+    } else {
+        res.threads
+    };
+
+    // Phase 1: reload checkpointed benchmarks.
+    let mut outcomes: Vec<Option<BenchmarkOutcome>> = vec![None; suite.len()];
+    let mut resumed = 0usize;
+    if res.resume {
+        if let Some(dir) = &res.ckpt_dir {
+            for (bi, b) in suite.iter().enumerate() {
+                if let Some(o) = read_checkpoint(dir, bi, &b.name, fingerprint) {
+                    outcomes[bi] = Some(o);
+                    resumed += 1;
+                }
+            }
+        }
+    }
+
+    // Phase 2: label the rest in parallel, isolating worker panics.
+    let todo: Vec<(usize, &Benchmark)> = suite
+        .iter()
+        .enumerate()
+        .filter(|(bi, _)| outcomes[*bi].is_none())
+        .collect();
+    let results = par_map_result_threads(threads, &todo, |&(bi, b)| {
+        let outcome = label_benchmark_resilient(b, bi, cfg, res);
+        if let Some(dir) = &res.ckpt_dir {
+            if let Err(e) = write_checkpoint(dir, &outcome, fingerprint) {
+                eprintln!(
+                    "loopml: warning: checkpoint for {} not written: {e}",
+                    b.name
+                );
+            }
+        }
+        outcome
+    });
+    let mut crashed: Vec<QuarantineEntry> = Vec::new();
+    let mut crash_sites: BTreeMap<String, usize> = BTreeMap::new();
+    for (&(bi, b), result) in todo.iter().zip(results) {
+        match result {
+            Ok(o) => outcomes[bi] = Some(o),
+            Err(err) => {
+                *crash_sites
+                    .entry(err.injected.unwrap_or("panic").to_string())
+                    .or_insert(0) += 1;
+                crashed.push(QuarantineEntry {
+                    scope: QuarantineScope::Benchmark,
+                    benchmark: bi,
+                    name: b.name.clone(),
+                    reason: err.message,
+                    site: err.injected.map(str::to_string),
+                    attempts: 1,
+                });
+            }
+        }
+    }
+
+    // Phase 3: aggregate in suite order so output order never depends on
+    // scheduling, resume state, or which benchmarks crashed.
+    let mut labeled = Vec::new();
+    let mut attempts = Vec::new();
+    let mut quarantined = Vec::new();
+    let mut retry_histogram: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut fault_sites = crash_sites;
+    let mut completed = 0usize;
+    for outcome in outcomes.into_iter().flatten() {
+        completed += 1;
+        for &a in &outcome.attempts {
+            *retry_histogram.entry(a).or_insert(0) += 1;
+        }
+        for (k, v) in outcome.fault_sites {
+            *fault_sites.entry(k).or_insert(0) += v;
+        }
+        labeled.extend(outcome.labeled);
+        attempts.extend(outcome.attempts);
+        quarantined.extend(outcome.quarantined);
+    }
+    crashed.sort_by_key(|e| e.benchmark);
+    quarantined.extend(crashed);
+    quarantined.sort_by_key(|e| e.benchmark);
+    let report = DegradationReport {
+        benchmarks: suite.len(),
+        completed,
+        labeled: labeled.len(),
+        quarantined,
+        retry_histogram,
+        fault_sites,
+        resumed,
+    };
+    LabelRun {
+        labeled,
+        attempts,
+        report,
+    }
 }
 
 #[cfg(test)]
@@ -353,5 +669,168 @@ mod tests {
             assert_eq!(serial, label_suite_threads(&suite, &cfg, threads));
         }
         assert_eq!(serial, label_suite(&suite, &cfg));
+    }
+
+    fn suite() -> Vec<Benchmark> {
+        ROSTER[..3]
+            .iter()
+            .map(|r| {
+                synthesize(
+                    r,
+                    &SuiteConfig {
+                        min_loops: 6,
+                        max_loops: 8,
+                        ..SuiteConfig::default()
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn resilient(faults: FaultPlane, threads: usize) -> ResilienceConfig {
+        ResilienceConfig {
+            faults,
+            threads,
+            ..ResilienceConfig::default()
+        }
+    }
+
+    #[test]
+    fn fault_free_resilient_run_matches_legacy_exactly() {
+        let suite = suite();
+        let cfg = LabelConfig::paper(SwpMode::Disabled);
+        let legacy = label_suite_threads(&suite, &cfg, 1);
+        for threads in [1, 4] {
+            let run =
+                label_suite_resilient(&suite, &cfg, &resilient(FaultPlane::disabled(), threads));
+            assert_eq!(run.labeled, legacy, "diverged at {threads} threads");
+            assert!(run.attempts.iter().all(|&a| a == 0));
+            assert!(run.report.quarantined.is_empty());
+            assert_eq!(run.report.completed, suite.len());
+            assert_eq!(run.report.labeled, legacy.len());
+            assert!(run.report.fault_sites.is_empty());
+        }
+    }
+
+    #[test]
+    fn retry_seeds_are_distinct_and_attempt_zero_is_legacy() {
+        assert_eq!(attempt_seed(0x51EED, 3, 7, 0), 0x51EED ^ (3u64 << 32) ^ 7);
+        let seeds: Vec<u64> = (0..5).map(|a| attempt_seed(0x51EED, 3, 7, a)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(
+            uniq.len(),
+            seeds.len(),
+            "attempt seeds must differ: {seeds:?}"
+        );
+    }
+
+    #[test]
+    fn transient_measure_faults_are_retried() {
+        // Rate 1.0 restricted to attempt-0 keys would be ideal, but the
+        // key mixes the attempt index, so a full-rate plane faults every
+        // attempt: everything unrollable must end up quarantined...
+        let suite = suite();
+        let cfg = LabelConfig::paper(SwpMode::Disabled);
+        let all = FaultPlane::new(1, 1.0).at_site(site::LABEL_MEASURE);
+        let run = label_suite_resilient(&suite, &cfg, &resilient(all, 1));
+        assert!(run.labeled.is_empty());
+        assert!(!run.report.quarantined.is_empty());
+        assert!(run
+            .report
+            .quarantined
+            .iter()
+            .all(|q| q.scope == QuarantineScope::Loop
+                && q.attempts == DEFAULT_RETRY_BUDGET + 1
+                && q.site.as_deref() == Some(site::LABEL_MEASURE)));
+        assert_eq!(
+            run.report.completed,
+            suite.len(),
+            "benchmarks still complete"
+        );
+
+        // ...while a moderate rate lets retries succeed: some loops need
+        // more than one attempt, and the run still labels loops. (A loop
+        // makes eight faultable measurements per attempt, so even a 10%
+        // rate faults most first attempts.)
+        let some = FaultPlane::new(7, 0.1).at_site(site::LABEL_MEASURE);
+        let run = label_suite_resilient(&suite, &cfg, &resilient(some, 1));
+        assert!(!run.labeled.is_empty());
+        assert!(run.attempts.iter().any(|&a| a > 0), "some retries expected");
+        assert!(run.report.fault_sites.contains_key(site::LABEL_MEASURE));
+    }
+
+    #[test]
+    fn chaos_runs_are_thread_invariant_and_reproducible() {
+        let suite = suite();
+        let cfg = LabelConfig::paper(SwpMode::Disabled);
+        let plane = || FaultPlane::new(0xC4A05, 0.25);
+        let reference = label_suite_resilient(&suite, &cfg, &resilient(plane(), 1));
+        for threads in [2, 4] {
+            let run = label_suite_resilient(&suite, &cfg, &resilient(plane(), threads));
+            assert_eq!(run, reference, "chaos diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn crashed_benchmark_quarantines_whole_benchmark() {
+        let suite = suite();
+        let cfg = LabelConfig::paper(SwpMode::Disabled);
+        let plane = FaultPlane::new(0, 1.0)
+            .at_site(site::LABEL_LOOP)
+            .only_keys(vec![1]);
+        let run = label_suite_resilient(&suite, &cfg, &resilient(plane, 4));
+        let bench_q: Vec<_> = run
+            .report
+            .quarantined
+            .iter()
+            .filter(|q| q.scope == QuarantineScope::Benchmark)
+            .collect();
+        assert_eq!(bench_q.len(), 1);
+        assert_eq!(bench_q[0].benchmark, 1);
+        assert_eq!(bench_q[0].name, suite[1].name);
+        assert_eq!(bench_q[0].site.as_deref(), Some(site::LABEL_LOOP));
+        assert_eq!(run.report.completed, suite.len() - 1);
+        // Survivors are untouched: bit-identical to labeling them alone.
+        assert!(run.labeled.iter().all(|l| l.benchmark != 1));
+        let alone: Vec<LabeledLoop> = [0usize, 2]
+            .into_iter()
+            .flat_map(|bi| label_benchmark(&suite[bi], bi, &cfg))
+            .collect();
+        assert_eq!(run.labeled, alone);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let suite = suite();
+        let cfg = LabelConfig::paper(SwpMode::Disabled);
+        let dir = std::env::temp_dir().join("loopml_label_resume_unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let plane = || FaultPlane::new(9, 0.2).at_site(site::LABEL_MEASURE);
+        let full = ResilienceConfig {
+            faults: plane(),
+            ckpt_dir: Some(dir.clone()),
+            threads: 2,
+            ..ResilienceConfig::default()
+        };
+        let clean = label_suite_resilient(&suite, &cfg, &full);
+
+        // Simulate dying partway: drop one checkpoint, resume.
+        std::fs::remove_file(crate::checkpoint::checkpoint_path(&dir, 1, &suite[1].name))
+            .expect("checkpoint existed");
+        let resume = ResilienceConfig {
+            resume: true,
+            ..full
+        };
+        let resumed = label_suite_resilient(&suite, &cfg, &resume);
+        assert_eq!(resumed.labeled, clean.labeled);
+        assert_eq!(resumed.attempts, clean.attempts);
+        assert_eq!(resumed.report.resumed, 2);
+        // The report content (everything serialized) matches exactly.
+        assert_eq!(
+            resumed.report.to_json().to_string(),
+            clean.report.to_json().to_string()
+        );
     }
 }

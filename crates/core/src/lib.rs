@@ -23,6 +23,13 @@
 //! count (see `crates/rt`). Any model implementing the object-safe
 //! [`loopml_ml::Classifier`] trait plugs into the pipeline unchanged.
 //!
+//! The pipeline is also fault-tolerant: [`label::label_suite_resilient`]
+//! retries transient failures under fresh deterministic seeds,
+//! quarantines work that exhausts its budget (reported via
+//! [`fault::DegradationReport`]), checkpoints completed benchmarks for
+//! `repro label --resume` ([`checkpoint`]), and withstands the
+//! deterministic chaos of [`loopml_rt::FaultPlane`] (`LOOPML_FAULTS`).
+//!
 //! # Examples
 //!
 //! Assemble the pipeline with [`PipelineBuilder`] and deploy a trained
@@ -48,23 +55,35 @@
 #![warn(missing_debug_implementations)]
 
 pub mod builder;
+pub mod checkpoint;
 pub mod evaluate;
+pub mod fault;
 pub mod features;
 pub mod heuristics;
 pub mod label;
 pub mod pipeline;
 
 pub use builder::{Pipeline, PipelineBuilder};
+pub use checkpoint::{
+    checkpoint_path, config_fingerprint, labeled_from_json, labeled_to_json, read_checkpoint,
+    write_checkpoint, CKPT_SCHEMA,
+};
 pub use evaluate::{
     improvement, measure_benchmark, measure_oracle, oracle_choices, run_benchmark, EvalConfig,
+};
+pub use fault::{
+    BenchmarkOutcome, DegradationReport, LabelError, QuarantineEntry, QuarantineScope,
+    DEGRADATION_SCHEMA,
 };
 pub use features::{extract, FEATURE_NAMES, NUM_FEATURES};
 pub use heuristics::{
     LearnedHeuristic, OrcClassifier, OrcHeuristic, OrcSwpHeuristic, UnrollHeuristic,
 };
 pub use label::{
-    hot_footprint, label_benchmark, label_benchmark_threads, label_loop, label_suite,
-    label_suite_threads, LabelConfig, LabeledLoop, MAX_UNROLL,
+    attempt_seed, hot_footprint, label_benchmark, label_benchmark_resilient,
+    label_benchmark_threads, label_loop, label_loop_attempt, label_loop_resilient, label_suite,
+    label_suite_resilient, label_suite_threads, LabelConfig, LabelRun, LabeledLoop, LoopOutcome,
+    ResilienceConfig, DEFAULT_RETRY_BUDGET, MAX_UNROLL,
 };
 pub use pipeline::{
     benchmark_groups, informative_features, loocv_accuracy, svm_training_error, to_dataset,

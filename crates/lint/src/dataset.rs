@@ -128,6 +128,60 @@ pub fn lint_dataset(data: &Dataset, groups: Option<&[usize]>) -> Report {
     out
 }
 
+/// Quarantine share above which fault-tolerant labeling warns: a few
+/// dropped loops are the price of finishing the run, but they must be
+/// visible.
+pub const QUARANTINE_WARN_RATE: f64 = 0.02;
+
+/// Quarantine share above which the run is denied: past this point the
+/// surviving corpus is no longer the corpus that was asked for, and a
+/// model trained on it would silently learn from a biased sample.
+pub const QUARANTINE_DENY_RATE: f64 = 0.25;
+
+/// Lints the outcome of a fault-tolerant labeling run: `labeled` loops
+/// survived, `quarantined` work items (loops or whole benchmarks)
+/// exhausted their retry budget and were excluded. Any quarantine above
+/// [`QUARANTINE_WARN_RATE`] warns; above [`QUARANTINE_DENY_RATE`] the
+/// data loss is denied so it can never pass silently.
+pub fn lint_quarantine(labeled: usize, quarantined: usize) -> Report {
+    let mut out = Report::new();
+    let total = labeled + quarantined;
+    if total == 0 {
+        out.push(Diagnostic::deny(
+            rules::DS_QUARANTINE,
+            "labeling run",
+            "no work items completed or were quarantined (empty run)",
+        ));
+        return out;
+    }
+    let rate = quarantined as f64 / total as f64;
+    let location = "labeling run";
+    let detail = format!(
+        "{quarantined} of {total} work items quarantined ({:.1}%)",
+        rate * 100.0
+    );
+    if rate > QUARANTINE_DENY_RATE {
+        out.push(Diagnostic::deny(
+            rules::DS_QUARANTINE,
+            location,
+            format!(
+                "{detail}, above the {:.0}% deny threshold",
+                QUARANTINE_DENY_RATE * 100.0
+            ),
+        ));
+    } else if rate > QUARANTINE_WARN_RATE {
+        out.push(Diagnostic::warning(
+            rules::DS_QUARANTINE,
+            location,
+            format!(
+                "{detail}, above the {:.0}% warn threshold",
+                QUARANTINE_WARN_RATE * 100.0
+            ),
+        ));
+    }
+    out
+}
+
 fn example(data: &Dataset, i: usize) -> String {
     format!("example {}", data.example_names[i])
 }
@@ -187,6 +241,23 @@ mod tests {
         let r = lint_dataset(&d, None);
         assert!(r.has_rule(rules::DS_CONSTANT));
         assert_eq!(r.deny_count(), 0);
+    }
+
+    #[test]
+    fn quarantine_rate_thresholds() {
+        assert!(lint_quarantine(100, 0).is_empty());
+        assert!(lint_quarantine(100, 1).is_empty()); // 1% < warn threshold
+
+        let warn = lint_quarantine(90, 10); // 10%
+        assert!(warn.has_rule(rules::DS_QUARANTINE));
+        assert_eq!(warn.deny_count(), 0);
+        assert_eq!(warn.warning_count(), 1);
+
+        let deny = lint_quarantine(60, 40); // 40%
+        assert_eq!(deny.deny_count(), 1);
+
+        let empty = lint_quarantine(0, 0);
+        assert_eq!(empty.deny_count(), 1);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod rules;
 pub mod transform;
 pub mod verify;
 
-pub use dataset::lint_dataset;
+pub use dataset::{lint_dataset, lint_quarantine, QUARANTINE_DENY_RATE, QUARANTINE_WARN_RATE};
 pub use transform::{differential_check, validate_pipeline, validate_transformed, validate_unroll};
 pub use verify::{verify_benchmark, verify_dep_graph, verify_liveness, verify_loop};
 

@@ -74,6 +74,9 @@ pub const DS_LABEL_RANGE: &str = "ds.label-range";
 pub const DS_CONTRADICTION: &str = "ds.contradiction";
 /// A cross-validation fold is degenerate (empty training or test side).
 pub const DS_FOLDS: &str = "ds.degenerate-fold";
+/// Too large a share of the corpus was quarantined during fault-tolerant
+/// labeling (silent data loss).
+pub const DS_QUARANTINE: &str = "ds.quarantine-rate";
 
 /// Every rule ID, for reporting and exhaustiveness checks.
 pub const ALL: &[&str] = &[
@@ -104,6 +107,7 @@ pub const ALL: &[&str] = &[
     DS_LABEL_RANGE,
     DS_CONTRADICTION,
     DS_FOLDS,
+    DS_QUARANTINE,
 ];
 
 #[cfg(test)]

@@ -47,13 +47,7 @@ fn parse_seed(s: &str) -> Option<u64> {
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "<non-string panic payload>".to_string()
-    }
+    crate::par::panic_message(payload.as_ref())
 }
 
 /// Runs `prop` for `cases` seeded cases; panics with the failing seed on

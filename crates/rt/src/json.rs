@@ -29,12 +29,18 @@ pub enum Json {
     Obj(BTreeMap<String, Json>),
 }
 
+/// Maximum nesting depth the parser accepts. Checkpoint/resume makes the
+/// parser a crash-recovery path, so it must be total: without a bound, a
+/// corrupted document of ten thousand `[`s would overflow the stack
+/// (an abort, not a catchable error).
+const MAX_DEPTH: usize = 128;
+
 impl Json {
     /// Parses a JSON document. Trailing non-whitespace is an error.
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing garbage at byte {pos}"));
@@ -141,12 +147,15 @@ fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
     skip_ws(b, pos);
     match b.get(*pos) {
         None => Err("unexpected end of input".into()),
-        Some(b'{') => parse_object(b, pos),
-        Some(b'[') => parse_array(b, pos),
+        Some(b'{') => parse_object(b, pos, depth),
+        Some(b'[') => parse_array(b, pos, depth),
         Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
         Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
@@ -224,7 +233,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(b, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -233,7 +242,7 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(b, pos)?);
+        items.push(parse_value(b, pos, depth + 1)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -246,7 +255,7 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(b, pos, b'{')?;
     let mut map = BTreeMap::new();
     skip_ws(b, pos);
@@ -259,7 +268,7 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         let key = parse_string(b, pos)?;
         skip_ws(b, pos);
         expect(b, pos, b':')?;
-        let value = parse_value(b, pos)?;
+        let value = parse_value(b, pos, depth + 1)?;
         map.insert(key, value);
         skip_ws(b, pos);
         match b.get(*pos) {
@@ -317,5 +326,88 @@ mod tests {
     fn escape_handles_control_characters() {
         assert_eq!(escape("a\"b\\c\n"), r#""a\"b\\c\n""#);
         assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000);
+        assert!(Json::parse(&deep).is_err());
+        let mut doc = "[1]".to_string();
+        for _ in 0..(super::MAX_DEPTH + 10) {
+            doc = format!("[{doc}]");
+        }
+        let err = Json::parse(&doc).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+    }
+
+    /// A small random JSON value for the mutation property below.
+    fn random_json(rng: &mut crate::Rng, depth: usize) -> Json {
+        let choices = if depth >= 3 { 4 } else { 6 };
+        match rng.gen_range(0..choices) {
+            0u32 => Json::Null,
+            1 => Json::Bool(rng.gen_bool(0.5)),
+            2 => Json::Num(rng.gen_range(-1.0e6..1.0e6)),
+            3 => {
+                let len = rng.gen_range(0..8usize);
+                Json::Str(
+                    (0..len)
+                        .map(|_| char::from(rng.gen_range(b' '..=b'~')))
+                        .collect(),
+                )
+            }
+            4 => Json::Arr(
+                (0..rng.gen_range(0..4usize))
+                    .map(|_| random_json(rng, depth + 1))
+                    .collect(),
+            ),
+            _ => Json::Obj(
+                (0..rng.gen_range(0..4usize))
+                    .map(|i| (format!("k{i}"), random_json(rng, depth + 1)))
+                    .collect(),
+            ),
+        }
+    }
+
+    #[test]
+    fn parse_never_panics_on_mutated_documents() {
+        // Checkpoint/resume reads these documents back after crashes, so
+        // the parser must be total: any byte-level corruption of a valid
+        // document yields Ok or Err, never a panic.
+        crate::check("json_parse_total_under_mutation", 400, |rng| {
+            let mut bytes = random_json(rng, 0).to_string().into_bytes();
+            for _ in 0..rng.gen_range(1..6usize) {
+                if bytes.is_empty() {
+                    break;
+                }
+                let i = rng.gen_range(0..bytes.len());
+                match rng.gen_range(0..3u32) {
+                    0 => bytes[i] = rng.gen_range(0..=255u8),
+                    1 => {
+                        bytes.insert(i, rng.gen_range(0..=255u8));
+                    }
+                    _ => {
+                        bytes.remove(i);
+                    }
+                }
+            }
+            let text = String::from_utf8_lossy(&bytes);
+            let _ = Json::parse(&text);
+        });
+    }
+
+    #[test]
+    fn finite_floats_round_trip_bit_exactly() {
+        // Checkpointed runtimes must survive serialize → parse without
+        // losing a bit, or resume would not be bit-identical.
+        crate::check("json_f64_round_trip", 300, |rng| {
+            let v = match rng.gen_range(0..3u32) {
+                0 => rng.gen_range(-1.0e9..1.0e9),
+                1 => rng.gen_range(0.0..1.0),
+                _ => f64::from_bits(rng.next_u64() >> 12), // small positives
+            };
+            let parsed = Json::parse(&Json::Num(v).to_string()).expect("number parses");
+            let got = parsed.as_num().expect("is a number");
+            assert_eq!(got.to_bits(), v.to_bits(), "{v:?} -> {got:?}");
+        });
     }
 }

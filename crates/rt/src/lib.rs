@@ -12,6 +12,10 @@
 //!   work over an atomic queue and returns results in input order, so any
 //!   pipeline that seeds one RNG per item is bit-identical to its serial
 //!   equivalent.
+//! * [`fault`] — deterministic fault injection ([`FaultPlane`]), seeded
+//!   from the `LOOPML_FAULTS` environment variable; paired with
+//!   [`par::par_map_result`], which isolates per-item panics instead of
+//!   killing the pool, it makes chaos runs bit-for-bit reproducible.
 //! * [`check`] — a minimal property-test harness with seeded case
 //!   generation and failure-seed reporting (replay a single failing case
 //!   with `LOOPML_CHECK_SEED=<seed>`).
@@ -23,11 +27,15 @@
 
 pub mod bench;
 pub mod check;
+pub mod fault;
 pub mod json;
 pub mod par;
 pub mod rng;
 
 pub use check::check;
+pub use fault::{fault_key, fault_key_str, FaultPlane, InjectedFault};
 pub use json::Json;
-pub use par::{num_threads, par_map, par_map_threads};
+pub use par::{
+    num_threads, par_map, par_map_result, par_map_result_threads, par_map_threads, WorkerError,
+};
 pub use rng::{Rng, SampleRange};

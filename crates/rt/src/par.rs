@@ -12,26 +12,74 @@
 //! quadratic thread explosions.
 
 use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
+
+use crate::fault::InjectedFault;
 
 thread_local! {
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Worker threads to use: `LOOPML_THREADS` if set to a positive integer,
-/// otherwise the machine's available parallelism (1 if unknown).
+/// otherwise the machine's available parallelism (1 if unknown). An
+/// invalid `LOOPML_THREADS` value (zero, negative, non-numeric) warns
+/// once to stderr and falls back to available parallelism.
 pub fn num_threads() -> usize {
     if let Ok(s) = std::env::var("LOOPML_THREADS") {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+        match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => {
+                static WARNED: Once = Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "[loopml-rt] ignoring invalid LOOPML_THREADS={s:?} \
+                         (want a positive integer); using available parallelism"
+                    );
+                });
             }
         }
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Renders a panic payload as a human-readable message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(f) = payload.downcast_ref::<InjectedFault>() {
+        format!("injected fault at {} (key {:#x})", f.site, f.key)
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// A panic captured from one work item by [`par_map_result`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerError {
+    /// Index of the item whose closure panicked.
+    pub index: usize,
+    /// Rendered panic message.
+    pub message: String,
+    /// The injection site, when the panic was a synthetic
+    /// [`InjectedFault`] from the fault plane (`None` for genuine
+    /// panics).
+    pub injected: Option<&'static str>,
+}
+
+impl WorkerError {
+    fn from_panic(index: usize, payload: Box<dyn std::any::Any + Send>) -> Self {
+        WorkerError {
+            index,
+            message: panic_message(payload.as_ref()),
+            injected: payload.downcast_ref::<InjectedFault>().map(|f| f.site),
+        }
+    }
 }
 
 /// Maps `f` over `items` on [`num_threads`] workers, preserving input
@@ -90,6 +138,40 @@ where
         .collect()
 }
 
+/// Panic-isolating sibling of [`par_map`]: maps `f` over `items` on
+/// [`num_threads`] workers and returns one `Result` per item, in input
+/// order. A panic inside `f` (genuine or injected by the fault plane)
+/// becomes an `Err(WorkerError)` for that item alone — the worker
+/// catches it and moves on to the next item instead of killing the
+/// pool.
+pub fn par_map_result<T, R, F>(items: &[T], f: F) -> Vec<Result<R, WorkerError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_result_threads(num_threads(), items, f)
+}
+
+/// [`par_map_result`] with an explicit worker count.
+pub fn par_map_result_threads<T, R, F>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Vec<Result<R, WorkerError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let isolated = |(i, item): &(usize, &T)| -> Result<R, WorkerError> {
+        catch_unwind(AssertUnwindSafe(|| f(item)))
+            .map_err(|payload| WorkerError::from_panic(*i, payload))
+    };
+    let indexed: Vec<(usize, &T)> = items.iter().enumerate().collect();
+    par_map_threads(threads, &indexed, isolated)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +222,50 @@ mod tests {
         let one = par_map_threads(1, &items, draw);
         let four = par_map_threads(4, &items, draw);
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn par_map_result_isolates_panics() {
+        let items: Vec<u32> = (0..32).collect();
+        for threads in [1, 2, 4] {
+            let out = par_map_result_threads(threads, &items, |&x| {
+                if x % 7 == 3 {
+                    panic!("boom on {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i % 7 == 3 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.index, i);
+                    assert!(e.message.contains("boom"), "{e:?}");
+                    assert_eq!(e.injected, None);
+                } else {
+                    assert_eq!(*r, Ok(i as u32 * 2), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_result_tags_injected_faults() {
+        use crate::fault::{site, FaultPlane};
+        let plane = FaultPlane::new(0, 1.0).only_keys(vec![5]);
+        let items: Vec<u64> = (0..12).collect();
+        let out = par_map_result_threads(3, &items, |&k| {
+            plane.trip(site::LABEL_LOOP, k);
+            k + 1
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 5 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.injected, Some(site::LABEL_LOOP));
+                assert!(e.message.contains("label.loop"), "{e:?}");
+            } else {
+                assert_eq!(*r, Ok(i as u64 + 1));
+            }
+        }
     }
 
     #[test]

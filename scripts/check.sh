@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Repository gate: release build, full test suite, clippy, formatting,
 # the corpus lint (loopml-lint must report zero deny diagnostics over
-# the built-in corpus at every unroll factor), and the perf gate (the
+# the built-in corpus at every unroll factor), the perf gate (the
 # smoke-scale `repro perf` must emit a well-formed BENCH_ml.json with no
-# stage more than 2x slower than scripts/bench_baseline.json).
+# stage more than 2x slower than scripts/bench_baseline.json), and the
+# chaos gate (a fixed-seed LOOPML_FAULTS labeling run must complete with
+# the expected quarantine, keep every non-faulted label bit-identical to
+# a clean run, and resume from partial checkpoints byte-identically).
 #
 # Runs entirely offline — the workspace has no external dependencies
 # (enforced by tests/zero_deps.rs).
@@ -18,4 +21,25 @@ cargo run --release -p loopml-lint
 cargo run --release -p loopml-bench --bin repro -- perf --smoke
 cargo run --release -p loopml-bench --bin repro -- perf-check \
     BENCH_ml.json scripts/bench_baseline.json
+
+# Chaos gate: deterministic fault injection through the full CLI.
+chaos_dir=$(mktemp -d)
+trap 'rm -rf "$chaos_dir"' EXIT
+repro_label() {
+    cargo run --release -q -p loopml-bench --bin repro -- label --smoke "$@"
+}
+echo "check.sh: chaos gate (clean / chaos / diff / resume)"
+repro_label --ckpt-dir "$chaos_dir/ck" \
+    --out "$chaos_dir/clean.json" --degradation "$chaos_dir/clean_deg.json"
+LOOPML_FAULTS=20260806:0.06:label.measure repro_label \
+    --out "$chaos_dir/chaos.json" --degradation "$chaos_dir/chaos_deg.json"
+cargo run --release -q -p loopml-bench --bin repro -- label-diff \
+    "$chaos_dir/clean.json" "$chaos_dir/chaos.json" --expect-quarantine
+# Simulate a crash: lose some checkpoints, resume, demand byte-identity.
+rm "$chaos_dir"/ck/ckpt_001_* "$chaos_dir"/ck/ckpt_004_*
+repro_label --ckpt-dir "$chaos_dir/ck" --resume \
+    --out "$chaos_dir/resumed.json" --degradation "$chaos_dir/resumed_deg.json"
+cmp "$chaos_dir/clean.json" "$chaos_dir/resumed.json"
+cmp "$chaos_dir/clean_deg.json" "$chaos_dir/resumed_deg.json"
+
 echo "check.sh: all gates passed"
