@@ -6,6 +6,7 @@
 //!        ablate-norm | ablate-radius | ablate-features | ablate-filter]
 //! repro perf [--smoke]
 //! repro perf-check <current.json> <baseline.json>
+//! repro sweep [--smoke|--quick]
 //! repro label [--smoke|--quick] [--resume] [--ckpt-dir DIR]
 //!             [--out FILE] [--degradation FILE] [--retries N]
 //! repro label-diff <clean.json> <chaos.json> [--expect-quarantine]
@@ -21,6 +22,11 @@
 //! `perf-check` re-reads a report, validates it, and exits nonzero if
 //! any stage regressed more than 2× against the baseline.
 //!
+//! The `sweep` target selects hyperparameters by leave-one-benchmark-out
+//! accuracy (SVM gamma × C grid plus NN radii) over exactly one shared
+//! pairwise distance matrix, writes `SWEEP_ml.json`, and exits nonzero
+//! if the report's distance-build counter is not exactly 1.
+//!
 //! The `label` target runs the fault-tolerant labeling pipeline (see
 //! `loopml_bench::labelrun`): retries and quarantine under the
 //! `LOOPML_FAULTS` fault plane, per-benchmark checkpoints, `--resume`,
@@ -30,7 +36,7 @@
 use std::time::Instant;
 
 use loopml::FEATURE_NAMES;
-use loopml_bench::{experiments, labelrun, perf, report, Context, Scale};
+use loopml_bench::{experiments, labelrun, perf, report, sweeprun, Context, Scale};
 use loopml_machine::SwpMode;
 use loopml_rt::Json;
 
@@ -62,6 +68,21 @@ fn run_perf_check(paths: &[&str]) -> Result<(), String> {
         &read_json(baseline)?,
         REGRESSION_FACTOR,
     )
+}
+
+fn run_sweep(scale: Scale) {
+    let run = sweeprun::run_sweep(scale);
+    let json = run.to_json();
+    std::fs::write("SWEEP_ml.json", format!("{json}\n")).expect("write SWEEP_ml.json");
+    println!("{json}");
+    if run.report.distance_builds != 1 {
+        eprintln!(
+            "[sweep] FAIL: {} distance-matrix builds, expected exactly 1",
+            run.report.distance_builds
+        );
+        std::process::exit(1);
+    }
+    eprintln!("[sweep] wrote SWEEP_ml.json (1 distance build, as designed)");
 }
 
 fn run_label(rest: &[String]) -> ! {
@@ -128,6 +149,14 @@ fn main() {
         let perf_scale = if quick || smoke { Scale::Quick } else { scale };
         run_perf(perf_scale);
         targets.retain(|t| *t != "perf");
+        if targets.is_empty() {
+            return;
+        }
+    }
+    if targets.contains(&"sweep") {
+        let sweep_scale = if quick || smoke { Scale::Quick } else { scale };
+        run_sweep(sweep_scale);
+        targets.retain(|t| *t != "sweep");
         if targets.is_empty() {
             return;
         }

@@ -14,10 +14,13 @@
 //! | Figure 4 | [`experiments::speedup_figure`] (SWP off) | `repro fig4` |
 //! | Figure 5 | [`experiments::speedup_figure`] (SWP on)  | `repro fig5` |
 //!
-//! plus the ablations called out in `DESIGN.md` (`repro ablate-...`) and
+//! plus the ablations called out in `DESIGN.md` (`repro ablate-...`),
 //! the tracked performance harness (`repro perf`, [`perf`]), which times
-//! each pipeline stage and emits `BENCH_ml.json` for regression checks.
-//! Run `repro all` for everything, `--quick` for a reduced corpus.
+//! each pipeline stage and emits `BENCH_ml.json` for regression checks,
+//! and the LOGO hyperparameter sweep (`repro sweep`, [`sweeprun`]),
+//! which selects the SVM gamma/C and NN radius over one shared distance
+//! matrix and emits `SWEEP_ml.json`. Run `repro all` for everything,
+//! `--quick` for a reduced corpus.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -27,5 +30,6 @@ pub mod experiments;
 pub mod labelrun;
 pub mod perf;
 pub mod report;
+pub mod sweeprun;
 
 pub use context::{Context, Scale};

@@ -24,7 +24,9 @@
 use loopml_corpus::{full_suite, SuiteConfig};
 use loopml_ir::Benchmark;
 use loopml_machine::SwpMode;
-use loopml_ml::{Classifier, CvResult, Dataset};
+use loopml_ml::{
+    Classifier, CvResult, Dataset, SvmGrid, SvmParams, SweepConfig, SweepReport, DEFAULT_RADIUS,
+};
 
 use crate::evaluate::EvalConfig;
 use crate::fault::DegradationReport;
@@ -46,6 +48,8 @@ pub struct PipelineBuilder {
     suite: Option<Vec<Benchmark>>,
     take: Option<usize>,
     resilience: Option<ResilienceConfig>,
+    tune_svm: Option<SvmGrid>,
+    tune_nn: Option<Vec<f64>>,
 }
 
 impl Default for PipelineBuilder {
@@ -69,6 +73,8 @@ impl PipelineBuilder {
             suite: None,
             take: None,
             resilience: None,
+            tune_svm: None,
+            tune_nn: None,
         }
     }
 
@@ -147,6 +153,24 @@ impl PipelineBuilder {
         self
     }
 
+    /// Sweeps the SVM gamma × C grid by leave-one-benchmark-out accuracy
+    /// during `build` (one shared distance matrix, see
+    /// [`loopml_ml::sweep`]); [`Pipeline::svm_params`] then returns the
+    /// winner instead of the paper defaults.
+    pub fn tune_svm(mut self, grid: SvmGrid) -> Self {
+        self.tune_svm = Some(grid);
+        self
+    }
+
+    /// Sweeps the NN neighborhood radius over `radii` by
+    /// leave-one-benchmark-out accuracy during `build`;
+    /// [`Pipeline::nn_radius`] then returns the winner instead of the
+    /// paper's 0.3.
+    pub fn tune_nn(mut self, radii: Vec<f64>) -> Self {
+        self.tune_nn = Some(radii);
+        self
+    }
+
     /// Synthesizes, labels, featurizes and selects.
     ///
     /// # Panics
@@ -202,6 +226,21 @@ impl PipelineBuilder {
             lint.merge(loopml_lint::lint_dataset(&full_dataset, Some(&groups)));
             lint.enforce(label_config.lint, "training dataset");
         }
+        let sweep = if self.tune_svm.is_some() || self.tune_nn.is_some() {
+            // A missing half sweeps nothing on that axis and keeps its
+            // paper default (empty grids select the fallback).
+            let cfg = SweepConfig {
+                svm: self.tune_svm.unwrap_or(SvmGrid {
+                    gammas: Vec::new(),
+                    cs: Vec::new(),
+                    ..SvmGrid::default()
+                }),
+                radii: self.tune_nn.unwrap_or_default(),
+            };
+            Some(loopml_ml::sweep(&dataset, &groups, &cfg))
+        } else {
+            None
+        };
         Pipeline {
             suite,
             labeled,
@@ -212,6 +251,7 @@ impl PipelineBuilder {
             label_config,
             eval_config,
             degradation,
+            sweep,
         }
     }
 }
@@ -241,6 +281,12 @@ pub struct Pipeline {
     /// Degradation accounting when labeling ran through the
     /// fault-tolerant path (`None` for the plain path).
     pub degradation: Option<DegradationReport>,
+    /// The hyperparameter sweep report when the builder was asked to
+    /// tune ([`PipelineBuilder::tune_svm`] / [`tune_nn`]); `None` means
+    /// paper defaults throughout.
+    ///
+    /// [`tune_nn`]: PipelineBuilder::tune_nn
+    pub sweep: Option<SweepReport>,
 }
 
 impl Pipeline {
@@ -284,6 +330,26 @@ impl Pipeline {
     /// training dataset.
     pub fn loocv(&self, classifier: &dyn Classifier) -> CvResult {
         loopml_ml::loocv(&self.dataset, classifier)
+    }
+
+    /// SVM hyperparameters downstream training should use: the sweep
+    /// winner when the builder tuned (and actually swept a non-empty
+    /// grid), the paper defaults otherwise.
+    pub fn svm_params(&self) -> SvmParams {
+        match &self.sweep {
+            Some(s) if !s.svm_cells.is_empty() => s.selected_svm,
+            _ => SvmParams::default(),
+        }
+    }
+
+    /// NN neighborhood radius downstream training should use: the sweep
+    /// winner when the builder tuned (and swept at least one radius),
+    /// the paper's [`DEFAULT_RADIUS`] otherwise.
+    pub fn nn_radius(&self) -> f64 {
+        match &self.sweep {
+            Some(s) if !s.nn_cells.is_empty() => s.selected_radius,
+            _ => DEFAULT_RADIUS,
+        }
     }
 }
 
@@ -355,6 +421,45 @@ mod tests {
         let b = quick().exact().build();
         assert_eq!(a.labeled, b.labeled);
         assert_eq!(a.feature_subset, b.feature_subset);
+    }
+
+    #[test]
+    fn untuned_pipeline_uses_paper_defaults() {
+        let p = quick().exact().build();
+        assert!(p.sweep.is_none());
+        assert_eq!(p.svm_params(), SvmParams::default());
+        assert_eq!(p.nn_radius(), DEFAULT_RADIUS);
+    }
+
+    #[test]
+    fn tuned_pipeline_consumes_the_sweep_winner() {
+        let grid = SvmGrid {
+            gammas: vec![0.5, 2.0],
+            cs: vec![1.0, 10.0],
+            ..SvmGrid::default()
+        };
+        let radii = vec![0.2, 0.3, 0.5, 0.8];
+        let p = quick()
+            .exact()
+            .tune_svm(grid.clone())
+            .tune_nn(radii.clone())
+            .build();
+        let sweep = p.sweep.as_ref().expect("tuning ran");
+        assert_eq!(sweep.svm_cells.len(), 4);
+        assert_eq!(sweep.nn_cells.len(), 4);
+        assert_eq!(sweep.distance_builds, 1);
+        assert!(grid.gammas.contains(&p.svm_params().gamma));
+        assert!(grid.cs.contains(&p.svm_params().c));
+        assert!(radii.contains(&p.nn_radius()));
+    }
+
+    #[test]
+    fn tuning_one_axis_keeps_the_other_at_defaults() {
+        let p = quick().exact().tune_nn(vec![0.2, 0.4]).build();
+        let sweep = p.sweep.as_ref().expect("tuning ran");
+        assert!(sweep.svm_cells.is_empty());
+        assert_eq!(p.svm_params(), SvmParams::default());
+        assert!([0.2, 0.4].contains(&p.nn_radius()));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use loopml_rt::{fault_key, Json};
+use loopml_rt::{fault_key, FaultPlane, Json};
 
 use crate::fault::{BenchmarkOutcome, QuarantineEntry};
 use crate::label::{LabelConfig, LabeledLoop, MAX_UNROLL};
@@ -28,9 +28,13 @@ pub const CKPT_SCHEMA: &str = "loopml/label-ckpt/v1";
 
 /// Fingerprint of everything a checkpoint's measurements depend on:
 /// the measurement seed, pipelining regime, noise model, the paper's
-/// filter thresholds, and the retry budget. Resuming under a different
-/// configuration must relabel, not reuse.
-pub fn config_fingerprint(cfg: &LabelConfig, retry_budget: u32) -> u64 {
+/// filter thresholds, the retry budget, and the active fault plane
+/// (`LOOPML_FAULTS`). Resuming under a different configuration must
+/// relabel, not reuse — in particular, a checkpoint written under
+/// injected chaos (whose retries shifted attempt seeds and whose
+/// quarantine list reflects the injected deaths) must never satisfy a
+/// clean resume, nor vice versa.
+pub fn config_fingerprint(cfg: &LabelConfig, retry_budget: u32, faults: &FaultPlane) -> u64 {
     fault_key(&[
         cfg.seed,
         cfg.swp as u64,
@@ -40,6 +44,7 @@ pub fn config_fingerprint(cfg: &LabelConfig, retry_budget: u32) -> u64 {
         cfg.min_benefit.to_bits(),
         u64::from(MAX_UNROLL),
         u64::from(retry_budget),
+        faults.fingerprint(),
     ])
 }
 
@@ -304,13 +309,51 @@ mod tests {
 
     #[test]
     fn fingerprint_tracks_config_changes() {
+        let off = FaultPlane::disabled();
         let a = LabelConfig::paper(SwpMode::Disabled);
         let mut b = a.clone();
-        assert_eq!(config_fingerprint(&a, 3), config_fingerprint(&b, 3));
-        assert_ne!(config_fingerprint(&a, 3), config_fingerprint(&a, 4));
+        assert_eq!(
+            config_fingerprint(&a, 3, &off),
+            config_fingerprint(&b, 3, &off)
+        );
+        assert_ne!(
+            config_fingerprint(&a, 3, &off),
+            config_fingerprint(&a, 4, &off)
+        );
         b.seed ^= 1;
-        assert_ne!(config_fingerprint(&a, 3), config_fingerprint(&b, 3));
+        assert_ne!(
+            config_fingerprint(&a, 3, &off),
+            config_fingerprint(&b, 3, &off)
+        );
         let c = LabelConfig::paper(SwpMode::Enabled);
-        assert_ne!(config_fingerprint(&a, 3), config_fingerprint(&c, 3));
+        assert_ne!(
+            config_fingerprint(&a, 3, &off),
+            config_fingerprint(&c, 3, &off)
+        );
+    }
+
+    #[test]
+    fn changed_fault_spec_invalidates_the_checkpoint() {
+        let cfg = LabelConfig::paper(SwpMode::Disabled);
+        let clean = config_fingerprint(&cfg, 3, &FaultPlane::disabled());
+        let chaos = config_fingerprint(&cfg, 3, &FaultPlane::new(0xC0FFEE, 0.1));
+        let other_seed = config_fingerprint(&cfg, 3, &FaultPlane::new(0xC0FFEF, 0.1));
+        let other_rate = config_fingerprint(&cfg, 3, &FaultPlane::new(0xC0FFEE, 0.2));
+        assert_ne!(clean, chaos, "chaos checkpoints must not serve clean runs");
+        assert_ne!(chaos, other_seed, "fault seed is part of the identity");
+        assert_ne!(chaos, other_rate, "fault rate is part of the identity");
+
+        // End to end: a checkpoint written under one plane is invisible
+        // to a resume under another.
+        let dir = std::env::temp_dir().join("loopml_ckpt_faultspec");
+        let _ = std::fs::remove_dir_all(&dir);
+        let o = outcome();
+        write_checkpoint(&dir, &o, chaos).expect("write");
+        assert_eq!(read_checkpoint(&dir, 7, "179.art", chaos), Some(o));
+        assert_eq!(
+            read_checkpoint(&dir, 7, "179.art", clean),
+            None,
+            "clean resume must relabel, not reuse chaos-era checkpoints"
+        );
     }
 }

@@ -451,7 +451,7 @@ pub fn label_suite_resilient(
     cfg: &LabelConfig,
     res: &ResilienceConfig,
 ) -> LabelRun {
-    let fingerprint = config_fingerprint(cfg, res.retry_budget);
+    let fingerprint = config_fingerprint(cfg, res.retry_budget, &res.faults);
     let threads = if res.threads == 0 {
         num_threads()
     } else {

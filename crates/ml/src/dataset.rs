@@ -187,10 +187,25 @@ impl MinMaxNormalizer {
 
     /// Normalizes one vector in place. Constant features map to 0. The
     /// [`identity`](MinMaxNormalizer::identity) normalizer is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`'s length differs from the fitted dimension. A
+    /// longer row used to die on a bare index out of bounds and a
+    /// shorter one was silently half-normalized; both are dimension
+    /// mismatches upstream (a feature-subset model fed a full vector,
+    /// or vice versa) and must fail loudly.
     pub fn apply(&self, row: &mut [f64]) {
         if self.lo.is_empty() {
             return;
         }
+        assert_eq!(
+            row.len(),
+            self.lo.len(),
+            "normalizer fitted on {} features cannot normalize a {}-feature row",
+            self.lo.len(),
+            row.len()
+        );
         for (j, v) in row.iter_mut().enumerate() {
             let span = self.hi[j] - self.lo[j];
             *v = if span > 0.0 {
@@ -225,11 +240,24 @@ impl MinMaxNormalizer {
 /// last bits relative to a strict left-to-right loop — harmless for
 /// distance comparisons, and pinned against the naive loop (to 1e-12
 /// relative) by `dist2_matches_naive_loop`.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths. An earlier version
+/// silently truncated to `min(a.len(), b.len())`, which turned a
+/// feature-subset/full-vector mix-up into a *wrong distance* instead of
+/// an error; every caller is expected to present matching dimensions.
 #[inline]
 pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
     const LANES: usize = 4;
-    let n = a.len().min(b.len());
-    let (a, b) = (&a[..n], &b[..n]);
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dist2 over mismatched dimensions ({} vs {})",
+        a.len(),
+        b.len()
+    );
+    let n = a.len();
     let chunks = n / LANES * LANES;
     let mut acc = [0.0f64; LANES];
     for (ca, cb) in a[..chunks]
@@ -330,6 +358,32 @@ mod tests {
         let mut row = vec![-3.0, 0.0, 1e9];
         n.apply(&mut row);
         assert_eq!(row, vec![-3.0, 0.0, 1e9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "normalizer fitted on 2 features")]
+    fn normalizer_rejects_longer_rows() {
+        // Used to index lo/hi by the row's length: bare OOB panic.
+        let n = MinMaxNormalizer::fit(&toy().x);
+        let mut row = vec![1.0, 2.0, 3.0];
+        n.apply(&mut row);
+    }
+
+    #[test]
+    #[should_panic(expected = "normalizer fitted on 2 features")]
+    fn normalizer_rejects_shorter_rows() {
+        // Used to silently half-normalize: only the columns present.
+        let n = MinMaxNormalizer::fit(&toy().x);
+        let mut row = vec![1.0];
+        n.apply(&mut row);
+    }
+
+    #[test]
+    #[should_panic(expected = "dist2 over mismatched dimensions (2 vs 3)")]
+    fn dist2_rejects_mismatched_lengths() {
+        // Used to silently truncate to min(a.len(), b.len()) — a wrong
+        // distance, not an error.
+        let _ = dist2(&[0.0, 1.0], &[0.0, 1.0, 2.0]);
     }
 
     #[test]

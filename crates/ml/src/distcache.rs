@@ -35,6 +35,21 @@
 
 use crate::dataset::{dist2, Dataset, MinMaxNormalizer};
 use loopml_rt::par_map_threads;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global count of [`DistanceMatrix::compute`] invocations. The
+/// sweep subsystem's whole premise is "one distance pass, many kernels";
+/// this counter turns that claim into something a test (and the `repro
+/// sweep` report) can assert instead of trusting.
+static BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of pairwise distance-matrix builds performed by this process so
+/// far. Monotonic; callers snapshot it before a sweep and assert the
+/// delta (the counter is process-global, so absolute values are
+/// meaningless in a multi-test process).
+pub fn distance_builds() -> u64 {
+    BUILDS.load(Ordering::Relaxed)
+}
 
 /// Full pairwise squared-distance matrix over a set of rows, stored flat
 /// row-major (`d2[i * n + j]`).
@@ -48,6 +63,7 @@ impl DistanceMatrix {
     /// Computes all pairwise squared distances (symmetric; each pair is
     /// computed once and mirrored).
     pub fn compute(xs: &[Vec<f64>]) -> Self {
+        BUILDS.fetch_add(1, Ordering::Relaxed);
         let n = xs.len();
         let mut d2 = vec![0.0; n * n];
         for i in 0..n {

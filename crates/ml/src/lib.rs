@@ -23,6 +23,8 @@
 //!   caches: derive an RBF kernel for any gamma without re-touching
 //!   feature vectors, and evaluate greedy candidate subsets with an
 //!   O(n²) accumulate (distances are additive across features);
+//! * [`sweep`] — LOGO-scored hyperparameter selection (SVM gamma × C
+//!   grid, NN radius) over exactly one shared distance matrix;
 //! * [`linalg`] — the small dense linear-algebra kernel underneath LDA.
 //!
 //! Cross-validation folds, greedy candidates, and the one-vs-rest SVM
@@ -60,10 +62,11 @@ pub mod linalg;
 pub mod loocv;
 pub mod nn;
 pub mod svm;
+pub mod sweep;
 
 pub use classify::{Classifier, Constant};
 pub use dataset::{dist2, Dataset, MinMaxNormalizer};
-pub use distcache::{DistanceMatrix, FeatureDistCache};
+pub use distcache::{distance_builds, DistanceMatrix, FeatureDistCache};
 pub use feature_select::{
     greedy_forward, greedy_forward_nn, greedy_forward_nn_threads, greedy_forward_threads,
     mutual_information, nn1_training_error, GreedyStep, ScoredFeature, MIS_BINS,
@@ -75,6 +78,7 @@ pub use loocv::{
 };
 pub use nn::{NearNeighbors, NnPrediction, DEFAULT_RADIUS};
 pub use svm::{decode, KernelCache, MulticlassSvm, SvmParams};
+pub use sweep::{sweep, sweep_threads, RadiusCell, SvmCell, SvmGrid, SweepConfig, SweepReport};
 
 #[cfg(test)]
 mod proptests {

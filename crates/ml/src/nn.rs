@@ -100,7 +100,23 @@ impl NearNeighbors {
     /// Predicts while pretending training example `exclude` does not
     /// exist — the primitive that makes leave-one-out evaluation of NN
     /// exact without retraining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the classifier is fitted and `x`'s length differs from
+    /// the training dimension — covers both the normalized path (where
+    /// the normalizer would reject it) and `fit_unnormalized` (where the
+    /// old `dist2` would have silently truncated).
     pub fn predict_excluding(&self, x: &[f64], exclude: usize) -> NnPrediction {
+        if let Some(xi) = self.xs.first() {
+            assert_eq!(
+                x.len(),
+                xi.len(),
+                "NN fitted on {} features cannot score a {}-feature query",
+                xi.len(),
+                x.len()
+            );
+        }
         let mut q = x.to_vec();
         if let Some(n) = &self.normalizer {
             n.apply(&mut q);
@@ -267,6 +283,16 @@ mod tests {
         );
         let nn = NearNeighbors::fit(&d, DEFAULT_RADIUS);
         assert_eq!(nn.predict(&[0.0, 95_000.0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "NN fitted on 2 features")]
+    fn query_dimension_mismatch_rejected() {
+        let d = dataset(vec![vec![0.0, 0.0], vec![1.0, 1.0]], vec![0, 1]);
+        // Unnormalized: the path where truncating dist2 used to produce a
+        // silently wrong distance instead of an error.
+        let nn = NearNeighbors::fit_unnormalized(&d, DEFAULT_RADIUS);
+        let _ = nn.predict(&[0.0]);
     }
 
     #[test]

@@ -79,6 +79,14 @@ impl KernelCache {
     fn row(&self, i: usize) -> &[f64] {
         &self.k[i * self.n..(i + 1) * self.n]
     }
+
+    /// The flat n×n kernel entries — exposed so sweep tests can compare a
+    /// [`from_distances`](KernelCache::from_distances)-derived kernel
+    /// against a direct [`compute`](KernelCache::compute) bit-for-bit.
+    #[cfg(test)]
+    pub(crate) fn entries(&self) -> &[f64] {
+        &self.k
+    }
 }
 
 /// Trains one binary machine by dual coordinate descent.
@@ -89,7 +97,7 @@ impl KernelCache {
 /// subset — the support-vector set during LOO re-convergence, where
 /// removing one point perturbs mostly the other support vectors. Returns
 /// the dual variables.
-fn train_binary(
+pub(crate) fn train_binary(
     kc: &KernelCache,
     labels: &[f64],
     params: &SvmParams,
@@ -169,7 +177,7 @@ fn train_binary(
 }
 
 /// Decision value of a binary machine at training point `i`.
-fn decision_at(kc: &KernelCache, labels: &[f64], alpha: &[f64], i: usize) -> f64 {
+pub(crate) fn decision_at(kc: &KernelCache, labels: &[f64], alpha: &[f64], i: usize) -> f64 {
     let row = kc.row(i);
     alpha
         .iter()
@@ -259,7 +267,22 @@ impl MulticlassSvm {
     }
 
     /// Per-class decision values for a raw feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is fitted and `x`'s length differs from the
+    /// training dimension (the normalizer and `dist2` both reject
+    /// mismatched lengths rather than computing a wrong answer).
     pub fn decision_values(&self, x: &[f64]) -> Vec<f64> {
+        if let Some(xi) = self.xs.first() {
+            assert_eq!(
+                x.len(),
+                xi.len(),
+                "SVM fitted on {} features cannot score a {}-feature query",
+                xi.len(),
+                x.len()
+            );
+        }
         let mut q = x.to_vec();
         self.normalizer.apply(&mut q);
         let krow: Vec<f64> = self
@@ -478,6 +501,14 @@ mod tests {
             let derived = KernelCache::from_distances(&dm, gamma);
             assert_eq!(direct.k, derived.k, "gamma={gamma}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "SVM fitted on 2 features")]
+    fn predict_rejects_wrong_dimension() {
+        let d = clusters();
+        let svm = MulticlassSvm::fit(&d, SvmParams::default());
+        let _ = svm.predict(&[0.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -1,0 +1,451 @@
+//! Hyperparameter sweeps over one cached distance matrix.
+//!
+//! The paper fixes the NN radius (0.3) and the SVM kernel width by hand;
+//! this module *selects* them by the same train-many/pick-by-held-out-
+//! error discipline the paper applies to feature selection (§6). The
+//! expensive object every candidate shares is the n×n pairwise distance
+//! matrix over normalized features, and everything downstream is a cheap
+//! function of it:
+//!
+//! * an RBF kernel for any gamma is one exp-pass over the matrix
+//!   ([`KernelCache::from_distances`]) — never a second O(n²·d) distance
+//!   computation;
+//! * a different C re-runs coordinate descent on an existing kernel;
+//! * a different NN radius is just a new threshold over cached d².
+//!
+//! So the whole sweep performs **exactly one** [`DistanceMatrix::compute`]
+//! (asserted via [`distance_builds`] by tests and by the `repro sweep`
+//! report). Each grid cell is scored by leave-one-benchmark-out (LOGO)
+//! accuracy — the Figure 4/5 protocol: all loops of a benchmark are
+//! excluded from training when that benchmark is evaluated. For the SVM
+//! this uses the dual coordinate-descent trainer's active-set restriction:
+//! dual variables stay zero outside the training fold, so the full-corpus
+//! kernel serves every fold without per-fold kernels.
+//!
+//! One deliberate deviation from a fully per-fold protocol: features are
+//! min-max normalized over the *full* dataset, not refitted per LOGO fold
+//! (refitting would need per-fold distance matrices, defeating the single
+//! shared cache). The same normalization is used for every cell, so the
+//! comparison between cells — the argmax the sweep exists to find — is
+//! apples-to-apples. See DESIGN.md §10.
+//!
+//! Grid cells fan out across [`loopml_rt::par_map`] workers; every unit
+//! of work is a pure function and per-cell error tallies are integers, so
+//! results are bit-identical at any `LOOPML_THREADS` setting.
+
+use crate::dataset::{Dataset, MinMaxNormalizer};
+use crate::distcache::{distance_builds, DistanceMatrix};
+use crate::nn::DEFAULT_RADIUS;
+use crate::svm::{decision_at, decode, train_binary, KernelCache, SvmParams};
+use loopml_rt::{num_threads, par_map_threads};
+
+/// The gamma × C grid swept for the SVM, plus the non-swept
+/// hyperparameters every cell shares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvmGrid {
+    /// RBF kernel widths to try.
+    pub gammas: Vec<f64>,
+    /// Soft-margin penalties to try.
+    pub cs: Vec<f64>,
+    /// Tolerance / sweep budget shared by every cell; `base.gamma` and
+    /// `base.c` are ignored (overwritten per cell).
+    pub base: SvmParams,
+}
+
+impl Default for SvmGrid {
+    /// A 3×3 grid bracketing the paper defaults (gamma 1.0, C 10.0) by
+    /// 4× / 10× in each direction, with a reduced sweep budget — the
+    /// sweep ranks cells, it does not need each to be converged to the
+    /// last KKT digit.
+    fn default() -> Self {
+        SvmGrid {
+            gammas: vec![0.25, 1.0, 4.0],
+            cs: vec![1.0, 10.0, 100.0],
+            base: SvmParams {
+                max_sweeps: 30,
+                ..SvmParams::default()
+            },
+        }
+    }
+}
+
+/// Everything `sweep` needs besides the data: the SVM grid and the NN
+/// radii to threshold the cached distances with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// SVM gamma × C grid.
+    pub svm: SvmGrid,
+    /// NN neighborhood radii to try.
+    pub radii: Vec<f64>,
+}
+
+impl Default for SweepConfig {
+    /// The default grid plus five radii bracketing the paper's 0.3.
+    fn default() -> Self {
+        SweepConfig {
+            svm: SvmGrid::default(),
+            radii: vec![0.15, 0.3, 0.45, 0.6, 1.0],
+        }
+    }
+}
+
+/// One evaluated SVM grid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvmCell {
+    /// RBF kernel width of this cell.
+    pub gamma: f64,
+    /// Soft-margin penalty of this cell.
+    pub c: f64,
+    /// Leave-one-benchmark-out accuracy.
+    pub accuracy: f64,
+}
+
+/// One evaluated NN radius.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadiusCell {
+    /// Neighborhood radius.
+    pub radius: f64,
+    /// Leave-one-benchmark-out accuracy.
+    pub accuracy: f64,
+}
+
+/// The full result of a hyperparameter sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Every SVM grid cell, gamma-major (all C for the first gamma, then
+    /// the next gamma, …).
+    pub svm_cells: Vec<SvmCell>,
+    /// Every NN radius, in configuration order.
+    pub nn_cells: Vec<RadiusCell>,
+    /// The winning SVM hyperparameters (highest LOGO accuracy; ties go to
+    /// the earliest cell in grid order). `base` defaults when the grid is
+    /// empty.
+    pub selected_svm: SvmParams,
+    /// LOGO accuracy of [`selected_svm`](Self::selected_svm) (0.0 when
+    /// the grid is empty).
+    pub svm_accuracy: f64,
+    /// The winning NN radius ([`DEFAULT_RADIUS`] when no radii given).
+    pub selected_radius: f64,
+    /// LOGO accuracy of [`selected_radius`](Self::selected_radius) (0.0
+    /// when no radii were given).
+    pub nn_accuracy: f64,
+    /// How many [`DistanceMatrix::compute`] calls the sweep performed —
+    /// the design says exactly one, and this is the proof.
+    pub distance_builds: u64,
+    /// Number of examples swept over.
+    pub n_examples: usize,
+    /// Number of LOGO groups (benchmarks).
+    pub n_groups: usize,
+}
+
+/// Sweeps the SVM grid and NN radii over `data`, scoring every candidate
+/// by leave-one-group-out accuracy (`group[i]` is example `i`'s
+/// benchmark), with exactly one pairwise distance computation.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `group.len() != data.len()`.
+pub fn sweep(data: &Dataset, group: &[usize], cfg: &SweepConfig) -> SweepReport {
+    sweep_threads(data, group, cfg, num_threads())
+}
+
+/// [`sweep`] with an explicit worker count (used by the determinism tests
+/// to force serial vs. multi-threaded execution).
+pub fn sweep_threads(
+    data: &Dataset,
+    group: &[usize],
+    cfg: &SweepConfig,
+    threads: usize,
+) -> SweepReport {
+    assert!(!data.is_empty(), "cannot sweep an empty dataset");
+    assert_eq!(group.len(), data.len(), "one group per example");
+    let builds_before = distance_builds();
+
+    let n = data.len();
+    let xs = MinMaxNormalizer::fit(&data.x).transform(&data.x);
+    let dm = DistanceMatrix::compute(&xs);
+
+    let mut groups: Vec<usize> = group.to_vec();
+    groups.sort_unstable();
+    groups.dedup();
+
+    // One kernel per gamma, each an exp-pass over the shared matrix.
+    let kernels: Vec<KernelCache> = par_map_threads(threads, &cfg.svm.gammas, |&g| {
+        KernelCache::from_distances(&dm, g)
+    });
+
+    // Flatten (gamma, C, held-out group) into independent jobs: each
+    // trains one multiclass machine on the fold's active set and counts
+    // correct predictions on the held-out members. Integer tallies make
+    // any job-to-worker assignment sum to the same accuracy.
+    let n_groups = groups.len();
+    let jobs: Vec<(usize, usize, usize)> = (0..cfg.svm.gammas.len())
+        .flat_map(|gi| {
+            (0..cfg.svm.cs.len()).flat_map(move |ci| (0..n_groups).map(move |fi| (gi, ci, fi)))
+        })
+        .collect();
+    let correct_per_job: Vec<u64> = par_map_threads(threads, &jobs, |&(gi, ci, fi)| {
+        let g = groups[fi];
+        let members: Vec<usize> = (0..n).filter(|&i| group[i] == g).collect();
+        let active: Vec<usize> = (0..n).filter(|&i| group[i] != g).collect();
+        if active.is_empty() {
+            // Empty training fold predicts class 0, like `logo_predictions`.
+            return members.iter().filter(|&&i| data.y[i] == 0).count() as u64;
+        }
+        let params = SvmParams {
+            gamma: cfg.svm.gammas[gi],
+            c: cfg.svm.cs[ci],
+            ..cfg.svm.base
+        };
+        let kc = &kernels[gi];
+        let labels_by_class: Vec<Vec<f64>> = (0..data.classes)
+            .map(|class| {
+                data.y
+                    .iter()
+                    .map(|&y| if y == class { 1.0 } else { -1.0 })
+                    .collect()
+            })
+            .collect();
+        // One-vs-rest machines restricted to the fold's training set:
+        // dual variables stay zero outside `active`, so the full-corpus
+        // kernel is exact for this fold.
+        let alphas: Vec<Vec<f64>> = labels_by_class
+            .iter()
+            .map(|labels| {
+                train_binary(
+                    kc,
+                    labels,
+                    &params,
+                    None,
+                    None,
+                    params.max_sweeps,
+                    Some(&active),
+                )
+            })
+            .collect();
+        members
+            .iter()
+            .filter(|&&i| {
+                let decisions: Vec<f64> = labels_by_class
+                    .iter()
+                    .zip(&alphas)
+                    .map(|(labels, alpha)| decision_at(kc, labels, alpha, i))
+                    .collect();
+                decode(&decisions) == data.y[i]
+            })
+            .count() as u64
+    });
+
+    let mut svm_cells = Vec::with_capacity(cfg.svm.gammas.len() * cfg.svm.cs.len());
+    for (cell, chunk) in correct_per_job.chunks(groups.len().max(1)).enumerate() {
+        let gi = cell / cfg.svm.cs.len().max(1);
+        let ci = cell % cfg.svm.cs.len().max(1);
+        svm_cells.push(SvmCell {
+            gamma: cfg.svm.gammas[gi],
+            c: cfg.svm.cs[ci],
+            accuracy: chunk.iter().sum::<u64>() as f64 / n as f64,
+        });
+    }
+
+    // NN: a radius is a threshold over the cached d² — replicate
+    // `predict_excluding`'s vote semantics with the whole group excluded.
+    let radius_indices: Vec<usize> = (0..cfg.radii.len()).collect();
+    let nn_cells: Vec<RadiusCell> = par_map_threads(threads, &radius_indices, |&ri| {
+        let r2 = cfg.radii[ri] * cfg.radii[ri];
+        let mut correct = 0u64;
+        for i in 0..n {
+            let mut votes = vec![0usize; data.classes];
+            let mut in_radius = 0usize;
+            let mut nearest: Option<(f64, usize)> = None;
+            for j in 0..n {
+                if group[j] == group[i] {
+                    continue;
+                }
+                let d2 = dm.get(i, j);
+                if d2 <= r2 {
+                    votes[data.y[j]] += 1;
+                    in_radius += 1;
+                }
+                if nearest.is_none_or(|(best, _)| d2 < best) {
+                    nearest = Some((d2, data.y[j]));
+                }
+            }
+            let best_class = (0..data.classes).max_by_key(|&c| votes[c]).unwrap_or(0);
+            let best_votes = votes.get(best_class).copied().unwrap_or(0);
+            let runner_up = (0..data.classes)
+                .filter(|&c| c != best_class)
+                .map(|c| votes[c])
+                .max()
+                .unwrap_or(0);
+            let label = if in_radius > 0 && best_votes > runner_up {
+                best_class
+            } else {
+                nearest.map(|(_, y)| y).unwrap_or(0)
+            };
+            if label == data.y[i] {
+                correct += 1;
+            }
+        }
+        RadiusCell {
+            radius: cfg.radii[ri],
+            accuracy: correct as f64 / n as f64,
+        }
+    });
+
+    let best_svm = argmax_accuracy(svm_cells.iter().map(|c| c.accuracy));
+    let (selected_svm, svm_accuracy) = match best_svm {
+        Some(k) => (
+            SvmParams {
+                gamma: svm_cells[k].gamma,
+                c: svm_cells[k].c,
+                ..cfg.svm.base
+            },
+            svm_cells[k].accuracy,
+        ),
+        None => (cfg.svm.base, 0.0),
+    };
+    let best_nn = argmax_accuracy(nn_cells.iter().map(|c| c.accuracy));
+    let (selected_radius, nn_accuracy) = match best_nn {
+        Some(k) => (nn_cells[k].radius, nn_cells[k].accuracy),
+        None => (DEFAULT_RADIUS, 0.0),
+    };
+
+    SweepReport {
+        svm_cells,
+        nn_cells,
+        selected_svm,
+        svm_accuracy,
+        selected_radius,
+        nn_accuracy,
+        distance_builds: distance_builds() - builds_before,
+        n_examples: n,
+        n_groups: groups.len(),
+    }
+}
+
+/// Index of the highest accuracy; exact ties go to the earliest index
+/// (grid order), which is what makes selection independent of the worker
+/// schedule.
+fn argmax_accuracy(accuracies: impl Iterator<Item = f64>) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (k, a) in accuracies.enumerate() {
+        if best.is_none_or(|(_, b)| a > b) {
+            best = Some((k, a));
+        }
+    }
+    best.map(|(k, _)| k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svm::KernelCache;
+
+    /// Three well-separated clusters, each split across two "benchmarks"
+    /// so LOGO folds still see every class.
+    fn clusters() -> (Dataset, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut group = Vec::new();
+        let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for k in 0..8 {
+                x.push(vec![cx + (k % 3) as f64 * 0.3, cy + (k / 3) as f64 * 0.3]);
+                y.push(c);
+                group.push(k % 2);
+            }
+        }
+        let n = x.len();
+        let data = Dataset::new(
+            x,
+            y,
+            3,
+            vec!["a".into(), "b".into()],
+            (0..n).map(|i| format!("e{i}")).collect(),
+        );
+        (data, group)
+    }
+
+    #[test]
+    fn sweep_scores_every_cell_and_selects_a_winner() {
+        let (data, group) = clusters();
+        let cfg = SweepConfig::default();
+        let r = sweep_threads(&data, &group, &cfg, 1);
+        assert_eq!(r.svm_cells.len(), cfg.svm.gammas.len() * cfg.svm.cs.len());
+        assert_eq!(r.nn_cells.len(), cfg.radii.len());
+        assert_eq!(r.n_examples, data.len());
+        assert_eq!(r.n_groups, 2);
+        for cell in &r.svm_cells {
+            assert!((0.0..=1.0).contains(&cell.accuracy));
+        }
+        // Separable clusters with both groups covering every class: the
+        // winners must classify well.
+        assert!(r.svm_accuracy >= 0.9, "svm accuracy {}", r.svm_accuracy);
+        assert!(r.nn_accuracy >= 0.9, "nn accuracy {}", r.nn_accuracy);
+        assert!(cfg.svm.gammas.contains(&r.selected_svm.gamma));
+        assert!(cfg.svm.cs.contains(&r.selected_svm.c));
+        assert!(cfg.radii.contains(&r.selected_radius));
+        // The selected accuracy really is the maximum over cells.
+        let max_svm = r
+            .svm_cells
+            .iter()
+            .map(|c| c.accuracy)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(r.svm_accuracy, max_svm);
+    }
+
+    #[test]
+    fn per_cell_kernels_match_direct_compute() {
+        // The sweep derives every gamma's kernel from the one cached
+        // distance matrix; each must equal a from-scratch KernelCache
+        // bit-for-bit.
+        let (data, _) = clusters();
+        let xs = MinMaxNormalizer::fit(&data.x).transform(&data.x);
+        let dm = DistanceMatrix::compute(&xs);
+        for gamma in SvmGrid::default().gammas {
+            let direct = KernelCache::compute(&xs, gamma);
+            let derived = KernelCache::from_distances(&dm, gamma);
+            assert_eq!(direct.entries(), derived.entries(), "gamma={gamma}");
+        }
+    }
+
+    #[test]
+    fn empty_grid_falls_back_to_defaults() {
+        let (data, group) = clusters();
+        let cfg = SweepConfig {
+            svm: SvmGrid {
+                gammas: vec![],
+                cs: vec![],
+                ..SvmGrid::default()
+            },
+            radii: vec![],
+        };
+        let r = sweep_threads(&data, &group, &cfg, 1);
+        assert!(r.svm_cells.is_empty());
+        assert!(r.nn_cells.is_empty());
+        assert_eq!(r.selected_svm, cfg.svm.base);
+        assert_eq!(r.selected_radius, DEFAULT_RADIUS);
+    }
+
+    #[test]
+    fn ties_select_the_earliest_cell() {
+        assert_eq!(argmax_accuracy([0.5, 0.5, 0.5].into_iter()), Some(0));
+        assert_eq!(argmax_accuracy([0.1, 0.7, 0.7].into_iter()), Some(1));
+        assert_eq!(argmax_accuracy(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn singleton_group_predicts_like_logo() {
+        // One group holds everything: every fold's training set is empty,
+        // so predictions are class 0 — the `logo_predictions` convention.
+        let (data, _) = clusters();
+        let group = vec![0usize; data.len()];
+        let cfg = SweepConfig::default();
+        let r = sweep_threads(&data, &group, &cfg, 1);
+        let class0 = data.y.iter().filter(|&&y| y == 0).count() as f64 / data.len() as f64;
+        for cell in &r.svm_cells {
+            assert_eq!(cell.accuracy, class0);
+        }
+        assert_eq!(r.n_groups, 1);
+    }
+}

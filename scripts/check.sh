@@ -3,7 +3,9 @@
 # the corpus lint (loopml-lint must report zero deny diagnostics over
 # the built-in corpus at every unroll factor), the perf gate (the
 # smoke-scale `repro perf` must emit a well-formed BENCH_ml.json with no
-# stage more than 2x slower than scripts/bench_baseline.json), and the
+# stage more than 2x slower than scripts/bench_baseline.json), the sweep
+# gate (the smoke-scale `repro sweep` must select hyperparameters with
+# exactly one pairwise distance-matrix build), and the
 # chaos gate (a fixed-seed LOOPML_FAULTS labeling run must complete with
 # the expected quarantine, keep every non-faulted label bit-identical to
 # a clean run, and resume from partial checkpoints byte-identically).
@@ -21,6 +23,7 @@ cargo run --release -p loopml-lint
 cargo run --release -p loopml-bench --bin repro -- perf --smoke
 cargo run --release -p loopml-bench --bin repro -- perf-check \
     BENCH_ml.json scripts/bench_baseline.json
+cargo run --release -p loopml-bench --bin repro -- sweep --smoke
 
 # Chaos gate: deterministic fault injection through the full CLI.
 chaos_dir=$(mktemp -d)
