@@ -1,50 +1,239 @@
-//! `repro` — regenerate the paper's tables and figures.
+//! `repro` — regenerate the paper's tables and figures, and drive the
+//! measurement subcommands, behind one uniform CLI surface.
 //!
 //! ```text
-//! repro [--quick] [all | table1 | table2 | table3 | table4 |
-//!        fig1 | fig2 | fig3 | fig4 | fig5 | lint |
-//!        ablate-norm | ablate-radius | ablate-features | ablate-filter]
-//! repro perf [--smoke]
-//! repro perf-check <current.json> <baseline.json>
-//! repro sweep [--smoke|--quick]
-//! repro label [--smoke|--quick] [--resume] [--ckpt-dir DIR]
-//!             [--out FILE] [--degradation FILE] [--retries N]
-//! repro label-diff <clean.json> <chaos.json> [--expect-quarantine]
+//! repro [--quick] [target...]        render reports (default: all)
+//! repro perf [--smoke]               timed pipeline stages -> BENCH_ml.json
+//! repro perf-check <cur> <base>      fail on >2x stage regressions
+//! repro sweep [--smoke|--quick]      LOGO hyperparameter sweep -> SWEEP_ml.json
+//! repro label [--smoke] [...]        fault-tolerant labeling -> LABEL_ml.json
+//! repro label-diff <clean> <chaos>   chaos run may cost coverage, not accuracy
+//! repro train [--model nn|svm|orc]   emit the versioned model artifact
+//! repro serve-bench [--artifact F]   replay batches, verify, report p50/p95/p99
+//! repro help                         generated overview
 //! ```
 //!
-//! The `lint` target (also reachable as `repro --lint`) verifies every
-//! loop of the synthesized suite and lints the labeled training dataset,
-//! printing the machine-readable JSON report from `loopml-lint`.
-//!
-//! The `perf` target times each pipeline stage once (labeling, cached
-//! vs direct greedy selection, LOOCV, Figure 4 evaluation) and writes
-//! `BENCH_ml.json`; `--smoke` runs it at the reduced scale for CI.
-//! `perf-check` re-reads a report, validates it, and exits nonzero if
-//! any stage regressed more than 2× against the baseline.
-//!
-//! The `sweep` target selects hyperparameters by leave-one-benchmark-out
-//! accuracy (SVM gamma × C grid plus NN radii) over exactly one shared
-//! pairwise distance matrix, writes `SWEEP_ml.json`, and exits nonzero
-//! if the report's distance-build counter is not exactly 1.
-//!
-//! The `label` target runs the fault-tolerant labeling pipeline (see
-//! `loopml_bench::labelrun`): retries and quarantine under the
-//! `LOOPML_FAULTS` fault plane, per-benchmark checkpoints, `--resume`,
-//! and a machine-readable degradation report. `label-diff` verifies a
-//! chaos run cost coverage, never accuracy.
+//! Every subcommand accepts `--quick`, `--smoke`, `--threads N` and
+//! `--help` with identical meaning (see [`loopml_bench::cli`]), and
+//! exits 0 on success, 1 when the work failed, 2 on a usage error.
+//! Report targets: `all`, `table1`..`table4`, `fig1`..`fig5`, `lint`
+//! (also reachable as `repro --lint`), `ablate-norm`, `ablate-radius`,
+//! `ablate-features`, `ablate-filter`.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use loopml::FEATURE_NAMES;
-use loopml_bench::{experiments, labelrun, perf, report, sweeprun, Context, Scale};
+use loopml_bench::cli::{self, FlagSpec, Parsed, Spec, EXIT_FAIL, EXIT_OK, EXIT_USAGE};
+use loopml_bench::{experiments, labelrun, perf, report, serverun, sweeprun, Context, Scale};
 use loopml_machine::SwpMode;
 use loopml_rt::Json;
 
 /// Max allowed wall-time ratio per stage in `perf-check`.
 const REGRESSION_FACTOR: f64 = 2.0;
 
-fn run_perf(scale: Scale) {
-    let report = perf::run(scale);
+/// Report targets accepted by the default subcommand, in `all` order.
+const ALL_TARGETS: [&str; 14] = [
+    "lint",
+    "table1",
+    "fig3",
+    "table2",
+    "table3",
+    "table4",
+    "fig1",
+    "fig2",
+    "fig4",
+    "fig5",
+    "ablate-norm",
+    "ablate-radius",
+    "ablate-features",
+    "ablate-filter",
+];
+
+const REPORT_SPEC: Spec = Spec {
+    name: "report",
+    summary: "render the paper's tables, figures and ablations (default subcommand)",
+    positionals: "[target...]",
+    flags: &[FlagSpec {
+        flag: "--lint",
+        value: None,
+        help: "add the lint target",
+    }],
+};
+
+const PERF_SPEC: Spec = Spec {
+    name: "perf",
+    summary: "time each pipeline stage once and write BENCH_ml.json",
+    positionals: "",
+    flags: &[],
+};
+
+const PERF_CHECK_SPEC: Spec = Spec {
+    name: "perf-check",
+    summary: "validate a perf report and fail on >2x stage regressions",
+    positionals: "<current.json> <baseline.json>",
+    flags: &[],
+};
+
+const SWEEP_SPEC: Spec = Spec {
+    name: "sweep",
+    summary: "LOGO hyperparameter sweep over one distance matrix -> SWEEP_ml.json",
+    positionals: "",
+    flags: &[],
+};
+
+const LABEL_SPEC: Spec = Spec {
+    name: "label",
+    summary: "fault-tolerant labeling with retries, quarantine and checkpoints",
+    positionals: "",
+    flags: &[
+        FlagSpec {
+            flag: "--resume",
+            value: None,
+            help: "reuse valid checkpoints (requires --ckpt-dir)",
+        },
+        FlagSpec {
+            flag: "--out",
+            value: Some("FILE"),
+            help: "labels output path (default LABEL_ml.json)",
+        },
+        FlagSpec {
+            flag: "--degradation",
+            value: Some("FILE"),
+            help: "degradation report path (default LABEL_degradation.json)",
+        },
+        FlagSpec {
+            flag: "--ckpt-dir",
+            value: Some("DIR"),
+            help: "checkpoint directory",
+        },
+        FlagSpec {
+            flag: "--retries",
+            value: Some("N"),
+            help: "retry budget override",
+        },
+    ],
+};
+
+const LABEL_DIFF_SPEC: Spec = Spec {
+    name: "label-diff",
+    summary: "verify a chaos labeling run cost coverage, never accuracy",
+    positionals: "<clean.json> <chaos.json>",
+    flags: &[FlagSpec {
+        flag: "--expect-quarantine",
+        value: None,
+        help: "require the chaos run to have quarantined something",
+    }],
+};
+
+const TRAIN_SPEC: Spec = Spec {
+    name: "train",
+    summary: "train one model and write the versioned artifact loopml-serve loads",
+    positionals: "",
+    flags: &[
+        FlagSpec {
+            flag: "--model",
+            value: Some("KIND"),
+            help: "nn, svm, or orc (default nn)",
+        },
+        FlagSpec {
+            flag: "--tune",
+            value: None,
+            help: "LOGO-sweep hyperparameters before training",
+        },
+        FlagSpec {
+            flag: "--out",
+            value: Some("FILE"),
+            help: "artifact path (default MODEL_ml.json)",
+        },
+    ],
+};
+
+const SERVE_BENCH_SPEC: Spec = Spec {
+    name: "serve-bench",
+    summary: "replay batches through the serving loop, verify bit-identity, report latency",
+    positionals: "",
+    flags: &[
+        FlagSpec {
+            flag: "--artifact",
+            value: Some("FILE"),
+            help: "artifact to load (default MODEL_ml.json)",
+        },
+        FlagSpec {
+            flag: "--batch",
+            value: Some("N"),
+            help: "loops per batch (default 32)",
+        },
+        FlagSpec {
+            flag: "--dump-requests",
+            value: Some("FILE"),
+            help: "write the replayed line-protocol requests",
+        },
+        FlagSpec {
+            flag: "--dump-responses",
+            value: Some("FILE"),
+            help: "write the served line-protocol responses",
+        },
+    ],
+};
+
+const SPECS: [Spec; 8] = [
+    REPORT_SPEC,
+    PERF_SPEC,
+    PERF_CHECK_SPEC,
+    SWEEP_SPEC,
+    LABEL_SPEC,
+    LABEL_DIFF_SPEC,
+    TRAIN_SPEC,
+    SERVE_BENCH_SPEC,
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(run(&args));
+}
+
+fn run(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{}", cli::overview(&SPECS));
+            EXIT_OK
+        }
+        Some("perf") => dispatch(&PERF_SPEC, &args[1..], cmd_perf),
+        Some("perf-check") => dispatch(&PERF_CHECK_SPEC, &args[1..], cmd_perf_check),
+        Some("sweep") => dispatch(&SWEEP_SPEC, &args[1..], cmd_sweep),
+        Some("label") => dispatch(&LABEL_SPEC, &args[1..], cmd_label),
+        Some("label-diff") => dispatch(&LABEL_DIFF_SPEC, &args[1..], cmd_label_diff),
+        Some("train") => dispatch(&TRAIN_SPEC, &args[1..], cmd_train),
+        Some("serve-bench") => dispatch(&SERVE_BENCH_SPEC, &args[1..], cmd_serve_bench),
+        // Anything else is the default report subcommand: bare targets
+        // (`repro --quick table2`) keep working, no arguments means all.
+        Some("report") => dispatch(&REPORT_SPEC, &args[1..], cmd_report),
+        _ => dispatch(&REPORT_SPEC, args, cmd_report),
+    }
+}
+
+/// Parses against `spec`, handles `--help`/`--threads`, and routes
+/// usage errors to the uniform exit code.
+fn dispatch(spec: &Spec, args: &[String], cmd: fn(&Parsed) -> i32) -> i32 {
+    let parsed = match cli::parse(spec, args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("repro {}: {e}", spec.name);
+            eprintln!("run `repro {} --help` for usage", spec.name);
+            return EXIT_USAGE;
+        }
+    };
+    if parsed.help {
+        print!("{}", spec.help());
+        return EXIT_OK;
+    }
+    parsed.apply_threads();
+    cmd(&parsed)
+}
+
+fn cmd_perf(p: &Parsed) -> i32 {
+    let report = perf::run(p.scale);
     let json = report.to_json();
     std::fs::write("BENCH_ml.json", format!("{json}\n")).expect("write BENCH_ml.json");
     println!("{json}");
@@ -53,25 +242,35 @@ fn run_perf(scale: Scale) {
         report.stages.len(),
         report.greedy_speedup
     );
+    EXIT_OK
 }
 
-fn run_perf_check(paths: &[&str]) -> Result<(), String> {
-    let [current, baseline] = paths else {
-        return Err("usage: repro perf-check <current.json> <baseline.json>".into());
+fn cmd_perf_check(p: &Parsed) -> i32 {
+    let [current, baseline] = &p.positionals[..] else {
+        eprintln!("usage: repro perf-check <current.json> <baseline.json>");
+        return EXIT_USAGE;
     };
     let read_json = |path: &str| -> Result<Json, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
         Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))
     };
-    perf::check_regressions(
-        &read_json(current)?,
-        &read_json(baseline)?,
-        REGRESSION_FACTOR,
-    )
+    let checked = read_json(current).and_then(|cur| {
+        read_json(baseline).and_then(|base| perf::check_regressions(&cur, &base, REGRESSION_FACTOR))
+    });
+    match checked {
+        Ok(()) => {
+            eprintln!("[perf-check] ok");
+            EXIT_OK
+        }
+        Err(e) => {
+            eprintln!("[perf-check] FAIL: {e}");
+            EXIT_FAIL
+        }
+    }
 }
 
-fn run_sweep(scale: Scale) {
-    let run = sweeprun::run_sweep(scale);
+fn cmd_sweep(p: &Parsed) -> i32 {
+    let run = sweeprun::run_sweep(p.scale);
     let json = run.to_json();
     std::fs::write("SWEEP_ml.json", format!("{json}\n")).expect("write SWEEP_ml.json");
     println!("{json}");
@@ -80,108 +279,114 @@ fn run_sweep(scale: Scale) {
             "[sweep] FAIL: {} distance-matrix builds, expected exactly 1",
             run.report.distance_builds
         );
-        std::process::exit(1);
+        return EXIT_FAIL;
     }
     eprintln!("[sweep] wrote SWEEP_ml.json (1 distance build, as designed)");
+    EXIT_OK
 }
 
-fn run_label(rest: &[String]) -> ! {
-    let rest: Vec<&str> = rest.iter().map(String::as_str).collect();
-    let code = match labelrun::LabelArgs::parse(&rest).and_then(|a| labelrun::run_label(&a)) {
-        Ok(0) => 0,
+fn cmd_label(p: &Parsed) -> i32 {
+    let retries = match p.option("--retries").map(str::parse).transpose() {
+        Ok(r) => r,
+        Err(_) => {
+            eprintln!("repro label: bad --retries value");
+            return EXIT_USAGE;
+        }
+    };
+    let defaults = labelrun::LabelArgs::default();
+    let a = labelrun::LabelArgs {
+        scale: p.scale,
+        take: p.smoke.then_some(8),
+        resume: p.has("--resume"),
+        retries,
+        out: p.option("--out").map(PathBuf::from).unwrap_or(defaults.out),
+        degradation: p
+            .option("--degradation")
+            .map(PathBuf::from)
+            .unwrap_or(defaults.degradation),
+        ckpt_dir: p.option("--ckpt-dir").map(PathBuf::from),
+    };
+    if a.resume && a.ckpt_dir.is_none() {
+        eprintln!("repro label: --resume requires --ckpt-dir");
+        return EXIT_USAGE;
+    }
+    match labelrun::run_label(&a) {
+        Ok(0) => EXIT_OK,
         Ok(denies) => {
             eprintln!("[label] FAIL: {denies} deny diagnostic(s)");
-            1
+            EXIT_FAIL
         }
         Err(e) => {
             eprintln!("[label] FAIL: {e}");
-            1
+            EXIT_FAIL
+        }
+    }
+}
+
+fn cmd_label_diff(p: &Parsed) -> i32 {
+    let [clean, chaos] = &p.positionals[..] else {
+        eprintln!("usage: repro label-diff <clean.json> <chaos.json> [--expect-quarantine]");
+        return EXIT_USAGE;
+    };
+    match labelrun::run_label_diff(clean, chaos, p.has("--expect-quarantine")) {
+        Ok(()) => EXIT_OK,
+        Err(e) => {
+            eprintln!("[label-diff] FAIL: {e}");
+            EXIT_FAIL
+        }
+    }
+}
+
+fn cmd_train(p: &Parsed) -> i32 {
+    match serverun::run_train(&serverun::TrainArgs::from_parsed(p)) {
+        Ok(()) => EXIT_OK,
+        Err(e) => {
+            eprintln!("[train] FAIL: {e}");
+            EXIT_FAIL
+        }
+    }
+}
+
+fn cmd_serve_bench(p: &Parsed) -> i32 {
+    let args = match serverun::ServeBenchArgs::from_parsed(p) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("repro serve-bench: {e}");
+            return EXIT_USAGE;
         }
     };
-    std::process::exit(code);
+    match serverun::run_serve_bench(&args) {
+        Ok(()) => EXIT_OK,
+        Err(e) => {
+            eprintln!("[serve-bench] FAIL: {e}");
+            EXIT_FAIL
+        }
+    }
 }
 
-fn run_label_diff(rest: &[String]) -> ! {
-    let expect = rest.iter().any(|a| a == "--expect-quarantine");
-    let paths: Vec<&str> = rest
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let [clean, chaos] = paths[..] else {
-        eprintln!("usage: repro label-diff <clean.json> <chaos.json> [--expect-quarantine]");
-        std::process::exit(2);
-    };
-    if let Err(e) = labelrun::run_label_diff(clean, chaos, expect) {
-        eprintln!("[label-diff] FAIL: {e}");
-        std::process::exit(1);
-    }
-    std::process::exit(0);
-}
-
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("label") => run_label(&args[1..]),
-        Some("label-diff") => run_label_diff(&args[1..]),
-        _ => {}
-    }
-    let quick = args.iter().any(|a| a == "--quick");
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let scale = if quick { Scale::Quick } else { Scale::Full };
-    let mut targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    if args.iter().any(|a| a == "--lint") && !targets.contains(&"lint") {
+fn cmd_report(p: &Parsed) -> i32 {
+    let mut targets: Vec<&str> = p.positionals.iter().map(String::as_str).collect();
+    if p.has("--lint") && !targets.contains(&"lint") {
         targets.push("lint");
     }
-    if targets.first() == Some(&"perf-check") {
-        if let Err(e) = run_perf_check(&targets[1..]) {
-            eprintln!("[perf-check] FAIL: {e}");
-            std::process::exit(1);
-        }
-        eprintln!("[perf-check] ok");
-        return;
-    }
-    if targets.contains(&"perf") {
-        let perf_scale = if quick || smoke { Scale::Quick } else { scale };
-        run_perf(perf_scale);
-        targets.retain(|t| *t != "perf");
-        if targets.is_empty() {
-            return;
-        }
-    }
-    if targets.contains(&"sweep") {
-        let sweep_scale = if quick || smoke { Scale::Quick } else { scale };
-        run_sweep(sweep_scale);
-        targets.retain(|t| *t != "sweep");
-        if targets.is_empty() {
-            return;
-        }
-    }
     let targets: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
-        vec![
-            "lint",
-            "table1",
-            "fig3",
-            "table2",
-            "table3",
-            "table4",
-            "fig1",
-            "fig2",
-            "fig4",
-            "fig5",
-            "ablate-norm",
-            "ablate-radius",
-            "ablate-features",
-            "ablate-filter",
-        ]
+        ALL_TARGETS.to_vec()
     } else {
         targets
     };
+    if let Some(bad) = targets
+        .iter()
+        .find(|t| !ALL_TARGETS.contains(t) && **t != "all")
+    {
+        eprintln!("repro report: unknown target: {bad}");
+        eprintln!("targets: all {}", ALL_TARGETS.join(" "));
+        return EXIT_USAGE;
+    }
+    render_reports(&targets, p.scale);
+    EXIT_OK
+}
 
+fn render_reports(targets: &[&str], scale: Scale) {
     let needs_swp_off = targets.iter().any(|t| *t != "fig5");
     let needs_swp_on = targets.contains(&"fig5");
 
@@ -206,7 +411,7 @@ fn main() {
 
     for target in targets {
         let t = Instant::now();
-        match target {
+        match *target {
             "lint" => {
                 let ctx = ctx_off.as_ref().expect("ctx");
                 let mut r = loopml_lint::Report::with_env_suppressions();
@@ -347,7 +552,7 @@ fn main() {
                     )
                 );
             }
-            other => eprintln!("[repro] unknown target: {other}"),
+            other => unreachable!("target {other} validated in cmd_report"),
         }
         eprintln!("[repro] {target} done in {:.1?}", t.elapsed());
     }

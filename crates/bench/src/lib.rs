@@ -17,19 +17,25 @@
 //! plus the ablations called out in `DESIGN.md` (`repro ablate-...`),
 //! the tracked performance harness (`repro perf`, [`perf`]), which times
 //! each pipeline stage and emits `BENCH_ml.json` for regression checks,
-//! and the LOGO hyperparameter sweep (`repro sweep`, [`sweeprun`]),
+//! the LOGO hyperparameter sweep (`repro sweep`, [`sweeprun`]),
 //! which selects the SVM gamma/C and NN radius over one shared distance
-//! matrix and emits `SWEEP_ml.json`. Run `repro all` for everything,
+//! matrix and emits `SWEEP_ml.json`, and the prediction-as-a-service
+//! surface (`repro train` / `repro serve-bench`, [`serverun`]), which
+//! emits the versioned model artifact `loopml-serve` loads and replays
+//! batched traffic against it. Every subcommand shares one flag parser
+//! and exit-code convention ([`cli`]). Run `repro all` for everything,
 //! `--quick` for a reduced corpus.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cli;
 pub mod context;
 pub mod experiments;
 pub mod labelrun;
 pub mod perf;
 pub mod report;
+pub mod serverun;
 pub mod sweeprun;
 
 pub use context::{Context, Scale};

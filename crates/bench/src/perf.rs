@@ -3,7 +3,7 @@
 //! Times the expensive pipeline stages one by one (labeling, LOOCV for
 //! both classifiers, greedy feature selection with and without the
 //! incremental distance cache, the LOGO hyperparameter sweep, the
-//! Figure 4 evaluation) and emits a
+//! Figure 4 evaluation, the batched serving replay) and emits a
 //! machine-readable `BENCH_ml.json`. Each stage runs exactly once via
 //! [`loopml_rt::bench::bench_once`] — these are multi-second pipeline
 //! stages where repeat-until-budget timing would multiply minutes and
@@ -15,18 +15,27 @@
 //! checked-in baseline (`scripts/bench_baseline.json`), which is how
 //! `scripts/check.sh` keeps the cache and parallel paths honest.
 
-use loopml::{benchmark_groups, label_suite, to_dataset, LabelConfig};
+use loopml::{
+    benchmark_groups, dataset_fingerprint, label_suite, model_fingerprint, to_dataset, LabelConfig,
+    LearnedHeuristic, ModelArtifact, UnrollHeuristic,
+};
 use loopml_corpus::full_suite;
 use loopml_machine::SwpMode;
 use loopml_ml::{
     greedy_forward, greedy_forward_nn, loocv_nn, loocv_svm, mutual_information, nn1_training_error,
-    sweep, DistanceMatrix, GreedyStep, KernelCache, MinMaxNormalizer, SweepConfig, DEFAULT_RADIUS,
+    sweep, DistanceMatrix, GreedyStep, KernelCache, MinMaxNormalizer, MulticlassSvm, SweepConfig,
+    DEFAULT_RADIUS,
 };
 use loopml_rt::bench::bench_once;
 use loopml_rt::json::{escape, Json};
+use loopml_serve::ServeModel;
 
 use crate::context::{Context, Scale};
 use crate::experiments::{speedup_figure, svm_params};
+use crate::serverun::{replay_batches, Replay};
+
+/// Loops per batch in the `serve_replay` stage.
+const SERVE_BATCH: usize = 32;
 
 /// Schema tag stamped into every report.
 pub const SCHEMA: &str = "loopml/bench-ml/v1";
@@ -71,6 +80,10 @@ pub struct PerfReport {
     /// (distances + exp). The sweep's budget: G gammas must cost no more
     /// than ~2 full kernel builds; validation rejects reports above 2.0.
     pub gamma_sweep_ratio: f64,
+    /// Batched serving latency from the `serve_replay` stage: the whole
+    /// suite replayed through the `loopml-serve` serving loop over a
+    /// trained SVM artifact, p50/p95/p99 per batch.
+    pub serve: Replay,
 }
 
 impl PerfReport {
@@ -97,7 +110,10 @@ impl PerfReport {
                 "\"threads\":{threads},\"n_examples\":{n},\"n_features\":{d},",
                 "\"stages\":[{stages}],",
                 "\"derived\":{{\"greedy_speedup\":{speedup:.3},\"traces_match\":{traces},",
-                "\"final_error_gap\":{gap:.6},\"gamma_sweep_ratio\":{ratio:.3}}}}}"
+                "\"final_error_gap\":{gap:.6},\"gamma_sweep_ratio\":{ratio:.3}}},",
+                "\"serve\":{{\"batches\":{sv_batches},\"batch_size\":{sv_size},",
+                "\"predictions\":{sv_preds},\"p50_ms\":{sv_p50:.3},",
+                "\"p95_ms\":{sv_p95:.3},\"p99_ms\":{sv_p99:.3}}}}}"
             ),
             schema = SCHEMA,
             scale = scale,
@@ -109,6 +125,12 @@ impl PerfReport {
             traces = self.traces_match,
             gap = self.final_error_gap,
             ratio = self.gamma_sweep_ratio,
+            sv_batches = self.serve.batches,
+            sv_size = self.serve.batch_size,
+            sv_preds = self.serve.predictions,
+            sv_p50 = self.serve.p50_ms,
+            sv_p95 = self.serve.p95_ms,
+            sv_p99 = self.serve.p99_ms,
         )
     }
 }
@@ -283,6 +305,49 @@ pub fn run(scale: Scale) -> PerfReport {
         wall_ms,
     });
 
+    // The serving loop, replayed over the whole suite: train one SVM on
+    // the informative subset, package it exactly as `repro train` would,
+    // reconstruct the daemon-side model from the artifact, and time the
+    // batched line-protocol loop (training stays outside the clock).
+    eprintln!("[perf] serve replay (batched daemon loop over a trained SVM)...");
+    let h = LearnedHeuristic::fit(
+        "SVM",
+        Some(ctx.feature_subset.clone()),
+        Box::new(MulticlassSvm::new(svm_params())),
+        &ctx.dataset,
+    );
+    let state = h.classifier().save();
+    let fp = model_fingerprint(
+        dataset_fingerprint(&ctx.full_dataset),
+        Some(&ctx.feature_subset),
+        &state,
+    );
+    let artifact = ModelArtifact::new("SVM", Some(ctx.feature_subset.clone()), fp, state);
+    let model = ServeModel::from_artifact(artifact).expect("artifact reconstructs");
+    let loops: Vec<loopml_ir::Loop> = ctx
+        .suite
+        .iter()
+        .flat_map(|b| b.loops.iter().map(|w| w.body.clone()))
+        .collect();
+    let (r, outcome) = bench_once("serve_replay", || {
+        replay_batches(&model, &loops, SERVE_BATCH).expect("serve replay")
+    });
+    let wall_ms = ms(r.min());
+    stages.push(Stage {
+        name: r.name,
+        wall_ms,
+    });
+    let want: Vec<u32> = loops.iter().map(|l| model.heuristic().choose(l)).collect();
+    assert_eq!(
+        outcome.served, want,
+        "served predictions diverged from the in-process heuristic"
+    );
+    let serve = outcome.summary;
+    eprintln!(
+        "[perf] serve: {} predictions in {} batches, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+        serve.predictions, serve.batches, serve.p50_ms, serve.p95_ms, serve.p99_ms
+    );
+
     PerfReport {
         scale,
         threads: loopml_rt::num_threads(),
@@ -293,6 +358,7 @@ pub fn run(scale: Scale) -> PerfReport {
         traces_match,
         final_error_gap,
         gamma_sweep_ratio,
+        serve,
     }
 }
 
@@ -333,6 +399,25 @@ pub fn validate(doc: &Json) -> Result<Vec<(String, f64)>, String> {
         // an O(n²·d) distance pass each); past 2.0 the caching is broken.
         Some(v) if v.is_finite() && v > 0.0 && v <= 2.0 => {}
         other => return Err(format!("bad derived.gamma_sweep_ratio: {other:?}")),
+    }
+    let serve = doc.get("serve").ok_or("missing serve")?;
+    for key in ["batches", "batch_size", "predictions"] {
+        match serve.get(key).and_then(Json::as_num) {
+            Some(v) if v.is_finite() && v >= 1.0 && v.fract() == 0.0 => {}
+            other => return Err(format!("bad serve.{key}: {other:?}")),
+        }
+    }
+    let pct = |key: &str| -> Result<f64, String> {
+        match serve.get(key).and_then(Json::as_num) {
+            Some(v) if v.is_finite() && v >= 0.0 => Ok(v),
+            other => Err(format!("bad serve.{key}: {other:?}")),
+        }
+    };
+    let (p50, p95, p99) = (pct("p50_ms")?, pct("p95_ms")?, pct("p99_ms")?);
+    if !(p50 <= p95 && p95 <= p99) {
+        return Err(format!(
+            "serve percentiles out of order: p50 {p50}, p95 {p95}, p99 {p99}"
+        ));
     }
     let stages = doc
         .get("stages")
@@ -409,6 +494,14 @@ mod tests {
             traces_match: true,
             final_error_gap: 0.0015,
             gamma_sweep_ratio: 0.42,
+            serve: Replay {
+                batches: 10,
+                batch_size: 32,
+                predictions: 320,
+                p50_ms: 0.8,
+                p95_ms: 1.4,
+                p99_ms: 2.1,
+            },
         }
     }
 
@@ -438,6 +531,11 @@ mod tests {
             // A gamma sweep past ~2 kernel builds blows the budget.
             good.replace("\"gamma_sweep_ratio\":0.420", "\"gamma_sweep_ratio\":2.7"),
             good.replace(",\"gamma_sweep_ratio\":0.420", ""),
+            // The serve block is required, integral where it counts,
+            // and its percentiles must be ordered.
+            good.replace(",\"serve\":{", ",\"serve_was\":{"),
+            good.replace("\"batches\":10", "\"batches\":0"),
+            good.replace("\"p95_ms\":1.400", "\"p95_ms\":2.900"),
         ];
         for bad in cases {
             let doc = Json::parse(&bad).expect("still JSON");

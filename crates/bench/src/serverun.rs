@@ -1,0 +1,432 @@
+//! `repro train` / `repro serve-bench` — the prediction-as-a-service
+//! measurement surface.
+//!
+//! `repro train` builds the training pipeline, trains one classifier
+//! (`--model nn|svm|orc`, optionally hyperparameter-tuned with
+//! `--tune`), and writes the versioned, fingerprinted model artifact
+//! (`MODEL_ml.json` by default) that `loopml-serve` loads.
+//!
+//! `repro serve-bench` rebuilds the *same* pipeline, loads the artifact
+//! back through the fingerprint check (a stale artifact is a loud
+//! [`EXIT_FAIL`](crate::cli::EXIT_FAIL), never a silently wrong model),
+//! replays the whole suite through the in-process serving loop in
+//! batches, verifies every served factor against
+//! [`LearnedHeuristic::choose`], and reports batch-latency
+//! p50/p95/p99. `--dump-requests`/`--dump-responses` write the exact
+//! line-protocol traffic, which is how `scripts/check.sh` drives the
+//! `loopml-serve` binary with identical input and diffs its answers.
+
+use std::path::PathBuf;
+
+use loopml::{
+    LearnedHeuristic, ModelArtifact, Pipeline, PipelineBuilder, PipelineConfig, UnrollHeuristic,
+};
+use loopml_ir::Loop;
+use loopml_ml::{Classifier, MulticlassSvm, NearNeighbors, SweepConfig};
+use loopml_rt::Json;
+use loopml_serve::{serve_lines, Request, Response, ServeModel};
+
+use crate::cli::Parsed;
+use crate::context::Scale;
+
+/// Schema tag of the `repro serve-bench` stdout report.
+pub const SERVE_BENCH_SCHEMA: &str = "loopml/serve-bench/v1";
+
+/// Default artifact path shared by `train` and `serve-bench`.
+pub const DEFAULT_ARTIFACT: &str = "MODEL_ml.json";
+
+/// Loops per replayed batch when `--batch` is not given.
+pub const DEFAULT_BATCH: usize = 32;
+
+/// Builds the training pipeline for `scale`. `--smoke` cuts to the
+/// first 8 benchmarks, mirroring `repro label --smoke`; `train` and
+/// `serve-bench` must call this with the same arguments or the
+/// artifact fingerprint will (correctly) refuse to load.
+pub fn pipeline_for(scale: Scale, smoke: bool, tune: bool) -> Pipeline {
+    let mut b = PipelineBuilder::paper().suite_config(scale.suite_config());
+    if smoke {
+        b = b.take_benchmarks(8);
+    }
+    if tune {
+        let grid = SweepConfig::default();
+        b = b.configure(PipelineConfig {
+            tune_svm: Some(grid.svm),
+            tune_nn: Some(grid.radii),
+            ..PipelineConfig::default()
+        });
+    }
+    b.build()
+}
+
+/// The classifier `--model` names, with hyperparameters taken from the
+/// pipeline (i.e. the sweep winner when it tuned, paper defaults
+/// otherwise).
+fn classifier_for_model(
+    p: &Pipeline,
+    model: &str,
+) -> Result<(&'static str, Box<dyn Classifier>), String> {
+    match model {
+        "nn" => Ok(("NN", Box::new(NearNeighbors::new(p.nn_radius())))),
+        "svm" => Ok(("SVM", Box::new(MulticlassSvm::new(p.svm_params())))),
+        "orc" => Ok(("ORC", Box::new(loopml::OrcClassifier))),
+        other => Err(format!(
+            "unknown --model {other} (expected nn, svm, or orc)"
+        )),
+    }
+}
+
+/// Parsed `repro train` options.
+#[derive(Debug, Clone)]
+pub struct TrainArgs {
+    /// Corpus scale.
+    pub scale: Scale,
+    /// Smoke cut (first 8 benchmarks).
+    pub smoke: bool,
+    /// Which model to train (`nn`, `svm`, or `orc`).
+    pub model: String,
+    /// Run the LOGO hyperparameter sweep before training.
+    pub tune: bool,
+    /// Artifact output path.
+    pub out: PathBuf,
+}
+
+impl TrainArgs {
+    /// Lifts a [`Parsed`] `train` invocation into typed arguments.
+    pub fn from_parsed(p: &Parsed) -> TrainArgs {
+        TrainArgs {
+            scale: p.scale,
+            smoke: p.smoke,
+            model: p.option("--model").unwrap_or("nn").to_string(),
+            tune: p.has("--tune"),
+            out: PathBuf::from(p.option("--out").unwrap_or(DEFAULT_ARTIFACT)),
+        }
+    }
+}
+
+/// Trains the requested model and writes its artifact. Prints a
+/// one-line JSON summary on stdout.
+pub fn run_train(args: &TrainArgs) -> Result<(), String> {
+    eprintln!(
+        "[train] building pipeline ({:?}{})...",
+        args.scale,
+        if args.smoke { ", smoke" } else { "" }
+    );
+    let p = pipeline_for(args.scale, args.smoke, args.tune);
+    let (name, classifier) = classifier_for_model(&p, &args.model)?;
+    eprintln!("[train] training {name} on {} labeled loops...", p.len());
+    let artifact = p.train_artifact(name, classifier);
+    artifact
+        .write(&args.out)
+        .map_err(|e| format!("write {}: {e}", args.out.display()))?;
+    let summary = Json::obj([
+        ("schema", Json::Str("loopml/train/v1".into())),
+        ("model", Json::Str(artifact.kind().into())),
+        ("out", Json::Str(args.out.display().to_string())),
+        (
+            "fingerprint",
+            Json::Str(format!("{:#018x}", artifact.fingerprint)),
+        ),
+        ("examples", Json::Num(p.len() as f64)),
+        ("tuned", Json::Bool(args.tune)),
+    ]);
+    println!("{summary}");
+    eprintln!(
+        "[train] wrote {} ({} model, fingerprint {:#018x})",
+        args.out.display(),
+        artifact.kind(),
+        artifact.fingerprint
+    );
+    Ok(())
+}
+
+/// Parsed `repro serve-bench` options.
+#[derive(Debug, Clone)]
+pub struct ServeBenchArgs {
+    /// Corpus scale (must match the `train` run).
+    pub scale: Scale,
+    /// Smoke cut (must match the `train` run).
+    pub smoke: bool,
+    /// Artifact to load.
+    pub artifact: PathBuf,
+    /// Loops per replayed batch.
+    pub batch: usize,
+    /// Dump the line-protocol requests here (for driving the daemon).
+    pub dump_requests: Option<PathBuf>,
+    /// Dump the line-protocol responses here (for diffing the daemon).
+    pub dump_responses: Option<PathBuf>,
+}
+
+impl ServeBenchArgs {
+    /// Lifts a [`Parsed`] `serve-bench` invocation into typed arguments.
+    pub fn from_parsed(p: &Parsed) -> Result<ServeBenchArgs, String> {
+        let batch = match p.option("--batch") {
+            None => DEFAULT_BATCH,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => return Err(format!("bad --batch value: {v}")),
+            },
+        };
+        Ok(ServeBenchArgs {
+            scale: p.scale,
+            smoke: p.smoke,
+            artifact: PathBuf::from(p.option("--artifact").unwrap_or(DEFAULT_ARTIFACT)),
+            batch,
+            dump_requests: p.option("--dump-requests").map(PathBuf::from),
+            dump_responses: p.option("--dump-responses").map(PathBuf::from),
+        })
+    }
+}
+
+/// Latency summary of one batched replay through the serving loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replay {
+    /// Batches answered.
+    pub batches: usize,
+    /// Loops per batch (the last batch may be smaller).
+    pub batch_size: usize,
+    /// Total predictions served.
+    pub predictions: usize,
+    /// Median batch latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile batch latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile batch latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// Everything a replay produced: the summary plus the exact wire
+/// traffic and the flattened served factors, for dumping and diffing.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Latency and volume summary.
+    pub summary: Replay,
+    /// The line-protocol request stream that was replayed.
+    pub requests: String,
+    /// The line-protocol response stream the model answered.
+    pub responses: String,
+    /// Served unroll factors, in suite order.
+    pub served: Vec<u32>,
+}
+
+/// Nearest-rank percentile of an unsorted latency sample; 0.0 when the
+/// sample is empty.
+pub fn percentile(latencies: &[f64], q: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Replays `loops` through the in-process serving loop in batches of
+/// `batch_size` and summarizes per-batch latency. The serving loop is
+/// the exact code `loopml-serve` runs on its stdin.
+pub fn replay_batches(
+    model: &ServeModel,
+    loops: &[Loop],
+    batch_size: usize,
+) -> Result<ReplayOutcome, String> {
+    assert!(batch_size >= 1, "batch_size must be at least 1");
+    let mut requests = String::new();
+    for (i, chunk) in loops.chunks(batch_size).enumerate() {
+        let req = Request::Loops {
+            id: Json::Num(i as f64),
+            loops: chunk.to_vec(),
+        };
+        requests.push_str(&req.to_json().to_string());
+        requests.push('\n');
+    }
+    let mut out = Vec::new();
+    let stats = serve_lines(model, requests.as_bytes(), &mut out)?;
+    let responses = String::from_utf8(out).map_err(|e| format!("non-UTF-8 response: {e}"))?;
+    let mut served = Vec::with_capacity(loops.len());
+    for line in responses.lines() {
+        let doc = Json::parse(line).map_err(|e| format!("bad response line: {e}"))?;
+        match Response::from_json(&doc)? {
+            Response::Factors { factors, .. } => served.extend(factors),
+            Response::Error { id, message } => {
+                return Err(format!("batch {id} answered an error: {message}"))
+            }
+        }
+    }
+    Ok(ReplayOutcome {
+        summary: Replay {
+            batches: stats.batches,
+            batch_size,
+            predictions: stats.predictions,
+            p50_ms: percentile(&stats.latencies_ms, 50.0),
+            p95_ms: percentile(&stats.latencies_ms, 95.0),
+            p99_ms: percentile(&stats.latencies_ms, 99.0),
+        },
+        requests,
+        responses,
+        served,
+    })
+}
+
+fn all_loops(p: &Pipeline) -> Vec<Loop> {
+    p.suite
+        .iter()
+        .flat_map(|b| b.loops.iter().map(|w| w.body.clone()))
+        .collect()
+}
+
+/// Loads the artifact through the fingerprint check, replays the whole
+/// suite through the serving loop, verifies bit-identity against the
+/// in-process heuristic, and prints the latency report on stdout.
+pub fn run_serve_bench(args: &ServeBenchArgs) -> Result<(), String> {
+    eprintln!(
+        "[serve-bench] building pipeline ({:?}{})...",
+        args.scale,
+        if args.smoke { ", smoke" } else { "" }
+    );
+    let p = pipeline_for(args.scale, args.smoke, false);
+    let artifact = ModelArtifact::read(&args.artifact)?;
+    // The loud staleness gate: the artifact must have been trained under
+    // this exact corpus, feature subset, and hyperparameters.
+    let verified: LearnedHeuristic = p.load_artifact(&artifact)?;
+    let model = ServeModel::from_artifact(artifact)?;
+    let loops = all_loops(&p);
+    eprintln!(
+        "[serve-bench] replaying {} loops in batches of {} through {} ({})...",
+        loops.len(),
+        args.batch,
+        model.name(),
+        model.artifact().kind()
+    );
+    let outcome = replay_batches(&model, &loops, args.batch)?;
+    if let Some(path) = &args.dump_requests {
+        std::fs::write(path, &outcome.requests)
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    if let Some(path) = &args.dump_responses {
+        std::fs::write(path, &outcome.responses)
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    let want: Vec<u32> = loops.iter().map(|l| verified.choose(l)).collect();
+    if outcome.served != want {
+        return Err(format!(
+            "served predictions diverged from the in-process heuristic on {} of {} loops",
+            outcome
+                .served
+                .iter()
+                .zip(&want)
+                .filter(|(a, b)| a != b)
+                .count(),
+            want.len()
+        ));
+    }
+    let s = &outcome.summary;
+    let report = Json::obj([
+        ("schema", Json::Str(SERVE_BENCH_SCHEMA.into())),
+        ("model", Json::Str(model.artifact().kind().into())),
+        ("batches", Json::Num(s.batches as f64)),
+        ("batch_size", Json::Num(s.batch_size as f64)),
+        ("predictions", Json::Num(s.predictions as f64)),
+        ("p50_ms", Json::Num(s.p50_ms)),
+        ("p95_ms", Json::Num(s.p95_ms)),
+        ("p99_ms", Json::Num(s.p99_ms)),
+        ("matched", Json::Bool(true)),
+    ]);
+    println!("{report}");
+    eprintln!(
+        "[serve-bench] {} predictions in {} batches, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, \
+         all bit-identical to the in-process heuristic",
+        s.predictions, s.batches, s.p50_ms, s.p95_ms, s.p99_ms
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopml_ml::DEFAULT_RADIUS;
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let sample = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&sample, 50.0), 2.0);
+        assert_eq!(percentile(&sample, 95.0), 4.0);
+        assert_eq!(percentile(&sample, 99.0), 4.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+    }
+
+    #[test]
+    fn train_and_serve_bench_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("loopml_servebench_{}", std::process::id()));
+        let out = dir.join("model.json");
+        let train = TrainArgs {
+            scale: Scale::Quick,
+            smoke: true,
+            model: "nn".into(),
+            tune: false,
+            out: out.clone(),
+        };
+        run_train(&train).expect("train");
+
+        let bench = ServeBenchArgs {
+            scale: Scale::Quick,
+            smoke: true,
+            artifact: out,
+            batch: 16,
+            dump_requests: Some(dir.join("req.jsonl")),
+            dump_responses: Some(dir.join("resp.jsonl")),
+        };
+        run_serve_bench(&bench).expect("serve-bench");
+        let req = std::fs::read_to_string(dir.join("req.jsonl")).unwrap();
+        let resp = std::fs::read_to_string(dir.join("resp.jsonl")).unwrap();
+        assert_eq!(req.lines().count(), resp.lines().count());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_choose_for_every_model() {
+        let p = pipeline_for(Scale::Quick, true, false);
+        let loops = all_loops(&p);
+        for (name, classifier) in [
+            (
+                "NN",
+                Box::new(NearNeighbors::new(DEFAULT_RADIUS)) as Box<dyn Classifier>,
+            ),
+            ("ORC", Box::new(loopml::OrcClassifier)),
+        ] {
+            let model =
+                ServeModel::from_artifact(p.train_artifact(name, classifier)).expect("model");
+            let outcome = replay_batches(&model, &loops, 8).expect("replay");
+            let want: Vec<u32> = loops.iter().map(|l| model.heuristic().choose(l)).collect();
+            assert_eq!(outcome.served, want, "{name} diverged");
+            assert_eq!(outcome.summary.predictions, loops.len());
+            assert_eq!(outcome.summary.batches, loops.len().div_ceil(8));
+        }
+    }
+
+    #[test]
+    fn stale_artifact_fails_the_bench_loudly() {
+        let dir = std::env::temp_dir().join(format!("loopml_stale_{}", std::process::id()));
+        let out = dir.join("model.json");
+        run_train(&TrainArgs {
+            scale: Scale::Quick,
+            smoke: true,
+            model: "nn".into(),
+            tune: false,
+            out: out.clone(),
+        })
+        .expect("train");
+        // Same scale but no smoke cut: a different corpus, so the
+        // fingerprint must refuse.
+        let err = run_serve_bench(&ServeBenchArgs {
+            scale: Scale::Quick,
+            smoke: false,
+            artifact: out,
+            batch: 8,
+            dump_requests: None,
+            dump_responses: None,
+        })
+        .unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -28,6 +28,7 @@ use loopml_ml::{
     Classifier, CvResult, Dataset, SvmGrid, SvmParams, SweepConfig, SweepReport, DEFAULT_RADIUS,
 };
 
+use crate::artifact::{model_fingerprint, ModelArtifact};
 use crate::evaluate::EvalConfig;
 use crate::fault::DegradationReport;
 use crate::heuristics::LearnedHeuristic;
@@ -35,6 +36,32 @@ use crate::label::{
     label_suite, label_suite_resilient, LabelConfig, LabeledLoop, ResilienceConfig,
 };
 use crate::pipeline::{benchmark_groups, informative_features, to_dataset};
+
+/// Typed run configuration for [`PipelineBuilder`], consumed once at
+/// [`build`](PipelineBuilder::build).
+///
+/// This replaces the builder's older accumulated toggles — `.resilient()`
+/// arming the fault-tolerant path, `.tune_svm()` / `.tune_nn()` arming
+/// sweeps, lint levels riding in via the environment — with one struct
+/// that states the whole run policy in a single place. The default is
+/// the paper's plain run: no resilience wrapper (unless `LOOPML_FAULTS`
+/// forces it), no tuning, lint as the label config armed it.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfig {
+    /// Label through the fault-tolerant path with this policy. `None`
+    /// still auto-switches to resilient labeling when `LOOPML_FAULTS`
+    /// is active, so chaos runs never crash the builder.
+    pub resilience: Option<ResilienceConfig>,
+    /// Sweep the SVM gamma × C grid during `build`;
+    /// [`Pipeline::svm_params`] then returns the winner.
+    pub tune_svm: Option<SvmGrid>,
+    /// Sweep the NN neighborhood radius during `build`;
+    /// [`Pipeline::nn_radius`] then returns the winner.
+    pub tune_nn: Option<Vec<f64>>,
+    /// Override the lint enforcement level (normally armed by the label
+    /// config, which reads `LOOPML_LINT`).
+    pub lint: Option<loopml_lint::LintLevel>,
+}
 
 /// Builds a [`Pipeline`] from the paper's defaults, with every stage
 /// overridable.
@@ -47,9 +74,7 @@ pub struct PipelineBuilder {
     feature_count: Option<usize>,
     suite: Option<Vec<Benchmark>>,
     take: Option<usize>,
-    resilience: Option<ResilienceConfig>,
-    tune_svm: Option<SvmGrid>,
-    tune_nn: Option<Vec<f64>>,
+    config: PipelineConfig,
 }
 
 impl Default for PipelineBuilder {
@@ -72,10 +97,16 @@ impl PipelineBuilder {
             feature_count: Some(5),
             suite: None,
             take: None,
-            resilience: None,
-            tune_svm: None,
-            tune_nn: None,
+            config: PipelineConfig::default(),
         }
+    }
+
+    /// Sets the whole run policy in one place (resilience, tuning,
+    /// lint). Replaces any previously accumulated configuration,
+    /// including from the deprecated per-toggle methods.
+    pub fn configure(mut self, config: PipelineConfig) -> Self {
+        self.config = config;
+        self
     }
 
     /// Sets the software pipelining regime (Figure 4: disabled; Figure
@@ -148,8 +179,9 @@ impl PipelineBuilder {
     /// on the pipeline. Without this call, `build` still switches to the
     /// resilient path automatically when `LOOPML_FAULTS` is active, so
     /// chaos runs never crash the builder.
+    #[deprecated(note = "set `PipelineConfig::resilience` via `configure`")]
     pub fn resilient(mut self, cfg: ResilienceConfig) -> Self {
-        self.resilience = Some(cfg);
+        self.config.resilience = Some(cfg);
         self
     }
 
@@ -157,8 +189,9 @@ impl PipelineBuilder {
     /// during `build` (one shared distance matrix, see
     /// [`loopml_ml::sweep`]); [`Pipeline::svm_params`] then returns the
     /// winner instead of the paper defaults.
+    #[deprecated(note = "set `PipelineConfig::tune_svm` via `configure`")]
     pub fn tune_svm(mut self, grid: SvmGrid) -> Self {
-        self.tune_svm = Some(grid);
+        self.config.tune_svm = Some(grid);
         self
     }
 
@@ -166,8 +199,9 @@ impl PipelineBuilder {
     /// leave-one-benchmark-out accuracy during `build`;
     /// [`Pipeline::nn_radius`] then returns the winner instead of the
     /// paper's 0.3.
+    #[deprecated(note = "set `PipelineConfig::tune_nn` via `configure`")]
     pub fn tune_nn(mut self, radii: Vec<f64>) -> Self {
-        self.tune_nn = Some(radii);
+        self.config.tune_nn = Some(radii);
         self
     }
 
@@ -182,13 +216,16 @@ impl PipelineBuilder {
         if let Some(n) = self.take {
             suite.truncate(n);
         }
-        let label_config = self
+        let mut label_config = self
             .label_config
             .unwrap_or_else(|| LabelConfig::paper(self.swp));
+        if let Some(level) = self.config.lint {
+            label_config.lint = level;
+        }
         let eval_config = self
             .eval_config
             .unwrap_or_else(|| EvalConfig::paper(self.swp));
-        let resilience = self.resilience.or_else(|| {
+        let resilience = self.config.resilience.or_else(|| {
             loopml_rt::FaultPlane::env_or_disabled()
                 .is_active()
                 .then(ResilienceConfig::default)
@@ -226,16 +263,16 @@ impl PipelineBuilder {
             lint.merge(loopml_lint::lint_dataset(&full_dataset, Some(&groups)));
             lint.enforce(label_config.lint, "training dataset");
         }
-        let sweep = if self.tune_svm.is_some() || self.tune_nn.is_some() {
+        let sweep = if self.config.tune_svm.is_some() || self.config.tune_nn.is_some() {
             // A missing half sweeps nothing on that axis and keeps its
             // paper default (empty grids select the fallback).
             let cfg = SweepConfig {
-                svm: self.tune_svm.unwrap_or(SvmGrid {
+                svm: self.config.tune_svm.unwrap_or(SvmGrid {
                     gammas: Vec::new(),
                     cs: Vec::new(),
                     ..SvmGrid::default()
                 }),
-                radii: self.tune_nn.unwrap_or_default(),
+                radii: self.config.tune_nn.unwrap_or_default(),
             };
             Some(loopml_ml::sweep(&dataset, &groups, &cfg))
         } else {
@@ -351,9 +388,72 @@ impl Pipeline {
             _ => DEFAULT_RADIUS,
         }
     }
+
+    /// Fingerprint of the training corpus this pipeline was built from
+    /// (every feature bit and label of the full 38-feature dataset).
+    pub fn dataset_fingerprint(&self) -> u64 {
+        crate::artifact::dataset_fingerprint(&self.full_dataset)
+    }
+
+    /// Subset a model of `kind` serves behind: the ORC baseline is a
+    /// stateless function of the *full* 38-feature vector (its column
+    /// indices are part of the heuristic's definition), so it carries
+    /// no projection; trained models see the pipeline's subset.
+    fn artifact_subset(&self, kind: Option<&str>) -> Option<Vec<usize>> {
+        if kind == Some("ORC") {
+            None
+        } else {
+            self.feature_subset.clone()
+        }
+    }
+
+    /// Trains `classifier` exactly as [`heuristic`](Self::heuristic)
+    /// would and packages it as a versioned, fingerprinted
+    /// [`ModelArtifact`] ready to [`write`](ModelArtifact::write) to
+    /// disk and serve.
+    pub fn train_artifact(
+        &self,
+        name: impl Into<String>,
+        classifier: Box<dyn Classifier>,
+    ) -> ModelArtifact {
+        let name = name.into();
+        let kind = classifier.save();
+        let subset = self.artifact_subset(kind.get("kind").and_then(loopml_rt::Json::as_str));
+        let h = match &subset {
+            Some(_) => self.heuristic(name.clone(), classifier),
+            // No projection: train (a no-op for ORC) on all 38 features.
+            None => LearnedHeuristic::fit(name.clone(), None, classifier, &self.full_dataset),
+        };
+        let state = h.classifier().save();
+        let fingerprint = model_fingerprint(self.dataset_fingerprint(), subset.as_deref(), &state);
+        ModelArtifact::new(name, subset, fingerprint, state)
+    }
+
+    /// Reconstructs the deployable heuristic from an artifact, first
+    /// verifying that the artifact's fingerprint matches what *this*
+    /// pipeline would stamp — i.e. the artifact was trained under this
+    /// corpus, feature subset, and the recorded hyperparameters. A
+    /// stale artifact is a loud error, never a silently wrong model.
+    pub fn load_artifact(&self, artifact: &ModelArtifact) -> Result<LearnedHeuristic, String> {
+        let subset = self.artifact_subset(Some(artifact.kind()));
+        let expect = model_fingerprint(
+            self.dataset_fingerprint(),
+            subset.as_deref(),
+            artifact.state(),
+        );
+        if expect != artifact.fingerprint {
+            return Err(format!(
+                "artifact fingerprint {:#018x} does not match this pipeline's {expect:#018x}: \
+                 it was trained under a different corpus, feature subset, or hyperparameters",
+                artifact.fingerprint
+            ));
+        }
+        artifact.to_heuristic()
+    }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the forwarder tests below exercise the old toggle API
 mod tests {
     use super::*;
     use crate::heuristics::UnrollHeuristic;
@@ -460,6 +560,73 @@ mod tests {
         assert!(sweep.svm_cells.is_empty());
         assert_eq!(p.svm_params(), SvmParams::default());
         assert!([0.2, 0.4].contains(&p.nn_radius()));
+    }
+
+    #[test]
+    fn configure_matches_the_deprecated_toggles() {
+        let radii = vec![0.2, 0.4];
+        let via_config = quick()
+            .exact()
+            .configure(PipelineConfig {
+                tune_nn: Some(radii.clone()),
+                ..PipelineConfig::default()
+            })
+            .build();
+        let via_toggle = quick().exact().tune_nn(radii).build();
+        assert_eq!(via_config.labeled, via_toggle.labeled);
+        assert_eq!(via_config.nn_radius(), via_toggle.nn_radius());
+        let s = via_config.sweep.as_ref().expect("tuning ran");
+        assert!(s.svm_cells.is_empty());
+    }
+
+    #[test]
+    fn configure_overrides_lint_level() {
+        let p = quick()
+            .exact()
+            .configure(PipelineConfig {
+                lint: Some(loopml_lint::LintLevel::Warn),
+                ..PipelineConfig::default()
+            })
+            .build();
+        assert_eq!(p.label_config.lint, loopml_lint::LintLevel::Warn);
+    }
+
+    #[test]
+    fn artifacts_round_trip_through_the_pipeline() {
+        let p = quick().exact().build();
+        let artifact = p.train_artifact("NN", Box::new(NearNeighbors::new(DEFAULT_RADIUS)));
+        assert_eq!(artifact.kind(), "NN");
+        assert_eq!(artifact.feature_subset, p.feature_subset);
+        // Through the serialized text, as a file would carry it.
+        let text = artifact.to_json().to_string();
+        let back = ModelArtifact::from_json(&loopml_rt::Json::parse(&text).unwrap()).unwrap();
+        let loaded = p.load_artifact(&back).expect("fingerprint matches");
+        let direct = p.heuristic("NN", Box::new(NearNeighbors::new(DEFAULT_RADIUS)));
+        for b in &p.suite {
+            for w in &b.loops {
+                assert_eq!(loaded.choose(&w.body), direct.choose(&w.body));
+            }
+        }
+    }
+
+    #[test]
+    fn stale_artifact_is_rejected_loudly() {
+        let p = quick().exact().build();
+        let other = quick().take_benchmarks(3).exact().build();
+        let stale = other.train_artifact("NN", Box::new(NearNeighbors::new(DEFAULT_RADIUS)));
+        let err = p.load_artifact(&stale).unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
+        // Same pipeline, tampered hyperparameters: also rejected.
+        let mut artifact = p.train_artifact("NN", Box::new(NearNeighbors::new(0.3)));
+        let tampered =
+            loopml_rt::Json::parse(&artifact.state().to_string().replace("0.3", "0.7")).unwrap();
+        artifact = ModelArtifact::new(
+            "NN",
+            artifact.feature_subset.clone(),
+            artifact.fingerprint,
+            tampered,
+        );
+        assert!(p.load_artifact(&artifact).is_err());
     }
 
     #[test]

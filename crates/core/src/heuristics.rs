@@ -230,6 +230,19 @@ impl Classifier for OrcClassifier {
     fn fresh(&self) -> Box<dyn Classifier> {
         Box::new(OrcClassifier)
     }
+
+    fn save(&self) -> loopml_rt::Json {
+        // Stateless: the kind tag is the whole state.
+        loopml_rt::Json::obj([("kind", loopml_rt::Json::Str("ORC".into()))])
+    }
+
+    fn load(&mut self, state: &loopml_rt::Json) -> Result<(), String> {
+        match state.get("kind").and_then(loopml_rt::Json::as_str) {
+            Some("ORC") => Ok(()),
+            Some(k) => Err(format!("state is for model kind {k:?}, not \"ORC\"")),
+            None => Err("state has no \"kind\" tag".into()),
+        }
+    }
 }
 
 /// A learned heuristic: a trained [`Classifier`] behind the compile-time
@@ -398,6 +411,12 @@ mod tests {
             }
             fn fresh(&self) -> Box<dyn Classifier> {
                 Box::new(DimProbe)
+            }
+            fn save(&self) -> loopml_rt::Json {
+                loopml_rt::Json::obj([("kind", loopml_rt::Json::Str("probe".into()))])
+            }
+            fn load(&mut self, _state: &loopml_rt::Json) -> Result<(), String> {
+                Ok(())
             }
         }
         let h = LearnedHeuristic::new("first-feature", Some(vec![0]), Box::new(DimProbe));

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod artifact;
 pub mod builder;
 pub mod checkpoint;
 pub mod evaluate;
@@ -63,7 +64,10 @@ pub mod heuristics;
 pub mod label;
 pub mod pipeline;
 
-pub use builder::{Pipeline, PipelineBuilder};
+pub use artifact::{
+    classifier_for_kind, dataset_fingerprint, model_fingerprint, ModelArtifact, MODEL_SCHEMA,
+};
+pub use builder::{Pipeline, PipelineBuilder, PipelineConfig};
 pub use checkpoint::{
     checkpoint_path, config_fingerprint, labeled_from_json, labeled_to_json, read_checkpoint,
     write_checkpoint, CKPT_SCHEMA,

@@ -18,6 +18,7 @@
 //! per-worker unfitted copies.
 
 use crate::dataset::Dataset;
+use loopml_rt::Json;
 
 /// A trainable multi-class classifier over raw feature vectors.
 ///
@@ -40,6 +41,38 @@ pub trait Classifier: Send + Sync {
     /// each fold trains its own copy instead of refitting one shared
     /// `&mut` object.
     fn fresh(&self) -> Box<dyn Classifier>;
+
+    /// Serializes the trained state — weights, normalizer, and the
+    /// hyperparameters — as a [`Json`] value. The document carries a
+    /// `"kind"` tag naming the model so [`load`](Classifier::load) can
+    /// reject a state written by a different model. Every finite `f64`
+    /// survives the JSON round trip bit-exactly, so a loaded model
+    /// predicts bit-identically to the one that was saved.
+    fn save(&self) -> Json;
+
+    /// Restores a state produced by [`save`](Classifier::save) on a
+    /// classifier of the same kind, replacing any previous fit. A
+    /// malformed, truncated, or wrong-kind document is an error and
+    /// leaves `self` unchanged.
+    fn load(&mut self, state: &Json) -> Result<(), String>;
+
+    /// Predicts a batch of raw feature vectors, in order. Equivalent to
+    /// mapping [`predict`](Classifier::predict) — and bit-identical to
+    /// it at any worker count — but models may amortize per-query setup
+    /// across the batch (the serving layer's fast path).
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+/// Reads the `"kind"` tag of a saved state, erroring when it is absent
+/// or different from what the loading model expects.
+pub(crate) fn expect_kind(state: &Json, kind: &str) -> Result<(), String> {
+    match state.get("kind").and_then(Json::as_str) {
+        Some(k) if k == kind => Ok(()),
+        Some(k) => Err(format!("state is for model kind {k:?}, not {kind:?}")),
+        None => Err("state has no \"kind\" tag".into()),
+    }
 }
 
 /// A classifier that always predicts the same class — the "never unroll" /
@@ -69,6 +102,24 @@ impl Classifier for Constant {
 
     fn fresh(&self) -> Box<dyn Classifier> {
         Box::new(*self)
+    }
+
+    fn save(&self) -> Json {
+        Json::obj([
+            ("kind", Json::Str("constant".into())),
+            ("class", Json::Num(self.class as f64)),
+        ])
+    }
+
+    fn load(&mut self, state: &Json) -> Result<(), String> {
+        expect_kind(state, "constant")?;
+        let class = state
+            .get("class")
+            .and_then(Json::as_num)
+            .filter(|c| *c >= 0.0 && c.fract() == 0.0)
+            .ok_or("constant state has no class")?;
+        self.class = class as usize;
+        Ok(())
     }
 }
 
@@ -135,6 +186,61 @@ mod tests {
         let svm = MulticlassSvm::new(SvmParams::default());
         assert_eq!(Classifier::predict(&nn, &[1.0, 2.0]), 0);
         assert_eq!(Classifier::predict(&svm, &[1.0, 2.0]), 0);
+    }
+
+    #[test]
+    fn save_load_round_trips_every_model() {
+        let data = toy();
+        let models: Vec<Box<dyn Classifier>> = vec![
+            Box::new(NearNeighbors::new(0.45)),
+            Box::new(MulticlassSvm::new(SvmParams {
+                gamma: 2.0,
+                ..SvmParams::default()
+            })),
+            Box::new(Constant::new(1)),
+        ];
+        for mut m in models {
+            m.fit(&data);
+            let state = m.save();
+            // Round trip through the serialized text, as an artifact
+            // file would.
+            let reparsed = loopml_rt::Json::parse(&state.to_string()).expect("valid JSON");
+            let mut copy = m.fresh();
+            copy.load(&reparsed).expect("load");
+            for x in &data.x {
+                assert_eq!(copy.predict(x), m.predict(x), "{} diverged", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn load_rejects_wrong_kind_and_garbage() {
+        let mut nn = NearNeighbors::new(DEFAULT_RADIUS);
+        nn.fit(&toy());
+        let before = nn.predict(&[5.1]);
+        let svm_state = MulticlassSvm::new(SvmParams::default()).save();
+        assert!(Classifier::load(&mut nn, &svm_state).is_err());
+        assert!(Classifier::load(&mut nn, &Json::Null).is_err());
+        assert!(Classifier::load(&mut nn, &Json::obj([])).is_err());
+        // A failed load leaves the previous fit intact.
+        assert_eq!(nn.predict(&[5.1]), before);
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let data = toy();
+        let mut models: Vec<Box<dyn Classifier>> = vec![
+            Box::new(NearNeighbors::new(DEFAULT_RADIUS)),
+            Box::new(MulticlassSvm::new(SvmParams::default())),
+            Box::new(Constant::new(1)),
+        ];
+        let queries: Vec<Vec<f64>> = vec![vec![0.1], vec![2.6], vec![5.1], vec![123.0]];
+        for m in &mut models {
+            m.fit(&data);
+            let batch = m.predict_batch(&queries);
+            let serial: Vec<usize> = queries.iter().map(|q| m.predict(q)).collect();
+            assert_eq!(batch, serial, "{} batch diverged", m.name());
+        }
     }
 
     #[test]

@@ -228,6 +228,37 @@ impl MinMaxNormalizer {
             })
             .collect()
     }
+
+    /// Serializes the fitted ranges for a model artifact. Round-trips
+    /// bit-exactly through [`from_json`](MinMaxNormalizer::from_json);
+    /// the [`identity`](MinMaxNormalizer::identity) normalizer
+    /// serializes (and restores) as empty ranges.
+    pub fn to_json(&self) -> loopml_rt::Json {
+        loopml_rt::Json::obj([
+            ("lo", loopml_rt::Json::from_f64s(&self.lo)),
+            ("hi", loopml_rt::Json::from_f64s(&self.hi)),
+        ])
+    }
+
+    /// Restores ranges written by [`to_json`](MinMaxNormalizer::to_json).
+    pub fn from_json(doc: &loopml_rt::Json) -> Result<Self, String> {
+        let lo = doc
+            .get("lo")
+            .and_then(loopml_rt::Json::as_f64s)
+            .ok_or("normalizer state has no lo array")?;
+        let hi = doc
+            .get("hi")
+            .and_then(loopml_rt::Json::as_f64s)
+            .ok_or("normalizer state has no hi array")?;
+        if lo.len() != hi.len() {
+            return Err(format!(
+                "normalizer ranges disagree: {} lo vs {} hi",
+                lo.len(),
+                hi.len()
+            ));
+        }
+        Ok(MinMaxNormalizer { lo, hi })
+    }
 }
 
 /// Squared Euclidean distance.
@@ -350,6 +381,23 @@ mod tests {
         let mut row = vec![-10.0, 1000.0];
         n.apply(&mut row);
         assert_eq!(row, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn normalizer_json_round_trips_bit_exactly() {
+        let n = MinMaxNormalizer::fit(&toy().x);
+        let doc = loopml_rt::Json::parse(&n.to_json().to_string()).expect("valid JSON");
+        let back = MinMaxNormalizer::from_json(&doc).expect("restores");
+        assert_eq!(back, n);
+        let id = MinMaxNormalizer::identity();
+        assert_eq!(
+            MinMaxNormalizer::from_json(&id.to_json()).expect("identity restores"),
+            id
+        );
+        // Mismatched range lengths are rejected.
+        let bad = loopml_rt::Json::parse(r#"{"lo":[0.0],"hi":[1.0,2.0]}"#).unwrap();
+        assert!(MinMaxNormalizer::from_json(&bad).is_err());
+        assert!(MinMaxNormalizer::from_json(&loopml_rt::Json::Null).is_err());
     }
 
     #[test]

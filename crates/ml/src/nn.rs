@@ -7,8 +7,9 @@
 //! example. The vote fraction doubles as a confidence score, which the
 //! paper suggests using for outlier triage.
 
-use crate::classify::Classifier;
+use crate::classify::{expect_kind, Classifier};
 use crate::dataset::{dist2, Dataset, MinMaxNormalizer};
+use loopml_rt::Json;
 
 /// Default neighborhood radius (determined experimentally in the paper).
 pub const DEFAULT_RADIUS: f64 = 0.3;
@@ -196,6 +197,80 @@ impl Classifier for NearNeighbors {
 
     fn fresh(&self) -> Box<dyn Classifier> {
         Box::new(NearNeighbors::new(self.radius))
+    }
+
+    fn save(&self) -> Json {
+        Json::obj([
+            ("kind", Json::Str("NN".into())),
+            ("radius", Json::Num(self.radius)),
+            ("classes", Json::Num(self.classes as f64)),
+            (
+                "normalizer",
+                match &self.normalizer {
+                    Some(n) => n.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "xs",
+                Json::Arr(self.xs.iter().map(|r| Json::from_f64s(r)).collect()),
+            ),
+            ("ys", Json::from_usizes(&self.ys)),
+        ])
+    }
+
+    fn load(&mut self, state: &Json) -> Result<(), String> {
+        expect_kind(state, "NN")?;
+        let radius = state
+            .get("radius")
+            .and_then(Json::as_num)
+            .filter(|r| *r > 0.0)
+            .ok_or("NN state has no positive radius")?;
+        let classes = state
+            .get("classes")
+            .and_then(Json::as_num)
+            .filter(|c| *c >= 0.0 && c.fract() == 0.0)
+            .ok_or("NN state has no class count")? as usize;
+        let normalizer = match state.get("normalizer") {
+            Some(Json::Null) => None,
+            Some(doc) => Some(MinMaxNormalizer::from_json(doc)?),
+            None => return Err("NN state has no normalizer".into()),
+        };
+        let xs: Vec<Vec<f64>> = state
+            .get("xs")
+            .and_then(Json::as_arr)
+            .ok_or("NN state has no xs")?
+            .iter()
+            .map(Json::as_f64s)
+            .collect::<Option<_>>()
+            .ok_or("NN state has a non-numeric example row")?;
+        let ys = state
+            .get("ys")
+            .and_then(Json::as_usizes)
+            .ok_or("NN state has no ys")?;
+        if xs.len() != ys.len() {
+            return Err(format!(
+                "NN state: {} rows vs {} labels",
+                xs.len(),
+                ys.len()
+            ));
+        }
+        if let Some(first) = xs.first() {
+            if xs.iter().any(|r| r.len() != first.len()) {
+                return Err("NN state has ragged example rows".into());
+            }
+        }
+        if ys.iter().any(|&y| y >= classes) {
+            return Err("NN state has a label out of class range".into());
+        }
+        *self = NearNeighbors {
+            radius,
+            normalizer,
+            xs,
+            ys,
+            classes,
+        };
+        Ok(())
     }
 }
 

@@ -10,10 +10,10 @@
 //! vector provably does not change the solution, and removing a support
 //! vector only requires a short re-converge from the warm start.
 
-use crate::classify::Classifier;
+use crate::classify::{expect_kind, Classifier};
 use crate::dataset::{dist2, Dataset, MinMaxNormalizer};
 use crate::distcache::DistanceMatrix;
-use loopml_rt::{num_threads, par_map_threads};
+use loopml_rt::{num_threads, par_map, par_map_threads, Json};
 
 /// SVM hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,6 +28,44 @@ pub struct SvmParams {
     pub max_sweeps: usize,
     /// Re-converge sweeps per leave-one-out retrain.
     pub loo_sweeps: usize,
+}
+
+impl SvmParams {
+    /// Serializes the hyperparameters for a model artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("c", Json::Num(self.c)),
+            ("gamma", Json::Num(self.gamma)),
+            ("tol", Json::Num(self.tol)),
+            ("max_sweeps", Json::Num(self.max_sweeps as f64)),
+            ("loo_sweeps", Json::Num(self.loo_sweeps as f64)),
+        ])
+    }
+
+    /// Parses hyperparameters written by [`to_json`](SvmParams::to_json).
+    pub fn from_json(doc: &Json) -> Result<SvmParams, String> {
+        let num = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("SVM params have no numeric {key:?}"))
+        };
+        let count = |key: &str| {
+            num(key).and_then(|v| {
+                if v >= 0.0 && v.fract() == 0.0 {
+                    Ok(v as usize)
+                } else {
+                    Err(format!("SVM params {key:?} is not a whole count"))
+                }
+            })
+        };
+        Ok(SvmParams {
+            c: num("c")?,
+            gamma: num("gamma")?,
+            tol: num("tol")?,
+            max_sweeps: count("max_sweeps")?,
+            loo_sweeps: count("loo_sweeps")?,
+        })
+    }
 }
 
 impl Default for SvmParams {
@@ -394,6 +432,135 @@ impl Classifier for MulticlassSvm {
     fn fresh(&self) -> Box<dyn Classifier> {
         Box::new(MulticlassSvm::new(self.params))
     }
+
+    fn save(&self) -> Json {
+        Json::obj([
+            ("kind", Json::Str("SVM".into())),
+            ("params", self.params.to_json()),
+            ("classes", Json::Num(self.classes as f64)),
+            ("normalizer", self.normalizer.to_json()),
+            (
+                "xs",
+                Json::Arr(self.xs.iter().map(|r| Json::from_f64s(r)).collect()),
+            ),
+            ("ys", Json::from_usizes(&self.ys)),
+            (
+                "alphas",
+                Json::Arr(self.alphas.iter().map(|a| Json::from_f64s(a)).collect()),
+            ),
+        ])
+    }
+
+    fn load(&mut self, state: &Json) -> Result<(), String> {
+        expect_kind(state, "SVM")?;
+        let params = SvmParams::from_json(state.get("params").unwrap_or(&Json::Null))?;
+        let classes = state
+            .get("classes")
+            .and_then(Json::as_num)
+            .filter(|c| *c >= 0.0 && c.fract() == 0.0)
+            .ok_or("SVM state has no class count")? as usize;
+        let normalizer =
+            MinMaxNormalizer::from_json(state.get("normalizer").unwrap_or(&Json::Null))?;
+        let xs: Vec<Vec<f64>> = state
+            .get("xs")
+            .and_then(Json::as_arr)
+            .ok_or("SVM state has no xs")?
+            .iter()
+            .map(Json::as_f64s)
+            .collect::<Option<_>>()
+            .ok_or("SVM state has a non-numeric example row")?;
+        let ys = state
+            .get("ys")
+            .and_then(Json::as_usizes)
+            .ok_or("SVM state has no ys")?;
+        let alphas: Vec<Vec<f64>> = state
+            .get("alphas")
+            .and_then(Json::as_arr)
+            .ok_or("SVM state has no alphas")?
+            .iter()
+            .map(Json::as_f64s)
+            .collect::<Option<_>>()
+            .ok_or("SVM state has a non-numeric alpha row")?;
+        if xs.len() != ys.len() {
+            return Err(format!(
+                "SVM state: {} rows vs {} labels",
+                xs.len(),
+                ys.len()
+            ));
+        }
+        if let Some(first) = xs.first() {
+            if xs.iter().any(|r| r.len() != first.len()) {
+                return Err("SVM state has ragged example rows".into());
+            }
+        }
+        if ys.iter().any(|&y| y >= classes) {
+            return Err("SVM state has a label out of class range".into());
+        }
+        if alphas.len() != classes || alphas.iter().any(|a| a.len() != xs.len()) {
+            return Err("SVM state alphas do not match classes x examples".into());
+        }
+        // The kernel matrix is derived state: recompute it from the
+        // stored (already normalized) rows, exactly as fit would.
+        let kernel = if xs.is_empty() {
+            KernelCache {
+                n: 0,
+                k: Vec::new(),
+            }
+        } else {
+            KernelCache::compute(&xs, params.gamma)
+        };
+        *self = MulticlassSvm {
+            params,
+            normalizer,
+            xs,
+            ys,
+            classes,
+            alphas,
+            kernel,
+        };
+        Ok(())
+    }
+
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        // Per-class support-vector lists precomputed once for the whole
+        // batch: `(j, alpha_j * y_j)` pairs in index order. `y_j` is
+        // exactly ±1.0 and `a * yj * krow[j]` associates left, so
+        // `(a * yj) * krow[j]` below is the same float operation sequence
+        // as decision_values — bit-identical, just amortized.
+        let machines: Vec<Vec<(usize, f64)>> = (0..self.classes)
+            .map(|c| {
+                self.alphas[c]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| **a != 0.0)
+                    .map(|(j, a)| (j, a * if self.ys[j] == c { 1.0 } else { -1.0 }))
+                    .collect()
+            })
+            .collect();
+        par_map(xs, |x| {
+            if let Some(xi) = self.xs.first() {
+                assert_eq!(
+                    x.len(),
+                    xi.len(),
+                    "SVM fitted on {} features cannot score a {}-feature query",
+                    xi.len(),
+                    x.len()
+                );
+            }
+            let mut q = x.clone();
+            self.normalizer.apply(&mut q);
+            let krow: Vec<f64> = self
+                .xs
+                .iter()
+                .map(|xi| (-self.params.gamma * dist2(&q, xi)).exp() + 1.0)
+                .collect();
+            let decisions: Vec<f64> = machines
+                .iter()
+                .map(|m| m.iter().map(|&(j, w)| w * krow[j]).sum())
+                .collect();
+            decode(&decisions)
+        })
+    }
 }
 
 /// Output-code decoding for one-vs-rest: the codeword for class `c` is the
@@ -547,6 +714,50 @@ mod tests {
         for a in &svm.alphas {
             assert!(a.iter().all(|&v| (0.0..=p.c + 1e-9).contains(&v)));
         }
+    }
+
+    #[test]
+    fn loaded_svm_is_bit_identical_including_recomputed_kernel() {
+        let d = clusters();
+        let svm = MulticlassSvm::fit(&d, SvmParams::default());
+        let state = Json::parse(&Classifier::save(&svm).to_string()).unwrap();
+        let mut copy = MulticlassSvm::new(SvmParams::default());
+        Classifier::load(&mut copy, &state).expect("load");
+        assert_eq!(svm.alphas, copy.alphas);
+        assert_eq!(svm.kernel.k, copy.kernel.k, "kernel recompute diverged");
+        for xi in &d.x {
+            assert_eq!(svm.decision_values(xi), copy.decision_values(xi));
+        }
+        // The recomputed kernel also drives LOO identically.
+        assert_eq!(
+            svm.loo_predictions_threads(1),
+            copy.loo_predictions_threads(1)
+        );
+    }
+
+    #[test]
+    fn unfitted_svm_round_trips() {
+        let svm = MulticlassSvm::new(SvmParams {
+            gamma: 0.25,
+            ..SvmParams::default()
+        });
+        let state = Classifier::save(&svm);
+        let mut copy = MulticlassSvm::new(SvmParams::default());
+        Classifier::load(&mut copy, &state).expect("load");
+        assert_eq!(copy.params, svm.params);
+        assert_eq!(Classifier::predict(&copy, &[1.0]), 0);
+    }
+
+    #[test]
+    fn load_rejects_mismatched_alpha_shape() {
+        let d = clusters();
+        let svm = MulticlassSvm::fit(&d, SvmParams::default());
+        let mut state = Classifier::save(&svm);
+        if let Json::Obj(map) = &mut state {
+            map.insert("alphas".into(), Json::Arr(vec![Json::from_f64s(&[0.0])]));
+        }
+        let mut copy = MulticlassSvm::new(SvmParams::default());
+        assert!(Classifier::load(&mut copy, &state).is_err());
     }
 
     #[test]

@@ -79,6 +79,42 @@ impl Json {
             _ => None,
         }
     }
+
+    /// An object from `(key, value)` pairs — the builder the model
+    /// artifact and serving layers assemble their documents with.
+    pub fn obj<'a>(pairs: impl IntoIterator<Item = (&'a str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// A number array from a slice of `f64`. Finite values survive a
+    /// serialize → parse round trip bit-exactly (see
+    /// `finite_floats_round_trip_bit_exactly`), which is what makes JSON
+    /// model artifacts bit-identical to the in-memory model.
+    pub fn from_f64s(vals: &[f64]) -> Json {
+        Json::Arr(vals.iter().map(|&v| Json::Num(v)).collect())
+    }
+
+    /// A number array from a slice of `usize` (exact below 2^53).
+    pub fn from_usizes(vals: &[usize]) -> Json {
+        Json::Arr(vals.iter().map(|&v| Json::Num(v as f64)).collect())
+    }
+
+    /// The elements as `f64`, if this is an array of numbers.
+    pub fn as_f64s(&self) -> Option<Vec<f64>> {
+        self.as_arr()?.iter().map(Json::as_num).collect()
+    }
+
+    /// The elements as `usize`, if this is an array of non-negative
+    /// integral numbers.
+    pub fn as_usizes(&self) -> Option<Vec<usize>> {
+        self.as_arr()?
+            .iter()
+            .map(|v| {
+                let n = v.as_num()?;
+                (n >= 0.0 && n.fract() == 0.0).then_some(n as usize)
+            })
+            .collect()
+    }
 }
 
 impl fmt::Display for Json {
@@ -393,6 +429,20 @@ mod tests {
             let text = String::from_utf8_lossy(&bytes);
             let _ = Json::parse(&text);
         });
+    }
+
+    #[test]
+    fn typed_array_helpers_round_trip() {
+        let f = Json::from_f64s(&[0.25, -3.0, 1e-9]);
+        assert_eq!(f.as_f64s(), Some(vec![0.25, -3.0, 1e-9]));
+        let u = Json::from_usizes(&[0, 7, 38]);
+        assert_eq!(u.as_usizes(), Some(vec![0, 7, 38]));
+        // Fractional or negative entries are not usizes.
+        assert_eq!(Json::from_f64s(&[1.5]).as_usizes(), None);
+        assert_eq!(Json::from_f64s(&[-1.0]).as_usizes(), None);
+        assert_eq!(Json::Null.as_f64s(), None);
+        let o = Json::obj([("b", Json::Num(1.0)), ("a", Json::Bool(true))]);
+        assert_eq!(o.to_string(), r#"{"a":true,"b":1}"#);
     }
 
     #[test]

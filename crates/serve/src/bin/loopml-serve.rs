@@ -1,0 +1,104 @@
+//! `loopml-serve` — a long-lived unroll-factor prediction daemon.
+//!
+//! Loads one versioned model artifact (written by `repro train`) and
+//! answers batched prediction requests over stdin/stdout until EOF.
+//! See `crates/serve` and DESIGN §11 for the protocol.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use loopml_serve::{serve_framed, serve_lines, ServeModel};
+
+const USAGE: &str = "\
+loopml-serve — unroll-factor prediction daemon (loopml/model/v1)
+
+USAGE:
+    loopml-serve --artifact <path> [--framed]
+
+OPTIONS:
+    --artifact <path>  Model artifact JSON written by `repro train`
+    --framed           Length-prefixed frames instead of JSON lines
+    --help             Print this message
+
+PROTOCOL (one request per line, or per frame with --framed):
+    {\"id\": 1, \"features\": [[...], ...]}   -> {\"id\": 1, \"factors\": [...]}
+    {\"id\": 2, \"loops\": [{...}, ...]}      -> {\"id\": 2, \"factors\": [...]}
+
+Exit codes: 0 clean EOF, 1 runtime failure, 2 usage error.";
+
+struct Args {
+    artifact: PathBuf,
+    framed: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
+    let mut artifact = None;
+    let mut framed = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--framed" => framed = true,
+            "--artifact" => {
+                artifact = Some(PathBuf::from(
+                    it.next().ok_or("--artifact requires a path")?,
+                ));
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    match artifact {
+        Some(artifact) => Ok(Some(Args { artifact, framed })),
+        None => Err("--artifact <path> is required".into()),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("loopml-serve: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let model = match ServeModel::load(&args.artifact) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("loopml-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loopml-serve: serving {} ({}) from {}",
+        model.name(),
+        model.artifact().kind(),
+        args.artifact.display()
+    );
+    let stdin = std::io::stdin().lock();
+    let stdout = std::io::stdout().lock();
+    let served = if args.framed {
+        serve_framed(&model, stdin, stdout)
+    } else {
+        serve_lines(&model, stdin, stdout)
+    };
+    match served {
+        Ok(stats) => {
+            eprintln!(
+                "loopml-serve: answered {} predictions in {} batches",
+                stats.predictions, stats.batches
+            );
+            let _ = std::io::stderr().flush();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("loopml-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

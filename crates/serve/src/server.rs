@@ -1,0 +1,111 @@
+//! The daemon loop: read a request, answer a batch, repeat until EOF.
+//!
+//! Two transports share one dispatch path: newline-delimited JSON
+//! (trivially driven from a shell) and 4-byte big-endian
+//! length-prefixed frames (for clients embedding the daemon where
+//! newline framing is fragile). Per-request failures are answered with
+//! an error document and the loop keeps serving; only transport-level
+//! failures (a torn frame, an unwritable pipe) stop the daemon.
+
+use std::io::{BufRead, Read, Write};
+use std::time::Instant;
+
+use loopml_rt::Json;
+
+use crate::model::ServeModel;
+use crate::wire::{read_frame, write_frame, Request, Response};
+
+/// What a daemon run served, for the bench harness: batch count,
+/// prediction count, and per-batch wall-clock latencies.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Requests answered (including error answers).
+    pub batches: usize,
+    /// Total predictions returned across all batches.
+    pub predictions: usize,
+    /// Wall-clock milliseconds per answered batch, in arrival order.
+    pub latencies_ms: Vec<f64>,
+}
+
+impl ServeStats {
+    fn record(&mut self, predictions: usize, started: Instant) {
+        self.batches += 1;
+        self.predictions += predictions;
+        self.latencies_ms
+            .push(started.elapsed().as_secs_f64() * 1e3);
+    }
+}
+
+/// Answers one parsed request document.
+fn answer(model: &ServeModel, doc: &Json) -> Response {
+    match Request::from_json(doc) {
+        Ok(Request::Features { id, rows }) => match model.predict_rows(&rows) {
+            Ok(factors) => Response::Factors { id, factors },
+            Err(message) => Response::Error { id, message },
+        },
+        Ok(Request::Loops { id, loops }) => Response::Factors {
+            factors: model.choose_loops(&loops),
+            id,
+        },
+        Err(message) => Response::Error {
+            id: doc.get("id").cloned().unwrap_or(Json::Null),
+            message,
+        },
+    }
+}
+
+fn response_len(r: &Response) -> usize {
+    match r {
+        Response::Factors { factors, .. } => factors.len(),
+        Response::Error { .. } => 0,
+    }
+}
+
+/// Serves newline-delimited JSON requests until EOF. Blank lines are
+/// skipped; an unparseable line is answered with an error document.
+pub fn serve_lines<R: BufRead, W: Write>(
+    model: &ServeModel,
+    reader: R,
+    mut writer: W,
+) -> Result<ServeStats, String> {
+    let mut stats = ServeStats::default();
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("request read failed: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let response = match Json::parse(&line) {
+            Ok(doc) => answer(model, &doc),
+            Err(e) => Response::Error {
+                id: Json::Null,
+                message: format!("request is not valid JSON: {e}"),
+            },
+        };
+        writeln!(writer, "{}", response.to_json())
+            .map_err(|e| format!("response write failed: {e}"))?;
+        writer
+            .flush()
+            .map_err(|e| format!("response flush failed: {e}"))?;
+        stats.record(response_len(&response), started);
+    }
+    Ok(stats)
+}
+
+/// Serves length-prefixed frames until a clean EOF at a frame
+/// boundary. A torn frame is a transport error and stops the daemon.
+pub fn serve_framed<R: Read, W: Write>(
+    model: &ServeModel,
+    mut reader: R,
+    mut writer: W,
+) -> Result<ServeStats, String> {
+    let mut stats = ServeStats::default();
+    while let Some(doc) = read_frame(&mut reader)? {
+        let started = Instant::now();
+        let response = answer(model, &doc);
+        write_frame(&mut writer, &response.to_json())
+            .map_err(|e| format!("response write failed: {e}"))?;
+        stats.record(response_len(&response), started);
+    }
+    Ok(stats)
+}

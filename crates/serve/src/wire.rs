@@ -1,0 +1,545 @@
+//! The serving wire protocol: request/response documents, a full JSON
+//! codec for [`Loop`] bodies, and the length-prefixed framing used when
+//! newline-delimited JSON is inconvenient for the client.
+//!
+//! A request is one JSON object carrying an `id` (echoed back verbatim)
+//! and either a batch of raw feature vectors or a batch of whole loops:
+//!
+//! ```json
+//! {"id": 7, "features": [[4.0, 1024.0, ...], ...]}
+//! {"id": 8, "loops": [{"name": "...", "trip": {...}, "body": [...]}, ...]}
+//! ```
+//!
+//! The response echoes the id and answers one unroll factor in `1..=8`
+//! per input, in order: `{"id": 7, "factors": [4, 1, 8]}`. A request
+//! the server cannot honor yields `{"id": ..., "error": "..."}` and the
+//! daemon keeps serving — one bad batch never takes the service down.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+
+use loopml_ir::{ArrayId, Inst, Loop, MemRef, Opcode, Reg, RegClass, SourceLang, TripCount};
+use loopml_rt::Json;
+
+/// Largest frame the length-prefixed transport accepts (16 MiB): a
+/// corrupt or hostile length header must not look like an allocation
+/// request.
+pub const MAX_FRAME: u32 = 16 << 20;
+
+/// Every opcode with its wire name (the lowercase [`Opcode`] display
+/// form), in declaration order. The table is the parse side of the
+/// codec; the emit side is `Display` itself, so the two cannot drift.
+const OPCODES: [Opcode; 31] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::Shl,
+    Opcode::Shr,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Cmp,
+    Opcode::Ext,
+    Opcode::FAdd,
+    Opcode::FSub,
+    Opcode::FMul,
+    Opcode::Fma,
+    Opcode::FDiv,
+    Opcode::FSqrt,
+    Opcode::FCmp,
+    Opcode::CvtIf,
+    Opcode::CvtFi,
+    Opcode::Load,
+    Opcode::LoadPair,
+    Opcode::Store,
+    Opcode::StorePair,
+    Opcode::Prefetch,
+    Opcode::Br,
+    Opcode::BrExit,
+    Opcode::Call,
+    Opcode::Mov,
+    Opcode::MovI,
+    Opcode::Select,
+    Opcode::Nop,
+];
+
+fn opcode_from_str(s: &str) -> Result<Opcode, String> {
+    OPCODES
+        .iter()
+        .copied()
+        .find(|op| op.to_string() == s)
+        .ok_or_else(|| format!("unknown opcode {s:?}"))
+}
+
+fn reg_to_json(r: Reg) -> Json {
+    Json::Str(r.to_string())
+}
+
+fn reg_from_str(s: &str) -> Result<Reg, String> {
+    let class = match s.chars().next() {
+        Some('r') => RegClass::Int,
+        Some('f') => RegClass::Fp,
+        Some('p') => RegClass::Pred,
+        _ => return Err(format!("register {s:?} has no class prefix")),
+    };
+    let index: u32 = s[1..]
+        .parse()
+        .map_err(|_| format!("register {s:?} has no numeric index"))?;
+    Ok(Reg::new(class, index))
+}
+
+fn regs_from_json(v: &Json, what: &str) -> Result<Vec<Reg>, String> {
+    v.as_arr()
+        .ok_or_else(|| format!("instruction {what} is not an array"))?
+        .iter()
+        .map(|r| {
+            r.as_str()
+                .ok_or_else(|| format!("instruction {what} entry is not a string"))
+                .and_then(reg_from_str)
+        })
+        .collect()
+}
+
+fn int_field(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_num)
+        .filter(|v| v.fract() == 0.0)
+        .ok_or_else(|| format!("field {key:?} is not a whole number"))
+}
+
+fn mem_to_json(m: &MemRef) -> Json {
+    Json::obj([
+        ("base", Json::Num(f64::from(m.base.0))),
+        ("stride", Json::Num(m.stride as f64)),
+        ("offset", Json::Num(m.offset as f64)),
+        ("width", Json::Num(f64::from(m.width))),
+        ("indirect", Json::Bool(m.indirect)),
+        ("ambiguous", Json::Bool(m.ambiguous)),
+    ])
+}
+
+fn mem_from_json(doc: &Json) -> Result<MemRef, String> {
+    let flag = |key: &str| match doc.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(format!("memref field {key:?} is not a bool")),
+    };
+    Ok(MemRef {
+        base: ArrayId(int_field(doc, "base")? as u32),
+        stride: int_field(doc, "stride")? as i64,
+        offset: int_field(doc, "offset")? as i64,
+        width: int_field(doc, "width")? as u8,
+        indirect: flag("indirect")?,
+        ambiguous: flag("ambiguous")?,
+    })
+}
+
+fn inst_to_json(i: &Inst) -> Json {
+    let mut m = BTreeMap::new();
+    m.insert("op".into(), Json::Str(i.opcode.to_string()));
+    m.insert(
+        "defs".into(),
+        Json::Arr(i.defs.iter().map(|&r| reg_to_json(r)).collect()),
+    );
+    m.insert(
+        "uses".into(),
+        Json::Arr(i.uses.iter().map(|&r| reg_to_json(r)).collect()),
+    );
+    if let Some(mem) = &i.mem {
+        m.insert("mem".into(), mem_to_json(mem));
+    }
+    if let Some(p) = i.predicate {
+        m.insert("pred".into(), reg_to_json(p));
+    }
+    if i.induction {
+        m.insert("induction".into(), Json::Bool(true));
+    }
+    Json::Obj(m)
+}
+
+fn inst_from_json(doc: &Json) -> Result<Inst, String> {
+    let opcode = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "instruction has no \"op\"".to_string())
+        .and_then(opcode_from_str)?;
+    let mem = match doc.get("mem") {
+        Some(m) => Some(mem_from_json(m)?),
+        None => None,
+    };
+    // The IR invariant: a descriptor iff the opcode accesses memory.
+    if opcode.is_mem() != mem.is_some() {
+        return Err(format!(
+            "opcode {opcode} {} a \"mem\" descriptor",
+            if opcode.is_mem() {
+                "requires"
+            } else {
+                "forbids"
+            }
+        ));
+    }
+    let mut inst = Inst {
+        opcode,
+        defs: regs_from_json(doc.get("defs").unwrap_or(&Json::Arr(Vec::new())), "defs")?,
+        uses: regs_from_json(doc.get("uses").unwrap_or(&Json::Arr(Vec::new())), "uses")?,
+        mem,
+        predicate: None,
+        induction: false,
+    };
+    if let Some(p) = doc.get("pred") {
+        inst.predicate = Some(
+            p.as_str()
+                .ok_or_else(|| "instruction \"pred\" is not a string".to_string())
+                .and_then(reg_from_str)?,
+        );
+    }
+    if let Some(Json::Bool(true)) = doc.get("induction") {
+        inst.induction = true;
+    }
+    Ok(inst)
+}
+
+/// Serializes a whole loop — body, trip count, nesting, language — into
+/// the wire form [`loop_from_json`] parses back exactly.
+pub fn loop_to_json(l: &Loop) -> Json {
+    let trip = match l.trip_count {
+        TripCount::Known(n) => Json::obj([("known", Json::Num(n as f64))]),
+        TripCount::Unknown { estimate } => Json::obj([("estimate", Json::Num(estimate as f64))]),
+    };
+    Json::obj([
+        ("name", Json::Str(l.name.clone())),
+        ("trip", trip),
+        ("nest", Json::Num(f64::from(l.nest_level))),
+        ("lang", Json::Str(l.lang.to_string())),
+        ("body", Json::Arr(l.body.iter().map(inst_to_json).collect())),
+    ])
+}
+
+/// Parses a loop document written by [`loop_to_json`].
+pub fn loop_from_json(doc: &Json) -> Result<Loop, String> {
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("loop has no name")?
+        .to_string();
+    let trip_doc = doc.get("trip").ok_or("loop has no trip count")?;
+    let trip_count = if let Some(n) = trip_doc.get("known").and_then(Json::as_num) {
+        TripCount::Known(n as u64)
+    } else if let Some(n) = trip_doc.get("estimate").and_then(Json::as_num) {
+        TripCount::Unknown { estimate: n as u64 }
+    } else {
+        return Err("loop trip count has neither \"known\" nor \"estimate\"".into());
+    };
+    let lang = match doc.get("lang").and_then(Json::as_str) {
+        Some("C") => SourceLang::C,
+        Some("Fortran") => SourceLang::Fortran,
+        Some("Fortran90") => SourceLang::Fortran90,
+        Some(other) => return Err(format!("unknown source language {other:?}")),
+        None => return Err("loop has no language".into()),
+    };
+    let body = doc
+        .get("body")
+        .and_then(Json::as_arr)
+        .ok_or("loop has no body array")?
+        .iter()
+        .map(inst_from_json)
+        .collect::<Result<Vec<Inst>, String>>()?;
+    Ok(Loop {
+        name,
+        body,
+        trip_count,
+        nest_level: int_field(doc, "nest")? as u32,
+        lang,
+    })
+}
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A batch of raw feature vectors; each may be the full 38-feature
+    /// vector or already projected to the model's subset.
+    Features {
+        /// Echoed back in the response.
+        id: Json,
+        /// The feature rows, one prediction each.
+        rows: Vec<Vec<f64>>,
+    },
+    /// A batch of whole loops (the server extracts features itself).
+    Loops {
+        /// Echoed back in the response.
+        id: Json,
+        /// The loops, one unroll factor each.
+        loops: Vec<Loop>,
+    },
+}
+
+impl Request {
+    /// Serializes the request document.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Features { id, rows } => Json::obj([
+                ("id", id.clone()),
+                (
+                    "features",
+                    Json::Arr(rows.iter().map(|r| Json::from_f64s(r)).collect()),
+                ),
+            ]),
+            Request::Loops { id, loops } => Json::obj([
+                ("id", id.clone()),
+                ("loops", Json::Arr(loops.iter().map(loop_to_json).collect())),
+            ]),
+        }
+    }
+
+    /// Parses a request document: exactly one of `"features"` or
+    /// `"loops"` must be present.
+    pub fn from_json(doc: &Json) -> Result<Request, String> {
+        let id = doc.get("id").cloned().unwrap_or(Json::Null);
+        match (doc.get("features"), doc.get("loops")) {
+            (Some(f), None) => {
+                let rows = f
+                    .as_arr()
+                    .ok_or("\"features\" is not an array of rows")?
+                    .iter()
+                    .map(Json::as_f64s)
+                    .collect::<Option<Vec<Vec<f64>>>>()
+                    .ok_or("\"features\" contains a non-numeric row")?;
+                Ok(Request::Features { id, rows })
+            }
+            (None, Some(l)) => {
+                let loops = l
+                    .as_arr()
+                    .ok_or("\"loops\" is not an array")?
+                    .iter()
+                    .map(loop_from_json)
+                    .collect::<Result<Vec<Loop>, String>>()?;
+                Ok(Request::Loops { id, loops })
+            }
+            (Some(_), Some(_)) => Err("request has both \"features\" and \"loops\"".into()),
+            (None, None) => Err("request has neither \"features\" nor \"loops\"".into()),
+        }
+    }
+
+    /// The request id (echoed in responses).
+    pub fn id(&self) -> &Json {
+        match self {
+            Request::Features { id, .. } | Request::Loops { id, .. } => id,
+        }
+    }
+}
+
+/// One server response: predicted factors, or an error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Per-input unroll factors in `1..=8`, in request order.
+    Factors {
+        /// The request's id, echoed.
+        id: Json,
+        /// One factor per input row/loop.
+        factors: Vec<u32>,
+    },
+    /// The request could not be honored; the daemon keeps serving.
+    Error {
+        /// The request's id, echoed (`null` if unparseable).
+        id: Json,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Serializes the response document.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Factors { id, factors } => Json::obj([
+                ("id", id.clone()),
+                (
+                    "factors",
+                    Json::Arr(factors.iter().map(|&f| Json::Num(f64::from(f))).collect()),
+                ),
+            ]),
+            Response::Error { id, message } => {
+                Json::obj([("id", id.clone()), ("error", Json::Str(message.clone()))])
+            }
+        }
+    }
+
+    /// Parses a response document.
+    pub fn from_json(doc: &Json) -> Result<Response, String> {
+        let id = doc.get("id").cloned().unwrap_or(Json::Null);
+        if let Some(msg) = doc.get("error").and_then(Json::as_str) {
+            return Ok(Response::Error {
+                id,
+                message: msg.to_string(),
+            });
+        }
+        let factors = doc
+            .get("factors")
+            .and_then(Json::as_usizes)
+            .ok_or("response has neither \"factors\" nor \"error\"")?
+            .into_iter()
+            .map(|f| f as u32)
+            .collect();
+        Ok(Response::Factors { id, factors })
+    }
+}
+
+/// Writes one length-prefixed frame: a 4-byte big-endian byte count,
+/// then that many bytes of UTF-8 JSON.
+pub fn write_frame<W: Write>(w: &mut W, doc: &Json) -> std::io::Result<()> {
+    let text = doc.to_string();
+    let bytes = text.as_bytes();
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` is a clean end of
+/// stream (EOF exactly at a frame boundary).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Json>, String> {
+    let mut header = [0u8; 4];
+    match r.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(format!("frame header read failed: {e}")),
+    }
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME {
+        return Err(format!(
+            "frame length {len} exceeds the {MAX_FRAME}-byte cap"
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)
+        .map_err(|e| format!("truncated frame (wanted {len} bytes): {e}"))?;
+    let text = String::from_utf8(buf).map_err(|e| format!("frame is not UTF-8: {e}"))?;
+    Json::parse(&text).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_loop() -> Loop {
+        let i0 = Inst::mem(
+            Opcode::Load,
+            vec![Reg::fp(1)],
+            vec![Reg::int(2)],
+            MemRef::affine(ArrayId(3), 8, 16, 8).as_ambiguous(),
+        );
+        let i1 = Inst::new(Opcode::Fma, vec![Reg::fp(2)], vec![Reg::fp(1), Reg::fp(3)])
+            .predicated(Reg::pred(0));
+        let i2 = Inst::new(Opcode::Add, vec![Reg::int(2)], vec![Reg::int(2)]).as_induction();
+        let i3 = Inst::mem(
+            Opcode::Store,
+            vec![],
+            vec![Reg::fp(2), Reg::int(2)],
+            MemRef::indirect(ArrayId(4), 8, 8),
+        );
+        let i4 = Inst::new(Opcode::Br, vec![], vec![Reg::pred(1)]);
+        Loop {
+            name: "wire/sample".into(),
+            body: vec![i0, i1, i2, i3, i4],
+            trip_count: TripCount::Unknown { estimate: 100 },
+            nest_level: 2,
+            lang: SourceLang::Fortran90,
+        }
+    }
+
+    #[test]
+    fn every_opcode_round_trips() {
+        for op in OPCODES {
+            assert_eq!(opcode_from_str(&op.to_string()), Ok(op));
+        }
+        assert!(opcode_from_str("teleport").is_err());
+    }
+
+    #[test]
+    fn registers_round_trip() {
+        for r in [Reg::int(0), Reg::fp(31), Reg::pred(7)] {
+            assert_eq!(reg_from_str(&r.to_string()), Ok(r));
+        }
+        assert!(reg_from_str("x3").is_err());
+        assert!(reg_from_str("r").is_err());
+    }
+
+    #[test]
+    fn loops_round_trip_through_text() {
+        for l in [
+            sample_loop(),
+            Loop {
+                trip_count: TripCount::Known(1024),
+                ..sample_loop()
+            },
+        ] {
+            let text = loop_to_json(&l).to_string();
+            let back = loop_from_json(&Json::parse(&text).unwrap()).expect("parse");
+            assert_eq!(back, l);
+        }
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip() {
+        let reqs = [
+            Request::Features {
+                id: Json::Num(7.0),
+                rows: vec![vec![1.0, -2.5], vec![0.0, 3.25]],
+            },
+            Request::Loops {
+                id: Json::Str("batch-1".into()),
+                loops: vec![sample_loop()],
+            },
+        ];
+        for r in reqs {
+            let text = r.to_json().to_string();
+            assert_eq!(Request::from_json(&Json::parse(&text).unwrap()), Ok(r));
+        }
+        let resps = [
+            Response::Factors {
+                id: Json::Num(7.0),
+                factors: vec![4, 1, 8],
+            },
+            Response::Error {
+                id: Json::Null,
+                message: "no".into(),
+            },
+        ];
+        for r in resps {
+            let text = r.to_json().to_string();
+            assert_eq!(Response::from_json(&Json::parse(&text).unwrap()), Ok(r));
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(Request::from_json(&Json::obj([("id", Json::Num(1.0))])).is_err());
+        let both = Json::obj([
+            ("features", Json::Arr(vec![])),
+            ("loops", Json::Arr(vec![])),
+        ]);
+        assert!(Request::from_json(&both).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let doc = Request::Features {
+            id: Json::Num(1.0),
+            rows: vec![vec![2.0]],
+        }
+        .to_json();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &doc).unwrap();
+        write_frame(&mut buf, &doc).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(doc.clone()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(doc));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+        // A huge length header is an error, not an allocation.
+        let bogus = (MAX_FRAME + 1).to_be_bytes();
+        assert!(read_frame(&mut &bogus[..]).is_err());
+        // A truncated body is an error too.
+        let mut torn = Vec::new();
+        write_frame(&mut torn, &Json::Num(1.0)).unwrap();
+        torn.pop();
+        assert!(read_frame(&mut &torn[..]).is_err());
+    }
+}

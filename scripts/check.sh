@@ -5,10 +5,13 @@
 # smoke-scale `repro perf` must emit a well-formed BENCH_ml.json with no
 # stage more than 2x slower than scripts/bench_baseline.json), the sweep
 # gate (the smoke-scale `repro sweep` must select hyperparameters with
-# exactly one pairwise distance-matrix build), and the
-# chaos gate (a fixed-seed LOOPML_FAULTS labeling run must complete with
-# the expected quarantine, keep every non-faulted label bit-identical to
-# a clean run, and resume from partial checkpoints byte-identically).
+# exactly one pairwise distance-matrix build), the serve gate (a
+# smoke-trained artifact served through the `loopml-serve` daemon must
+# answer replayed batches byte-identically to the in-process heuristic),
+# and the chaos gate (a fixed-seed LOOPML_FAULTS labeling run must
+# complete with the expected quarantine, keep every non-faulted label
+# bit-identical to a clean run, and resume from partial checkpoints
+# byte-identically).
 #
 # Runs entirely offline — the workspace has no external dependencies
 # (enforced by tests/zero_deps.rs).
@@ -25,9 +28,28 @@ cargo run --release -p loopml-bench --bin repro -- perf-check \
     BENCH_ml.json scripts/bench_baseline.json
 cargo run --release -p loopml-bench --bin repro -- sweep --smoke
 
+# Serve gate: train a smoke artifact, replay the suite through the
+# in-process serving loop (serve-bench verifies bit-identity against
+# LearnedHeuristic and dumps the exact wire traffic), then feed the same
+# requests to the loopml-serve daemon binary and demand byte-identical
+# responses.
+serve_dir=$(mktemp -d)
+trap 'rm -rf "$serve_dir"' EXIT
+echo "check.sh: serve gate (train / serve-bench / daemon diff)"
+cargo run --release -q -p loopml-bench --bin repro -- train --smoke \
+    --out "$serve_dir/model.json"
+cargo run --release -q -p loopml-bench --bin repro -- serve-bench --smoke \
+    --artifact "$serve_dir/model.json" \
+    --dump-requests "$serve_dir/requests.jsonl" \
+    --dump-responses "$serve_dir/responses.jsonl"
+cargo run --release -q -p loopml-serve --bin loopml-serve -- \
+    --artifact "$serve_dir/model.json" \
+    < "$serve_dir/requests.jsonl" > "$serve_dir/daemon.jsonl"
+cmp "$serve_dir/responses.jsonl" "$serve_dir/daemon.jsonl"
+
 # Chaos gate: deterministic fault injection through the full CLI.
 chaos_dir=$(mktemp -d)
-trap 'rm -rf "$chaos_dir"' EXIT
+trap 'rm -rf "$serve_dir" "$chaos_dir"' EXIT
 repro_label() {
     cargo run --release -q -p loopml-bench --bin repro -- label --smoke "$@"
 }

@@ -1,0 +1,110 @@
+//! Cross-crate property: a trained model written as a versioned
+//! artifact and loaded back — through text, disk, and the serving
+//! layer — predicts bit-identically to the in-process heuristic on
+//! every loop of the corpus, and every way an artifact can be stale or
+//! corrupt fails loudly at load.
+
+use loopml::{ModelArtifact, Pipeline, PipelineBuilder, UnrollHeuristic};
+use loopml_corpus::SuiteConfig;
+use loopml_ml::{Classifier, MulticlassSvm, NearNeighbors, SvmParams, DEFAULT_RADIUS};
+use loopml_rt::Json;
+use loopml_serve::ServeModel;
+
+fn quick(take: usize) -> Pipeline {
+    PipelineBuilder::paper()
+        .suite_config(SuiteConfig {
+            min_loops: 8,
+            max_loops: 10,
+            ..SuiteConfig::default()
+        })
+        .take_benchmarks(take)
+        .exact()
+        .build()
+}
+
+fn models() -> Vec<(&'static str, Box<dyn Classifier>)> {
+    vec![
+        (
+            "NN",
+            Box::new(NearNeighbors::new(DEFAULT_RADIUS)) as Box<dyn Classifier>,
+        ),
+        ("SVM", Box::new(MulticlassSvm::new(SvmParams::default()))),
+        ("ORC", Box::new(loopml::OrcClassifier)),
+    ]
+}
+
+#[test]
+fn every_model_round_trips_bit_identically_through_disk_and_serving() {
+    let p = quick(4);
+    let dir = std::env::temp_dir().join(format!("loopml_artifact_rt_{}", std::process::id()));
+    for (name, classifier) in models() {
+        let artifact = p.train_artifact(name, classifier);
+        let path = dir.join(format!("{name}.json"));
+        artifact.write(&path).expect("write artifact");
+        let back = ModelArtifact::read(&path).expect("read artifact");
+        assert_eq!(back, artifact, "{name} changed through disk");
+
+        // The pipeline-side load (fingerprint-checked) and the
+        // daemon-side load must both answer exactly like the artifact's
+        // own heuristic, loop for loop.
+        let loaded = p.load_artifact(&back).expect("fingerprint matches");
+        let served = ServeModel::from_artifact(back).expect("daemon reconstructs");
+        for b in &p.suite {
+            for w in &b.loops {
+                let want = served.heuristic().choose(&w.body);
+                assert_eq!(
+                    loaded.choose(&w.body),
+                    want,
+                    "{name} diverged on {}",
+                    w.body.name
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn schema_mismatch_fails_loudly() {
+    let p = quick(4);
+    let artifact = p.train_artifact("NN", Box::new(NearNeighbors::new(DEFAULT_RADIUS)));
+    let text = artifact
+        .to_json()
+        .to_string()
+        .replace(loopml::MODEL_SCHEMA, "loopml/model/v0");
+    let err = ModelArtifact::from_json(&Json::parse(&text).unwrap()).unwrap_err();
+    assert!(
+        err.contains(loopml::MODEL_SCHEMA) && err.contains("loopml/model/v0"),
+        "error must name both schemas: {err}"
+    );
+}
+
+#[test]
+fn stale_fingerprint_is_rejected_for_every_model() {
+    let p = quick(4);
+    let other = quick(3);
+    for (name, classifier) in models() {
+        let stale = other.train_artifact(name, classifier);
+        let err = p.load_artifact(&stale).unwrap_err();
+        assert!(
+            err.contains("does not match"),
+            "{name} stale artifact must be loud: {err}"
+        );
+    }
+}
+
+#[test]
+fn truncated_artifact_files_error_instead_of_loading() {
+    let p = quick(4);
+    let artifact = p.train_artifact("NN", Box::new(NearNeighbors::new(DEFAULT_RADIUS)));
+    let dir = std::env::temp_dir().join(format!("loopml_artifact_trunc_{}", std::process::id()));
+    let path = dir.join("model.json");
+    artifact.write(&path).expect("write artifact");
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+    let err = ModelArtifact::read(&path).unwrap_err();
+    assert!(err.contains("not valid JSON"), "{err}");
+    std::fs::write(&path, "").unwrap();
+    assert!(ModelArtifact::read(&path).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
