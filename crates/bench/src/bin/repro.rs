@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! repro [--quick] [target...]        render reports (default: all)
+//! repro lint [--stats]               legality-prover corpus scan + gates
 //! repro perf [--smoke]               timed pipeline stages -> BENCH_ml.json
 //! repro perf-check <cur> <base>      fail on >2x stage regressions
 //! repro sweep [--smoke|--quick]      LOGO hyperparameter sweep -> SWEEP_ml.json
@@ -17,15 +18,18 @@
 //! `--help` with identical meaning (see [`loopml_bench::cli`]), and
 //! exits 0 on success, 1 when the work failed, 2 on a usage error.
 //! Report targets: `all`, `table1`..`table4`, `fig1`..`fig5`, `lint`
-//! (also reachable as `repro --lint`), `ablate-norm`, `ablate-radius`,
-//! `ablate-features`, `ablate-filter`.
+//! (reachable as `repro --lint` or `repro report lint`; the bare
+//! `repro lint` is the prover scan above), `ablate-norm`,
+//! `ablate-radius`, `ablate-features`, `ablate-filter`.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use loopml::FEATURE_NAMES;
 use loopml_bench::cli::{self, FlagSpec, Parsed, Spec, EXIT_FAIL, EXIT_OK, EXIT_USAGE};
-use loopml_bench::{experiments, labelrun, perf, report, serverun, sweeprun, Context, Scale};
+use loopml_bench::{
+    experiments, labelrun, lintrun, perf, report, serverun, sweeprun, Context, Scale,
+};
 use loopml_machine::SwpMode;
 use loopml_rt::Json;
 
@@ -58,6 +62,17 @@ const REPORT_SPEC: Spec = Spec {
         flag: "--lint",
         value: None,
         help: "add the lint target",
+    }],
+};
+
+const LINT_SPEC: Spec = Spec {
+    name: "lint",
+    summary: "legality-prover corpus scan: coverage stats and the disagreement gate",
+    positionals: "",
+    flags: &[FlagSpec {
+        flag: "--stats",
+        value: None,
+        help: "print the machine-readable stats block to stdout",
     }],
 };
 
@@ -177,8 +192,9 @@ const SERVE_BENCH_SPEC: Spec = Spec {
     ],
 };
 
-const SPECS: [Spec; 8] = [
+const SPECS: [Spec; 9] = [
     REPORT_SPEC,
+    LINT_SPEC,
     PERF_SPEC,
     PERF_CHECK_SPEC,
     SWEEP_SPEC,
@@ -199,6 +215,7 @@ fn run(args: &[String]) -> i32 {
             print!("{}", cli::overview(&SPECS));
             EXIT_OK
         }
+        Some("lint") => dispatch(&LINT_SPEC, &args[1..], cmd_lint),
         Some("perf") => dispatch(&PERF_SPEC, &args[1..], cmd_perf),
         Some("perf-check") => dispatch(&PERF_CHECK_SPEC, &args[1..], cmd_perf_check),
         Some("sweep") => dispatch(&SWEEP_SPEC, &args[1..], cmd_sweep),
@@ -230,6 +247,40 @@ fn dispatch(spec: &Spec, args: &[String], cmd: fn(&Parsed) -> i32) -> i32 {
     }
     parsed.apply_threads();
     cmd(&parsed)
+}
+
+fn cmd_lint(p: &Parsed) -> i32 {
+    let scan = lintrun::run_lint(p.scale, p.smoke.then_some(8));
+    if p.has("--stats") {
+        println!("{}", scan.to_json());
+    }
+    let s = &scan.stats;
+    eprintln!(
+        "[lint] {} benchmark(s), {} loop(s) ({} indirect), {} (loop, factor) pair(s): \
+         {} proven, {} refuted, {} unknown; coverage {:.1}%, {} cross-checked, \
+         {} disagreement(s), {} oracle run(s)",
+        scan.benchmarks,
+        scan.loops,
+        scan.indirect_loops,
+        s.total(),
+        s.proven,
+        s.refuted,
+        s.total() - s.resolved(),
+        s.coverage() * 100.0,
+        s.cross_checked,
+        s.disagreements,
+        s.oracle_runs,
+    );
+    match scan.gate() {
+        Ok(()) => {
+            eprintln!("[lint] gate ok");
+            EXIT_OK
+        }
+        Err(e) => {
+            eprintln!("[lint] FAIL: {e}");
+            EXIT_FAIL
+        }
+    }
 }
 
 fn cmd_perf(p: &Parsed) -> i32 {

@@ -15,8 +15,11 @@
 //! | Figure 5 | [`experiments::speedup_figure`] (SWP on)  | `repro fig5` |
 //!
 //! plus the ablations called out in `DESIGN.md` (`repro ablate-...`),
-//! the tracked performance harness (`repro perf`, [`perf`]), which times
-//! each pipeline stage and emits `BENCH_ml.json` for regression checks,
+//! the legality-prover corpus scan (`repro lint --stats`, [`lintrun`]),
+//! which gates on zero prover/oracle disagreements and affine-corpus
+//! coverage, the tracked performance harness (`repro perf`, [`perf`]),
+//! which times each pipeline stage and emits `BENCH_ml.json` for
+//! regression checks,
 //! the LOGO hyperparameter sweep (`repro sweep`, [`sweeprun`]),
 //! which selects the SVM gamma/C and NN radius over one shared distance
 //! matrix and emits `SWEEP_ml.json`, and the prediction-as-a-service
@@ -33,6 +36,7 @@ pub mod cli;
 pub mod context;
 pub mod experiments;
 pub mod labelrun;
+pub mod lintrun;
 pub mod perf;
 pub mod report;
 pub mod serverun;

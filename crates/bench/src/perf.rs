@@ -32,7 +32,9 @@ use loopml_serve::ServeModel;
 
 use crate::context::{Context, Scale};
 use crate::experiments::{speedup_figure, svm_params};
+use crate::lintrun;
 use crate::serverun::{replay_batches, Replay};
+use loopml_lint::OracleMode;
 
 /// Loops per batch in the `serve_replay` stage.
 const SERVE_BATCH: usize = 32;
@@ -84,6 +86,32 @@ pub struct PerfReport {
     /// suite replayed through the `loopml-serve` serving loop over a
     /// trained SVM artifact, p50/p95/p99 per batch.
     pub serve: Replay,
+    /// Prover coverage and oracle-skip economics from the legality
+    /// stages.
+    pub legality: Legality,
+}
+
+/// The legality-prover block of the perf report: how much of the corpus
+/// the prover resolves statically and what skipping the oracle buys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Legality {
+    /// Validated (loop, factor) pairs at factors 1..=8.
+    pub pairs: usize,
+    /// Pairs proven legal statically.
+    pub proven: usize,
+    /// Pairs statically refuted (0 on an honest corpus).
+    pub refuted: usize,
+    /// Pairs left to the oracle (or recorded unverified, for indirect).
+    pub unknown: usize,
+    /// Statically resolved fraction of the affine corpus.
+    pub coverage: f64,
+    /// Proven pairs the deterministic sample cross-checked.
+    pub cross_checked: usize,
+    /// Prover/oracle disagreements (must be 0).
+    pub disagreements: usize,
+    /// Wall time of the oracle-on-every-pair scan over the prover-gated
+    /// scan: the labeling-stage speedup the prover buys.
+    pub oracle_skip_speedup: f64,
 }
 
 impl PerfReport {
@@ -113,7 +141,12 @@ impl PerfReport {
                 "\"final_error_gap\":{gap:.6},\"gamma_sweep_ratio\":{ratio:.3}}},",
                 "\"serve\":{{\"batches\":{sv_batches},\"batch_size\":{sv_size},",
                 "\"predictions\":{sv_preds},\"p50_ms\":{sv_p50:.3},",
-                "\"p95_ms\":{sv_p95:.3},\"p99_ms\":{sv_p99:.3}}}}}"
+                "\"p95_ms\":{sv_p95:.3},\"p99_ms\":{sv_p99:.3}}},",
+                "\"legality\":{{\"pairs\":{lg_pairs},\"proven\":{lg_proven},",
+                "\"refuted\":{lg_refuted},\"unknown\":{lg_unknown},",
+                "\"coverage\":{lg_cov:.6},\"cross_checked\":{lg_cross},",
+                "\"disagreements\":{lg_disagree},",
+                "\"oracle_skip_speedup\":{lg_speedup:.3}}}}}"
             ),
             schema = SCHEMA,
             scale = scale,
@@ -131,6 +164,14 @@ impl PerfReport {
             sv_p50 = self.serve.p50_ms,
             sv_p95 = self.serve.p95_ms,
             sv_p99 = self.serve.p99_ms,
+            lg_pairs = self.legality.pairs,
+            lg_proven = self.legality.proven,
+            lg_refuted = self.legality.refuted,
+            lg_unknown = self.legality.unknown,
+            lg_cov = self.legality.coverage,
+            lg_cross = self.legality.cross_checked,
+            lg_disagree = self.legality.disagreements,
+            lg_speedup = self.legality.oracle_skip_speedup,
         )
     }
 }
@@ -348,6 +389,53 @@ pub fn run(scale: Scale) -> PerfReport {
         serve.predictions, serve.batches, serve.p50_ms, serve.p95_ms, serve.p99_ms
     );
 
+    // The labeling-stage economics of the legality prover: one corpus
+    // scan with the oracle gated to Unknown verdicts plus the
+    // deterministic cross-check sample, one with the oracle on every
+    // pair (the pre-prover behavior). Their wall-time ratio is the
+    // oracle-skip speedup the prover buys the labeling pipeline.
+    eprintln!("[perf] legality scan, prover-gated oracle...");
+    let (r, gated) = bench_once("lint_scan_prover", || {
+        lintrun::scan_suite(&ctx.suite, 8, OracleMode::ProverGated)
+    });
+    let prover_ms = ms(r.min());
+    stages.push(Stage {
+        name: r.name,
+        wall_ms: prover_ms,
+    });
+    gated.gate().expect("legality gate");
+
+    eprintln!("[perf] legality scan, oracle on every pair...");
+    let (r, _always) = bench_once("lint_scan_oracle", || {
+        lintrun::scan_suite(&ctx.suite, 8, OracleMode::Always)
+    });
+    let oracle_ms = ms(r.min());
+    stages.push(Stage {
+        name: r.name,
+        wall_ms: oracle_ms,
+    });
+
+    let s = &gated.stats;
+    let legality = Legality {
+        pairs: s.total(),
+        proven: s.proven,
+        refuted: s.refuted,
+        unknown: s.total() - s.resolved(),
+        coverage: s.coverage(),
+        cross_checked: s.cross_checked,
+        disagreements: s.disagreements,
+        oracle_skip_speedup: oracle_ms / prover_ms.max(1e-9),
+    };
+    eprintln!(
+        "[perf] legality: {}/{} pairs proven ({:.1}% affine coverage), \
+         {} cross-checked, 0 disagreements, oracle-skip speedup {:.2}x",
+        legality.proven,
+        legality.pairs,
+        legality.coverage * 100.0,
+        legality.cross_checked,
+        legality.oracle_skip_speedup
+    );
+
     PerfReport {
         scale,
         threads: loopml_rt::num_threads(),
@@ -359,6 +447,7 @@ pub fn run(scale: Scale) -> PerfReport {
         final_error_gap,
         gamma_sweep_ratio,
         serve,
+        legality,
     }
 }
 
@@ -418,6 +507,27 @@ pub fn validate(doc: &Json) -> Result<Vec<(String, f64)>, String> {
         return Err(format!(
             "serve percentiles out of order: p50 {p50}, p95 {p95}, p99 {p99}"
         ));
+    }
+    let legality = doc.get("legality").ok_or("missing legality")?;
+    for key in ["pairs", "proven", "refuted", "unknown", "cross_checked"] {
+        match legality.get(key).and_then(Json::as_num) {
+            Some(v) if v.is_finite() && v >= 0.0 && v.fract() == 0.0 => {}
+            other => return Err(format!("bad legality.{key}: {other:?}")),
+        }
+    }
+    match legality.get("disagreements").and_then(Json::as_num) {
+        // A single prover/oracle disagreement means one of them is wrong;
+        // no report recording one is acceptable.
+        Some(0.0) => {}
+        other => return Err(format!("bad legality.disagreements: {other:?}")),
+    }
+    match legality.get("coverage").and_then(Json::as_num) {
+        Some(v) if (0.0..=1.0).contains(&v) => {}
+        other => return Err(format!("bad legality.coverage: {other:?}")),
+    }
+    match legality.get("oracle_skip_speedup").and_then(Json::as_num) {
+        Some(v) if v.is_finite() && v > 0.0 => {}
+        other => return Err(format!("bad legality.oracle_skip_speedup: {other:?}")),
     }
     let stages = doc
         .get("stages")
@@ -502,6 +612,16 @@ mod tests {
                 p95_ms: 1.4,
                 p99_ms: 2.1,
             },
+            legality: Legality {
+                pairs: 2560,
+                proven: 1900,
+                refuted: 0,
+                unknown: 660,
+                coverage: 0.85,
+                cross_checked: 240,
+                disagreements: 0,
+                oracle_skip_speedup: 3.5,
+            },
         }
     }
 
@@ -536,6 +656,15 @@ mod tests {
             good.replace(",\"serve\":{", ",\"serve_was\":{"),
             good.replace("\"batches\":10", "\"batches\":0"),
             good.replace("\"p95_ms\":1.400", "\"p95_ms\":2.900"),
+            // The legality block is required, disagreement-free, with a
+            // coverage fraction and a positive oracle-skip speedup.
+            good.replace(",\"legality\":{", ",\"legality_was\":{"),
+            good.replace("\"disagreements\":0", "\"disagreements\":1"),
+            good.replace("\"coverage\":0.850000", "\"coverage\":1.300000"),
+            good.replace(
+                "\"oracle_skip_speedup\":3.500",
+                "\"oracle_skip_speedup\":0.000",
+            ),
         ];
         for bad in cases {
             let doc = Json::parse(&bad).expect("still JSON");

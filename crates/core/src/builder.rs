@@ -61,6 +61,13 @@ pub struct PipelineConfig {
     /// Override the lint enforcement level (normally armed by the label
     /// config, which reads `LOOPML_LINT`).
     pub lint: Option<loopml_lint::LintLevel>,
+    /// Append the legality prover's feature block (alias-class counts,
+    /// min proven dependence distance, proof status) to every example,
+    /// widening the dataset from 38 to 38 + [`NUM_PROVER_FEATURES`]
+    /// columns. Off by default: the paper's experiments use its 38.
+    ///
+    /// [`NUM_PROVER_FEATURES`]: crate::features::NUM_PROVER_FEATURES
+    pub prover_features: bool,
 }
 
 /// Builds a [`Pipeline`] from the paper's defaults, with every stage
@@ -230,7 +237,7 @@ impl PipelineBuilder {
                 .is_active()
                 .then(ResilienceConfig::default)
         });
-        let (labeled, degradation) = match resilience {
+        let (mut labeled, degradation) = match resilience {
             Some(res) => {
                 let run = label_suite_resilient(&suite, &label_config, &res);
                 if label_config.lint.is_enabled() {
@@ -249,6 +256,21 @@ impl PipelineBuilder {
             !labeled.is_empty(),
             "labeling produced no training examples"
         );
+        if self.config.prover_features {
+            // Loop names are unique across the corpus, so a name map
+            // recovers each example's IR for the prover block.
+            let by_name: std::collections::HashMap<&str, &loopml_ir::Loop> = suite
+                .iter()
+                .flat_map(|b| b.loops.iter())
+                .map(|w| (w.body.name.as_str(), &w.body))
+                .collect();
+            for ex in &mut labeled {
+                let l = by_name
+                    .get(ex.name.as_str())
+                    .expect("labeled loop missing from suite");
+                ex.features.extend(crate::features::extract_prover(l));
+            }
+        }
         let full_dataset = to_dataset(&labeled);
         let feature_subset = self
             .feature_count
@@ -577,6 +599,50 @@ mod tests {
         assert_eq!(via_config.nn_radius(), via_toggle.nn_radius());
         let s = via_config.sweep.as_ref().expect("tuning ran");
         assert!(s.svm_cells.is_empty());
+    }
+
+    #[test]
+    fn prover_features_widen_the_dataset_consistently() {
+        let p = quick()
+            .exact()
+            .configure(PipelineConfig {
+                prover_features: true,
+                ..PipelineConfig::default()
+            })
+            .build();
+        let width = crate::features::NUM_FEATURES + crate::features::NUM_PROVER_FEATURES;
+        assert_eq!(p.full_dataset.dims(), width);
+        assert_eq!(p.full_dataset.feature_names.len(), width);
+        // Every example's prover block matches a fresh extraction of
+        // its loop — the name join did not scramble rows.
+        let by_name: std::collections::HashMap<&str, &loopml_ir::Loop> = p
+            .suite
+            .iter()
+            .flat_map(|b| b.loops.iter())
+            .map(|w| (w.body.name.as_str(), &w.body))
+            .collect();
+        for ex in &p.labeled {
+            let l = by_name[ex.name.as_str()];
+            assert_eq!(
+                ex.features[crate::features::NUM_FEATURES..],
+                crate::features::extract_prover(l)
+            );
+        }
+        // A heuristic trained on a subset reaching into the prover
+        // block extracts the extended vector at choose time.
+        let cols: Vec<usize> = vec![1, 19, crate::features::NUM_FEATURES + 7];
+        let projected = p.full_dataset.select_features(&cols);
+        let h = LearnedHeuristic::fit(
+            "NN+prover",
+            Some(cols),
+            Box::new(NearNeighbors::new(DEFAULT_RADIUS)),
+            &projected,
+        );
+        for b in &p.suite {
+            for w in &b.loops {
+                assert!((1..=8).contains(&h.choose(&w.body)));
+            }
+        }
     }
 
     #[test]

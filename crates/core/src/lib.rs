@@ -79,7 +79,10 @@ pub use fault::{
     BenchmarkOutcome, DegradationReport, LabelError, QuarantineEntry, QuarantineScope,
     DEGRADATION_SCHEMA,
 };
-pub use features::{extract, FEATURE_NAMES, NUM_FEATURES};
+pub use features::{
+    extract, extract_prover, extract_with_prover, FEATURE_NAMES, NUM_FEATURES, NUM_PROVER_FEATURES,
+    PROVER_FEATURE_NAMES,
+};
 pub use heuristics::{
     LearnedHeuristic, OrcClassifier, OrcHeuristic, OrcSwpHeuristic, UnrollHeuristic,
 };
@@ -90,5 +93,6 @@ pub use label::{
     ResilienceConfig, DEFAULT_RETRY_BUDGET, MAX_UNROLL,
 };
 pub use pipeline::{
-    benchmark_groups, informative_features, loocv_accuracy, svm_training_error, to_dataset,
+    benchmark_groups, feature_names, informative_features, loocv_accuracy, svm_training_error,
+    to_dataset,
 };

@@ -5,21 +5,40 @@ use loopml_ml::{
     greedy_forward_nn, mutual_information, Classifier, Dataset, MulticlassSvm, SvmParams,
 };
 
-use crate::features::FEATURE_NAMES;
+use crate::features::{FEATURE_NAMES, NUM_FEATURES, NUM_PROVER_FEATURES, PROVER_FEATURE_NAMES};
 use crate::label::LabeledLoop;
 
-/// Converts labeled loops into an ML dataset over all 38 features.
+/// Column names for a `dims`-wide feature matrix: the 38 paper features,
+/// optionally followed by the prover block.
+///
+/// # Panics
+///
+/// Panics on a width that is neither `NUM_FEATURES` nor
+/// `NUM_FEATURES + NUM_PROVER_FEATURES`.
+pub fn feature_names(dims: usize) -> Vec<String> {
+    let mut names: Vec<String> = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+    if dims == NUM_FEATURES + NUM_PROVER_FEATURES {
+        names.extend(PROVER_FEATURE_NAMES.iter().map(|s| s.to_string()));
+    } else {
+        assert_eq!(dims, NUM_FEATURES, "unsupported feature width {dims}");
+    }
+    names
+}
+
+/// Converts labeled loops into an ML dataset over all 38 features (or
+/// 38 + the prover block when the loops carry extended vectors).
 ///
 /// # Panics
 ///
 /// Panics if `labeled` is empty.
 pub fn to_dataset(labeled: &[LabeledLoop]) -> Dataset {
     assert!(!labeled.is_empty(), "no labeled loops");
+    let names = feature_names(labeled[0].features.len());
     Dataset::new(
         labeled.iter().map(|l| l.features.clone()).collect(),
         labeled.iter().map(|l| l.label).collect(),
         8,
-        FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        names,
         labeled.iter().map(|l| l.name.clone()).collect(),
     )
 }

@@ -484,4 +484,66 @@ mod tests {
         let b = g.rec_mii(|d| d.latency * 2);
         assert!(b >= a);
     }
+
+    /// a[i + k] = f(a[i]) for a byte gap of `gap` = 8·k.
+    fn carried_at(gap: i64) -> Loop {
+        let mut b = LoopBuilder::new("horizon", TripCount::Known(100));
+        let x = b.fp_reg();
+        let y = b.fp_reg();
+        b.load(x, MemRef::affine(ArrayId(0), 8, 0, 8));
+        b.binop(Opcode::FAdd, y, x, x);
+        b.store(y, MemRef::affine(ArrayId(0), 8, gap, 8));
+        b.build()
+    }
+
+    #[test]
+    fn carried_distance_at_the_horizon_is_tracked() {
+        // Distance exactly MAX_CARRIED_DISTANCE (8 iterations · 8 bytes)
+        // is the last one that constrains an unroll decision.
+        let g = DepGraph::analyze(&carried_at(8 * MAX_CARRIED_DISTANCE));
+        assert_eq!(g.min_carried_mem_distance(), Some(8));
+    }
+
+    #[test]
+    fn carried_distance_past_the_horizon_is_dropped() {
+        // One iteration farther (distance 9) is beyond every unroll
+        // factor considered and must not materialize an edge.
+        let g = DepGraph::analyze(&carried_at(8 * (MAX_CARRIED_DISTANCE + 1)));
+        assert_eq!(g.min_carried_mem_distance(), None);
+        assert_eq!(g.mem_deps().count(), 0);
+    }
+
+    fn cyc(src: usize, dst: usize, latency: u32, distance: u32) -> Dep {
+        Dep {
+            src,
+            dst,
+            latency,
+            distance,
+            kind: DepKind::Reg,
+        }
+    }
+
+    #[test]
+    fn rec_mii_binary_search_lands_on_the_cycle_bound() {
+        // Two-node cycle: total latency 4 + 3 = 7 over total distance
+        // 1 + 1 = 2, so the smallest feasible ii is ceil(7/2) = 4 — the
+        // positive-cycle test must fail at 3 and pass at 4.
+        let g = DepGraph::from_parts(2, vec![cyc(0, 1, 4, 1), cyc(1, 0, 3, 1)]);
+        assert_eq!(g.rec_mii(|d| d.latency), 4);
+
+        // Self-recurrence: latency 6 over distance 2 → ceil(6/2) = 3.
+        let g = DepGraph::from_parts(1, vec![cyc(0, 0, 6, 2)]);
+        assert_eq!(g.rec_mii(|d| d.latency), 3);
+
+        // An exactly-divisible cycle must not round up: 8 over 2 → 4.
+        let g = DepGraph::from_parts(1, vec![cyc(0, 0, 8, 2)]);
+        assert_eq!(g.rec_mii(|d| d.latency), 4);
+    }
+
+    #[test]
+    fn rec_mii_acyclic_graph_needs_no_slack() {
+        // Long latencies without a cycle never force ii above 1.
+        let g = DepGraph::from_parts(3, vec![cyc(0, 1, 9, 0), cyc(1, 2, 9, 0)]);
+        assert_eq!(g.rec_mii(|d| d.latency), 1);
+    }
 }

@@ -57,7 +57,7 @@ pub use deps::{Dep, DepGraph, DepKind, MAX_CARRIED_DISTANCE};
 pub use inst::Inst;
 pub use liveness::{analyze as analyze_liveness, LivenessSummary};
 pub use loops::{Loop, SourceLang, TripCount};
-pub use mem::{ArrayId, MemRef};
+pub use mem::{AliasClass, ArrayId, MemRef};
 pub use opcode::{OpClass, Opcode};
 pub use pretty::{annotate_dependences, render_schedule};
 pub use program::{Benchmark, WeightedLoop};

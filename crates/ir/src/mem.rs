@@ -29,6 +29,33 @@ impl fmt::Display for ArrayId {
     }
 }
 
+/// How precisely dependence analysis can relate a pair of references:
+/// the alias-class partition the legality prover (and the prover-derived
+/// features) reason over. Ordered roughly from "fully resolved" to
+/// "nothing is known".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AliasClass {
+    /// Provably distinct base arrays: the pair can never touch the same
+    /// memory (restrict/Fortran semantics, see [`ArrayId`]).
+    DistinctBases,
+    /// Same base, same stride, both affine: the dependence relation is
+    /// fully determined — an exact distance, or proven independence.
+    ExactAffine,
+    /// Same base with differing strides, but the GCD test proves the two
+    /// address lattices never land their access windows on each other
+    /// (see [`MemRef::gcd_disjoint`]).
+    GcdDisjoint,
+    /// Same base with differing strides and the GCD test cannot rule out
+    /// a conflict: collisions recur at irregular intervals.
+    IrregularOverlap,
+    /// At least one side is data-dependent (`a[idx[i]]`): affine
+    /// analysis is defeated.
+    Indirect,
+    /// At least one side's base is an unanalyzable pointer: it may alias
+    /// anything, including other bases.
+    Ambiguous,
+}
+
 /// An affine (or opaque) memory reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemRef {
@@ -141,9 +168,15 @@ impl MemRef {
             return Some(1);
         }
         if self.stride != other.stride {
-            // Differing strides on the same base: conflicts occur at
-            // irregular intervals; be conservative.
-            return Some(1);
+            // Differing strides on the same base: the GCD test can prove
+            // the address lattices disjoint; otherwise conflicts occur
+            // at irregular intervals and Some(1) is the conservative
+            // answer.
+            return if self.gcd_disjoint(other).is_some() {
+                None
+            } else {
+                Some(1)
+            };
         }
         let delta = self.offset - other.offset;
         if self.stride == 0 {
@@ -182,6 +215,87 @@ impl MemRef {
             None
         }
     }
+
+    /// GCD (Banerjee-style) disjointness test for two affine references
+    /// on the same base with arbitrary strides.
+    ///
+    /// The accesses collide iff some address difference
+    /// `stride_a·i − stride_b·j` lands in the window where the byte
+    /// ranges `[oa, oa+wa)` and `[ob, ob+wb)` overlap; every achievable
+    /// difference is a multiple of `g = gcd(|stride_a|, |stride_b|)`, so
+    /// if no multiple of `g` lies in the closed integer window
+    /// `[ob−oa−wa+1, ob−oa+wb−1]` the pair is disjoint over *all*
+    /// iteration pairs (ignoring iteration bounds, which only makes the
+    /// test more conservative in the other direction — it never claims
+    /// disjointness that bounds could restore).
+    ///
+    /// Returns `Some(g)` — the modulus that proves it — when disjoint,
+    /// `None` when a conflict is possible or the test does not apply
+    /// (indirect/ambiguous references, distinct bases).
+    pub fn gcd_disjoint(self, other: MemRef) -> Option<i64> {
+        if self.indirect
+            || other.indirect
+            || self.ambiguous
+            || other.ambiguous
+            || self.base != other.base
+        {
+            return None;
+        }
+        let delta = other.offset - self.offset;
+        let g = gcd(self.stride.unsigned_abs(), other.stride.unsigned_abs()) as i64;
+        if g == 0 {
+            // Both loop-invariant: disjoint iff the fixed windows miss.
+            return if overlaps(self.offset, self.width, other.offset, other.width) {
+                None
+            } else {
+                Some(0)
+            };
+        }
+        let lo = delta - i64::from(self.width) + 1;
+        let hi = delta + i64::from(other.width) - 1;
+        // A multiple of g lies in [lo, hi] iff floor(hi/g) >= ceil(lo/g).
+        let floor_hi = hi.div_euclid(g);
+        let ceil_lo = -((-lo).div_euclid(g));
+        if floor_hi >= ceil_lo {
+            None
+        } else {
+            Some(g)
+        }
+    }
+
+    /// Alias-class partition of this pair of references (symmetric); see
+    /// [`AliasClass`]. The precedence mirrors
+    /// [`dependence_distance`](Self::dependence_distance): ambiguity
+    /// defeats everything, distinct bases never alias even when
+    /// indirect (an indirect subscript still indexes *its own* base),
+    /// and only then does the subscript shape matter.
+    pub fn alias_class(self, other: MemRef) -> AliasClass {
+        if self.ambiguous || other.ambiguous {
+            return AliasClass::Ambiguous;
+        }
+        if self.base != other.base {
+            return AliasClass::DistinctBases;
+        }
+        if self.indirect || other.indirect {
+            return AliasClass::Indirect;
+        }
+        if self.stride == other.stride {
+            return AliasClass::ExactAffine;
+        }
+        if self.gcd_disjoint(other).is_some() {
+            AliasClass::GcdDisjoint
+        } else {
+            AliasClass::IrregularOverlap
+        }
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
 }
 
 fn overlaps(off_a: i64, width_a: u8, off_b: i64, width_b: u8) -> bool {
@@ -282,5 +396,86 @@ mod tests {
         let x = MemRef::affine(ArrayId(0), 16, 0, 4);
         let y = MemRef::affine(ArrayId(0), 16, 4, 4);
         assert_eq!(x.dependence_distance(y, 8), None);
+    }
+
+    #[test]
+    fn gcd_proves_mixed_stride_lattices_disjoint() {
+        // 8i vs 16j+4, width 4: differences are multiples of 8, but a
+        // conflict needs one in [1, 7] — impossible.
+        let x = MemRef::affine(ArrayId(0), 8, 0, 4);
+        let y = MemRef::affine(ArrayId(0), 16, 4, 4);
+        assert_eq!(x.gcd_disjoint(y), Some(8));
+        assert_eq!(y.gcd_disjoint(x), Some(8));
+        // The refinement reaches dependence_distance: formerly Some(1).
+        assert_eq!(x.dependence_distance(y, 8), None);
+        assert_eq!(y.dependence_distance(x, 8), None);
+        assert_eq!(x.alias_class(y), AliasClass::GcdDisjoint);
+    }
+
+    #[test]
+    fn gcd_keeps_colliding_mixed_strides_conservative() {
+        // 8i vs 16j, width 8: i = 2j collides at every even iteration.
+        let x = MemRef::affine(ArrayId(0), 8, 0, 8);
+        let y = MemRef::affine(ArrayId(0), 16, 0, 8);
+        assert_eq!(x.gcd_disjoint(y), None);
+        assert_eq!(x.dependence_distance(y, 8), Some(1));
+        assert_eq!(x.alias_class(y), AliasClass::IrregularOverlap);
+    }
+
+    #[test]
+    fn gcd_window_boundaries_are_closed() {
+        // 8i vs 12j+7, width 1 each: window is exactly [7, 7], and
+        // gcd(8,12) = 4 has no multiple there — disjoint.
+        let x = MemRef::affine(ArrayId(0), 8, 0, 1);
+        let y = MemRef::affine(ArrayId(0), 12, 7, 1);
+        assert_eq!(x.gcd_disjoint(y), Some(4));
+        // Shift to offset 8: the window [8, 8] contains 4·2 — possible.
+        let y_hit = MemRef::affine(ArrayId(0), 12, 8, 1);
+        assert_eq!(x.gcd_disjoint(y_hit), None);
+    }
+
+    #[test]
+    fn gcd_test_does_not_apply_to_opaque_refs() {
+        let x = MemRef::affine(ArrayId(0), 8, 0, 8);
+        assert_eq!(x.gcd_disjoint(MemRef::indirect(ArrayId(0), 16, 8)), None);
+        assert_eq!(
+            x.gcd_disjoint(MemRef::affine(ArrayId(0), 16, 4, 4).as_ambiguous()),
+            None
+        );
+        assert_eq!(x.gcd_disjoint(MemRef::affine(ArrayId(1), 16, 4, 4)), None);
+    }
+
+    #[test]
+    fn gcd_handles_invariant_pairs() {
+        // Both loop-invariant: plain window check, reported as gcd 0.
+        assert_eq!(a(0, 0).gcd_disjoint(a(0, 32)), Some(0));
+        assert_eq!(a(0, 0).gcd_disjoint(a(0, 4)), None);
+        // One invariant side: differences are multiples of the moving
+        // stride.
+        let fixed = MemRef::affine(ArrayId(0), 0, 4, 4);
+        let moving = MemRef::affine(ArrayId(0), 8, 0, 4);
+        assert_eq!(fixed.gcd_disjoint(moving), Some(8));
+        assert_eq!(fixed.dependence_distance(moving, 8), None);
+        let moving_hit = MemRef::affine(ArrayId(0), 8, 0, 8);
+        assert_eq!(fixed.gcd_disjoint(moving_hit), None);
+    }
+
+    #[test]
+    fn alias_class_partition() {
+        let affine = a(8, 0);
+        let other_base = MemRef::affine(ArrayId(1), 8, 0, 8);
+        let ind = MemRef::indirect(ArrayId(0), 8, 8);
+        assert_eq!(affine.alias_class(a(8, 16)), AliasClass::ExactAffine);
+        assert_eq!(affine.alias_class(other_base), AliasClass::DistinctBases);
+        assert_eq!(affine.alias_class(ind), AliasClass::Indirect);
+        // Ambiguity trumps everything, even distinct bases.
+        let amb = MemRef::affine(ArrayId(1), 8, 0, 8).as_ambiguous();
+        assert_eq!(affine.alias_class(amb), AliasClass::Ambiguous);
+        assert_eq!(ind.alias_class(amb), AliasClass::Ambiguous);
+        // Indirect on a *different* base still cannot alias.
+        let ind_other = MemRef::indirect(ArrayId(2), 8, 8);
+        assert_eq!(affine.alias_class(ind_other), AliasClass::DistinctBases);
+        // Symmetry.
+        assert_eq!(ind.alias_class(affine), AliasClass::Indirect);
     }
 }

@@ -14,7 +14,7 @@
 use std::process::ExitCode;
 
 use loopml_corpus::{full_suite, SuiteConfig};
-use loopml_lint::{validate_pipeline, verify_benchmark, Report};
+use loopml_lint::{validate_pipeline, verify_benchmark, Report, Severity};
 use loopml_opt::OptConfig;
 use loopml_rt::par_map;
 
@@ -73,7 +73,25 @@ fn main() -> ExitCode {
             "linted {} benchmark(s), {loops} loop(s), factors 1..={max_factor}",
             suite.len()
         );
-        print!("{report}");
+        // Denies print in full; warnings (e.g. one xf.indirect-unverified
+        // per indirect loop per factor) are summarized per rule.
+        let mut warn_by_rule: std::collections::BTreeMap<&str, usize> =
+            std::collections::BTreeMap::new();
+        for d in report.diagnostics() {
+            match d.severity {
+                Severity::Deny => println!("{d}"),
+                Severity::Warning => *warn_by_rule.entry(d.rule_id).or_insert(0) += 1,
+            }
+        }
+        for (rule, n) in &warn_by_rule {
+            println!("warn[{rule}]: {n} finding(s)");
+        }
+        println!(
+            "{} finding(s): {} deny, {} warning",
+            report.diagnostics().len(),
+            report.deny_count(),
+            report.warning_count()
+        );
     }
 
     if report.deny_count() > 0 {

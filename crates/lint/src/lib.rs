@@ -11,11 +11,17 @@
 //!    opcode arity and operand-kind checks, memory-descriptor
 //!    well-formedness, loop CFG invariants, dependence-graph consistency
 //!    and liveness/pressure agreement.
-//! 2. **Transform validation** ([`transform`]) — post-pass checkers for
+//! 2. **Legality prover** ([`legality`]) — static dependence proofs
+//!    over the affine access descriptors: per-(loop, factor)
+//!    [`Verdict`]s of `Proven(Certificate)` / `Refuted(Witness)` /
+//!    `Unknown`, so most oracle runs are replaced by proofs.
+//! 3. **Transform validation** ([`transform`]) — post-pass checkers for
 //!    the unroller and its follow-on optimizations, including a
 //!    differential-execution oracle that interprets original vs
-//!    transformed loops and compares final memory states.
-//! 3. **Dataset lints** ([`dataset`]) — non-finite or constant feature
+//!    transformed loops and compares final memory states. The oracle is
+//!    gated by the prover ([`OracleMode`]): it runs on `Unknown` loops
+//!    plus a deterministic cross-check sample of `Proven` ones.
+//! 4. **Dataset lints** ([`dataset`]) — non-finite or constant feature
 //!    columns, out-of-range labels, contradictory duplicates and
 //!    degenerate cross-validation folds.
 //!
@@ -35,12 +41,20 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 pub mod dataset;
+pub mod legality;
 pub mod rules;
 pub mod transform;
 pub mod verify;
 
 pub use dataset::{lint_dataset, lint_quarantine, QUARANTINE_DENY_RATE, QUARANTINE_WARN_RATE};
-pub use transform::{differential_check, validate_pipeline, validate_transformed, validate_unroll};
+pub use legality::{
+    alias_counts, check_transform, cross_check_sample, min_proven_carried, prove_factor,
+    AliasCounts, Certificate, LegalityStats, UnknownReason, Verdict, Witness,
+};
+pub use transform::{
+    differential_check, validate_pipeline, validate_pipeline_full, validate_transformed,
+    validate_unroll, OracleMode, PipelineValidation,
+};
 pub use verify::{verify_benchmark, verify_dep_graph, verify_liveness, verify_loop};
 
 /// Environment variable controlling the enforcement level

@@ -61,6 +61,21 @@ pub const XF_OPT_MEM: &str = "xf.opt.mem-growth";
 /// A post-unroll optimization changed the bytes stored per iteration.
 pub const XF_OPT_STORES: &str = "xf.opt.store-bytes";
 
+/// The legality prover statically refuted the transform: its store-cell
+/// set provably diverges from the original's (the witness names the
+/// conflicting cell and iteration pair).
+pub const XF_LEGALITY_REFUTED: &str = "xf.legality.refuted";
+
+/// The prover issued `Proven` but the differential oracle found a
+/// divergence on the cross-check sample — one of the two is wrong, so
+/// the pair is denied and the disagreement must be investigated.
+pub const XF_LEGALITY_DISAGREE: &str = "xf.legality.disagree";
+
+/// The loop has indirect (data-dependent) references, which neither the
+/// prover nor the differential oracle can verify; previously these
+/// silently skipped the oracle with no record.
+pub const XF_INDIRECT_UNVERIFIED: &str = "xf.indirect-unverified";
+
 // --- dataset lints ---
 
 /// A feature value is NaN or infinite.
@@ -102,6 +117,9 @@ pub const ALL: &[&str] = &[
     XF_DIFF_EXEC,
     XF_OPT_MEM,
     XF_OPT_STORES,
+    XF_LEGALITY_REFUTED,
+    XF_LEGALITY_DISAGREE,
+    XF_INDIRECT_UNVERIFIED,
     DS_NONFINITE,
     DS_CONSTANT,
     DS_LABEL_RANGE,

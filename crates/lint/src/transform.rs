@@ -33,6 +33,7 @@ use std::collections::BTreeMap;
 use loopml_ir::{Loop, Opcode, Reg, TripCount};
 use loopml_opt::{interp, unroll, unroll_and_optimize, OptConfig, Unrolled};
 
+use crate::legality::{self, Verdict};
 use crate::{rules, verify::verify_loop, Diagnostic, Report};
 
 /// Trip counts the differential oracle runs by default (each is executed
@@ -72,12 +73,6 @@ fn store_bytes(l: &Loop) -> u64 {
 
 fn mem_ops(l: &Loop) -> usize {
     l.count_ops(|i| i.opcode.is_mem())
-}
-
-/// `true` if any memory reference is indirect (data-dependent address),
-/// which the affine interpreter cannot model — see the module docs.
-fn has_indirect(l: &Loop) -> bool {
-    l.body.iter().any(|i| i.mem.is_some_and(|m| m.indirect))
 }
 
 /// Structural validation of a raw [`unroll`] result against its
@@ -321,12 +316,48 @@ pub fn differential_check(
     out
 }
 
+/// Whether the differential oracle is gated by the legality prover.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OracleMode {
+    /// The prover decides: `Refuted` denies statically, `Proven` runs
+    /// the oracle only on the deterministic cross-check sample
+    /// ([`legality::cross_check_sample`]), `Unknown` falls back to the
+    /// oracle (except indirect loops, which are recorded as
+    /// unverified).
+    #[default]
+    ProverGated,
+    /// Pre-prover behavior: the oracle runs on every non-indirect
+    /// (loop, factor) pair. Kept for the perf harness to measure the
+    /// oracle-skip speedup, and as a belt-and-braces mode.
+    Always,
+}
+
+/// What the legality gate did for one transformed variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleOutcome {
+    /// The prover's verdict for the (loop, factor, variant) triple.
+    pub verdict: Verdict,
+    /// `true` when a `Proven` verdict was sampled for an oracle
+    /// cross-check under [`OracleMode::ProverGated`].
+    pub cross_checked: bool,
+    /// `true` when the differential oracle actually executed.
+    pub oracle_ran: bool,
+}
+
 /// Semantic validation of a transformed body (raw unroll output or the
 /// optimized pipeline result) against its original at `factor`:
 /// re-verifies the output IR, checks that optimization did not add
 /// memory operations or change the bytes stored per unrolled iteration,
-/// and runs the differential oracle.
-pub fn validate_transformed(original: &Loop, factor: u32, transformed: &Loop) -> Report {
+/// then applies the legality gate: statically refuted transforms deny
+/// without interpretation, proven ones skip the oracle (modulo the
+/// cross-check sample), unknown ones run it, and indirect loops are
+/// recorded as unverified instead of silently skipped.
+fn validate_transformed_with(
+    original: &Loop,
+    factor: u32,
+    transformed: &Loop,
+    mode: OracleMode,
+) -> (Report, OracleOutcome) {
     let mut out = verify_loop(transformed);
     let loc = transformed.name.clone();
 
@@ -351,40 +382,134 @@ pub fn validate_transformed(original: &Loop, factor: u32, transformed: &Loop) ->
         ));
     }
 
-    if !has_indirect(original) {
-        out.extend(differential_check(
-            original,
-            factor,
-            transformed,
-            DIFF_TRIPS,
-        ));
+    let verdict = legality::check_transform(original, factor, transformed);
+    let mut cross_checked = false;
+    let run_oracle = match (&verdict, mode) {
+        (Verdict::Unknown(legality::UnknownReason::Indirect), _) => {
+            out.push(Diagnostic::warning(
+                rules::XF_INDIRECT_UNVERIFIED,
+                loc.clone(),
+                format!(
+                    "indirect references defeat both the legality prover and the \
+                     differential oracle; factor {factor} is unverified"
+                ),
+            ));
+            false
+        }
+        (Verdict::Refuted(w), m) => {
+            out.push(Diagnostic::deny(
+                rules::XF_LEGALITY_REFUTED,
+                loc.clone(),
+                format!("statically refuted: {w}"),
+            ));
+            m == OracleMode::Always
+        }
+        (Verdict::Unknown(_), _) => true,
+        (Verdict::Proven(_), OracleMode::Always) => true,
+        (Verdict::Proven(_), OracleMode::ProverGated) => {
+            cross_checked = legality::cross_check_sample(&original.name, factor);
+            cross_checked
+        }
+    };
+    if run_oracle {
+        let diags = differential_check(original, factor, transformed, DIFF_TRIPS);
+        if verdict.is_proven() && !diags.is_empty() {
+            out.push(Diagnostic::deny(
+                rules::XF_LEGALITY_DISAGREE,
+                loc,
+                format!(
+                    "legality prover proved factor {factor} but the differential \
+                     oracle found a divergence — prover or oracle is wrong"
+                ),
+            ));
+        }
+        out.extend(diags);
     }
-    out
+    (
+        out,
+        OracleOutcome {
+            verdict,
+            cross_checked,
+            oracle_ran: run_oracle,
+        },
+    )
 }
 
-/// Full validation of the unroll-and-optimize pipeline at one factor:
-/// verifies the original, structurally validates the raw unroll, then
-/// semantically validates both the raw and the optimized bodies.
+/// [`validate_transformed_with`] under the default
+/// [`OracleMode::ProverGated`], discarding the gate outcome.
+pub fn validate_transformed(original: &Loop, factor: u32, transformed: &Loop) -> Report {
+    validate_transformed_with(original, factor, transformed, OracleMode::default()).0
+}
+
+/// Everything [`validate_pipeline_full`] learned about one (loop,
+/// factor) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineValidation {
+    /// All diagnostics from the verifier, structural checks, legality
+    /// gate and (where it ran) the differential oracle.
+    pub report: Report,
+    /// Combined verdict over both transformed variants: the first
+    /// refutation if either variant was refuted, otherwise the shared
+    /// prover verdict for the original. `None` when validation stopped
+    /// before transforming (malformed original, or factor > 1 on a
+    /// non-unrollable loop).
+    pub verdict: Option<Verdict>,
+    /// Whether a `Proven` verdict was oracle cross-checked.
+    pub cross_checked: bool,
+    /// Number of differential-oracle executions performed (0–2).
+    pub oracle_runs: usize,
+}
+
+/// Full validation of the unroll-and-optimize pipeline at one factor
+/// under an explicit [`OracleMode`]: verifies the original,
+/// structurally validates the raw unroll, then semantically validates
+/// both the raw and the optimized bodies through the legality gate.
 ///
-/// Returns early (with the verifier findings) when the original itself
-/// is malformed, and skips unrolling entirely for non-unrollable loops
-/// at factors above one.
-pub fn validate_pipeline(original: &Loop, factor: u32, opt: &OptConfig) -> Report {
+/// Returns early (with the verifier findings and no verdict) when the
+/// original itself is malformed, and skips unrolling entirely for
+/// non-unrollable loops at factors above one.
+pub fn validate_pipeline_full(
+    original: &Loop,
+    factor: u32,
+    opt: &OptConfig,
+    mode: OracleMode,
+) -> PipelineValidation {
     let mut out = verify_loop(original);
-    if out.deny_count() > 0 {
-        return out;
-    }
-    if factor > 1 && !original.is_unrollable() {
-        return out;
+    if out.deny_count() > 0 || (factor > 1 && !original.is_unrollable()) {
+        return PipelineValidation {
+            report: out,
+            verdict: None,
+            cross_checked: false,
+            oracle_runs: 0,
+        };
     }
 
     let raw = unroll(original, factor);
     out.merge(validate_unroll(original, factor, &raw));
-    out.merge(validate_transformed(original, factor, &raw.body));
+    let (r1, o1) = validate_transformed_with(original, factor, &raw.body, mode);
+    out.merge(r1);
 
     let optimized = unroll_and_optimize(original, factor, opt);
-    out.merge(validate_transformed(original, factor, &optimized.body));
-    out
+    let (r2, o2) = validate_transformed_with(original, factor, &optimized.body, mode);
+    out.merge(r2);
+
+    let verdict = if o1.verdict.is_refuted() {
+        o1.verdict
+    } else {
+        o2.verdict
+    };
+    PipelineValidation {
+        report: out,
+        verdict: Some(verdict),
+        cross_checked: o1.cross_checked || o2.cross_checked,
+        oracle_runs: usize::from(o1.oracle_ran) + usize::from(o2.oracle_ran),
+    }
+}
+
+/// [`validate_pipeline_full`] under the default
+/// [`OracleMode::ProverGated`], returning just the report.
+pub fn validate_pipeline(original: &Loop, factor: u32, opt: &OptConfig) -> Report {
+    validate_pipeline_full(original, factor, opt, OracleMode::default()).report
 }
 
 #[cfg(test)]

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Repository gate: release build, full test suite, clippy, formatting,
 # the corpus lint (loopml-lint must report zero deny diagnostics over
-# the built-in corpus at every unroll factor), the perf gate (the
+# the built-in corpus at every unroll factor), the prover gate (the
+# legality-prover corpus scan must show zero prover/oracle
+# disagreements, zero denies, and >= 70% affine-corpus coverage), the
+# perf gate (the
 # smoke-scale `repro perf` must emit a well-formed BENCH_ml.json with no
 # stage more than 2x slower than scripts/bench_baseline.json), the sweep
 # gate (the smoke-scale `repro sweep` must select hyperparameters with
@@ -23,6 +26,7 @@ cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 cargo run --release -p loopml-lint
+cargo run --release -p loopml-bench --bin repro -- lint --smoke --stats
 cargo run --release -p loopml-bench --bin repro -- perf --smoke
 cargo run --release -p loopml-bench --bin repro -- perf-check \
     BENCH_ml.json scripts/bench_baseline.json

@@ -1,0 +1,172 @@
+//! Property tests for the legality prover's two soundness contracts,
+//! driven by the `loopml-rt` check harness:
+//!
+//! 1. The prover never returns `Proven` for a (loop, factor) pair the
+//!    differential oracle refutes — on honest transforms the oracle
+//!    must come back clean whenever the prover proved legality, and on
+//!    corrupted transforms a non-empty oracle report implies the
+//!    verdict was `Refuted` or `Unknown`, never `Proven`.
+//! 2. Every `Refuted` witness reproduces: interpreting original and
+//!    transformed at the witness trip shows the named cell present on
+//!    exactly one side, and the oracle flags that trip too.
+//!
+//! Failures print a replay seed; rerun the single case with
+//! `LOOPML_CHECK_SEED=<seed> cargo test legality_properties`.
+
+use loopml_ir::{ArrayId, Loop, LoopBuilder, MemRef, Opcode, TripCount};
+use loopml_lint::{check_transform, differential_check, Verdict};
+use loopml_opt::{interp, unroll, unroll_and_optimize, OptConfig};
+use loopml_rt::{check, Rng};
+
+/// A random small affine loop: a few loads, an arithmetic chain, one or
+/// two stores — and, with some probability, a same-base carried
+/// dependence (store at `a[i+d]`, load at `a[i]`) or a stride-mismatched
+/// pair the prover must leave `Unknown`. No indirect references, so the
+/// interpreter models every cell exactly and witnesses can reproduce.
+fn random_affine_loop(rng: &mut Rng) -> Loop {
+    let trip = if rng.gen_range(0..2u32) == 0 {
+        TripCount::Known(rng.gen_range(16..128u64))
+    } else {
+        TripCount::Unknown {
+            estimate: rng.gen_range(16..128u64),
+        }
+    };
+    let mut b = LoopBuilder::new("legality_prop", trip);
+    let n_loads = rng.gen_range(1..4usize);
+    let mut vals = Vec::new();
+    for k in 0..n_loads {
+        let r = b.fp_reg();
+        let stride = 8 * rng.gen_range(1..3i64);
+        b.load(
+            r,
+            MemRef::affine(ArrayId(k as u32), stride, 8 * rng.gen_range(0..4i64), 8),
+        );
+        vals.push(r);
+    }
+    for _ in 0..rng.gen_range(1..5usize) {
+        let d = b.fp_reg();
+        let a = vals[rng.gen_range(0..vals.len())];
+        let c = vals[rng.gen_range(0..vals.len())];
+        let op = match rng.gen_range(0..3u32) {
+            0 => Opcode::FAdd,
+            1 => Opcode::FSub,
+            _ => Opcode::FMul,
+        };
+        b.binop(op, d, a, c);
+        vals.push(d);
+    }
+    let out = *vals.last().expect("at least one value");
+    match rng.gen_range(0..4u32) {
+        // Same-base carried dependence: store a[i+d] against load a[i].
+        0 => {
+            let d = 8 * rng.gen_range(1..4i64);
+            b.store(out, MemRef::affine(ArrayId(0), 8, d, 8));
+        }
+        // Stride mismatch on a shared base: the prover stays Unknown.
+        1 => {
+            b.store(out, MemRef::affine(ArrayId(0), 16, 8, 8));
+        }
+        // Disjoint output arrays (the common Proven shape).
+        _ => {
+            b.store(out, MemRef::affine(ArrayId(7), 8, 0, 8));
+            if rng.gen_range(0..3u32) == 0 {
+                let second = vals[rng.gen_range(0..vals.len())];
+                b.store(second, MemRef::affine(ArrayId(8), 8, 0, 8));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Trips the oracle replays when double-checking a verdict here; a
+/// superset of the prover's own refutation trips.
+const ORACLE_TRIPS: &[u64] = &[0, 1, 2, 3, 5, 7];
+
+#[test]
+fn the_prover_never_proves_what_the_oracle_refutes() {
+    check("legality_prover_vs_oracle", 32, |rng| {
+        let l = random_affine_loop(rng);
+        for f in 1..=8u32 {
+            let plain = unroll(&l, f);
+            let opt = unroll_and_optimize(&l, f, &OptConfig::default());
+            for t in [&plain.body, &opt.body] {
+                let verdict = check_transform(&l, f, t);
+                let diags = differential_check(&l, f, t, ORACLE_TRIPS);
+                // Honest transforms: the oracle is clean, so the prover
+                // may say anything except Refuted; and whenever it says
+                // Proven the clean oracle confirms it.
+                assert!(
+                    diags.is_empty(),
+                    "oracle refuted an honest transform of {} at factor {f}: {diags:?}",
+                    l.name
+                );
+                assert!(
+                    !verdict.is_refuted(),
+                    "prover refuted an honest transform of {} at factor {f}: {verdict:?}",
+                    l.name
+                );
+            }
+        }
+    });
+}
+
+/// Corrupts a transformed body so its memory effects genuinely diverge:
+/// either drops a store or retargets one at a base the loop never uses.
+fn corrupt(rng: &mut Rng, t: &Loop) -> Loop {
+    let mut c = t.clone();
+    let stores: Vec<usize> = c
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.is_store())
+        .map(|(p, _)| p)
+        .collect();
+    let pos = stores[rng.gen_range(0..stores.len())];
+    if rng.gen_range(0..2u32) == 0 {
+        c.body.remove(pos);
+    } else {
+        let mut m = c.body[pos].mem.expect("store has a memref");
+        m.base = ArrayId(40); // a base the generator never touches
+        c.body[pos].mem = Some(m);
+    }
+    c
+}
+
+#[test]
+fn refuted_witnesses_reproduce_under_interpretation() {
+    check("legality_witness_repro", 32, |rng| {
+        let l = random_affine_loop(rng);
+        let f = rng.gen_range(1..=8u32);
+        let t = corrupt(rng, &unroll(&l, f).body);
+        let w = match check_transform(&l, f, &t) {
+            Verdict::Refuted(w) => w,
+            // Both corruptions create an unconditional must/may gap, so
+            // the refuter must find them on an affine loop.
+            v => panic!("corrupted transform of {} not refuted: {v:?}", l.name),
+        };
+        // The witness names a concrete divergence: the cell is present
+        // on exactly the side it claims.
+        let reference = interp::execute(&l, w.trip * u64::from(f), interp::Memory::new());
+        let got = interp::execute(&t, w.trip, interp::Memory::new());
+        assert_eq!(
+            reference.contains_key(&(w.base, w.addr)),
+            w.missing_in_transformed,
+            "witness direction wrong for {}: {w}",
+            l.name
+        );
+        assert_eq!(
+            got.contains_key(&(w.base, w.addr)),
+            !w.missing_in_transformed,
+            "witness cell wrong for {}: {w}",
+            l.name
+        );
+        // And the oracle sees the same divergence at the witness trip.
+        let diags = differential_check(&l, f, &t, &[w.trip]);
+        assert!(
+            !diags.is_empty(),
+            "oracle missed the witnessed divergence for {} at trip {}",
+            l.name,
+            w.trip
+        );
+    });
+}
