@@ -8,14 +8,15 @@
 //! repro perf-check <cur> <base>      fail on >2x stage regressions
 //! repro sweep [--smoke|--quick]      LOGO hyperparameter sweep -> SWEEP_ml.json
 //! repro label [--smoke] [...]        fault-tolerant labeling -> LABEL_ml.json
+//! repro label-merge <shard.json>...  merge disjoint label shards byte-identically
 //! repro label-diff <clean> <chaos>   chaos run may cost coverage, not accuracy
 //! repro train [--model nn|svm|orc]   emit the versioned model artifact
 //! repro serve-bench [--artifact F]   replay batches, verify, report p50/p95/p99
 //! repro help                         generated overview
 //! ```
 //!
-//! Every subcommand accepts `--quick`, `--smoke`, `--threads N` and
-//! `--help` with identical meaning (see [`loopml_bench::cli`]), and
+//! Every subcommand accepts `--quick`, `--smoke`, `--corpus-scale S`,
+//! `--threads N` and `--help` with identical meaning (see [`loopml_bench::cli`]), and
 //! exits 0 on success, 1 when the work failed, 2 on a usage error.
 //! Report targets: `all`, `table1`..`table4`, `fig1`..`fig5`, `lint`
 //! (reachable as `repro --lint` or `repro report lint`; the bare
@@ -127,7 +128,23 @@ const LABEL_SPEC: Spec = Spec {
             value: Some("N"),
             help: "retry budget override",
         },
+        FlagSpec {
+            flag: "--shard",
+            value: Some("i/N"),
+            help: "label only benchmarks with index % N == i (multi-process work queue)",
+        },
     ],
+};
+
+const LABEL_MERGE_SPEC: Spec = Spec {
+    name: "label-merge",
+    summary: "merge a complete set of disjoint label shards into the single-process file",
+    positionals: "<shard.json>...",
+    flags: &[FlagSpec {
+        flag: "--out",
+        value: Some("FILE"),
+        help: "merged labels path (default LABEL_ml.json)",
+    }],
 };
 
 const LABEL_DIFF_SPEC: Spec = Spec {
@@ -192,13 +209,14 @@ const SERVE_BENCH_SPEC: Spec = Spec {
     ],
 };
 
-const SPECS: [Spec; 9] = [
+const SPECS: [Spec; 10] = [
     REPORT_SPEC,
     LINT_SPEC,
     PERF_SPEC,
     PERF_CHECK_SPEC,
     SWEEP_SPEC,
     LABEL_SPEC,
+    LABEL_MERGE_SPEC,
     LABEL_DIFF_SPEC,
     TRAIN_SPEC,
     SERVE_BENCH_SPEC,
@@ -220,6 +238,7 @@ fn run(args: &[String]) -> i32 {
         Some("perf-check") => dispatch(&PERF_CHECK_SPEC, &args[1..], cmd_perf_check),
         Some("sweep") => dispatch(&SWEEP_SPEC, &args[1..], cmd_sweep),
         Some("label") => dispatch(&LABEL_SPEC, &args[1..], cmd_label),
+        Some("label-merge") => dispatch(&LABEL_MERGE_SPEC, &args[1..], cmd_label_merge),
         Some("label-diff") => dispatch(&LABEL_DIFF_SPEC, &args[1..], cmd_label_diff),
         Some("train") => dispatch(&TRAIN_SPEC, &args[1..], cmd_train),
         Some("serve-bench") => dispatch(&SERVE_BENCH_SPEC, &args[1..], cmd_serve_bench),
@@ -250,7 +269,7 @@ fn dispatch(spec: &Spec, args: &[String], cmd: fn(&Parsed) -> i32) -> i32 {
 }
 
 fn cmd_lint(p: &Parsed) -> i32 {
-    let scan = lintrun::run_lint(p.scale, p.smoke.then_some(8));
+    let scan = lintrun::run_lint(p.scale, p.smoke.then_some(8), p.corpus_scale);
     if p.has("--stats") {
         println!("{}", scan.to_json());
     }
@@ -284,7 +303,7 @@ fn cmd_lint(p: &Parsed) -> i32 {
 }
 
 fn cmd_perf(p: &Parsed) -> i32 {
-    let report = perf::run(p.scale);
+    let report = perf::run(p.scale, p.corpus_scale);
     let json = report.to_json();
     std::fs::write("BENCH_ml.json", format!("{json}\n")).expect("write BENCH_ml.json");
     println!("{json}");
@@ -321,7 +340,7 @@ fn cmd_perf_check(p: &Parsed) -> i32 {
 }
 
 fn cmd_sweep(p: &Parsed) -> i32 {
-    let run = sweeprun::run_sweep(p.scale);
+    let run = sweeprun::run_sweep_scaled(p.scale, p.corpus_scale);
     let json = run.to_json();
     std::fs::write("SWEEP_ml.json", format!("{json}\n")).expect("write SWEEP_ml.json");
     println!("{json}");
@@ -344,12 +363,21 @@ fn cmd_label(p: &Parsed) -> i32 {
             return EXIT_USAGE;
         }
     };
+    let shard = match p.option("--shard").map(loopml::Shard::parse).transpose() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("repro label: {e}");
+            return EXIT_USAGE;
+        }
+    };
     let defaults = labelrun::LabelArgs::default();
     let a = labelrun::LabelArgs {
         scale: p.scale,
         take: p.smoke.then_some(8),
         resume: p.has("--resume"),
         retries,
+        corpus_scale: p.corpus_scale,
+        shard,
         out: p.option("--out").map(PathBuf::from).unwrap_or(defaults.out),
         degradation: p
             .option("--degradation")
@@ -369,6 +397,21 @@ fn cmd_label(p: &Parsed) -> i32 {
         }
         Err(e) => {
             eprintln!("[label] FAIL: {e}");
+            EXIT_FAIL
+        }
+    }
+}
+
+fn cmd_label_merge(p: &Parsed) -> i32 {
+    if p.positionals.is_empty() {
+        eprintln!("usage: repro label-merge <shard.json>... [--out FILE]");
+        return EXIT_USAGE;
+    }
+    let out = PathBuf::from(p.option("--out").unwrap_or("LABEL_ml.json"));
+    match labelrun::run_label_merge(&p.positionals, &out) {
+        Ok(()) => EXIT_OK,
+        Err(e) => {
+            eprintln!("[label-merge] FAIL: {e}");
             EXIT_FAIL
         }
     }
@@ -433,22 +476,22 @@ fn cmd_report(p: &Parsed) -> i32 {
         eprintln!("targets: all {}", ALL_TARGETS.join(" "));
         return EXIT_USAGE;
     }
-    render_reports(&targets, p.scale);
+    render_reports(&targets, p.scale, p.corpus_scale);
     EXIT_OK
 }
 
-fn render_reports(targets: &[&str], scale: Scale) {
+fn render_reports(targets: &[&str], scale: Scale, corpus_scale: usize) {
     let needs_swp_off = targets.iter().any(|t| *t != "fig5");
     let needs_swp_on = targets.contains(&"fig5");
 
     let t0 = Instant::now();
     let ctx_off = needs_swp_off.then(|| {
         eprintln!("[repro] building SWP-off context ({scale:?})...");
-        Context::build(scale, SwpMode::Disabled)
+        Context::build_scaled(scale, SwpMode::Disabled, corpus_scale)
     });
     let ctx_on = needs_swp_on.then(|| {
         eprintln!("[repro] building SWP-on context ({scale:?})...");
-        Context::build(scale, SwpMode::Enabled)
+        Context::build_scaled(scale, SwpMode::Enabled, corpus_scale)
     });
     if let Some(c) = &ctx_off {
         eprintln!(

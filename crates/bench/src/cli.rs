@@ -54,11 +54,16 @@ pub struct Spec {
 }
 
 /// The flags every subcommand accepts.
-const SHARED_FLAGS: [FlagSpec; 4] = [
+const SHARED_FLAGS: [FlagSpec; 5] = [
     FlagSpec {
         flag: "--quick",
         value: None,
         help: "reduced corpus scale",
+    },
+    FlagSpec {
+        flag: "--corpus-scale",
+        value: Some("S"),
+        help: "corpus size multiplier: S x loops per benchmark (default 1)",
     },
     FlagSpec {
         flag: "--smoke",
@@ -85,6 +90,10 @@ pub struct Parsed {
     /// Whether `--smoke` was given (implies [`Scale::Quick`] plus the
     /// 8-benchmark cut where the subcommand supports it).
     pub smoke: bool,
+    /// Corpus size multiplier from `--corpus-scale S` (default 1; scale
+    /// 1 reproduces the historical corpus bit-for-bit, larger scales
+    /// append extra loops per benchmark on an independent RNG stream).
+    pub corpus_scale: usize,
     /// Worker-thread override from `--threads N`.
     pub threads: Option<usize>,
     /// Whether `--help` was requested.
@@ -127,6 +136,7 @@ pub fn parse(spec: &Spec, args: &[String]) -> Result<Parsed, String> {
     let mut out = Parsed {
         scale: Scale::Full,
         smoke: false,
+        corpus_scale: 1,
         threads: None,
         help: false,
         options: BTreeMap::new(),
@@ -141,6 +151,16 @@ pub fn parse(spec: &Spec, args: &[String]) -> Result<Parsed, String> {
             "--smoke" => {
                 out.scale = Scale::Quick;
                 out.smoke = true;
+            }
+            "--corpus-scale" => {
+                let v = it.next().ok_or("--corpus-scale needs a value")?;
+                let s: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --corpus-scale value: {v}"))?;
+                if s == 0 {
+                    return Err("--corpus-scale must be at least 1".into());
+                }
+                out.corpus_scale = s;
             }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
@@ -269,7 +289,17 @@ mod tests {
         let p = parse(&SPEC, &strs(&["--quick"])).unwrap();
         assert_eq!(p.scale, Scale::Quick);
         assert!(!p.smoke);
+        assert_eq!(p.corpus_scale, 1);
         assert!(parse(&SPEC, &strs(&["--help"])).unwrap().help);
+    }
+
+    #[test]
+    fn corpus_scale_parses_and_rejects_zero() {
+        let p = parse(&SPEC, &strs(&["--corpus-scale", "4"])).unwrap();
+        assert_eq!(p.corpus_scale, 4);
+        assert!(parse(&SPEC, &strs(&["--corpus-scale", "0"])).is_err());
+        assert!(parse(&SPEC, &strs(&["--corpus-scale", "x"])).is_err());
+        assert!(parse(&SPEC, &strs(&["--corpus-scale"])).is_err());
     }
 
     #[test]

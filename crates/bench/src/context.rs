@@ -28,6 +28,15 @@ impl Scale {
             },
         }
     }
+
+    /// [`Scale::suite_config`] with the `--corpus-scale` multiplier
+    /// applied. Scale 1 is the historical corpus bit-for-bit.
+    pub(crate) fn suite_config_at(self, corpus_scale: usize) -> SuiteConfig {
+        SuiteConfig {
+            corpus_scale,
+            ..self.suite_config()
+        }
+    }
 }
 
 /// Everything the experiments need, computed once per (scale, swp mode).
@@ -55,8 +64,16 @@ impl Context {
     /// Builds the context: synthesize, label, featurize, select — all
     /// delegated to [`PipelineBuilder`] with the paper's defaults.
     pub fn build(scale: Scale, swp: SwpMode) -> Self {
+        Self::build_scaled(scale, swp, 1)
+    }
+
+    /// [`Context::build`] with the `--corpus-scale` multiplier: the
+    /// suite keeps its benchmark roster but every benchmark carries
+    /// `corpus_scale` times as many loops (scale 1 is bit-identical to
+    /// [`Context::build`]).
+    pub fn build_scaled(scale: Scale, swp: SwpMode, corpus_scale: usize) -> Self {
         let p = PipelineBuilder::paper()
-            .suite_config(scale.suite_config())
+            .suite_config(scale.suite_config_at(corpus_scale))
             .swp(swp)
             .build();
         Context {

@@ -22,7 +22,10 @@
 
 use std::path::PathBuf;
 
-use loopml::{labeled_to_json, LabelConfig, LabelRun, ResilienceConfig};
+use loopml::{
+    labeled_from_json, labeled_to_json, DegradationReport, LabelConfig, LabelRun, ResilienceConfig,
+    Shard,
+};
 use loopml_corpus::full_suite;
 use loopml_lint::lint_quarantine;
 use loopml_machine::SwpMode;
@@ -50,6 +53,10 @@ pub struct LabelArgs {
     pub resume: bool,
     /// Retry budget override.
     pub retries: Option<u32>,
+    /// Corpus size multiplier (`--corpus-scale`, default 1).
+    pub corpus_scale: usize,
+    /// Label only this shard of the suite (`--shard i/N`).
+    pub shard: Option<Shard>,
 }
 
 impl Default for LabelArgs {
@@ -62,6 +69,8 @@ impl Default for LabelArgs {
             ckpt_dir: None,
             resume: false,
             retries: None,
+            corpus_scale: 1,
+            shard: None,
         }
     }
 }
@@ -91,6 +100,15 @@ impl LabelArgs {
                     let v = value("--retries")?;
                     out.retries = Some(v.parse().map_err(|_| format!("bad --retries {v}"))?);
                 }
+                "--corpus-scale" => {
+                    let v = value("--corpus-scale")?;
+                    let s: usize = v.parse().map_err(|_| format!("bad --corpus-scale {v}"))?;
+                    if s == 0 {
+                        return Err("--corpus-scale must be at least 1".into());
+                    }
+                    out.corpus_scale = s;
+                }
+                "--shard" => out.shard = Some(Shard::parse(&value("--shard")?)?),
                 other => return Err(format!("unknown label option: {other}")),
             }
         }
@@ -105,7 +123,25 @@ impl LabelArgs {
 /// (with attempts) in suite order, and the quarantine/degradation
 /// summary inline so the file is self-describing.
 pub fn labels_to_json(run: &LabelRun, swp: SwpMode) -> Json {
+    labels_to_json_sharded(run, swp, None)
+}
+
+/// [`labels_to_json`] for a shard run: identical document plus a
+/// `"shard"` block recording which slice of the work queue this file
+/// covers. `repro label-merge` validates those blocks and emits the
+/// merged document *without* one, so a merged file is byte-identical to
+/// a single-process `repro label` output.
+pub fn labels_to_json_sharded(run: &LabelRun, swp: SwpMode, shard: Option<Shard>) -> Json {
     let mut m = std::collections::BTreeMap::new();
+    if let Some(s) = shard {
+        m.insert(
+            "shard".into(),
+            Json::obj([
+                ("index", Json::Num(s.index as f64)),
+                ("count", Json::Num(s.count as f64)),
+            ]),
+        );
+    }
     m.insert("schema".into(), Json::Str(LABELS_SCHEMA.into()));
     m.insert(
         "swp".into(),
@@ -134,7 +170,7 @@ pub fn labels_to_json(run: &LabelRun, swp: SwpMode) -> Json {
 /// Runs `repro label`. Returns the degradation-lint report's deny count
 /// (nonzero means the run should exit with failure).
 pub fn run_label(args: &LabelArgs) -> Result<usize, String> {
-    let mut suite = full_suite(&args.scale.suite_config());
+    let mut suite = full_suite(&args.scale.suite_config_at(args.corpus_scale));
     if let Some(n) = args.take {
         suite.truncate(n);
     }
@@ -150,13 +186,19 @@ pub fn run_label(args: &LabelArgs) -> Result<usize, String> {
     if res.faults.is_active() {
         eprintln!("[label] fault plane active: {:?}", res.faults);
     }
-    let run = loopml::label_suite_resilient(&suite, &cfg, &res);
+    if let Some(s) = args.shard {
+        eprintln!("[label] shard {}/{}", s.index, s.count);
+    }
+    let run = loopml::label_suite_resilient_sharded(&suite, &cfg, &res, args.shard);
 
     let write = |path: &PathBuf, doc: &Json| -> Result<(), String> {
         std::fs::write(path, format!("{doc}\n"))
             .map_err(|e| format!("write {}: {e}", path.display()))
     };
-    write(&args.out, &labels_to_json(&run, cfg.swp))?;
+    write(
+        &args.out,
+        &labels_to_json_sharded(&run, cfg.swp, args.shard),
+    )?;
     write(&args.degradation, &run.report.to_json())?;
 
     let r = &run.report;
@@ -269,6 +311,161 @@ pub fn run_label_diff(
     Ok(())
 }
 
+/// Merges the labels files of a complete, disjoint set of shard runs
+/// (`repro label-merge <shard.json>... --out FILE`) into one document
+/// that is byte-identical to a single-process `repro label` run over the
+/// same suite. Validates that every shard is present exactly once, that
+/// all shards agree on the shard count and pipelining regime, and that
+/// every label lies in the shard that claims it; the merged labels are
+/// interleaved back into global suite order (each label records its
+/// global benchmark index) and the degradation accounting is summed.
+pub fn run_label_merge(shard_paths: &[String], out: &PathBuf) -> Result<(), String> {
+    if shard_paths.is_empty() {
+        return Err("no shard files given".into());
+    }
+    struct ShardDoc {
+        shard: Shard,
+        path: String,
+        labels: Vec<(loopml::LabeledLoop, u32)>,
+        report: DegradationReport,
+        swp: String,
+    }
+    let mut docs: Vec<ShardDoc> = Vec::new();
+    for path in shard_paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+        if doc.get("schema").and_then(Json::as_str) != Some(LABELS_SCHEMA) {
+            return Err(format!("{path}: not a {LABELS_SCHEMA} document"));
+        }
+        let shard_block = doc
+            .get("shard")
+            .ok_or_else(|| format!("{path}: not a shard labels file (missing shard block)"))?;
+        let index = shard_block
+            .get("index")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{path}: bad shard.index"))? as usize;
+        let count = shard_block
+            .get("count")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{path}: bad shard.count"))? as usize;
+        if count == 0 || index >= count {
+            return Err(format!("{path}: bad shard spec {index}/{count}"));
+        }
+        let shard = Shard { index, count };
+        let swp = doc
+            .get("swp")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: missing swp"))?
+            .to_string();
+        let labels: Vec<(loopml::LabeledLoop, u32)> = doc
+            .get("labels")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{path}: missing labels array"))?
+            .iter()
+            .map(labeled_from_json)
+            .collect::<Option<_>>()
+            .ok_or_else(|| format!("{path}: malformed label entry"))?;
+        for (l, _) in &labels {
+            if !shard.owns(l.benchmark) {
+                return Err(format!(
+                    "{path}: label {} (benchmark {}) outside shard {index}/{count}",
+                    l.name, l.benchmark
+                ));
+            }
+        }
+        let report = doc
+            .get("degradation")
+            .and_then(DegradationReport::from_json)
+            .ok_or_else(|| format!("{path}: malformed degradation block"))?;
+        docs.push(ShardDoc {
+            shard,
+            path: path.clone(),
+            labels,
+            report,
+            swp,
+        });
+    }
+
+    let count = docs[0].shard.count;
+    let swp_str = docs[0].swp.clone();
+    if docs.len() != count {
+        return Err(format!(
+            "expected {count} shard file(s), got {}",
+            docs.len()
+        ));
+    }
+    docs.sort_by_key(|d| d.shard.index);
+    for (i, d) in docs.iter().enumerate() {
+        if d.shard.count != count {
+            return Err(format!(
+                "{}: shard count {} disagrees with {count}",
+                d.path, d.shard.count
+            ));
+        }
+        if d.shard.index != i {
+            return Err(format!("shard {i}/{count} missing or duplicated"));
+        }
+        if d.swp != swp_str {
+            return Err(format!(
+                "{}: swp {:?} disagrees with {swp_str:?}",
+                d.path, d.swp
+            ));
+        }
+    }
+    let swp = match swp_str.as_str() {
+        "disabled" => SwpMode::Disabled,
+        "enabled" => SwpMode::Enabled,
+        other => return Err(format!("unknown swp regime {other:?}")),
+    };
+
+    // Interleave back into global suite order. Each benchmark is owned
+    // by exactly one shard and each shard's labels are already in suite
+    // order, so a stable sort on the global benchmark index reproduces
+    // the single-process sequence exactly. Same for quarantine entries.
+    let mut pairs: Vec<(loopml::LabeledLoop, u32)> =
+        docs.iter().flat_map(|d| d.labels.iter().cloned()).collect();
+    pairs.sort_by_key(|(l, _)| l.benchmark);
+    let mut quarantined: Vec<loopml::QuarantineEntry> = docs
+        .iter()
+        .flat_map(|d| d.report.quarantined.iter().cloned())
+        .collect();
+    quarantined.sort_by_key(|q| q.benchmark);
+    let mut retry_histogram = std::collections::BTreeMap::new();
+    let mut fault_sites = std::collections::BTreeMap::new();
+    for d in &docs {
+        for (&k, &v) in &d.report.retry_histogram {
+            *retry_histogram.entry(k).or_insert(0) += v;
+        }
+        for (k, &v) in &d.report.fault_sites {
+            *fault_sites.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+    let report = DegradationReport {
+        benchmarks: docs.iter().map(|d| d.report.benchmarks).sum(),
+        completed: docs.iter().map(|d| d.report.completed).sum(),
+        labeled: docs.iter().map(|d| d.report.labeled).sum(),
+        quarantined,
+        retry_histogram,
+        fault_sites,
+        resumed: 0,
+    };
+    let (labeled, attempts): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+    let run = LabelRun {
+        labeled,
+        attempts,
+        report,
+    };
+    let doc = labels_to_json(&run, swp);
+    std::fs::write(out, format!("{doc}\n")).map_err(|e| format!("write {}: {e}", out.display()))?;
+    eprintln!(
+        "[label-merge] merged {count} shard(s): {} labels across {} benchmark(s) -> {}",
+        run.labeled.len(),
+        run.report.benchmarks,
+        out.display()
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +496,69 @@ mod tests {
         );
         assert!(LabelArgs::parse(&["--bogus"]).is_err());
         assert!(LabelArgs::parse(&["--retries", "x"]).is_err());
+    }
+
+    #[test]
+    fn parse_shard_and_corpus_scale() {
+        let a = LabelArgs::parse(&["--shard", "1/3", "--corpus-scale", "4"]).expect("valid");
+        assert_eq!(a.shard, Some(Shard { index: 1, count: 3 }));
+        assert_eq!(a.corpus_scale, 4);
+        assert_eq!(LabelArgs::parse(&[]).unwrap().shard, None);
+        assert_eq!(LabelArgs::parse(&[]).unwrap().corpus_scale, 1);
+        // Invalid shard specs are usage errors: i >= N, N == 0, garbage.
+        for bad in ["3/3", "0/0", "x/2", "2"] {
+            assert!(
+                LabelArgs::parse(&["--shard", bad]).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+        assert!(LabelArgs::parse(&["--corpus-scale", "0"]).is_err());
+        assert!(LabelArgs::parse(&["--corpus-scale", "x"]).is_err());
+    }
+
+    #[test]
+    fn merged_shards_are_byte_identical_to_single_process() {
+        use loopml_corpus::SuiteConfig;
+        let suite: Vec<_> = full_suite(&SuiteConfig {
+            min_loops: 4,
+            max_loops: 6,
+            ..SuiteConfig::default()
+        })
+        .into_iter()
+        .take(7)
+        .collect();
+        let cfg = LabelConfig::paper(SwpMode::Disabled);
+        let res = ResilienceConfig::default();
+        let single = labels_to_json(&loopml::label_suite_resilient(&suite, &cfg, &res), cfg.swp);
+
+        let dir = std::env::temp_dir().join("loopml_label_merge_unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let count = 3;
+        let paths: Vec<String> = (0..count)
+            .map(|index| {
+                let shard = Shard { index, count };
+                let run = loopml::label_suite_resilient_sharded(&suite, &cfg, &res, Some(shard));
+                let path = dir.join(format!("shard{index}.json"));
+                let doc = labels_to_json_sharded(&run, cfg.swp, Some(shard));
+                std::fs::write(&path, format!("{doc}\n")).unwrap();
+                path.to_string_lossy().into_owned()
+            })
+            .collect();
+        let out = dir.join("merged.json");
+        run_label_merge(&paths, &out).expect("merge succeeds");
+        let merged = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(
+            merged,
+            format!("{single}\n"),
+            "merge must be byte-identical"
+        );
+
+        // An incomplete shard set is rejected, as is a duplicated shard.
+        assert!(run_label_merge(&paths[..2], &out).is_err());
+        let dup = vec![paths[0].clone(), paths[0].clone(), paths[1].clone()];
+        assert!(run_label_merge(&dup, &out).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

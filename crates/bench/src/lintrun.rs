@@ -160,9 +160,10 @@ pub fn scan_suite_threads(
 }
 
 /// Builds the corpus at `scale` (optionally truncated to `take`
-/// benchmarks) and scans it under [`OracleMode::ProverGated`].
-pub fn run_lint(scale: Scale, take: Option<usize>) -> LintScan {
-    let mut suite = full_suite(&scale.suite_config());
+/// benchmarks, multiplied by `corpus_scale`) and scans it under
+/// [`OracleMode::ProverGated`].
+pub fn run_lint(scale: Scale, take: Option<usize>, corpus_scale: usize) -> LintScan {
+    let mut suite = full_suite(&scale.suite_config_at(corpus_scale));
     if let Some(n) = take {
         suite.truncate(n);
     }

@@ -23,8 +23,8 @@ use loopml_corpus::full_suite;
 use loopml_machine::SwpMode;
 use loopml_ml::{
     greedy_forward, greedy_forward_nn, loocv_nn, loocv_svm, mutual_information, nn1_training_error,
-    sweep, DistanceMatrix, GreedyStep, KernelCache, MinMaxNormalizer, MulticlassSvm, SweepConfig,
-    DEFAULT_RADIUS,
+    peak_distance_bytes, reset_distance_bytes, sweep, DistanceMatrix, GreedyStep, KernelCache,
+    MinMaxNormalizer, MulticlassSvm, SvmGrid, SweepConfig, DEFAULT_RADIUS,
 };
 use loopml_rt::bench::bench_once;
 use loopml_rt::json::{escape, Json};
@@ -38,6 +38,11 @@ use loopml_lint::OracleMode;
 
 /// Loops per batch in the `serve_replay` stage.
 const SERVE_BATCH: usize = 32;
+
+/// Greedy steps in the scaled `greedy_nn_scaled` stage. The 1× stages
+/// run all `d` steps; the scaled stage times a fixed prefix so its
+/// O(n²·steps²) cost stays proportionate at 4× the corpus.
+const SCALED_GREEDY_STEPS: usize = 8;
 
 /// Schema tag stamped into every report.
 pub const SCHEMA: &str = "loopml/bench-ml/v1";
@@ -89,6 +94,9 @@ pub struct PerfReport {
     /// Prover coverage and oracle-skip economics from the legality
     /// stages.
     pub legality: Legality,
+    /// Corpus-scaling block: labeling / greedy / sweep rerun over a
+    /// multiplied corpus under a deliberately tight tile budget.
+    pub scaling: Scaling,
 }
 
 /// The legality-prover block of the perf report: how much of the corpus
@@ -112,6 +120,35 @@ pub struct Legality {
     /// Wall time of the oracle-on-every-pair scan over the prover-gated
     /// scan: the labeling-stage speedup the prover buys.
     pub oracle_skip_speedup: f64,
+}
+
+/// The corpus-scaling block of the perf report. The scaled stages rerun
+/// labeling, greedy selection and the LOGO sweep over a
+/// `corpus_scale`-multiplied corpus with `LOOPML_TILE_BYTES` pinned well
+/// below the dense n×n matrix, so the tiled/streaming paths are the
+/// ones being timed and the recorded peak distance-buffer footprint
+/// proves the quadratic buffer was never materialized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scaling {
+    /// Multiplier the scaled stages ran at (≥ 2; `repro perf` defaults
+    /// to 4, `--corpus-scale` overrides).
+    pub corpus_scale: usize,
+    /// Labeled examples at 1×.
+    pub base_examples: usize,
+    /// Labeled examples at `corpus_scale`×.
+    pub scaled_examples: usize,
+    /// Scaled labeling wall over 1× labeling wall. Labeling is linear
+    /// in corpus size; validation rejects ratios past 3·corpus_scale.
+    pub label_ratio: f64,
+    /// Bytes the dense scaled distance matrix would occupy (8·n²).
+    pub dense_bytes: u64,
+    /// The pinned distance-buffer budget the scaled stages ran under —
+    /// strictly below `dense_bytes`, so tiling had to engage.
+    pub tile_budget_bytes: u64,
+    /// Peak concurrently-live distance-buffer bytes across the scaled
+    /// greedy and sweep stages; validation rejects reports where it
+    /// exceeds `tile_budget_bytes`.
+    pub peak_distance_bytes: u64,
 }
 
 impl PerfReport {
@@ -139,6 +176,10 @@ impl PerfReport {
                 "\"stages\":[{stages}],",
                 "\"derived\":{{\"greedy_speedup\":{speedup:.3},\"traces_match\":{traces},",
                 "\"final_error_gap\":{gap:.6},\"gamma_sweep_ratio\":{ratio:.3}}},",
+                "\"scaling\":{{\"corpus_scale\":{sc_factor},\"base_examples\":{sc_base},",
+                "\"scaled_examples\":{sc_scaled},\"label_ratio\":{sc_label:.3},",
+                "\"dense_bytes\":{sc_dense},\"tile_budget_bytes\":{sc_budget},",
+                "\"peak_distance_bytes\":{sc_peak}}},",
                 "\"serve\":{{\"batches\":{sv_batches},\"batch_size\":{sv_size},",
                 "\"predictions\":{sv_preds},\"p50_ms\":{sv_p50:.3},",
                 "\"p95_ms\":{sv_p95:.3},\"p99_ms\":{sv_p99:.3}}},",
@@ -158,6 +199,13 @@ impl PerfReport {
             traces = self.traces_match,
             gap = self.final_error_gap,
             ratio = self.gamma_sweep_ratio,
+            sc_factor = self.scaling.corpus_scale,
+            sc_base = self.scaling.base_examples,
+            sc_scaled = self.scaling.scaled_examples,
+            sc_label = self.scaling.label_ratio,
+            sc_dense = self.scaling.dense_bytes,
+            sc_budget = self.scaling.tile_budget_bytes,
+            sc_peak = self.scaling.peak_distance_bytes,
             sv_batches = self.serve.batches,
             sv_size = self.serve.batch_size,
             sv_preds = self.serve.predictions,
@@ -191,8 +239,11 @@ fn traces_equal(a: &[GreedyStep], b: &[GreedyStep]) -> bool {
 /// boundaries mirror the real pipeline: corpus synthesis is untimed
 /// setup, then labeling, greedy selection (cached and direct), LOOCV
 /// for NN and SVM on the informative subset, and the Figure 4
-/// leave-one-benchmark-out evaluation are each timed once.
-pub fn run(scale: Scale) -> PerfReport {
+/// leave-one-benchmark-out evaluation are each timed once. The
+/// corpus-scaling stages rerun labeling / greedy / sweep at
+/// `corpus_scale`× (values ≤ 1 mean "use the default 4×") under a tile
+/// budget that forces the streaming paths.
+pub fn run(scale: Scale, corpus_scale: usize) -> PerfReport {
     let mut stages = Vec::new();
     let label_config = LabelConfig::paper(SwpMode::Disabled);
 
@@ -202,6 +253,7 @@ pub fn run(scale: Scale) -> PerfReport {
     eprintln!("[perf] labeling {} benchmarks...", suite.len());
     let (r, labeled) = bench_once("label", || label_suite(&suite, &label_config));
     let wall_ms = ms(r.min());
+    let label_base_ms = wall_ms;
     stages.push(Stage {
         name: r.name,
         wall_ms,
@@ -436,6 +488,96 @@ pub fn run(scale: Scale) -> PerfReport {
         legality.oracle_skip_speedup
     );
 
+    // Corpus-scaling stages: the same labeling / greedy / sweep paths
+    // over a multiplied corpus. The tile budget is pinned (through
+    // LOOPML_TILE_BYTES) to a quarter of the dense scaled matrix, so
+    // greedy and the sweep are forced onto the tiled/streaming paths
+    // and the recorded peak proves n×n was never materialized.
+    let sf = if corpus_scale > 1 { corpus_scale } else { 4 };
+    eprintln!("[perf] corpus-scaling stages at {sf}x...");
+    let scaled_suite = full_suite(&scale.suite_config_at(sf));
+    let (r, labeled_scaled) = bench_once("label_scaled", || {
+        label_suite(&scaled_suite, &ctx.label_config)
+    });
+    let label_scaled_ms = ms(r.min());
+    stages.push(Stage {
+        name: r.name,
+        wall_ms: label_scaled_ms,
+    });
+
+    let scaled_full = to_dataset(&labeled_scaled);
+    let scaled_groups = benchmark_groups(&labeled_scaled);
+    let sn = scaled_full.len();
+    let dense_bytes = 8 * (sn as u64) * (sn as u64);
+    // Strictly below dense (forcing the streaming strategies) but roomy
+    // enough that per-worker strips never clamp to a footprint the
+    // budget itself cannot cover.
+    let workers = loopml_rt::num_threads() as u64;
+    let budget = (dense_bytes / 4).max(4 * workers * 8 * sn as u64);
+    let prev_budget = std::env::var("LOOPML_TILE_BYTES").ok();
+    std::env::set_var("LOOPML_TILE_BYTES", budget.to_string());
+    reset_distance_bytes();
+
+    eprintln!(
+        "[perf] scaled greedy selection, tiled ({sn} examples, budget {} KiB vs dense {} KiB)...",
+        budget / 1024,
+        dense_bytes / 1024
+    );
+    let (r, _) = bench_once("greedy_nn_scaled", || {
+        greedy_forward_nn(&scaled_full, SCALED_GREEDY_STEPS)
+    });
+    let wall_ms = ms(r.min());
+    stages.push(Stage {
+        name: r.name,
+        wall_ms,
+    });
+
+    eprintln!("[perf] scaled LOGO sweep, streaming (single-cell grid)...");
+    let scaled_sub = scaled_full.select_features(&ctx.feature_subset);
+    let scaled_cfg = SweepConfig {
+        svm: SvmGrid {
+            gammas: vec![1.0],
+            cs: vec![10.0],
+            ..SvmGrid::default()
+        },
+        radii: vec![DEFAULT_RADIUS],
+    };
+    let (r, scaled_sweep) = bench_once("sweep_scaled", || {
+        sweep(&scaled_sub, &scaled_groups, &scaled_cfg)
+    });
+    let wall_ms = ms(r.min());
+    stages.push(Stage {
+        name: r.name,
+        wall_ms,
+    });
+    assert_eq!(
+        scaled_sweep.distance_builds, 1,
+        "streaming sweep must still count as exactly one distance build"
+    );
+
+    let peak = peak_distance_bytes();
+    match prev_budget {
+        Some(v) => std::env::set_var("LOOPML_TILE_BYTES", v),
+        None => std::env::remove_var("LOOPML_TILE_BYTES"),
+    }
+    let scaling = Scaling {
+        corpus_scale: sf,
+        base_examples: n,
+        scaled_examples: sn,
+        label_ratio: label_scaled_ms / label_base_ms.max(1e-9),
+        dense_bytes,
+        tile_budget_bytes: budget,
+        peak_distance_bytes: peak,
+    };
+    eprintln!(
+        "[perf] scaling: {n} -> {sn} examples ({sf}x corpus), label ratio {:.2}x, \
+         peak distance bytes {} KiB (budget {} KiB, dense {} KiB)",
+        scaling.label_ratio,
+        peak / 1024,
+        budget / 1024,
+        dense_bytes / 1024
+    );
+
     PerfReport {
         scale,
         threads: loopml_rt::num_threads(),
@@ -448,6 +590,7 @@ pub fn run(scale: Scale) -> PerfReport {
         gamma_sweep_ratio,
         serve,
         legality,
+        scaling,
     }
 }
 
@@ -472,8 +615,18 @@ pub fn validate(doc: &Json) -> Result<Vec<(String, f64)>, String> {
         Some(v) if v.is_finite() && v > 0.0 => {}
         other => return Err(format!("bad derived.greedy_speedup: {other:?}")),
     }
-    if !matches!(derived.get("traces_match"), Some(Json::Bool(_))) {
-        return Err("derived.traces_match missing".into());
+    match derived.get("traces_match") {
+        Some(Json::Bool(true)) => {}
+        // `false` was once tolerated as an FP-tie artifact. The cached
+        // path now accumulates per-column distances in the same order as
+        // the direct path, so any mismatch means the incremental cache
+        // is computing something else — fail the report.
+        Some(Json::Bool(false)) => {
+            return Err(
+                "derived.traces_match is false: cached and direct greedy traces diverged".into(),
+            )
+        }
+        _ => return Err("derived.traces_match missing".into()),
     }
     match derived.get("final_error_gap").and_then(Json::as_num) {
         // FP-tie flips move the final error by at most a handful of
@@ -528,6 +681,46 @@ pub fn validate(doc: &Json) -> Result<Vec<(String, f64)>, String> {
     match legality.get("oracle_skip_speedup").and_then(Json::as_num) {
         Some(v) if v.is_finite() && v > 0.0 => {}
         other => return Err(format!("bad legality.oracle_skip_speedup: {other:?}")),
+    }
+    let scaling = doc.get("scaling").ok_or("missing scaling")?;
+    let int = |key: &str| -> Result<f64, String> {
+        match scaling.get(key).and_then(Json::as_num) {
+            Some(v) if v.is_finite() && v >= 1.0 && v.fract() == 0.0 => Ok(v),
+            other => Err(format!("bad scaling.{key}: {other:?}")),
+        }
+    };
+    let factor = int("corpus_scale")?;
+    if factor < 2.0 {
+        return Err(format!("scaling.corpus_scale {factor} is below 2"));
+    }
+    let base_n = int("base_examples")?;
+    let scaled_n = int("scaled_examples")?;
+    // Labeled examples must actually grow with the corpus; the 0.5
+    // slack covers label-filtering trimming the scaled families harder.
+    if scaled_n < base_n * factor * 0.5 {
+        return Err(format!(
+            "scaling.scaled_examples {scaled_n} too small for {factor}x of {base_n} base examples"
+        ));
+    }
+    match scaling.get("label_ratio").and_then(Json::as_num) {
+        // Labeling is linear in corpus size; a wall-time ratio past
+        // 3×factor means the labeling path stopped scaling linearly.
+        Some(v) if v.is_finite() && v > 0.0 && v <= 3.0 * factor => {}
+        other => return Err(format!("bad scaling.label_ratio: {other:?}")),
+    }
+    let dense = int("dense_bytes")?;
+    let budget = int("tile_budget_bytes")?;
+    let peak = int("peak_distance_bytes")?;
+    if budget >= dense {
+        return Err(format!(
+            "scaling.tile_budget_bytes {budget} does not undercut dense_bytes {dense} — \
+             the scaled stages never exercised the tiled paths"
+        ));
+    }
+    if peak > budget {
+        return Err(format!(
+            "scaling.peak_distance_bytes {peak} exceeds tile_budget_bytes {budget}"
+        ));
     }
     let stages = doc
         .get("stages")
@@ -622,6 +815,15 @@ mod tests {
                 disagreements: 0,
                 oracle_skip_speedup: 3.5,
             },
+            scaling: Scaling {
+                corpus_scale: 4,
+                base_examples: 320,
+                scaled_examples: 1280,
+                label_ratio: 4.2,
+                dense_bytes: 13_107_200,
+                tile_budget_bytes: 3_276_800,
+                peak_distance_bytes: 3_000_000,
+            },
         }
     }
 
@@ -636,6 +838,15 @@ mod tests {
                 .and_then(|d| d.get("greedy_speedup"))
                 .and_then(Json::as_num),
             Some(8.4)
+        );
+        let scaling = doc.get("scaling").expect("scaling block");
+        assert_eq!(
+            scaling.get("corpus_scale").and_then(Json::as_num),
+            Some(4.0)
+        );
+        assert_eq!(
+            scaling.get("peak_distance_bytes").and_then(Json::as_num),
+            Some(3_000_000.0)
         );
     }
 
@@ -664,6 +875,23 @@ mod tests {
             good.replace(
                 "\"oracle_skip_speedup\":3.500",
                 "\"oracle_skip_speedup\":0.000",
+            ),
+            // Diverged greedy traces are a correctness failure, not a
+            // tolerated FP artifact.
+            good.replace("\"traces_match\":true", "\"traces_match\":false"),
+            // The scaling block is required; its factor must be ≥ 2, its
+            // labeling ratio near-linear, its tile budget strictly below
+            // dense, and its peak bounded by the budget.
+            good.replace(",\"scaling\":{", ",\"scaling_was\":{"),
+            good.replace("\"corpus_scale\":4", "\"corpus_scale\":1"),
+            good.replace("\"label_ratio\":4.200", "\"label_ratio\":40.000"),
+            good.replace(
+                "\"tile_budget_bytes\":3276800",
+                "\"tile_budget_bytes\":13107200",
+            ),
+            good.replace(
+                "\"peak_distance_bytes\":3000000",
+                "\"peak_distance_bytes\":9999999",
             ),
         ];
         for bad in cases {

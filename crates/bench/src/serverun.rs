@@ -40,10 +40,11 @@ pub const DEFAULT_BATCH: usize = 32;
 
 /// Builds the training pipeline for `scale`. `--smoke` cuts to the
 /// first 8 benchmarks, mirroring `repro label --smoke`; `train` and
-/// `serve-bench` must call this with the same arguments or the
-/// artifact fingerprint will (correctly) refuse to load.
-pub fn pipeline_for(scale: Scale, smoke: bool, tune: bool) -> Pipeline {
-    let mut b = PipelineBuilder::paper().suite_config(scale.suite_config());
+/// `serve-bench` must call this with the same arguments (including
+/// `--corpus-scale`) or the artifact fingerprint will (correctly)
+/// refuse to load.
+pub fn pipeline_for(scale: Scale, corpus_scale: usize, smoke: bool, tune: bool) -> Pipeline {
+    let mut b = PipelineBuilder::paper().suite_config(scale.suite_config_at(corpus_scale));
     if smoke {
         b = b.take_benchmarks(8);
     }
@@ -80,6 +81,8 @@ fn classifier_for_model(
 pub struct TrainArgs {
     /// Corpus scale.
     pub scale: Scale,
+    /// Corpus size multiplier (`--corpus-scale`).
+    pub corpus_scale: usize,
     /// Smoke cut (first 8 benchmarks).
     pub smoke: bool,
     /// Which model to train (`nn`, `svm`, or `orc`).
@@ -95,6 +98,7 @@ impl TrainArgs {
     pub fn from_parsed(p: &Parsed) -> TrainArgs {
         TrainArgs {
             scale: p.scale,
+            corpus_scale: p.corpus_scale,
             smoke: p.smoke,
             model: p.option("--model").unwrap_or("nn").to_string(),
             tune: p.has("--tune"),
@@ -111,7 +115,7 @@ pub fn run_train(args: &TrainArgs) -> Result<(), String> {
         args.scale,
         if args.smoke { ", smoke" } else { "" }
     );
-    let p = pipeline_for(args.scale, args.smoke, args.tune);
+    let p = pipeline_for(args.scale, args.corpus_scale, args.smoke, args.tune);
     let (name, classifier) = classifier_for_model(&p, &args.model)?;
     eprintln!("[train] training {name} on {} labeled loops...", p.len());
     let artifact = p.train_artifact(name, classifier);
@@ -144,6 +148,8 @@ pub fn run_train(args: &TrainArgs) -> Result<(), String> {
 pub struct ServeBenchArgs {
     /// Corpus scale (must match the `train` run).
     pub scale: Scale,
+    /// Corpus size multiplier (must match the `train` run).
+    pub corpus_scale: usize,
     /// Smoke cut (must match the `train` run).
     pub smoke: bool,
     /// Artifact to load.
@@ -168,6 +174,7 @@ impl ServeBenchArgs {
         };
         Ok(ServeBenchArgs {
             scale: p.scale,
+            corpus_scale: p.corpus_scale,
             smoke: p.smoke,
             artifact: PathBuf::from(p.option("--artifact").unwrap_or(DEFAULT_ARTIFACT)),
             batch,
@@ -282,7 +289,7 @@ pub fn run_serve_bench(args: &ServeBenchArgs) -> Result<(), String> {
         args.scale,
         if args.smoke { ", smoke" } else { "" }
     );
-    let p = pipeline_for(args.scale, args.smoke, false);
+    let p = pipeline_for(args.scale, args.corpus_scale, args.smoke, false);
     let artifact = ModelArtifact::read(&args.artifact)?;
     // The loud staleness gate: the artifact must have been trained under
     // this exact corpus, feature subset, and hyperparameters.
@@ -360,6 +367,7 @@ mod tests {
         let out = dir.join("model.json");
         let train = TrainArgs {
             scale: Scale::Quick,
+            corpus_scale: 1,
             smoke: true,
             model: "nn".into(),
             tune: false,
@@ -369,6 +377,7 @@ mod tests {
 
         let bench = ServeBenchArgs {
             scale: Scale::Quick,
+            corpus_scale: 1,
             smoke: true,
             artifact: out,
             batch: 16,
@@ -384,7 +393,7 @@ mod tests {
 
     #[test]
     fn replay_is_bit_identical_to_choose_for_every_model() {
-        let p = pipeline_for(Scale::Quick, true, false);
+        let p = pipeline_for(Scale::Quick, 1, true, false);
         let loops = all_loops(&p);
         for (name, classifier) in [
             (
@@ -409,6 +418,7 @@ mod tests {
         let out = dir.join("model.json");
         run_train(&TrainArgs {
             scale: Scale::Quick,
+            corpus_scale: 1,
             smoke: true,
             model: "nn".into(),
             tune: false,
@@ -419,6 +429,7 @@ mod tests {
         // fingerprint must refuse.
         let err = run_serve_bench(&ServeBenchArgs {
             scale: Scale::Quick,
+            corpus_scale: 1,
             smoke: false,
             artifact: out,
             batch: 8,

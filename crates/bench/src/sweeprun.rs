@@ -140,9 +140,14 @@ pub fn validate(doc: &Json) -> Result<u64, String> {
 /// Builds the context at `scale` and sweeps the default grid. The
 /// returned run carries everything `repro sweep` prints and checks.
 pub fn run_sweep(scale: Scale) -> SweepRun {
+    run_sweep_scaled(scale, 1)
+}
+
+/// [`run_sweep`] over a `--corpus-scale` multiplied corpus.
+pub fn run_sweep_scaled(scale: Scale, corpus_scale: usize) -> SweepRun {
     let cfg = SweepConfig::default();
-    eprintln!("[sweep] building context ({scale:?})...");
-    let ctx = Context::build(scale, SwpMode::Disabled);
+    eprintln!("[sweep] building context ({scale:?}, corpus x{corpus_scale})...");
+    let ctx = Context::build_scaled(scale, SwpMode::Disabled, corpus_scale);
     eprintln!(
         "[sweep] {} examples, {} benchmarks; grid {}x{} + {} radii...",
         ctx.len(),

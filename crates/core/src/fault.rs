@@ -251,6 +251,44 @@ impl DegradationReport {
         );
         Json::Obj(m)
     }
+
+    /// Parses a value written by [`DegradationReport::to_json`].
+    /// `resumed` is operational state that is never serialized, so it
+    /// comes back as 0.
+    pub fn from_json(v: &Json) -> Option<DegradationReport> {
+        if v.get("schema")?.as_str()? != DEGRADATION_SCHEMA {
+            return None;
+        }
+        let quarantined: Vec<QuarantineEntry> = v
+            .get("quarantine")?
+            .as_arr()?
+            .iter()
+            .map(QuarantineEntry::from_json)
+            .collect::<Option<_>>()?;
+        let map_counts = |key: &str| -> Option<Vec<(String, usize)>> {
+            match v.get(key)? {
+                Json::Obj(m) => m
+                    .iter()
+                    .map(|(k, c)| Some((k.clone(), c.as_num()? as usize)))
+                    .collect(),
+                _ => None,
+            }
+        };
+        let retry_histogram: BTreeMap<u32, usize> = map_counts("retry_histogram")?
+            .into_iter()
+            .map(|(k, c)| Some((k.parse().ok()?, c)))
+            .collect::<Option<_>>()?;
+        let fault_sites: BTreeMap<String, usize> = map_counts("fault_sites")?.into_iter().collect();
+        Some(DegradationReport {
+            benchmarks: v.get("benchmarks")?.as_num()? as usize,
+            completed: v.get("completed")?.as_num()? as usize,
+            labeled: v.get("labeled")?.as_num()? as usize,
+            quarantined,
+            retry_histogram,
+            fault_sites,
+            resumed: 0,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -335,6 +335,51 @@ impl Default for ResilienceConfig {
     }
 }
 
+/// One shard of a multi-process labeling work queue: the process owns
+/// exactly the benchmarks whose *global* suite index `bi` satisfies
+/// `bi % count == index`. Because every measurement seed
+/// ([`attempt_seed`]) and checkpoint filename is keyed by the global
+/// index, a shard labels its benchmarks bit-identically to a
+/// single-process run over the whole suite — merging disjoint shards
+/// reproduces that run byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This process's shard index, in `0..count`.
+    pub index: usize,
+    /// Total number of shards the suite is split across.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Parses the CLI form `i/N` (e.g. `"0/3"`). Rejects `N == 0`,
+    /// `i >= N`, and anything non-numeric — these are usage errors.
+    pub fn parse(s: &str) -> Result<Shard, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("bad shard spec {s:?}: expected i/N"))?;
+        let index: usize = i
+            .parse()
+            .map_err(|_| format!("bad shard index {i:?}: expected an integer"))?;
+        let count: usize = n
+            .parse()
+            .map_err(|_| format!("bad shard count {n:?}: expected an integer"))?;
+        if count == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shard(s)"
+            ));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether this shard owns the benchmark at global suite index `bi`.
+    pub fn owns(&self, benchmark_index: usize) -> bool {
+        benchmark_index % self.count == self.index
+    }
+}
+
 /// The result of a fault-tolerant labeling run: the surviving corpus
 /// plus the degradation accounting that says what it cost.
 #[derive(Debug, Clone, PartialEq)]
@@ -451,19 +496,38 @@ pub fn label_suite_resilient(
     cfg: &LabelConfig,
     res: &ResilienceConfig,
 ) -> LabelRun {
+    label_suite_resilient_sharded(suite, cfg, res, None)
+}
+
+/// [`label_suite_resilient`] restricted to one [`Shard`] of the suite.
+/// `suite` is always the **full** suite: the shard only selects which
+/// benchmarks this process labels, while seeds, checkpoint filenames and
+/// the `benchmark` index recorded in every label stay global — so the
+/// shard's output is the exact sub-sequence a single-process run would
+/// have produced for those benchmarks. `report.benchmarks` counts only
+/// the owned benchmarks, making shard reports sum to the single-process
+/// report. `shard == None` labels everything.
+pub fn label_suite_resilient_sharded(
+    suite: &[Benchmark],
+    cfg: &LabelConfig,
+    res: &ResilienceConfig,
+    shard: Option<Shard>,
+) -> LabelRun {
     let fingerprint = config_fingerprint(cfg, res.retry_budget, &res.faults);
     let threads = if res.threads == 0 {
         num_threads()
     } else {
         res.threads
     };
+    let owned = |bi: usize| shard.is_none_or(|s| s.owns(bi));
+    let owned_count = (0..suite.len()).filter(|&bi| owned(bi)).count();
 
     // Phase 1: reload checkpointed benchmarks.
     let mut outcomes: Vec<Option<BenchmarkOutcome>> = vec![None; suite.len()];
     let mut resumed = 0usize;
     if res.resume {
         if let Some(dir) = &res.ckpt_dir {
-            for (bi, b) in suite.iter().enumerate() {
+            for (bi, b) in suite.iter().enumerate().filter(|&(bi, _)| owned(bi)) {
                 if let Some(o) = read_checkpoint(dir, bi, &b.name, fingerprint) {
                     outcomes[bi] = Some(o);
                     resumed += 1;
@@ -476,7 +540,7 @@ pub fn label_suite_resilient(
     let todo: Vec<(usize, &Benchmark)> = suite
         .iter()
         .enumerate()
-        .filter(|(bi, _)| outcomes[*bi].is_none())
+        .filter(|&(bi, _)| owned(bi) && outcomes[bi].is_none())
         .collect();
     let results = par_map_result_threads(threads, &todo, |&(bi, b)| {
         let outcome = label_benchmark_resilient(b, bi, cfg, res);
@@ -535,7 +599,7 @@ pub fn label_suite_resilient(
     quarantined.extend(crashed);
     quarantined.sort_by_key(|e| e.benchmark);
     let report = DegradationReport {
-        benchmarks: suite.len(),
+        benchmarks: owned_count,
         completed,
         labeled: labeled.len(),
         quarantined,
@@ -799,6 +863,59 @@ mod tests {
             .flat_map(|bi| label_benchmark(&suite[bi], bi, &cfg))
             .collect();
         assert_eq!(run.labeled, alone);
+    }
+
+    #[test]
+    fn shard_spec_parses_and_rejects_nonsense() {
+        assert_eq!(Shard::parse("0/3"), Ok(Shard { index: 0, count: 3 }));
+        assert_eq!(Shard::parse("2/3"), Ok(Shard { index: 2, count: 3 }));
+        for bad in ["3/3", "5/2", "0/0", "1/0", "x/3", "0/y", "03", "", "1/2/3"] {
+            assert!(Shard::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+        let s = Shard { index: 1, count: 3 };
+        assert!(s.owns(1) && s.owns(4));
+        assert!(!s.owns(0) && !s.owns(2) && !s.owns(3));
+    }
+
+    #[test]
+    fn sharded_runs_partition_the_single_process_run() {
+        let suite = suite();
+        let cfg = LabelConfig::paper(SwpMode::Disabled);
+        let res = resilient(FaultPlane::disabled(), 2);
+        let full = label_suite_resilient(&suite, &cfg, &res);
+        let count = 2;
+        let shards: Vec<LabelRun> = (0..count)
+            .map(|index| {
+                label_suite_resilient_sharded(&suite, &cfg, &res, Some(Shard { index, count }))
+            })
+            .collect();
+
+        // Each shard's labels are the exact sub-sequence the full run
+        // produced for its benchmarks, bit for bit.
+        for (i, run) in shards.iter().enumerate() {
+            let s = Shard { index: i, count };
+            assert!(run.labeled.iter().all(|l| s.owns(l.benchmark)));
+            let expected: Vec<&LabeledLoop> = full
+                .labeled
+                .iter()
+                .filter(|l| s.owns(l.benchmark))
+                .collect();
+            assert_eq!(run.labeled.iter().collect::<Vec<_>>(), expected);
+        }
+
+        // Interleaving shard labels by global benchmark index rebuilds
+        // the single-process run exactly, and the accounting sums.
+        let mut pairs: Vec<(LabeledLoop, u32)> = shards
+            .iter()
+            .flat_map(|r| r.labeled.iter().cloned().zip(r.attempts.iter().copied()))
+            .collect();
+        pairs.sort_by_key(|(l, _)| l.benchmark);
+        let merged: Vec<LabeledLoop> = pairs.iter().map(|(l, _)| l.clone()).collect();
+        assert_eq!(merged, full.labeled);
+        let benchmarks: usize = shards.iter().map(|r| r.report.benchmarks).sum();
+        assert_eq!(benchmarks, full.report.benchmarks);
+        let completed: usize = shards.iter().map(|r| r.report.completed).sum();
+        assert_eq!(completed, full.report.completed);
     }
 
     #[test]

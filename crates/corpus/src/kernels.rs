@@ -56,11 +56,21 @@ pub enum KernelFamily {
     MemRecurrence,
     /// Mixed int/FP address-computation-heavy loop.
     AddressHeavy,
+    /// Innermost loop of a deep, imperfect nest: short-to-medium trips,
+    /// a row-stride and a unit-stride access, and address arithmetic
+    /// hoisted imperfectly into the body.
+    NestedImperfect,
+    /// Reduction with a drawn accumulator width (1..=12 partial sums or
+    /// products) — the width axis the fixed-width families don't cover.
+    WideReduce,
+    /// FP walk with a log-uniform stride up to thousands of elements
+    /// (column walks over huge leading dimensions, AoS with big records).
+    LongStride,
 }
 
 impl KernelFamily {
     /// Every family, in a stable order.
-    pub const ALL: [KernelFamily; 20] = [
+    pub const ALL: [KernelFamily; 23] = [
         KernelFamily::Daxpy,
         KernelFamily::DotProduct,
         KernelFamily::VectorOp,
@@ -81,6 +91,9 @@ impl KernelFamily {
         KernelFamily::CallLoop,
         KernelFamily::MemRecurrence,
         KernelFamily::AddressHeavy,
+        KernelFamily::NestedImperfect,
+        KernelFamily::WideReduce,
+        KernelFamily::LongStride,
     ];
 
     /// `true` for families whose work is predominantly floating point.
@@ -98,6 +111,9 @@ impl KernelFamily {
                 | KernelFamily::WideParallel
                 | KernelFamily::SelectKernel
                 | KernelFamily::MemRecurrence
+                | KernelFamily::NestedImperfect
+                | KernelFamily::WideReduce
+                | KernelFamily::LongStride
         )
     }
 
@@ -124,6 +140,9 @@ impl KernelFamily {
             KernelFamily::CallLoop => call_loop(name, rng),
             KernelFamily::MemRecurrence => mem_recurrence(name, rng),
             KernelFamily::AddressHeavy => address_heavy(name, rng),
+            KernelFamily::NestedImperfect => nested_imperfect(name, rng),
+            KernelFamily::WideReduce => wide_reduce(name, rng),
+            KernelFamily::LongStride => long_stride(name, rng),
         }
     }
 }
@@ -495,6 +514,78 @@ fn address_heavy(name: &str, rng: &mut Rng) -> Loop {
     b.build()
 }
 
+fn nested_imperfect(name: &str, rng: &mut Rng) -> Loop {
+    // The innermost loop of a 3..=5-deep nest that is imperfect: besides
+    // the unit-stride body work, it carries a row-stride access and the
+    // address arithmetic an outer level failed to hoist.
+    let mut b = LoopBuilder::new(name, trip(rng, 0.6, 8, 1 << 10));
+    b.nest_level(rng.gen_range(3..=5));
+    let row_stride = 8 * rng.gen_range(64..4096i64);
+    let row = b.fp_reg();
+    let x = b.fp_reg();
+    b.load(row, MemRef::affine(ArrayId(0), row_stride, 0, 8));
+    b.load(x, MemRef::affine(ArrayId(1), 8, 0, 8));
+    // Imperfectly-hoisted index arithmetic feeding no memory op directly.
+    let base = b.int_reg();
+    let off = b.int_reg();
+    let addr = b.int_reg();
+    b.binop(Opcode::Shl, addr, off, off);
+    b.binop(Opcode::Add, addr, addr, base);
+    let t = b.fp_reg();
+    let r = b.fp_reg();
+    b.inst(Inst::new(Opcode::FMul, vec![t], vec![row, x]));
+    b.inst(Inst::new(Opcode::FAdd, vec![r], vec![t, x]));
+    b.store(r, MemRef::affine(ArrayId(2), 8, 0, 8));
+    b.build()
+}
+
+fn wide_reduce(name: &str, rng: &mut Rng) -> Loop {
+    // Reduction of drawn width: 1 (fully serial) up to 12 partial
+    // accumulators (register-pressure-bound), summing or multiplying.
+    let mut b = LoopBuilder::new(name, trip(rng, 0.6, 64, 1 << 22));
+    b.nest_level(nest(rng));
+    let accs = rng.gen_range(1..=12usize);
+    let op = if rng.gen_bool(0.8) {
+        Opcode::FAdd
+    } else {
+        Opcode::FMul
+    };
+    for k in 0..accs {
+        let x = b.fp_reg();
+        let acc = b.fp_reg();
+        b.load(
+            x,
+            MemRef::affine(ArrayId((k % 4) as u32), 8, (k as i64) * 8, 8),
+        );
+        b.inst(Inst::new(op, vec![acc], vec![acc, x]));
+    }
+    b.build()
+}
+
+fn long_stride(name: &str, rng: &mut Rng) -> Loop {
+    // Column walk with a log-uniform stride up to 4096 elements: each
+    // iteration touches a new cache line (often a new page), so the
+    // unrolling win is all in branch amortization, never in locality.
+    let mut b = LoopBuilder::new(name, trip(rng, 0.5, 64, 1 << 18));
+    b.nest_level(nest(rng).max(2));
+    let ln = (2.0f64).ln();
+    let hn = (4096.0f64).ln();
+    let stride_elems = (rng.gen_range(ln..hn)).exp() as i64;
+    let stride = 8 * stride_elems.clamp(2, 4096);
+    let x = b.fp_reg();
+    let y = b.fp_reg();
+    let r = b.fp_reg();
+    b.load(x, MemRef::affine(ArrayId(0), stride, 0, 8));
+    b.load(y, MemRef::affine(ArrayId(1), 8, 0, 8));
+    b.inst(Inst::new(Opcode::FAdd, vec![r], vec![x, y]));
+    if rng.gen_bool(0.5) {
+        b.store(r, MemRef::affine(ArrayId(2), stride, 0, 8));
+    } else {
+        b.store(r, MemRef::affine(ArrayId(2), 8, 0, 8));
+    }
+    b.build()
+}
+
 /// Convenience: a register pair `(Reg, Reg)` is not needed publicly; the
 /// families above cover the corpus. Exposed for tests.
 pub(crate) fn _unused(_r: Reg) {}
@@ -566,6 +657,23 @@ mod tests {
                 TripCount::Known(n) => assert!(n <= 16),
                 _ => panic!("short trips are known"),
             }
+        }
+    }
+
+    #[test]
+    fn scale_up_families_have_expected_shapes() {
+        for s in 0..10 {
+            let ni = KernelFamily::NestedImperfect.build("ni", &mut rng(s));
+            assert!(ni.nest_level >= 3, "nested/imperfect must be deeply nested");
+            assert!(ni.is_unrollable());
+
+            let wr = KernelFamily::WideReduce.build("wr", &mut rng(s));
+            assert!(wr.count_ops(|i| i.opcode.is_fp()) >= 1);
+            assert!(wr.is_unrollable());
+
+            let ls = KernelFamily::LongStride.build("ls", &mut rng(s));
+            assert!(ls.nest_level >= 2);
+            assert!(ls.is_unrollable());
         }
     }
 

@@ -96,6 +96,26 @@ impl Archetype {
         }
     }
 
+    /// Kernel families for the *scaled* portion of a benchmark (loops
+    /// beyond the historical count when `corpus_scale > 1`): the base mix
+    /// plus the scale-up families — deep imperfect nests, variable-width
+    /// reductions, and long-stride walks. Kept out of [`mix`](Self::mix)
+    /// so the scale-1 corpus stays bit-identical to every dataset ever
+    /// labeled from it.
+    fn extended_mix(self) -> Vec<(KernelFamily, u32)> {
+        use KernelFamily::*;
+        let mut m = self.mix().to_vec();
+        let extras: &[(KernelFamily, u32)] = if self.is_fp() {
+            &[(NestedImperfect, 3), (WideReduce, 3), (LongStride, 2)]
+        } else {
+            // Integer codes still carry occasional FP nests/reductions
+            // (statistics, scoring), just fewer of them.
+            &[(NestedImperfect, 1), (WideReduce, 1), (LongStride, 1)]
+        };
+        m.extend_from_slice(extras);
+        m
+    }
+
     /// `true` if benchmarks of this archetype count as SPECfp-side.
     pub fn is_fp(self) -> bool {
         matches!(
@@ -359,6 +379,13 @@ pub struct SuiteConfig {
     pub min_loops: usize,
     /// Maximum loops per benchmark.
     pub max_loops: usize,
+    /// Corpus-size multiplier. `1` (and `0`, treated as 1) reproduces
+    /// the historical suite bit-for-bit; `s > 1` appends `(s − 1) · n`
+    /// extra loops to every benchmark's `n` base loops, drawn from the
+    /// archetype's [extended mix](Archetype::extended_mix) on an
+    /// independent RNG stream — so the base loops are a bitwise prefix
+    /// of every larger scale.
+    pub corpus_scale: usize,
 }
 
 impl Default for SuiteConfig {
@@ -367,7 +394,86 @@ impl Default for SuiteConfig {
             seed: 0xC602005, // "CGO 2005"
             min_loops: 65,
             max_loops: 85,
+            corpus_scale: 1,
         }
+    }
+}
+
+/// Stream-separation constant folded into the seed of the scaled-portion
+/// RNG so extra loops never perturb (or reuse) the base stream.
+const SCALE_STREAM: u64 = 0x0005_CA1E_0000_0001;
+
+/// Draws one weighted loop: family pick by mix weight, kernel build,
+/// alias ambiguity, profile weight, and the nest/trip/entries coupling.
+/// Extracted verbatim from the original synthesis loop — the RNG call
+/// order here is load-bearing for corpus reproducibility.
+fn synth_loop(
+    entry: &RosterEntry,
+    k: usize,
+    mix: &[(KernelFamily, u32)],
+    mix_total: u32,
+    rng: &mut Rng,
+) -> WeightedLoop {
+    // Pick a family by weight.
+    let mut pick = rng.gen_range(0..mix_total);
+    let fam = mix
+        .iter()
+        .find(|&&(_, w)| {
+            if pick < w {
+                true
+            } else {
+                pick -= w;
+                false
+            }
+        })
+        .map(|&(f, _)| f)
+        .expect("mix weights cover range");
+    let name = format!("{}/loop{:03}_{:?}", entry.name, k, fam);
+    let mut body = fam.build(&name, rng);
+    body.lang = entry.lang;
+    // Alias ambiguity: C pointer code rarely carries the no-alias
+    // guarantees Fortran arrays give the compiler. An ambiguous loop
+    // cannot have its unrolled copies reordered around stores, which
+    // is one of the big real-world reasons unrolling fails to pay off
+    // on integer codes.
+    let p_ambiguous = match entry.lang {
+        SourceLang::C => 0.40,
+        SourceLang::Fortran | SourceLang::Fortran90 => 0.05,
+    };
+    if rng.gen_bool(p_ambiguous) {
+        for inst in &mut body.body {
+            if let Some(m) = &mut inst.mem {
+                *m = m.as_ambiguous();
+            }
+        }
+    }
+    // Heavier-tailed weights: a few loops dominate, like real profiles.
+    let weight = rng.gen_range(0.05f64..1.0).powi(3);
+    // Couple trip counts to nesting the way real programs do: inner
+    // loops of nests run few iterations but are entered over and over
+    // (so per-entry costs — remainder loops, i-cache refill, pipeline
+    // fill/drain — genuinely matter), while flat loops run long.
+    let entries = if body.nest_level > 1 {
+        use loopml_ir::TripCount;
+        let t = (rng.gen_range((16.0f64).ln()..(1024.0f64).ln())).exp() as u64;
+        let t = if rng.gen_bool(0.5) {
+            (t / 4).max(1) * 4
+        } else {
+            t
+        };
+        body.trip_count = match body.trip_count {
+            TripCount::Known(old) if old <= 16 => TripCount::Known(old),
+            TripCount::Known(_) => TripCount::Known(t.max(4)),
+            TripCount::Unknown { .. } => TripCount::Unknown { estimate: t.max(4) },
+        };
+        1u64 << rng.gen_range(6..14)
+    } else {
+        1u64 << rng.gen_range(0..3)
+    };
+    WeightedLoop {
+        body,
+        weight,
+        entries,
     }
 }
 
@@ -378,69 +484,23 @@ pub fn synthesize(entry: &RosterEntry, cfg: &SuiteConfig) -> Benchmark {
     let mix_total: u32 = mix.iter().map(|&(_, w)| w).sum();
     let n_loops = rng.gen_range(cfg.min_loops..=cfg.max_loops);
 
-    let mut loops = Vec::with_capacity(n_loops);
+    let scale = cfg.corpus_scale.max(1);
+    let mut loops = Vec::with_capacity(n_loops * scale);
     for k in 0..n_loops {
-        // Pick a family by weight.
-        let mut pick = rng.gen_range(0..mix_total);
-        let fam = mix
-            .iter()
-            .find(|&&(_, w)| {
-                if pick < w {
-                    true
-                } else {
-                    pick -= w;
-                    false
-                }
-            })
-            .map(|&(f, _)| f)
-            .expect("mix weights cover range");
-        let name = format!("{}/loop{:03}_{:?}", entry.name, k, fam);
-        let mut body = fam.build(&name, &mut rng);
-        body.lang = entry.lang;
-        // Alias ambiguity: C pointer code rarely carries the no-alias
-        // guarantees Fortran arrays give the compiler. An ambiguous loop
-        // cannot have its unrolled copies reordered around stores, which
-        // is one of the big real-world reasons unrolling fails to pay off
-        // on integer codes.
-        let p_ambiguous = match entry.lang {
-            SourceLang::C => 0.40,
-            SourceLang::Fortran | SourceLang::Fortran90 => 0.05,
-        };
-        if rng.gen_bool(p_ambiguous) {
-            for inst in &mut body.body {
-                if let Some(m) = &mut inst.mem {
-                    *m = m.as_ambiguous();
-                }
-            }
+        loops.push(synth_loop(entry, k, mix, mix_total, &mut rng));
+    }
+
+    // Scaled portion: extra loops on their own RNG stream, drawn from the
+    // extended mix. The base stream above is untouched, so the first
+    // `n_loops` loops (and the non-loop fraction below) are bitwise
+    // identical at every scale.
+    if scale > 1 {
+        let mut xrng = Rng::seed_from_u64(cfg.seed ^ hash_name(entry.name) ^ SCALE_STREAM);
+        let xmix = entry.archetype.extended_mix();
+        let xmix_total: u32 = xmix.iter().map(|&(_, w)| w).sum();
+        for k in n_loops..n_loops * scale {
+            loops.push(synth_loop(entry, k, &xmix, xmix_total, &mut xrng));
         }
-        // Heavier-tailed weights: a few loops dominate, like real profiles.
-        let weight = rng.gen_range(0.05f64..1.0).powi(3);
-        // Couple trip counts to nesting the way real programs do: inner
-        // loops of nests run few iterations but are entered over and over
-        // (so per-entry costs — remainder loops, i-cache refill, pipeline
-        // fill/drain — genuinely matter), while flat loops run long.
-        let entries = if body.nest_level > 1 {
-            use loopml_ir::TripCount;
-            let t = (rng.gen_range((16.0f64).ln()..(1024.0f64).ln())).exp() as u64;
-            let t = if rng.gen_bool(0.5) {
-                (t / 4).max(1) * 4
-            } else {
-                t
-            };
-            body.trip_count = match body.trip_count {
-                TripCount::Known(old) if old <= 16 => TripCount::Known(old),
-                TripCount::Known(_) => TripCount::Known(t.max(4)),
-                TripCount::Unknown { .. } => TripCount::Unknown { estimate: t.max(4) },
-            };
-            1u64 << rng.gen_range(6..14)
-        } else {
-            1u64 << rng.gen_range(0..3)
-        };
-        loops.push(WeightedLoop {
-            body,
-            weight,
-            entries,
-        });
     }
 
     let non_loop = match entry.archetype {
@@ -539,6 +599,63 @@ mod tests {
         assert!(total >= 2000, "got {total} loops");
         let unrollable: usize = suite.iter().map(|b| b.unrollable().count()).sum();
         assert!(unrollable >= 1800, "got {unrollable} unrollable loops");
+    }
+
+    #[test]
+    fn scaled_suite_keeps_base_as_bitwise_prefix() {
+        let base_cfg = SuiteConfig {
+            min_loops: 8,
+            max_loops: 12,
+            ..SuiteConfig::default()
+        };
+        let scaled_cfg = SuiteConfig {
+            corpus_scale: 4,
+            ..base_cfg
+        };
+        for entry in [&ROSTER[0], &ROSTER[2], &ROSTER[40]] {
+            let base = synthesize(entry, &base_cfg);
+            let scaled = synthesize(entry, &scaled_cfg);
+            assert_eq!(scaled.len(), 4 * base.len(), "{}", entry.name);
+            assert_eq!(scaled.non_loop_fraction, base.non_loop_fraction);
+            for (b, s) in base.iter().zip(scaled.iter()) {
+                // Bodies and entry counts are the prefix; weights are
+                // re-normalized over the larger suite.
+                assert_eq!(b.body, s.body, "{}", entry.name);
+                assert_eq!(b.entries, s.entries, "{}", entry.name);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_zero_and_one_are_identical() {
+        let one = synthesize(&ROSTER[5], &SuiteConfig::default());
+        let zero = synthesize(
+            &ROSTER[5],
+            &SuiteConfig {
+                corpus_scale: 0,
+                ..SuiteConfig::default()
+            },
+        );
+        assert_eq!(one, zero);
+    }
+
+    #[test]
+    fn scaled_portion_uses_extended_families() {
+        // At a healthy scale the new families must actually appear.
+        let cfg = SuiteConfig {
+            min_loops: 20,
+            max_loops: 24,
+            corpus_scale: 4,
+            ..SuiteConfig::default()
+        };
+        let b = synthesize(&ROSTER[2], &cfg); // FpStreaming
+        let names: Vec<&str> = b.iter().map(|w| w.body.name.as_str()).collect();
+        assert!(
+            names
+                .iter()
+                .any(|n| n.contains("NestedImperfect") || n.contains("WideReduce")),
+            "no scale-up families in {names:?}"
+        );
     }
 
     #[test]

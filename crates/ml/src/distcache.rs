@@ -51,6 +51,88 @@ pub fn distance_builds() -> u64 {
     BUILDS.load(Ordering::Relaxed)
 }
 
+/// Counts one streaming distance pass toward [`distance_builds`]. The
+/// streaming sweep touches every pair exactly once without materializing
+/// a [`DistanceMatrix`], so it still counts as one build — the "one
+/// distance pass, many kernels" invariant the sweep gate asserts.
+pub(crate) fn record_streaming_build() {
+    BUILDS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Live bytes currently held in pairwise-distance buffers (dense
+/// matrices, greedy base matrices, streaming tiles).
+static CUR_BYTES: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of [`CUR_BYTES`] since the last reset.
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// High-water mark, in bytes, of concurrently-live pairwise-distance
+/// buffers since the last [`reset_distance_bytes`]. This is the number
+/// the scaling gate bounds: tiled/streaming evaluation keeps it at
+/// `workers · tile_rows · n · 8` instead of `n² · 8`.
+pub fn peak_distance_bytes() -> u64 {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Zeroes the live/peak distance-buffer accounting. Call at a
+/// measurement boundary (buffers created before the reset are no longer
+/// counted when they drop — the counters saturate at zero rather than
+/// underflow).
+pub fn reset_distance_bytes() {
+    CUR_BYTES.store(0, Ordering::Relaxed);
+    PEAK_BYTES.store(0, Ordering::Relaxed);
+}
+
+/// RAII accounting for one distance buffer: registers `bytes` as live on
+/// creation (bumping the peak), releases them on drop.
+pub(crate) struct DistAlloc(u64);
+
+impl DistAlloc {
+    pub(crate) fn new(bytes: u64) -> Self {
+        let cur = CUR_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        PEAK_BYTES.fetch_max(cur, Ordering::Relaxed);
+        DistAlloc(bytes)
+    }
+}
+
+impl Drop for DistAlloc {
+    fn drop(&mut self) {
+        // Saturating: a reset between creation and drop zeroed CUR.
+        let _ = CUR_BYTES.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+            Some(c.saturating_sub(self.0))
+        });
+    }
+}
+
+/// Default budget a full n×n distance buffer may occupy before the ML
+/// hot paths switch to tiled/streaming evaluation: 256 MiB.
+pub const DEFAULT_TILE_BUDGET_BYTES: u64 = 256 * 1024 * 1024;
+
+/// The distance-buffer budget in bytes. `LOOPML_TILE_BYTES` overrides
+/// the default (invalid or zero values fall back silently — the budget
+/// only selects an execution strategy, every strategy is bit-identical).
+pub fn tile_budget_bytes() -> u64 {
+    match std::env::var("LOOPML_TILE_BYTES") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .ok()
+            .filter(|&v| v > 0)
+            .unwrap_or(DEFAULT_TILE_BUDGET_BYTES),
+        Err(_) => DEFAULT_TILE_BUDGET_BYTES,
+    }
+}
+
+/// Tile height (rows per strip) such that `threads` concurrent strip
+/// buffers of `tile_rows × n` stay within the [`tile_budget_bytes`]
+/// budget. At least 1 (a single row is the smallest streamable unit),
+/// at most `n`.
+pub fn tile_rows_for(n: usize, threads: usize) -> usize {
+    let workers = threads.max(1) as u64;
+    let row_bytes = 8 * n.max(1) as u64;
+    let per_worker = tile_budget_bytes() / workers / row_bytes;
+    (per_worker as usize).clamp(1, n.max(1))
+}
+
 /// Full pairwise squared-distance matrix over a set of rows, stored flat
 /// row-major (`d2[i * n + j]`).
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +147,12 @@ impl DistanceMatrix {
     pub fn compute(xs: &[Vec<f64>]) -> Self {
         BUILDS.fetch_add(1, Ordering::Relaxed);
         let n = xs.len();
+        // Record the dense buffer against the peak tracker. The matrix
+        // outlives this function, so the bytes are registered as a
+        // transient high-water bump rather than held live (callers that
+        // care about sustained footprint use the streaming paths, which
+        // account their tiles with RAII guards).
+        drop(DistAlloc::new((n * n * 8) as u64));
         let mut d2 = vec![0.0; n * n];
         for i in 0..n {
             for j in (i + 1)..n {
@@ -243,27 +331,111 @@ impl FeatureDistCache {
             let mut errs = vec![0u32; candidates.len()];
             for i in lo..hi {
                 let brow = &base[i * n..(i + 1) * n];
-                for (ci, &f) in candidates.iter().enumerate() {
-                    let col = &self.cols[f * n..(f + 1) * n];
-                    let ci_v = col[i];
-                    let lo = min_col_range(brow, col, ci_v, 0, i);
-                    let hi = min_col_range(brow, col, ci_v, i + 1, n);
-                    // `<=` sends exact cross-range ties to the first
-                    // range: the lowest index wins, just like the serial
-                    // ascending scan.
-                    let nearest = if lo <= hi {
-                        find_col(brow, col, ci_v, 0, i, lo)
-                    } else {
-                        find_col(brow, col, ci_v, i + 1, n, hi)
-                    };
-                    if self.labels[nearest] != self.labels[i] {
-                        errs[ci] += 1;
-                    }
-                }
+                self.scan_row_candidates(brow, i, candidates, &mut errs);
             }
             errs
         });
-        let mut total = vec![0u64; candidates.len()];
+        Self::sum_error_counts(counts, candidates.len(), n)
+    }
+
+    /// Tiled sibling of [`nn1_errors_batch`](Self::nn1_errors_batch):
+    /// instead of reading a caller-held n×n accumulated matrix, each
+    /// worker materializes only a `tile_rows × n` strip of it (the
+    /// selected features' contributions re-accumulated in selection
+    /// order), scans the strip's rows for every candidate, and drops the
+    /// strip — peak memory is `workers · tile_rows · n · 8` bytes
+    /// instead of `n² · 8`.
+    ///
+    /// Bit-identical to the dense path at any `tile_rows` and any
+    /// `threads`: every matrix element is an independent left-to-right
+    /// sum over the selected features (the same operation sequence
+    /// [`accumulate`](Self::accumulate) performs), and each row's argmin
+    /// is the very same two-pass scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_rows` is zero or any feature index is out of
+    /// range.
+    pub fn nn1_errors_batch_tiled(
+        &self,
+        selected: &[usize],
+        candidates: &[usize],
+        tile_rows: usize,
+        threads: usize,
+    ) -> Vec<f64> {
+        assert!(tile_rows > 0, "tile_rows must be positive");
+        for &f in selected.iter().chain(candidates) {
+            assert!(f < self.d, "feature index out of range");
+        }
+        let n = self.n;
+        if n < 2 {
+            return vec![1.0; candidates.len()];
+        }
+        let tile = tile_rows.min(n);
+        let strips: Vec<(usize, usize)> = (0..n)
+            .step_by(tile)
+            .map(|lo| (lo, (lo + tile).min(n)))
+            .collect();
+        let counts = par_map_threads(threads, &strips, |&(lo, hi)| {
+            let rows = hi - lo;
+            let _acct = DistAlloc::new((rows * n * 8) as u64);
+            let mut strip = vec![0.0f64; rows * n];
+            // Accumulate the selected features in selection order — the
+            // same per-element operation sequence the dense accumulate
+            // performs, so every strip element is bitwise equal to the
+            // corresponding dense matrix element.
+            for &f in selected {
+                let col = &self.cols[f * n..(f + 1) * n];
+                for (r, i) in (lo..hi).enumerate() {
+                    let ci = col[i];
+                    let row = &mut strip[r * n..(r + 1) * n];
+                    for (b, &cj) in row.iter_mut().zip(col) {
+                        let d = ci - cj;
+                        *b += d * d;
+                    }
+                }
+            }
+            let mut errs = vec![0u32; candidates.len()];
+            for (r, i) in (lo..hi).enumerate() {
+                let brow = &strip[r * n..(r + 1) * n];
+                self.scan_row_candidates(brow, i, candidates, &mut errs);
+            }
+            errs
+        });
+        Self::sum_error_counts(counts, candidates.len(), n)
+    }
+
+    /// One example's contribution to every candidate's error count:
+    /// finds `i`'s nearest neighbor under `S ∪ {f}` for each candidate
+    /// `f` (via the shared two-pass argmin) and bumps the candidate's
+    /// error if the labels differ. `brow` is row `i` of the accumulated
+    /// matrix of `S` — whether it came from a dense buffer or a strip.
+    fn scan_row_candidates(&self, brow: &[f64], i: usize, candidates: &[usize], errs: &mut [u32]) {
+        let n = self.n;
+        for (ci, &f) in candidates.iter().enumerate() {
+            let col = &self.cols[f * n..(f + 1) * n];
+            let ci_v = col[i];
+            let lo = min_col_range(brow, col, ci_v, 0, i);
+            let hi = min_col_range(brow, col, ci_v, i + 1, n);
+            // `<=` sends exact cross-range ties to the first
+            // range: the lowest index wins, just like the serial
+            // ascending scan.
+            let nearest = if lo <= hi {
+                find_col(brow, col, ci_v, 0, i, lo)
+            } else {
+                find_col(brow, col, ci_v, i + 1, n, hi)
+            };
+            if self.labels[nearest] != self.labels[i] {
+                errs[ci] += 1;
+            }
+        }
+    }
+
+    /// Sums per-block integer error counts and converts to error rates.
+    /// Integer tallies make the result independent of the block
+    /// partition, hence of `threads` and `tile_rows`.
+    fn sum_error_counts(counts: Vec<Vec<u32>>, len: usize, n: usize) -> Vec<f64> {
+        let mut total = vec![0u64; len];
         for block in counts {
             for (t, c) in total.iter_mut().zip(block) {
                 *t += u64::from(c);

@@ -12,7 +12,7 @@
 //! [`FeatureDistCache`](crate::FeatureDistCache).
 
 use crate::dataset::{Dataset, MinMaxNormalizer};
-use crate::distcache::FeatureDistCache;
+use crate::distcache::{tile_budget_bytes, tile_rows_for, DistAlloc, FeatureDistCache};
 use loopml_rt::{num_threads, par_map_threads};
 
 /// Number of equal-width bins used to discretize continuous features
@@ -150,20 +150,32 @@ where
 /// across features, so each candidate `S ∪ {f}` is evaluated with an
 /// O(n²) accumulate over the precomputed per-feature cache instead of
 /// the O(n²·|S|) recompute [`greedy_forward`] +
-/// [`nn1_training_error`] performs. Candidates run in parallel;
-/// results match the direct path up to floating-point reassociation in
-/// [`crate::dist2`].
+/// [`nn1_training_error`] performs. Candidates run in parallel; traces
+/// are bit-identical to the direct path (both sum distances strictly
+/// left-to-right in selection order).
 pub fn greedy_forward_nn(data: &Dataset, steps: usize) -> Vec<GreedyStep> {
     greedy_forward_nn_threads(data, steps, num_threads())
 }
 
 /// [`greedy_forward_nn`] with an explicit worker count (used by the
 /// equivalence tests to force serial vs. multi-threaded execution).
+///
+/// Picks its own memory strategy: when the accumulated n×n base matrix
+/// fits the [`tile_budget_bytes`] budget it is held dense and updated
+/// incrementally; past the budget the search switches to
+/// [`greedy_forward_nn_tiled_threads`], which streams row strips and
+/// never materializes the full matrix. Both strategies are bit-identical.
 pub fn greedy_forward_nn_threads(data: &Dataset, steps: usize, threads: usize) -> Vec<GreedyStep> {
     let d = data.dims();
     let n = data.len();
+    let dense_bytes = (n as u64) * (n as u64) * 8;
+    if dense_bytes > tile_budget_bytes() {
+        let tile = tile_rows_for(n, threads);
+        return greedy_forward_nn_tiled_threads(data, steps, tile, threads);
+    }
     let cache = FeatureDistCache::fit(data);
     // Accumulated distance matrix of the selected subset (empty set: 0).
+    let _acct = DistAlloc::new(dense_bytes);
     let mut base = vec![0.0; n * n];
     let mut selected: Vec<usize> = Vec::new();
     let mut trace = Vec::new();
@@ -174,6 +186,45 @@ pub fn greedy_forward_nn_threads(data: &Dataset, steps: usize, threads: usize) -
             break;
         };
         cache.accumulate(idx, &mut base);
+        selected.push(idx);
+        trace.push(GreedyStep {
+            index: idx,
+            name: data.feature_names[idx].clone(),
+            error: err,
+        });
+    }
+    trace
+}
+
+/// Greedy forward 1-NN selection over row strips: like
+/// [`greedy_forward_nn`], but the accumulated base matrix is never
+/// materialized — each worker rebuilds a `tile_rows × n` strip of it
+/// (selected contributions re-accumulated in selection order) per
+/// round, bounding peak memory at `workers · tile_rows · n · 8` bytes.
+/// Trades O(n²·|S|) recompute work per round for the O(n²) memory; the
+/// trace is bit-identical to the dense path at any tile size and any
+/// thread count.
+pub fn greedy_forward_nn_tiled(data: &Dataset, steps: usize, tile_rows: usize) -> Vec<GreedyStep> {
+    greedy_forward_nn_tiled_threads(data, steps, tile_rows, num_threads())
+}
+
+/// [`greedy_forward_nn_tiled`] with an explicit worker count.
+pub fn greedy_forward_nn_tiled_threads(
+    data: &Dataset,
+    steps: usize,
+    tile_rows: usize,
+    threads: usize,
+) -> Vec<GreedyStep> {
+    let d = data.dims();
+    let cache = FeatureDistCache::fit(data);
+    let mut selected: Vec<usize> = Vec::new();
+    let mut trace = Vec::new();
+    for _ in 0..steps.min(d) {
+        let candidates: Vec<usize> = (0..d).filter(|c| !selected.contains(c)).collect();
+        let errors = cache.nn1_errors_batch_tiled(&selected, &candidates, tile_rows, threads);
+        let Some((idx, err)) = argmin(&candidates, &errors) else {
+            break;
+        };
         selected.push(idx);
         trace.push(GreedyStep {
             index: idx,
@@ -199,8 +250,15 @@ fn argmin(candidates: &[usize], errors: &[f64]) -> Option<(usize, f64)> {
 /// Training error of a 1-nearest-neighbor classifier evaluated
 /// leave-self-out (the "single closest point" variant the paper uses for
 /// greedy selection with NN).
+///
+/// Distances are summed strictly left-to-right over the dataset's
+/// columns — the same floating-point operation sequence the
+/// [`FeatureDistCache`] produces when it accumulates one feature column
+/// at a time (candidate last), so the greedy trace from this direct
+/// evaluator is bit-identical to the cached one. The chunked
+/// [`crate::dist2`] kernel reassociates the sum and can flip
+/// exactly-tied nearest neighbors; do not substitute it here.
 pub fn nn1_training_error(data: &Dataset) -> f64 {
-    use crate::dataset::dist2;
     let norm = MinMaxNormalizer::fit(&data.x);
     let xs = norm.transform(&data.x);
     let n = xs.len();
@@ -214,7 +272,11 @@ pub fn nn1_training_error(data: &Dataset) -> f64 {
             if j == i {
                 continue;
             }
-            let d2 = dist2(&xs[i], &xs[j]);
+            let mut d2 = 0.0;
+            for (a, b) in xs[i].iter().zip(&xs[j]) {
+                let d = a - b;
+                d2 += d * d;
+            }
             if d2 < best.0 {
                 best = (d2, j);
             }
@@ -348,6 +410,57 @@ mod tests {
             let direct = greedy_forward(&data, dims, nn1_training_error);
             let cached = greedy_forward_nn(&data, dims);
             assert_eq!(direct, cached);
+        }
+    }
+
+    /// Random dataset of `n` examples over 6 features, seeded from
+    /// `(tile, n)` so every boundary case gets distinct data.
+    fn boundary_dataset(tile: usize, n: usize) -> Dataset {
+        let mut rng = loopml_rt::Rng::seed_from_u64(0x7A11ED ^ ((tile as u64) << 32) ^ n as u64);
+        let d = 6;
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(-10.0..10.0)).collect())
+            .collect();
+        let y: Vec<usize> = (0..n).map(|_| rng.gen_range(0..3usize)).collect();
+        Dataset::new(
+            x,
+            y,
+            3,
+            (0..d).map(|j| format!("f{j}")).collect(),
+            (0..n).map(|i| format!("e{i}")).collect(),
+        )
+    }
+
+    #[test]
+    fn tiled_greedy_argmin_matches_dense_at_boundary_sizes() {
+        // The sharded (row-strip) evaluation must be bit-identical to
+        // the dense base-matrix path at every tiling boundary: corpora
+        // smaller than a tile, exactly one tile, one row past a tile,
+        // and a ragged final strip — at 1 and 4 workers.
+        for &tile in &[1usize, 7, 64] {
+            for n in [1, tile.saturating_sub(1), tile, tile + 1, 3 * tile + 2] {
+                if n == 0 {
+                    continue;
+                }
+                let data = boundary_dataset(tile, n);
+                let d = data.dims();
+                let dense_trace = greedy_forward_nn_threads(&data, d, 1);
+                let cache = FeatureDistCache::fit(&data);
+                let candidates: Vec<usize> = (0..d).collect();
+                let dense_errs = cache.nn1_errors_batch(&vec![0.0; n * n], &candidates, 1);
+                for &threads in &[1usize, 4] {
+                    let tiled_trace = greedy_forward_nn_tiled_threads(&data, d, tile, threads);
+                    assert_eq!(
+                        dense_trace, tiled_trace,
+                        "greedy trace diverged: tile {tile}, n {n}, threads {threads}"
+                    );
+                    let tiled_errs = cache.nn1_errors_batch_tiled(&[], &candidates, tile, threads);
+                    assert_eq!(
+                        dense_errs, tiled_errs,
+                        "argmin errors diverged: tile {tile}, n {n}, threads {threads}"
+                    );
+                }
+            }
         }
     }
 }

@@ -66,19 +66,27 @@ pub mod sweep;
 
 pub use classify::{Classifier, Constant};
 pub use dataset::{dist2, Dataset, MinMaxNormalizer};
-pub use distcache::{distance_builds, DistanceMatrix, FeatureDistCache};
+pub use distcache::{
+    distance_builds, peak_distance_bytes, reset_distance_bytes, tile_budget_bytes, tile_rows_for,
+    DistanceMatrix, FeatureDistCache, DEFAULT_TILE_BUDGET_BYTES,
+};
 pub use feature_select::{
-    greedy_forward, greedy_forward_nn, greedy_forward_nn_threads, greedy_forward_threads,
-    mutual_information, nn1_training_error, GreedyStep, ScoredFeature, MIS_BINS,
+    greedy_forward, greedy_forward_nn, greedy_forward_nn_threads, greedy_forward_nn_tiled,
+    greedy_forward_nn_tiled_threads, greedy_forward_threads, mutual_information,
+    nn1_training_error, GreedyStep, ScoredFeature, MIS_BINS,
 };
 pub use lda::Lda2d;
 pub use linalg::Matrix;
 pub use loocv::{
-    logo_predictions, logo_predictions_threads, loocv, loocv_nn, loocv_svm, loocv_threads, CvResult,
+    logo_predictions, logo_predictions_threads, loocv, loocv_nn, loocv_nn_threads, loocv_svm,
+    loocv_threads, CvResult,
 };
 pub use nn::{NearNeighbors, NnPrediction, DEFAULT_RADIUS};
 pub use svm::{decode, KernelCache, MulticlassSvm, SvmParams};
-pub use sweep::{sweep, sweep_threads, RadiusCell, SvmCell, SvmGrid, SweepConfig, SweepReport};
+pub use sweep::{
+    sweep, sweep_threads, sweep_tiled_threads, RadiusCell, SvmCell, SvmGrid, SweepConfig,
+    SweepReport,
+};
 
 #[cfg(test)]
 mod proptests {

@@ -78,14 +78,28 @@ fn scratch_dataset() -> Dataset {
 }
 
 /// LOOCV for radius near neighbors: exact, via query-time exclusion.
-/// Queries run in parallel.
+/// Queries run in parallel. Already streaming: each fold touches only
+/// the fitted model's rows, so there is no n×n buffer to tile.
 pub fn loocv_nn(data: &Dataset, radius: f64) -> CvResult {
+    loocv_nn_threads(data, radius, num_threads())
+}
+
+/// [`loocv_nn`] with an explicit worker count (used by the equivalence
+/// tests and the scaled perf stages to pin the fan-out). Folds are
+/// batched into contiguous blocks — one scheduling unit per worker
+/// instead of one per query — which matters once the corpus scales to
+/// tens of thousands of loops; predictions are position-indexed, so any
+/// block partition reassembles to the identical result.
+pub fn loocv_nn_threads(data: &Dataset, radius: f64, threads: usize) -> CvResult {
     let nn = NearNeighbors::fit(data, radius);
-    let indices: Vec<usize> = (0..data.len()).collect();
-    let predictions = par_map_threads(num_threads(), &indices, |&i| {
-        nn.predict_excluding(&data.x[i], i).label
+    let blocks = fold_blocks(data.len(), threads);
+    let per_block: Vec<Vec<usize>> = par_map_threads(threads, &blocks, |block| {
+        block
+            .clone()
+            .map(|i| nn.predict_excluding(&data.x[i], i).label)
+            .collect()
     });
-    result_from(predictions, &data.y)
+    result_from(per_block.concat(), &data.y)
 }
 
 /// LOOCV for the multi-class SVM: exact for examples that are not support
@@ -238,6 +252,20 @@ mod tests {
                 assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} parts={parts}");
             }
         }
+    }
+
+    #[test]
+    fn nn_loocv_blocked_matches_every_thread_count() {
+        let d = clusters();
+        let serial = loocv_nn_threads(&d, DEFAULT_RADIUS, 1);
+        for threads in [2, 4, 7] {
+            assert_eq!(
+                serial,
+                loocv_nn_threads(&d, DEFAULT_RADIUS, threads),
+                "diverged at {threads} threads"
+            );
+        }
+        assert_eq!(serial, loocv_nn(&d, DEFAULT_RADIUS));
     }
 
     #[test]

@@ -113,6 +113,19 @@ impl KernelCache {
         KernelCache { n, k }
     }
 
+    /// Builds a kernel cache from already-materialized entries — the
+    /// streaming sweep derives RBF rows strip by strip (bit-identical to
+    /// [`from_distances`](KernelCache::from_distances)) and assembles
+    /// them here without ever holding a full distance matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not n×n.
+    pub(crate) fn from_parts(n: usize, k: Vec<f64>) -> Self {
+        assert_eq!(k.len(), n * n, "kernel must be n×n");
+        KernelCache { n, k }
+    }
+
     #[inline]
     fn row(&self, i: usize) -> &[f64] {
         &self.k[i * self.n..(i + 1) * self.n]

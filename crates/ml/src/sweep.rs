@@ -33,8 +33,11 @@
 //! of work is a pure function and per-cell error tallies are integers, so
 //! results are bit-identical at any `LOOPML_THREADS` setting.
 
-use crate::dataset::{Dataset, MinMaxNormalizer};
-use crate::distcache::{distance_builds, DistanceMatrix};
+use crate::dataset::{dist2, Dataset, MinMaxNormalizer};
+use crate::distcache::{
+    distance_builds, record_streaming_build, tile_budget_bytes, tile_rows_for, DistAlloc,
+    DistanceMatrix,
+};
 use crate::nn::DEFAULT_RADIUS;
 use crate::svm::{decision_at, decode, train_binary, KernelCache, SvmParams};
 use loopml_rt::{num_threads, par_map_threads};
@@ -151,28 +154,206 @@ pub fn sweep(data: &Dataset, group: &[usize], cfg: &SweepConfig) -> SweepReport 
 
 /// [`sweep`] with an explicit worker count (used by the determinism tests
 /// to force serial vs. multi-threaded execution).
+///
+/// Picks its own memory strategy: when the n×n distance matrix fits the
+/// [`tile_budget_bytes`] budget it is materialized once and shared
+/// (every kernel an exp-pass over it); past the budget the sweep runs
+/// [`sweep_tiled_threads`], which streams the distance pass row by row
+/// and never holds more than `workers · n · 8` distance bytes. Both
+/// strategies are bit-identical.
 pub fn sweep_threads(
     data: &Dataset,
     group: &[usize],
     cfg: &SweepConfig,
     threads: usize,
 ) -> SweepReport {
+    let n = data.len();
+    let dense_bytes = (n as u64) * (n as u64) * 8;
+    if dense_bytes > tile_budget_bytes() {
+        return sweep_tiled_threads(data, group, cfg, tile_rows_for(n, threads), threads);
+    }
     assert!(!data.is_empty(), "cannot sweep an empty dataset");
     assert_eq!(group.len(), data.len(), "one group per example");
     let builds_before = distance_builds();
 
-    let n = data.len();
     let xs = MinMaxNormalizer::fit(&data.x).transform(&data.x);
     let dm = DistanceMatrix::compute(&xs);
-
-    let mut groups: Vec<usize> = group.to_vec();
-    groups.sort_unstable();
-    groups.dedup();
 
     // One kernel per gamma, each an exp-pass over the shared matrix.
     let kernels: Vec<KernelCache> = par_map_threads(threads, &cfg.svm.gammas, |&g| {
         KernelCache::from_distances(&dm, g)
     });
+
+    // NN: a radius is a threshold over the cached d² — replicate
+    // `predict_excluding`'s vote semantics with the whole group excluded.
+    let radius_indices: Vec<usize> = (0..cfg.radii.len()).collect();
+    let nn_cells: Vec<RadiusCell> = par_map_threads(threads, &radius_indices, |&ri| {
+        let r2 = cfg.radii[ri] * cfg.radii[ri];
+        let mut correct = 0u64;
+        for i in 0..n {
+            if nn_predict_row(dm.row(i), i, data, group, r2) == data.y[i] {
+                correct += 1;
+            }
+        }
+        RadiusCell {
+            radius: cfg.radii[ri],
+            accuracy: correct as f64 / n as f64,
+        }
+    });
+
+    finish_report(data, group, cfg, threads, &kernels, nn_cells, builds_before)
+}
+
+/// Streaming sibling of [`sweep_threads`]: the pairwise distance pass is
+/// evaluated in row strips of `tile_rows` examples, each worker holding
+/// one n-length distance row at a time. Every row immediately feeds (a)
+/// each gamma's kernel strip — the same `exp(-γ·d²) + 1` entries
+/// [`KernelCache::from_distances`] produces — and (b) the NN radius
+/// tallies, then is overwritten; the full n×n distance matrix never
+/// exists. The assembled kernels are what the SVM trainer inherently
+/// needs, so kernel memory is unchanged; *distance* memory drops from
+/// `n² · 8` to `workers · n · 8` bytes. Counts toward
+/// [`distance_builds`] as one build (every pair is touched exactly
+/// once). Bit-identical to the dense path at any `tile_rows` and any
+/// `threads`: `dist2` is bitwise symmetric, so row-major evaluation
+/// equals the mirrored dense matrix, and all tallies are integers.
+///
+/// # Panics
+///
+/// Panics if `data` is empty, `group.len() != data.len()`, or
+/// `tile_rows` is zero.
+pub fn sweep_tiled_threads(
+    data: &Dataset,
+    group: &[usize],
+    cfg: &SweepConfig,
+    tile_rows: usize,
+    threads: usize,
+) -> SweepReport {
+    assert!(!data.is_empty(), "cannot sweep an empty dataset");
+    assert_eq!(group.len(), data.len(), "one group per example");
+    assert!(tile_rows > 0, "tile_rows must be positive");
+    let builds_before = distance_builds();
+
+    let n = data.len();
+    let xs = MinMaxNormalizer::fit(&data.x).transform(&data.x);
+    record_streaming_build();
+
+    let tile = tile_rows.min(n);
+    let strips: Vec<(usize, usize)> = (0..n)
+        .step_by(tile)
+        .map(|lo| (lo, (lo + tile).min(n)))
+        .collect();
+    let r2s: Vec<f64> = cfg.radii.iter().map(|r| r * r).collect();
+    let per_strip: Vec<(Vec<Vec<f64>>, Vec<u64>)> =
+        par_map_threads(threads, &strips, |&(lo, hi)| {
+            let rows = hi - lo;
+            let _acct = DistAlloc::new((n * 8) as u64);
+            let mut d2row = vec![0.0f64; n];
+            let mut kstrips: Vec<Vec<f64>> = cfg
+                .svm
+                .gammas
+                .iter()
+                .map(|_| vec![0.0f64; rows * n])
+                .collect();
+            let mut correct = vec![0u64; cfg.radii.len()];
+            for (r, i) in (lo..hi).enumerate() {
+                for (j, d2) in d2row.iter_mut().enumerate() {
+                    *d2 = dist2(&xs[i], &xs[j]);
+                }
+                for (gi, &g) in cfg.svm.gammas.iter().enumerate() {
+                    let krow = &mut kstrips[gi][r * n..(r + 1) * n];
+                    for (kv, &d2) in krow.iter_mut().zip(&d2row) {
+                        *kv = (-g * d2).exp() + 1.0;
+                    }
+                }
+                for (ri, &r2) in r2s.iter().enumerate() {
+                    if nn_predict_row(&d2row, i, data, group, r2) == data.y[i] {
+                        correct[ri] += 1;
+                    }
+                }
+            }
+            (kstrips, correct)
+        });
+
+    // Assemble each gamma's kernel from its strips (strip order is row
+    // order) and fold the per-strip NN tallies.
+    let kernels: Vec<KernelCache> = (0..cfg.svm.gammas.len())
+        .map(|gi| {
+            let mut k = Vec::with_capacity(n * n);
+            for (kstrips, _) in &per_strip {
+                k.extend_from_slice(&kstrips[gi]);
+            }
+            KernelCache::from_parts(n, k)
+        })
+        .collect();
+    let mut nn_correct = vec![0u64; cfg.radii.len()];
+    for (_, correct) in &per_strip {
+        for (t, &c) in nn_correct.iter_mut().zip(correct) {
+            *t += c;
+        }
+    }
+    let nn_cells: Vec<RadiusCell> = cfg
+        .radii
+        .iter()
+        .zip(&nn_correct)
+        .map(|(&radius, &c)| RadiusCell {
+            radius,
+            accuracy: c as f64 / n as f64,
+        })
+        .collect();
+
+    finish_report(data, group, cfg, threads, &kernels, nn_cells, builds_before)
+}
+
+/// Predicted label for example `i` given row `i` of the pairwise d²
+/// matrix: `predict_excluding`'s vote semantics with `i`'s whole group
+/// excluded (majority within the radius when strict, else nearest).
+fn nn_predict_row(d2row: &[f64], i: usize, data: &Dataset, group: &[usize], r2: f64) -> usize {
+    let mut votes = vec![0usize; data.classes];
+    let mut in_radius = 0usize;
+    let mut nearest: Option<(f64, usize)> = None;
+    for (j, &d2) in d2row.iter().enumerate() {
+        if group[j] == group[i] {
+            continue;
+        }
+        if d2 <= r2 {
+            votes[data.y[j]] += 1;
+            in_radius += 1;
+        }
+        if nearest.is_none_or(|(best, _)| d2 < best) {
+            nearest = Some((d2, data.y[j]));
+        }
+    }
+    let best_class = (0..data.classes).max_by_key(|&c| votes[c]).unwrap_or(0);
+    let best_votes = votes.get(best_class).copied().unwrap_or(0);
+    let runner_up = (0..data.classes)
+        .filter(|&c| c != best_class)
+        .map(|c| votes[c])
+        .max()
+        .unwrap_or(0);
+    if in_radius > 0 && best_votes > runner_up {
+        best_class
+    } else {
+        nearest.map(|(_, y)| y).unwrap_or(0)
+    }
+}
+
+/// Shared tail of both sweep strategies: scores the SVM grid by LOGO
+/// over the per-gamma kernels, picks the winners, and assembles the
+/// report.
+fn finish_report(
+    data: &Dataset,
+    group: &[usize],
+    cfg: &SweepConfig,
+    threads: usize,
+    kernels: &[KernelCache],
+    nn_cells: Vec<RadiusCell>,
+    builds_before: u64,
+) -> SweepReport {
+    let n = data.len();
+    let mut groups: Vec<usize> = group.to_vec();
+    groups.sort_unstable();
+    groups.dedup();
 
     // Flatten (gamma, C, held-out group) into independent jobs: each
     // trains one multiclass machine on the fold's active set and counts
@@ -246,51 +427,6 @@ pub fn sweep_threads(
             accuracy: chunk.iter().sum::<u64>() as f64 / n as f64,
         });
     }
-
-    // NN: a radius is a threshold over the cached d² — replicate
-    // `predict_excluding`'s vote semantics with the whole group excluded.
-    let radius_indices: Vec<usize> = (0..cfg.radii.len()).collect();
-    let nn_cells: Vec<RadiusCell> = par_map_threads(threads, &radius_indices, |&ri| {
-        let r2 = cfg.radii[ri] * cfg.radii[ri];
-        let mut correct = 0u64;
-        for i in 0..n {
-            let mut votes = vec![0usize; data.classes];
-            let mut in_radius = 0usize;
-            let mut nearest: Option<(f64, usize)> = None;
-            for j in 0..n {
-                if group[j] == group[i] {
-                    continue;
-                }
-                let d2 = dm.get(i, j);
-                if d2 <= r2 {
-                    votes[data.y[j]] += 1;
-                    in_radius += 1;
-                }
-                if nearest.is_none_or(|(best, _)| d2 < best) {
-                    nearest = Some((d2, data.y[j]));
-                }
-            }
-            let best_class = (0..data.classes).max_by_key(|&c| votes[c]).unwrap_or(0);
-            let best_votes = votes.get(best_class).copied().unwrap_or(0);
-            let runner_up = (0..data.classes)
-                .filter(|&c| c != best_class)
-                .map(|c| votes[c])
-                .max()
-                .unwrap_or(0);
-            let label = if in_radius > 0 && best_votes > runner_up {
-                best_class
-            } else {
-                nearest.map(|(_, y)| y).unwrap_or(0)
-            };
-            if label == data.y[i] {
-                correct += 1;
-            }
-        }
-        RadiusCell {
-            radius: cfg.radii[ri],
-            accuracy: correct as f64 / n as f64,
-        }
-    });
 
     let best_svm = argmax_accuracy(svm_cells.iter().map(|c| c.accuracy));
     let (selected_svm, svm_accuracy) = match best_svm {
@@ -406,6 +542,23 @@ mod tests {
             let direct = KernelCache::compute(&xs, gamma);
             let derived = KernelCache::from_distances(&dm, gamma);
             assert_eq!(direct.entries(), derived.entries(), "gamma={gamma}");
+        }
+    }
+
+    #[test]
+    fn tiled_sweep_is_bit_identical_to_dense() {
+        // The streaming sweep must reproduce the dense report exactly —
+        // cells, winners, and the one-build invariant — at every tile
+        // size and thread count.
+        let (data, group) = clusters();
+        let cfg = SweepConfig::default();
+        let dense = sweep_threads(&data, &group, &cfg, 1);
+        assert_eq!(dense.distance_builds, 1);
+        for tile in [1usize, 7, 64] {
+            for threads in [1usize, 4] {
+                let tiled = sweep_tiled_threads(&data, &group, &cfg, tile, threads);
+                assert_eq!(dense, tiled, "tile={tile} threads={threads}");
+            }
         }
     }
 

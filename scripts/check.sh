@@ -14,7 +14,9 @@
 # and the chaos gate (a fixed-seed LOOPML_FAULTS labeling run must
 # complete with the expected quarantine, keep every non-faulted label
 # bit-identical to a clean run, and resume from partial checkpoints
-# byte-identically).
+# byte-identically), and the shard gate (three independent
+# `repro label --shard i/3` processes merged by `repro label-merge`
+# must produce a file byte-identical to the single-process run).
 #
 # Runs entirely offline — the workspace has no external dependencies
 # (enforced by tests/zero_deps.rs).
@@ -70,5 +72,22 @@ repro_label --ckpt-dir "$chaos_dir/ck" --resume \
     --out "$chaos_dir/resumed.json" --degradation "$chaos_dir/resumed_deg.json"
 cmp "$chaos_dir/clean.json" "$chaos_dir/resumed.json"
 cmp "$chaos_dir/clean_deg.json" "$chaos_dir/resumed_deg.json"
+
+# Shard gate: the multi-process labeling work queue. Three disjoint
+# shards labeled by independent processes, merged back into global
+# order, must be byte-identical to the single-process file.
+shard_dir=$(mktemp -d)
+trap 'rm -rf "$serve_dir" "$chaos_dir" "$shard_dir"' EXIT
+echo "check.sh: shard gate (3-way label shards / merge / diff)"
+repro_label --out "$shard_dir/single.json" --degradation "$shard_dir/single_deg.json"
+for i in 0 1 2; do
+    repro_label --shard "$i/3" --out "$shard_dir/shard$i.json" \
+        --degradation "$shard_dir/deg$i.json" &
+done
+wait
+cargo run --release -q -p loopml-bench --bin repro -- label-merge \
+    "$shard_dir/shard0.json" "$shard_dir/shard1.json" "$shard_dir/shard2.json" \
+    --out "$shard_dir/merged.json"
+cmp "$shard_dir/single.json" "$shard_dir/merged.json"
 
 echo "check.sh: all gates passed"
