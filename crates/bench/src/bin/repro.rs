@@ -9,9 +9,11 @@
 //! repro sweep [--smoke|--quick]      LOGO hyperparameter sweep -> SWEEP_ml.json
 //! repro label [--smoke] [...]        fault-tolerant labeling -> LABEL_ml.json
 //! repro label-merge <shard.json>...  merge disjoint label shards byte-identically
+//! repro label-supervise <N> [...]    self-healing N-process labeling work queue
 //! repro label-diff <clean> <chaos>   chaos run may cost coverage, not accuracy
 //! repro train [--model nn|svm|orc]   emit the versioned model artifact
 //! repro serve-bench [--artifact F]   replay batches, verify, report p50/p95/p99
+//! repro serve-stats-check <F>        validate a loopml/serve-stats/v1 drain doc
 //! repro help                         generated overview
 //! ```
 //!
@@ -29,7 +31,7 @@ use std::time::Instant;
 use loopml::FEATURE_NAMES;
 use loopml_bench::cli::{self, FlagSpec, Parsed, Spec, EXIT_FAIL, EXIT_OK, EXIT_USAGE};
 use loopml_bench::{
-    experiments, labelrun, lintrun, perf, report, serverun, sweeprun, Context, Scale,
+    experiments, labelrun, lintrun, perf, report, serverun, supervise, sweeprun, Context, Scale,
 };
 use loopml_machine::SwpMode;
 use loopml_rt::Json;
@@ -140,11 +142,61 @@ const LABEL_MERGE_SPEC: Spec = Spec {
     name: "label-merge",
     summary: "merge a complete set of disjoint label shards into the single-process file",
     positionals: "<shard.json>...",
-    flags: &[FlagSpec {
-        flag: "--out",
-        value: Some("FILE"),
-        help: "merged labels path (default LABEL_ml.json)",
-    }],
+    flags: &[
+        FlagSpec {
+            flag: "--out",
+            value: Some("FILE"),
+            help: "merged labels path (default LABEL_ml.json)",
+        },
+        FlagSpec {
+            flag: "--degradation",
+            value: Some("FILE"),
+            help: "also write the merged degradation report here",
+        },
+    ],
+};
+
+const LABEL_SUPERVISE_SPEC: Spec = Spec {
+    name: "label-supervise",
+    summary: "self-healing labeling queue: N shard processes, heartbeats, bounded restarts",
+    positionals: "<N>",
+    flags: &[
+        FlagSpec {
+            flag: "--dir",
+            value: Some("DIR"),
+            help: "shard outputs + checkpoint directory (default LABEL_shards)",
+        },
+        FlagSpec {
+            flag: "--out",
+            value: Some("FILE"),
+            help: "merged labels path (default LABEL_ml.json)",
+        },
+        FlagSpec {
+            flag: "--degradation",
+            value: Some("FILE"),
+            help: "merged degradation report path (default LABEL_degradation.json)",
+        },
+        FlagSpec {
+            flag: "--max-restarts",
+            value: Some("N"),
+            help: "per-shard restart budget (default 2)",
+        },
+        FlagSpec {
+            flag: "--stall-ms",
+            value: Some("MS"),
+            help: "heartbeat stall timeout (default 120000)",
+        },
+        FlagSpec {
+            flag: "--chaos-kill",
+            value: Some("i:K"),
+            help: "test hook: kill shard i once it has K checkpoint(s)",
+        },
+        FlagSpec {
+            flag: "--retries",
+            value: Some("N"),
+            help: "labeling retry budget passed through to shards",
+        },
+    ],
 };
 
 const LABEL_DIFF_SPEC: Spec = Spec {
@@ -209,7 +261,25 @@ const SERVE_BENCH_SPEC: Spec = Spec {
     ],
 };
 
-const SPECS: [Spec; 10] = [
+const SERVE_STATS_CHECK_SPEC: Spec = Spec {
+    name: "serve-stats-check",
+    summary: "validate a loopml/serve-stats/v1 drain document written by loopml-serve",
+    positionals: "<stats.json>",
+    flags: &[
+        FlagSpec {
+            flag: "--require-faults",
+            value: None,
+            help: "fail unless at least one injected fault was recorded",
+        },
+        FlagSpec {
+            flag: "--require-drained",
+            value: None,
+            help: "fail unless the daemon exited via graceful drain",
+        },
+    ],
+};
+
+const SPECS: [Spec; 12] = [
     REPORT_SPEC,
     LINT_SPEC,
     PERF_SPEC,
@@ -217,9 +287,11 @@ const SPECS: [Spec; 10] = [
     SWEEP_SPEC,
     LABEL_SPEC,
     LABEL_MERGE_SPEC,
+    LABEL_SUPERVISE_SPEC,
     LABEL_DIFF_SPEC,
     TRAIN_SPEC,
     SERVE_BENCH_SPEC,
+    SERVE_STATS_CHECK_SPEC,
 ];
 
 fn main() {
@@ -239,9 +311,13 @@ fn run(args: &[String]) -> i32 {
         Some("sweep") => dispatch(&SWEEP_SPEC, &args[1..], cmd_sweep),
         Some("label") => dispatch(&LABEL_SPEC, &args[1..], cmd_label),
         Some("label-merge") => dispatch(&LABEL_MERGE_SPEC, &args[1..], cmd_label_merge),
+        Some("label-supervise") => dispatch(&LABEL_SUPERVISE_SPEC, &args[1..], cmd_label_supervise),
         Some("label-diff") => dispatch(&LABEL_DIFF_SPEC, &args[1..], cmd_label_diff),
         Some("train") => dispatch(&TRAIN_SPEC, &args[1..], cmd_train),
         Some("serve-bench") => dispatch(&SERVE_BENCH_SPEC, &args[1..], cmd_serve_bench),
+        Some("serve-stats-check") => {
+            dispatch(&SERVE_STATS_CHECK_SPEC, &args[1..], cmd_serve_stats_check)
+        }
         // Anything else is the default report subcommand: bare targets
         // (`repro --quick table2`) keep working, no arguments means all.
         Some("report") => dispatch(&REPORT_SPEC, &args[1..], cmd_report),
@@ -404,14 +480,129 @@ fn cmd_label(p: &Parsed) -> i32 {
 
 fn cmd_label_merge(p: &Parsed) -> i32 {
     if p.positionals.is_empty() {
-        eprintln!("usage: repro label-merge <shard.json>... [--out FILE]");
+        eprintln!("usage: repro label-merge <shard.json>... [--out FILE] [--degradation FILE]");
         return EXIT_USAGE;
     }
     let out = PathBuf::from(p.option("--out").unwrap_or("LABEL_ml.json"));
-    match labelrun::run_label_merge(&p.positionals, &out) {
+    let degradation = p.option("--degradation").map(PathBuf::from);
+    match labelrun::run_label_merge(&p.positionals, &out, degradation.as_deref()) {
+        Ok(()) => EXIT_OK,
+        // An overlapping, duplicated, or incomplete shard set is a
+        // malformed invocation; corrupt shard *data* is a failed run.
+        Err(e @ labelrun::MergeError::Spec(_)) => {
+            eprintln!("[label-merge] FAIL: {e}");
+            EXIT_USAGE
+        }
+        Err(e @ labelrun::MergeError::Data(_)) => {
+            eprintln!("[label-merge] FAIL: {e}");
+            EXIT_FAIL
+        }
+    }
+}
+
+fn cmd_label_supervise(p: &Parsed) -> i32 {
+    let [count] = &p.positionals[..] else {
+        eprintln!("usage: repro label-supervise <N> [options]");
+        return EXIT_USAGE;
+    };
+    let Ok(count) = count.parse::<usize>() else {
+        eprintln!("repro label-supervise: bad shard count {count:?}");
+        return EXIT_USAGE;
+    };
+    if count == 0 {
+        eprintln!("repro label-supervise: shard count must be at least 1");
+        return EXIT_USAGE;
+    }
+    let parse_num = |flag: &str| -> Result<Option<u64>, i32> {
+        match p.option(flag).map(str::parse).transpose() {
+            Ok(v) => Ok(v),
+            Err(_) => {
+                eprintln!("repro label-supervise: bad {flag} value");
+                Err(EXIT_USAGE)
+            }
+        }
+    };
+    let (max_restarts, stall_ms, retries) = match (
+        parse_num("--max-restarts"),
+        parse_num("--stall-ms"),
+        parse_num("--retries"),
+    ) {
+        (Ok(m), Ok(s), Ok(r)) => (m, s, r),
+        _ => return EXIT_USAGE,
+    };
+    let chaos_kill = match p.option("--chaos-kill").map(supervise::parse_chaos_kill) {
+        Some(Ok(spec)) => Some(spec),
+        Some(Err(e)) => {
+            eprintln!("repro label-supervise: {e}");
+            return EXIT_USAGE;
+        }
+        None => None,
+    };
+    let defaults = supervise::SuperviseArgs::default();
+    let a = supervise::SuperviseArgs {
+        count,
+        dir: p.option("--dir").map(PathBuf::from).unwrap_or(defaults.dir),
+        out: p.option("--out").map(PathBuf::from).unwrap_or(defaults.out),
+        degradation: p
+            .option("--degradation")
+            .map(PathBuf::from)
+            .unwrap_or(defaults.degradation),
+        max_restarts: max_restarts.map_or(defaults.max_restarts, |m| m as usize),
+        stall_ms: stall_ms.unwrap_or(defaults.stall_ms),
+        chaos_kill,
+        retries: retries.map(|r| r as u32),
+        scale: p.scale,
+        smoke: p.smoke,
+        corpus_scale: p.corpus_scale,
+    };
+    match supervise::run_label_supervise(&a) {
+        Ok(_) => EXIT_OK,
+        Err(e) => {
+            eprintln!("[label-supervise] FAIL: {e}");
+            EXIT_FAIL
+        }
+    }
+}
+
+fn cmd_serve_stats_check(p: &Parsed) -> i32 {
+    let [path] = &p.positionals[..] else {
+        eprintln!(
+            "usage: repro serve-stats-check <stats.json> [--require-faults] [--require-drained]"
+        );
+        return EXIT_USAGE;
+    };
+    let checked = std::fs::read_to_string(path)
+        .map_err(|e| format!("read {path}: {e}"))
+        .and_then(|text| Json::parse(&text).map_err(|e| format!("parse {path}: {e}")))
+        .and_then(|doc| {
+            loopml_serve::validate_serve_stats(&doc)?;
+            let faults: f64 = match doc.get("faults") {
+                // fold, not sum: Sum<f64> yields -0.0 for an empty map.
+                Some(Json::Obj(m)) => m.values().filter_map(Json::as_num).fold(0.0, |a, b| a + b),
+                _ => 0.0,
+            };
+            if p.has("--require-faults") && faults == 0.0 {
+                return Err("no injected faults recorded (fault plane inactive?)".into());
+            }
+            if p.has("--require-drained") && doc.get("drained") != Some(&Json::Bool(true)) {
+                return Err("daemon did not exit via graceful drain".into());
+            }
+            let n = |k: &str| doc.get(k).and_then(Json::as_num).unwrap_or(0.0);
+            eprintln!(
+                "[serve-stats-check] ok: {} request(s), {} error(s), {} retrie(s), \
+                 {} fault(s), {} control(s)",
+                n("served"),
+                n("errors"),
+                n("retries"),
+                faults,
+                n("controls"),
+            );
+            Ok(())
+        });
+    match checked {
         Ok(()) => EXIT_OK,
         Err(e) => {
-            eprintln!("[label-merge] FAIL: {e}");
+            eprintln!("[serve-stats-check] FAIL: {e}");
             EXIT_FAIL
         }
     }

@@ -126,12 +126,32 @@ pub fn labels_to_json(run: &LabelRun, swp: SwpMode) -> Json {
     labels_to_json_sharded(run, swp, None)
 }
 
+/// Stable fingerprint of a shard document's payload (the canonical
+/// serialization of its labels array and degradation block). Written
+/// into the `"shard"` block and recomputed by `repro label-merge`, so
+/// a shard file corrupted after it was written — a truncated labels
+/// array, a bit-flipped measurement — is detected instead of silently
+/// merged. The canonical JSON printer makes re-serialization of a
+/// parsed document byte-identical to what the writer hashed.
+pub fn shard_payload_fingerprint(labels: &Json, degradation: &Json) -> u64 {
+    loopml_rt::fault_key_str(&format!("{labels}\n{degradation}"))
+}
+
 /// [`labels_to_json`] for a shard run: identical document plus a
 /// `"shard"` block recording which slice of the work queue this file
-/// covers. `repro label-merge` validates those blocks and emits the
-/// merged document *without* one, so a merged file is byte-identical to
-/// a single-process `repro label` output.
+/// covers and a payload fingerprint for corruption detection.
+/// `repro label-merge` validates those blocks and emits the merged
+/// document *without* one, so a merged file is byte-identical to a
+/// single-process `repro label` output.
 pub fn labels_to_json_sharded(run: &LabelRun, swp: SwpMode, shard: Option<Shard>) -> Json {
+    let labels = Json::Arr(
+        run.labeled
+            .iter()
+            .zip(&run.attempts)
+            .map(|(l, &a)| labeled_to_json(l, a))
+            .collect(),
+    );
+    let degradation = run.report.to_json();
     let mut m = std::collections::BTreeMap::new();
     if let Some(s) = shard {
         m.insert(
@@ -139,6 +159,13 @@ pub fn labels_to_json_sharded(run: &LabelRun, swp: SwpMode, shard: Option<Shard>
             Json::obj([
                 ("index", Json::Num(s.index as f64)),
                 ("count", Json::Num(s.count as f64)),
+                (
+                    "fingerprint",
+                    Json::Str(format!(
+                        "{:#018x}",
+                        shard_payload_fingerprint(&labels, &degradation)
+                    )),
+                ),
             ]),
         );
     }
@@ -153,17 +180,8 @@ pub fn labels_to_json_sharded(run: &LabelRun, swp: SwpMode, shard: Option<Shard>
             .into(),
         ),
     );
-    m.insert(
-        "labels".into(),
-        Json::Arr(
-            run.labeled
-                .iter()
-                .zip(&run.attempts)
-                .map(|(l, &a)| labeled_to_json(l, a))
-                .collect(),
-        ),
-    );
-    m.insert("degradation".into(), run.report.to_json());
+    m.insert("labels".into(), labels);
+    m.insert("degradation".into(), degradation);
     Json::Obj(m)
 }
 
@@ -311,17 +329,50 @@ pub fn run_label_diff(
     Ok(())
 }
 
+/// Why a shard merge was refused, split by exit-code contract: a
+/// malformed shard *set* (duplicate, missing or overlapping shards) is
+/// a usage error ([`crate::cli::EXIT_USAGE`]), while an unreadable or
+/// corrupt shard *document* is a data failure
+/// ([`crate::cli::EXIT_FAIL`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The set of shard files given cannot form one complete disjoint
+    /// run: duplicates, gaps, disagreeing counts, labels outside the
+    /// shard that claims them. Fix the invocation.
+    Spec(String),
+    /// A shard file is unreadable, unparseable, or fails its payload
+    /// fingerprint (corrupted or truncated after writing). Re-run the
+    /// shard.
+    Data(String),
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Spec(m) => write!(f, "shard set rejected: {m}"),
+            MergeError::Data(m) => write!(f, "shard data rejected: {m}"),
+        }
+    }
+}
+
 /// Merges the labels files of a complete, disjoint set of shard runs
 /// (`repro label-merge <shard.json>... --out FILE`) into one document
 /// that is byte-identical to a single-process `repro label` run over the
 /// same suite. Validates that every shard is present exactly once, that
-/// all shards agree on the shard count and pipelining regime, and that
-/// every label lies in the shard that claims it; the merged labels are
-/// interleaved back into global suite order (each label records its
-/// global benchmark index) and the degradation accounting is summed.
-pub fn run_label_merge(shard_paths: &[String], out: &PathBuf) -> Result<(), String> {
+/// all shards agree on the shard count and pipelining regime, that every
+/// label lies in the shard that claims it, and that each document's
+/// payload matches its recorded [`shard_payload_fingerprint`]; the
+/// merged labels are interleaved back into global suite order (each
+/// label records its global benchmark index) and the degradation
+/// accounting is summed (optionally written to `degradation_out`,
+/// byte-identical to the single-process degradation report).
+pub fn run_label_merge(
+    shard_paths: &[String],
+    out: &PathBuf,
+    degradation_out: Option<&std::path::Path>,
+) -> Result<(), MergeError> {
     if shard_paths.is_empty() {
-        return Err("no shard files given".into());
+        return Err(MergeError::Spec("no shard files given".into()));
     }
     struct ShardDoc {
         shard: Shard,
@@ -332,51 +383,82 @@ pub fn run_label_merge(shard_paths: &[String], out: &PathBuf) -> Result<(), Stri
     }
     let mut docs: Vec<ShardDoc> = Vec::new();
     for path in shard_paths {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-        let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| MergeError::Data(format!("read {path}: {e}")))?;
+        let doc = Json::parse(&text).map_err(|e| MergeError::Data(format!("parse {path}: {e}")))?;
         if doc.get("schema").and_then(Json::as_str) != Some(LABELS_SCHEMA) {
-            return Err(format!("{path}: not a {LABELS_SCHEMA} document"));
+            return Err(MergeError::Data(format!(
+                "{path}: not a {LABELS_SCHEMA} document"
+            )));
         }
-        let shard_block = doc
-            .get("shard")
-            .ok_or_else(|| format!("{path}: not a shard labels file (missing shard block)"))?;
+        let shard_block = doc.get("shard").ok_or_else(|| {
+            MergeError::Spec(format!(
+                "{path}: not a shard labels file (missing shard block)"
+            ))
+        })?;
         let index = shard_block
             .get("index")
             .and_then(Json::as_num)
-            .ok_or_else(|| format!("{path}: bad shard.index"))? as usize;
+            .ok_or_else(|| MergeError::Spec(format!("{path}: bad shard.index")))?
+            as usize;
         let count = shard_block
             .get("count")
             .and_then(Json::as_num)
-            .ok_or_else(|| format!("{path}: bad shard.count"))? as usize;
+            .ok_or_else(|| MergeError::Spec(format!("{path}: bad shard.count")))?
+            as usize;
         if count == 0 || index >= count {
-            return Err(format!("{path}: bad shard spec {index}/{count}"));
+            return Err(MergeError::Spec(format!(
+                "{path}: bad shard spec {index}/{count}"
+            )));
+        }
+        // Corruption gate: the payload must hash to the fingerprint the
+        // shard process recorded when it wrote the file.
+        let recorded = shard_block
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .ok_or_else(|| {
+                MergeError::Data(format!("{path}: shard block has no payload fingerprint"))
+            })?;
+        let labels_doc = doc
+            .get("labels")
+            .ok_or_else(|| MergeError::Data(format!("{path}: missing labels array")))?;
+        let degradation_doc = doc
+            .get("degradation")
+            .ok_or_else(|| MergeError::Data(format!("{path}: missing degradation block")))?;
+        let computed = format!(
+            "{:#018x}",
+            shard_payload_fingerprint(labels_doc, degradation_doc)
+        );
+        if recorded != computed {
+            return Err(MergeError::Data(format!(
+                "{path}: payload fingerprint {computed} does not match recorded {recorded} \
+                 (shard file corrupted or truncated after writing)"
+            )));
         }
         let shard = Shard { index, count };
         let swp = doc
             .get("swp")
             .and_then(Json::as_str)
-            .ok_or_else(|| format!("{path}: missing swp"))?
+            .ok_or_else(|| MergeError::Data(format!("{path}: missing swp")))?
             .to_string();
-        let labels: Vec<(loopml::LabeledLoop, u32)> = doc
-            .get("labels")
-            .and_then(Json::as_arr)
-            .ok_or_else(|| format!("{path}: missing labels array"))?
+        let labels: Vec<(loopml::LabeledLoop, u32)> = labels_doc
+            .as_arr()
+            .ok_or_else(|| MergeError::Data(format!("{path}: labels is not an array")))?
             .iter()
             .map(labeled_from_json)
             .collect::<Option<_>>()
-            .ok_or_else(|| format!("{path}: malformed label entry"))?;
+            .ok_or_else(|| MergeError::Data(format!("{path}: malformed label entry")))?;
         for (l, _) in &labels {
             if !shard.owns(l.benchmark) {
-                return Err(format!(
-                    "{path}: label {} (benchmark {}) outside shard {index}/{count}",
+                return Err(MergeError::Spec(format!(
+                    "{path}: label {} (benchmark {}) outside shard {index}/{count} \
+                     (overlapping shard specs?)",
                     l.name, l.benchmark
-                ));
+                )));
             }
         }
-        let report = doc
-            .get("degradation")
-            .and_then(DegradationReport::from_json)
-            .ok_or_else(|| format!("{path}: malformed degradation block"))?;
+        let report = DegradationReport::from_json(degradation_doc)
+            .ok_or_else(|| MergeError::Data(format!("{path}: malformed degradation block")))?;
         docs.push(ShardDoc {
             shard,
             path: path.clone(),
@@ -389,33 +471,35 @@ pub fn run_label_merge(shard_paths: &[String], out: &PathBuf) -> Result<(), Stri
     let count = docs[0].shard.count;
     let swp_str = docs[0].swp.clone();
     if docs.len() != count {
-        return Err(format!(
+        return Err(MergeError::Spec(format!(
             "expected {count} shard file(s), got {}",
             docs.len()
-        ));
+        )));
     }
     docs.sort_by_key(|d| d.shard.index);
     for (i, d) in docs.iter().enumerate() {
         if d.shard.count != count {
-            return Err(format!(
+            return Err(MergeError::Spec(format!(
                 "{}: shard count {} disagrees with {count}",
                 d.path, d.shard.count
-            ));
+            )));
         }
         if d.shard.index != i {
-            return Err(format!("shard {i}/{count} missing or duplicated"));
+            return Err(MergeError::Spec(format!(
+                "shard {i}/{count} missing or duplicated"
+            )));
         }
         if d.swp != swp_str {
-            return Err(format!(
+            return Err(MergeError::Spec(format!(
                 "{}: swp {:?} disagrees with {swp_str:?}",
                 d.path, d.swp
-            ));
+            )));
         }
     }
     let swp = match swp_str.as_str() {
         "disabled" => SwpMode::Disabled,
         "enabled" => SwpMode::Enabled,
-        other => return Err(format!("unknown swp regime {other:?}")),
+        other => return Err(MergeError::Data(format!("unknown swp regime {other:?}"))),
     };
 
     // Interleave back into global suite order. Each benchmark is owned
@@ -456,7 +540,13 @@ pub fn run_label_merge(shard_paths: &[String], out: &PathBuf) -> Result<(), Stri
         report,
     };
     let doc = labels_to_json(&run, swp);
-    std::fs::write(out, format!("{doc}\n")).map_err(|e| format!("write {}: {e}", out.display()))?;
+    std::fs::write(out, format!("{doc}\n"))
+        .map_err(|e| MergeError::Data(format!("write {}: {e}", out.display())))?;
+    if let Some(path) = degradation_out {
+        let deg = run.report.to_json();
+        std::fs::write(path, format!("{deg}\n"))
+            .map_err(|e| MergeError::Data(format!("write {}: {e}", path.display())))?;
+    }
     eprintln!(
         "[label-merge] merged {count} shard(s): {} labels across {} benchmark(s) -> {}",
         run.labeled.len(),
@@ -546,7 +636,7 @@ mod tests {
             })
             .collect();
         let out = dir.join("merged.json");
-        run_label_merge(&paths, &out).expect("merge succeeds");
+        run_label_merge(&paths, &out, None).expect("merge succeeds");
         let merged = std::fs::read_to_string(&out).unwrap();
         assert_eq!(
             merged,
@@ -554,10 +644,46 @@ mod tests {
             "merge must be byte-identical"
         );
 
-        // An incomplete shard set is rejected, as is a duplicated shard.
-        assert!(run_label_merge(&paths[..2], &out).is_err());
+        // An incomplete shard set and a duplicated shard are *spec*
+        // errors (exit 2 territory), not data corruption.
+        assert!(matches!(
+            run_label_merge(&paths[..2], &out, None),
+            Err(MergeError::Spec(_))
+        ));
         let dup = vec![paths[0].clone(), paths[0].clone(), paths[1].clone()];
-        assert!(run_label_merge(&dup, &out).is_err());
+        assert!(matches!(
+            run_label_merge(&dup, &out, None),
+            Err(MergeError::Spec(_))
+        ));
+
+        // A corrupted shard payload trips the fingerprint gate: flip one
+        // byte inside the labels array and the merge must refuse with a
+        // *data* error naming the fingerprint mismatch.
+        let original = std::fs::read_to_string(&paths[1]).unwrap();
+        let corrupt = original.replacen("\"label\":", "\"label\":9", 1);
+        assert_ne!(original, corrupt, "corruption must change the payload");
+        std::fs::write(&paths[1], &corrupt).unwrap();
+        match run_label_merge(&paths, &out, None) {
+            Err(MergeError::Data(m)) => {
+                assert!(m.contains("fingerprint"), "unexpected diagnostic: {m}")
+            }
+            other => panic!("corrupt shard must be a data error, got {other:?}"),
+        }
+        // A truncated shard is also caught (as a parse failure).
+        std::fs::write(&paths[1], &original[..original.len() / 2]).unwrap();
+        assert!(matches!(
+            run_label_merge(&paths, &out, None),
+            Err(MergeError::Data(_))
+        ));
+        std::fs::write(&paths[1], &original).unwrap();
+
+        // The optional degradation sidecar matches the single-process
+        // report byte-for-byte.
+        let deg_out = dir.join("merged_degradation.json");
+        run_label_merge(&paths, &out, Some(&deg_out)).expect("merge succeeds");
+        let single_run = loopml::label_suite_resilient(&suite, &cfg, &res);
+        let want_deg = format!("{}\n", single_run.report.to_json());
+        assert_eq!(std::fs::read_to_string(&deg_out).unwrap(), want_deg);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

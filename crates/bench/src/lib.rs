@@ -25,7 +25,11 @@
 //! matrix and emits `SWEEP_ml.json`, and the prediction-as-a-service
 //! surface (`repro train` / `repro serve-bench`, [`serverun`]), which
 //! emits the versioned model artifact `loopml-serve` loads and replays
-//! batched traffic against it. Every subcommand shares one flag parser
+//! batched traffic against it, and the self-healing multi-process
+//! labeling queue (`repro label-supervise`, [`supervise`]), which
+//! shards labeling across child processes with heartbeat monitoring,
+//! bounded restarts, and fingerprint-verified merging.
+//! Every subcommand shares one flag parser
 //! and exit-code convention ([`cli`]). Run `repro all` for everything,
 //! `--quick` for a reduced corpus.
 
@@ -40,6 +44,7 @@ pub mod lintrun;
 pub mod perf;
 pub mod report;
 pub mod serverun;
+pub mod supervise;
 pub mod sweeprun;
 
 pub use context::{Context, Scale};

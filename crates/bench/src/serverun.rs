@@ -24,7 +24,7 @@ use loopml::{
 use loopml_ir::Loop;
 use loopml_ml::{Classifier, MulticlassSvm, NearNeighbors, SweepConfig};
 use loopml_rt::Json;
-use loopml_serve::{serve_lines, Request, Response, ServeModel};
+use loopml_serve::{Request, Response, ServeModel, ServeOptions, ServeSession, SessionReply};
 
 use crate::cli::Parsed;
 use crate::context::Scale;
@@ -228,36 +228,82 @@ pub fn percentile(latencies: &[f64], q: f64) -> f64 {
 }
 
 /// Replays `loops` through the in-process serving loop in batches of
-/// `batch_size` and summarizes per-batch latency. The serving loop is
-/// the exact code `loopml-serve` runs on its stdin.
+/// `batch_size` and summarizes per-batch latency. The serving session
+/// is the exact state machine `loopml-serve` runs on its stdin, under
+/// the same environment configuration (`LOOPML_FAULTS`,
+/// `LOOPML_SERVE_*`) — so a chaos replay exercises the daemon's retry
+/// path, and the dumped request stream (resends included) drives the
+/// daemon binary to byte-identical responses.
+///
+/// Mirroring the labeling retry contract, a batch answered with the
+/// retryable [`loopml_serve::code::FAULT`] error (in-daemon retry
+/// budget exhausted) is resent with bounded deterministic backoff
+/// (`2^attempt` ms, same budget as the session's); the resent request
+/// draws fresh fault coins. A fault-free replay takes every batch on
+/// attempt 0 and is bit-identical to the legacy single-pass replay.
 pub fn replay_batches(
     model: &ServeModel,
     loops: &[Loop],
     batch_size: usize,
 ) -> Result<ReplayOutcome, String> {
+    replay_batches_with(model, &ServeOptions::from_env(), loops, batch_size)
+}
+
+/// [`replay_batches`] under an explicit configuration instead of the
+/// environment's (chaos tests pass a [`loopml_rt::FaultPlane`] directly
+/// so they cannot race other tests on process-global state).
+pub fn replay_batches_with(
+    model: &ServeModel,
+    opts: &ServeOptions,
+    loops: &[Loop],
+    batch_size: usize,
+) -> Result<ReplayOutcome, String> {
     assert!(batch_size >= 1, "batch_size must be at least 1");
+    let resend_budget = opts.retry_budget;
+    let mut session = ServeSession::new(model, opts.clone());
     let mut requests = String::new();
+    let mut responses = String::new();
+    let mut served = Vec::with_capacity(loops.len());
     for (i, chunk) in loops.chunks(batch_size).enumerate() {
-        let req = Request::Loops {
+        let line = Request::Loops {
             id: Json::Num(i as f64),
             loops: chunk.to_vec(),
-        };
-        requests.push_str(&req.to_json().to_string());
-        requests.push('\n');
-    }
-    let mut out = Vec::new();
-    let stats = serve_lines(model, requests.as_bytes(), &mut out)?;
-    let responses = String::from_utf8(out).map_err(|e| format!("non-UTF-8 response: {e}"))?;
-    let mut served = Vec::with_capacity(loops.len());
-    for line in responses.lines() {
-        let doc = Json::parse(line).map_err(|e| format!("bad response line: {e}"))?;
-        match Response::from_json(&doc)? {
-            Response::Factors { factors, .. } => served.extend(factors),
-            Response::Error { id, message } => {
-                return Err(format!("batch {id} answered an error: {message}"))
+        }
+        .to_json()
+        .to_string();
+        let mut attempt = 0u32;
+        loop {
+            requests.push_str(&line);
+            requests.push('\n');
+            let reply = session
+                .answer_line(&line)
+                .expect("a request line is never blank");
+            let response = match reply {
+                SessionReply::Answer(r) => r,
+                other => return Err(format!("batch {i} answered a control reply: {other:?}")),
+            };
+            responses.push_str(&response.to_json().to_string());
+            responses.push('\n');
+            match response {
+                Response::Factors { factors, .. } => {
+                    served.extend(factors);
+                    break;
+                }
+                Response::Error { id, code, message } => {
+                    if code.as_deref() == Some(loopml_serve::code::FAULT) && attempt < resend_budget
+                    {
+                        attempt += 1;
+                        // Bounded deterministic backoff, mirroring the
+                        // labeling retry contract: 2, 4, 8... ms.
+                        std::thread::sleep(std::time::Duration::from_millis(1 << attempt));
+                        continue;
+                    }
+                    return Err(format!("batch {id} answered an error: {message}"));
+                }
             }
         }
     }
+    let stats = session.into_stats();
     Ok(ReplayOutcome {
         summary: Replay {
             batches: stats.batches,
@@ -410,6 +456,48 @@ mod tests {
             assert_eq!(outcome.summary.predictions, loops.len());
             assert_eq!(outcome.summary.batches, loops.len().div_ceil(8));
         }
+    }
+
+    #[test]
+    fn chaos_replay_retries_exhausted_batches_and_stays_bit_identical() {
+        use loopml_rt::fault::site;
+        use loopml_rt::FaultPlane;
+        let p = pipeline_for(Scale::Quick, 1, true, false);
+        let loops = all_loops(&p);
+        let model = ServeModel::from_artifact(
+            p.train_artifact("NN", Box::new(NearNeighbors::new(DEFAULT_RADIUS))),
+        )
+        .expect("model");
+        let want: Vec<u32> = loops.iter().map(|l| model.heuristic().choose(l)).collect();
+        let clean =
+            replay_batches_with(&model, &ServeOptions::quiet(), &loops, 8).expect("clean replay");
+        assert_eq!(clean.served, want);
+
+        // A fault rate high enough to exhaust the in-daemon budget on
+        // some batch: the replay layer must resend (visible as extra
+        // dumped request lines) and the recovered run must still answer
+        // bit-identically. The plane is deterministic, so scan seeds
+        // until one produces a successful resend.
+        let mut resent = false;
+        for seed in 0..200u64 {
+            let opts = ServeOptions {
+                faults: FaultPlane::new(seed, 0.7).at_site(site::SERVE_PREDICT),
+                retry_budget: 1,
+                ..ServeOptions::default()
+            };
+            let Ok(outcome) = replay_batches_with(&model, &opts, &loops, 8) else {
+                continue;
+            };
+            assert_eq!(outcome.served, want, "seed {seed}: chaos replay diverged");
+            if outcome.requests.lines().count() > clean.requests.lines().count() {
+                resent = true;
+                break;
+            }
+        }
+        assert!(
+            resent,
+            "no seed exercised the resend path; retune the rates"
+        );
     }
 
     #[test]

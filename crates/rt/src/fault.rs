@@ -44,8 +44,25 @@ pub mod site {
     pub const LABEL_LOOP: &str = "label.loop";
     /// One whole-benchmark evaluation measurement (Figures 4/5).
     pub const EVAL_BENCH: &str = "eval.bench";
+    /// Decoding one serving request (parse/admission). Transient: the
+    /// daemon re-decodes on retry.
+    pub const SERVE_DECODE: &str = "serve.decode";
+    /// One batched prediction inside the serving daemon. Transient:
+    /// predictions are pure, so a retry answers bit-identically.
+    pub const SERVE_PREDICT: &str = "serve.predict";
+    /// Writing one serving response. Transient: the response is not
+    /// emitted until the write check passes, so a retry cannot
+    /// duplicate output.
+    pub const SERVE_WRITE: &str = "serve.write";
     /// Every known site, for validating `LOOPML_FAULTS` site filters.
-    pub const ALL: &[&str] = &[LABEL_MEASURE, LABEL_LOOP, EVAL_BENCH];
+    pub const ALL: &[&str] = &[
+        LABEL_MEASURE,
+        LABEL_LOOP,
+        EVAL_BENCH,
+        SERVE_DECODE,
+        SERVE_PREDICT,
+        SERVE_WRITE,
+    ];
 }
 
 /// Panic payload raised by [`FaultPlane::trip`]. Isolation layers

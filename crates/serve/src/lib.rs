@@ -27,7 +27,12 @@ pub mod server;
 pub mod wire;
 
 pub use model::ServeModel;
-pub use server::{serve_framed, serve_lines, ServeStats};
+pub use server::{
+    serve_framed, serve_framed_with, serve_lines, serve_lines_with, serve_stats_to_json,
+    validate_serve_stats, ServeOptions, ServeSession, ServeStats, SessionReply,
+    DEFAULT_SERVE_RETRIES, SERVE_STATS_SCHEMA,
+};
 pub use wire::{
-    loop_from_json, loop_to_json, read_frame, write_frame, Request, Response, MAX_FRAME,
+    code, loop_from_json, loop_to_json, read_frame, read_frame_bounded, read_line_bounded,
+    write_frame, Frame, Line, Request, Response, ServeLimits, MAX_BATCH, MAX_FRAME, MAX_LINE,
 };

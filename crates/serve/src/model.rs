@@ -51,6 +51,12 @@ impl ServeModel {
         &self.artifact.name
     }
 
+    /// The artifact fingerprint in the `0x`-prefixed 16-digit hex form
+    /// used by `repro train` output and the serve-stats document.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:#018x}", self.artifact.fingerprint)
+    }
+
     /// Number of features a projected query row must have.
     fn subset_dims(&self) -> usize {
         match &self.artifact.feature_subset {

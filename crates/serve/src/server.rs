@@ -1,111 +1,489 @@
-//! The daemon loop: read a request, answer a batch, repeat until EOF.
+//! The daemon loop: read a request, answer a batch, repeat until EOF
+//! or a shutdown sentinel.
 //!
 //! Two transports share one dispatch path: newline-delimited JSON
 //! (trivially driven from a shell) and 4-byte big-endian
 //! length-prefixed frames (for clients embedding the daemon where
-//! newline framing is fragile). Per-request failures are answered with
-//! an error document and the loop keeps serving; only transport-level
-//! failures (a torn frame, an unwritable pipe) stop the daemon.
+//! newline framing is fragile). The loop is hardened for production:
+//!
+//! * **Admission limits** ([`ServeLimits`]) — an oversized frame, an
+//!   unbounded request line, or a too-large batch is answered with a
+//!   structured error code ([`crate::wire::code`]) and the transport
+//!   resyncs; hostile input can cost one bounded buffer, never the
+//!   daemon.
+//! * **Panic isolation** — every prediction runs under `catch_unwind`;
+//!   a genuine panic is answered as a [`code::PANIC`] error and the
+//!   loop keeps serving.
+//! * **Deterministic chaos** — the [`FaultPlane`] sites `serve.decode`,
+//!   `serve.predict` and `serve.write` inject reproducible faults keyed
+//!   by `(request sequence, attempt)`. Injected faults are retried
+//!   in-daemon with a bounded budget; predictions are pure, so a chaos
+//!   run answers every well-formed request byte-identically to a clean
+//!   run unless the budget is exhausted (then: a retryable
+//!   [`code::FAULT`] error).
+//! * **Control plane** — `{"control": "ping" | "stats" | "shutdown"}`
+//!   answer liveness, counters and a graceful drain; the drain flushes
+//!   a validated [`SERVE_STATS_SCHEMA`] document.
 
+use std::collections::BTreeMap;
 use std::io::{BufRead, Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
-use loopml_rt::Json;
+use loopml_rt::fault::site;
+use loopml_rt::{fault_key, FaultPlane, InjectedFault, Json};
 
 use crate::model::ServeModel;
-use crate::wire::{read_frame, write_frame, Request, Response};
+use crate::wire::{code, read_frame_bounded, read_line_bounded, write_frame};
+use crate::wire::{Frame, Line, Request, Response, ServeLimits};
 
-/// What a daemon run served, for the bench harness: batch count,
-/// prediction count, and per-batch wall-clock latencies.
+/// Schema tag of the drain/stats document the daemon emits.
+pub const SERVE_STATS_SCHEMA: &str = "loopml/serve-stats/v1";
+
+/// Default in-daemon retry budget for injected transient faults,
+/// mirroring the labeling retry contract.
+pub const DEFAULT_SERVE_RETRIES: u32 = 3;
+
+/// Environment variable overriding the in-daemon retry budget.
+pub const SERVE_RETRIES_ENV: &str = "LOOPML_SERVE_RETRIES";
+
+/// Runtime configuration of one serving session: admission limits, the
+/// fault plane, and the transient-fault retry budget.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Admission limits (frame/line/batch caps).
+    pub limits: ServeLimits,
+    /// Deterministic fault plane (disabled outside chaos runs).
+    pub faults: FaultPlane,
+    /// Retries per request before answering a [`code::FAULT`] error.
+    pub retry_budget: u32,
+}
+
+impl ServeOptions {
+    /// Reads the full serving configuration from the environment:
+    /// limits from `LOOPML_SERVE_MAX_*`, the fault plane from
+    /// `LOOPML_FAULTS`, the retry budget from [`SERVE_RETRIES_ENV`].
+    pub fn from_env() -> Self {
+        let retry_budget = std::env::var(SERVE_RETRIES_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_SERVE_RETRIES);
+        ServeOptions {
+            limits: ServeLimits::from_env(),
+            faults: FaultPlane::env_or_disabled(),
+            retry_budget,
+        }
+    }
+
+    /// Options with a disabled fault plane and default limits, plus the
+    /// default retry budget.
+    pub fn quiet() -> Self {
+        ServeOptions {
+            retry_budget: DEFAULT_SERVE_RETRIES,
+            ..ServeOptions::default()
+        }
+    }
+}
+
+/// What a daemon run served: volumes, latencies, and the robustness
+/// counters the `stats` control request and the drain document report.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServeStats {
-    /// Requests answered (including error answers).
+    /// Requests answered (including error answers, excluding control
+    /// requests).
     pub batches: usize,
     /// Total predictions returned across all batches.
     pub predictions: usize,
     /// Wall-clock milliseconds per answered batch, in arrival order.
     pub latencies_ms: Vec<f64>,
+    /// Requests answered with an error document.
+    pub errors: usize,
+    /// In-daemon retry attempts consumed by injected faults.
+    pub retries: usize,
+    /// Control requests answered (`ping`/`stats`/`shutdown`).
+    pub controls: usize,
+    /// Injected faults observed, per site.
+    pub faults: BTreeMap<String, usize>,
+    /// Whether the run ended on a shutdown sentinel (graceful drain)
+    /// rather than transport EOF.
+    pub drained: bool,
 }
 
 impl ServeStats {
-    fn record(&mut self, predictions: usize, started: Instant) {
+    fn record(&mut self, response: &Response, started: Instant) {
         self.batches += 1;
-        self.predictions += predictions;
+        match response {
+            Response::Factors { factors, .. } => self.predictions += factors.len(),
+            Response::Error { .. } => self.errors += 1,
+        }
         self.latencies_ms
             .push(started.elapsed().as_secs_f64() * 1e3);
     }
-}
 
-/// Answers one parsed request document.
-fn answer(model: &ServeModel, doc: &Json) -> Response {
-    match Request::from_json(doc) {
-        Ok(Request::Features { id, rows }) => match model.predict_rows(&rows) {
-            Ok(factors) => Response::Factors { id, factors },
-            Err(message) => Response::Error { id, message },
-        },
-        Ok(Request::Loops { id, loops }) => Response::Factors {
-            factors: model.choose_loops(&loops),
-            id,
-        },
-        Err(message) => Response::Error {
-            id: doc.get("id").cloned().unwrap_or(Json::Null),
-            message,
-        },
+    fn record_fault(&mut self, at: &str) {
+        *self.faults.entry(at.to_string()).or_insert(0) += 1;
     }
 }
 
-fn response_len(r: &Response) -> usize {
-    match r {
-        Response::Factors { factors, .. } => factors.len(),
-        Response::Error { .. } => 0,
+/// One reply from [`ServeSession::answer_line`] /
+/// [`ServeSession::answer_doc`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionReply {
+    /// A prediction or error response to write back.
+    Answer(Response),
+    /// A control-plane reply document to write back.
+    Control(Json),
+    /// The drain reply: write it back, then stop reading. Carries the
+    /// final [`SERVE_STATS_SCHEMA`] document.
+    Shutdown(Json),
+}
+
+impl SessionReply {
+    /// The reply as a wire document.
+    pub fn to_json(&self) -> Json {
+        match self {
+            SessionReply::Answer(r) => r.to_json(),
+            SessionReply::Control(doc) | SessionReply::Shutdown(doc) => doc.clone(),
+        }
     }
 }
 
-/// Serves newline-delimited JSON requests until EOF. Blank lines are
-/// skipped; an unparseable line is answered with an error document.
-pub fn serve_lines<R: BufRead, W: Write>(
-    model: &ServeModel,
-    reader: R,
-    mut writer: W,
-) -> Result<ServeStats, String> {
-    let mut stats = ServeStats::default();
-    for line in reader.lines() {
-        let line = line.map_err(|e| format!("request read failed: {e}"))?;
+/// One serving session: the model, the options, and the counters. Both
+/// transports and the serve-bench replay drive this state machine, so
+/// retry/fault/limit behavior cannot drift between them.
+#[derive(Debug)]
+pub struct ServeSession<'m> {
+    model: &'m ServeModel,
+    opts: ServeOptions,
+    stats: ServeStats,
+    seq: u64,
+}
+
+impl<'m> ServeSession<'m> {
+    /// Starts a session over `model` with `opts`.
+    pub fn new(model: &'m ServeModel, opts: ServeOptions) -> Self {
+        ServeSession {
+            model,
+            opts,
+            stats: ServeStats::default(),
+            seq: 0,
+        }
+    }
+
+    /// The session's options.
+    pub fn options(&self) -> &ServeOptions {
+        &self.opts
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Consumes the session, returning its counters.
+    pub fn into_stats(self) -> ServeStats {
+        self.stats
+    }
+
+    /// The current [`SERVE_STATS_SCHEMA`] document.
+    pub fn stats_doc(&self) -> Json {
+        serve_stats_to_json(self.model, &self.stats)
+    }
+
+    /// Answers one request line. Blank lines are skipped (`None`); an
+    /// unparseable line is answered with a [`code::DECODE`] error.
+    pub fn answer_line(&mut self, line: &str) -> Option<SessionReply> {
         if line.trim().is_empty() {
-            continue;
+            return None;
+        }
+        match Json::parse(line) {
+            Ok(doc) => Some(self.answer_doc(&doc)),
+            Err(e) => {
+                let started = Instant::now();
+                let r = Response::error(
+                    Json::Null,
+                    code::DECODE,
+                    format!("request is not valid JSON: {e}"),
+                );
+                self.seq += 1;
+                self.stats.record(&r, started);
+                Some(SessionReply::Answer(r))
+            }
+        }
+    }
+
+    /// Answers one parsed request document (control or prediction).
+    pub fn answer_doc(&mut self, doc: &Json) -> SessionReply {
+        if let Some(what) = doc.get("control").and_then(Json::as_str) {
+            return self.answer_control(what);
         }
         let started = Instant::now();
-        let response = match Json::parse(&line) {
-            Ok(doc) => answer(model, &doc),
-            Err(e) => Response::Error {
-                id: Json::Null,
-                message: format!("request is not valid JSON: {e}"),
-            },
-        };
-        writeln!(writer, "{}", response.to_json())
-            .map_err(|e| format!("response write failed: {e}"))?;
-        writer
-            .flush()
-            .map_err(|e| format!("response flush failed: {e}"))?;
-        stats.record(response_len(&response), started);
+        let response = self.answer_request(doc);
+        self.seq += 1;
+        self.stats.record(&response, started);
+        SessionReply::Answer(response)
     }
-    Ok(stats)
+
+    /// Answers a defective transport read (oversized frame, overlong
+    /// line, torn frame) as a structured error response.
+    pub fn answer_defect(&mut self, defect_code: &'static str, message: String) -> SessionReply {
+        let started = Instant::now();
+        let r = Response::error(Json::Null, defect_code, message);
+        self.seq += 1;
+        self.stats.record(&r, started);
+        SessionReply::Answer(r)
+    }
+
+    fn answer_control(&mut self, what: &str) -> SessionReply {
+        self.stats.controls += 1;
+        match what {
+            "ping" => SessionReply::Control(Json::obj([
+                ("control", Json::Str("pong".into())),
+                ("model", Json::Str(self.model.name().into())),
+                ("kind", Json::Str(self.model.artifact().kind().into())),
+                ("fingerprint", Json::Str(self.model.fingerprint_hex())),
+            ])),
+            "stats" => SessionReply::Control(self.stats_doc()),
+            "shutdown" => {
+                self.stats.drained = true;
+                SessionReply::Shutdown(self.stats_doc())
+            }
+            other => SessionReply::Answer(Response::error(
+                Json::Null,
+                code::DECODE,
+                format!("unknown control request {other:?}"),
+            )),
+        }
+    }
+
+    /// The hardened per-request path: bounded retries over the three
+    /// serve fault sites, `catch_unwind` around the prediction, and the
+    /// batch admission limit. Predictions are pure, so a retried
+    /// request answers bit-identically to an unfaulted one.
+    fn answer_request(&mut self, doc: &Json) -> Response {
+        let id = || doc.get("id").cloned().unwrap_or(Json::Null);
+        let seq = self.seq;
+        for attempt in 0..=self.opts.retry_budget {
+            if attempt > 0 {
+                self.stats.retries += 1;
+            }
+            let key = fault_key(&[seq, u64::from(attempt)]);
+            if let Err(f) = self.opts.faults.check(site::SERVE_DECODE, key) {
+                self.stats.record_fault(f.site);
+                continue;
+            }
+            let request = match Request::from_json(doc) {
+                Ok(r) => r,
+                Err(message) => return Response::error(id(), code::DECODE, message),
+            };
+            let rows = match &request {
+                Request::Features { rows, .. } => rows.len(),
+                Request::Loops { loops, .. } => loops.len(),
+            };
+            if rows > self.opts.limits.max_batch {
+                return Response::error(
+                    id(),
+                    code::LIMIT_BATCH,
+                    format!(
+                        "batch carries {rows} rows, over the {}-row cap",
+                        self.opts.limits.max_batch
+                    ),
+                );
+            }
+            let model = self.model;
+            let faults = self.opts.faults.clone();
+            let predicted = catch_unwind(AssertUnwindSafe(move || {
+                faults.trip(site::SERVE_PREDICT, key);
+                match request {
+                    Request::Features { id, rows } => {
+                        model.predict_rows(&rows).map(|factors| (id, factors))
+                    }
+                    Request::Loops { id, loops } => Ok((id, model.choose_loops(&loops))),
+                }
+            }));
+            match predicted {
+                Ok(Ok((id, factors))) => {
+                    if let Err(f) = self.opts.faults.check(site::SERVE_WRITE, key) {
+                        self.stats.record_fault(f.site);
+                        continue;
+                    }
+                    return Response::Factors { id, factors };
+                }
+                Ok(Err(message)) => return Response::error(id(), code::PREDICT, message),
+                Err(payload) => {
+                    if let Some(f) = payload.downcast_ref::<InjectedFault>() {
+                        self.stats.record_fault(f.site);
+                        continue;
+                    }
+                    return Response::error(
+                        id(),
+                        code::PANIC,
+                        format!("prediction panicked: {}", panic_text(&payload)),
+                    );
+                }
+            }
+        }
+        Response::error(
+            id(),
+            code::FAULT,
+            format!(
+                "request {seq} exhausted {} attempt(s) under injected faults; retryable",
+                self.opts.retry_budget + 1
+            ),
+        )
+    }
 }
 
-/// Serves length-prefixed frames until a clean EOF at a frame
-/// boundary. A torn frame is a transport error and stops the daemon.
-pub fn serve_framed<R: Read, W: Write>(
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Renders the [`SERVE_STATS_SCHEMA`] document: model identity (name,
+/// kind, artifact fingerprint) plus every robustness counter.
+pub fn serve_stats_to_json(model: &ServeModel, stats: &ServeStats) -> Json {
+    Json::obj([
+        ("schema", Json::Str(SERVE_STATS_SCHEMA.into())),
+        ("model", Json::Str(model.name().into())),
+        ("kind", Json::Str(model.artifact().kind().into())),
+        ("fingerprint", Json::Str(model.fingerprint_hex())),
+        ("served", Json::Num(stats.batches as f64)),
+        ("predictions", Json::Num(stats.predictions as f64)),
+        ("errors", Json::Num(stats.errors as f64)),
+        ("retries", Json::Num(stats.retries as f64)),
+        ("controls", Json::Num(stats.controls as f64)),
+        (
+            "faults",
+            Json::Obj(
+                stats
+                    .faults
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Json::Num(v as f64)))
+                    .collect(),
+            ),
+        ),
+        ("drained", Json::Bool(stats.drained)),
+    ])
+}
+
+/// Validates a [`SERVE_STATS_SCHEMA`] document: schema tag, model
+/// identity fields, and every counter a whole non-negative number.
+pub fn validate_serve_stats(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(SERVE_STATS_SCHEMA) {
+        return Err(format!("not a {SERVE_STATS_SCHEMA} document"));
+    }
+    for key in ["model", "kind"] {
+        if doc.get(key).and_then(Json::as_str).is_none() {
+            return Err(format!("missing string field {key:?}"));
+        }
+    }
+    match doc.get("fingerprint").and_then(Json::as_str) {
+        Some(f) if f.starts_with("0x") && f.len() == 18 => {}
+        other => return Err(format!("bad fingerprint field {other:?}")),
+    }
+    for key in ["served", "predictions", "errors", "retries", "controls"] {
+        match doc.get(key).and_then(Json::as_num) {
+            Some(v) if v >= 0.0 && v.fract() == 0.0 => {}
+            _ => return Err(format!("counter {key:?} is not a whole number")),
+        }
+    }
+    let Some(Json::Obj(faults)) = doc.get("faults") else {
+        return Err("faults is not an object".into());
+    };
+    for (site, v) in faults {
+        match v.as_num() {
+            Some(n) if n >= 0.0 && n.fract() == 0.0 => {}
+            _ => return Err(format!("fault counter {site:?} is not a whole number")),
+        }
+    }
+    match doc.get("drained") {
+        Some(Json::Bool(_)) => Ok(()),
+        _ => Err("missing bool field \"drained\"".into()),
+    }
+}
+
+/// Serves newline-delimited JSON requests under `opts` until EOF or a
+/// shutdown sentinel. Blank lines are skipped; unparseable or overlong
+/// lines are answered with structured error documents and the loop
+/// keeps serving. Only a genuinely unreadable/unwritable pipe is a
+/// transport error.
+pub fn serve_lines_with<R: BufRead, W: Write>(
     model: &ServeModel,
+    opts: &ServeOptions,
     mut reader: R,
     mut writer: W,
 ) -> Result<ServeStats, String> {
-    let mut stats = ServeStats::default();
-    while let Some(doc) = read_frame(&mut reader)? {
-        let started = Instant::now();
-        let response = answer(model, &doc);
-        write_frame(&mut writer, &response.to_json())
-            .map_err(|e| format!("response write failed: {e}"))?;
-        stats.record(response_len(&response), started);
+    let mut session = ServeSession::new(model, opts.clone());
+    let write_reply = |reply: &SessionReply, w: &mut W| -> Result<(), String> {
+        writeln!(w, "{}", reply.to_json()).map_err(|e| format!("response write failed: {e}"))?;
+        w.flush().map_err(|e| format!("response flush failed: {e}"))
+    };
+    while let Some(line) = read_line_bounded(&mut reader, &opts.limits)? {
+        let reply = match line {
+            Line::Text(text) => match session.answer_line(&text) {
+                Some(r) => r,
+                None => continue,
+            },
+            Line::Overlong { length } => session.answer_defect(
+                code::LIMIT_LINE,
+                format!(
+                    "request line of {length} bytes exceeds the {}-byte cap",
+                    opts.limits.max_line
+                ),
+            ),
+        };
+        write_reply(&reply, &mut writer)?;
+        if matches!(reply, SessionReply::Shutdown(_)) {
+            break;
+        }
     }
-    Ok(stats)
+    Ok(session.into_stats())
+}
+
+/// Serves length-prefixed frames under `opts` until EOF or a shutdown
+/// sentinel. Oversized, torn or undecodable frames are answered with
+/// structured error frames and the transport resyncs.
+pub fn serve_framed_with<R: Read, W: Write>(
+    model: &ServeModel,
+    opts: &ServeOptions,
+    mut reader: R,
+    mut writer: W,
+) -> Result<ServeStats, String> {
+    let mut session = ServeSession::new(model, opts.clone());
+    while let Some(frame) = read_frame_bounded(&mut reader, &opts.limits)? {
+        let reply = match frame {
+            Frame::Doc(doc) => session.answer_doc(&doc),
+            Frame::Defect { code, message } => session.answer_defect(code, message),
+        };
+        write_frame(&mut writer, &reply.to_json())
+            .map_err(|e| format!("response write failed: {e}"))?;
+        if matches!(reply, SessionReply::Shutdown(_)) {
+            break;
+        }
+    }
+    Ok(session.into_stats())
+}
+
+/// [`serve_lines_with`] under the environment's configuration
+/// (`LOOPML_SERVE_MAX_*`, `LOOPML_FAULTS`, `LOOPML_SERVE_RETRIES`).
+pub fn serve_lines<R: BufRead, W: Write>(
+    model: &ServeModel,
+    reader: R,
+    writer: W,
+) -> Result<ServeStats, String> {
+    serve_lines_with(model, &ServeOptions::from_env(), reader, writer)
+}
+
+/// [`serve_framed_with`] under the environment's configuration.
+pub fn serve_framed<R: Read, W: Write>(
+    model: &ServeModel,
+    reader: R,
+    writer: W,
+) -> Result<ServeStats, String> {
+    serve_framed_with(model, &ServeOptions::from_env(), reader, writer)
 }

@@ -16,7 +16,8 @@
 //! daemon keeps serving — one bad batch never takes the service down.
 
 use std::collections::BTreeMap;
-use std::io::{Read, Write};
+use std::io::{BufRead, Read, Write};
+use std::sync::Once;
 
 use loopml_ir::{ArrayId, Inst, Loop, MemRef, Opcode, Reg, RegClass, SourceLang, TripCount};
 use loopml_rt::Json;
@@ -25,6 +26,89 @@ use loopml_rt::Json;
 /// corrupt or hostile length header must not look like an allocation
 /// request.
 pub const MAX_FRAME: u32 = 16 << 20;
+
+/// Default cap on one newline-delimited request line (1 MiB).
+pub const MAX_LINE: usize = 1 << 20;
+
+/// Default cap on rows (feature vectors or loops) in one batch.
+pub const MAX_BATCH: usize = 4096;
+
+/// Structured error codes carried by [`Response::Error`], so clients
+/// can tell a malformed request from an admission-limit rejection from
+/// an internal failure without parsing prose.
+pub mod code {
+    /// The request could not be decoded (bad JSON, bad shape, torn
+    /// frame). Not retryable as sent.
+    pub const DECODE: &str = "decode";
+    /// A frame's length prefix exceeded the configured cap; the payload
+    /// was skipped and the transport resynced.
+    pub const LIMIT_FRAME: &str = "limit.frame";
+    /// A request line exceeded the configured cap; the rest of the line
+    /// was discarded.
+    pub const LIMIT_LINE: &str = "limit.line";
+    /// The batch carried more rows than the configured cap.
+    pub const LIMIT_BATCH: &str = "limit.batch";
+    /// The model rejected the batch (e.g. wrong feature dimensions).
+    pub const PREDICT: &str = "predict";
+    /// A genuine panic escaped the prediction path and was isolated.
+    pub const PANIC: &str = "panic";
+    /// The request exhausted its retry budget under injected faults.
+    /// Retryable: resending the request draws fresh fault coins.
+    pub const FAULT: &str = "fault";
+}
+
+/// Admission limits for the serving daemon, configurable per deployment
+/// through `LOOPML_SERVE_MAX_FRAME`, `LOOPML_SERVE_MAX_LINE` and
+/// `LOOPML_SERVE_MAX_BATCH`. Every limit violation is answered with a
+/// structured error response; none of them kills the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeLimits {
+    /// Largest accepted frame payload in bytes.
+    pub max_frame: u32,
+    /// Largest accepted request line in bytes (excluding the newline).
+    pub max_line: usize,
+    /// Largest accepted batch (rows or loops per request).
+    pub max_batch: usize,
+}
+
+impl Default for ServeLimits {
+    fn default() -> Self {
+        ServeLimits {
+            max_frame: MAX_FRAME,
+            max_line: MAX_LINE,
+            max_batch: MAX_BATCH,
+        }
+    }
+}
+
+impl ServeLimits {
+    /// Reads overrides from the environment. A malformed or zero value
+    /// warns once to stderr and keeps the default — a tuning knob must
+    /// never be able to take the daemon down.
+    pub fn from_env() -> Self {
+        fn env_limit(var: &str, default: u64) -> u64 {
+            let Ok(v) = std::env::var(var) else {
+                return default;
+            };
+            match v.trim().parse::<u64>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    static WARNED: Once = Once::new();
+                    WARNED.call_once(|| {
+                        eprintln!("[loopml-serve] ignoring malformed {var}={v:?} (want a positive integer)");
+                    });
+                    default
+                }
+            }
+        }
+        ServeLimits {
+            max_frame: env_limit("LOOPML_SERVE_MAX_FRAME", u64::from(MAX_FRAME))
+                .min(u64::from(u32::MAX)) as u32,
+            max_line: env_limit("LOOPML_SERVE_MAX_LINE", MAX_LINE as u64) as usize,
+            max_batch: env_limit("LOOPML_SERVE_MAX_BATCH", MAX_BATCH as u64) as usize,
+        }
+    }
+}
 
 /// Every opcode with its wire name (the lowercase [`Opcode`] display
 /// form), in declaration order. The table is the parse side of the
@@ -341,12 +425,32 @@ pub enum Response {
     Error {
         /// The request's id, echoed (`null` if unparseable).
         id: Json,
+        /// Structured error code (see [`code`]); `None` only for
+        /// responses written by pre-v1.1 servers.
+        code: Option<String>,
         /// What went wrong.
         message: String,
     },
 }
 
 impl Response {
+    /// Builds an error response with a structured [`code`].
+    pub fn error(id: Json, code: &str, message: impl Into<String>) -> Response {
+        Response::Error {
+            id,
+            code: Some(code.to_string()),
+            message: message.into(),
+        }
+    }
+
+    /// The structured error code, if this is an error response.
+    pub fn error_code(&self) -> Option<&str> {
+        match self {
+            Response::Error { code, .. } => code.as_deref(),
+            Response::Factors { .. } => None,
+        }
+    }
+
     /// Serializes the response document.
     pub fn to_json(&self) -> Json {
         match self {
@@ -357,8 +461,14 @@ impl Response {
                     Json::Arr(factors.iter().map(|&f| Json::Num(f64::from(f))).collect()),
                 ),
             ]),
-            Response::Error { id, message } => {
-                Json::obj([("id", id.clone()), ("error", Json::Str(message.clone()))])
+            Response::Error { id, code, message } => {
+                let mut m = BTreeMap::new();
+                m.insert("id".into(), id.clone());
+                if let Some(c) = code {
+                    m.insert("code".into(), Json::Str(c.clone()));
+                }
+                m.insert("error".into(), Json::Str(message.clone()));
+                Json::Obj(m)
             }
         }
     }
@@ -369,6 +479,7 @@ impl Response {
         if let Some(msg) = doc.get("error").and_then(Json::as_str) {
             return Ok(Response::Error {
                 id,
+                code: doc.get("code").and_then(Json::as_str).map(str::to_string),
                 message: msg.to_string(),
             });
         }
@@ -393,26 +504,166 @@ pub fn write_frame<W: Write>(w: &mut W, doc: &Json) -> std::io::Result<()> {
     w.flush()
 }
 
-/// Reads one length-prefixed frame; `Ok(None)` is a clean end of
-/// stream (EOF exactly at a frame boundary).
-pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Json>, String> {
+/// One bounded read from the framed transport: a decoded document, or
+/// a defect the daemon answers with an error response before resyncing
+/// to the next frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A well-formed frame carrying one JSON document.
+    Doc(Json),
+    /// A defective frame. The payload was consumed (or skipped), so the
+    /// reader is positioned at the next frame boundary.
+    Defect {
+        /// Structured error code (see [`code`]).
+        code: &'static str,
+        /// What was wrong with the frame.
+        message: String,
+    },
+}
+
+/// Reads one length-prefixed frame under `limits`, never allocating
+/// more than the configured cap: an oversized length prefix skips the
+/// payload and reports a [`Frame::Defect`] so the stream resyncs at the
+/// next frame boundary; torn or undecodable frames are defects too.
+/// `Ok(None)` is a clean EOF at a frame boundary; `Err` is reserved for
+/// genuine transport failures (an unreadable pipe).
+pub fn read_frame_bounded<R: Read>(
+    r: &mut R,
+    limits: &ServeLimits,
+) -> Result<Option<Frame>, String> {
     let mut header = [0u8; 4];
-    match r.read_exact(&mut header) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(format!("frame header read failed: {e}")),
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Ok(Some(Frame::Defect {
+                    code: code::DECODE,
+                    message: format!("torn frame header ({got} of 4 bytes)"),
+                }))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("frame header read failed: {e}")),
+        }
     }
     let len = u32::from_be_bytes(header);
-    if len > MAX_FRAME {
-        return Err(format!(
-            "frame length {len} exceeds the {MAX_FRAME}-byte cap"
-        ));
+    if len > limits.max_frame {
+        // Skip the claimed payload without allocating it; a truncated
+        // oversize frame just drains to EOF.
+        let skipped = std::io::copy(&mut r.take(u64::from(len)), &mut std::io::sink())
+            .map_err(|e| format!("oversized frame skip failed: {e}"))?;
+        return Ok(Some(Frame::Defect {
+            code: code::LIMIT_FRAME,
+            message: format!(
+                "frame length {len} exceeds the {}-byte cap ({skipped} bytes skipped)",
+                limits.max_frame
+            ),
+        }));
     }
     let mut buf = vec![0u8; len as usize];
-    r.read_exact(&mut buf)
-        .map_err(|e| format!("truncated frame (wanted {len} bytes): {e}"))?;
-    let text = String::from_utf8(buf).map_err(|e| format!("frame is not UTF-8: {e}"))?;
-    Json::parse(&text).map(Some)
+    if let Err(e) = r.read_exact(&mut buf) {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            return Ok(Some(Frame::Defect {
+                code: code::DECODE,
+                message: format!("torn frame (wanted {len} bytes): {e}"),
+            }));
+        }
+        return Err(format!("frame payload read failed: {e}"));
+    }
+    let text = match String::from_utf8(buf) {
+        Ok(t) => t,
+        Err(e) => {
+            return Ok(Some(Frame::Defect {
+                code: code::DECODE,
+                message: format!("frame is not UTF-8: {e}"),
+            }))
+        }
+    };
+    match Json::parse(&text) {
+        Ok(doc) => Ok(Some(Frame::Doc(doc))),
+        Err(e) => Ok(Some(Frame::Defect {
+            code: code::DECODE,
+            message: format!("frame is not valid JSON: {e}"),
+        })),
+    }
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` is a clean end of
+/// stream (EOF exactly at a frame boundary). This is the strict
+/// pre-hardening surface — any defect is an `Err` — kept for clients
+/// that want torn input to be loud; the daemon itself uses
+/// [`read_frame_bounded`] and keeps serving.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Json>, String> {
+    match read_frame_bounded(r, &ServeLimits::default())? {
+        None => Ok(None),
+        Some(Frame::Doc(doc)) => Ok(Some(doc)),
+        Some(Frame::Defect { message, .. }) => Err(message),
+    }
+}
+
+/// One bounded read from the line transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Line {
+    /// One complete request line (without its newline).
+    Text(String),
+    /// A line that exceeded the cap; the rest of it (through the next
+    /// newline or EOF) was discarded, so the reader is positioned at
+    /// the next line.
+    Overlong {
+        /// Total bytes the line carried, cap included.
+        length: usize,
+    },
+}
+
+/// Reads one newline-delimited line, holding at most `limits.max_line`
+/// bytes in memory: a hostile unbounded line is discarded to its
+/// newline and reported as [`Line::Overlong`] instead of growing the
+/// buffer without bound. `Ok(None)` is EOF.
+pub fn read_line_bounded<R: BufRead>(
+    r: &mut R,
+    limits: &ServeLimits,
+) -> Result<Option<Line>, String> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut dropped = 0usize;
+    loop {
+        let chunk = match r.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("request read failed: {e}")),
+        };
+        if chunk.is_empty() {
+            // EOF: flush what we have (a final unterminated line).
+            return Ok(match (buf.is_empty(), dropped) {
+                (true, 0) => None,
+                (_, 0) => Some(Line::Text(String::from_utf8_lossy(&buf).into_owned())),
+                (_, _) => Some(Line::Overlong {
+                    length: buf.len() + dropped,
+                }),
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(chunk.len(), |i| i);
+        if dropped > 0 {
+            dropped += take;
+        } else if buf.len() + take > limits.max_line {
+            dropped = buf.len() + take - limits.max_line;
+            buf.truncate(0); // the content no longer matters
+            dropped += limits.max_line;
+        } else {
+            buf.extend_from_slice(&chunk[..take]);
+        }
+        let consumed = newline.map_or(take, |i| i + 1);
+        let complete = newline.is_some();
+        r.consume(consumed);
+        if complete {
+            return Ok(Some(if dropped > 0 {
+                Line::Overlong { length: dropped }
+            } else {
+                Line::Text(String::from_utf8_lossy(&buf).into_owned())
+            }));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -500,8 +751,10 @@ mod tests {
             },
             Response::Error {
                 id: Json::Null,
+                code: None,
                 message: "no".into(),
             },
+            Response::error(Json::Num(3.0), code::LIMIT_BATCH, "too many rows"),
         ];
         for r in resps {
             let text = r.to_json().to_string();
@@ -541,5 +794,81 @@ mod tests {
         write_frame(&mut torn, &Json::Num(1.0)).unwrap();
         torn.pop();
         assert!(read_frame(&mut &torn[..]).is_err());
+    }
+
+    #[test]
+    fn bounded_frames_skip_oversize_and_resync() {
+        let limits = ServeLimits {
+            max_frame: 16,
+            ..ServeLimits::default()
+        };
+        let doc = Json::obj([("id", Json::Num(1.0))]);
+        let mut buf = Vec::new();
+        // An oversized frame, then a well-formed one: the reader must
+        // answer a defect and then still decode the good frame.
+        write_frame(&mut buf, &Json::Str("x".repeat(64))).unwrap();
+        write_frame(&mut buf, &doc).unwrap();
+        let mut r = &buf[..];
+        match read_frame_bounded(&mut r, &limits).unwrap() {
+            Some(Frame::Defect { code: c, .. }) => assert_eq!(c, code::LIMIT_FRAME),
+            other => panic!("expected an oversize defect, got {other:?}"),
+        }
+        assert_eq!(
+            read_frame_bounded(&mut r, &limits).unwrap(),
+            Some(Frame::Doc(doc))
+        );
+        assert_eq!(read_frame_bounded(&mut r, &limits).unwrap(), None);
+
+        // A torn payload is a defect followed by clean EOF, not a hang
+        // or a transport error.
+        let mut torn = Vec::new();
+        write_frame(&mut torn, &Json::Num(1.0)).unwrap();
+        torn.pop();
+        let mut r = &torn[..];
+        match read_frame_bounded(&mut r, &limits).unwrap() {
+            Some(Frame::Defect { code: c, .. }) => assert_eq!(c, code::DECODE),
+            other => panic!("expected a torn-frame defect, got {other:?}"),
+        }
+        assert_eq!(read_frame_bounded(&mut r, &limits).unwrap(), None);
+
+        // Unparseable payloads are defects too.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&4u32.to_be_bytes());
+        bad.extend_from_slice(b"!!!!");
+        match read_frame_bounded(&mut &bad[..], &limits).unwrap() {
+            Some(Frame::Defect { code: c, .. }) => assert_eq!(c, code::DECODE),
+            other => panic!("expected a decode defect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_lines_discard_overlong_input_and_resync() {
+        let limits = ServeLimits {
+            max_line: 8,
+            ..ServeLimits::default()
+        };
+        let input = format!("{}\nshort\n{}", "y".repeat(40), "z".repeat(20));
+        let mut r = input.as_bytes();
+        assert_eq!(
+            read_line_bounded(&mut r, &limits).unwrap(),
+            Some(Line::Overlong { length: 40 })
+        );
+        assert_eq!(
+            read_line_bounded(&mut r, &limits).unwrap(),
+            Some(Line::Text("short".into()))
+        );
+        // A final unterminated overlong line still reports and EOFs.
+        assert_eq!(
+            read_line_bounded(&mut r, &limits).unwrap(),
+            Some(Line::Overlong { length: 20 })
+        );
+        assert_eq!(read_line_bounded(&mut r, &limits).unwrap(), None);
+
+        // At or under the cap, lines pass through byte-exactly.
+        let mut r = "12345678\n".as_bytes();
+        assert_eq!(
+            read_line_bounded(&mut r, &limits).unwrap(),
+            Some(Line::Text("12345678".into()))
+        );
     }
 }

@@ -166,8 +166,9 @@ fn wrong_dimension_features_answer_an_error_not_a_crash() {
     let text = String::from_utf8(output).unwrap();
     let resp = Response::from_json(&Json::parse(text.trim()).unwrap()).unwrap();
     match resp {
-        Response::Error { id, message } => {
+        Response::Error { id, code, message } => {
             assert_eq!(id, Json::Num(9.0));
+            assert_eq!(code.as_deref(), Some(loopml_serve::code::PREDICT));
             assert!(message.contains("feature row"), "{message}");
         }
         other => panic!("expected an error answer, got {other:?}"),

@@ -16,7 +16,13 @@
 # bit-identical to a clean run, and resume from partial checkpoints
 # byte-identically), and the shard gate (three independent
 # `repro label --shard i/3` processes merged by `repro label-merge`
-# must produce a file byte-identical to the single-process run).
+# must produce a file byte-identical to the single-process run), and
+# the chaos-serve gate (the daemon fed malformed, oversized, and
+# fault-injected traffic at all three serve sites must answer every
+# well-formed request byte-identically to a clean run and drain a
+# schema-validated serve-stats document), and the supervisor gate
+# (`repro label-supervise 3` with one shard chaos-killed mid-run must
+# self-heal and merge labels byte-identical to the single-process run).
 #
 # Runs entirely offline — the workspace has no external dependencies
 # (enforced by tests/zero_deps.rs).
@@ -52,6 +58,46 @@ cargo run --release -q -p loopml-serve --bin loopml-serve -- \
     --artifact "$serve_dir/model.json" \
     < "$serve_dir/requests.jsonl" > "$serve_dir/daemon.jsonl"
 cmp "$serve_dir/responses.jsonl" "$serve_dir/daemon.jsonl"
+
+# Chaos-serve gate: the hardened daemon. The same request stream is
+# interleaved with a ping, a non-JSON line, an over-limit line, and a
+# malformed request, then replayed twice — once clean, once with
+# deterministic faults injected at serve.decode/predict/write (seed 42
+# empirically fires all three sites without exhausting the retry
+# budget). Well-formed requests must be answered byte-identically in
+# both runs, garbage must be answered in place (never kill the
+# transport), and the shutdown sentinel must drain a validated
+# loopml/serve-stats/v1 document.
+echo "check.sh: chaos-serve gate (malformed / oversized / faulted traffic)"
+{
+    printf '{"control":"ping"}\n'
+    head -n 3 "$serve_dir/requests.jsonl"
+    echo "this is not json"
+    head -c 70000 /dev/zero | tr '\0' x
+    echo
+    printf '{"id":"bad","features":"nope"}\n'
+    tail -n +4 "$serve_dir/requests.jsonl"
+    printf '{"control":"stats"}\n'
+    printf '{"control":"shutdown"}\n'
+} > "$serve_dir/chaos_in.jsonl"
+LOOPML_SERVE_MAX_LINE=65536 \
+    cargo run --release -q -p loopml-serve --bin loopml-serve -- \
+    --artifact "$serve_dir/model.json" --stats-out "$serve_dir/stats_clean.json" \
+    < "$serve_dir/chaos_in.jsonl" > "$serve_dir/chaos_clean.jsonl"
+LOOPML_SERVE_MAX_LINE=65536 LOOPML_SERVE_RETRIES=8 LOOPML_FAULTS=42:0.25 \
+    cargo run --release -q -p loopml-serve --bin loopml-serve -- \
+    --artifact "$serve_dir/model.json" --stats-out "$serve_dir/stats_chaos.json" \
+    < "$serve_dir/chaos_in.jsonl" > "$serve_dir/chaos_out.jsonl"
+grep '"factors"' "$serve_dir/chaos_clean.jsonl" > "$serve_dir/factors_clean.jsonl"
+grep '"factors"' "$serve_dir/chaos_out.jsonl" > "$serve_dir/factors_chaos.jsonl"
+cmp "$serve_dir/factors_clean.jsonl" "$serve_dir/factors_chaos.jsonl"
+cmp "$serve_dir/factors_clean.jsonl" "$serve_dir/responses.jsonl"
+[ "$(wc -l < "$serve_dir/factors_chaos.jsonl")" -eq \
+  "$(wc -l < "$serve_dir/requests.jsonl")" ]
+cargo run --release -q -p loopml-bench --bin repro -- serve-stats-check \
+    "$serve_dir/stats_chaos.json" --require-faults --require-drained
+cargo run --release -q -p loopml-bench --bin repro -- serve-stats-check \
+    "$serve_dir/stats_clean.json" --require-drained
 
 # Chaos gate: deterministic fault injection through the full CLI.
 chaos_dir=$(mktemp -d)
@@ -89,5 +135,17 @@ cargo run --release -q -p loopml-bench --bin repro -- label-merge \
     "$shard_dir/shard0.json" "$shard_dir/shard1.json" "$shard_dir/shard2.json" \
     --out "$shard_dir/merged.json"
 cmp "$shard_dir/single.json" "$shard_dir/merged.json"
+
+# Supervisor gate: the self-healing work queue. One shard is
+# chaos-killed after its first heartbeat; the supervisor must restart
+# it from checkpoints and the merged labels and degradation report must
+# still be byte-identical to the single-process run.
+echo "check.sh: supervisor gate (chaos-killed shard / self-heal / diff)"
+cargo run --release -q -p loopml-bench --bin repro -- label-supervise 3 \
+    --smoke --chaos-kill 1:1 --dir "$shard_dir/sup" \
+    --out "$shard_dir/supervised.json" \
+    --degradation "$shard_dir/supervised_deg.json"
+cmp "$shard_dir/single.json" "$shard_dir/supervised.json"
+cmp "$shard_dir/single_deg.json" "$shard_dir/supervised_deg.json"
 
 echo "check.sh: all gates passed"
