@@ -11,7 +11,8 @@
 //! repro label-merge <shard.json>...  merge disjoint label shards byte-identically
 //! repro label-supervise <N> [...]    self-healing N-process labeling work queue
 //! repro label-diff <clean> <chaos>   chaos run may cost coverage, not accuracy
-//! repro train [--model nn|svm|orc]   emit the versioned model artifact
+//! repro train [--model KIND]         emit the versioned model artifact
+//!                                    (nn, svm, orc, tree, forest, mlp)
 //! repro serve-bench [--artifact F]   replay batches, verify, report p50/p95/p99
 //! repro serve-stats-check <F>        validate a loopml/serve-stats/v1 drain doc
 //! repro help                         generated overview
@@ -218,7 +219,7 @@ const TRAIN_SPEC: Spec = Spec {
         FlagSpec {
             flag: "--model",
             value: Some("KIND"),
-            help: "nn, svm, or orc (default nn)",
+            help: "nn, svm, orc, tree, forest, or mlp (default nn)",
         },
         FlagSpec {
             flag: "--tune",
@@ -427,7 +428,20 @@ fn cmd_sweep(p: &Parsed) -> i32 {
         );
         return EXIT_FAIL;
     }
-    eprintln!("[sweep] wrote SWEEP_ml.json (1 distance build, as designed)");
+    // The cross-family winner is only meaningful as a comparison: at
+    // least two families must actually have been scored.
+    if run.families_scored() < 2 {
+        eprintln!(
+            "[sweep] FAIL: only {} model family scored; the cross-family winner needs >= 2",
+            run.families_scored()
+        );
+        return EXIT_FAIL;
+    }
+    eprintln!(
+        "[sweep] wrote SWEEP_ml.json (1 distance build, {} families scored, winner {})",
+        run.families_scored(),
+        run.report.winner_family
+    );
     EXIT_OK
 }
 

@@ -23,8 +23,9 @@ use loopml_corpus::full_suite;
 use loopml_machine::SwpMode;
 use loopml_ml::{
     greedy_forward, greedy_forward_nn, loocv_nn, loocv_svm, mutual_information, nn1_training_error,
-    peak_distance_bytes, reset_distance_bytes, sweep, DistanceMatrix, GreedyStep, KernelCache,
-    MinMaxNormalizer, MulticlassSvm, SvmGrid, SweepConfig, DEFAULT_RADIUS,
+    peak_distance_bytes, peak_kernel_bytes, reset_distance_bytes, reset_kernel_bytes, sweep,
+    DistanceMatrix, ForestGrid, GreedyStep, KernelCache, MinMaxNormalizer, MlpGrid, MulticlassSvm,
+    SvmGrid, SweepConfig, TreeGrid, DEFAULT_RADIUS,
 };
 use loopml_rt::bench::bench_once;
 use loopml_rt::json::{escape, Json};
@@ -149,6 +150,13 @@ pub struct Scaling {
     /// greedy and sweep stages; validation rejects reports where it
     /// exceeds `tile_budget_bytes`.
     pub peak_distance_bytes: u64,
+    /// Peak concurrently-live RBF kernel bytes (per-gamma matrices plus
+    /// the streaming sweep's strips) across the same scaled stages. The
+    /// distance gate alone would be vacuous if kernels blew past the
+    /// budget unobserved; validation bounds this at 2·`dense_bytes` —
+    /// the strips plus the one assembled kernel of the single-gamma
+    /// scaled grid.
+    pub peak_kernel_bytes: u64,
 }
 
 impl PerfReport {
@@ -179,7 +187,7 @@ impl PerfReport {
                 "\"scaling\":{{\"corpus_scale\":{sc_factor},\"base_examples\":{sc_base},",
                 "\"scaled_examples\":{sc_scaled},\"label_ratio\":{sc_label:.3},",
                 "\"dense_bytes\":{sc_dense},\"tile_budget_bytes\":{sc_budget},",
-                "\"peak_distance_bytes\":{sc_peak}}},",
+                "\"peak_distance_bytes\":{sc_peak},\"peak_kernel_bytes\":{sc_kpeak}}},",
                 "\"serve\":{{\"batches\":{sv_batches},\"batch_size\":{sv_size},",
                 "\"predictions\":{sv_preds},\"p50_ms\":{sv_p50:.3},",
                 "\"p95_ms\":{sv_p95:.3},\"p99_ms\":{sv_p99:.3}}},",
@@ -206,6 +214,7 @@ impl PerfReport {
             sc_dense = self.scaling.dense_bytes,
             sc_budget = self.scaling.tile_budget_bytes,
             sc_peak = self.scaling.peak_distance_bytes,
+            sc_kpeak = self.scaling.peak_kernel_bytes,
             sv_batches = self.serve.batches,
             sv_size = self.serve.batch_size,
             sv_preds = self.serve.predictions,
@@ -517,6 +526,7 @@ pub fn run(scale: Scale, corpus_scale: usize) -> PerfReport {
     let prev_budget = std::env::var("LOOPML_TILE_BYTES").ok();
     std::env::set_var("LOOPML_TILE_BYTES", budget.to_string());
     reset_distance_bytes();
+    reset_kernel_bytes();
 
     eprintln!(
         "[perf] scaled greedy selection, tiled ({sn} examples, budget {} KiB vs dense {} KiB)...",
@@ -534,6 +544,9 @@ pub fn run(scale: Scale, corpus_scale: usize) -> PerfReport {
 
     eprintln!("[perf] scaled LOGO sweep, streaming (single-cell grid)...");
     let scaled_sub = scaled_full.select_features(&ctx.feature_subset);
+    // Empty family grids: the scaled stage benchmarks the streaming
+    // distance/kernel path, not tree/forest/MLP refits, and its timing
+    // stays comparable to pre-zoo baselines.
     let scaled_cfg = SweepConfig {
         svm: SvmGrid {
             gammas: vec![1.0],
@@ -541,6 +554,19 @@ pub fn run(scale: Scale, corpus_scale: usize) -> PerfReport {
             ..SvmGrid::default()
         },
         radii: vec![DEFAULT_RADIUS],
+        tree: TreeGrid {
+            max_depths: Vec::new(),
+            min_leafs: Vec::new(),
+        },
+        forest: ForestGrid {
+            sizes: Vec::new(),
+            ..ForestGrid::default()
+        },
+        mlp: MlpGrid {
+            hiddens: Vec::new(),
+            lrs: Vec::new(),
+            ..MlpGrid::default()
+        },
     };
     let (r, scaled_sweep) = bench_once("sweep_scaled", || {
         sweep(&scaled_sub, &scaled_groups, &scaled_cfg)
@@ -556,6 +582,7 @@ pub fn run(scale: Scale, corpus_scale: usize) -> PerfReport {
     );
 
     let peak = peak_distance_bytes();
+    let kernel_peak = peak_kernel_bytes();
     match prev_budget {
         Some(v) => std::env::set_var("LOOPML_TILE_BYTES", v),
         None => std::env::remove_var("LOOPML_TILE_BYTES"),
@@ -568,12 +595,14 @@ pub fn run(scale: Scale, corpus_scale: usize) -> PerfReport {
         dense_bytes,
         tile_budget_bytes: budget,
         peak_distance_bytes: peak,
+        peak_kernel_bytes: kernel_peak,
     };
     eprintln!(
         "[perf] scaling: {n} -> {sn} examples ({sf}x corpus), label ratio {:.2}x, \
-         peak distance bytes {} KiB (budget {} KiB, dense {} KiB)",
+         peak distance bytes {} KiB, peak kernel bytes {} KiB (budget {} KiB, dense {} KiB)",
         scaling.label_ratio,
         peak / 1024,
+        kernel_peak / 1024,
         budget / 1024,
         dense_bytes / 1024
     );
@@ -722,6 +751,17 @@ pub fn validate(doc: &Json) -> Result<Vec<(String, f64)>, String> {
             "scaling.peak_distance_bytes {peak} exceeds tile_budget_bytes {budget}"
         ));
     }
+    // The kernel side of the budget claim: the scaled sweep runs a
+    // single-gamma grid, so at most one full kernel plus its streaming
+    // strips may ever be live — 2·dense. Anything past that means the
+    // sweep is hoarding kernels the distance gate cannot see.
+    let kpeak = int("peak_kernel_bytes")?;
+    if kpeak > 2.0 * dense {
+        return Err(format!(
+            "scaling.peak_kernel_bytes {kpeak} exceeds 2x dense_bytes {dense} — \
+             more than one scaled kernel (plus strips) was resident"
+        ));
+    }
     let stages = doc
         .get("stages")
         .and_then(Json::as_arr)
@@ -823,6 +863,7 @@ mod tests {
                 dense_bytes: 13_107_200,
                 tile_budget_bytes: 3_276_800,
                 peak_distance_bytes: 3_000_000,
+                peak_kernel_bytes: 20_000_000,
             },
         }
     }
@@ -847,6 +888,10 @@ mod tests {
         assert_eq!(
             scaling.get("peak_distance_bytes").and_then(Json::as_num),
             Some(3_000_000.0)
+        );
+        assert_eq!(
+            scaling.get("peak_kernel_bytes").and_then(Json::as_num),
+            Some(20_000_000.0)
         );
     }
 
@@ -892,6 +937,14 @@ mod tests {
             good.replace(
                 "\"peak_distance_bytes\":3000000",
                 "\"peak_distance_bytes\":9999999",
+            ),
+            // Kernel bytes are part of the budget claim: the field is
+            // required, and a peak past 2x dense means kernels the
+            // distance gate cannot see were hoarded.
+            good.replace(",\"peak_kernel_bytes\":20000000", ""),
+            good.replace(
+                "\"peak_kernel_bytes\":20000000",
+                "\"peak_kernel_bytes\":99999999",
             ),
         ];
         for bad in cases {

@@ -2,9 +2,10 @@
 //! measurement surface.
 //!
 //! `repro train` builds the training pipeline, trains one classifier
-//! (`--model nn|svm|orc`, optionally hyperparameter-tuned with
-//! `--tune`), and writes the versioned, fingerprinted model artifact
-//! (`MODEL_ml.json` by default) that `loopml-serve` loads.
+//! (`--model nn|svm|orc|tree|forest|mlp`, optionally
+//! hyperparameter-tuned with `--tune`), and writes the versioned,
+//! fingerprinted model artifact (`MODEL_ml.json` by default) that
+//! `loopml-serve` loads.
 //!
 //! `repro serve-bench` rebuilds the *same* pipeline, loads the artifact
 //! back through the fingerprint check (a stale artifact is a loud
@@ -22,7 +23,9 @@ use loopml::{
     LearnedHeuristic, ModelArtifact, Pipeline, PipelineBuilder, PipelineConfig, UnrollHeuristic,
 };
 use loopml_ir::Loop;
-use loopml_ml::{Classifier, MulticlassSvm, NearNeighbors, SweepConfig};
+use loopml_ml::{
+    BaggedForest, Classifier, DecisionTree, Mlp, MulticlassSvm, NearNeighbors, SweepConfig,
+};
 use loopml_rt::Json;
 use loopml_serve::{Request, Response, ServeModel, ServeOptions, ServeSession, SessionReply};
 
@@ -53,6 +56,9 @@ pub fn pipeline_for(scale: Scale, corpus_scale: usize, smoke: bool, tune: bool) 
         b = b.configure(PipelineConfig {
             tune_svm: Some(grid.svm),
             tune_nn: Some(grid.radii),
+            tune_tree: Some(grid.tree),
+            tune_forest: Some(grid.forest),
+            tune_mlp: Some(grid.mlp),
             ..PipelineConfig::default()
         });
     }
@@ -70,8 +76,11 @@ fn classifier_for_model(
         "nn" => Ok(("NN", Box::new(NearNeighbors::new(p.nn_radius())))),
         "svm" => Ok(("SVM", Box::new(MulticlassSvm::new(p.svm_params())))),
         "orc" => Ok(("ORC", Box::new(loopml::OrcClassifier))),
+        "tree" => Ok(("Tree", Box::new(DecisionTree::new(p.tree_params())))),
+        "forest" => Ok(("Forest", Box::new(BaggedForest::new(p.forest_params())))),
+        "mlp" => Ok(("MLP", Box::new(Mlp::new(p.mlp_params())))),
         other => Err(format!(
-            "unknown --model {other} (expected nn, svm, or orc)"
+            "unknown --model {other} (expected nn, svm, orc, tree, forest, or mlp)"
         )),
     }
 }
@@ -85,7 +94,8 @@ pub struct TrainArgs {
     pub corpus_scale: usize,
     /// Smoke cut (first 8 benchmarks).
     pub smoke: bool,
-    /// Which model to train (`nn`, `svm`, or `orc`).
+    /// Which model to train (`nn`, `svm`, `orc`, `tree`, `forest`, or
+    /// `mlp`).
     pub model: String,
     /// Run the LOGO hyperparameter sweep before training.
     pub tune: bool,
@@ -441,13 +451,8 @@ mod tests {
     fn replay_is_bit_identical_to_choose_for_every_model() {
         let p = pipeline_for(Scale::Quick, 1, true, false);
         let loops = all_loops(&p);
-        for (name, classifier) in [
-            (
-                "NN",
-                Box::new(NearNeighbors::new(DEFAULT_RADIUS)) as Box<dyn Classifier>,
-            ),
-            ("ORC", Box::new(loopml::OrcClassifier)),
-        ] {
+        for model in ["nn", "orc", "tree", "forest", "mlp"] {
+            let (name, classifier) = classifier_for_model(&p, model).expect("known model");
             let model =
                 ServeModel::from_artifact(p.train_artifact(name, classifier)).expect("model");
             let outcome = replay_batches(&model, &loops, 8).expect("replay");

@@ -2,13 +2,15 @@
 //!
 //! Builds the standard experiment context, runs the
 //! [`loopml_ml::sweep`] subsystem (SVM gamma × C grid plus NN radii,
-//! every cell scored by leave-one-benchmark-out accuracy over exactly
-//! one shared distance matrix), and emits a machine-readable
-//! `loopml/sweep/v1` document to stdout and `SWEEP_ml.json`. The
-//! document carries the full grid, the selected point, wall-time, and
-//! the distance-build counter — the CLI exits nonzero if that counter
-//! is not exactly 1, so the single-build guarantee is enforced on every
-//! CI run, not just in unit tests.
+//! plus the distance-free tree / forest / MLP grids, every cell scored
+//! by leave-one-benchmark-out accuracy over exactly one shared distance
+//! matrix), and emits a machine-readable `loopml/sweep/v1` document to
+//! stdout and `SWEEP_ml.json`. The document carries every family's
+//! grid, the selected point per family, the cross-family winner,
+//! wall-time, and the distance-build counter — the CLI exits nonzero if
+//! that counter is not exactly 1 or if fewer than two families were
+//! scored, so the single-build and real-comparison guarantees are
+//! enforced on every CI run, not just in unit tests.
 
 use std::time::Instant;
 
@@ -58,6 +60,31 @@ impl SweepRun {
             .iter()
             .map(|c| format!(r#"{{"radius":{},"accuracy":{:.6}}}"#, c.radius, c.accuracy))
             .collect();
+        let tree_cells: Vec<String> = r
+            .tree_cells
+            .iter()
+            .map(|c| {
+                format!(
+                    r#"{{"max_depth":{},"min_leaf":{},"accuracy":{:.6}}}"#,
+                    c.max_depth, c.min_leaf, c.accuracy
+                )
+            })
+            .collect();
+        let forest_cells: Vec<String> = r
+            .forest_cells
+            .iter()
+            .map(|c| format!(r#"{{"trees":{},"accuracy":{:.6}}}"#, c.trees, c.accuracy))
+            .collect();
+        let mlp_cells: Vec<String> = r
+            .mlp_cells
+            .iter()
+            .map(|c| {
+                format!(
+                    r#"{{"hidden":{},"lr":{},"accuracy":{:.6}}}"#,
+                    c.hidden, c.lr, c.accuracy
+                )
+            })
+            .collect();
         format!(
             concat!(
                 "{{\"schema\":{schema},\"scale\":\"{scale}\",",
@@ -66,7 +93,16 @@ impl SweepRun {
                 "\"svm\":{{\"cells\":[{svm_cells}],",
                 "\"selected\":{{\"gamma\":{gamma},\"c\":{c},\"accuracy\":{sacc:.6}}}}},",
                 "\"nn\":{{\"cells\":[{nn_cells}],",
-                "\"selected\":{{\"radius\":{radius},\"accuracy\":{nacc:.6}}}}}}}"
+                "\"selected\":{{\"radius\":{radius},\"accuracy\":{nacc:.6}}}}},",
+                "\"tree\":{{\"cells\":[{tree_cells}],",
+                "\"selected\":{{\"max_depth\":{t_depth},\"min_leaf\":{t_leaf},",
+                "\"accuracy\":{tacc:.6}}}}},",
+                "\"forest\":{{\"cells\":[{forest_cells}],",
+                "\"selected\":{{\"trees\":{f_trees},\"accuracy\":{facc:.6}}}}},",
+                "\"mlp\":{{\"cells\":[{mlp_cells}],",
+                "\"selected\":{{\"hidden\":{m_hidden},\"lr\":{m_lr},",
+                "\"accuracy\":{macc:.6}}}}},",
+                "\"winner\":{{\"family\":{w_family},\"accuracy\":{w_acc:.6}}}}}"
             ),
             schema = escape(SWEEP_SCHEMA),
             scale = scale,
@@ -82,7 +118,32 @@ impl SweepRun {
             nn_cells = nn_cells.join(","),
             radius = r.selected_radius,
             nacc = r.nn_accuracy,
+            tree_cells = tree_cells.join(","),
+            t_depth = r.selected_tree.max_depth,
+            t_leaf = r.selected_tree.min_leaf,
+            tacc = r.tree_accuracy,
+            forest_cells = forest_cells.join(","),
+            f_trees = r.selected_forest.trees,
+            facc = r.forest_accuracy,
+            mlp_cells = mlp_cells.join(","),
+            m_hidden = r.selected_mlp.hidden,
+            m_lr = r.selected_mlp.lr,
+            macc = r.mlp_accuracy,
+            w_family = escape(&r.winner_family),
+            w_acc = r.winner_accuracy,
         )
+    }
+
+    /// Families the sweep actually scored (non-empty cell grids). The
+    /// CLI requires at least two, so the cross-family winner is a real
+    /// comparison and not a walkover.
+    pub fn families_scored(&self) -> usize {
+        let r = &self.report;
+        usize::from(!r.nn_cells.is_empty())
+            + usize::from(!r.svm_cells.is_empty())
+            + usize::from(!r.tree_cells.is_empty())
+            + usize::from(!r.forest_cells.is_empty())
+            + usize::from(!r.mlp_cells.is_empty())
     }
 }
 
@@ -102,7 +163,13 @@ pub fn validate(doc: &Json) -> Result<u64, String> {
             other => return Err(format!("bad {key}: {other:?}")),
         }
     }
-    for (section, cell_key, sel_key) in [("svm", "gamma", "c"), ("nn", "radius", "radius")] {
+    for (section, cell_key, sel_key) in [
+        ("svm", "gamma", "c"),
+        ("nn", "radius", "radius"),
+        ("tree", "max_depth", "max_depth"),
+        ("forest", "trees", "trees"),
+        ("mlp", "hidden", "hidden"),
+    ] {
         let s = doc
             .get(section)
             .ok_or_else(|| format!("missing {section}"))?;
@@ -130,6 +197,15 @@ pub fn validate(doc: &Json) -> Result<u64, String> {
             Some(v) if v.is_finite() => {}
             other => return Err(format!("bad {section}.selected.{sel_key}: {other:?}")),
         }
+    }
+    let winner = doc.get("winner").ok_or("missing winner")?;
+    match winner.get("family").and_then(Json::as_str) {
+        Some("nn") | Some("svm") | Some("tree") | Some("forest") | Some("mlp") => {}
+        other => return Err(format!("bad winner.family: {other:?}")),
+    }
+    match winner.get("accuracy").and_then(Json::as_num) {
+        Some(v) if (0.0..=1.0).contains(&v) => {}
+        other => return Err(format!("bad winner.accuracy: {other:?}")),
     }
     match doc.get("distance_builds").and_then(Json::as_num) {
         Some(v) if v.is_finite() && v >= 0.0 => Ok(v as u64),
@@ -170,6 +246,20 @@ pub fn run_sweep_scaled(scale: Scale, corpus_scale: usize) -> SweepRun {
         report.distance_builds,
         wall_ms
     );
+    eprintln!(
+        "[sweep] tree depth={} leaf={} (LOGO {:.3}); forest trees={} (LOGO {:.3}); \
+         mlp hidden={} lr={} (LOGO {:.3}); winner: {} (LOGO {:.3})",
+        report.selected_tree.max_depth,
+        report.selected_tree.min_leaf,
+        report.tree_accuracy,
+        report.selected_forest.trees,
+        report.forest_accuracy,
+        report.selected_mlp.hidden,
+        report.selected_mlp.lr,
+        report.mlp_accuracy,
+        report.winner_family,
+        report.winner_accuracy
+    );
     SweepRun {
         scale,
         threads: loopml_rt::num_threads(),
@@ -181,7 +271,10 @@ pub fn run_sweep_scaled(scale: Scale, corpus_scale: usize) -> SweepRun {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use loopml_ml::{RadiusCell, SvmCell, SvmParams};
+    use loopml_ml::{
+        ForestCell, ForestParams, MlpCell, MlpParams, RadiusCell, SvmCell, SvmParams, TreeCell,
+        TreeParams,
+    };
 
     fn sample_run() -> SweepRun {
         SweepRun {
@@ -213,6 +306,38 @@ mod tests {
                 svm_accuracy: 0.625,
                 selected_radius: 0.3,
                 nn_accuracy: 0.75,
+                tree_cells: vec![TreeCell {
+                    max_depth: 6,
+                    min_leaf: 2,
+                    accuracy: 0.7,
+                }],
+                selected_tree: TreeParams {
+                    max_depth: 6,
+                    min_leaf: 2,
+                },
+                tree_accuracy: 0.7,
+                forest_cells: vec![ForestCell {
+                    trees: 8,
+                    accuracy: 0.725,
+                }],
+                selected_forest: ForestParams {
+                    trees: 8,
+                    ..ForestParams::default()
+                },
+                forest_accuracy: 0.725,
+                mlp_cells: vec![MlpCell {
+                    hidden: 8,
+                    lr: 0.05,
+                    accuracy: 0.65,
+                }],
+                selected_mlp: MlpParams {
+                    hidden: 8,
+                    lr: 0.05,
+                    ..MlpParams::default()
+                },
+                mlp_accuracy: 0.65,
+                winner_family: "nn".into(),
+                winner_accuracy: 0.75,
                 distance_builds: 1,
                 n_examples: 40,
                 n_groups: 4,
@@ -240,6 +365,20 @@ mod tests {
             Some(1)
         );
         assert_eq!(doc.get("n_groups").and_then(Json::as_num), Some(4.0));
+        assert_eq!(
+            doc.get("winner")
+                .and_then(|w| w.get("family"))
+                .and_then(Json::as_str),
+            Some("nn")
+        );
+        assert_eq!(
+            doc.get("forest")
+                .and_then(|s| s.get("selected"))
+                .and_then(|s| s.get("trees"))
+                .and_then(Json::as_num),
+            Some(8.0)
+        );
+        assert_eq!(sample_run().families_scored(), 5);
     }
 
     #[test]
@@ -250,6 +389,11 @@ mod tests {
             good.replace("\"n_groups\":4", "\"n_groups\":0"),
             good.replace("\"accuracy\":0.750000", "\"accuracy\":1.5"),
             good.replace("\"distance_builds\":1,", ""),
+            // The family sections and the cross-family winner are
+            // required; the winner must name a known family.
+            good.replace("\"mlp\":{", "\"mlp_was\":{"),
+            good.replace("\"winner\":{", "\"winner_was\":{"),
+            good.replace("\"family\":\"nn\"", "\"family\":\"perceptron\""),
         ];
         for bad in cases {
             let doc = Json::parse(&bad).expect("still JSON");

@@ -29,7 +29,8 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 use loopml_ml::{
-    Classifier, Constant, Dataset, MulticlassSvm, NearNeighbors, SvmParams, DEFAULT_RADIUS,
+    BaggedForest, Classifier, Constant, Dataset, DecisionTree, ForestParams, Mlp, MlpParams,
+    MulticlassSvm, NearNeighbors, SvmParams, TreeParams, DEFAULT_RADIUS,
 };
 use loopml_rt::{fault_key, Json};
 
@@ -64,7 +65,9 @@ fn hash_str(s: &str) -> u64 {
 /// fingerprint from configuration alone.
 fn hyperparams_of_state(state: &Json) -> Json {
     match state.get("kind").and_then(Json::as_str) {
-        Some("SVM") => state.get("params").cloned().unwrap_or(Json::Null),
+        Some("SVM") | Some("Tree") | Some("Forest") | Some("MLP") => {
+            state.get("params").cloned().unwrap_or(Json::Null)
+        }
         Some("NN") => state.get("radius").cloned().unwrap_or(Json::Null),
         Some("constant") => state.get("class").cloned().unwrap_or(Json::Null),
         _ => Json::Null,
@@ -102,6 +105,9 @@ pub fn classifier_for_kind(kind: &str) -> Result<Box<dyn Classifier>, String> {
     match kind {
         "NN" => Ok(Box::new(NearNeighbors::new(DEFAULT_RADIUS))),
         "SVM" => Ok(Box::new(MulticlassSvm::new(SvmParams::default()))),
+        "Tree" => Ok(Box::new(DecisionTree::new(TreeParams::default()))),
+        "Forest" => Ok(Box::new(BaggedForest::new(ForestParams::default()))),
+        "MLP" => Ok(Box::new(Mlp::new(MlpParams::default()))),
         "ORC" => Ok(Box::new(OrcClassifier)),
         "constant" => Ok(Box::new(Constant::new(0))),
         other => Err(format!("unknown model kind {other:?}")),

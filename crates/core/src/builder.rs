@@ -25,7 +25,8 @@ use loopml_corpus::{full_suite, SuiteConfig};
 use loopml_ir::Benchmark;
 use loopml_machine::SwpMode;
 use loopml_ml::{
-    Classifier, CvResult, Dataset, SvmGrid, SvmParams, SweepConfig, SweepReport, DEFAULT_RADIUS,
+    Classifier, CvResult, Dataset, ForestGrid, ForestParams, MlpGrid, MlpParams, SvmGrid,
+    SvmParams, SweepConfig, SweepReport, TreeGrid, TreeParams, DEFAULT_RADIUS,
 };
 
 use crate::artifact::{model_fingerprint, ModelArtifact};
@@ -58,6 +59,15 @@ pub struct PipelineConfig {
     /// Sweep the NN neighborhood radius during `build`;
     /// [`Pipeline::nn_radius`] then returns the winner.
     pub tune_nn: Option<Vec<f64>>,
+    /// Sweep the decision-tree depth × min-leaf grid during `build`;
+    /// [`Pipeline::tree_params`] then returns the winner.
+    pub tune_tree: Option<TreeGrid>,
+    /// Sweep the bagged-forest ensemble sizes during `build`;
+    /// [`Pipeline::forest_params`] then returns the winner.
+    pub tune_forest: Option<ForestGrid>,
+    /// Sweep the MLP width × learning-rate grid during `build`;
+    /// [`Pipeline::mlp_params`] then returns the winner.
+    pub tune_mlp: Option<MlpGrid>,
     /// Override the lint enforcement level (normally armed by the label
     /// config, which reads `LOOPML_LINT`).
     pub lint: Option<loopml_lint::LintLevel>,
@@ -285,8 +295,13 @@ impl PipelineBuilder {
             lint.merge(loopml_lint::lint_dataset(&full_dataset, Some(&groups)));
             lint.enforce(label_config.lint, "training dataset");
         }
-        let sweep = if self.config.tune_svm.is_some() || self.config.tune_nn.is_some() {
-            // A missing half sweeps nothing on that axis and keeps its
+        let tune_any = self.config.tune_svm.is_some()
+            || self.config.tune_nn.is_some()
+            || self.config.tune_tree.is_some()
+            || self.config.tune_forest.is_some()
+            || self.config.tune_mlp.is_some();
+        let sweep = if tune_any {
+            // A missing axis sweeps nothing on that family and keeps its
             // paper default (empty grids select the fallback).
             let cfg = SweepConfig {
                 svm: self.config.tune_svm.unwrap_or(SvmGrid {
@@ -295,6 +310,19 @@ impl PipelineBuilder {
                     ..SvmGrid::default()
                 }),
                 radii: self.config.tune_nn.unwrap_or_default(),
+                tree: self.config.tune_tree.unwrap_or(TreeGrid {
+                    max_depths: Vec::new(),
+                    min_leafs: Vec::new(),
+                }),
+                forest: self.config.tune_forest.unwrap_or(ForestGrid {
+                    sizes: Vec::new(),
+                    ..ForestGrid::default()
+                }),
+                mlp: self.config.tune_mlp.unwrap_or(MlpGrid {
+                    hiddens: Vec::new(),
+                    lrs: Vec::new(),
+                    ..MlpGrid::default()
+                }),
             };
             Some(loopml_ml::sweep(&dataset, &groups, &cfg))
         } else {
@@ -408,6 +436,36 @@ impl Pipeline {
         match &self.sweep {
             Some(s) if !s.nn_cells.is_empty() => s.selected_radius,
             _ => DEFAULT_RADIUS,
+        }
+    }
+
+    /// Decision-tree hyperparameters downstream training should use:
+    /// the sweep winner when the builder tuned the tree grid, the
+    /// defaults otherwise.
+    pub fn tree_params(&self) -> TreeParams {
+        match &self.sweep {
+            Some(s) if !s.tree_cells.is_empty() => s.selected_tree,
+            _ => TreeParams::default(),
+        }
+    }
+
+    /// Bagged-forest hyperparameters downstream training should use:
+    /// the sweep winner when the builder tuned the ensemble sizes, the
+    /// defaults otherwise.
+    pub fn forest_params(&self) -> ForestParams {
+        match &self.sweep {
+            Some(s) if !s.forest_cells.is_empty() => s.selected_forest,
+            _ => ForestParams::default(),
+        }
+    }
+
+    /// MLP hyperparameters downstream training should use: the sweep
+    /// winner when the builder tuned the width × learning-rate grid,
+    /// the defaults otherwise.
+    pub fn mlp_params(&self) -> MlpParams {
+        match &self.sweep {
+            Some(s) if !s.mlp_cells.is_empty() => s.selected_mlp,
+            _ => MlpParams::default(),
         }
     }
 
@@ -573,6 +631,41 @@ mod tests {
         assert!(grid.gammas.contains(&p.svm_params().gamma));
         assert!(grid.cs.contains(&p.svm_params().c));
         assert!(radii.contains(&p.nn_radius()));
+    }
+
+    #[test]
+    fn tuning_the_zoo_families_consumes_their_winners() {
+        let p = quick()
+            .exact()
+            .configure(PipelineConfig {
+                tune_tree: Some(TreeGrid {
+                    max_depths: vec![2, 4],
+                    min_leafs: vec![1],
+                }),
+                tune_forest: Some(ForestGrid {
+                    sizes: vec![4],
+                    ..ForestGrid::default()
+                }),
+                tune_mlp: Some(MlpGrid {
+                    hiddens: vec![4],
+                    lrs: vec![0.1],
+                    ..MlpGrid::default()
+                }),
+                ..PipelineConfig::default()
+            })
+            .build();
+        let s = p.sweep.as_ref().expect("tuning ran");
+        assert_eq!(s.tree_cells.len(), 2);
+        assert_eq!(s.forest_cells.len(), 1);
+        assert_eq!(s.mlp_cells.len(), 1);
+        assert!(s.svm_cells.is_empty() && s.nn_cells.is_empty());
+        assert!([2, 4].contains(&p.tree_params().max_depth));
+        assert_eq!(p.forest_params().trees, 4);
+        assert_eq!(p.mlp_params().hidden, 4);
+        assert!(["tree", "forest", "mlp"].contains(&s.winner_family.as_str()));
+        // The untuned families keep their paper defaults.
+        assert_eq!(p.svm_params(), SvmParams::default());
+        assert_eq!(p.nn_radius(), DEFAULT_RADIUS);
     }
 
     #[test]

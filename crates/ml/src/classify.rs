@@ -126,8 +126,26 @@ impl Classifier for Constant {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::forest::{BaggedForest, ForestParams};
+    use crate::mlp::{Mlp, MlpParams};
     use crate::nn::{NearNeighbors, DEFAULT_RADIUS};
     use crate::svm::{MulticlassSvm, SvmParams};
+    use crate::tree::{DecisionTree, TreeParams};
+
+    /// One unfitted model of every kind in the zoo.
+    fn zoo() -> Vec<Box<dyn Classifier>> {
+        vec![
+            Box::new(NearNeighbors::new(DEFAULT_RADIUS)),
+            Box::new(MulticlassSvm::new(SvmParams::default())),
+            Box::new(DecisionTree::new(TreeParams::default())),
+            Box::new(BaggedForest::new(ForestParams {
+                trees: 4,
+                ..ForestParams::default()
+            })),
+            Box::new(Mlp::new(MlpParams::default())),
+            Box::new(Constant::new(1)),
+        ]
+    }
 
     fn toy() -> Dataset {
         Dataset::new(
@@ -158,47 +176,52 @@ mod tests {
         svm.fit(&toy());
         assert_eq!(Classifier::fresh(&svm).predict(&[5.1]), 0);
         assert_eq!(Classifier::fresh(&Constant::new(2)).predict(&[0.0]), 2);
+        // The whole zoo: fit, mint a fresh copy, and the copy is unfitted.
+        for mut m in zoo() {
+            if m.name() == "constant" {
+                continue;
+            }
+            m.fit(&toy());
+            assert_eq!(m.fresh().predict(&[5.1]), 0, "{} fresh not blank", m.name());
+        }
     }
 
     #[test]
     fn trait_objects_are_interchangeable() {
-        let mut models: Vec<Box<dyn Classifier>> = vec![
-            Box::new(NearNeighbors::new(DEFAULT_RADIUS)),
-            Box::new(MulticlassSvm::new(SvmParams::default())),
-            Box::new(Constant::new(1)),
-        ];
+        let mut models = zoo();
         let data = toy();
         for m in &mut models {
             m.fit(&data);
-            assert!(m.predict(&data.x[0]) < data.classes);
+            assert!(m.predict(&data.x[0]) < data.classes.max(2));
             assert!(!m.name().is_empty());
         }
-        // The real models learn the separable toy problem.
-        assert_eq!(models[0].predict(&[0.1]), 0);
-        assert_eq!(models[0].predict(&[5.1]), 1);
-        assert_eq!(models[1].predict(&[0.1]), 0);
-        assert_eq!(models[1].predict(&[5.1]), 1);
+        // Every real model learns the separable toy problem (Constant,
+        // last in the zoo, is exempt by design).
+        for m in &models[..models.len() - 1] {
+            assert_eq!(m.predict(&[0.1]), 0, "{} missed class 0", m.name());
+            assert_eq!(m.predict(&[5.1]), 1, "{} missed class 1", m.name());
+        }
     }
 
     #[test]
     fn unfitted_models_predict_zero_not_panic() {
-        let nn = NearNeighbors::new(DEFAULT_RADIUS);
-        let svm = MulticlassSvm::new(SvmParams::default());
-        assert_eq!(Classifier::predict(&nn, &[1.0, 2.0]), 0);
-        assert_eq!(Classifier::predict(&svm, &[1.0, 2.0]), 0);
+        for m in zoo() {
+            if m.name() == "constant" {
+                continue;
+            }
+            assert_eq!(m.predict(&[1.0, 2.0]), 0, "{} not unfitted", m.name());
+        }
     }
 
     #[test]
     fn save_load_round_trips_every_model() {
         let data = toy();
-        let models: Vec<Box<dyn Classifier>> = vec![
-            Box::new(NearNeighbors::new(0.45)),
-            Box::new(MulticlassSvm::new(SvmParams {
-                gamma: 2.0,
-                ..SvmParams::default()
-            })),
-            Box::new(Constant::new(1)),
-        ];
+        let mut models = zoo();
+        models.push(Box::new(NearNeighbors::new(0.45)));
+        models.push(Box::new(MulticlassSvm::new(SvmParams {
+            gamma: 2.0,
+            ..SvmParams::default()
+        })));
         for mut m in models {
             m.fit(&data);
             let state = m.save();
@@ -224,16 +247,31 @@ mod tests {
         assert!(Classifier::load(&mut nn, &Json::obj([])).is_err());
         // A failed load leaves the previous fit intact.
         assert_eq!(nn.predict(&[5.1]), before);
+        // Cross-load every pair of distinct zoo kinds: all must refuse.
+        let data = toy();
+        let mut fitted = zoo();
+        for m in &mut fitted {
+            m.fit(&data);
+        }
+        for donor in &fitted {
+            for receiver in &mut zoo() {
+                if donor.name() == receiver.name() {
+                    continue;
+                }
+                assert!(
+                    receiver.load(&donor.save()).is_err(),
+                    "{} accepted a {} state",
+                    receiver.name(),
+                    donor.name()
+                );
+            }
+        }
     }
 
     #[test]
     fn predict_batch_matches_predict() {
         let data = toy();
-        let mut models: Vec<Box<dyn Classifier>> = vec![
-            Box::new(NearNeighbors::new(DEFAULT_RADIUS)),
-            Box::new(MulticlassSvm::new(SvmParams::default())),
-            Box::new(Constant::new(1)),
-        ];
+        let mut models = zoo();
         let queries: Vec<Vec<f64>> = vec![vec![0.1], vec![2.6], vec![5.1], vec![123.0]];
         for m in &mut models {
             m.fit(&data);

@@ -103,6 +103,63 @@ impl Drop for DistAlloc {
     }
 }
 
+/// Live bytes currently held in RBF kernel buffers (full per-gamma
+/// matrices and the streaming sweep's kernel strips) — the *other*
+/// quadratic resident, called out in ROADMAP as the largest matrices the
+/// sweep keeps. Tracked by the same RAII discipline as the distance
+/// buffers so the scaling gate accounts for every n×n allocation, not
+/// just distances.
+static KERNEL_CUR: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of [`KERNEL_CUR`] since the last reset.
+static KERNEL_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// High-water mark, in bytes, of concurrently-live RBF kernel buffers
+/// since the last [`reset_kernel_bytes`]. Reported as
+/// `peak_kernel_bytes` in `BENCH_ml.json`, where the scaling gate bounds
+/// it — a budget claim over distance bytes alone is vacuous if per-gamma
+/// kernels dwarf it unobserved.
+pub fn peak_kernel_bytes() -> u64 {
+    KERNEL_PEAK.load(Ordering::Relaxed)
+}
+
+/// Zeroes the live/peak kernel-buffer accounting, mirroring
+/// [`reset_distance_bytes`] (same saturating-drop semantics for buffers
+/// that straddle the reset).
+pub fn reset_kernel_bytes() {
+    KERNEL_CUR.store(0, Ordering::Relaxed);
+    KERNEL_PEAK.store(0, Ordering::Relaxed);
+}
+
+/// RAII accounting for one kernel buffer: registers `bytes` as live on
+/// creation (bumping the kernel peak), releases them on drop. Cloning
+/// registers a second allocation — a cloned `KernelCache` really does
+/// hold a second n×n buffer.
+#[derive(Debug)]
+pub(crate) struct KernelAlloc(u64);
+
+impl KernelAlloc {
+    pub(crate) fn new(bytes: u64) -> Self {
+        let cur = KERNEL_CUR.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        KERNEL_PEAK.fetch_max(cur, Ordering::Relaxed);
+        KernelAlloc(bytes)
+    }
+}
+
+impl Clone for KernelAlloc {
+    fn clone(&self) -> Self {
+        KernelAlloc::new(self.0)
+    }
+}
+
+impl Drop for KernelAlloc {
+    fn drop(&mut self) {
+        // Saturating: a reset between creation and drop zeroed CUR.
+        let _ = KERNEL_CUR.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+            Some(c.saturating_sub(self.0))
+        });
+    }
+}
+
 /// Default budget a full n×n distance buffer may occupy before the ML
 /// hot paths switch to tiled/streaming evaluation: 256 MiB.
 pub const DEFAULT_TILE_BUDGET_BYTES: u64 = 256 * 1024 * 1024;

@@ -77,7 +77,12 @@ pub fn mutual_information(data: &Dataset) -> Vec<ScoredFeature> {
             score: mi,
         });
     }
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    // total_cmp, not partial_cmp: a degenerate binning (constant column,
+    // single-class fold) can yield a NaN score, and the ranking must
+    // never panic on it. Tied scores break toward the lower column
+    // index, so the ranking is a total, deterministic function of the
+    // data alone.
+    out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.index.cmp(&b.index)));
     out
 }
 
@@ -325,6 +330,53 @@ mod tests {
         let scores = mutual_information(&toy());
         let c = scores.iter().find(|s| s.name == "const").unwrap();
         assert!(c.score.abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_constant_columns_rank_stably_without_panicking() {
+        // Regression: the ranking used partial_cmp().expect("finite
+        // scores"), which panics the moment any score comparison is
+        // unordered. Every column constant → every score ties at ~0;
+        // the sort must survive and fall back to ascending column index.
+        let n = 12;
+        let data = Dataset::new(
+            (0..n).map(|_| vec![7.0, 7.0, 7.0]).collect(),
+            (0..n).map(|k| k % 2).collect(),
+            2,
+            vec!["c0".into(), "c1".into(), "c2".into()],
+            (0..n).map(|i| format!("e{i}")).collect(),
+        );
+        let scores = mutual_information(&data);
+        assert_eq!(
+            scores.iter().map(|s| s.index).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "tied scores must break toward the lower column index"
+        );
+    }
+
+    #[test]
+    fn tied_scores_break_toward_lower_index() {
+        // Two identical informative columns: identical MI scores, and the
+        // ranking must list the lower column index first every time.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for k in 0..20 {
+            let v = (k % 2) as f64;
+            x.push(vec![v, v]);
+            y.push(k % 2);
+        }
+        let n = x.len();
+        let data = Dataset::new(
+            x,
+            y,
+            2,
+            vec!["twin_a".into(), "twin_b".into()],
+            (0..n).map(|i| format!("e{i}")).collect(),
+        );
+        let scores = mutual_information(&data);
+        assert_eq!(scores[0].score, scores[1].score);
+        assert_eq!(scores[0].index, 0);
+        assert_eq!(scores[1].index, 1);
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!   majority vote, 1-NN fallback, and vote confidence (§5.1);
 //! * [`MulticlassSvm`] — RBF-kernel soft-margin SVMs combined through
 //!   one-vs-rest output codes with Hamming decoding (§5.2);
+//! * [`DecisionTree`] / [`BaggedForest`] / [`Mlp`] — the post-paper model
+//!   zoo: a deterministic CART tree with interpretable splits, a
+//!   bootstrap-aggregated forest over it, and a one-hidden-layer
+//!   perceptron with a fixed SGD schedule — all behind [`Classifier`];
 //! * [`loocv_nn`] / [`loocv_svm`] / [`loocv`] — leave-one-out
 //!   cross validation (§4.2), plus [`logo_predictions`] for the
 //!   leave-one-benchmark-out protocol of Figures 4/5;
@@ -23,8 +27,10 @@
 //!   caches: derive an RBF kernel for any gamma without re-touching
 //!   feature vectors, and evaluate greedy candidate subsets with an
 //!   O(n²) accumulate (distances are additive across features);
-//! * [`sweep`] — LOGO-scored hyperparameter selection (SVM gamma × C
-//!   grid, NN radius) over exactly one shared distance matrix;
+//! * [`sweep`] — LOGO-scored hyperparameter selection across every model
+//!   family (SVM gamma × C grid, NN radius, tree depth/min-leaf, forest
+//!   size, MLP width/lr) over exactly one shared distance matrix, with a
+//!   deterministic cross-family winner;
 //! * [`linalg`] — the small dense linear-algebra kernel underneath LDA.
 //!
 //! Cross-validation folds, greedy candidates, and the one-vs-rest SVM
@@ -57,36 +63,43 @@ pub mod classify;
 pub mod dataset;
 pub mod distcache;
 pub mod feature_select;
+pub mod forest;
 pub mod lda;
 pub mod linalg;
 pub mod loocv;
+pub mod mlp;
 pub mod nn;
 pub mod svm;
 pub mod sweep;
+pub mod tree;
 
 pub use classify::{Classifier, Constant};
 pub use dataset::{dist2, Dataset, MinMaxNormalizer};
 pub use distcache::{
-    distance_builds, peak_distance_bytes, reset_distance_bytes, tile_budget_bytes, tile_rows_for,
-    DistanceMatrix, FeatureDistCache, DEFAULT_TILE_BUDGET_BYTES,
+    distance_builds, peak_distance_bytes, peak_kernel_bytes, reset_distance_bytes,
+    reset_kernel_bytes, tile_budget_bytes, tile_rows_for, DistanceMatrix, FeatureDistCache,
+    DEFAULT_TILE_BUDGET_BYTES,
 };
 pub use feature_select::{
     greedy_forward, greedy_forward_nn, greedy_forward_nn_threads, greedy_forward_nn_tiled,
     greedy_forward_nn_tiled_threads, greedy_forward_threads, mutual_information,
     nn1_training_error, GreedyStep, ScoredFeature, MIS_BINS,
 };
+pub use forest::{BaggedForest, ForestParams};
 pub use lda::Lda2d;
 pub use linalg::Matrix;
 pub use loocv::{
-    logo_predictions, logo_predictions_threads, loocv, loocv_nn, loocv_nn_threads, loocv_svm,
-    loocv_threads, CvResult,
+    logo_accuracy, logo_accuracy_threads, logo_predictions, logo_predictions_threads, loocv,
+    loocv_nn, loocv_nn_threads, loocv_svm, loocv_threads, CvResult,
 };
+pub use mlp::{Mlp, MlpParams};
 pub use nn::{NearNeighbors, NnPrediction, DEFAULT_RADIUS};
 pub use svm::{decode, KernelCache, MulticlassSvm, SvmParams};
 pub use sweep::{
-    sweep, sweep_threads, sweep_tiled_threads, RadiusCell, SvmCell, SvmGrid, SweepConfig,
-    SweepReport,
+    sweep, sweep_threads, sweep_tiled_threads, ForestCell, ForestGrid, MlpCell, MlpGrid,
+    RadiusCell, SvmCell, SvmGrid, SweepConfig, SweepReport, TreeCell, TreeGrid,
 };
+pub use tree::{DecisionTree, TreeParams};
 
 #[cfg(test)]
 mod proptests {

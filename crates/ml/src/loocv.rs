@@ -181,6 +181,28 @@ pub fn logo_predictions_threads(
     predictions
 }
 
+/// Leave-one-group-out *accuracy* of `clf`: the fraction of examples
+/// predicted correctly by [`logo_predictions`]. The scalar the
+/// hyperparameter sweep ranks every model-family cell by.
+pub fn logo_accuracy(data: &Dataset, group: &[usize], clf: &dyn Classifier) -> f64 {
+    logo_accuracy_threads(data, group, clf, num_threads())
+}
+
+/// [`logo_accuracy`] with an explicit worker count.
+pub fn logo_accuracy_threads(
+    data: &Dataset,
+    group: &[usize],
+    clf: &dyn Classifier,
+    threads: usize,
+) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let preds = logo_predictions_threads(data, group, clf, threads);
+    let correct = preds.iter().zip(&data.y).filter(|(p, y)| p == y).count();
+    correct as f64 / data.len() as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +310,20 @@ mod tests {
             }
             // And through the default (env/core-count) entry point.
             assert_eq!(serial, loocv(&d, clf));
+        }
+    }
+
+    #[test]
+    fn logo_accuracy_counts_correct_predictions() {
+        let d = clusters();
+        let group: Vec<usize> = (0..d.len()).map(|i| i % 2).collect();
+        let nn = NearNeighbors::new(DEFAULT_RADIUS);
+        let preds = logo_predictions(&d, &group, &nn);
+        let correct = preds.iter().zip(&d.y).filter(|(p, y)| p == y).count();
+        let expected = correct as f64 / d.len() as f64;
+        assert_eq!(logo_accuracy(&d, &group, &nn), expected);
+        for threads in [1, 4] {
+            assert_eq!(logo_accuracy_threads(&d, &group, &nn, threads), expected);
         }
     }
 

@@ -12,7 +12,7 @@
 
 use crate::classify::{expect_kind, Classifier};
 use crate::dataset::{dist2, Dataset, MinMaxNormalizer};
-use crate::distcache::DistanceMatrix;
+use crate::distcache::{DistanceMatrix, KernelAlloc};
 use loopml_rt::{num_threads, par_map, par_map_threads, Json};
 
 /// SVM hyperparameters.
@@ -81,13 +81,28 @@ impl Default for SvmParams {
 }
 
 /// Precomputed RBF kernel matrix (with the +1 bias term folded in).
+///
+/// Every n×n buffer a cache holds is registered with the crate-wide
+/// kernel-byte accounting ([`crate::peak_kernel_bytes`]) for its whole
+/// lifetime — cloning a cache registers a second buffer — so the
+/// scaling-gate peak reflects kernels as faithfully as distances.
 #[derive(Debug, Clone)]
 pub struct KernelCache {
     n: usize,
     k: Vec<f64>,
+    /// RAII registration of `k`'s bytes with the kernel accounting.
+    _alloc: KernelAlloc,
 }
 
 impl KernelCache {
+    /// The zero-sized cache carried by unfitted machines.
+    pub(crate) fn empty() -> Self {
+        KernelCache {
+            n: 0,
+            k: Vec::new(),
+            _alloc: KernelAlloc::new(0),
+        }
+    }
     /// Computes the full kernel matrix over normalized rows: the pairwise
     /// distances once, then the RBF entries via [`from_distances`].
     ///
@@ -102,6 +117,7 @@ impl KernelCache {
     /// sweep gamma for free.
     pub fn from_distances(dm: &DistanceMatrix, gamma: f64) -> Self {
         let n = dm.n();
+        let alloc = KernelAlloc::new((n * n * 8) as u64);
         let mut k = vec![0.0; n * n];
         for i in 0..n {
             let drow = dm.row(i);
@@ -110,7 +126,11 @@ impl KernelCache {
                 *kv = (-gamma * d2).exp() + 1.0;
             }
         }
-        KernelCache { n, k }
+        KernelCache {
+            n,
+            k,
+            _alloc: alloc,
+        }
     }
 
     /// Builds a kernel cache from already-materialized entries — the
@@ -123,7 +143,12 @@ impl KernelCache {
     /// Panics if `k` is not n×n.
     pub(crate) fn from_parts(n: usize, k: Vec<f64>) -> Self {
         assert_eq!(k.len(), n * n, "kernel must be n×n");
-        KernelCache { n, k }
+        let alloc = KernelAlloc::new((n * n * 8) as u64);
+        KernelCache {
+            n,
+            k,
+            _alloc: alloc,
+        }
     }
 
     #[inline]
@@ -264,10 +289,7 @@ impl MulticlassSvm {
             ys: Vec::new(),
             classes: 0,
             alphas: Vec::new(),
-            kernel: KernelCache {
-                n: 0,
-                k: Vec::new(),
-            },
+            kernel: KernelCache::empty(),
         }
     }
 
@@ -515,10 +537,7 @@ impl Classifier for MulticlassSvm {
         // The kernel matrix is derived state: recompute it from the
         // stored (already normalized) rows, exactly as fit would.
         let kernel = if xs.is_empty() {
-            KernelCache {
-                n: 0,
-                k: Vec::new(),
-            }
+            KernelCache::empty()
         } else {
             KernelCache::compute(&xs, params.gamma)
         };
@@ -771,6 +790,31 @@ mod tests {
         }
         let mut copy = MulticlassSvm::new(SvmParams::default());
         assert!(Classifier::load(&mut copy, &state).is_err());
+    }
+
+    #[test]
+    fn kernel_bytes_are_tracked_for_the_caches_lifetime() {
+        use crate::distcache::peak_kernel_bytes;
+        let d = clusters();
+        let xs = MinMaxNormalizer::fit(&d.x).transform(&d.x);
+        let n = xs.len() as u64;
+        let before = peak_kernel_bytes();
+        let kc = KernelCache::compute(&xs, 1.0);
+        // The accounting is process-global and other tests allocate
+        // kernels concurrently, so assert only what must hold: the peak
+        // grew by at least this cache's bytes, and a clone registers a
+        // second live buffer.
+        assert!(
+            peak_kernel_bytes() >= before.max(n * n * 8),
+            "peak must cover a live {n}x{n} kernel"
+        );
+        let copy = kc.clone();
+        assert!(
+            peak_kernel_bytes() >= 2 * n * n * 8,
+            "clone holds a second buffer"
+        );
+        drop(copy);
+        drop(kc);
     }
 
     #[test]

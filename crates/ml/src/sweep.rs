@@ -22,6 +22,17 @@
 //! dual variables stay zero outside the training fold, so the full-corpus
 //! kernel serves every fold without per-fold kernels.
 //!
+//! Beyond the paper's two models, the sweep carries a **model-family
+//! axis**: decision-tree depth × min-leaf, bagged-forest size, and MLP
+//! width × learning rate are scored by the same LOGO protocol and ranked
+//! against the NN and SVM winners, yielding a single cross-family winner
+//! per report. These families are *distance-free* — each cell refits on
+//! raw feature vectors per fold (with per-fold min-max normalization,
+//! unlike the shared-matrix NN/SVM path; see DESIGN.md §16) and never
+//! touches the distance matrix, so [`distance_builds`] still advances by
+//! exactly one per sweep. Ties between families go to the fixed order
+//! NN, SVM, tree, forest, MLP.
+//!
 //! One deliberate deviation from a fully per-fold protocol: features are
 //! min-max normalized over the *full* dataset, not refitted per LOGO fold
 //! (refitting would need per-fold distance matrices, defeating the single
@@ -36,10 +47,14 @@
 use crate::dataset::{dist2, Dataset, MinMaxNormalizer};
 use crate::distcache::{
     distance_builds, record_streaming_build, tile_budget_bytes, tile_rows_for, DistAlloc,
-    DistanceMatrix,
+    DistanceMatrix, KernelAlloc,
 };
+use crate::forest::{BaggedForest, ForestParams};
+use crate::loocv::logo_accuracy_threads;
+use crate::mlp::{Mlp, MlpParams};
 use crate::nn::DEFAULT_RADIUS;
 use crate::svm::{decision_at, decode, train_binary, KernelCache, SvmParams};
+use crate::tree::{DecisionTree, TreeParams};
 use loopml_rt::{num_threads, par_map_threads};
 
 /// The gamma × C grid swept for the SVM, plus the non-swept
@@ -72,22 +87,96 @@ impl Default for SvmGrid {
     }
 }
 
-/// Everything `sweep` needs besides the data: the SVM grid and the NN
-/// radii to threshold the cached distances with.
+/// The decision-tree depth × min-leaf grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeGrid {
+    /// Maximum tree depths to try.
+    pub max_depths: Vec<usize>,
+    /// Minimum leaf sizes to try (each ≥ 1).
+    pub min_leafs: Vec<usize>,
+}
+
+impl Default for TreeGrid {
+    /// Shallow, default, and deep trees, with and without leaf smoothing.
+    fn default() -> Self {
+        TreeGrid {
+            max_depths: vec![3, 6, 10],
+            min_leafs: vec![1, 4],
+        }
+    }
+}
+
+/// The bagged-forest size axis, plus the per-tree hyperparameters and
+/// bootstrap seed every cell shares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForestGrid {
+    /// Ensemble sizes to try.
+    pub sizes: Vec<usize>,
+    /// Member-tree hyperparameters and bootstrap seed shared by every
+    /// cell; `base.trees` is ignored (overwritten per cell).
+    pub base: ForestParams,
+}
+
+impl Default for ForestGrid {
+    /// Half and full default ensembles around the default member tree.
+    fn default() -> Self {
+        ForestGrid {
+            sizes: vec![8, 16],
+            base: ForestParams::default(),
+        }
+    }
+}
+
+/// The MLP hidden-width × learning-rate grid, plus the epoch budget and
+/// init seed every cell shares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpGrid {
+    /// Hidden-layer widths to try.
+    pub hiddens: Vec<usize>,
+    /// Learning rates to try.
+    pub lrs: Vec<f64>,
+    /// Epochs and seed shared by every cell; `base.hidden` and `base.lr`
+    /// are ignored (overwritten per cell).
+    pub base: MlpParams,
+}
+
+impl Default for MlpGrid {
+    /// Narrow and default widths at a gentle and an aggressive rate.
+    fn default() -> Self {
+        MlpGrid {
+            hiddens: vec![8, 16],
+            lrs: vec![0.05, 0.2],
+            base: MlpParams::default(),
+        }
+    }
+}
+
+/// Everything `sweep` needs besides the data: one grid per model family.
+/// A family with an empty grid (no cells) is skipped and cannot win.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepConfig {
     /// SVM gamma × C grid.
     pub svm: SvmGrid,
     /// NN neighborhood radii to try.
     pub radii: Vec<f64>,
+    /// Decision-tree depth × min-leaf grid.
+    pub tree: TreeGrid,
+    /// Bagged-forest sizes.
+    pub forest: ForestGrid,
+    /// MLP width × learning-rate grid.
+    pub mlp: MlpGrid,
 }
 
 impl Default for SweepConfig {
-    /// The default grid plus five radii bracketing the paper's 0.3.
+    /// Every family's default grid, with five radii bracketing the
+    /// paper's 0.3.
     fn default() -> Self {
         SweepConfig {
             svm: SvmGrid::default(),
             radii: vec![0.15, 0.3, 0.45, 0.6, 1.0],
+            tree: TreeGrid::default(),
+            forest: ForestGrid::default(),
+            mlp: MlpGrid::default(),
         }
     }
 }
@@ -112,6 +201,37 @@ pub struct RadiusCell {
     pub accuracy: f64,
 }
 
+/// One evaluated decision-tree grid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeCell {
+    /// Maximum depth of this cell.
+    pub max_depth: usize,
+    /// Minimum leaf size of this cell.
+    pub min_leaf: usize,
+    /// Leave-one-benchmark-out accuracy.
+    pub accuracy: f64,
+}
+
+/// One evaluated forest size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestCell {
+    /// Ensemble size of this cell.
+    pub trees: usize,
+    /// Leave-one-benchmark-out accuracy.
+    pub accuracy: f64,
+}
+
+/// One evaluated MLP grid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlpCell {
+    /// Hidden width of this cell.
+    pub hidden: usize,
+    /// Learning rate of this cell.
+    pub lr: f64,
+    /// Leave-one-benchmark-out accuracy.
+    pub accuracy: f64,
+}
+
 /// The full result of a hyperparameter sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
@@ -132,8 +252,42 @@ pub struct SweepReport {
     /// LOGO accuracy of [`selected_radius`](Self::selected_radius) (0.0
     /// when no radii were given).
     pub nn_accuracy: f64,
+    /// Every decision-tree cell, depth-major (all min-leaf values for the
+    /// first depth, then the next depth, …).
+    pub tree_cells: Vec<TreeCell>,
+    /// The winning tree hyperparameters (defaults when the grid is empty).
+    pub selected_tree: TreeParams,
+    /// LOGO accuracy of [`selected_tree`](Self::selected_tree) (0.0 when
+    /// the grid is empty).
+    pub tree_accuracy: f64,
+    /// Every forest size, in configuration order.
+    pub forest_cells: Vec<ForestCell>,
+    /// The winning forest hyperparameters (`base` defaults when the size
+    /// list is empty).
+    pub selected_forest: ForestParams,
+    /// LOGO accuracy of [`selected_forest`](Self::selected_forest) (0.0
+    /// when the size list is empty).
+    pub forest_accuracy: f64,
+    /// Every MLP cell, width-major (all rates for the first width, then
+    /// the next width, …).
+    pub mlp_cells: Vec<MlpCell>,
+    /// The winning MLP hyperparameters (`base` defaults when the grid is
+    /// empty).
+    pub selected_mlp: MlpParams,
+    /// LOGO accuracy of [`selected_mlp`](Self::selected_mlp) (0.0 when
+    /// the grid is empty).
+    pub mlp_accuracy: f64,
+    /// The model family with the highest LOGO accuracy among the families
+    /// that scored at least one cell: `"nn"`, `"svm"`, `"tree"`,
+    /// `"forest"`, or `"mlp"`. Ties break toward that fixed order;
+    /// `"nn"` when no family scored anything.
+    pub winner_family: String,
+    /// LOGO accuracy of [`winner_family`](Self::winner_family) (0.0 when
+    /// no family scored anything).
+    pub winner_accuracy: f64,
     /// How many [`DistanceMatrix::compute`] calls the sweep performed —
-    /// the design says exactly one, and this is the proof.
+    /// the design says exactly one, and this is the proof. The
+    /// distance-free families (tree, forest, MLP) never advance it.
     pub distance_builds: u64,
     /// Number of examples swept over.
     pub n_examples: usize,
@@ -244,6 +398,11 @@ pub fn sweep_tiled_threads(
         .map(|lo| (lo, (lo + tile).min(n)))
         .collect();
     let r2s: Vec<f64> = cfg.radii.iter().map(|r| r * r).collect();
+    // The kernel strips are kernel bytes: together they hold every
+    // gamma's full n×n kernel and stay live until assembled below, so
+    // they are registered with the kernel accounting as one block —
+    // a deterministic upper bound on the gradual per-worker growth.
+    let _strip_acct = KernelAlloc::new((cfg.svm.gammas.len() * n * n * 8) as u64);
     let per_strip: Vec<(Vec<Vec<f64>>, Vec<u64>)> =
         par_map_threads(threads, &strips, |&(lo, hi)| {
             let rows = hi - lo;
@@ -446,6 +605,104 @@ fn finish_report(
         None => (DEFAULT_RADIUS, 0.0),
     };
 
+    // Distance-free families: every cell refits per LOGO fold directly on
+    // the feature vectors, never touching the distance matrix or the
+    // builds counter. Cells run in configuration order; the folds inside
+    // each fan out across the workers with integer tallies, so any
+    // thread count scores a cell identically.
+    let mut tree_cells = Vec::with_capacity(cfg.tree.max_depths.len() * cfg.tree.min_leafs.len());
+    for &max_depth in &cfg.tree.max_depths {
+        for &min_leaf in &cfg.tree.min_leafs {
+            let clf = DecisionTree::new(TreeParams {
+                max_depth,
+                min_leaf,
+            });
+            tree_cells.push(TreeCell {
+                max_depth,
+                min_leaf,
+                accuracy: logo_accuracy_threads(data, group, &clf, threads),
+            });
+        }
+    }
+    let (selected_tree, tree_accuracy) =
+        match argmax_accuracy(tree_cells.iter().map(|c| c.accuracy)) {
+            Some(k) => (
+                TreeParams {
+                    max_depth: tree_cells[k].max_depth,
+                    min_leaf: tree_cells[k].min_leaf,
+                },
+                tree_cells[k].accuracy,
+            ),
+            None => (TreeParams::default(), 0.0),
+        };
+
+    let mut forest_cells = Vec::with_capacity(cfg.forest.sizes.len());
+    for &trees in &cfg.forest.sizes {
+        let clf = BaggedForest::new(ForestParams {
+            trees,
+            ..cfg.forest.base
+        });
+        forest_cells.push(ForestCell {
+            trees,
+            accuracy: logo_accuracy_threads(data, group, &clf, threads),
+        });
+    }
+    let (selected_forest, forest_accuracy) =
+        match argmax_accuracy(forest_cells.iter().map(|c| c.accuracy)) {
+            Some(k) => (
+                ForestParams {
+                    trees: forest_cells[k].trees,
+                    ..cfg.forest.base
+                },
+                forest_cells[k].accuracy,
+            ),
+            None => (cfg.forest.base, 0.0),
+        };
+
+    let mut mlp_cells = Vec::with_capacity(cfg.mlp.hiddens.len() * cfg.mlp.lrs.len());
+    for &hidden in &cfg.mlp.hiddens {
+        for &lr in &cfg.mlp.lrs {
+            let clf = Mlp::new(MlpParams {
+                hidden,
+                lr,
+                ..cfg.mlp.base
+            });
+            mlp_cells.push(MlpCell {
+                hidden,
+                lr,
+                accuracy: logo_accuracy_threads(data, group, &clf, threads),
+            });
+        }
+    }
+    let (selected_mlp, mlp_accuracy) = match argmax_accuracy(mlp_cells.iter().map(|c| c.accuracy)) {
+        Some(k) => (
+            MlpParams {
+                hidden: mlp_cells[k].hidden,
+                lr: mlp_cells[k].lr,
+                ..cfg.mlp.base
+            },
+            mlp_cells[k].accuracy,
+        ),
+        None => (cfg.mlp.base, 0.0),
+    };
+
+    // Cross-family winner: highest accuracy among the families that
+    // scored at least one cell, ties toward the fixed order below.
+    let families = [
+        ("nn", !nn_cells.is_empty(), nn_accuracy),
+        ("svm", !svm_cells.is_empty(), svm_accuracy),
+        ("tree", !tree_cells.is_empty(), tree_accuracy),
+        ("forest", !forest_cells.is_empty(), forest_accuracy),
+        ("mlp", !mlp_cells.is_empty(), mlp_accuracy),
+    ];
+    let mut winner: Option<(&str, f64)> = None;
+    for (name, scored, acc) in families {
+        if scored && winner.is_none_or(|(_, best)| acc > best) {
+            winner = Some((name, acc));
+        }
+    }
+    let (winner_family, winner_accuracy) = winner.unwrap_or(("nn", 0.0));
+
     SweepReport {
         svm_cells,
         nn_cells,
@@ -453,6 +710,17 @@ fn finish_report(
         svm_accuracy,
         selected_radius,
         nn_accuracy,
+        tree_cells,
+        selected_tree,
+        tree_accuracy,
+        forest_cells,
+        selected_forest,
+        forest_accuracy,
+        mlp_cells,
+        selected_mlp,
+        mlp_accuracy,
+        winner_family: winner_family.to_string(),
+        winner_accuracy,
         distance_builds: distance_builds() - builds_before,
         n_examples: n,
         n_groups: groups.len(),
@@ -528,6 +796,68 @@ mod tests {
             .map(|c| c.accuracy)
             .fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(r.svm_accuracy, max_svm);
+        // The family axis scored every cell of every family.
+        assert_eq!(
+            r.tree_cells.len(),
+            cfg.tree.max_depths.len() * cfg.tree.min_leafs.len()
+        );
+        assert_eq!(r.forest_cells.len(), cfg.forest.sizes.len());
+        assert_eq!(r.mlp_cells.len(), cfg.mlp.hiddens.len() * cfg.mlp.lrs.len());
+        assert!(cfg.tree.max_depths.contains(&r.selected_tree.max_depth));
+        assert!(cfg.forest.sizes.contains(&r.selected_forest.trees));
+        assert!(cfg.mlp.hiddens.contains(&r.selected_mlp.hidden));
+        // The winner is the best-scoring family, and its accuracy is the
+        // max over family accuracies.
+        let family_best = [
+            r.nn_accuracy,
+            r.svm_accuracy,
+            r.tree_accuracy,
+            r.forest_accuracy,
+            r.mlp_accuracy,
+        ]
+        .into_iter()
+        .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(r.winner_accuracy, family_best);
+        assert!(["nn", "svm", "tree", "forest", "mlp"].contains(&r.winner_family.as_str()));
+    }
+
+    #[test]
+    fn dense_sweep_is_bit_identical_across_thread_counts() {
+        let (data, group) = clusters();
+        let cfg = SweepConfig::default();
+        let serial = sweep_threads(&data, &group, &cfg, 1);
+        for threads in [2, 4] {
+            assert_eq!(
+                serial,
+                sweep_threads(&data, &group, &cfg, threads),
+                "diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn distance_free_families_never_advance_the_build_counter() {
+        // Only tree/forest/MLP grids: the sweep still performs its one
+        // distance pass (shared infrastructure), and the family scoring
+        // adds zero further builds.
+        let (data, group) = clusters();
+        let cfg = SweepConfig {
+            svm: SvmGrid {
+                gammas: vec![],
+                cs: vec![],
+                ..SvmGrid::default()
+            },
+            radii: vec![],
+            ..SweepConfig::default()
+        };
+        let r = sweep_threads(&data, &group, &cfg, 1);
+        assert_eq!(r.distance_builds, 1);
+        assert!(r.svm_cells.is_empty() && r.nn_cells.is_empty());
+        assert!(!r.tree_cells.is_empty());
+        // With NN and SVM unscored, the winner comes from the new
+        // families — separable clusters score well for all of them.
+        assert!(["tree", "forest", "mlp"].contains(&r.winner_family.as_str()));
+        assert!(r.winner_accuracy >= 0.9, "{}", r.winner_accuracy);
     }
 
     #[test]
@@ -572,12 +902,34 @@ mod tests {
                 ..SvmGrid::default()
             },
             radii: vec![],
+            tree: TreeGrid {
+                max_depths: vec![],
+                min_leafs: vec![],
+            },
+            forest: ForestGrid {
+                sizes: vec![],
+                ..ForestGrid::default()
+            },
+            mlp: MlpGrid {
+                hiddens: vec![],
+                lrs: vec![],
+                ..MlpGrid::default()
+            },
         };
         let r = sweep_threads(&data, &group, &cfg, 1);
         assert!(r.svm_cells.is_empty());
         assert!(r.nn_cells.is_empty());
+        assert!(r.tree_cells.is_empty());
+        assert!(r.forest_cells.is_empty());
+        assert!(r.mlp_cells.is_empty());
         assert_eq!(r.selected_svm, cfg.svm.base);
         assert_eq!(r.selected_radius, DEFAULT_RADIUS);
+        assert_eq!(r.selected_tree, TreeParams::default());
+        assert_eq!(r.selected_forest, cfg.forest.base);
+        assert_eq!(r.selected_mlp, cfg.mlp.base);
+        // No family scored anything: the winner falls back to NN at 0.
+        assert_eq!(r.winner_family, "nn");
+        assert_eq!(r.winner_accuracy, 0.0);
     }
 
     #[test]

@@ -62,7 +62,9 @@ fn sweep_builds_exactly_one_distance_matrix() {
     let _guard = COUNTER_LOCK.lock().unwrap();
     let (data, group) = corpus();
     // A bigger-than-default grid: the build count must stay 1 no matter
-    // how many gammas, Cs and radii are swept.
+    // how many gammas, Cs and radii are swept — and the distance-free
+    // families (tree/forest/MLP, swept at their defaults here) must not
+    // add any.
     let cfg = SweepConfig {
         svm: SvmGrid {
             gammas: vec![0.1, 0.25, 1.0, 4.0],
@@ -70,6 +72,7 @@ fn sweep_builds_exactly_one_distance_matrix() {
             ..SvmGrid::default()
         },
         radii: vec![0.1, 0.15, 0.3, 0.45, 0.6, 1.0],
+        ..SweepConfig::default()
     };
     let before = distance_builds();
     let report = sweep_threads(&data, &group, &cfg, 4);

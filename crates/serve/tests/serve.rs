@@ -4,7 +4,10 @@
 use loopml::{PipelineBuilder, UnrollHeuristic};
 use loopml_corpus::SuiteConfig;
 use loopml_ir::Loop;
-use loopml_ml::{MulticlassSvm, NearNeighbors, SvmParams, DEFAULT_RADIUS};
+use loopml_ml::{
+    BaggedForest, DecisionTree, ForestParams, Mlp, MlpParams, MulticlassSvm, NearNeighbors,
+    SvmParams, TreeParams, DEFAULT_RADIUS,
+};
 use loopml_rt::Json;
 use loopml_serve::{serve_framed, serve_lines, Request, Response, ServeModel};
 
@@ -38,6 +41,12 @@ fn served_predictions_match_the_in_process_heuristic() {
         ),
         ("SVM", Box::new(MulticlassSvm::new(SvmParams::default()))),
         ("ORC", Box::new(loopml::OrcClassifier)),
+        ("Tree", Box::new(DecisionTree::new(TreeParams::default()))),
+        (
+            "Forest",
+            Box::new(BaggedForest::new(ForestParams::default())),
+        ),
+        ("MLP", Box::new(Mlp::new(MlpParams::default()))),
     ] {
         let artifact = p.train_artifact(name, classifier);
         let model = ServeModel::from_artifact(artifact).expect("reconstruct");

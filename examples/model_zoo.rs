@@ -1,0 +1,65 @@
+//! The classifier zoo: LOOCV accuracy for every model family on the
+//! same labeled corpus, plus the decision tree's interpretability
+//! dividend — which features its splits actually test, next to the
+//! mutual-information ranking of the paper's Table 3.
+//!
+//! ```text
+//! cargo run --release --example model_zoo
+//! ```
+
+use loopml::PipelineBuilder;
+use loopml_corpus::SuiteConfig;
+use loopml_ml::{
+    loocv, mutual_information, BaggedForest, Classifier, DecisionTree, ForestParams, Mlp,
+    MlpParams, MulticlassSvm, NearNeighbors, SvmParams, TreeParams, DEFAULT_RADIUS,
+};
+
+fn main() {
+    let p = PipelineBuilder::paper()
+        .suite_config(SuiteConfig {
+            min_loops: 25,
+            max_loops: 30,
+            ..SuiteConfig::default()
+        })
+        .take_benchmarks(16)
+        .exact()
+        .build();
+    let data = &p.dataset;
+    println!(
+        "{} labeled loops, {} features (informative subset)\n",
+        data.len(),
+        data.dims()
+    );
+
+    // Every family at its defaults, scored by leave-one-out CV.
+    let zoo: Vec<Box<dyn Classifier>> = vec![
+        Box::new(NearNeighbors::new(DEFAULT_RADIUS)),
+        Box::new(MulticlassSvm::new(SvmParams::default())),
+        Box::new(DecisionTree::new(TreeParams::default())),
+        Box::new(BaggedForest::new(ForestParams::default())),
+        Box::new(Mlp::new(MlpParams::default())),
+    ];
+    println!("LOOCV accuracy by family:");
+    for m in &zoo {
+        let cv = loocv(data, m.as_ref());
+        println!("  {:<8} {:.1}%", m.name(), cv.accuracy * 100.0);
+    }
+
+    // Interpretability: the tree's split features vs the MI ranking.
+    let tree = DecisionTree::fit(data, TreeParams::default());
+    println!("\ndecision tree split features (root-first):");
+    let mut seen = Vec::new();
+    for (f, t) in tree.split_features() {
+        if !seen.contains(&f) {
+            seen.push(f);
+            println!("  {:<34} threshold {:.3}", data.feature_names[f], t);
+        }
+        if seen.len() == 5 {
+            break;
+        }
+    }
+    println!("\ntop features by mutual information:");
+    for (rank, f) in mutual_information(data).iter().take(5).enumerate() {
+        println!("  {}. {:<34} {:.3} bits", rank + 1, f.name, f.score);
+    }
+}

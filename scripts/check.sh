@@ -8,9 +8,11 @@
 # smoke-scale `repro perf` must emit a well-formed BENCH_ml.json with no
 # stage more than 2x slower than scripts/bench_baseline.json), the sweep
 # gate (the smoke-scale `repro sweep` must select hyperparameters with
-# exactly one pairwise distance-matrix build), the serve gate (a
+# exactly one pairwise distance-matrix build, score at least two model
+# families, and crown a cross-family winner), the serve gate (a
 # smoke-trained artifact served through the `loopml-serve` daemon must
-# answer replayed batches byte-identically to the in-process heuristic),
+# answer replayed batches byte-identically to the in-process heuristic,
+# repeated for each tree/forest/MLP zoo artifact),
 # and the chaos gate (a fixed-seed LOOPML_FAULTS labeling run must
 # complete with the expected quarantine, keep every non-faulted label
 # bit-identical to a clean run, and resume from partial checkpoints
@@ -40,6 +42,21 @@ cargo run --release -p loopml-bench --bin repro -- perf-check \
     BENCH_ml.json scripts/bench_baseline.json
 cargo run --release -p loopml-bench --bin repro -- sweep --smoke
 
+# Family-sweep gate: the cross-family sweep must have scored at least
+# two model families over its single distance build and crowned a
+# winner from the fixed vocabulary. `repro sweep` already exits nonzero
+# on either violation; these greps keep the report's wire format honest.
+echo "check.sh: family-sweep gate (multi-family scoring / winner)"
+grep -q '"winner":{"family":"\(nn\|svm\|tree\|forest\|mlp\)"' SWEEP_ml.json
+grep -q '"distance_builds":1' SWEEP_ml.json
+scored=0
+for fam in nn svm tree forest mlp; do
+    if grep -q "\"$fam\":{\"cells\":\[{" SWEEP_ml.json; then
+        scored=$((scored + 1))
+    fi
+done
+[ "$scored" -ge 2 ]
+
 # Serve gate: train a smoke artifact, replay the suite through the
 # in-process serving loop (serve-bench verifies bit-identity against
 # LearnedHeuristic and dumps the exact wire traffic), then feed the same
@@ -58,6 +75,24 @@ cargo run --release -q -p loopml-serve --bin loopml-serve -- \
     --artifact "$serve_dir/model.json" \
     < "$serve_dir/requests.jsonl" > "$serve_dir/daemon.jsonl"
 cmp "$serve_dir/responses.jsonl" "$serve_dir/daemon.jsonl"
+
+# Zoo serve gate: every new model family must survive the same
+# round trip — train an artifact, replay the suite through the
+# in-process serving loop, and demand the daemon answer the identical
+# requests byte-for-byte.
+for model in tree forest mlp; do
+    echo "check.sh: zoo serve gate ($model artifact / daemon diff)"
+    cargo run --release -q -p loopml-bench --bin repro -- train --smoke \
+        --model "$model" --out "$serve_dir/$model.json"
+    cargo run --release -q -p loopml-bench --bin repro -- serve-bench --smoke \
+        --artifact "$serve_dir/$model.json" \
+        --dump-requests "$serve_dir/${model}_requests.jsonl" \
+        --dump-responses "$serve_dir/${model}_responses.jsonl"
+    cargo run --release -q -p loopml-serve --bin loopml-serve -- \
+        --artifact "$serve_dir/$model.json" \
+        < "$serve_dir/${model}_requests.jsonl" > "$serve_dir/${model}_daemon.jsonl"
+    cmp "$serve_dir/${model}_responses.jsonl" "$serve_dir/${model}_daemon.jsonl"
+done
 
 # Chaos-serve gate: the hardened daemon. The same request stream is
 # interleaved with a ping, a non-JSON line, an over-limit line, and a

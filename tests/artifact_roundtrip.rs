@@ -6,7 +6,10 @@
 
 use loopml::{ModelArtifact, Pipeline, PipelineBuilder, UnrollHeuristic};
 use loopml_corpus::SuiteConfig;
-use loopml_ml::{Classifier, MulticlassSvm, NearNeighbors, SvmParams, DEFAULT_RADIUS};
+use loopml_ml::{
+    BaggedForest, Classifier, DecisionTree, ForestParams, Mlp, MlpParams, MulticlassSvm,
+    NearNeighbors, SvmParams, TreeParams, DEFAULT_RADIUS,
+};
 use loopml_rt::Json;
 use loopml_serve::ServeModel;
 
@@ -30,6 +33,12 @@ fn models() -> Vec<(&'static str, Box<dyn Classifier>)> {
         ),
         ("SVM", Box::new(MulticlassSvm::new(SvmParams::default()))),
         ("ORC", Box::new(loopml::OrcClassifier)),
+        ("Tree", Box::new(DecisionTree::new(TreeParams::default()))),
+        (
+            "Forest",
+            Box::new(BaggedForest::new(ForestParams::default())),
+        ),
+        ("MLP", Box::new(Mlp::new(MlpParams::default()))),
     ]
 }
 
